@@ -1,0 +1,90 @@
+// ABL-DAWA — ablation of DAWA's two stages (DESIGN.md design-choice
+// index): full DAWA vs (a) no data-adaptive partition (GREEDY_H straight
+// on cells), vs (b) partition but flat Laplace bucket measurement instead
+// of GREEDY_H, across scales. Shows both stages matter, in different
+// regimes — the partition at small scale, the workload-aware hierarchy at
+// large scale.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/algorithms/dawa.h"
+#include "src/algorithms/greedy_h.h"
+#include "src/common/rng.h"
+#include "src/data/datasets.h"
+#include "src/data/sampler.h"
+#include "src/engine/error.h"
+#include "src/mechanisms/laplace.h"
+
+using namespace dpbench;
+
+namespace {
+
+// Stage-1 partition + flat Laplace per bucket (no GREEDY_H).
+Result<DataVector> PartitionFlat(const DataVector& x, double eps, Rng* rng) {
+  double eps1 = 0.25 * eps, eps2 = eps - eps1;
+  std::vector<size_t> ends = dawa_internal::LeastCostPartition(
+      x.counts(), eps1, 1.0 / eps2, rng);
+  DataVector out(x.domain());
+  size_t start = 0;
+  for (size_t end : ends) {
+    double truth = 0.0;
+    for (size_t i = start; i < end; ++i) truth += x[i];
+    double noisy = truth + rng->Laplace(1.0 / eps2);
+    double width = static_cast<double>(end - start);
+    for (size_t i = start; i < end; ++i) out[i] = noisy / width;
+    start = end;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Options opts = bench::ParseOptions(argc, argv);
+  bench::PrintBanner("ABL-DAWA", "DAWA stage ablation", opts);
+
+  const size_t n = opts.full ? 4096 : 1024;
+  const int trials = opts.full ? 20 : 8;
+  const double eps = 0.1;
+  Rng rng(opts.seed);
+  auto shape = DatasetRegistry::ShapeAtDomain("ADULT", n);
+  if (!shape.ok()) return 1;
+  Workload w = Workload::Prefix1D(n);
+  std::vector<std::pair<size_t, size_t>> all_ranges;
+  for (const RangeQuery& q : w.queries()) {
+    all_ranges.emplace_back(q.lo[0], q.hi[0]);
+  }
+
+  TextTable table({"scale", "full DAWA", "no partition (GREEDY_H)",
+                   "partition + flat"});
+  for (uint64_t scale : {uint64_t{1000}, uint64_t{100000},
+                         uint64_t{10000000}}) {
+    auto x = SampleAtScale(*shape, scale, &rng);
+    if (!x.ok()) return 1;
+    std::vector<double> truth = w.Evaluate(*x);
+    DawaMechanism dawa;
+    double e_full = 0.0, e_nopart = 0.0, e_flat = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      RunContext ctx{*x, w, eps, &rng, {}};
+      auto full = dawa.Run(ctx);
+      e_full += *ScaledL2PerQueryError(truth, w.Evaluate(*full),
+                                       x->Scale()) /
+                trials;
+      auto nopart = greedy_h_internal::RunOnCounts(x->counts(), all_ranges,
+                                                   2, eps, &rng);
+      DataVector np(x->domain(), std::move(nopart).value());
+      e_nopart += *ScaledL2PerQueryError(truth, w.Evaluate(np),
+                                         x->Scale()) /
+                  trials;
+      auto flat = PartitionFlat(*x, eps, &rng);
+      e_flat += *ScaledL2PerQueryError(truth, w.Evaluate(*flat),
+                                       x->Scale()) /
+                trials;
+    }
+    table.AddRow({std::to_string(scale), TextTable::Num(e_full),
+                  TextTable::Num(e_nopart), TextTable::Num(e_flat)});
+  }
+  std::cout << "scaled error on ADULT (domain " << n << ", eps 0.1):\n\n";
+  table.Print(std::cout);
+  return 0;
+}

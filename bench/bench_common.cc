@@ -1,0 +1,126 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+
+namespace dpbench {
+namespace bench {
+
+Options ParseOptions(int argc, char** argv) {
+  Options opts;
+  const char* env_full = std::getenv("DPBENCH_FULL");
+  if (env_full != nullptr && std::strcmp(env_full, "1") == 0) {
+    opts.full = true;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--full") {
+      opts.full = true;
+    } else if (arg == "--csv") {
+      opts.csv = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opts.seed = std::stoull(arg.substr(7));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "flags: --full --csv --seed=N\n";
+      std::exit(0);
+    } else {
+      std::cerr << "warning: ignoring unknown flag " << arg << "\n";
+    }
+  }
+  return opts;
+}
+
+void PrintBanner(const std::string& experiment_id, const std::string& title,
+                 const Options& opts) {
+  std::cout << "=== DPBench " << experiment_id << " — " << title << " ===\n"
+            << "mode: " << (opts.full ? "FULL (paper grid)" : "reduced")
+            << ", seed: " << opts.seed << "\n\n";
+}
+
+std::vector<CellResult> MustRun(const ExperimentConfig& config,
+                                bool verbose) {
+  size_t done = 0;
+  auto progress = [&](const CellResult& cell) {
+    ++done;
+    if (verbose) {
+      std::cerr << "[" << done << "] " << cell.key.ToString()
+                << " mean=" << cell.summary.mean << "\n";
+    }
+  };
+  auto results = Runner::Run(config, progress);
+  if (!results.ok()) {
+    std::cerr << "experiment failed: " << results.status().ToString()
+              << "\n";
+    std::exit(1);
+  }
+  return std::move(results).value();
+}
+
+namespace {
+std::string g_column_buffer;
+}  // namespace
+
+const std::string& ColumnDataset(const CellResult& cell) {
+  return cell.key.dataset;
+}
+
+const std::string& ColumnScale(const CellResult& cell) {
+  g_column_buffer = "10^" + std::to_string(static_cast<int>(
+                                std::lround(std::log10(
+                                    static_cast<double>(cell.key.scale)))));
+  return g_column_buffer;
+}
+
+const std::string& ColumnDomain(const CellResult& cell) {
+  g_column_buffer = std::to_string(cell.key.domain_size);
+  return g_column_buffer;
+}
+
+void PrintMeanPivot(const std::vector<CellResult>& results,
+                    const std::string& column_label,
+                    const std::string& (*column_of)(const CellResult&)) {
+  // Collect row/column orders as first seen.
+  std::vector<std::string> rows, cols;
+  std::map<std::pair<std::string, std::string>, double> values;
+  for (const CellResult& cell : results) {
+    std::string col = column_of(cell);
+    if (std::find(rows.begin(), rows.end(), cell.key.algorithm) ==
+        rows.end()) {
+      rows.push_back(cell.key.algorithm);
+    }
+    if (std::find(cols.begin(), cols.end(), col) == cols.end()) {
+      cols.push_back(col);
+    }
+    values[{cell.key.algorithm, col}] = cell.summary.mean;
+  }
+  std::vector<std::string> header{"algorithm \\ " + column_label};
+  for (const std::string& c : cols) header.push_back(c + " log10(err)");
+  TextTable table(header);
+  for (const std::string& r : rows) {
+    std::vector<std::string> row{r};
+    for (const std::string& c : cols) {
+      auto it = values.find({r, c});
+      if (it == values.end()) {
+        row.push_back("-");
+      } else {
+        row.push_back(TextTable::Num(std::log10(it->second)));
+      }
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void MaybeCsv(const std::vector<CellResult>& results, const Options& opts) {
+  if (!opts.csv) return;
+  std::cout << "--- raw csv ---\n";
+  WriteCsv(results, std::cout);
+}
+
+}  // namespace bench
+}  // namespace dpbench

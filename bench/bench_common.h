@@ -1,0 +1,55 @@
+// Shared helpers for the per-figure/table bench binaries.
+//
+// Every binary supports:
+//   --full         run the paper-scale grid (default: reduced, seconds-fast)
+//   --seed=N       master seed
+//   --csv          additionally dump raw CSV rows
+// Environment DPBENCH_FULL=1 is equivalent to --full.
+#ifndef DPBENCH_BENCH_BENCH_COMMON_H_
+#define DPBENCH_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/engine/report.h"
+#include "src/engine/runner.h"
+
+namespace dpbench {
+namespace bench {
+
+struct Options {
+  bool full = false;
+  bool csv = false;
+  uint64_t seed = 20160626;
+};
+
+/// Parses command line options (unknown flags are ignored with a warning).
+Options ParseOptions(int argc, char** argv);
+
+/// Prints the standard banner for an experiment.
+void PrintBanner(const std::string& experiment_id, const std::string& title,
+                 const Options& opts);
+
+/// Runs the grid with a progress line per cell, exiting the process with a
+/// message on failure.
+std::vector<CellResult> MustRun(const ExperimentConfig& config,
+                                bool verbose = true);
+
+/// Pivot-prints mean errors (log10) with one row per algorithm and one
+/// column per value of `column_of`. Columns appear in first-seen order.
+void PrintMeanPivot(const std::vector<CellResult>& results,
+                    const std::string& column_label,
+                    const std::string& (*column_of)(const CellResult&));
+
+/// Convenience column extractors (return stable references).
+const std::string& ColumnDataset(const CellResult& cell);
+const std::string& ColumnScale(const CellResult& cell);
+const std::string& ColumnDomain(const CellResult& cell);
+
+/// Dumps CSV if requested.
+void MaybeCsv(const std::vector<CellResult>& results, const Options& opts);
+
+}  // namespace bench
+}  // namespace dpbench
+
+#endif  // DPBENCH_BENCH_BENCH_COMMON_H_

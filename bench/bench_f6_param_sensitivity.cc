@@ -1,0 +1,114 @@
+// F6 — reproduces Finding 6: free-parameter sensitivity. For AHP, DAWA and
+// MWEM, evaluate parameter settings that are each optimal *somewhere*
+// (across scales/shapes) on the fixed scenario MEDCOST at scale 1e5, and
+// report the highest-to-lowest error ratio. The paper observes ~2.5x for
+// DAWA and ~7.5x for MWEM and AHP.
+#include <functional>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/algorithms/ahp.h"
+#include "src/algorithms/dawa.h"
+#include "src/algorithms/mwem.h"
+#include "src/data/datasets.h"
+#include "src/data/sampler.h"
+#include "src/engine/error.h"
+
+using namespace dpbench;
+
+namespace {
+
+double MeanErrorFor(const Mechanism& m, const DataVector& x,
+                    const Workload& w, double eps, int trials, Rng* rng) {
+  std::vector<double> truth = w.Evaluate(x);
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    RunContext ctx{x, w, eps, rng, {}};
+    ctx.side_info.true_scale = x.Scale();
+    auto est = m.Run(ctx);
+    if (!est.ok()) {
+      std::cerr << est.status().ToString() << "\n";
+      std::exit(1);
+    }
+    total += *ScaledL2PerQueryError(truth, w.Evaluate(*est), x.Scale());
+  }
+  return total / trials;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Options opts = bench::ParseOptions(argc, argv);
+  bench::PrintBanner("F6", "free-parameter sensitivity (MEDCOST @ 1e5)",
+                     opts);
+  const size_t domain = opts.full ? 4096 : 1024;
+  const int trials = opts.full ? 20 : 5;
+
+  Rng rng(opts.seed);
+  auto shape = DatasetRegistry::ShapeAtDomain("MEDCOST", domain);
+  if (!shape.ok()) return 1;
+  auto x = SampleAtScale(*shape, 100000, &rng);
+  if (!x.ok()) return 1;
+  Workload w = Workload::Prefix1D(domain);
+  const double eps = 0.1;
+
+  TextTable table({"algorithm", "setting", "mean error", "vs best"});
+  auto sweep = [&](const std::string& name,
+                   const std::vector<std::pair<
+                       std::string, std::function<double()>>>& settings) {
+    std::vector<std::pair<std::string, double>> errs;
+    double best = 1e300;
+    for (const auto& [label, run] : settings) {
+      double e = run();
+      errs.push_back({label, e});
+      best = std::min(best, e);
+    }
+    for (const auto& [label, e] : errs) {
+      table.AddRow({name, label, TextTable::Num(e),
+                    TextTable::Num(e / best)});
+    }
+    double worst = 0.0;
+    for (const auto& [label, e] : errs) worst = std::max(worst, e);
+    std::cout << name << ": worst/best parameter ratio = "
+              << TextTable::Num(worst / best) << "\n";
+  };
+
+  // MWEM: T values that are optimal at various signal regimes.
+  std::vector<std::pair<std::string, std::function<double()>>> mwem_set;
+  for (size_t t_rounds : {2u, 10u, 40u, 100u}) {
+    mwem_set.push_back({"T=" + std::to_string(t_rounds), [&, t_rounds] {
+                          MwemMechanism m(false, t_rounds);
+                          return MeanErrorFor(m, *x, w, eps, trials, &rng);
+                        }});
+  }
+  sweep("MWEM", mwem_set);
+
+  // AHP: (rho, eta) grid points that Rparam selects in some regime.
+  std::vector<std::pair<std::string, std::function<double()>>> ahp_set;
+  for (auto [rho, eta] : std::vector<std::pair<double, double>>{
+           {0.7, 2.0}, {0.5, 1.5}, {0.3, 1.0}, {0.15, 0.5}}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "rho=%.2f,eta=%.1f", rho, eta);
+    ahp_set.push_back({label, [&, rho, eta] {
+                         AhpMechanism m(false, rho, eta);
+                         return MeanErrorFor(m, *x, w, eps, trials, &rng);
+                       }});
+  }
+  sweep("AHP", ahp_set);
+
+  // DAWA: budget split rho.
+  std::vector<std::pair<std::string, std::function<double()>>> dawa_set;
+  for (double rho : {0.1, 0.25, 0.5, 0.7}) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "rho=%.2f", rho);
+    dawa_set.push_back({label, [&, rho] {
+                          DawaMechanism m(rho);
+                          return MeanErrorFor(m, *x, w, eps, trials, &rng);
+                        }});
+  }
+  sweep("DAWA", dawa_set);
+
+  std::cout << "\n";
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// F8 — reproduces Finding 8: risk-averse evaluation. Compares algorithm
+// rankings by mean error vs by 95th-percentile error and reports the
+// scenarios where the winner flips (DAWA's high variability means a risk
+// averse analyst sometimes prefers HB or UNIFORM).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/data/datasets.h"
+
+using namespace dpbench;
+
+int main(int argc, char** argv) {
+  bench::Options opts = bench::ParseOptions(argc, argv);
+  bench::PrintBanner("F8", "mean vs 95th-percentile ranking flips", opts);
+
+  ExperimentConfig c;
+  c.algorithms = {"IDENTITY", "HB", "DAWA", "MWEM*", "UNIFORM", "EFPA"};
+  c.epsilons = {0.1};
+  c.workload = WorkloadKind::kPrefix1D;
+  c.seed = opts.seed;
+  if (opts.full) {
+    for (const DatasetInfo& d : DatasetRegistry::All1D()) {
+      c.datasets.push_back(d.name);
+    }
+    c.scales = {1000, 100000, 10000000};
+    c.domain_sizes = {4096};
+    c.data_samples = 5;
+    c.runs_per_sample = 10;
+  } else {
+    c.datasets = {"ADULT",  "PATENT", "TRACE",    "MD-SAL",
+                  "SEARCH", "INCOME", "BIDS-ALL", "MEDCOST"};
+    c.scales = {1000, 10000, 100000};
+    c.domain_sizes = {512};
+    c.data_samples = 3;
+    c.runs_per_sample = 5;
+  }
+
+  std::vector<CellResult> results = bench::MustRun(c);
+
+  // For each (dataset, scale) find mean-best and p95-best algorithms.
+  struct Best {
+    std::string mean_algo;
+    double mean = 1e300;
+    std::string p95_algo;
+    double p95 = 1e300;
+  };
+  std::map<std::string, Best> best;
+  for (const CellResult& cell : results) {
+    std::string setting = cell.key.dataset + " @ " +
+                          std::to_string(cell.key.scale);
+    Best& b = best[setting];
+    if (cell.summary.mean < b.mean) {
+      b.mean = cell.summary.mean;
+      b.mean_algo = cell.key.algorithm;
+    }
+    if (cell.summary.p95 < b.p95) {
+      b.p95 = cell.summary.p95;
+      b.p95_algo = cell.key.algorithm;
+    }
+  }
+
+  TextTable table({"setting", "best by mean", "best by p95", "flip?"});
+  int flips = 0;
+  for (const auto& [setting, b] : best) {
+    bool flip = b.mean_algo != b.p95_algo;
+    flips += flip;
+    table.AddRow({setting, b.mean_algo, b.p95_algo, flip ? "YES" : ""});
+  }
+  table.Print(std::cout);
+  std::cout << "\n" << flips << " of " << best.size()
+            << " scenarios rank differently for a risk-averse analyst\n";
+  bench::MaybeCsv(results, opts);
+  return 0;
+}

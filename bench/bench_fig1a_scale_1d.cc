@@ -1,0 +1,71 @@
+// FIG1A — reproduces Figure 1a: 1D scaled error vs scale, eps = 0.1,
+// Prefix workload. Paper: domain 4096, scales {1e3, 1e5, 1e7}, 18 datasets.
+// The table reports per-algorithm mean log10 error per scale (the paper's
+// white diamonds); --csv adds per-dataset rows (the black dots).
+#include "bench/bench_common.h"
+#include "src/data/datasets.h"
+
+#include <iostream>
+
+using namespace dpbench;
+
+int main(int argc, char** argv) {
+  bench::Options opts = bench::ParseOptions(argc, argv);
+  bench::PrintBanner("FIG1A", "1D error vs scale (eps=0.1, Prefix)", opts);
+
+  ExperimentConfig c;
+  c.algorithms = {"IDENTITY", "HB",  "MWEM*",  "DAWA", "PHP", "MWEM",
+                  "EFPA",     "DPCUBE", "AHP*", "SF",   "UNIFORM"};
+  c.epsilons = {0.1};
+  c.workload = WorkloadKind::kPrefix1D;
+  c.seed = opts.seed;
+  if (opts.full) {
+    for (const DatasetInfo& d : DatasetRegistry::All1D()) {
+      c.datasets.push_back(d.name);
+    }
+    c.scales = {1000, 100000, 10000000};
+    c.domain_sizes = {4096};
+    c.data_samples = 5;
+    c.runs_per_sample = 10;
+  } else {
+    c.datasets = {"ADULT", "TRACE", "PATENT", "BIDS-ALL"};
+    c.scales = {1000, 100000, 10000000};
+    c.domain_sizes = {1024};
+    c.data_samples = 2;
+    c.runs_per_sample = 2;
+  }
+
+  std::vector<CellResult> results = bench::MustRun(c);
+
+  // Means over datasets per (algorithm, scale): the white diamonds.
+  std::map<std::pair<std::string, uint64_t>, std::pair<double, int>> agg;
+  for (const CellResult& cell : results) {
+    auto& [sum, count] = agg[{cell.key.algorithm, cell.key.scale}];
+    sum += cell.summary.mean;
+    count += 1;
+  }
+  TextTable table({"algorithm", "scale=1e3", "scale=1e5", "scale=1e7"});
+  for (const std::string& algo : c.algorithms) {
+    std::vector<std::string> row{algo};
+    for (uint64_t s : c.scales) {
+      auto it = agg.find({algo, s});
+      row.push_back(it == agg.end()
+                        ? "-"
+                        : TextTable::Num(std::log10(it->second.first /
+                                                    it->second.second)));
+    }
+    table.AddRow(row);
+  }
+  std::cout << "mean log10(scaled L2 per-query error), averaged over "
+            << c.datasets.size() << " datasets\n";
+  table.Print(std::cout);
+
+  std::cout << "\nper-dataset spread (black dots) at the smallest scale:\n";
+  std::vector<CellResult> small;
+  for (const CellResult& cell : results) {
+    if (cell.key.scale == c.scales.front()) small.push_back(cell);
+  }
+  bench::PrintMeanPivot(small, "dataset", bench::ColumnDataset);
+  bench::MaybeCsv(results, opts);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// FIG1B — reproduces Figure 1b: 2D scaled error vs scale, eps = 0.1,
+// 2000 random range queries. Paper: domain 128x128, scales
+// {1e4, 1e6, 1e8}, 9 datasets.
+#include "bench/bench_common.h"
+#include "src/data/datasets.h"
+
+#include <iostream>
+
+using namespace dpbench;
+
+int main(int argc, char** argv) {
+  bench::Options opts = bench::ParseOptions(argc, argv);
+  bench::PrintBanner("FIG1B",
+                     "2D error vs scale (eps=0.1, random ranges)", opts);
+
+  ExperimentConfig c;
+  c.algorithms = {"IDENTITY", "HB",    "AGRID",  "MWEM",   "MWEM*", "DAWA",
+                  "QUADTREE", "UGRID", "DPCUBE", "AHP",    "UNIFORM"};
+  c.epsilons = {0.1};
+  c.workload = WorkloadKind::kRandomRange2D;
+  c.seed = opts.seed;
+  if (opts.full) {
+    for (const DatasetInfo& d : DatasetRegistry::All2D()) {
+      c.datasets.push_back(d.name);
+    }
+    c.scales = {10000, 1000000, 100000000};
+    c.domain_sizes = {128};
+    c.random_queries = 2000;
+    c.data_samples = 5;
+    c.runs_per_sample = 10;
+  } else {
+    c.datasets = {"BJ-CABS-S", "ADULT-2D", "STROKE"};
+    c.scales = {10000, 1000000, 100000000};
+    c.domain_sizes = {64};
+    c.random_queries = 500;
+    c.data_samples = 2;
+    c.runs_per_sample = 2;
+  }
+
+  std::vector<CellResult> results = bench::MustRun(c);
+
+  std::map<std::pair<std::string, uint64_t>, std::pair<double, int>> agg;
+  for (const CellResult& cell : results) {
+    auto& [sum, count] = agg[{cell.key.algorithm, cell.key.scale}];
+    sum += cell.summary.mean;
+    count += 1;
+  }
+  TextTable table({"algorithm", "scale=1e4", "scale=1e6", "scale=1e8"});
+  for (const std::string& algo : c.algorithms) {
+    std::vector<std::string> row{algo};
+    for (uint64_t s : c.scales) {
+      auto it = agg.find({algo, s});
+      row.push_back(it == agg.end()
+                        ? "-"
+                        : TextTable::Num(std::log10(it->second.first /
+                                                    it->second.second)));
+    }
+    table.AddRow(row);
+  }
+  std::cout << "mean log10(scaled L2 per-query error), averaged over "
+            << c.datasets.size() << " datasets\n";
+  table.Print(std::cout);
+  bench::MaybeCsv(results, opts);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// FIG2A — reproduces Figure 2a: 1D error by dataset shape at fixed
+// scale 1e3 (paper: domain 4096). Shows how comparative algorithm
+// performance varies across shapes (Finding 3).
+#include "bench/bench_common.h"
+#include "src/data/datasets.h"
+
+#include <iostream>
+
+using namespace dpbench;
+
+int main(int argc, char** argv) {
+  bench::Options opts = bench::ParseOptions(argc, argv);
+  bench::PrintBanner("FIG2A", "1D error by shape (scale=1e3, eps=0.1)",
+                     opts);
+
+  ExperimentConfig c;
+  // The subset shown in the paper's Fig 2a.
+  c.algorithms = {"UNIFORM", "DAWA", "EFPA",  "HB",
+                  "MWEM",    "MWEM*", "PHP",  "IDENTITY"};
+  for (const DatasetInfo& d : DatasetRegistry::All1D()) {
+    c.datasets.push_back(d.name);
+  }
+  c.scales = {1000};
+  c.epsilons = {0.1};
+  c.workload = WorkloadKind::kPrefix1D;
+  c.seed = opts.seed;
+  if (opts.full) {
+    c.domain_sizes = {4096};
+    c.data_samples = 5;
+    c.runs_per_sample = 10;
+  } else {
+    c.domain_sizes = {1024};
+    c.data_samples = 2;
+    c.runs_per_sample = 2;
+  }
+
+  std::vector<CellResult> results = bench::MustRun(c);
+  std::cout << "log10(scaled error) per dataset (columns) and algorithm:\n";
+  bench::PrintMeanPivot(results, "dataset", bench::ColumnDataset);
+
+  // Which algorithm wins on each shape? (Finding 3: four different
+  // algorithms achieve lowest error on some shape.)
+  std::map<std::string, std::pair<std::string, double>> winner;
+  for (const CellResult& cell : results) {
+    auto it = winner.find(cell.key.dataset);
+    if (it == winner.end() || cell.summary.mean < it->second.second) {
+      winner[cell.key.dataset] = {cell.key.algorithm, cell.summary.mean};
+    }
+  }
+  TextTable table({"dataset", "best algorithm", "log10(err)"});
+  for (const auto& [ds, best] : winner) {
+    table.AddRow({ds, best.first, TextTable::Num(std::log10(best.second))});
+  }
+  table.Print(std::cout);
+  bench::MaybeCsv(results, opts);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// FIG2B — reproduces Figure 2b: 2D error by dataset shape at fixed
+// scale 1e4 (paper: domain 128x128).
+#include "bench/bench_common.h"
+#include "src/data/datasets.h"
+
+#include <iostream>
+
+using namespace dpbench;
+
+int main(int argc, char** argv) {
+  bench::Options opts = bench::ParseOptions(argc, argv);
+  bench::PrintBanner("FIG2B", "2D error by shape (scale=1e4, eps=0.1)",
+                     opts);
+
+  ExperimentConfig c;
+  c.algorithms = {"UNIFORM", "AGRID", "DAWA", "HB", "IDENTITY"};
+  for (const DatasetInfo& d : DatasetRegistry::All2D()) {
+    c.datasets.push_back(d.name);
+  }
+  c.scales = {10000};
+  c.epsilons = {0.1};
+  c.workload = WorkloadKind::kRandomRange2D;
+  c.seed = opts.seed;
+  if (opts.full) {
+    c.domain_sizes = {128};
+    c.random_queries = 2000;
+    c.data_samples = 5;
+    c.runs_per_sample = 10;
+  } else {
+    c.domain_sizes = {64};
+    c.random_queries = 500;
+    c.data_samples = 2;
+    c.runs_per_sample = 2;
+  }
+
+  std::vector<CellResult> results = bench::MustRun(c);
+  std::cout << "log10(scaled error) per dataset and algorithm:\n";
+  bench::PrintMeanPivot(results, "dataset", bench::ColumnDataset);
+  bench::MaybeCsv(results, opts);
+  return 0;
+}

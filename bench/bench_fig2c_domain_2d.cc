@@ -1,0 +1,50 @@
+// FIG2C — reproduces Figure 2c: effect of 2D domain size on error for two
+// shapes (ADULT-2D, BJ-CABS-E) at scales {1e4, 1e6}. Data-independent
+// algorithms degrade with domain size; AGRID stays nearly flat; DAWA's
+// behavior depends on the shape (Finding 4).
+#include "bench/bench_common.h"
+
+#include <iostream>
+
+using namespace dpbench;
+
+int main(int argc, char** argv) {
+  bench::Options opts = bench::ParseOptions(argc, argv);
+  bench::PrintBanner("FIG2C", "2D error vs domain size", opts);
+
+  ExperimentConfig c;
+  c.algorithms = {"IDENTITY", "HB", "AGRID", "DAWA", "UNIFORM"};
+  c.datasets = {"ADULT-2D", "BJ-CABS-E"};
+  c.epsilons = {0.1};
+  c.workload = WorkloadKind::kRandomRange2D;
+  c.seed = opts.seed;
+  if (opts.full) {
+    c.scales = {10000, 1000000};
+    c.domain_sizes = {32, 64, 128, 256};
+    c.random_queries = 2000;
+    c.data_samples = 5;
+    c.runs_per_sample = 10;
+  } else {
+    c.scales = {10000, 1000000};
+    c.domain_sizes = {32, 64, 128};
+    c.random_queries = 300;
+    c.data_samples = 1;
+    c.runs_per_sample = 3;
+  }
+
+  std::vector<CellResult> results = bench::MustRun(c);
+  for (const std::string& ds : c.datasets) {
+    for (uint64_t scale : c.scales) {
+      std::vector<CellResult> slice;
+      for (const CellResult& cell : results) {
+        if (cell.key.dataset == ds && cell.key.scale == scale) {
+          slice.push_back(cell);
+        }
+      }
+      std::cout << "dataset " << ds << ", scale " << scale << ":\n";
+      bench::PrintMeanPivot(slice, "domain side", bench::ColumnDomain);
+    }
+  }
+  bench::MaybeCsv(results, opts);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// MICRO — google-benchmark microbenchmarks: wall-clock cost of one run of
+// each algorithm at benchmark domain sizes (ours; the paper reports only
+// total compute, ~22 CPU-days for the full grid).
+#include <benchmark/benchmark.h>
+
+#include "src/algorithms/mechanism.h"
+#include "src/data/datasets.h"
+#include "src/data/sampler.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+namespace {
+
+const DataVector& Data1D() {
+  static const DataVector* x = [] {
+    Rng rng(1);
+    auto shape = DatasetRegistry::ShapeAtDomain("SEARCH", 1024);
+    return new DataVector(SampleAtScale(*shape, 100000, &rng).value());
+  }();
+  return *x;
+}
+
+const DataVector& Data2D() {
+  static const DataVector* x = [] {
+    Rng rng(2);
+    auto shape = DatasetRegistry::ShapeAtDomain("GOWALLA", 64);
+    return new DataVector(SampleAtScale(*shape, 100000, &rng).value());
+  }();
+  return *x;
+}
+
+const Workload& Prefix() {
+  static const Workload* w = new Workload(Workload::Prefix1D(1024));
+  return *w;
+}
+
+const Workload& Ranges2D() {
+  static const Workload* w =
+      new Workload(Workload::RandomRange(Domain::D2(64, 64), 500, 3));
+  return *w;
+}
+
+void RunAlgorithm(benchmark::State& state, const std::string& name,
+                  bool two_d) {
+  MechanismPtr m = MechanismRegistry::Get(name).value();
+  const DataVector& x = two_d ? Data2D() : Data1D();
+  const Workload& w = two_d ? Ranges2D() : Prefix();
+  Rng rng(42);
+  for (auto _ : state) {
+    RunContext ctx{x, w, 0.1, &rng, {}};
+    ctx.side_info.true_scale = x.Scale();
+    auto est = m->Run(ctx);
+    if (!est.ok()) state.SkipWithError(est.status().ToString().c_str());
+    benchmark::DoNotOptimize(est);
+  }
+}
+
+#define DPBENCH_MICRO_1D(NAME, ALGO)                        \
+  void BM_##NAME##_1D(benchmark::State& state) {            \
+    RunAlgorithm(state, ALGO, false);                       \
+  }                                                         \
+  BENCHMARK(BM_##NAME##_1D)->Unit(benchmark::kMillisecond)
+
+#define DPBENCH_MICRO_2D(NAME, ALGO)                        \
+  void BM_##NAME##_2D(benchmark::State& state) {            \
+    RunAlgorithm(state, ALGO, true);                        \
+  }                                                         \
+  BENCHMARK(BM_##NAME##_2D)->Unit(benchmark::kMillisecond)
+
+DPBENCH_MICRO_1D(Identity, "IDENTITY");
+DPBENCH_MICRO_1D(Privelet, "PRIVELET");
+DPBENCH_MICRO_1D(H, "H");
+DPBENCH_MICRO_1D(Hb, "HB");
+DPBENCH_MICRO_1D(GreedyH, "GREEDY_H");
+DPBENCH_MICRO_1D(Uniform, "UNIFORM");
+DPBENCH_MICRO_1D(Mwem, "MWEM");
+DPBENCH_MICRO_1D(MwemStar, "MWEM*");
+DPBENCH_MICRO_1D(Ahp, "AHP");
+DPBENCH_MICRO_1D(DpCube, "DPCUBE");
+DPBENCH_MICRO_1D(Dawa, "DAWA");
+DPBENCH_MICRO_1D(Php, "PHP");
+DPBENCH_MICRO_1D(Efpa, "EFPA");
+DPBENCH_MICRO_1D(Sf, "SF");
+
+DPBENCH_MICRO_2D(Identity2, "IDENTITY");
+DPBENCH_MICRO_2D(Hb2, "HB");
+DPBENCH_MICRO_2D(Dawa2, "DAWA");
+DPBENCH_MICRO_2D(Agrid, "AGRID");
+DPBENCH_MICRO_2D(Ugrid, "UGRID");
+DPBENCH_MICRO_2D(QuadTree, "QUADTREE");
+DPBENCH_MICRO_2D(HybridTree, "HYBRIDTREE");
+DPBENCH_MICRO_2D(DpCube2, "DPCUBE");
+
+}  // namespace
+}  // namespace dpbench
+
+BENCHMARK_MAIN();

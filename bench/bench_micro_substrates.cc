@@ -1,0 +1,119 @@
+// MICRO-SUB — google-benchmark microbenchmarks of the substrates the
+// algorithms are built on: FFT, Haar wavelets, Hilbert linearization, tree
+// GLS inference, multinomial sampling, workload evaluation, and the DAWA
+// partition DP. Useful for tracking performance regressions of the pieces
+// that dominate full-grid runtime.
+#include <benchmark/benchmark.h>
+
+#include "src/algorithms/dawa.h"
+#include "src/algorithms/privelet.h"
+#include "src/algorithms/tree_inference.h"
+#include "src/common/fft.h"
+#include "src/common/rng.h"
+#include "src/histogram/hilbert.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+namespace {
+
+std::vector<double> RandomCounts(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& v : out) v = static_cast<double>(rng.UniformInt(1000));
+  return out;
+}
+
+void BM_Fft(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> x = RandomCounts(n, 1);
+  for (auto _ : state) {
+    auto f = OrthonormalDft(x);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_Fft)->Arg(1024)->Arg(4096);
+
+void BM_HaarRoundTrip(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> x = RandomCounts(n, 2);
+  for (auto _ : state) {
+    auto back = wavelet::HaarInverse(wavelet::HaarForward(x));
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_HaarRoundTrip)->Arg(1024)->Arg(4096);
+
+void BM_HilbertLinearize(benchmark::State& state) {
+  size_t side = static_cast<size_t>(state.range(0));
+  DataVector x(Domain::D2(side, side), RandomCounts(side * side, 3));
+  for (auto _ : state) {
+    auto lin = HilbertLinearize(x);
+    benchmark::DoNotOptimize(lin);
+  }
+}
+BENCHMARK(BM_HilbertLinearize)->Arg(64)->Arg(256);
+
+void BM_TreeGls(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  RangeTree tree = RangeTree::Build(n, 2);
+  std::vector<double> y(tree.num_nodes(), 1.0);
+  std::vector<double> var(tree.num_nodes(), 2.0);
+  for (auto _ : state) {
+    auto est = tree.Infer(y, var);
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_TreeGls)->Arg(1024)->Arg(4096);
+
+void BM_Multinomial(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  uint64_t scale = static_cast<uint64_t>(state.range(1));
+  std::vector<double> p(n, 1.0);
+  Rng rng(4);
+  for (auto _ : state) {
+    auto counts = rng.Multinomial(scale, p);
+    benchmark::DoNotOptimize(counts);
+  }
+}
+BENCHMARK(BM_Multinomial)
+    ->Args({4096, 1000})
+    ->Args({4096, 100000000});
+
+void BM_PrefixWorkloadEval(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  DataVector x(Domain::D1(n), RandomCounts(n, 5));
+  Workload w = Workload::Prefix1D(n);
+  for (auto _ : state) {
+    auto y = w.Evaluate(x);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_PrefixWorkloadEval)->Arg(4096);
+
+void BM_RandomRange2DEval(benchmark::State& state) {
+  size_t side = static_cast<size_t>(state.range(0));
+  DataVector x(Domain::D2(side, side), RandomCounts(side * side, 6));
+  Workload w = Workload::RandomRange(x.domain(), 2000, 7);
+  for (auto _ : state) {
+    auto y = w.Evaluate(x);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_RandomRange2DEval)->Arg(128);
+
+void BM_DawaPartition(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> counts = RandomCounts(n, 8);
+  Rng rng(9);
+  for (auto _ : state) {
+    auto ends = dawa_internal::LeastCostPartition(counts, 0.025, 13.0,
+                                                  &rng);
+    benchmark::DoNotOptimize(ends);
+  }
+}
+BENCHMARK(BM_DawaPartition)->Arg(1024)->Arg(4096)->Arg(65536);
+
+}  // namespace
+}  // namespace dpbench
+
+BENCHMARK_MAIN();

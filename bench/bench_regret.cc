@@ -1,0 +1,99 @@
+// REGRET — reproduces the §7.2 state-of-the-art assessment: the regret of
+// always running one algorithm vs an oracle that picks the per-setting
+// best. The paper reports DAWA 1.32 (then HB 1.51) for 1D and DAWA 1.73
+// (then AGRID 1.90) for 2D.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/data/datasets.h"
+
+using namespace dpbench;
+
+namespace {
+
+void RunCase(const std::string& label, ExperimentConfig c,
+             const bench::Options& opts) {
+  std::vector<CellResult> results = bench::MustRun(c);
+  std::map<std::string, std::map<std::string, double>> mean_by_setting;
+  for (const CellResult& cell : results) {
+    std::string setting = cell.key.dataset + "/" +
+                          std::to_string(cell.key.scale);
+    mean_by_setting[setting][cell.key.algorithm] = cell.summary.mean;
+  }
+  auto regret = ComputeRegret(mean_by_setting);
+  if (!regret.ok()) {
+    std::cerr << regret.status().ToString() << "\n";
+    std::exit(1);
+  }
+  std::vector<std::pair<double, std::string>> ranked;
+  for (const auto& [algo, r] : *regret) ranked.push_back({r, algo});
+  std::sort(ranked.begin(), ranked.end());
+  TextTable table({"rank", "algorithm", "regret (geomean vs oracle)"});
+  int rank = 1;
+  for (const auto& [r, algo] : ranked) {
+    table.AddRow({std::to_string(rank++), algo, TextTable::Num(r)});
+  }
+  std::cout << label << "\n";
+  table.Print(std::cout);
+  std::cout << "\n";
+  bench::MaybeCsv(results, opts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Options opts = bench::ParseOptions(argc, argv);
+  bench::PrintBanner("REGRET", "single-algorithm regret vs oracle", opts);
+
+  {
+    ExperimentConfig c;
+    c.algorithms = {"IDENTITY", "HB",     "MWEM*", "DAWA", "PHP", "MWEM",
+                    "EFPA",     "DPCUBE", "AHP*",  "SF",   "UNIFORM"};
+    c.epsilons = {0.1};
+    c.workload = WorkloadKind::kPrefix1D;
+    c.seed = opts.seed;
+    if (opts.full) {
+      for (const DatasetInfo& d : DatasetRegistry::All1D()) {
+        c.datasets.push_back(d.name);
+      }
+      c.scales = {1000, 100000, 10000000};
+      c.domain_sizes = {4096};
+      c.data_samples = 3;
+      c.runs_per_sample = 5;
+    } else {
+      c.datasets = {"ADULT", "TRACE", "PATENT", "SEARCH", "MEDCOST"};
+      c.scales = {1000, 100000, 10000000};
+      c.domain_sizes = {1024};
+      c.data_samples = 2;
+      c.runs_per_sample = 3;
+    }
+    RunCase("1D regret (paper: DAWA 1.32, HB 1.51):", c, opts);
+  }
+  {
+    ExperimentConfig c;
+    c.algorithms = {"IDENTITY", "HB",    "AGRID",  "MWEM*", "DAWA",
+                    "QUADTREE", "UGRID", "DPCUBE", "UNIFORM"};
+    c.epsilons = {0.1};
+    c.workload = WorkloadKind::kRandomRange2D;
+    c.seed = opts.seed;
+    if (opts.full) {
+      for (const DatasetInfo& d : DatasetRegistry::All2D()) {
+        c.datasets.push_back(d.name);
+      }
+      c.scales = {10000, 1000000, 100000000};
+      c.domain_sizes = {128};
+      c.random_queries = 2000;
+      c.data_samples = 3;
+      c.runs_per_sample = 5;
+    } else {
+      c.datasets = {"BJ-CABS-S", "GOWALLA", "STROKE"};
+      c.scales = {10000, 1000000};
+      c.domain_sizes = {64};
+      c.random_queries = 400;
+      c.data_samples = 2;
+      c.runs_per_sample = 3;
+    }
+    RunCase("2D regret (paper: DAWA 1.73, AGRID 1.90):", c, opts);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// TAB3A — reproduces Table 3a: for each scale, the number of 1D datasets
+// on which each algorithm is competitive (lowest mean error or not
+// statistically distinguishable from it; Welch t-test with Bonferroni
+// correction, §5.3).
+#include "bench/bench_common.h"
+#include "src/data/datasets.h"
+#include "src/engine/stats.h"
+
+#include <iostream>
+
+using namespace dpbench;
+
+int main(int argc, char** argv) {
+  bench::Options opts = bench::ParseOptions(argc, argv);
+  bench::PrintBanner("TAB3A", "competitive algorithms per scale (1D)",
+                     opts);
+
+  ExperimentConfig c;
+  c.algorithms = {"IDENTITY", "HB",     "MWEM*", "DAWA", "PHP", "MWEM",
+                  "EFPA",     "DPCUBE", "AHP*",  "SF",   "UNIFORM"};
+  c.epsilons = {0.1};
+  c.workload = WorkloadKind::kPrefix1D;
+  c.seed = opts.seed;
+  if (opts.full) {
+    for (const DatasetInfo& d : DatasetRegistry::All1D()) {
+      c.datasets.push_back(d.name);
+    }
+    c.scales = {1000, 100000, 10000000};
+    c.domain_sizes = {4096};
+    c.data_samples = 5;
+    c.runs_per_sample = 10;
+  } else {
+    c.datasets = {"ADULT", "TRACE", "PATENT", "SEARCH", "MEDCOST",
+                  "BIDS-ALL"};
+    c.scales = {1000, 100000, 10000000};
+    c.domain_sizes = {1024};
+    c.data_samples = 2;
+    c.runs_per_sample = 4;
+  }
+
+  std::vector<CellResult> results = bench::MustRun(c);
+
+  // Count competitiveness per (algorithm, scale) across datasets.
+  std::map<std::pair<std::string, uint64_t>, int> wins;
+  std::map<std::pair<std::string, uint64_t>,
+           std::map<std::string, std::vector<double>>>
+      by_setting;
+  for (const CellResult& cell : results) {
+    by_setting[{cell.key.dataset, cell.key.scale}][cell.key.algorithm] =
+        cell.errors;
+  }
+  for (const auto& [setting, by_algo] : by_setting) {
+    auto competitive = CompetitiveSet(by_algo);
+    if (!competitive.ok()) continue;
+    for (const std::string& algo : *competitive) {
+      wins[{algo, setting.second}]++;
+    }
+  }
+
+  TextTable table({"algorithm", "10^3", "10^5", "10^7"});
+  for (const std::string& algo : c.algorithms) {
+    std::vector<std::string> row{algo};
+    for (uint64_t s : c.scales) {
+      auto it = wins.find({algo, s});
+      row.push_back(it == wins.end() ? "" : std::to_string(it->second));
+    }
+    table.AddRow(row);
+  }
+  std::cout << "number of datasets (of " << c.datasets.size()
+            << ") on which each algorithm is competitive:\n";
+  table.Print(std::cout);
+  bench::MaybeCsv(results, opts);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// TAB3B — reproduces Table 3b: competitive-count table for the 2D case.
+#include "bench/bench_common.h"
+#include "src/data/datasets.h"
+#include "src/engine/stats.h"
+
+#include <iostream>
+
+using namespace dpbench;
+
+int main(int argc, char** argv) {
+  bench::Options opts = bench::ParseOptions(argc, argv);
+  bench::PrintBanner("TAB3B", "competitive algorithms per scale (2D)",
+                     opts);
+
+  ExperimentConfig c;
+  c.algorithms = {"IDENTITY", "HB",    "AGRID",  "MWEM", "MWEM*", "DAWA",
+                  "QUADTREE", "UGRID", "DPCUBE", "AHP",  "UNIFORM"};
+  c.epsilons = {0.1};
+  c.workload = WorkloadKind::kRandomRange2D;
+  c.seed = opts.seed;
+  if (opts.full) {
+    for (const DatasetInfo& d : DatasetRegistry::All2D()) {
+      c.datasets.push_back(d.name);
+    }
+    c.scales = {10000, 1000000, 100000000};
+    c.domain_sizes = {128};
+    c.random_queries = 2000;
+    c.data_samples = 5;
+    c.runs_per_sample = 10;
+  } else {
+    c.datasets = {"BJ-CABS-S", "GOWALLA", "ADULT-2D", "SF-CABS-E",
+                  "STROKE"};
+    c.scales = {10000, 1000000, 100000000};
+    c.domain_sizes = {64};
+    c.random_queries = 400;
+    c.data_samples = 2;
+    c.runs_per_sample = 3;
+  }
+
+  std::vector<CellResult> results = bench::MustRun(c);
+
+  std::map<std::pair<std::string, uint64_t>, int> wins;
+  std::map<std::pair<std::string, uint64_t>,
+           std::map<std::string, std::vector<double>>>
+      by_setting;
+  for (const CellResult& cell : results) {
+    by_setting[{cell.key.dataset, cell.key.scale}][cell.key.algorithm] =
+        cell.errors;
+  }
+  for (const auto& [setting, by_algo] : by_setting) {
+    auto competitive = CompetitiveSet(by_algo);
+    if (!competitive.ok()) continue;
+    for (const std::string& algo : *competitive) {
+      wins[{algo, setting.second}]++;
+    }
+  }
+
+  TextTable table({"algorithm", "10^4", "10^6", "10^8"});
+  for (const std::string& algo : c.algorithms) {
+    std::vector<std::string> row{algo};
+    for (uint64_t s : c.scales) {
+      auto it = wins.find({algo, s});
+      row.push_back(it == wins.end() ? "" : std::to_string(it->second));
+    }
+    table.AddRow(row);
+  }
+  std::cout << "number of datasets (of " << c.datasets.size()
+            << ") on which each algorithm is competitive:\n";
+  table.Print(std::cout);
+  bench::MaybeCsv(results, opts);
+  return 0;
+}

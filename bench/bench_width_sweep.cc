@@ -1,0 +1,64 @@
+// WIDTH — error vs query width (ours): fixed-width range workloads expose
+// the hierarchy/identity crossover the paper describes analytically in
+// §3.1 — identity noise grows linearly with query width while hierarchies
+// pay only a logarithmic number of nodes, and partitioning algorithms sit
+// between depending on shape.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/algorithms/mechanism.h"
+#include "src/data/datasets.h"
+#include "src/data/sampler.h"
+#include "src/engine/error.h"
+
+using namespace dpbench;
+
+int main(int argc, char** argv) {
+  bench::Options opts = bench::ParseOptions(argc, argv);
+  bench::PrintBanner("WIDTH", "error vs fixed query width", opts);
+
+  const size_t n = opts.full ? 4096 : 1024;
+  const int trials = opts.full ? 20 : 8;
+  const double eps = 0.1;
+  Rng rng(opts.seed);
+  auto shape = DatasetRegistry::ShapeAtDomain("INCOME", n);
+  if (!shape.ok()) return 1;
+  auto x = SampleAtScale(*shape, 100000, &rng);
+  if (!x.ok()) return 1;
+
+  const std::vector<size_t> widths = {1, 8, 64, 512};
+  const std::vector<std::string> algorithms = {"IDENTITY", "HB", "DAWA",
+                                               "UNIFORM"};
+
+  std::vector<std::string> header{"algorithm"};
+  for (size_t wdt : widths) header.push_back("w=" + std::to_string(wdt));
+  TextTable table(header);
+
+  for (const std::string& name : algorithms) {
+    auto mech = MechanismRegistry::Get(name).value();
+    std::vector<std::string> row{name};
+    for (size_t width : widths) {
+      Workload w = Workload::FixedWidth1D(n, width);
+      std::vector<double> truth = w.Evaluate(*x);
+      double err = 0.0;
+      for (int t = 0; t < trials; ++t) {
+        RunContext ctx{*x, w, eps, &rng, {}};
+        ctx.side_info.true_scale = x->Scale();
+        auto est = mech->Run(ctx);
+        if (!est.ok()) {
+          std::cerr << est.status().ToString() << "\n";
+          return 1;
+        }
+        err += *ScaledL2PerQueryError(truth, w.Evaluate(*est), x->Scale()) /
+               trials;
+      }
+      row.push_back(TextTable::Num(std::log10(err)));
+    }
+    table.AddRow(row);
+  }
+  std::cout << "log10(scaled error) by query width (INCOME @ 1e5, domain "
+            << n << ", eps 0.1).\nIDENTITY degrades with width; HB stays "
+               "nearly flat (the paper's §3.1 analysis).\n\n";
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Rparam in action (paper §5.2, §6.4): learn MWEM's round count T on
+// *synthetic* training shapes (power-law + normal) so that the deployed
+// algorithm has no free parameters (Principle 6). This program regenerates
+// the schedule compiled into MwemMechanism::TunedRounds and prints the
+// error improvement it buys (Finding 7).
+#include <iostream>
+
+#include "src/algorithms/mwem.h"
+#include "src/data/datasets.h"
+#include "src/data/sampler.h"
+#include "src/engine/error.h"
+#include "src/engine/report.h"
+#include "src/engine/tuner.h"
+#include "src/workload/workload.h"
+
+using namespace dpbench;
+
+int main() {
+  // 1. Learn T per eps*scale regime on held-out synthetic shapes.
+  TunerConfig config;
+  for (double t : {2, 5, 10, 20, 40, 70, 100}) config.candidates.push_back({t});
+  config.products = {1e2, 1e3, 1e4, 1e5};
+  config.epsilon = 0.1;
+  config.trials = 2;
+  config.domain_size = 256;
+
+  auto run_mwem = [](const ParamVector& theta, const DataVector& data,
+                     double eps, Rng* rng) -> Result<double> {
+    MwemMechanism m(false, static_cast<size_t>(theta[0]));
+    Workload w = Workload::Prefix1D(data.size());
+    RunContext ctx{data, w, eps, rng, {}};
+    ctx.side_info.true_scale = data.Scale();
+    DPB_ASSIGN_OR_RETURN(DataVector est, m.Run(ctx));
+    return WorkloadError(w, data, est);
+  };
+
+  std::cout << "learning T on synthetic power-law/normal shapes...\n";
+  auto schedule = LearnSchedule(config, run_mwem);
+  if (!schedule.ok()) {
+    std::cerr << schedule.status().ToString() << "\n";
+    return 1;
+  }
+  TextTable learned({"eps*scale >=", "best T", "training error"});
+  for (const ScheduleEntry& e : *schedule) {
+    learned.AddRow({TextTable::Num(e.min_product),
+                    TextTable::Num(e.theta[0]),
+                    TextTable::Num(e.mean_error)});
+  }
+  learned.Print(std::cout);
+
+  // 2. Evaluate default-T MWEM vs the compiled tuned schedule on real
+  // benchmark shapes (never used in training).
+  std::cout << "\nMWEM (T=10) vs MWEM* on held-out benchmark datasets:\n";
+  Rng rng(5);
+  TextTable eval({"dataset", "scale", "MWEM err", "MWEM* err", "ratio"});
+  for (uint64_t scale : {uint64_t{1000}, uint64_t{1000000}}) {
+    for (const char* ds : {"ADULT", "SEARCH"}) {
+      DataVector shape = DatasetRegistry::ShapeAtDomain(ds, 256).value();
+      DataVector data = SampleAtScale(shape, scale, &rng).value();
+      Workload w = Workload::Prefix1D(256);
+      auto mean_err = [&](const MwemMechanism& m) {
+        double err = 0.0;
+        const int trials = 3;
+        for (int t = 0; t < trials; ++t) {
+          RunContext ctx{data, w, 0.1, &rng, {}};
+          ctx.side_info.true_scale = data.Scale();
+          err += WorkloadError(w, data, m.Run(ctx).value()).value() /
+                 trials;
+        }
+        return err;
+      };
+      double base = mean_err(MwemMechanism(false, 10));
+      double tuned = mean_err(MwemMechanism(true));
+      eval.AddRow({ds, std::to_string(scale), TextTable::Num(base),
+                   TextTable::Num(tuned), TextTable::Num(base / tuned)});
+    }
+  }
+  eval.Print(std::cout);
+  std::cout << "\nThe paper's Finding 7: ratios near 1 at small scale,\n"
+               "growing to ~28x at scale 1e8 (T=10 starves MWEM).\n";
+  return 0;
+}

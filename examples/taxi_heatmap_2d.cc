@@ -1,0 +1,52 @@
+// Spatial scenario: publish a private 2D heatmap of taxi pickups (the
+// BJ-CABS workload from the paper) and answer arbitrary rectangular
+// region counts. Compares the spatial specialists (AGRID, UGRID,
+// QUADTREE) with DAWA-via-Hilbert and the baselines.
+#include <iostream>
+
+#include "src/algorithms/mechanism.h"
+#include "src/data/datasets.h"
+#include "src/data/sampler.h"
+#include "src/engine/error.h"
+#include "src/engine/report.h"
+#include "src/workload/workload.h"
+
+using namespace dpbench;
+
+int main() {
+  Rng rng(88);
+  const double epsilon = 0.1;
+  const size_t side = 64;
+
+  DataVector shape =
+      DatasetRegistry::ShapeAtDomain("BJ-CABS-S", side).value();
+  DataVector data = SampleAtScale(shape, 1000000, &rng).value();
+  std::cout << "taxi pickups: " << data.domain().ToString() << " grid, "
+            << data.Scale() << " trips\n\n";
+
+  Workload workload = Workload::RandomRange(data.domain(), 1000, 5);
+  std::vector<double> truth = workload.Evaluate(data);
+
+  TextTable table({"algorithm", "scaled error", "example region"});
+  RangeQuery downtown = RangeQuery::D2(side / 2 - 4, side / 2 + 4,
+                                       side / 2 - 4, side / 2 + 4);
+  double true_downtown = downtown.Evaluate(data);
+
+  for (const char* name :
+       {"UNIFORM", "IDENTITY", "HB", "QUADTREE", "UGRID", "AGRID", "DAWA"}) {
+    MechanismPtr m = MechanismRegistry::Get(name).value();
+    RunContext ctx{data, workload, epsilon, &rng, {}};
+    ctx.side_info.true_scale = data.Scale();
+    DataVector est = m->Run(ctx).value();
+    double err = *ScaledL2PerQueryError(truth, workload.Evaluate(est),
+                                        data.Scale());
+    table.AddRow({name, TextTable::Num(err),
+                  TextTable::Num(downtown.Evaluate(est))});
+  }
+  std::cout << "downtown region true count: " << true_downtown << "\n";
+  table.Print(std::cout);
+  std::cout << "\nPaper guidance (§8): AGRID consistently beats data-\n"
+               "independent methods in 2D; DAWA can win on very sparse "
+               "data.\n";
+  return 0;
+}

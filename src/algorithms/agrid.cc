@@ -1,0 +1,113 @@
+#include "src/algorithms/agrid.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "src/mechanisms/budget.h"
+#include "src/mechanisms/laplace.h"
+
+namespace dpbench {
+
+size_t AGridMechanism::CoarseGridSize(double scale, double epsilon,
+                                      double c) {
+  double m = std::sqrt(std::max(scale, 0.0) * epsilon / c) / 2.0;
+  return std::max<size_t>(10, static_cast<size_t>(std::ceil(m)));
+}
+
+size_t AGridMechanism::FineGridSize(double noisy_count, double eps2,
+                                    double c2) {
+  if (noisy_count <= 0.0) return 1;
+  double m = std::sqrt(noisy_count * eps2 / c2);
+  return std::max<size_t>(1, static_cast<size_t>(std::ceil(m)));
+}
+
+Result<DataVector> AGridMechanism::Run(const RunContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckContext(ctx));
+  const Domain& domain = ctx.data.domain();
+  size_t rows = domain.size(0), cols = domain.size(1);
+
+  BudgetAccountant budget(ctx.epsilon);
+  double scale;
+  double eps_work = ctx.epsilon;
+  if (ctx.side_info.true_scale.has_value()) {
+    scale = *ctx.side_info.true_scale;
+  } else {
+    double rho_total = 0.05 * ctx.epsilon;
+    DPB_RETURN_NOT_OK(budget.Spend(rho_total, "scale-estimate"));
+    DPB_ASSIGN_OR_RETURN(
+        scale, LaplaceMechanismScalar(ctx.data.Scale(), 1.0, rho_total,
+                                      ctx.rng));
+    scale = std::max(scale, 1.0);
+    eps_work = budget.remaining();
+  }
+  double eps1 = rho_ * eps_work;
+  double eps2 = eps_work - eps1;
+  DPB_RETURN_NOT_OK(budget.Spend(eps1, "level1"));
+  DPB_RETURN_NOT_OK(budget.Spend(eps2, "level2"));
+
+  size_t m1 = CoarseGridSize(scale, eps_work, c_);
+  m1 = std::min({m1, rows, cols});
+  m1 = std::max<size_t>(m1, 1);
+
+  PrefixSums ps(ctx.data);
+  DataVector out(domain);
+  double var1 = LaplaceVariance(1.0, eps1);
+  double var2 = LaplaceVariance(1.0, eps2);
+
+  auto row_lo = [&](size_t g) { return g * rows / m1; };
+  auto col_lo = [&](size_t g) { return g * cols / m1; };
+  for (size_t gr = 0; gr < m1; ++gr) {
+    size_t r0 = row_lo(gr), r1 = row_lo(gr + 1) - 1;
+    for (size_t gc = 0; gc < m1; ++gc) {
+      size_t c0 = col_lo(gc), c1 = col_lo(gc + 1) - 1;
+      double truth1 = ps.RangeSum({r0, c0}, {r1, c1});
+      double noisy1 = truth1 + ctx.rng->Laplace(1.0 / eps1);
+
+      // Level-2 subdivision sized by the noisy level-1 count.
+      size_t side_r = r1 - r0 + 1, side_c = c1 - c0 + 1;
+      size_t m2 = FineGridSize(noisy1, eps2, c2_);
+      m2 = std::min({m2, side_r, side_c});
+      m2 = std::max<size_t>(m2, 1);
+
+      // Measure the m2 x m2 sub-cells.
+      std::vector<double> sub(m2 * m2, 0.0);
+      std::vector<std::array<size_t, 4>> bounds(m2 * m2);
+      double sub_sum = 0.0;
+      for (size_t sr = 0; sr < m2; ++sr) {
+        size_t rr0 = r0 + sr * side_r / m2;
+        size_t rr1 = r0 + (sr + 1) * side_r / m2 - 1;
+        for (size_t sc = 0; sc < m2; ++sc) {
+          size_t cc0 = c0 + sc * side_c / m2;
+          size_t cc1 = c0 + (sc + 1) * side_c / m2 - 1;
+          double t = ps.RangeSum({rr0, cc0}, {rr1, cc1});
+          double v = t + ctx.rng->Laplace(1.0 / eps2);
+          sub[sr * m2 + sc] = v;
+          bounds[sr * m2 + sc] = {rr0, rr1, cc0, cc1};
+          sub_sum += v;
+        }
+      }
+
+      // Two-level GLS: reconcile the level-1 measurement with the sum of
+      // level-2 measurements, then distribute the residual equally.
+      double cells2 = static_cast<double>(m2 * m2);
+      double w1 = 1.0 / var1, w2 = 1.0 / (cells2 * var2);
+      double combined = (noisy1 * w1 + sub_sum * w2) / (w1 + w2);
+      double residual = (combined - sub_sum) / cells2;
+
+      for (size_t s = 0; s < m2 * m2; ++s) {
+        double v = sub[s] + residual;
+        auto [rr0, rr1, cc0, cc1] = bounds[s];
+        double area = static_cast<double>((rr1 - rr0 + 1) * (cc1 - cc0 + 1));
+        for (size_t r = rr0; r <= rr1; ++r) {
+          for (size_t c = cc0; c <= cc1; ++c) {
+            out[r * cols + c] = v / area;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dpbench

@@ -1,0 +1,40 @@
+// AGRID (Qardaji, Yang, Li ICDE'13): adaptive two-level grid for 2D data.
+//
+// Level 1: a coarse m1 x m1 equi-width grid sized from the dataset scale,
+// measured with rho*eps. Level 2: each coarse cell is subdivided into an
+// m2 x m2 grid sized from its *noisy* level-1 count and measured with
+// (1-rho)*eps; level-2 counts are reconciled with the level-1 measurement
+// by GLS and spread uniformly within the finest cells.
+#ifndef DPBENCH_ALGORITHMS_AGRID_H_
+#define DPBENCH_ALGORITHMS_AGRID_H_
+
+#include "src/algorithms/mechanism.h"
+
+namespace dpbench {
+
+class AGridMechanism : public Mechanism {
+ public:
+  /// Table 1 parameters: c = 10, c2 = 5, rho = 0.5.
+  explicit AGridMechanism(double c = 10.0, double c2 = 5.0, double rho = 0.5)
+      : c_(c), c2_(c2), rho_(rho) {}
+
+  std::string name() const override { return "AGRID"; }
+  bool SupportsDims(size_t dims) const override { return dims == 2; }
+  bool uses_side_info() const override { return true; }
+  Result<DataVector> Run(const RunContext& ctx) const override;
+
+  /// Coarse grid rule m1 = max(10, ceil(sqrt(N*eps/c)/2)).
+  static size_t CoarseGridSize(double scale, double epsilon, double c);
+
+  /// Fine grid rule m2 = ceil(sqrt(noisy_count*eps2/c2)).
+  static size_t FineGridSize(double noisy_count, double eps2, double c2);
+
+ private:
+  double c_;
+  double c2_;
+  double rho_;
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ALGORITHMS_AGRID_H_

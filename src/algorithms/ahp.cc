@@ -1,0 +1,101 @@
+#include "src/algorithms/ahp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/mechanisms/budget.h"
+#include "src/mechanisms/laplace.h"
+
+namespace dpbench {
+
+std::pair<double, double> AhpMechanism::TunedParams(
+    double eps_scale_product) {
+  // Low signal: spend more on clustering and threshold aggressively (noise
+  // dominates); high signal: spend more on counting and keep fine structure.
+  const double p = eps_scale_product;
+  if (p < 500) return {0.7, 2.0};
+  if (p < 5e4) return {0.5, 1.5};
+  if (p < 5e6) return {0.3, 1.0};
+  return {0.15, 0.5};
+}
+
+Result<DataVector> AhpMechanism::Run(const RunContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckContext(ctx));
+  const Domain& domain = ctx.data.domain();
+  const size_t n = ctx.data.size();
+
+  double rho = rho_, eta = eta_;
+  BudgetAccountant budget(ctx.epsilon);
+  if (tuned_) {
+    // AHP*: estimate scale with 5% of the budget to select parameters.
+    double rho_total = 0.05 * ctx.epsilon;
+    DPB_RETURN_NOT_OK(budget.Spend(rho_total, "scale-estimate"));
+    DPB_ASSIGN_OR_RETURN(
+        double noisy_scale,
+        LaplaceMechanismScalar(ctx.data.Scale(), 1.0, rho_total, ctx.rng));
+    noisy_scale = std::max(noisy_scale, 1.0);
+    std::tie(rho, eta) = TunedParams(ctx.epsilon * noisy_scale);
+  }
+  double eps1 = rho * budget.remaining();
+  double eps2 = budget.remaining() - eps1;
+  DPB_RETURN_NOT_OK(budget.Spend(eps1, "partition"));
+  DPB_RETURN_NOT_OK(budget.Spend(eps2, "measure"));
+
+  // Step 1: noisy counts, thresholding, sort, greedy clustering.
+  DPB_ASSIGN_OR_RETURN(
+      std::vector<double> noisy,
+      LaplaceMechanism(ctx.data.counts(), 1.0, eps1, ctx.rng));
+  double threshold =
+      eta * std::sqrt(std::log(static_cast<double>(std::max<size_t>(n, 2)))) /
+      eps1;
+  for (double& v : noisy) {
+    if (v < threshold) v = 0.0;
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return noisy[a] > noisy[b]; });
+
+  // Greedy clustering over the sorted sequence: extend the current cluster
+  // while the next value stays within the noise tolerance of the cluster
+  // mean; otherwise close it. Zeroed cells inevitably pool into one big
+  // cluster at the end.
+  double tolerance = 2.0 / eps2;
+  std::vector<std::vector<size_t>> clusters;
+  std::vector<size_t> current;
+  double cur_sum = 0.0;
+  for (size_t rank = 0; rank < n; ++rank) {
+    size_t cell = order[rank];
+    double v = noisy[cell];
+    if (current.empty()) {
+      current.push_back(cell);
+      cur_sum = v;
+      continue;
+    }
+    double mean = cur_sum / static_cast<double>(current.size());
+    if (std::abs(v - mean) <= tolerance) {
+      current.push_back(cell);
+      cur_sum += v;
+    } else {
+      clusters.push_back(std::move(current));
+      current = {cell};
+      cur_sum = v;
+    }
+  }
+  if (!current.empty()) clusters.push_back(std::move(current));
+
+  // Step 2: fresh Laplace per cluster total, spread uniformly.
+  DataVector out(domain);
+  for (const std::vector<size_t>& cluster : clusters) {
+    double truth = 0.0;
+    for (size_t cell : cluster) truth += ctx.data[cell];
+    DPB_ASSIGN_OR_RETURN(double measured,
+                         LaplaceMechanismScalar(truth, 1.0, eps2, ctx.rng));
+    double per_cell = measured / static_cast<double>(cluster.size());
+    for (size_t cell : cluster) out[cell] = per_cell;
+  }
+  return out;
+}
+
+}  // namespace dpbench

@@ -1,0 +1,56 @@
+// DAWA (Li, Hay, Miklau PVLDB'14): Data- and Workload-Aware algorithm.
+//
+// Stage 1 (budget rho*eps): compute a least-cost partition of the 1D domain
+// by dynamic programming over interval costs evaluated on a noisy view of
+// the data (one Laplace(1/eps1) draw per cell, parallel composition), with
+// a bias correction for the deviation the noise itself contributes.
+// Candidate intervals are restricted to aligned power-of-two lengths (the
+// paper's O(n log n) candidate set); the cost of a bucket is its corrected
+// L1 deviation from the bucket mean plus the expected noise of one bucket
+// measurement.
+//
+// Stage 2 (budget (1-rho)*eps): measure the bucket histogram with GREEDY_H
+// (workload-aware hierarchical strategy) and spread bucket estimates
+// uniformly across their cells.
+//
+// 2D inputs are Hilbert-linearized first (paper App. B).
+#ifndef DPBENCH_ALGORITHMS_DAWA_H_
+#define DPBENCH_ALGORITHMS_DAWA_H_
+
+#include "src/algorithms/mechanism.h"
+
+namespace dpbench {
+
+class DawaMechanism : public Mechanism {
+ public:
+  /// Parameters follow Table 1: rho = 0.25, branching b = 2.
+  explicit DawaMechanism(double rho = 0.25, size_t branching = 2)
+      : rho_(rho), branching_(branching) {}
+
+  std::string name() const override { return "DAWA"; }
+  bool SupportsDims(size_t dims) const override {
+    return dims == 1 || dims == 2;
+  }
+  Result<DataVector> Run(const RunContext& ctx) const override;
+
+ private:
+  double rho_;
+  size_t branching_;
+};
+
+namespace dawa_internal {
+
+/// Computes the least-cost partition of `counts` by DP over noisy
+/// dyadic-length interval costs. Returns bucket end positions (exclusive):
+/// buckets are [ends[i-1], ends[i]). `bucket_noise_cost` is the penalty per
+/// bucket (expected absolute measurement error in stage 2); `eps1 <= 0`
+/// disables noise (used in tests to verify the DP).
+std::vector<size_t> LeastCostPartition(const std::vector<double>& counts,
+                                       double eps1, double bucket_noise_cost,
+                                       Rng* rng);
+
+}  // namespace dawa_internal
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ALGORITHMS_DAWA_H_

@@ -1,0 +1,34 @@
+// DPCUBE (Xiao, Xiong, Fan, Goryczka, Li TDP'14): two-phase kd-tree
+// partitioning.
+//
+// Phase 1 (budget rho*eps): noisy counts for every cell, then a standard
+// (non-private, post-processing) kd-tree is built over the noisy counts,
+// splitting regions until they look uniform or reach a minimum size.
+// Phase 2 (budget (1-rho)*eps): fresh noisy counts for each leaf region;
+// the two observations of each region are combined by inverse variance and
+// spread uniformly across the leaf.
+#ifndef DPBENCH_ALGORITHMS_DPCUBE_H_
+#define DPBENCH_ALGORITHMS_DPCUBE_H_
+
+#include "src/algorithms/mechanism.h"
+
+namespace dpbench {
+
+class DpCubeMechanism : public Mechanism {
+ public:
+  /// Parameters follow Table 1: rho = 0.5, minimum partition size np = 10.
+  explicit DpCubeMechanism(double rho = 0.5, size_t min_partition_cells = 10)
+      : rho_(rho), min_cells_(min_partition_cells) {}
+
+  std::string name() const override { return "DPCUBE"; }
+  bool SupportsDims(size_t) const override { return true; }
+  Result<DataVector> Run(const RunContext& ctx) const override;
+
+ private:
+  double rho_;
+  size_t min_cells_;
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ALGORITHMS_DPCUBE_H_

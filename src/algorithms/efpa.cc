@@ -1,0 +1,79 @@
+#include "src/algorithms/efpa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "src/common/fft.h"
+#include "src/common/math.h"
+#include "src/mechanisms/budget.h"
+#include "src/mechanisms/exponential.h"
+
+namespace dpbench {
+
+Result<DataVector> EfpaMechanism::Run(const RunContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckContext(ctx));
+  const size_t true_n = ctx.data.size();
+
+  // Pad to a power of two for the FFT (padding is public geometry).
+  std::vector<double> x = ctx.data.counts();
+  x.resize(NextPowerOfTwo(true_n), 0.0);
+  const size_t n = x.size();
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+
+  BudgetAccountant budget(ctx.epsilon);
+  double eps1 = ctx.epsilon / 2.0;
+  double eps2 = ctx.epsilon - eps1;
+  DPB_RETURN_NOT_OK(budget.Spend(eps1, "select-k"));
+  DPB_RETURN_NOT_OK(budget.Spend(eps2, "perturb"));
+
+  std::vector<std::complex<double>> f = OrthonormalDft(x);
+
+  // Frequencies ordered from lowest to highest absolute frequency:
+  // 0, 1, n-1, 2, n-2, ... so retaining a prefix keeps conjugate pairs
+  // together and the reconstruction stays (nearly) real.
+  std::vector<size_t> freq_order;
+  freq_order.reserve(n);
+  freq_order.push_back(0);
+  for (size_t j = 1; j <= n / 2; ++j) {
+    freq_order.push_back(j);
+    if (j != n - j) freq_order.push_back(n - j);
+  }
+
+  // Tail energy after keeping the first k ordered coefficients.
+  std::vector<double> suffix_energy(n + 1, 0.0);
+  for (size_t k = n; k-- > 0;) {
+    double mag = std::abs(f[freq_order[k]]);
+    suffix_energy[k] = suffix_energy[k + 1] + mag * mag;
+  }
+
+  // Score(k): negative expected L2 reconstruction error. Retaining k
+  // complex coefficients costs 2k Laplace draws at scale
+  // lambda_k = sqrt(2) * k / (sqrt(n) * eps2)  (L1 sensitivity of the k
+  // retained complex coefficients is at most sqrt(2) k / sqrt(n)).
+  std::vector<double> scores(n);
+  for (size_t k = 1; k <= n; ++k) {
+    double lambda = std::sqrt(2.0) * static_cast<double>(k) /
+                    (sqrt_n * eps2);
+    double noise_energy = 4.0 * static_cast<double>(k) * lambda * lambda;
+    scores[k - 1] = -std::sqrt(suffix_energy[k] + noise_energy);
+  }
+  DPB_ASSIGN_OR_RETURN(size_t pick,
+                       ExponentialMechanism(scores, /*sensitivity=*/2.0,
+                                            eps1, ctx.rng));
+  size_t k = pick + 1;
+
+  // Perturb the k retained coefficients; zero the rest.
+  double lambda = std::sqrt(2.0) * static_cast<double>(k) / (sqrt_n * eps2);
+  std::vector<std::complex<double>> kept(n, {0.0, 0.0});
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = freq_order[i];
+    kept[j] = f[j] + std::complex<double>(ctx.rng->Laplace(lambda),
+                                          ctx.rng->Laplace(lambda));
+  }
+  std::vector<double> rec = OrthonormalIdftReal(kept);
+  rec.resize(true_n);
+  return DataVector(ctx.data.domain(), std::move(rec));
+}
+
+}  // namespace dpbench

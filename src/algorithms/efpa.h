@@ -1,0 +1,26 @@
+// EFPA (Ács, Castelluccia, Chen ICDM'12): Enhanced Fourier Perturbation.
+//
+// Takes the orthonormal DFT of the 1D data vector, privately chooses how
+// many leading coefficients k to keep (exponential mechanism with the
+// expected-reconstruction-error score: tail energy dropped plus Laplace
+// noise added to the retained coefficients), perturbs the k retained
+// complex coefficients, zeroes the rest and inverts. Consistent: as
+// eps -> inf the mechanism keeps all coefficients and noise vanishes
+// (paper Theorem 2).
+#ifndef DPBENCH_ALGORITHMS_EFPA_H_
+#define DPBENCH_ALGORITHMS_EFPA_H_
+
+#include "src/algorithms/mechanism.h"
+
+namespace dpbench {
+
+class EfpaMechanism : public Mechanism {
+ public:
+  std::string name() const override { return "EFPA"; }
+  bool SupportsDims(size_t dims) const override { return dims == 1; }
+  Result<DataVector> Run(const RunContext& ctx) const override;
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ALGORITHMS_EFPA_H_

@@ -1,0 +1,148 @@
+#include "src/algorithms/hb.h"
+
+#include <cmath>
+
+#include "src/algorithms/hier.h"
+#include "src/algorithms/tree_inference.h"
+#include "src/common/logging.h"
+#include "src/mechanisms/laplace.h"
+
+namespace dpbench {
+
+namespace {
+
+// Height (number of levels below the root inclusive of leaves) of a b-ary
+// hierarchy over n cells.
+int HeightFor(size_t n, size_t b) {
+  int h = 0;
+  size_t cover = 1;
+  while (cover < n) {
+    cover *= b;
+    ++h;
+  }
+  return std::max(h, 1);
+}
+
+// 2D grid hierarchy: nodes are rectangles; each split divides both sides
+// into up to b parts. Leaves are single cells.
+struct GridNode {
+  size_t r0, r1, c0, c1;  // inclusive
+  std::vector<size_t> children;
+  int level;
+};
+
+void BuildGridTree(size_t rows, size_t cols, size_t b,
+                   std::vector<GridNode>* nodes) {
+  nodes->push_back({0, rows - 1, 0, cols - 1, {}, 0});
+  for (size_t v = 0; v < nodes->size(); ++v) {
+    GridNode node = (*nodes)[v];
+    size_t h = node.r1 - node.r0 + 1, w = node.c1 - node.c0 + 1;
+    if (h == 1 && w == 1) continue;
+    size_t rparts = std::min(b, h), cparts = std::min(b, w);
+    size_t rbase = h / rparts, rextra = h % rparts;
+    size_t cbase = w / cparts, cextra = w % cparts;
+    size_t rstart = node.r0;
+    for (size_t rp = 0; rp < rparts; ++rp) {
+      size_t rlen = rbase + (rp < rextra ? 1 : 0);
+      size_t cstart = node.c0;
+      for (size_t cp = 0; cp < cparts; ++cp) {
+        size_t clen = cbase + (cp < cextra ? 1 : 0);
+        size_t child = nodes->size();
+        (*nodes)[v].children.push_back(child);
+        nodes->push_back({rstart, rstart + rlen - 1, cstart,
+                          cstart + clen - 1, {}, node.level + 1});
+        cstart += clen;
+      }
+      rstart += rlen;
+    }
+  }
+}
+
+}  // namespace
+
+size_t HbMechanism::ChooseBranching1D(size_t n) {
+  size_t best_b = 2;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (size_t b = 2; b <= std::min<size_t>(n, 1024); ++b) {
+    double h = HeightFor(n, b) + 1;  // levels including root
+    double cost = static_cast<double>(b - 1) * h * h * h;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_b = b;
+    }
+  }
+  return best_b;
+}
+
+size_t HbMechanism::ChooseBranching2D(size_t side) {
+  size_t best_b = 2;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (size_t b = 2; b <= std::min<size_t>(side, 64); ++b) {
+    double h = HeightFor(side, b) + 1;
+    // Each dimension contributes (b-1)h strips; squared for 2D ranges.
+    double strips = static_cast<double>(b - 1) * h;
+    double cost = strips * strips * h;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_b = b;
+    }
+  }
+  return best_b;
+}
+
+Result<DataVector> HbMechanism::Run(const RunContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckContext(ctx));
+  const Domain& domain = ctx.data.domain();
+
+  if (domain.num_dims() == 1) {
+    size_t n = ctx.data.size();
+    size_t b = ChooseBranching1D(n);
+    RangeTree tree = RangeTree::Build(n, b);
+    int levels = tree.num_levels();
+    std::vector<double> eps(levels,
+                            ctx.epsilon / static_cast<double>(levels));
+    DPB_ASSIGN_OR_RETURN(std::vector<double> cells,
+                         hier_internal::MeasureAndInfer(
+                             tree, ctx.data.counts(), eps, ctx.rng));
+    return DataVector(domain, std::move(cells));
+  }
+
+  // 2D grid hierarchy.
+  size_t rows = domain.size(0), cols = domain.size(1);
+  size_t b = ChooseBranching2D(std::max(rows, cols));
+  std::vector<GridNode> grid_nodes;
+  BuildGridTree(rows, cols, b, &grid_nodes);
+  int levels = 0;
+  for (const GridNode& node : grid_nodes) {
+    levels = std::max(levels, node.level + 1);
+  }
+  double eps_per_level = ctx.epsilon / static_cast<double>(levels);
+  double var = LaplaceVariance(1.0, eps_per_level);
+
+  PrefixSums ps(ctx.data);
+  std::vector<MeasurementNode> mnodes(grid_nodes.size());
+  for (size_t v = 0; v < grid_nodes.size(); ++v) {
+    const GridNode& node = grid_nodes[v];
+    mnodes[v].children = node.children;
+    double truth = ps.RangeSum({node.r0, node.c0}, {node.r1, node.c1});
+    mnodes[v].y = truth + ctx.rng->Laplace(1.0 / eps_per_level);
+    mnodes[v].variance = var;
+  }
+  DPB_ASSIGN_OR_RETURN(std::vector<double> est, TreeGlsInfer(mnodes, 0));
+
+  DataVector out(domain);
+  for (size_t v = 0; v < grid_nodes.size(); ++v) {
+    const GridNode& node = grid_nodes[v];
+    if (!node.children.empty()) continue;
+    double area = static_cast<double>((node.r1 - node.r0 + 1) *
+                                      (node.c1 - node.c0 + 1));
+    for (size_t r = node.r0; r <= node.r1; ++r) {
+      for (size_t c = node.c0; c <= node.c1; ++c) {
+        out[r * cols + c] = est[v] / area;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dpbench

@@ -1,0 +1,33 @@
+// HB (Qardaji, Yang, Li PVLDB'13): hierarchical counts where the branching
+// factor b is chosen from the domain size to minimize the average variance
+// of range queries; uniform budget per level plus GLS consistency.
+//
+// 1D uses the closed-form cost (b-1)h^3 minimization from the paper; 2D
+// builds a grid hierarchy splitting both dimensions by b per level with the
+// analogous cost ((b-1)h)^2 * h ~ per-dimension strips squared.
+#ifndef DPBENCH_ALGORITHMS_HB_H_
+#define DPBENCH_ALGORITHMS_HB_H_
+
+#include "src/algorithms/mechanism.h"
+
+namespace dpbench {
+
+class HbMechanism : public Mechanism {
+ public:
+  std::string name() const override { return "HB"; }
+  bool SupportsDims(size_t dims) const override {
+    return dims == 1 || dims == 2;
+  }
+  bool data_independent() const override { return true; }
+  Result<DataVector> Run(const RunContext& ctx) const override;
+
+  /// Branching factor minimizing (b-1) * ceil(log_b n)^3 (exposed for tests).
+  static size_t ChooseBranching1D(size_t n);
+
+  /// 2D analogue on a side x side grid.
+  static size_t ChooseBranching2D(size_t side);
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ALGORITHMS_HB_H_

@@ -1,0 +1,54 @@
+#include "src/algorithms/hier.h"
+
+#include <numeric>
+
+#include "src/mechanisms/laplace.h"
+
+namespace dpbench {
+
+namespace hier_internal {
+
+Result<std::vector<double>> MeasureAndInfer(
+    const RangeTree& tree, const std::vector<double>& counts,
+    const std::vector<double>& eps_per_level, Rng* rng) {
+  if (eps_per_level.size() != static_cast<size_t>(tree.num_levels())) {
+    return Status::InvalidArgument("per-level budget arity mismatch");
+  }
+  // Prefix sums for O(1) true node counts.
+  std::vector<double> prefix(counts.size() + 1, 0.0);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    prefix[i + 1] = prefix[i] + counts[i];
+  }
+  std::vector<double> y(tree.num_nodes(), 0.0);
+  std::vector<double> variance(tree.num_nodes(), kUnmeasured);
+  for (int level = 0; level < tree.num_levels(); ++level) {
+    double eps = eps_per_level[level];
+    if (eps <= 0.0) continue;
+    double var = LaplaceVariance(1.0, eps);
+    for (size_t v : tree.level_nodes(level)) {
+      const RangeTree::Node& node = tree.node(v);
+      double truth = prefix[node.hi + 1] - prefix[node.lo];
+      y[v] = truth + rng->Laplace(1.0 / eps);
+      variance[v] = var;
+    }
+  }
+  return tree.Infer(y, variance);
+}
+
+}  // namespace hier_internal
+
+Result<DataVector> HierMechanism::Run(const RunContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckContext(ctx));
+  size_t n = ctx.data.size();
+  RangeTree tree = RangeTree::Build(n, branching_);
+  // Uniform budget across all levels: a record is counted once per level,
+  // so each level-eps adds up to the total sensitivity budget.
+  int levels = tree.num_levels();
+  std::vector<double> eps(levels, ctx.epsilon / static_cast<double>(levels));
+  DPB_ASSIGN_OR_RETURN(
+      std::vector<double> cells,
+      hier_internal::MeasureAndInfer(tree, ctx.data.counts(), eps, ctx.rng));
+  return DataVector(ctx.data.domain(), std::move(cells));
+}
+
+}  // namespace dpbench

@@ -1,0 +1,39 @@
+// H (Hay et al. PVLDB'10): hierarchical counts with branching factor b=2,
+// uniform budget per level, and consistency via GLS tree inference.
+#ifndef DPBENCH_ALGORITHMS_HIER_H_
+#define DPBENCH_ALGORITHMS_HIER_H_
+
+#include "src/algorithms/mechanism.h"
+#include "src/algorithms/tree_inference.h"
+
+namespace dpbench {
+
+class HierMechanism : public Mechanism {
+ public:
+  explicit HierMechanism(size_t branching = 2) : branching_(branching) {}
+
+  std::string name() const override { return "H"; }
+  bool SupportsDims(size_t dims) const override { return dims == 1; }
+  bool data_independent() const override { return true; }
+  Result<DataVector> Run(const RunContext& ctx) const override;
+
+  size_t branching() const { return branching_; }
+
+ private:
+  size_t branching_;
+};
+
+namespace hier_internal {
+
+/// Measures every node of `tree` against the 1D counts with per-level
+/// epsilon budgets `eps_per_level` (0 = skip level), then infers per-cell
+/// estimates with GLS. Shared by H, HB, GREEDY_H, DAWA and SF.
+Result<std::vector<double>> MeasureAndInfer(
+    const RangeTree& tree, const std::vector<double>& counts,
+    const std::vector<double>& eps_per_level, Rng* rng);
+
+}  // namespace hier_internal
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ALGORITHMS_HIER_H_

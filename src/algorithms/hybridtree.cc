@@ -1,0 +1,140 @@
+#include "src/algorithms/hybridtree.h"
+
+#include <cmath>
+
+#include "src/algorithms/tree_inference.h"
+#include "src/mechanisms/budget.h"
+#include "src/mechanisms/exponential.h"
+#include "src/mechanisms/laplace.h"
+
+namespace dpbench {
+
+namespace {
+
+struct HNode {
+  size_t r0, r1, c0, c1;  // inclusive
+  std::vector<size_t> children;
+  int level;
+  bool kd;  // node split privately (kd phase) vs fixed quadtree phase
+};
+
+}  // namespace
+
+Result<DataVector> HybridTreeMechanism::Run(const RunContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckContext(ctx));
+  const Domain& domain = ctx.data.domain();
+  size_t rows = domain.size(0), cols = domain.size(1);
+  PrefixSums ps(ctx.data);
+
+  BudgetAccountant budget(ctx.epsilon);
+  double eps_kd = rho_ * ctx.epsilon;
+  double eps_counts = ctx.epsilon - eps_kd;
+  DPB_RETURN_NOT_OK(budget.Spend(eps_kd, "kd-splits"));
+  DPB_RETURN_NOT_OK(budget.Spend(eps_counts, "counts"));
+  double eps_per_kd_level =
+      eps_kd / static_cast<double>(std::max<size_t>(kd_levels_, 1));
+
+  std::vector<HNode> nodes;
+  nodes.push_back({0, rows - 1, 0, cols - 1, {}, 0, true});
+  int depth = 0;
+  for (size_t v = 0; v < nodes.size(); ++v) {
+    HNode node = nodes[v];
+    depth = std::max(depth, node.level);
+    if (static_cast<size_t>(node.level) + 1 >= max_height_) continue;
+    size_t h = node.r1 - node.r0 + 1, w = node.c1 - node.c0 + 1;
+    if (h == 1 && w == 1) continue;
+
+    if (node.kd && static_cast<size_t>(node.level) < kd_levels_) {
+      // kd phase: split the wider side at a privately chosen position.
+      // Score favors balanced mass: -|left count - right count|,
+      // sensitivity 1.
+      bool split_rows = h >= w && h > 1;
+      size_t lo = split_rows ? node.r0 : node.c0;
+      size_t hi = split_rows ? node.r1 : node.c1;
+      std::vector<double> scores;
+      std::vector<size_t> cuts;
+      for (size_t cut = lo; cut < hi; ++cut) {
+        double left =
+            split_rows
+                ? ps.RangeSum({node.r0, node.c0}, {cut, node.c1})
+                : ps.RangeSum({node.r0, node.c0}, {node.r1, cut});
+        double total = ps.RangeSum({node.r0, node.c0}, {node.r1, node.c1});
+        scores.push_back(-std::abs(2.0 * left - total));
+        cuts.push_back(cut);
+      }
+      DPB_ASSIGN_OR_RETURN(
+          size_t pick,
+          ExponentialMechanism(scores, 1.0, eps_per_kd_level, ctx.rng));
+      size_t cut = cuts[pick];
+      HNode left = node, right = node;
+      left.level = right.level = node.level + 1;
+      left.kd = right.kd = true;
+      if (split_rows) {
+        left.r1 = cut;
+        right.r0 = cut + 1;
+      } else {
+        left.c1 = cut;
+        right.c0 = cut + 1;
+      }
+      size_t li = nodes.size();
+      nodes[v].children = {li, li + 1};
+      nodes.push_back(left);
+      nodes.push_back(right);
+      continue;
+    }
+
+    // Quadtree phase: fixed quadrant split.
+    size_t rmid = node.r0 + (h - 1) / 2;
+    size_t cmid = node.c0 + (w - 1) / 2;
+    for (int qr = 0; qr < 2; ++qr) {
+      if (qr == 1 && rmid + 1 > node.r1) continue;
+      for (int qc = 0; qc < 2; ++qc) {
+        if (qc == 1 && cmid + 1 > node.c1) continue;
+        HNode child = node;
+        child.level = node.level + 1;
+        child.kd = false;
+        child.r0 = qr == 0 ? node.r0 : rmid + 1;
+        child.r1 = qr == 0 ? rmid : node.r1;
+        child.c0 = qc == 0 ? node.c0 : cmid + 1;
+        child.c1 = qc == 0 ? cmid : node.c1;
+        nodes[v].children.push_back(nodes.size());
+        nodes.push_back(child);
+      }
+    }
+  }
+  int levels = depth + 1;
+
+  // Geometric budget allocation over levels for the counts.
+  std::vector<double> weight(levels);
+  double total_w = 0.0;
+  for (int l = 0; l < levels; ++l) {
+    weight[l] = std::pow(2.0, static_cast<double>(l) / 3.0);
+    total_w += weight[l];
+  }
+  std::vector<MeasurementNode> mnodes(nodes.size());
+  for (size_t v = 0; v < nodes.size(); ++v) {
+    const HNode& node = nodes[v];
+    mnodes[v].children = node.children;
+    double e = eps_counts * weight[node.level] / total_w;
+    double truth = ps.RangeSum({node.r0, node.c0}, {node.r1, node.c1});
+    mnodes[v].y = truth + ctx.rng->Laplace(1.0 / e);
+    mnodes[v].variance = LaplaceVariance(1.0, e);
+  }
+  DPB_ASSIGN_OR_RETURN(std::vector<double> est, TreeGlsInfer(mnodes, 0));
+
+  DataVector out(domain);
+  for (size_t v = 0; v < nodes.size(); ++v) {
+    const HNode& node = nodes[v];
+    if (!node.children.empty()) continue;
+    double area = static_cast<double>((node.r1 - node.r0 + 1) *
+                                      (node.c1 - node.c0 + 1));
+    for (size_t r = node.r0; r <= node.r1; ++r) {
+      for (size_t c = node.c0; c <= node.c1; ++c) {
+        out[r * cols + c] = est[v] / area;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dpbench

@@ -1,0 +1,17 @@
+#include "src/algorithms/identity.h"
+
+#include "src/mechanisms/laplace.h"
+
+namespace dpbench {
+
+Result<DataVector> IdentityMechanism::Run(const RunContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckContext(ctx));
+  // Sensitivity of the full histogram is 1: one record changes one cell.
+  DPB_ASSIGN_OR_RETURN(
+      std::vector<double> noisy,
+      LaplaceMechanism(ctx.data.counts(), /*sensitivity=*/1.0, ctx.epsilon,
+                       ctx.rng));
+  return DataVector(ctx.data.domain(), std::move(noisy));
+}
+
+}  // namespace dpbench

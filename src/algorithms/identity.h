@@ -1,0 +1,20 @@
+// IDENTITY (Dwork et al.): the Laplace mechanism applied to every cell.
+// The data-independent baseline every published algorithm must beat.
+#ifndef DPBENCH_ALGORITHMS_IDENTITY_H_
+#define DPBENCH_ALGORITHMS_IDENTITY_H_
+
+#include "src/algorithms/mechanism.h"
+
+namespace dpbench {
+
+class IdentityMechanism : public Mechanism {
+ public:
+  std::string name() const override { return "IDENTITY"; }
+  bool SupportsDims(size_t) const override { return true; }
+  bool data_independent() const override { return true; }
+  Result<DataVector> Run(const RunContext& ctx) const override;
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ALGORITHMS_IDENTITY_H_

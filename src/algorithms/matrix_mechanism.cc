@@ -1,0 +1,92 @@
+#include "src/algorithms/matrix_mechanism.h"
+
+#include <cmath>
+
+#include "src/algorithms/privelet.h"
+#include "src/algorithms/tree_inference.h"
+#include "src/common/logging.h"
+#include "src/common/math.h"
+#include "src/mechanisms/laplace.h"
+
+namespace dpbench {
+
+namespace strategies {
+
+Matrix IdentityStrategy(size_t n) { return Matrix::Identity(n); }
+
+Matrix HierarchicalStrategy(size_t n, size_t branching) {
+  RangeTree tree = RangeTree::Build(n, branching);
+  Matrix s(tree.num_nodes(), n);
+  for (size_t v = 0; v < tree.num_nodes(); ++v) {
+    for (size_t c = tree.node(v).lo; c <= tree.node(v).hi; ++c) {
+      s.at(v, c) = 1.0;
+    }
+  }
+  return s;
+}
+
+Matrix WaveletStrategy(size_t n) {
+  DPB_CHECK(IsPowerOfTwo(n));
+  // Rows are the unnormalized Haar analysis vectors; obtain them by
+  // transforming the standard basis.
+  Matrix s(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    std::vector<double> basis(n, 0.0);
+    basis[j] = 1.0;
+    std::vector<double> coef = wavelet::HaarForward(basis);
+    for (size_t i = 0; i < n; ++i) s.at(i, j) = coef[i];
+  }
+  return s;
+}
+
+}  // namespace strategies
+
+Result<DataVector> MatrixMechanism::Run(const RunContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckContext(ctx));
+  if (strategy_.cols() != ctx.data.size()) {
+    return Status::InvalidArgument(name_ + ": strategy arity mismatch");
+  }
+  double sensitivity = strategy_.MaxColumnL1();
+  DPB_ASSIGN_OR_RETURN(std::vector<double> answers,
+                       strategy_.Apply(ctx.data.counts()));
+  DPB_ASSIGN_OR_RETURN(
+      std::vector<double> noisy,
+      LaplaceMechanism(answers, sensitivity, ctx.epsilon, ctx.rng));
+  DPB_ASSIGN_OR_RETURN(std::vector<double> est,
+                       LeastSquares(strategy_, noisy));
+  return DataVector(ctx.data.domain(), std::move(est));
+}
+
+Result<double> MatrixMechanism::ExpectedSquaredError(const Workload& w,
+                                                     double epsilon) const {
+  const size_t n = strategy_.cols();
+  if (w.domain().TotalCells() != n) {
+    return Status::InvalidArgument("workload arity mismatch");
+  }
+  // Build the workload matrix W (q x n).
+  Matrix wm(w.size(), n);
+  for (size_t q = 0; q < w.size(); ++q) {
+    const RangeQuery& query = w.queries()[q];
+    for (size_t c = query.lo[0]; c <= query.hi[0]; ++c) wm.at(q, c) = 1.0;
+  }
+  // M = W (S^T S)^{-1} S^T; E error^2 = 2 (Delta/eps)^2 ||M||_F^2.
+  Matrix st = strategy_.Transpose();
+  DPB_ASSIGN_OR_RETURN(Matrix gram, st.Multiply(strategy_));
+  // Solve gram * G = W^T column by column: G = gram^{-1} W^T (n x q).
+  Matrix g(n, w.size());
+  for (size_t q = 0; q < w.size(); ++q) {
+    std::vector<double> col(n);
+    for (size_t c = 0; c < n; ++c) col[c] = wm.at(q, c);
+    DPB_ASSIGN_OR_RETURN(std::vector<double> sol, SolveSpd(gram, col));
+    for (size_t c = 0; c < n; ++c) g.at(c, q) = sol[c];
+  }
+  // M^T = S gram^{-1} W^T = strategy * G (m x q).
+  DPB_ASSIGN_OR_RETURN(Matrix mt, strategy_.Multiply(g));
+  double frob2 = 0.0;
+  for (double v : mt.data()) frob2 += v * v;
+  double delta = strategy_.MaxColumnL1();
+  double scale = delta / epsilon;
+  return 2.0 * scale * scale * frob2;
+}
+
+}  // namespace dpbench

@@ -1,0 +1,65 @@
+// The matrix mechanism (Li et al. PODS'10 / VLDBJ'15): the generic
+// framework of which every data-independent algorithm in the benchmark is
+// an instance (paper §3.1).
+//
+//   1. pick a strategy matrix S (rows = linear queries over cells),
+//   2. answer S x with the Laplace mechanism at sensitivity ||S||_1
+//      (max column L1 norm),
+//   3. reconstruct x-hat by least squares.
+//
+// This dense implementation is exact but O(n^3); it exists to (a) run small
+// domains, (b) verify the structured implementations (H, HB, PRIVELET are
+// checked against it in tests), and (c) compute exact expected-error
+// profiles for strategies.
+#ifndef DPBENCH_ALGORITHMS_MATRIX_MECHANISM_H_
+#define DPBENCH_ALGORITHMS_MATRIX_MECHANISM_H_
+
+#include "src/algorithms/mechanism.h"
+#include "src/linalg/matrix.h"
+
+namespace dpbench {
+
+/// Canonical strategy constructions.
+namespace strategies {
+
+/// The identity strategy (yields IDENTITY).
+Matrix IdentityStrategy(size_t n);
+
+/// Full b-ary hierarchy over n cells: one row per tree node (yields H/HB
+/// without the uniform-budget split — the matrix view folds the levels'
+/// budget split into the sensitivity).
+Matrix HierarchicalStrategy(size_t n, size_t branching);
+
+/// Unnormalized Haar wavelet rows (yields PRIVELET); n must be a power of
+/// two.
+Matrix WaveletStrategy(size_t n);
+
+}  // namespace strategies
+
+/// A data-independent mechanism defined by an explicit strategy matrix.
+class MatrixMechanism : public Mechanism {
+ public:
+  MatrixMechanism(std::string name, Matrix strategy)
+      : name_(std::move(name)), strategy_(std::move(strategy)) {}
+
+  std::string name() const override { return name_; }
+  bool SupportsDims(size_t dims) const override { return dims == 1; }
+  bool data_independent() const override { return true; }
+  Result<DataVector> Run(const RunContext& ctx) const override;
+
+  /// Exact expected squared error of answering workload W through this
+  /// strategy at the given epsilon:
+  ///   E||W x-hat - W x||^2 = 2 (||S||_1/eps)^2 * ||W S^+||_F^2.
+  Result<double> ExpectedSquaredError(const Workload& w,
+                                      double epsilon) const;
+
+  const Matrix& strategy() const { return strategy_; }
+
+ private:
+  std::string name_;
+  Matrix strategy_;
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ALGORITHMS_MATRIX_MECHANISM_H_

@@ -1,0 +1,95 @@
+#include "src/algorithms/mechanism.h"
+
+#include "src/algorithms/agrid.h"
+#include "src/algorithms/ahp.h"
+#include "src/algorithms/dawa.h"
+#include "src/algorithms/dpcube.h"
+#include "src/algorithms/efpa.h"
+#include "src/algorithms/greedy_h.h"
+#include "src/algorithms/hb.h"
+#include "src/algorithms/hier.h"
+#include "src/algorithms/hybridtree.h"
+#include "src/algorithms/identity.h"
+#include "src/algorithms/mwem.h"
+#include "src/algorithms/php.h"
+#include "src/algorithms/privelet.h"
+#include "src/algorithms/quadtree.h"
+#include "src/algorithms/sf.h"
+#include "src/algorithms/ugrid.h"
+#include "src/algorithms/uniform.h"
+
+namespace dpbench {
+
+Status Mechanism::CheckContext(const RunContext& ctx) const {
+  if (ctx.rng == nullptr) {
+    return Status::InvalidArgument(name() + ": rng must be provided");
+  }
+  if (ctx.epsilon <= 0.0) {
+    return Status::InvalidArgument(name() + ": epsilon must be > 0");
+  }
+  if (ctx.data.size() == 0) {
+    return Status::InvalidArgument(name() + ": empty data vector");
+  }
+  if (!SupportsDims(ctx.data.domain().num_dims())) {
+    return Status::NotSupported(
+        name() + " does not support " +
+        std::to_string(ctx.data.domain().num_dims()) + "-dimensional data");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Table 1 order: data-independent block, then data-dependent block.
+const std::vector<MechanismPtr>& AllMechanisms() {
+  static const std::vector<MechanismPtr>* mechs = [] {
+    auto* v = new std::vector<MechanismPtr>{
+        std::make_shared<IdentityMechanism>(),
+        std::make_shared<PriveletMechanism>(),
+        std::make_shared<HierMechanism>(),
+        std::make_shared<HbMechanism>(),
+        std::make_shared<GreedyHMechanism>(),
+        std::make_shared<UniformMechanism>(),
+        std::make_shared<MwemMechanism>(/*tuned=*/false),
+        std::make_shared<MwemMechanism>(/*tuned=*/true),
+        std::make_shared<AhpMechanism>(/*tuned=*/false),
+        std::make_shared<AhpMechanism>(/*tuned=*/true),
+        std::make_shared<DpCubeMechanism>(),
+        std::make_shared<DawaMechanism>(),
+        std::make_shared<QuadTreeMechanism>(),
+        std::make_shared<HybridTreeMechanism>(),
+        std::make_shared<UGridMechanism>(),
+        std::make_shared<AGridMechanism>(),
+        std::make_shared<PhpMechanism>(),
+        std::make_shared<EfpaMechanism>(),
+        std::make_shared<SfMechanism>(),
+    };
+    return v;
+  }();
+  return *mechs;
+}
+
+}  // namespace
+
+std::vector<std::string> MechanismRegistry::Names() {
+  std::vector<std::string> names;
+  for (const MechanismPtr& m : AllMechanisms()) names.push_back(m->name());
+  return names;
+}
+
+std::vector<std::string> MechanismRegistry::NamesForDims(size_t dims) {
+  std::vector<std::string> names;
+  for (const MechanismPtr& m : AllMechanisms()) {
+    if (m->SupportsDims(dims)) names.push_back(m->name());
+  }
+  return names;
+}
+
+Result<MechanismPtr> MechanismRegistry::Get(const std::string& name) {
+  for (const MechanismPtr& m : AllMechanisms()) {
+    if (m->name() == name) return m;
+  }
+  return Status::NotFound("unknown mechanism: " + name);
+}
+
+}  // namespace dpbench

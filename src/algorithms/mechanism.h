@@ -1,0 +1,85 @@
+// The common interface all differentially private algorithms implement,
+// plus a registry for lookup by name (Table 1 of the paper).
+//
+// Contract: Run() consumes a true data vector and a privacy budget epsilon
+// and returns an *estimated data vector* on the same domain. Workload
+// answers are obtained by evaluating W against the estimate, which makes
+// algorithm comparison uniform (every algorithm in the paper is of this
+// form). Budget is tracked through BudgetAccountant so end-to-end privacy
+// (Principle 5) is enforced mechanically.
+#ifndef DPBENCH_ALGORITHMS_MECHANISM_H_
+#define DPBENCH_ALGORITHMS_MECHANISM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/histogram/data_vector.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+
+/// Public knowledge about the input that some published algorithms assume
+/// (Principle 7). MWEM, UGRID, AGRID and SF consume the true scale; starred
+/// variants estimate it privately instead.
+struct SideInfo {
+  std::optional<double> true_scale;
+};
+
+/// Everything a mechanism needs for one run.
+struct RunContext {
+  const DataVector& data;      ///< true histogram x
+  const Workload& workload;    ///< workload W (workload-aware algorithms use it)
+  double epsilon = 0.1;        ///< total privacy budget
+  Rng* rng = nullptr;          ///< randomness source (seeded by caller)
+  SideInfo side_info;          ///< optional public side information
+};
+
+/// Base class for all algorithms in the benchmark.
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  /// Canonical name, matching Table 1 (e.g. "DAWA", "MWEM*").
+  virtual std::string name() const = 0;
+
+  /// True if the algorithm supports inputs with `dims` dimensions.
+  virtual bool SupportsDims(size_t dims) const = 0;
+
+  /// True if error is identical for all datasets on a given domain
+  /// (paper §3.1's data-independence).
+  virtual bool data_independent() const { return false; }
+
+  /// True if the algorithm reads SideInfo (Table 1 "Side info" column).
+  virtual bool uses_side_info() const { return false; }
+
+  /// Executes the algorithm under epsilon-DP; returns the estimate x-hat.
+  virtual Result<DataVector> Run(const RunContext& ctx) const = 0;
+
+ protected:
+  /// Validates common preconditions (positive epsilon, rng present,
+  /// dimensionality supported). Call first in Run() implementations.
+  Status CheckContext(const RunContext& ctx) const;
+};
+
+using MechanismPtr = std::shared_ptr<const Mechanism>;
+
+/// Registry of the benchmark's algorithm suite (M in the 9-tuple).
+class MechanismRegistry {
+ public:
+  /// All registered algorithm names, in Table 1 order.
+  static std::vector<std::string> Names();
+
+  /// Names of algorithms applicable to `dims`-dimensional data.
+  static std::vector<std::string> NamesForDims(size_t dims);
+
+  /// Lookup by canonical name.
+  static Result<MechanismPtr> Get(const std::string& name);
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ALGORITHMS_MECHANISM_H_

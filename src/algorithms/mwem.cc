@@ -1,0 +1,117 @@
+#include "src/algorithms/mwem.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/mechanisms/budget.h"
+#include "src/mechanisms/exponential.h"
+#include "src/mechanisms/laplace.h"
+
+namespace dpbench {
+
+namespace {
+
+// Evaluates every workload query against an arbitrary cell vector using
+// prefix sums (1D/2D).
+std::vector<double> EvalAll(const Workload& w, const Domain& domain,
+                            const std::vector<double>& cells) {
+  DataVector v(domain, cells);
+  return w.Evaluate(v);
+}
+
+}  // namespace
+
+size_t MwemMechanism::TunedRounds(double eps_scale_product) {
+  // Learned schedule: stronger signal (larger eps*scale) supports more
+  // measurement rounds (paper Finding 7: T grows from 2 to ~100).
+  const double p = eps_scale_product;
+  if (p < 50) return 2;
+  if (p < 500) return 5;
+  if (p < 5e3) return 10;
+  if (p < 5e4) return 20;
+  if (p < 5e5) return 40;
+  if (p < 5e6) return 70;
+  return 100;
+}
+
+Result<DataVector> MwemMechanism::Run(const RunContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckContext(ctx));
+  const Domain& domain = ctx.data.domain();
+  const size_t n = ctx.data.size();
+  const Workload& w = ctx.workload;
+  if (w.size() == 0) {
+    return Status::InvalidArgument("MWEM requires a non-empty workload");
+  }
+
+  BudgetAccountant budget(ctx.epsilon);
+  double scale_estimate = 0.0;
+  size_t rounds = default_rounds_;
+  if (tuned_) {
+    // MWEM*: spend 5% estimating scale, then choose T from the schedule.
+    double rho_total = 0.05 * ctx.epsilon;
+    DPB_RETURN_NOT_OK(budget.Spend(rho_total, "scale-estimate"));
+    DPB_ASSIGN_OR_RETURN(
+        scale_estimate,
+        LaplaceMechanismScalar(ctx.data.Scale(), 1.0, rho_total, ctx.rng));
+    scale_estimate = std::max(scale_estimate, 1.0);
+    rounds = TunedRounds(ctx.epsilon * scale_estimate);
+  } else {
+    // Original MWEM: the scale is public side information.
+    scale_estimate = ctx.side_info.true_scale.value_or(ctx.data.Scale());
+    if (scale_estimate <= 0.0) scale_estimate = 1.0;
+  }
+  double eps_rounds = budget.remaining();
+  DPB_RETURN_NOT_OK(budget.Spend(eps_rounds, "mwem-rounds"));
+  double eps_t = eps_rounds / static_cast<double>(rounds);
+
+  // True workload answers (accessed only through DP mechanisms below).
+  std::vector<double> truth = w.Evaluate(ctx.data);
+
+  // Current synthetic estimate, kept as counts summing to scale_estimate.
+  std::vector<double> est(n, scale_estimate / static_cast<double>(n));
+  std::vector<double> avg(n, 0.0);
+
+  for (size_t t = 0; t < rounds; ++t) {
+    std::vector<double> est_answers = EvalAll(w, domain, est);
+    // Select the worst-approximated query. Score sensitivity is 1 (a range
+    // count changes by at most 1 when one record changes).
+    std::vector<double> scores(w.size());
+    for (size_t q = 0; q < w.size(); ++q) {
+      scores[q] = std::abs(truth[q] - est_answers[q]);
+    }
+    DPB_ASSIGN_OR_RETURN(
+        size_t chosen,
+        ExponentialMechanism(scores, /*sensitivity=*/1.0, eps_t / 2.0,
+                             ctx.rng));
+    DPB_ASSIGN_OR_RETURN(
+        double measured,
+        LaplaceMechanismScalar(truth[chosen], 1.0, eps_t / 2.0, ctx.rng));
+
+    // Multiplicative weights update on cells inside the chosen query.
+    const RangeQuery& q = w.queries()[chosen];
+    double err = measured - est_answers[chosen];
+    double factor = std::exp(err / (2.0 * scale_estimate));
+    if (domain.num_dims() == 1) {
+      for (size_t i = q.lo[0]; i <= q.hi[0]; ++i) est[i] *= factor;
+    } else {
+      size_t cols = domain.size(1);
+      for (size_t r = q.lo[0]; r <= q.hi[0]; ++r) {
+        for (size_t c = q.lo[1]; c <= q.hi[1]; ++c) {
+          est[r * cols + c] *= factor;
+        }
+      }
+    }
+    // Renormalize to the (noisy) scale.
+    double sum = 0.0;
+    for (double v : est) sum += v;
+    if (sum > 0.0) {
+      double norm = scale_estimate / sum;
+      for (double& v : est) v *= norm;
+    }
+    for (size_t i = 0; i < n; ++i) avg[i] += est[i];
+  }
+  for (double& v : avg) v /= static_cast<double>(rounds);
+  return DataVector(domain, std::move(avg));
+}
+
+}  // namespace dpbench

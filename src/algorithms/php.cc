@@ -1,0 +1,91 @@
+#include "src/algorithms/php.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/math.h"
+#include "src/mechanisms/budget.h"
+#include "src/mechanisms/exponential.h"
+#include "src/mechanisms/laplace.h"
+
+namespace dpbench {
+
+namespace {
+
+// L1 deviation of counts[lo, hi) from their mean.
+double DevCost(const std::vector<double>& counts, size_t lo, size_t hi) {
+  if (hi <= lo + 1) return 0.0;
+  double sum = 0.0;
+  for (size_t i = lo; i < hi; ++i) sum += counts[i];
+  double mean = sum / static_cast<double>(hi - lo);
+  double dev = 0.0;
+  for (size_t i = lo; i < hi; ++i) dev += std::abs(counts[i] - mean);
+  return dev;
+}
+
+}  // namespace
+
+Result<DataVector> PhpMechanism::Run(const RunContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckContext(ctx));
+  const std::vector<double>& counts = ctx.data.counts();
+  const size_t n = counts.size();
+
+  BudgetAccountant budget(ctx.epsilon);
+  double eps1 = rho_ * ctx.epsilon;
+  double eps2 = ctx.epsilon - eps1;
+  DPB_RETURN_NOT_OK(budget.Spend(eps1, "partition"));
+  DPB_RETURN_NOT_OK(budget.Spend(eps2, "measure"));
+
+  const size_t max_iters =
+      static_cast<size_t>(std::max(FloorLog2(std::max<size_t>(n, 2)), 1));
+  double eps_iter = eps1 / static_cast<double>(max_iters);
+
+  // Partition as sorted bucket boundaries (exclusive ends).
+  std::vector<size_t> ends{n};
+  std::vector<size_t> starts{0};
+
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    // Candidate splits across all buckets: (bucket, position) pairs with
+    // score = cost reduction. Subsample positions per bucket.
+    std::vector<double> scores;
+    std::vector<std::pair<size_t, size_t>> splits;  // (bucket idx, cut)
+    for (size_t b = 0; b < ends.size(); ++b) {
+      size_t lo = starts[b], hi = ends[b];
+      if (hi - lo < 2) continue;
+      double parent_cost = DevCost(counts, lo, hi);
+      size_t width = hi - lo;
+      size_t step = std::max<size_t>(1, width / candidates_);
+      for (size_t cut = lo + step; cut < hi; cut += step) {
+        double child_cost =
+            DevCost(counts, lo, cut) + DevCost(counts, cut, hi);
+        scores.push_back(parent_cost - child_cost);
+        splits.emplace_back(b, cut);
+      }
+    }
+    if (splits.empty()) break;
+    // Deviation-cost sensitivity is 2 (one record moves the mean-absolute
+    // deviation of each side by at most 1 each).
+    DPB_ASSIGN_OR_RETURN(size_t pick, ExponentialMechanism(scores, 2.0,
+                                                           eps_iter,
+                                                           ctx.rng));
+    auto [bucket, cut] = splits[pick];
+    // Insert the cut.
+    starts.insert(starts.begin() + bucket + 1, cut);
+    ends.insert(ends.begin() + bucket, cut);
+  }
+
+  // Measure buckets and spread uniformly.
+  DataVector out(ctx.data.domain());
+  for (size_t b = 0; b < ends.size(); ++b) {
+    size_t lo = starts[b], hi = ends[b];
+    double truth = 0.0;
+    for (size_t i = lo; i < hi; ++i) truth += counts[i];
+    DPB_ASSIGN_OR_RETURN(double noisy,
+                         LaplaceMechanismScalar(truth, 1.0, eps2, ctx.rng));
+    double width = static_cast<double>(hi - lo);
+    for (size_t i = lo; i < hi; ++i) out[i] = noisy / width;
+  }
+  return out;
+}
+
+}  // namespace dpbench

@@ -1,0 +1,37 @@
+// PHP (Ács, Castelluccia, Chen ICDM'12): P-HPartition — private histogram
+// via recursive exponential-mechanism bisection.
+//
+// For up to log2(n) iterations, the current partition's worst bucket split
+// is chosen with the exponential mechanism (score = reduction in L1
+// deviation cost, sensitivity 2). The surviving buckets are measured with
+// the Laplace mechanism and spread uniformly. The iteration cap makes PHP
+// inconsistent (paper Theorem 6): bias can persist even as eps -> inf.
+//
+// Candidate split positions are subsampled to a fixed number per bucket to
+// keep cost evaluation near-linear (documented substitution; the split
+// search granularity does not change the iteration-capped bias structure).
+#ifndef DPBENCH_ALGORITHMS_PHP_H_
+#define DPBENCH_ALGORITHMS_PHP_H_
+
+#include "src/algorithms/mechanism.h"
+
+namespace dpbench {
+
+class PhpMechanism : public Mechanism {
+ public:
+  /// Table 1 parameter rho = 0.5 (budget share of partition selection).
+  explicit PhpMechanism(double rho = 0.5, size_t candidates_per_bucket = 32)
+      : rho_(rho), candidates_(candidates_per_bucket) {}
+
+  std::string name() const override { return "PHP"; }
+  bool SupportsDims(size_t dims) const override { return dims == 1; }
+  Result<DataVector> Run(const RunContext& ctx) const override;
+
+ private:
+  double rho_;
+  size_t candidates_;
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ALGORITHMS_PHP_H_

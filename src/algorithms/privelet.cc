@@ -1,0 +1,122 @@
+#include "src/algorithms/privelet.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/math.h"
+
+namespace dpbench {
+
+namespace wavelet {
+
+std::vector<double> HaarForward(const std::vector<double>& x) {
+  DPB_CHECK(IsPowerOfTwo(x.size()));
+  size_t n = x.size();
+  std::vector<double> sums = x;
+  std::vector<std::vector<double>> detail_levels;  // finest first
+  while (sums.size() > 1) {
+    size_t half = sums.size() / 2;
+    std::vector<double> next(half), details(half);
+    for (size_t i = 0; i < half; ++i) {
+      next[i] = sums[2 * i] + sums[2 * i + 1];
+      details[i] = sums[2 * i] - sums[2 * i + 1];
+    }
+    detail_levels.push_back(std::move(details));
+    sums = std::move(next);
+  }
+  std::vector<double> coef;
+  coef.reserve(n);
+  coef.push_back(sums[0]);  // grand total
+  for (auto it = detail_levels.rbegin(); it != detail_levels.rend(); ++it) {
+    coef.insert(coef.end(), it->begin(), it->end());
+  }
+  return coef;
+}
+
+std::vector<double> HaarInverse(const std::vector<double>& coef) {
+  DPB_CHECK(IsPowerOfTwo(coef.size()));
+  size_t n = coef.size();
+  std::vector<double> sums{coef[0]};
+  size_t pos = 1;
+  while (sums.size() < n) {
+    size_t half = sums.size();
+    std::vector<double> next(2 * half);
+    for (size_t i = 0; i < half; ++i) {
+      double d = coef[pos + i];
+      next[2 * i] = (sums[i] + d) / 2.0;
+      next[2 * i + 1] = (sums[i] - d) / 2.0;
+    }
+    pos += half;
+    sums = std::move(next);
+  }
+  return sums;
+}
+
+}  // namespace wavelet
+
+namespace {
+
+// Pads to the next power of two with zero cells (padding is public: it
+// depends only on the domain geometry).
+std::vector<double> PadPow2(const std::vector<double>& x) {
+  size_t n = NextPowerOfTwo(x.size());
+  std::vector<double> out = x;
+  out.resize(n, 0.0);
+  return out;
+}
+
+}  // namespace
+
+Result<DataVector> PriveletMechanism::Run(const RunContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckContext(ctx));
+  const Domain& domain = ctx.data.domain();
+
+  if (domain.num_dims() == 1) {
+    std::vector<double> padded = PadPow2(ctx.data.counts());
+    double sensitivity = 1.0 + static_cast<double>(FloorLog2(padded.size()));
+    std::vector<double> coef = wavelet::HaarForward(padded);
+    for (double& c : coef) {
+      c += ctx.rng->Laplace(sensitivity / ctx.epsilon);
+    }
+    std::vector<double> rec = wavelet::HaarInverse(coef);
+    rec.resize(ctx.data.size());
+    return DataVector(domain, std::move(rec));
+  }
+
+  // 2D separable transform: rows, then columns.
+  size_t rows = domain.size(0), cols = domain.size(1);
+  size_t prow = NextPowerOfTwo(rows), pcol = NextPowerOfTwo(cols);
+  std::vector<std::vector<double>> grid(prow, std::vector<double>(pcol, 0.0));
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) grid[r][c] = ctx.data[r * cols + c];
+  }
+  for (size_t r = 0; r < prow; ++r) grid[r] = wavelet::HaarForward(grid[r]);
+  for (size_t c = 0; c < pcol; ++c) {
+    std::vector<double> col(prow);
+    for (size_t r = 0; r < prow; ++r) col[r] = grid[r][c];
+    col = wavelet::HaarForward(col);
+    for (size_t r = 0; r < prow; ++r) grid[r][c] = col[r];
+  }
+  double sensitivity = (1.0 + static_cast<double>(FloorLog2(prow))) *
+                       (1.0 + static_cast<double>(FloorLog2(pcol)));
+  for (size_t r = 0; r < prow; ++r) {
+    for (size_t c = 0; c < pcol; ++c) {
+      grid[r][c] += ctx.rng->Laplace(sensitivity / ctx.epsilon);
+    }
+  }
+  for (size_t c = 0; c < pcol; ++c) {
+    std::vector<double> col(prow);
+    for (size_t r = 0; r < prow; ++r) col[r] = grid[r][c];
+    col = wavelet::HaarInverse(col);
+    for (size_t r = 0; r < prow; ++r) grid[r][c] = col[r];
+  }
+  for (size_t r = 0; r < prow; ++r) grid[r] = wavelet::HaarInverse(grid[r]);
+
+  DataVector out(domain);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) out[r * cols + c] = grid[r][c];
+  }
+  return out;
+}
+
+}  // namespace dpbench

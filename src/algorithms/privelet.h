@@ -1,0 +1,40 @@
+// PRIVELET (Xiao, Wang, Gehrke ICDE'10): perturb the Haar wavelet transform
+// of the data vector.
+//
+// We use the unnormalized Haar basis in which the first coefficient is the
+// grand total and each detail coefficient is (sum of left half) - (sum of
+// right half) of a dyadic node. A single record contributes +-1 to exactly
+// 1 + log2(n) coefficients, so the transform's L1 sensitivity is
+// 1 + log2(n); in the multi-dimensional (separable) transform sensitivities
+// multiply across dimensions.
+#ifndef DPBENCH_ALGORITHMS_PRIVELET_H_
+#define DPBENCH_ALGORITHMS_PRIVELET_H_
+
+#include "src/algorithms/mechanism.h"
+
+namespace dpbench {
+
+class PriveletMechanism : public Mechanism {
+ public:
+  std::string name() const override { return "PRIVELET"; }
+  bool SupportsDims(size_t dims) const override {
+    return dims == 1 || dims == 2;
+  }
+  bool data_independent() const override { return true; }
+  Result<DataVector> Run(const RunContext& ctx) const override;
+};
+
+namespace wavelet {
+
+/// Forward unnormalized Haar transform; input length must be a power of two.
+/// Layout: [total, detail(root), details(level 2, left to right), ...].
+std::vector<double> HaarForward(const std::vector<double>& x);
+
+/// Exact inverse of HaarForward.
+std::vector<double> HaarInverse(const std::vector<double>& coef);
+
+}  // namespace wavelet
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ALGORITHMS_PRIVELET_H_

@@ -1,0 +1,95 @@
+#include "src/algorithms/quadtree.h"
+
+#include <cmath>
+
+#include "src/algorithms/tree_inference.h"
+#include "src/mechanisms/laplace.h"
+
+namespace dpbench {
+
+namespace {
+
+struct QNode {
+  size_t r0, r1, c0, c1;  // inclusive
+  std::vector<size_t> children;
+  int level;
+};
+
+}  // namespace
+
+Result<DataVector> QuadTreeMechanism::Run(const RunContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckContext(ctx));
+  const Domain& domain = ctx.data.domain();
+  size_t rows = domain.size(0), cols = domain.size(1);
+
+  // Build the quadtree to the height cap (or single cells).
+  std::vector<QNode> nodes;
+  nodes.push_back({0, rows - 1, 0, cols - 1, {}, 0});
+  int depth = 0;
+  for (size_t v = 0; v < nodes.size(); ++v) {
+    QNode node = nodes[v];
+    depth = std::max(depth, node.level);
+    if (static_cast<size_t>(node.level) + 1 >= max_height_) continue;
+    size_t h = node.r1 - node.r0 + 1, w = node.c1 - node.c0 + 1;
+    if (h == 1 && w == 1) continue;
+    size_t rmid = node.r0 + (h - 1) / 2;
+    size_t cmid = node.c0 + (w - 1) / 2;
+    // Quadrants; degenerate (1-wide) sides split into fewer children.
+    for (int qr = 0; qr < 2; ++qr) {
+      size_t r0 = qr == 0 ? node.r0 : rmid + 1;
+      size_t r1 = qr == 0 ? rmid : node.r1;
+      if (qr == 1 && rmid + 1 > node.r1) continue;
+      for (int qc = 0; qc < 2; ++qc) {
+        size_t c0 = qc == 0 ? node.c0 : cmid + 1;
+        size_t c1 = qc == 0 ? cmid : node.c1;
+        if (qc == 1 && cmid + 1 > node.c1) continue;
+        size_t child = nodes.size();
+        nodes[v].children.push_back(child);
+        nodes.push_back({r0, r1, c0, c1, {}, node.level + 1});
+      }
+    }
+  }
+  int levels = depth + 1;
+
+  // Geometric budget allocation: deeper levels receive more budget
+  // (eps_l proportional to 2^(l/3), Cormode et al.).
+  std::vector<double> weight(levels);
+  double total_w = 0.0;
+  for (int l = 0; l < levels; ++l) {
+    weight[l] = std::pow(2.0, static_cast<double>(l) / 3.0);
+    total_w += weight[l];
+  }
+  std::vector<double> eps(levels);
+  for (int l = 0; l < levels; ++l) {
+    eps[l] = ctx.epsilon * weight[l] / total_w;
+  }
+
+  // Measure every node; GLS for consistency.
+  PrefixSums ps(ctx.data);
+  std::vector<MeasurementNode> mnodes(nodes.size());
+  for (size_t v = 0; v < nodes.size(); ++v) {
+    const QNode& node = nodes[v];
+    mnodes[v].children = node.children;
+    double e = eps[node.level];
+    double truth = ps.RangeSum({node.r0, node.c0}, {node.r1, node.c1});
+    mnodes[v].y = truth + ctx.rng->Laplace(1.0 / e);
+    mnodes[v].variance = LaplaceVariance(1.0, e);
+  }
+  DPB_ASSIGN_OR_RETURN(std::vector<double> est, TreeGlsInfer(mnodes, 0));
+
+  DataVector out(domain);
+  for (size_t v = 0; v < nodes.size(); ++v) {
+    const QNode& node = nodes[v];
+    if (!node.children.empty()) continue;
+    double area = static_cast<double>((node.r1 - node.r0 + 1) *
+                                      (node.c1 - node.c0 + 1));
+    for (size_t r = node.r0; r <= node.r1; ++r) {
+      for (size_t c = node.c0; c <= node.c1; ++c) {
+        out[r * cols + c] = est[v] / area;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dpbench

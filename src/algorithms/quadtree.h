@@ -1,0 +1,34 @@
+// QUADTREE (Cormode, Procopiuc, Shen, Srivastava, Yu ICDE'12): a quadtree
+// of fixed maximum height with geometric budget allocation and consistency
+// post-processing (GLS).
+//
+// The partition structure is fixed (rho = 0), so no budget is spent
+// selecting it. If the domain is deeper than the height cap, leaves
+// aggregate multiple cells and the estimate is biased — the paper proves
+// QUADTREE inconsistent on sufficiently large domains (Theorem 5). At the
+// benchmark's 2D domain sizes (<= 256x256, depth 8 <= 10) leaves are single
+// cells and the algorithm is effectively data-independent (paper §7.2).
+#ifndef DPBENCH_ALGORITHMS_QUADTREE_H_
+#define DPBENCH_ALGORITHMS_QUADTREE_H_
+
+#include "src/algorithms/mechanism.h"
+
+namespace dpbench {
+
+class QuadTreeMechanism : public Mechanism {
+ public:
+  /// Table 1 parameter c = 10: the maximum tree height.
+  explicit QuadTreeMechanism(size_t max_height = 10)
+      : max_height_(max_height) {}
+
+  std::string name() const override { return "QUADTREE"; }
+  bool SupportsDims(size_t dims) const override { return dims == 2; }
+  Result<DataVector> Run(const RunContext& ctx) const override;
+
+ private:
+  size_t max_height_;
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ALGORITHMS_QUADTREE_H_

@@ -1,0 +1,103 @@
+#include "src/algorithms/sf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/algorithms/hier.h"
+#include "src/algorithms/tree_inference.h"
+#include "src/mechanisms/budget.h"
+#include "src/mechanisms/exponential.h"
+
+namespace dpbench {
+
+namespace {
+
+// Sum-of-squared-error of approximating counts[lo, hi) by their mean,
+// in O(1) via prefix sums of x and x^2.
+class SseCalculator {
+ public:
+  explicit SseCalculator(const std::vector<double>& counts)
+      : sum_(counts.size() + 1, 0.0), sq_(counts.size() + 1, 0.0) {
+    for (size_t i = 0; i < counts.size(); ++i) {
+      sum_[i + 1] = sum_[i] + counts[i];
+      sq_[i + 1] = sq_[i] + counts[i] * counts[i];
+    }
+  }
+  double Sse(size_t lo, size_t hi) const {  // [lo, hi)
+    double len = static_cast<double>(hi - lo);
+    double s = sum_[hi] - sum_[lo];
+    return (sq_[hi] - sq_[lo]) - s * s / len;
+  }
+  double Sum(size_t lo, size_t hi) const { return sum_[hi] - sum_[lo]; }
+
+ private:
+  std::vector<double> sum_, sq_;
+};
+
+}  // namespace
+
+Result<DataVector> SfMechanism::Run(const RunContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckContext(ctx));
+  const std::vector<double>& counts = ctx.data.counts();
+  const size_t n = counts.size();
+
+  size_t k = k_override_ > 0 ? k_override_ : (n + 9) / 10;
+  k = std::min(std::max<size_t>(k, 1), n);
+
+  BudgetAccountant budget(ctx.epsilon);
+  double eps1 = rho_ * ctx.epsilon;
+  double eps2 = ctx.epsilon - eps1;
+  DPB_RETURN_NOT_OK(budget.Spend(eps1, "structure"));
+  DPB_RETURN_NOT_OK(budget.Spend(eps2, "measure"));
+
+  // F: public cap on bucket counts derived from the (side-information)
+  // scale; bounds the SSE score sensitivity as 2F + 1.
+  double scale = ctx.side_info.true_scale.value_or(ctx.data.Scale());
+  double f_cap = std::max(1.0, scale / static_cast<double>(k));
+  double sensitivity = 2.0 * f_cap + 1.0;
+
+  SseCalculator sse(counts);
+  std::vector<size_t> starts{0}, ends{n};
+  double eps_iter =
+      (k > 1) ? eps1 / static_cast<double>(k - 1) : eps1;
+
+  for (size_t iter = 0; iter + 1 < k; ++iter) {
+    std::vector<double> scores;
+    std::vector<std::pair<size_t, size_t>> splits;
+    for (size_t b = 0; b < ends.size(); ++b) {
+      size_t lo = starts[b], hi = ends[b];
+      if (hi - lo < 2) continue;
+      double parent = sse.Sse(lo, hi);
+      for (size_t cut = lo + 1; cut < hi; ++cut) {
+        scores.push_back(parent - sse.Sse(lo, cut) - sse.Sse(cut, hi));
+        splits.emplace_back(b, cut);
+      }
+    }
+    if (splits.empty()) break;
+    DPB_ASSIGN_OR_RETURN(
+        size_t pick,
+        ExponentialMechanism(scores, sensitivity, eps_iter, ctx.rng));
+    auto [bucket, cut] = splits[pick];
+    starts.insert(starts.begin() + bucket + 1, cut);
+    ends.insert(ends.begin() + bucket, cut);
+  }
+
+  // Measure each bucket's interior with a small hierarchical histogram
+  // (the consistent variant). Buckets are disjoint, so each uses the full
+  // eps2 by parallel composition.
+  DataVector out(ctx.data.domain());
+  for (size_t b = 0; b < ends.size(); ++b) {
+    size_t lo = starts[b], hi = ends[b];
+    std::vector<double> bucket(counts.begin() + lo, counts.begin() + hi);
+    RangeTree tree = RangeTree::Build(bucket.size(), 2);
+    int levels = tree.num_levels();
+    std::vector<double> eps(levels, eps2 / static_cast<double>(levels));
+    DPB_ASSIGN_OR_RETURN(
+        std::vector<double> est,
+        hier_internal::MeasureAndInfer(tree, bucket, eps, ctx.rng));
+    for (size_t i = lo; i < hi; ++i) out[i] = est[i - lo];
+  }
+  return out;
+}
+
+}  // namespace dpbench

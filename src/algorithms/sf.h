@@ -1,0 +1,38 @@
+// SF — StructureFirst (Xu, Zhang, Xiao, Yang, Yu, Winslett VLDBJ'13).
+//
+// Fixes the number of buckets k = ceil(n/10) up front, selects the k-1
+// bucket boundaries with the exponential mechanism (score = reduction in
+// sum-of-squared-error, sensitivity bounded via the public count cap F,
+// which is derived from the dataset scale — side information per Table 1),
+// then spends the remaining budget measuring the buckets. Following the
+// consistent variant (Sec 6.2 of the original; paper Theorem 7), each
+// bucket's interior is measured with a small hierarchical histogram, which
+// restores consistency.
+#ifndef DPBENCH_ALGORITHMS_SF_H_
+#define DPBENCH_ALGORITHMS_SF_H_
+
+#include "src/algorithms/mechanism.h"
+
+namespace dpbench {
+
+class SfMechanism : public Mechanism {
+ public:
+  /// rho: budget share for structure selection. k defaults to ceil(n/10)
+  /// (the authors' recommendation, adopted per paper §6.4); pass k > 0 to
+  /// override.
+  explicit SfMechanism(double rho = 0.5, size_t k = 0)
+      : rho_(rho), k_override_(k) {}
+
+  std::string name() const override { return "SF"; }
+  bool SupportsDims(size_t dims) const override { return dims == 1; }
+  bool uses_side_info() const override { return true; }
+  Result<DataVector> Run(const RunContext& ctx) const override;
+
+ private:
+  double rho_;
+  size_t k_override_;
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ALGORITHMS_SF_H_

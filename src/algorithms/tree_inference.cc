@@ -1,0 +1,196 @@
+#include "src/algorithms/tree_inference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "src/common/logging.h"
+
+namespace dpbench {
+
+namespace {
+
+struct Agg {
+  double z = 0.0;                 // aggregated estimate of the node's value
+  double s = kUnmeasured;         // variance of z
+};
+
+}  // namespace
+
+Result<std::vector<double>> TreeGlsInfer(
+    const std::vector<MeasurementNode>& nodes, size_t root) {
+  if (root >= nodes.size()) {
+    return Status::InvalidArgument("root out of range");
+  }
+  const size_t n = nodes.size();
+  // Topological order (parents before children) via BFS from the root.
+  std::vector<size_t> order;
+  order.reserve(n);
+  std::deque<size_t> queue{root};
+  while (!queue.empty()) {
+    size_t v = queue.front();
+    queue.pop_front();
+    order.push_back(v);
+    for (size_t c : nodes[v].children) {
+      if (c >= nodes.size()) {
+        return Status::InvalidArgument("child index out of range");
+      }
+      queue.push_back(c);
+    }
+  }
+
+  // Bottom-up pass: aggregate subtree estimates.
+  std::vector<Agg> agg(n);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    size_t v = *it;
+    const MeasurementNode& node = nodes[v];
+    double own_y = node.y;
+    double own_s = node.variance;
+    if (node.children.empty()) {
+      agg[v] = {std::isinf(own_s) ? 0.0 : own_y, own_s};
+      continue;
+    }
+    double zc = 0.0, sc = 0.0;
+    bool child_inf = false;
+    for (size_t c : node.children) {
+      if (std::isinf(agg[c].s)) {
+        child_inf = true;
+      } else {
+        zc += agg[c].z;
+        sc += agg[c].s;
+      }
+    }
+    if (child_inf) {
+      // Children sum is uninformative; fall back to the own measurement.
+      agg[v] = {std::isinf(own_s) ? 0.0 : own_y, own_s};
+      continue;
+    }
+    if (std::isinf(own_s)) {
+      agg[v] = {zc, sc};
+    } else if (sc <= 0.0) {
+      // Children exact: they dominate.
+      agg[v] = {zc, 0.0};
+    } else {
+      double w_own = 1.0 / own_s;
+      double w_kids = 1.0 / sc;
+      agg[v] = {(own_y * w_own + zc * w_kids) / (w_own + w_kids),
+                1.0 / (w_own + w_kids)};
+    }
+  }
+
+  // Top-down pass: enforce consistency, distributing residuals.
+  std::vector<double> est(n, 0.0);
+  est[root] = std::isinf(agg[root].s) ? agg[root].z : agg[root].z;
+  for (size_t v : order) {
+    const MeasurementNode& node = nodes[v];
+    if (node.children.empty()) continue;
+    double child_sum = 0.0;
+    double var_sum = 0.0;
+    size_t num_inf = 0;
+    for (size_t c : node.children) {
+      child_sum += agg[c].z;
+      if (std::isinf(agg[c].s)) {
+        ++num_inf;
+      } else {
+        var_sum += agg[c].s;
+      }
+    }
+    double residual = est[v] - child_sum;
+    for (size_t c : node.children) {
+      if (num_inf > 0) {
+        // Residual absorbed entirely (and equally) by unconstrained children.
+        est[c] = agg[c].z + (std::isinf(agg[c].s)
+                                 ? residual / static_cast<double>(num_inf)
+                                 : 0.0);
+      } else if (var_sum <= 0.0) {
+        // All children exact; split residual equally (residual ~ 0).
+        est[c] = agg[c].z +
+                 residual / static_cast<double>(node.children.size());
+      } else {
+        est[c] = agg[c].z + residual * (agg[c].s / var_sum);
+      }
+    }
+  }
+  return est;
+}
+
+RangeTree RangeTree::Build(size_t n, size_t branching) {
+  DPB_CHECK_GE(n, 1u);
+  DPB_CHECK_GE(branching, 2u);
+  RangeTree tree;
+  tree.n_ = n;
+  tree.nodes_.push_back({0, n - 1, kNoParent, {}, 0});
+  // BFS expansion.
+  for (size_t v = 0; v < tree.nodes_.size(); ++v) {
+    size_t lo = tree.nodes_[v].lo, hi = tree.nodes_[v].hi;
+    int level = tree.nodes_[v].level;
+    size_t len = hi - lo + 1;
+    if (len == 1) continue;
+    size_t parts = std::min(branching, len);
+    size_t base = len / parts, extra = len % parts;
+    size_t start = lo;
+    for (size_t p = 0; p < parts; ++p) {
+      size_t plen = base + (p < extra ? 1 : 0);
+      size_t child = tree.nodes_.size();
+      tree.nodes_[v].children.push_back(child);
+      tree.nodes_.push_back({start, start + plen - 1, v, {}, level + 1});
+      start += plen;
+    }
+  }
+  int max_level = 0;
+  for (const Node& node : tree.nodes_) {
+    max_level = std::max(max_level, node.level);
+  }
+  tree.num_levels_ = max_level + 1;
+  tree.by_level_.assign(tree.num_levels_, {});
+  for (size_t i = 0; i < tree.nodes_.size(); ++i) {
+    tree.by_level_[tree.nodes_[i].level].push_back(i);
+  }
+  return tree;
+}
+
+std::vector<size_t> RangeTree::Decompose(size_t lo, size_t hi) const {
+  DPB_CHECK_LE(lo, hi);
+  DPB_CHECK_LT(hi, n_);
+  std::vector<size_t> out;
+  std::deque<size_t> queue{root()};
+  while (!queue.empty()) {
+    size_t v = queue.front();
+    queue.pop_front();
+    const Node& node = nodes_[v];
+    if (node.lo >= lo && node.hi <= hi) {
+      out.push_back(v);
+      continue;
+    }
+    if (node.hi < lo || node.lo > hi) continue;
+    for (size_t c : node.children) queue.push_back(c);
+  }
+  return out;
+}
+
+Result<std::vector<double>> RangeTree::Infer(
+    const std::vector<double>& y, const std::vector<double>& variance) const {
+  if (y.size() != nodes_.size() || variance.size() != nodes_.size()) {
+    return Status::InvalidArgument("measurement arity mismatch");
+  }
+  std::vector<MeasurementNode> mnodes(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    mnodes[i].children = nodes_[i].children;
+    mnodes[i].y = y[i];
+    mnodes[i].variance = variance[i];
+  }
+  DPB_ASSIGN_OR_RETURN(std::vector<double> node_est,
+                       TreeGlsInfer(mnodes, root()));
+  std::vector<double> cells(n_, 0.0);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].children.empty()) {
+      size_t len = nodes_[i].hi - nodes_[i].lo + 1;
+      for (size_t c = nodes_[i].lo; c <= nodes_[i].hi; ++c) {
+        cells[c] = node_est[i] / static_cast<double>(len);
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace dpbench

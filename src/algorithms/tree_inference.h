@@ -1,0 +1,92 @@
+// Generalized least-squares inference on measurement trees.
+//
+// Hierarchical algorithms (H, HB, GREEDY_H, QUADTREE, HYBRIDTREE, DAWA's
+// second stage, SF's within-bucket trees) measure noisy counts at the nodes
+// of a tree whose leaves partition the domain and whose internal nodes are
+// sums of their children. The minimum-variance consistent estimate is the
+// GLS solution, which on trees has an exact two-pass closed form
+// (Hay et al. PVLDB'10, generalized to heterogeneous variances):
+//
+//   bottom-up:  combine each node's own measurement with the sum of its
+//               children's aggregated estimates by inverse variance;
+//   top-down:   distribute the parent residual to children proportionally
+//               to their aggregated variances.
+#ifndef DPBENCH_ALGORITHMS_TREE_INFERENCE_H_
+#define DPBENCH_ALGORITHMS_TREE_INFERENCE_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace dpbench {
+
+/// Variance marking an unmeasured node.
+inline constexpr double kUnmeasured = std::numeric_limits<double>::infinity();
+
+/// One node of a measurement tree. Children must form a partition of the
+/// node (the consistency constraint is: node value == sum of child values).
+struct MeasurementNode {
+  std::vector<size_t> children;  ///< indices into the node array; empty=leaf
+  double y = 0.0;                ///< noisy measurement (ignored if unmeasured)
+  double variance = kUnmeasured; ///< measurement variance; kUnmeasured if none
+};
+
+/// Computes the GLS-consistent estimate for every node. `root` is the index
+/// of the root node. Requires: the node array forms a forest where each node
+/// is referenced by at most one parent and the root reaches all nodes that
+/// matter. Unmeasured leaves under a measured ancestor receive an equal
+/// share of the ancestor's residual.
+Result<std::vector<double>> TreeGlsInfer(
+    const std::vector<MeasurementNode>& nodes, size_t root);
+
+/// A complete hierarchy over a 1D range of n cells with branching factor b:
+/// leaves are single cells in order; internal nodes own contiguous ranges.
+/// Helper used by H, HB, GREEDY_H, DAWA and SF.
+class RangeTree {
+ public:
+  struct Node {
+    size_t lo = 0, hi = 0;  ///< inclusive cell range
+    size_t parent = kNoParent;
+    std::vector<size_t> children;
+    int level = 0;  ///< root = 0
+  };
+  static constexpr size_t kNoParent = static_cast<size_t>(-1);
+
+  /// Builds the tree over n cells splitting every node into (up to) b
+  /// nearly equal children until single cells.
+  static RangeTree Build(size_t n, size_t branching);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_cells() const { return n_; }
+  const Node& node(size_t i) const { return nodes_[i]; }
+  size_t root() const { return 0; }
+
+  /// Number of levels (root level 0 .. num_levels-1 == leaf level).
+  int num_levels() const { return num_levels_; }
+
+  /// Indices of nodes on a level.
+  const std::vector<size_t>& level_nodes(int level) const {
+    return by_level_[level];
+  }
+
+  /// Decomposes the inclusive range [lo, hi] into a minimal set of tree
+  /// nodes whose ranges exactly tile it (canonical decomposition).
+  std::vector<size_t> Decompose(size_t lo, size_t hi) const;
+
+  /// Given per-node measurements (y, variance), runs GLS and returns
+  /// per-cell estimates (length n). Unmeasured nodes use kUnmeasured.
+  Result<std::vector<double>> Infer(const std::vector<double>& y,
+                                    const std::vector<double>& variance) const;
+
+ private:
+  size_t n_ = 0;
+  int num_levels_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<std::vector<size_t>> by_level_;
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ALGORITHMS_TREE_INFERENCE_H_

@@ -1,0 +1,34 @@
+// UGRID (Qardaji, Yang, Li ICDE'13): uniform grid for 2D spatial data.
+//
+// Chooses the grid resolution m = sqrt(N * eps / c) from the dataset scale
+// N (public side information per Table 1, or estimated privately with a 5%
+// budget slice when unavailable), measures each of the m x m equi-width
+// grid cells with the Laplace mechanism, and assumes uniformity within
+// grid cells.
+#ifndef DPBENCH_ALGORITHMS_UGRID_H_
+#define DPBENCH_ALGORITHMS_UGRID_H_
+
+#include "src/algorithms/mechanism.h"
+
+namespace dpbench {
+
+class UGridMechanism : public Mechanism {
+ public:
+  /// Table 1 parameter c = 10.
+  explicit UGridMechanism(double c = 10.0) : c_(c) {}
+
+  std::string name() const override { return "UGRID"; }
+  bool SupportsDims(size_t dims) const override { return dims == 2; }
+  bool uses_side_info() const override { return true; }
+  Result<DataVector> Run(const RunContext& ctx) const override;
+
+  /// Grid resolution rule m = max(10, sqrt(N*eps/c)) (exposed for tests).
+  static size_t GridSize(double scale, double epsilon, double c);
+
+ private:
+  double c_;
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ALGORITHMS_UGRID_H_

@@ -1,0 +1,20 @@
+#include "src/algorithms/uniform.h"
+
+#include "src/mechanisms/laplace.h"
+
+namespace dpbench {
+
+Result<DataVector> UniformMechanism::Run(const RunContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckContext(ctx));
+  DPB_ASSIGN_OR_RETURN(
+      double total,
+      LaplaceMechanismScalar(ctx.data.Scale(), /*sensitivity=*/1.0,
+                             ctx.epsilon, ctx.rng));
+  size_t n = ctx.data.size();
+  DataVector out(ctx.data.domain());
+  double per_cell = total / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) out[i] = per_cell;
+  return out;
+}
+
+}  // namespace dpbench

@@ -1,0 +1,19 @@
+// UNIFORM: estimates only the dataset scale and spreads it uniformly —
+// the data-dependent baseline (an equi-width histogram with one bucket).
+#ifndef DPBENCH_ALGORITHMS_UNIFORM_H_
+#define DPBENCH_ALGORITHMS_UNIFORM_H_
+
+#include "src/algorithms/mechanism.h"
+
+namespace dpbench {
+
+class UniformMechanism : public Mechanism {
+ public:
+  std::string name() const override { return "UNIFORM"; }
+  bool SupportsDims(size_t) const override { return true; }
+  Result<DataVector> Run(const RunContext& ctx) const override;
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ALGORITHMS_UNIFORM_H_

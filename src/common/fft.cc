@@ -1,0 +1,66 @@
+#include "src/common/fft.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/math.h"
+
+namespace dpbench {
+
+void Fft(std::vector<std::complex<double>>* a, bool inverse) {
+  size_t n = a->size();
+  DPB_CHECK(IsPowerOfTwo(n));
+  auto& v = *a;
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(v[i], v[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    double angle = 2.0 * M_PI / static_cast<double>(len) *
+                   (inverse ? 1.0 : -1.0);
+    std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        std::complex<double> u = v[i + j];
+        std::complex<double> t = v[i + j + len / 2] * w;
+        v[i + j] = u + t;
+        v[i + j + len / 2] = u - t;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : v) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<std::complex<double>> OrthonormalDft(
+    const std::vector<double>& x) {
+  size_t n = x.size();
+  DPB_CHECK(IsPowerOfTwo(n));
+  std::vector<std::complex<double>> a(n);
+  for (size_t i = 0; i < n; ++i) a[i] = x[i];
+  Fft(&a, /*inverse=*/false);
+  double norm = 1.0 / std::sqrt(static_cast<double>(n));
+  for (auto& c : a) c *= norm;
+  return a;
+}
+
+std::vector<double> OrthonormalIdftReal(
+    const std::vector<std::complex<double>>& f) {
+  size_t n = f.size();
+  DPB_CHECK(IsPowerOfTwo(n));
+  std::vector<std::complex<double>> a = f;
+  double norm = std::sqrt(static_cast<double>(n));
+  for (auto& c : a) c *= norm;
+  Fft(&a, /*inverse=*/true);
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = a[i].real();
+  return out;
+}
+
+}  // namespace dpbench

@@ -1,0 +1,25 @@
+// Iterative radix-2 FFT used by EFPA's Fourier perturbation.
+#ifndef DPBENCH_COMMON_FFT_H_
+#define DPBENCH_COMMON_FFT_H_
+
+#include <complex>
+#include <vector>
+
+namespace dpbench {
+
+/// In-place radix-2 Cooley-Tukey FFT; `a.size()` must be a power of two.
+/// `inverse` applies the inverse transform including the 1/n factor.
+void Fft(std::vector<std::complex<double>>* a, bool inverse);
+
+/// Orthonormal DFT of a real vector (length padded internally to a power
+/// of two by the caller): F_k = (1/sqrt(n)) * sum_j x_j e^{-2*pi*i*jk/n}.
+std::vector<std::complex<double>> OrthonormalDft(
+    const std::vector<double>& x);
+
+/// Inverse of OrthonormalDft; returns the real part.
+std::vector<double> OrthonormalIdftReal(
+    const std::vector<std::complex<double>>& f);
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_COMMON_FFT_H_

@@ -1,0 +1,25 @@
+// Minimal CHECK macros for invariants that indicate programmer error.
+// Recoverable conditions use Status instead (see status.h).
+#ifndef DPBENCH_COMMON_LOGGING_H_
+#define DPBENCH_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define DPB_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                 \
+      std::abort();                                                  \
+    }                                                                \
+  } while (0)
+
+#define DPB_CHECK_GE(a, b) DPB_CHECK((a) >= (b))
+#define DPB_CHECK_GT(a, b) DPB_CHECK((a) > (b))
+#define DPB_CHECK_LE(a, b) DPB_CHECK((a) <= (b))
+#define DPB_CHECK_LT(a, b) DPB_CHECK((a) < (b))
+#define DPB_CHECK_EQ(a, b) DPB_CHECK((a) == (b))
+#define DPB_CHECK_NE(a, b) DPB_CHECK((a) != (b))
+
+#endif  // DPBENCH_COMMON_LOGGING_H_

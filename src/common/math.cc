@@ -1,0 +1,154 @@
+#include "src/common/math.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace dpbench {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double SampleVariance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double SampleStddev(const std::vector<double>& xs) {
+  return std::sqrt(SampleVariance(xs));
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  DPB_CHECK(!xs.empty());
+  DPB_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double GeometricMean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) {
+    DPB_CHECK_GT(x, 0.0);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double LogSumExp(const std::vector<double>& xs) {
+  DPB_CHECK(!xs.empty());
+  double mx = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(mx)) return mx;
+  double s = 0.0;
+  for (double x : xs) s += std::exp(x - mx);
+  return mx + std::log(s);
+}
+
+namespace {
+
+// Continued-fraction evaluation for the incomplete beta function.
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  DPB_CHECK(a > 0.0 && b > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  double ln_beta =
+      std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  double front = std::exp(ln_beta + a * std::log(x) + b * std::log1p(-x));
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double t, double df) {
+  DPB_CHECK_GT(df, 0.0);
+  if (!std::isfinite(t)) return t > 0 ? 1.0 : 0.0;
+  double x = df / (df + t * t);
+  double p = 0.5 * RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+  return (t > 0) ? 1.0 - p : p;
+}
+
+double NormL1(const std::vector<double>& xs) {
+  double s = 0.0;
+  for (double x : xs) s += std::abs(x);
+  return s;
+}
+
+double NormL2(const std::vector<double>& xs) {
+  double s = 0.0;
+  for (double x : xs) s += x * x;
+  return std::sqrt(s);
+}
+
+bool IsPowerOfTwo(size_t n) {
+  return n >= 1 && (n & (n - 1)) == 0;
+}
+
+int FloorLog2(size_t n) {
+  DPB_CHECK_GE(n, 1u);
+  int l = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++l;
+  }
+  return l;
+}
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace dpbench

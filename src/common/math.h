@@ -1,0 +1,53 @@
+// Small numerical helpers shared across modules: summary statistics,
+// percentiles, special functions needed by the Student-t CDF, and
+// log-domain utilities for the exponential mechanism.
+#ifndef DPBENCH_COMMON_MATH_H_
+#define DPBENCH_COMMON_MATH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dpbench {
+
+/// Arithmetic mean; returns 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance (divides by n-1); returns 0 for n < 2.
+double SampleVariance(const std::vector<double>& xs);
+
+/// Sample standard deviation.
+double SampleStddev(const std::vector<double>& xs);
+
+/// Linear-interpolation percentile, p in [0, 100]. Input need not be sorted.
+double Percentile(std::vector<double> xs, double p);
+
+/// Geometric mean of strictly positive values; returns 0 for empty input.
+double GeometricMean(const std::vector<double>& xs);
+
+/// log(sum_i exp(xs[i])) computed stably.
+double LogSumExp(const std::vector<double>& xs);
+
+/// Regularized incomplete beta function I_x(a, b), computed with the
+/// continued-fraction expansion (Numerical Recipes style). Used for the
+/// Student-t CDF in Welch's t-test.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+double StudentTCdf(double t, double df);
+
+/// L1 norm, L2 norm, dot product.
+double NormL1(const std::vector<double>& xs);
+double NormL2(const std::vector<double>& xs);
+
+/// True iff n is a power of two (n >= 1).
+bool IsPowerOfTwo(size_t n);
+
+/// floor(log2(n)) for n >= 1.
+int FloorLog2(size_t n);
+
+/// Smallest power of two >= n.
+size_t NextPowerOfTwo(size_t n);
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_COMMON_MATH_H_

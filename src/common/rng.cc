@@ -1,0 +1,116 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace dpbench {
+
+double Rng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(gen_);
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  DPB_CHECK_GT(n, 0u);
+  return std::uniform_int_distribution<uint64_t>(0, n - 1)(gen_);
+}
+
+double Rng::Laplace(double scale) {
+  DPB_CHECK(std::isfinite(scale) && scale > 0.0);
+  // Inverse CDF: u in (-1/2, 1/2), x = -scale * sgn(u) * ln(1 - 2|u|).
+  double u = Uniform() - 0.5;
+  double sign = (u < 0) ? -1.0 : 1.0;
+  double mag = std::min(std::abs(u) * 2.0,
+                        1.0 - std::numeric_limits<double>::epsilon());
+  return -scale * sign * std::log1p(-mag);
+}
+
+double Rng::Gumbel() {
+  double u = Uniform();
+  // Guard against log(0).
+  u = std::max(u, std::numeric_limits<double>::min());
+  return -std::log(-std::log(u));
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(gen_);
+}
+
+uint64_t Rng::Binomial(uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  return std::binomial_distribution<uint64_t>(n, p)(gen_);
+}
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  DPB_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    DPB_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  DPB_CHECK_GT(total, 0.0);
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // Floating point slack: last positive bin.
+}
+
+std::vector<uint64_t> Rng::Multinomial(uint64_t trials,
+                                       const std::vector<double>& probs) {
+  DPB_CHECK(!probs.empty());
+  double total = 0.0;
+  for (double p : probs) {
+    DPB_CHECK_GE(p, 0.0);
+    total += p;
+  }
+  std::vector<uint64_t> counts(probs.size(), 0);
+  if (total <= 0.0) {
+    // All-zero shape: put everything in bin 0 deterministically would skew;
+    // treat as uniform.
+    double uniform = 1.0 / static_cast<double>(probs.size());
+    double remaining_p = 1.0;
+    uint64_t remaining_n = trials;
+    for (size_t i = 0; i + 1 < probs.size() && remaining_n > 0; ++i) {
+      double p = uniform / remaining_p;
+      uint64_t c = Binomial(remaining_n, p);
+      counts[i] = c;
+      remaining_n -= c;
+      remaining_p -= uniform;
+    }
+    counts.back() += remaining_n;
+    return counts;
+  }
+  // Conditional binomial chain: bin i gets Binomial(remaining, p_i / rest).
+  double remaining_p = total;
+  uint64_t remaining_n = trials;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    if (remaining_n == 0) break;
+    if (i + 1 == probs.size()) {
+      counts[i] = remaining_n;
+      remaining_n = 0;
+      break;
+    }
+    double p = (remaining_p > 0.0) ? probs[i] / remaining_p : 0.0;
+    p = std::min(1.0, std::max(0.0, p));
+    uint64_t c = Binomial(remaining_n, p);
+    counts[i] = c;
+    remaining_n -= c;
+    remaining_p -= probs[i];
+  }
+  return counts;
+}
+
+Rng Rng::Fork() {
+  return Rng(gen_());
+}
+
+}  // namespace dpbench

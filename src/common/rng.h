@@ -1,0 +1,66 @@
+// Seeded random number generation for all DP mechanisms and samplers.
+//
+// Every randomized component in the library draws from an explicitly passed
+// Rng so that experiments are reproducible given a seed (DPBench principle:
+// results must be re-runnable).
+#ifndef DPBENCH_COMMON_RNG_H_
+#define DPBENCH_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dpbench {
+
+/// A seeded random source with the distributions DPBench needs:
+/// uniform, Laplace, Gumbel (for the exponential mechanism), discrete,
+/// binomial, and multinomial sampling.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0) : gen_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).
+  uint64_t UniformInt(uint64_t n);
+
+  /// Laplace(0, scale) sample via inverse CDF. scale must be > 0;
+  /// scale == +inf yields ±inf and is a caller bug (checked).
+  double Laplace(double scale);
+
+  /// Standard Gumbel(0,1) sample, used by the Gumbel-max trick.
+  double Gumbel();
+
+  /// Standard normal sample.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Binomial(n, p) sample. Uses std::binomial_distribution.
+  uint64_t Binomial(uint64_t n, double p);
+
+  /// Samples an index in [0, weights.size()) with probability proportional
+  /// to weights[i]. Weights must be non-negative with positive sum.
+  size_t Discrete(const std::vector<double>& weights);
+
+  /// Draws a multinomial sample: distributes `trials` items over bins with
+  /// probabilities proportional to `probs` (need not be normalized).
+  /// Runs in O(#bins) using the conditional-binomial method, so it is
+  /// efficient even at scale 10^8.
+  std::vector<uint64_t> Multinomial(uint64_t trials,
+                                    const std::vector<double>& probs);
+
+  /// Creates an independent child generator; handy for parallel trials.
+  Rng Fork();
+
+  std::mt19937_64& generator() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_COMMON_RNG_H_

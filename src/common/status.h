@@ -1,0 +1,132 @@
+// Status / Result<T> error-handling primitives, in the style used by
+// RocksDB and Arrow: recoverable failures travel as values, not exceptions.
+#ifndef DPBENCH_COMMON_STATUS_H_
+#define DPBENCH_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dpbench {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kInternal,
+  kNotSupported,
+};
+
+/// Returns a human-readable name for a status code ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success/error value. `Status::OK()` carries no
+/// allocation; error statuses carry a code and message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Result<T> holds either a value or an error Status (never both).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(value_).ok() &&
+           "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates a non-OK Status out of the current function.
+#define DPB_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::dpbench::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a Result-returning expression, assigning the value on success
+/// and returning the error otherwise.
+#define DPB_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto DPB_CONCAT_(_res_, __LINE__) = (expr);  \
+  if (!DPB_CONCAT_(_res_, __LINE__).ok())      \
+    return DPB_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(DPB_CONCAT_(_res_, __LINE__)).value()
+
+#define DPB_CONCAT_INNER_(a, b) a##b
+#define DPB_CONCAT_(a, b) DPB_CONCAT_INNER_(a, b)
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_COMMON_STATUS_H_

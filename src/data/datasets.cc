@@ -1,0 +1,363 @@
+#include "src/data/datasets.h"
+
+#include <functional>
+#include <map>
+
+#include "src/data/shape.h"
+
+namespace dpbench {
+
+namespace {
+
+// Deterministic per-dataset seed (FNV-1a over the name).
+uint64_t NameSeed(const std::string& name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+using ShapeFn = std::function<DataVector(uint64_t seed)>;
+
+struct DatasetDef {
+  DatasetInfo info;
+  ShapeFn build;
+};
+
+Domain D1() { return Domain::D1(kMaxDomain1D); }
+Domain D2() { return Domain::D2(kMaxDomainSide2D, kMaxDomainSide2D); }
+
+// ---------------------------------------------------------------------------
+// 1D shape recipes. Each recipe documents the source characteristic it
+// imitates; the TruncateSupport argument is 1 - (Table 2 zero fraction).
+// ---------------------------------------------------------------------------
+
+// ADULT: "capital gain"-like; the overwhelming majority of records sit at
+// zero (cell 0 holds ~90% of the mass), with a thin tail of positive
+// values and a spike at the capped maximum. 97.8% empty cells.
+DataVector BuildAdult(uint64_t seed) {
+  return ShapeBuilder(D1(), seed)
+      .AddGaussian({0.0}, {0.0002}, 0.90)
+      .AddExponentialDecay(0.01, 0.05)
+      .AddZipfSpikes(50, 1.1, 0.03)
+      .AddGaussian({0.98}, {0.002}, 0.02)
+      .Roughen(0.6)
+      .TruncateSupport(1.0 - 0.9780)
+      .Build();
+}
+
+// HEPPH: citation-network degree-like; smooth heavy tail, mostly dense.
+DataVector BuildHepPh(uint64_t seed) {
+  return ShapeBuilder(D1(), seed)
+      .AddLognormal(0.06, 1.1, 0.85)
+      .AddUniform(0.15)
+      .Roughen(0.35)
+      .TruncateSupport(1.0 - 0.2117)
+      .Build();
+}
+
+// INCOME: broad lognormal (income distribution), ~45% zeros in the tail.
+DataVector BuildIncome(uint64_t seed) {
+  return ShapeBuilder(D1(), seed)
+      .AddLognormal(0.12, 0.9, 0.9)
+      .AddPeriodicSpikes(128, 0.35, 0.1)
+      .Roughen(0.25)
+      .TruncateSupport(1.0 - 0.4497)
+      .Build();
+}
+
+// MEDCOST: medical cost; most patients incur near-zero cost, a lognormal
+// tail carries the rest. Strongly concentrated at the low end, 74.8% zeros.
+DataVector BuildMedCost(uint64_t seed) {
+  return ShapeBuilder(D1(), seed)
+      .AddGaussian({0.0}, {0.001}, 0.35)
+      .AddLognormal(0.03, 1.2, 0.55)
+      .AddExponentialDecay(0.02, 0.1)
+      .Roughen(0.45)
+      .TruncateSupport(1.0 - 0.7480)
+      .Build();
+}
+
+// TRACE (NETTRACE): network trace; a handful of hosts dominate the traffic
+// (heavy Zipf), 96.6% zeros.
+DataVector BuildTrace(uint64_t seed) {
+  return ShapeBuilder(D1(), seed)
+      .AddZipfSpikes(140, 2.2, 0.97)
+      .AddUniform(0.03)
+      .Roughen(0.5)
+      .TruncateSupport(1.0 - 0.9661)
+      .Build();
+}
+
+// PATENT: dense and smooth, only 6.2% zeros.
+DataVector BuildPatent(uint64_t seed) {
+  return ShapeBuilder(D1(), seed)
+      .AddLognormal(0.25, 0.8, 0.6)
+      .AddGaussian({0.55}, {0.2}, 0.3)
+      .AddUniform(0.1)
+      .Roughen(0.2)
+      .TruncateSupport(1.0 - 0.0620)
+      .Build();
+}
+
+// SEARCH: search-term frequencies; Zipfian with a long half-empty tail.
+DataVector BuildSearch(uint64_t seed) {
+  return ShapeBuilder(D1(), seed)
+      .AddZipfSpikes(1800, 1.05, 0.8)
+      .AddExponentialDecay(0.2, 0.2)
+      .Roughen(0.4)
+      .TruncateSupport(1.0 - 0.5103)
+      .Build();
+}
+
+// BIDS-*: bid counts per IP address; fully dense (0% zeros), moderately
+// rough near-uniform mass. Filter variants differ in texture/seed.
+DataVector BuildBids(uint64_t seed, double roughness, double spike_weight) {
+  return ShapeBuilder(D1(), seed)
+      .AddUniform(1.0 - spike_weight)
+      .AddZipfSpikes(400, 0.8, spike_weight)
+      .Roughen(roughness)
+      .TruncateSupport(1.0)
+      .Build();
+}
+
+// MD-SAL(-FA): salary histograms; lognormal body with round-number spikes,
+// ~83% zeros.
+DataVector BuildMdSal(uint64_t seed, double zero_frac) {
+  return ShapeBuilder(D1(), seed)
+      .AddLognormal(0.18, 0.55, 0.7)
+      .AddPeriodicSpikes(64, 0.12, 0.3)
+      .Roughen(0.35)
+      .TruncateSupport(1.0 - zero_frac)
+      .Build();
+}
+
+// LC-REQ-*: requested loan amounts cluster hard at round values.
+DataVector BuildLcReq(uint64_t seed, double zero_frac) {
+  return ShapeBuilder(D1(), seed)
+      .AddPeriodicSpikes(40, 0.05, 0.55)
+      .AddLognormal(0.2, 0.7, 0.45)
+      .Roughen(0.3)
+      .TruncateSupport(1.0 - zero_frac)
+      .Build();
+}
+
+// LC-DTIR-*: debt-to-income ratio; smooth unimodal, dense (F2: 11.9% zeros).
+DataVector BuildLcDtir(uint64_t seed, double zero_frac) {
+  return ShapeBuilder(D1(), seed)
+      .AddGaussian({0.3}, {0.12}, 0.75)
+      .AddExponentialDecay(0.5, 0.25)
+      .Roughen(0.25)
+      .TruncateSupport(zero_frac <= 0.0 ? 1.0 : 1.0 - zero_frac)
+      .Build();
+}
+
+// ---------------------------------------------------------------------------
+// 2D shape recipes (256x256).
+// ---------------------------------------------------------------------------
+
+// Taxi pickup/dropoff density: a dense urban core plus satellite clusters.
+DataVector BuildCabs(uint64_t seed, size_t clusters, double core_weight,
+                     double zero_frac) {
+  ShapeBuilder b(D2(), seed);
+  b.AddGaussian({0.5, 0.5}, {0.03, 0.03}, core_weight);
+  Rng placement(seed ^ 0x9E3779B97F4A7C15ULL);
+  // Satellite cluster masses decay Zipf-like: a few hotspots dominate.
+  double zipf_total = 0.0;
+  for (size_t c = 0; c < clusters; ++c) {
+    zipf_total += std::pow(static_cast<double>(c + 1), -1.2);
+  }
+  for (size_t c = 0; c < clusters; ++c) {
+    double cx = 0.15 + 0.7 * placement.Uniform();
+    double cy = 0.15 + 0.7 * placement.Uniform();
+    double w = 0.005 + 0.015 * placement.Uniform();
+    double mass = (1.0 - core_weight) *
+                  std::pow(static_cast<double>(c + 1), -1.2) / zipf_total;
+    b.AddGaussian({cx, cy}, {w, w}, mass);
+  }
+  return b.Roughen(0.5).TruncateSupport(1.0 - zero_frac).Build();
+}
+
+// GOWALLA check-ins: many small clusters, heavy tail, 88.9% zeros.
+DataVector BuildGowalla(uint64_t seed) {
+  ShapeBuilder b(D2(), seed);
+  Rng placement(seed ^ 0xA5A5A5A5ULL);
+  constexpr size_t kClusters = 40;
+  for (size_t c = 0; c < kClusters; ++c) {
+    double cx = placement.Uniform();
+    double cy = placement.Uniform();
+    double w = 0.005 + 0.02 * placement.Uniform();
+    double mass = std::pow(static_cast<double>(c + 1), -1.1);
+    b.AddGaussian({cx, cy}, {w, w}, mass);
+  }
+  return b.AddUniform(0.02).Roughen(0.6).TruncateSupport(1.0 - 0.8892).Build();
+}
+
+// ADULT-2D: capital-gain x capital-loss; almost all mass at (0,0) and on
+// the two axes (a record rarely has both), 99.3% zeros.
+DataVector BuildAdult2D(uint64_t seed) {
+  return ShapeBuilder(D2(), seed)
+      .AddGaussian({0.0, 0.0}, {0.004, 0.004}, 0.55)
+      .AddGaussian({0.0, 0.15}, {0.002, 0.1}, 0.2)
+      .AddGaussian({0.15, 0.0}, {0.1, 0.002}, 0.2)
+      .AddGaussian({0.98, 0.0}, {0.004, 0.002}, 0.05)
+      .Roughen(0.5)
+      .TruncateSupport(1.0 - 0.9930)
+      .Build();
+}
+
+// MD-SAL-2D: annual salary x overtime; band along low overtime, 97.9% zeros.
+DataVector BuildMdSal2D(uint64_t seed) {
+  return ShapeBuilder(D2(), seed)
+      .AddDiagonalBand(0.0, 0.02, 0.01, 0.5)
+      .AddGaussian({0.05, 0.2}, {0.03, 0.1}, 0.3)
+      .AddDiagonalBand(0.3, 0.0, 0.03, 0.2)
+      .Roughen(0.5)
+      .TruncateSupport(1.0 - 0.9789)
+      .Build();
+}
+
+// LC-2D: funded amount x annual income; correlated diagonal band.
+DataVector BuildLc2D(uint64_t seed) {
+  return ShapeBuilder(D2(), seed)
+      .AddDiagonalBand(0.6, 0.05, 0.06, 0.7)
+      .AddGaussian({0.2, 0.25}, {0.08, 0.08}, 0.3)
+      .Roughen(0.4)
+      .TruncateSupport(1.0 - 0.9266)
+      .Build();
+}
+
+// STROKE: age x systolic blood pressure; broad bivariate normal, 79% zeros.
+DataVector BuildStroke(uint64_t seed) {
+  return ShapeBuilder(D2(), seed)
+      .AddGaussian({0.65, 0.5}, {0.12, 0.1}, 0.8)
+      .AddGaussian({0.45, 0.55}, {0.2, 0.15}, 0.2)
+      .Roughen(0.3)
+      .TruncateSupport(1.0 - 0.7902)
+      .Build();
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+const std::vector<DatasetDef>& AllDefs() {
+  static const std::vector<DatasetDef>* defs = [] {
+    auto* v = new std::vector<DatasetDef>;
+    auto add = [&](std::string name, size_t dims, double scale, double zf,
+                   bool is_new, ShapeFn fn) {
+      v->push_back({{name, dims, scale, zf, is_new}, std::move(fn)});
+    };
+    // 1D (Table 2, top block).
+    add("ADULT", 1, 32558, 0.9780, false, BuildAdult);
+    add("HEPPH", 1, 347414, 0.2117, false, BuildHepPh);
+    add("INCOME", 1, 20787122, 0.4497, false, BuildIncome);
+    add("MEDCOST", 1, 9415, 0.7480, false, BuildMedCost);
+    add("TRACE", 1, 25714, 0.9661, false, BuildTrace);
+    add("PATENT", 1, 27948226, 0.0620, false, BuildPatent);
+    add("SEARCH", 1, 335889, 0.5103, false, BuildSearch);
+    add("BIDS-FJ", 1, 1901799, 0.0, true,
+        [](uint64_t s) { return BuildBids(s, 0.45, 0.25); });
+    add("BIDS-FM", 1, 2126344, 0.0, true,
+        [](uint64_t s) { return BuildBids(s, 0.55, 0.35); });
+    add("BIDS-ALL", 1, 7655502, 0.0, true,
+        [](uint64_t s) { return BuildBids(s, 0.4, 0.2); });
+    add("MD-SAL", 1, 135727, 0.8312, true,
+        [](uint64_t s) { return BuildMdSal(s, 0.8312); });
+    add("MD-SAL-FA", 1, 100534, 0.8317, true,
+        [](uint64_t s) { return BuildMdSal(s, 0.8317); });
+    add("LC-REQ-F1", 1, 3737472, 0.6157, true,
+        [](uint64_t s) { return BuildLcReq(s, 0.6157); });
+    add("LC-REQ-F2", 1, 198045, 0.6769, true,
+        [](uint64_t s) { return BuildLcReq(s, 0.6769); });
+    add("LC-REQ-ALL", 1, 3999425, 0.6015, true,
+        [](uint64_t s) { return BuildLcReq(s, 0.6015); });
+    add("LC-DTIR-F1", 1, 3336740, 0.0, true,
+        [](uint64_t s) { return BuildLcDtir(s, 0.0); });
+    add("LC-DTIR-F2", 1, 189827, 0.1191, true,
+        [](uint64_t s) { return BuildLcDtir(s, 0.1191); });
+    add("LC-DTIR-ALL", 1, 3589119, 0.0, true,
+        [](uint64_t s) { return BuildLcDtir(s, 0.0); });
+    // 2D (Table 2, bottom block).
+    add("BJ-CABS-S", 2, 4268780, 0.7817, false,
+        [](uint64_t s) { return BuildCabs(s, 18, 0.35, 0.7817); });
+    add("BJ-CABS-E", 2, 4268780, 0.7683, false,
+        [](uint64_t s) { return BuildCabs(s, 22, 0.30, 0.7683); });
+    add("GOWALLA", 2, 6442863, 0.8892, false, BuildGowalla);
+    add("ADULT-2D", 2, 32561, 0.9930, false, BuildAdult2D);
+    add("SF-CABS-S", 2, 464040, 0.9504, false,
+        [](uint64_t s) { return BuildCabs(s, 10, 0.5, 0.9504); });
+    add("SF-CABS-E", 2, 464040, 0.9731, false,
+        [](uint64_t s) { return BuildCabs(s, 8, 0.55, 0.9731); });
+    add("MD-SAL-2D", 2, 70526, 0.9789, true, BuildMdSal2D);
+    add("LC-2D", 2, 550559, 0.9266, true, BuildLc2D);
+    add("STROKE", 2, 19435, 0.7902, true, BuildStroke);
+    return v;
+  }();
+  return *defs;
+}
+
+}  // namespace
+
+const std::vector<DatasetInfo>& DatasetRegistry::All1D() {
+  static const std::vector<DatasetInfo>* infos = [] {
+    auto* v = new std::vector<DatasetInfo>;
+    for (const auto& d : AllDefs()) {
+      if (d.info.dims == 1) v->push_back(d.info);
+    }
+    return v;
+  }();
+  return *infos;
+}
+
+const std::vector<DatasetInfo>& DatasetRegistry::All2D() {
+  static const std::vector<DatasetInfo>* infos = [] {
+    auto* v = new std::vector<DatasetInfo>;
+    for (const auto& d : AllDefs()) {
+      if (d.info.dims == 2) v->push_back(d.info);
+    }
+    return v;
+  }();
+  return *infos;
+}
+
+Result<DatasetInfo> DatasetRegistry::Info(const std::string& name) {
+  for (const auto& d : AllDefs()) {
+    if (d.info.name == name) return d.info;
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+Result<DataVector> DatasetRegistry::Shape(const std::string& name) {
+  // Cache shapes: recipes are deterministic but not free to rebuild.
+  static std::map<std::string, DataVector>* cache =
+      new std::map<std::string, DataVector>;
+  auto it = cache->find(name);
+  if (it != cache->end()) return it->second;
+  for (const auto& d : AllDefs()) {
+    if (d.info.name == name) {
+      DataVector shape = d.build(NameSeed(name));
+      cache->emplace(name, shape);
+      return shape;
+    }
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+Result<DataVector> DatasetRegistry::ShapeAtDomain(const std::string& name,
+                                                  size_t domain_size_per_dim) {
+  DPB_ASSIGN_OR_RETURN(DataVector shape, Shape(name));
+  size_t max_size = shape.domain().size(0);
+  if (domain_size_per_dim == 0 || max_size % domain_size_per_dim != 0) {
+    return Status::InvalidArgument(
+        "domain size must divide the maximum domain size");
+  }
+  size_t factor = max_size / domain_size_per_dim;
+  if (factor == 1) return shape;
+  std::vector<size_t> factors(shape.domain().num_dims(), factor);
+  return shape.Coarsen(factors);
+}
+
+}  // namespace dpbench

@@ -1,0 +1,56 @@
+// The DPBench dataset registry: all 27 datasets of Table 2 (18 1D + 9 2D),
+// rebuilt as deterministic synthetic shapes. See DESIGN.md §4.
+//
+// Each dataset is defined at the paper's maximum domain size (4096 for 1D,
+// 256x256 for 2D); smaller domains are derived by coarsening, exactly as in
+// the paper (§6.1).
+#ifndef DPBENCH_DATA_DATASETS_H_
+#define DPBENCH_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/histogram/data_vector.h"
+
+namespace dpbench {
+
+/// Maximum 1D domain size in the benchmark.
+inline constexpr size_t kMaxDomain1D = 4096;
+/// Maximum 2D domain side in the benchmark (256x256 cells).
+inline constexpr size_t kMaxDomainSide2D = 256;
+
+/// Static description of one benchmark dataset (one row of Table 2).
+struct DatasetInfo {
+  std::string name;
+  size_t dims;            // 1 or 2
+  double original_scale;  // Table 2 "Original Scale"
+  double zero_fraction;   // Table 2 "% Zero Counts" at the maximum domain
+  bool new_in_paper;      // "new" in the Previous-works column
+};
+
+/// Access to the benchmark's datasets.
+class DatasetRegistry {
+ public:
+  /// All 18 1D datasets, in Table 2 order.
+  static const std::vector<DatasetInfo>& All1D();
+
+  /// All 9 2D datasets, in Table 2 order.
+  static const std::vector<DatasetInfo>& All2D();
+
+  /// Metadata lookup by name.
+  static Result<DatasetInfo> Info(const std::string& name);
+
+  /// The dataset's shape (normalized histogram) at the maximum domain size.
+  /// Deterministic: repeated calls return identical vectors.
+  static Result<DataVector> Shape(const std::string& name);
+
+  /// Shape coarsened to the given 1D domain size (must divide 4096) or
+  /// 2D side (must divide 256).
+  static Result<DataVector> ShapeAtDomain(const std::string& name,
+                                          size_t domain_size_per_dim);
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_DATA_DATASETS_H_

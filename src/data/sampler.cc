@@ -1,0 +1,30 @@
+#include "src/data/sampler.h"
+
+namespace dpbench {
+
+Result<DataVector> SampleAtScale(const DataVector& shape, uint64_t scale,
+                                 Rng* rng) {
+  if (shape.size() == 0) {
+    return Status::InvalidArgument("empty shape");
+  }
+  std::vector<uint64_t> counts = rng->Multinomial(scale, shape.counts());
+  std::vector<double> out(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    out[i] = static_cast<double>(counts[i]);
+  }
+  return DataVector(shape.domain(), std::move(out));
+}
+
+Result<DataVector> SampleAtScaleAndDomain(const DataVector& shape,
+                                          uint64_t scale,
+                                          size_t coarsen_factor, Rng* rng) {
+  if (coarsen_factor == 0) {
+    return Status::InvalidArgument("zero coarsening factor");
+  }
+  if (coarsen_factor == 1) return SampleAtScale(shape, scale, rng);
+  std::vector<size_t> factors(shape.domain().num_dims(), coarsen_factor);
+  DPB_ASSIGN_OR_RETURN(DataVector coarse, shape.Coarsen(factors));
+  return SampleAtScale(coarse, scale, rng);
+}
+
+}  // namespace dpbench

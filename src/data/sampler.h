@@ -1,0 +1,31 @@
+// The DPBench data generator G (paper §5.1).
+//
+// G isolates a dataset's *shape* on a target domain, then samples a fresh
+// data vector of any requested *scale* by drawing m tuples i.i.d. from the
+// shape. This is what lets the benchmark vary scale, shape, and domain size
+// independently — the paper's key methodological device.
+#ifndef DPBENCH_DATA_SAMPLER_H_
+#define DPBENCH_DATA_SAMPLER_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/histogram/data_vector.h"
+
+namespace dpbench {
+
+/// Samples a data vector of exactly `scale` tuples from `shape`
+/// (multinomial with probabilities shape/||shape||_1). Counts are integral.
+Result<DataVector> SampleAtScale(const DataVector& shape, uint64_t scale,
+                                 Rng* rng);
+
+/// Convenience: coarsen `shape` by an integer factor per dimension first,
+/// then sample. Mirrors the generator's domain re-definition step.
+Result<DataVector> SampleAtScaleAndDomain(const DataVector& shape,
+                                          uint64_t scale,
+                                          size_t coarsen_factor, Rng* rng);
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_DATA_SAMPLER_H_

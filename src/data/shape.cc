@@ -1,0 +1,183 @@
+#include "src/data/shape.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/logging.h"
+
+namespace dpbench {
+
+namespace {
+
+// Normalizes `v` in place to sum to `total` (no-op if the sum is zero).
+void NormalizeTo(std::vector<double>* v, double total) {
+  double s = std::accumulate(v->begin(), v->end(), 0.0);
+  if (s <= 0.0) return;
+  for (double& x : *v) x *= total / s;
+}
+
+}  // namespace
+
+ShapeBuilder::ShapeBuilder(Domain domain, uint64_t seed)
+    : domain_(std::move(domain)),
+      rng_(seed),
+      mass_(domain_.TotalCells(), 0.0) {}
+
+ShapeBuilder& ShapeBuilder::AddGaussian(const std::vector<double>& center_frac,
+                                        const std::vector<double>& width_frac,
+                                        double weight) {
+  DPB_CHECK_EQ(center_frac.size(), domain_.num_dims());
+  DPB_CHECK_EQ(width_frac.size(), domain_.num_dims());
+  std::vector<double> bump(mass_.size(), 0.0);
+  for (size_t i = 0; i < mass_.size(); ++i) {
+    std::vector<size_t> idx = domain_.Unflatten(i);
+    double logp = 0.0;
+    for (size_t j = 0; j < idx.size(); ++j) {
+      double extent = static_cast<double>(domain_.size(j));
+      double mu = center_frac[j] * extent;
+      double sd = std::max(width_frac[j] * extent, 0.5);
+      double z = (static_cast<double>(idx[j]) - mu) / sd;
+      logp += -0.5 * z * z;
+    }
+    bump[i] = std::exp(logp);
+  }
+  NormalizeTo(&bump, weight);
+  for (size_t i = 0; i < mass_.size(); ++i) mass_[i] += bump[i];
+  return *this;
+}
+
+ShapeBuilder& ShapeBuilder::AddLognormal(double median_frac, double sigma,
+                                         double weight) {
+  DPB_CHECK_EQ(domain_.num_dims(), 1u);
+  size_t n = domain_.size(0);
+  std::vector<double> bump(n, 0.0);
+  double mu = std::log(std::max(median_frac * static_cast<double>(n), 1.0));
+  for (size_t i = 0; i < n; ++i) {
+    double x = static_cast<double>(i) + 1.0;
+    double z = (std::log(x) - mu) / sigma;
+    bump[i] = std::exp(-0.5 * z * z) / x;
+  }
+  NormalizeTo(&bump, weight);
+  for (size_t i = 0; i < n; ++i) mass_[i] += bump[i];
+  return *this;
+}
+
+ShapeBuilder& ShapeBuilder::AddZipfSpikes(size_t count, double exponent,
+                                          double weight) {
+  size_t n = mass_.size();
+  count = std::min(count, n);
+  std::vector<double> spikes(n, 0.0);
+  for (size_t r = 0; r < count; ++r) {
+    size_t cell = rng_.UniformInt(n);
+    spikes[cell] += std::pow(static_cast<double>(r + 1), -exponent);
+  }
+  NormalizeTo(&spikes, weight);
+  for (size_t i = 0; i < n; ++i) mass_[i] += spikes[i];
+  return *this;
+}
+
+ShapeBuilder& ShapeBuilder::AddPeriodicSpikes(size_t period, double decay,
+                                              double weight) {
+  DPB_CHECK_GT(period, 0u);
+  size_t n = mass_.size();
+  std::vector<double> spikes(n, 0.0);
+  size_t k = 0;
+  for (size_t i = 0; i < n; i += period, ++k) {
+    spikes[i] = std::exp(-decay * static_cast<double>(k));
+  }
+  NormalizeTo(&spikes, weight);
+  for (size_t i = 0; i < n; ++i) mass_[i] += spikes[i];
+  return *this;
+}
+
+ShapeBuilder& ShapeBuilder::AddUniform(double weight) {
+  double u = weight / static_cast<double>(mass_.size());
+  for (double& m : mass_) m += u;
+  return *this;
+}
+
+ShapeBuilder& ShapeBuilder::AddExponentialDecay(double rate_frac,
+                                                double weight) {
+  DPB_CHECK_EQ(domain_.num_dims(), 1u);
+  size_t n = domain_.size(0);
+  double rate = 1.0 / std::max(rate_frac * static_cast<double>(n), 1.0);
+  std::vector<double> bump(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    bump[i] = std::exp(-rate * static_cast<double>(i));
+  }
+  NormalizeTo(&bump, weight);
+  for (size_t i = 0; i < n; ++i) mass_[i] += bump[i];
+  return *this;
+}
+
+ShapeBuilder& ShapeBuilder::Roughen(double sigma) {
+  for (double& m : mass_) {
+    m *= std::exp(sigma * rng_.Normal());
+  }
+  return *this;
+}
+
+ShapeBuilder& ShapeBuilder::AddDiagonalBand(double slope, double offset_frac,
+                                            double width_frac, double weight) {
+  DPB_CHECK_EQ(domain_.num_dims(), 2u);
+  size_t rows = domain_.size(0), cols = domain_.size(1);
+  double width = std::max(width_frac * static_cast<double>(rows), 0.5);
+  std::vector<double> band(mass_.size(), 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      double target_row = slope * static_cast<double>(c) +
+                          offset_frac * static_cast<double>(rows);
+      double z = (static_cast<double>(r) - target_row) / width;
+      band[r * cols + c] = std::exp(-0.5 * z * z);
+    }
+  }
+  NormalizeTo(&band, weight);
+  for (size_t i = 0; i < mass_.size(); ++i) mass_[i] += band[i];
+  return *this;
+}
+
+ShapeBuilder& ShapeBuilder::TruncateSupport(double target_nonzero_fraction) {
+  DPB_CHECK(target_nonzero_fraction > 0.0 && target_nonzero_fraction <= 1.0);
+  size_t n = mass_.size();
+  if (target_nonzero_fraction >= 1.0) {
+    dense_floor_ = true;
+    return *this;
+  }
+  size_t keep = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::llround(target_nonzero_fraction * static_cast<double>(n))));
+  // Order cells by mass descending with random tie-breaking so flat regions
+  // do not truncate deterministically at low indices.
+  std::vector<std::pair<double, double>> keyed(n);  // (mass, jitter)
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (size_t i = 0; i < n; ++i) keyed[i] = {mass_[i], rng_.Uniform()};
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (keyed[a].first != keyed[b].first)
+      return keyed[a].first > keyed[b].first;
+    return keyed[a].second > keyed[b].second;
+  });
+  std::vector<double> truncated(n, 0.0);
+  for (size_t r = 0; r < keep; ++r) {
+    size_t cell = order[r];
+    // Ensure kept cells are strictly positive even if the mixture left
+    // them at zero (e.g. more support requested than mixture covers).
+    truncated[cell] = std::max(mass_[cell], 1e-9);
+  }
+  mass_ = std::move(truncated);
+  return *this;
+}
+
+DataVector ShapeBuilder::Build() const {
+  std::vector<double> out = mass_;
+  if (dense_floor_) {
+    double s = std::accumulate(out.begin(), out.end(), 0.0);
+    double floor = (s > 0.0 ? s : 1.0) * 1e-7 / static_cast<double>(out.size());
+    for (double& m : out) m = std::max(m, floor);
+  }
+  NormalizeTo(&out, 1.0);
+  return DataVector(domain_, std::move(out));
+}
+
+}  // namespace dpbench

@@ -1,0 +1,81 @@
+// Shape construction utilities.
+//
+// A *shape* (paper §2.2) is a normalized, non-negative distribution p over
+// the cells of a domain: p = x / ||x||_1. The paper's 27 datasets enter the
+// benchmark only through their shapes — the data generator G resamples a
+// shape at any requested scale. Since the original raw datasets are not
+// available offline, src/data/datasets.cc rebuilds each shape synthetically
+// from mixtures assembled with this builder, matched to the documented
+// characteristics (sparsity from Table 2, modality, heavy-tailedness); see
+// DESIGN.md §4 for the substitution rationale.
+#ifndef DPBENCH_DATA_SHAPE_H_
+#define DPBENCH_DATA_SHAPE_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/histogram/data_vector.h"
+
+namespace dpbench {
+
+/// Incrementally composes a mixture distribution over a domain, then
+/// truncates its support to match a target sparsity and normalizes.
+class ShapeBuilder {
+ public:
+  explicit ShapeBuilder(Domain domain, uint64_t seed);
+
+  /// Adds a (possibly truncated) Gaussian bump. Fractions are relative to
+  /// the domain extent per dimension; weight is the mixture mass.
+  /// For 2D domains center/width must have two entries.
+  ShapeBuilder& AddGaussian(const std::vector<double>& center_frac,
+                            const std::vector<double>& width_frac,
+                            double weight);
+
+  /// Adds lognormal-like mass along dimension 0 (1D only): cell i gets mass
+  /// proportional to the lognormal density with the given log-median
+  /// (as a fraction of the domain) and log-sigma.
+  ShapeBuilder& AddLognormal(double median_frac, double sigma, double weight);
+
+  /// Adds `count` spikes at random cells with Zipf-ranked masses
+  /// (mass of the r-th spike proportional to r^-exponent).
+  ShapeBuilder& AddZipfSpikes(size_t count, double exponent, double weight);
+
+  /// Adds spikes at regularly spaced cells ("round number" artifacts,
+  /// e.g. salaries / loan amounts clustering at multiples).
+  ShapeBuilder& AddPeriodicSpikes(size_t period, double decay, double weight);
+
+  /// Adds uniform background mass.
+  ShapeBuilder& AddUniform(double weight);
+
+  /// Adds an exponential decay from cell 0 (1D only).
+  ShapeBuilder& AddExponentialDecay(double rate_frac, double weight);
+
+  /// Adds i.i.d. multiplicative jitter exp(sigma * N(0,1)) per cell,
+  /// giving "rough" empirical texture.
+  ShapeBuilder& Roughen(double sigma);
+
+  /// 2D only: adds a band of mass around the line row = slope*col + offset
+  /// (both as fractions), with the given width fraction. Models correlated
+  /// attributes (e.g. funded amount vs income).
+  ShapeBuilder& AddDiagonalBand(double slope, double offset_frac,
+                                double width_frac, double weight);
+
+  /// Keeps only the `target_nonzero_fraction` heaviest cells (everything
+  /// else becomes exactly zero), matching Table 2's "% zero counts".
+  /// A fraction of 1.0 keeps all cells and additionally lifts zeros to a
+  /// tiny positive floor so that the shape is strictly dense.
+  ShapeBuilder& TruncateSupport(double target_nonzero_fraction);
+
+  /// Returns the normalized shape (sums to 1).
+  DataVector Build() const;
+
+ private:
+  Domain domain_;
+  Rng rng_;
+  std::vector<double> mass_;
+  bool dense_floor_ = false;
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_DATA_SHAPE_H_

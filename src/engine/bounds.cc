@@ -1,0 +1,63 @@
+#include "src/engine/bounds.h"
+
+#include <cmath>
+
+#include "src/algorithms/matrix_mechanism.h"
+
+namespace dpbench {
+
+Result<double> IdentityExpectedError(const Workload& w, double epsilon,
+                                     double scale) {
+  if (epsilon <= 0.0 || scale <= 0.0) {
+    return Status::InvalidArgument("epsilon and scale must be positive");
+  }
+  if (w.size() == 0) {
+    return Status::InvalidArgument("empty workload");
+  }
+  double total_var = 0.0;
+  for (const RangeQuery& q : w.queries()) {
+    total_var += static_cast<double>(q.NumCells()) * 2.0 /
+                 (epsilon * epsilon);
+  }
+  return std::sqrt(total_var) / (scale * static_cast<double>(w.size()));
+}
+
+Result<double> UniformExpectedError(const Workload& w, double epsilon,
+                                    double scale,
+                                    const std::vector<double>& shape) {
+  if (epsilon <= 0.0 || scale <= 0.0) {
+    return Status::InvalidArgument("epsilon and scale must be positive");
+  }
+  size_t n = w.domain().TotalCells();
+  if (shape.size() != n || w.size() == 0) {
+    return Status::InvalidArgument("shape arity mismatch or empty workload");
+  }
+  // Per query: bias s*(Wp - Wu)_q plus noise (Wu)_q * Lap(1/eps) from the
+  // scale estimate.
+  DataVector p(w.domain(), shape);
+  std::vector<double> wp = w.Evaluate(p);
+  DataVector u(w.domain(),
+               std::vector<double>(n, 1.0 / static_cast<double>(n)));
+  std::vector<double> wu = w.Evaluate(u);
+  double total = 0.0;
+  for (size_t q = 0; q < w.size(); ++q) {
+    double bias = scale * (wp[q] - wu[q]);
+    double noise_var = wu[q] * wu[q] * 2.0 / (epsilon * epsilon);
+    total += bias * bias + noise_var;
+  }
+  return std::sqrt(total) / (scale * static_cast<double>(w.size()));
+}
+
+Result<double> HierarchicalExpectedError(const Workload& w, double epsilon,
+                                         double scale, size_t branching) {
+  if (w.domain().num_dims() != 1) {
+    return Status::NotSupported("hierarchical bound is 1D-only");
+  }
+  size_t n = w.domain().TotalCells();
+  MatrixMechanism mm("H-bound",
+                     strategies::HierarchicalStrategy(n, branching));
+  DPB_ASSIGN_OR_RETURN(double sq, mm.ExpectedSquaredError(w, epsilon));
+  return std::sqrt(sq) / (scale * static_cast<double>(w.size()));
+}
+
+}  // namespace dpbench

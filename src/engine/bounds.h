@@ -1,0 +1,40 @@
+// Public (data-independent) error bounds.
+//
+// The paper's §8 highlights that data-independent algorithms admit *public*
+// error predictions — a user can know the error before running them —
+// while data-dependent algorithms do not, which is a deployment obstacle.
+// This module provides closed-form expected scaled errors for the
+// data-independent suite on the benchmark workloads; bench_ablation_bounds
+// validates the predictions against measurements.
+#ifndef DPBENCH_ENGINE_BOUNDS_H_
+#define DPBENCH_ENGINE_BOUNDS_H_
+
+#include "src/common/status.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+
+/// Expected scaled L2-per-query error of IDENTITY on a workload:
+/// each query q accumulates |q| independent Laplace(1/eps) variances, so
+/// E||Wx - Wx_hat||^2 = sum_q |q| * 2/eps^2 and the scaled error estimate
+/// is sqrt of that / (scale * |W|). (sqrt-of-mean, a slight upper bias vs
+/// the mean-of-sqrt actually reported; within a few percent for large q.)
+Result<double> IdentityExpectedError(const Workload& w, double epsilon,
+                                     double scale);
+
+/// Expected scaled error of UNIFORM on a *known shape*: the bias term
+/// ||W(p - u)||_2 * scale dominates, plus the scale-estimate noise.
+/// Requires the shape only — callers use public/synthetic shapes.
+Result<double> UniformExpectedError(const Workload& w, double epsilon,
+                                    double scale,
+                                    const std::vector<double>& shape);
+
+/// Expected scaled error of the b-ary hierarchical strategy with uniform
+/// budget and GLS inference, computed exactly via the matrix-mechanism
+/// formula (O(n^3); intended for n <= ~512).
+Result<double> HierarchicalExpectedError(const Workload& w, double epsilon,
+                                         double scale, size_t branching);
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ENGINE_BOUNDS_H_

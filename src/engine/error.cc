@@ -1,0 +1,72 @@
+#include "src/engine/error.h"
+
+#include <cmath>
+
+namespace dpbench {
+
+Result<double> ScaledL2PerQueryError(const std::vector<double>& y_true,
+                                     const std::vector<double>& y_hat,
+                                     double scale) {
+  if (y_true.size() != y_hat.size()) {
+    return Status::InvalidArgument("answer vector size mismatch");
+  }
+  if (y_true.empty()) {
+    return Status::InvalidArgument("empty workload answers");
+  }
+  if (scale <= 0.0) {
+    return Status::InvalidArgument("scale must be positive");
+  }
+  double ss = 0.0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    double d = y_true[i] - y_hat[i];
+    ss += d * d;
+  }
+  return std::sqrt(ss) / (scale * static_cast<double>(y_true.size()));
+}
+
+Result<double> WorkloadError(const Workload& w, const DataVector& truth,
+                             const DataVector& estimate) {
+  if (!(truth.domain() == estimate.domain())) {
+    return Status::InvalidArgument("domain mismatch between truth/estimate");
+  }
+  std::vector<double> y_true = w.Evaluate(truth);
+  std::vector<double> y_hat = w.Evaluate(estimate);
+  return ScaledL2PerQueryError(y_true, y_hat, truth.Scale());
+}
+
+Result<BiasVariance> DecomposeBiasVariance(
+    const std::vector<double>& y_true,
+    const std::vector<std::vector<double>>& y_hats) {
+  if (y_hats.empty()) {
+    return Status::InvalidArgument("need at least one run");
+  }
+  size_t q = y_true.size();
+  std::vector<double> mean(q, 0.0);
+  for (const auto& y : y_hats) {
+    if (y.size() != q) {
+      return Status::InvalidArgument("run arity mismatch");
+    }
+    for (size_t i = 0; i < q; ++i) mean[i] += y[i];
+  }
+  for (double& m : mean) m /= static_cast<double>(y_hats.size());
+
+  double bias_ss = 0.0;
+  for (size_t i = 0; i < q; ++i) {
+    double d = mean[i] - y_true[i];
+    bias_ss += d * d;
+  }
+  double var_ss = 0.0;
+  if (y_hats.size() > 1) {
+    for (size_t i = 0; i < q; ++i) {
+      double v = 0.0;
+      for (const auto& y : y_hats) {
+        double d = y[i] - mean[i];
+        v += d * d;
+      }
+      var_ss += v / static_cast<double>(y_hats.size() - 1);
+    }
+  }
+  return BiasVariance{std::sqrt(bias_ss), std::sqrt(var_ss)};
+}
+
+}  // namespace dpbench

@@ -1,0 +1,37 @@
+// Error measurement standards EM (paper §5.3).
+#ifndef DPBENCH_ENGINE_ERROR_H_
+#define DPBENCH_ENGINE_ERROR_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/histogram/data_vector.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+
+/// Scaled average per-query error (paper Definition 3) with the L2 loss:
+/// (1 / (scale * |W|)) * ||y_true - y_hat||_2.
+Result<double> ScaledL2PerQueryError(const std::vector<double>& y_true,
+                                     const std::vector<double>& y_hat,
+                                     double scale);
+
+/// Convenience: evaluates the workload on the truth and the estimate and
+/// returns the scaled error. `scale` is taken from the true data.
+Result<double> WorkloadError(const Workload& w, const DataVector& truth,
+                             const DataVector& estimate);
+
+/// Decomposition of error into bias and dispersion across repeated runs of
+/// one algorithm on the same input (used by the consistency analyses,
+/// Finding 9): bias = ||mean(y_hat) - y_true||, and the remainder is noise.
+struct BiasVariance {
+  double bias_l2;       ///< L2 norm of the mean residual
+  double stddev_l2;     ///< sqrt of the summed per-query variances
+};
+Result<BiasVariance> DecomposeBiasVariance(
+    const std::vector<double>& y_true,
+    const std::vector<std::vector<double>>& y_hats);
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ENGINE_ERROR_H_

@@ -1,0 +1,63 @@
+#include "src/engine/postprocess.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dpbench {
+
+DataVector ClampNonNegative(const DataVector& x) {
+  DataVector out = x;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out[i] < 0.0) out[i] = 0.0;
+  }
+  return out;
+}
+
+DataVector NormalizeToScale(const DataVector& x, double target_scale) {
+  DataVector out = x;
+  double total = out.Scale();
+  if (total <= 0.0) return out;
+  double factor = target_scale / total;
+  for (size_t i = 0; i < out.size(); ++i) out[i] *= factor;
+  return out;
+}
+
+DataVector RoundToCounts(const DataVector& x) {
+  DataVector out = x;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::max(0.0, std::round(out[i]));
+  }
+  return out;
+}
+
+DataVector ProjectNonNegativeKeepingTotal(const DataVector& x) {
+  // Exact Euclidean projection onto {v >= 0, sum(v) = total}: the solution
+  // is v_i = max(x_i - theta, 0) where theta solves
+  // sum_i max(x_i - theta, 0) = total (standard simplex projection,
+  // generalized to an arbitrary non-negative total).
+  const double total = std::max(x.Scale(), 0.0);
+  const size_t n = x.size();
+  if (n == 0) return x;
+
+  std::vector<double> sorted = x.counts();
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  double cumulative = 0.0;
+  double theta = (sorted[0] - total);  // k = 1 candidate
+  for (size_t k = 1; k <= n; ++k) {
+    cumulative += sorted[k - 1];
+    double candidate = (cumulative - total) / static_cast<double>(k);
+    // Valid while every kept cell exceeds theta.
+    if (k == n || sorted[k] <= candidate) {
+      theta = candidate;
+      break;
+    }
+  }
+  DataVector out = x;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = std::max(x[i] - theta, 0.0);
+  }
+  return out;
+}
+
+}  // namespace dpbench

@@ -1,0 +1,36 @@
+// Post-processing transforms for private estimates.
+//
+// Differential privacy is closed under post-processing, so these
+// transforms are "free": they consume no budget and can only be applied to
+// the mechanism output. DPBench evaluates raw algorithm outputs (matching
+// the paper), but deployments almost always clamp negatives and restore
+// integrality; the ablation bench bench_ablation_bounds quantifies what
+// the transforms change.
+#ifndef DPBENCH_ENGINE_POSTPROCESS_H_
+#define DPBENCH_ENGINE_POSTPROCESS_H_
+
+#include "src/common/status.h"
+#include "src/histogram/data_vector.h"
+
+namespace dpbench {
+
+/// Clamps negative cells to zero.
+DataVector ClampNonNegative(const DataVector& x);
+
+/// Rescales the estimate so its total matches `target_scale`
+/// (no-op if the current total is not positive).
+DataVector NormalizeToScale(const DataVector& x, double target_scale);
+
+/// Rounds every cell to the nearest non-negative integer.
+DataVector RoundToCounts(const DataVector& x);
+
+/// The minimum-L2 projection onto the non-negative orthant subject to the
+/// total being preserved: iteratively zero the most-negative cells and
+/// redistribute the deficit over the remaining positive cells. This is the
+/// standard "truncate and renormalize" estimator used in private synthetic
+/// data generation.
+DataVector ProjectNonNegativeKeepingTotal(const DataVector& x);
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ENGINE_POSTPROCESS_H_

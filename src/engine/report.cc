@@ -1,0 +1,146 @@
+#include "src/engine/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/math.h"
+
+namespace dpbench {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  DPB_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Num(double v) {
+  std::ostringstream os;
+  if (v == 0.0) {
+    os << "0";
+  } else if (std::abs(v) >= 0.01 && std::abs(v) < 10000.0) {
+    os << std::fixed << std::setprecision(4) << v;
+  } else {
+    os << std::scientific << std::setprecision(3) << v;
+  }
+  return os.str();
+}
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : width) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void WriteCsv(const std::vector<CellResult>& results, std::ostream& os) {
+  os << "algorithm,dataset,scale,domain,epsilon,trials,mean_error,"
+        "stddev,p95\n";
+  for (const CellResult& cell : results) {
+    os << cell.key.algorithm << "," << cell.key.dataset << ","
+       << cell.key.scale << "," << cell.key.domain_size << ","
+       << cell.key.epsilon << "," << cell.summary.trials << ","
+       << cell.summary.mean << "," << cell.summary.stddev << ","
+       << cell.summary.p95 << "\n";
+  }
+}
+
+Result<std::vector<CellResult>> ReadCsv(std::istream& is) {
+  std::vector<CellResult> out;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line.rfind("algorithm,", 0) != 0) {
+        return Status::InvalidArgument("missing CSV header");
+      }
+      saw_header = true;
+      continue;
+    }
+    std::stringstream ss(line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(ss, field, ',')) fields.push_back(field);
+    if (fields.size() != 9) {
+      return Status::InvalidArgument("malformed CSV row: " + line);
+    }
+    try {
+      CellResult cell;
+      cell.key.algorithm = fields[0];
+      cell.key.dataset = fields[1];
+      cell.key.scale = std::stoull(fields[2]);
+      cell.key.domain_size = std::stoul(fields[3]);
+      cell.key.epsilon = std::stod(fields[4]);
+      cell.summary.trials = std::stoul(fields[5]);
+      cell.summary.mean = std::stod(fields[6]);
+      cell.summary.stddev = std::stod(fields[7]);
+      cell.summary.p95 = std::stod(fields[8]);
+      out.push_back(std::move(cell));
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("malformed CSV row: " + line);
+    }
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("empty CSV");
+  }
+  return out;
+}
+
+Result<std::map<std::string, double>> ComputeRegret(
+    const std::map<std::string, std::map<std::string, double>>&
+        mean_error_by_setting) {
+  if (mean_error_by_setting.empty()) {
+    return Status::InvalidArgument("no settings");
+  }
+  // Algorithms present in every setting.
+  std::map<std::string, size_t> presence;
+  for (const auto& [setting, by_algo] : mean_error_by_setting) {
+    for (const auto& [algo, err] : by_algo) {
+      (void)err;
+      presence[algo]++;
+    }
+  }
+  size_t num_settings = mean_error_by_setting.size();
+  std::map<std::string, std::vector<double>> ratios;
+  for (const auto& [setting, by_algo] : mean_error_by_setting) {
+    double oracle = std::numeric_limits<double>::infinity();
+    for (const auto& [algo, err] : by_algo) {
+      if (presence[algo] == num_settings) oracle = std::min(oracle, err);
+    }
+    if (!std::isfinite(oracle) || oracle <= 0.0) {
+      return Status::InvalidArgument("setting with no positive oracle error");
+    }
+    for (const auto& [algo, err] : by_algo) {
+      if (presence[algo] == num_settings) {
+        ratios[algo].push_back(err / oracle);
+      }
+    }
+  }
+  std::map<std::string, double> regret;
+  for (const auto& [algo, rs] : ratios) {
+    regret[algo] = GeometricMean(rs);
+  }
+  return regret;
+}
+
+}  // namespace dpbench

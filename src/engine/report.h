@@ -1,0 +1,50 @@
+// Output helpers: aligned ASCII tables, CSV emission, and the regret
+// measure from the paper's state-of-the-art assessment (§7.2).
+#ifndef DPBENCH_ENGINE_REPORT_H_
+#define DPBENCH_ENGINE_REPORT_H_
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/runner.h"
+
+namespace dpbench {
+
+/// A simple aligned-text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  void Print(std::ostream& os) const;
+
+  /// Formats a double compactly ("1.23e-4" style).
+  static std::string Num(double v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Emits the raw cell results as CSV (one line per configuration).
+void WriteCsv(const std::vector<CellResult>& results, std::ostream& os);
+
+/// Parses CSV produced by WriteCsv back into summaries (raw per-trial
+/// errors are not serialized; CellResult.errors stays empty). Tolerates
+/// and skips blank lines; fails on malformed rows.
+Result<std::vector<CellResult>> ReadCsv(std::istream& is);
+
+/// Regret (paper §7.2): for each setting, the ratio of an algorithm's mean
+/// error to the per-setting oracle-best mean error; aggregated across
+/// settings with the geometric mean. Input shape: setting -> algorithm ->
+/// mean error. Only algorithms present in *every* setting are scored.
+Result<std::map<std::string, double>> ComputeRegret(
+    const std::map<std::string, std::map<std::string, double>>&
+        mean_error_by_setting);
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ENGINE_REPORT_H_

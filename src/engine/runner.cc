@@ -1,0 +1,200 @@
+#include "src/engine/runner.h"
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <tuple>
+
+#include "src/algorithms/mechanism.h"
+#include "src/data/datasets.h"
+#include "src/data/sampler.h"
+#include "src/engine/error.h"
+
+namespace dpbench {
+
+namespace {
+
+// Deterministic stream seed for a labelled sub-experiment: FNV-1a over the
+// master seed and the label. Guarantees results do not depend on grid
+// iteration order or thread scheduling.
+uint64_t StreamSeed(uint64_t master, const std::string& label) {
+  uint64_t h = 1469598103934665603ULL ^ master;
+  h *= 1099511628211ULL;
+  for (char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool ConfigKey::operator<(const ConfigKey& other) const {
+  return std::tie(algorithm, dataset, scale, domain_size, epsilon) <
+         std::tie(other.algorithm, other.dataset, other.scale,
+                  other.domain_size, other.epsilon);
+}
+
+std::string ConfigKey::ToString() const {
+  std::ostringstream os;
+  os << algorithm << "/" << dataset << "/scale=" << scale
+     << "/domain=" << domain_size << "/eps=" << epsilon;
+  return os.str();
+}
+
+Workload MakeWorkload(WorkloadKind kind, const Domain& domain,
+                      size_t random_queries, uint64_t seed) {
+  switch (kind) {
+    case WorkloadKind::kPrefix1D:
+      return Workload::Prefix1D(domain.TotalCells());
+    case WorkloadKind::kRandomRange2D:
+      return Workload::RandomRange(domain, random_queries, seed);
+    case WorkloadKind::kIdentity:
+      return Workload::Identity(domain);
+  }
+  return Workload::Identity(domain);
+}
+
+Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
+                                            ProgressFn progress) {
+  struct SharedInput {
+    Workload workload;
+    std::vector<DataVector> samples;
+    std::vector<std::vector<double>> true_answers;
+  };
+  struct CellTask {
+    ConfigKey key;
+    const SharedInput* input = nullptr;
+  };
+
+  // Phase 1 (sequential): draw the data vectors per (dataset, domain,
+  // scale) so all algorithms and epsilons see identical samples — the
+  // paper's controlled-comparison requirement.
+  std::vector<std::unique_ptr<SharedInput>> inputs;
+  std::vector<CellTask> tasks;
+  for (const std::string& dataset : config.datasets) {
+    DPB_ASSIGN_OR_RETURN(DatasetInfo info, DatasetRegistry::Info(dataset));
+    (void)info;
+    for (size_t domain_size : config.domain_sizes) {
+      DPB_ASSIGN_OR_RETURN(
+          DataVector shape,
+          DatasetRegistry::ShapeAtDomain(dataset, domain_size));
+      Workload workload = MakeWorkload(config.workload, shape.domain(),
+                                       config.random_queries, config.seed);
+      for (uint64_t scale : config.scales) {
+        std::ostringstream label;
+        label << "data/" << dataset << "/" << domain_size << "/" << scale;
+        Rng data_rng(StreamSeed(config.seed, label.str()));
+        auto input = std::make_unique<SharedInput>();
+        input->workload = workload;
+        for (size_t s = 0; s < config.data_samples; ++s) {
+          DPB_ASSIGN_OR_RETURN(DataVector x,
+                               SampleAtScale(shape, scale, &data_rng));
+          input->true_answers.push_back(input->workload.Evaluate(x));
+          input->samples.push_back(std::move(x));
+        }
+        for (double eps : config.epsilons) {
+          for (const std::string& algo : config.algorithms) {
+            DPB_ASSIGN_OR_RETURN(MechanismPtr mech,
+                                 MechanismRegistry::Get(algo));
+            if (!mech->SupportsDims(shape.domain().num_dims())) {
+              continue;  // e.g. PHP on 2D: silently out of scope
+            }
+            tasks.push_back(
+                {{algo, dataset, scale, domain_size, eps}, input.get()});
+          }
+        }
+        inputs.push_back(std::move(input));
+      }
+    }
+  }
+
+  // Phase 2: execute cells (independently seeded, hence parallelizable).
+  std::vector<CellResult> out(tasks.size());
+  std::vector<Status> failures(tasks.size(), Status::OK());
+  std::atomic<size_t> next{0};
+  std::mutex progress_mu;
+
+  auto run_cell = [&](size_t idx) {
+    const CellTask& task = tasks[idx];
+    auto mech_or = MechanismRegistry::Get(task.key.algorithm);
+    if (!mech_or.ok()) {
+      failures[idx] = mech_or.status();
+      return;
+    }
+    MechanismPtr mech = std::move(mech_or).value();
+    CellResult cell;
+    cell.key = task.key;
+    Rng run_rng(StreamSeed(config.seed, "run/" + task.key.ToString()));
+    for (size_t s = 0; s < task.input->samples.size(); ++s) {
+      const DataVector& x = task.input->samples[s];
+      for (size_t r = 0; r < config.runs_per_sample; ++r) {
+        RunContext ctx{x, task.input->workload, task.key.epsilon, &run_rng,
+                       {}};
+        if (config.provide_true_scale) {
+          ctx.side_info.true_scale = x.Scale();
+        }
+        auto est = mech->Run(ctx);
+        if (!est.ok()) {
+          failures[idx] = est.status();
+          return;
+        }
+        std::vector<double> y_hat = task.input->workload.Evaluate(*est);
+        auto err = ScaledL2PerQueryError(task.input->true_answers[s], y_hat,
+                                         x.Scale());
+        if (!err.ok()) {
+          failures[idx] = err.status();
+          return;
+        }
+        cell.errors.push_back(*err);
+      }
+    }
+    auto summary = Summarize(cell.errors);
+    if (!summary.ok()) {
+      failures[idx] = summary.status();
+      return;
+    }
+    cell.summary = *summary;
+    if (progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      progress(cell);
+    }
+    out[idx] = std::move(cell);
+  };
+
+  size_t threads = std::max<size_t>(config.threads, 1);
+  if (threads == 1) {
+    for (size_t i = 0; i < tasks.size(); ++i) run_cell(i);
+  } else {
+    std::vector<std::thread> pool;
+    for (size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (size_t i = next.fetch_add(1); i < tasks.size();
+             i = next.fetch_add(1)) {
+          run_cell(i);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  for (const Status& st : failures) {
+    DPB_RETURN_NOT_OK(st);
+  }
+  return out;
+}
+
+std::map<std::string, std::map<std::string, std::vector<double>>>
+Runner::GroupBySetting(const std::vector<CellResult>& results) {
+  std::map<std::string, std::map<std::string, std::vector<double>>> grouped;
+  for (const CellResult& cell : results) {
+    std::ostringstream setting;
+    setting << cell.key.dataset << "/scale=" << cell.key.scale
+            << "/domain=" << cell.key.domain_size
+            << "/eps=" << cell.key.epsilon;
+    grouped[setting.str()][cell.key.algorithm] = cell.errors;
+  }
+  return grouped;
+}
+
+}  // namespace dpbench

@@ -1,0 +1,91 @@
+// The DPBench experiment runner: the loop over
+// {algorithm x dataset x scale x domain x epsilon x trials} that produces
+// the paper's figures and tables.
+//
+// For each configuration the runner draws `data_samples` fresh data vectors
+// from the data generator G and executes each algorithm `runs_per_sample`
+// times per vector (paper §6.1 uses 5 x 10).
+#ifndef DPBENCH_ENGINE_RUNNER_H_
+#define DPBENCH_ENGINE_RUNNER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/stats.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+
+/// Which workload the benchmark instantiates (paper §6.2).
+enum class WorkloadKind {
+  kPrefix1D,        ///< Prefix workload: [0, i] for all i
+  kRandomRange2D,   ///< 2000 random range queries
+  kIdentity,        ///< per-cell queries (used for domain-size studies)
+};
+
+/// Full grid specification for one experiment.
+struct ExperimentConfig {
+  std::vector<std::string> algorithms;
+  std::vector<std::string> datasets;
+  std::vector<uint64_t> scales;
+  std::vector<size_t> domain_sizes;  ///< per-dimension size (e.g. 4096, 128)
+  std::vector<double> epsilons;
+  WorkloadKind workload = WorkloadKind::kPrefix1D;
+  size_t random_queries = 2000;   ///< for kRandomRange2D
+  size_t data_samples = 5;        ///< data vectors drawn from G
+  size_t runs_per_sample = 10;    ///< algorithm executions per vector
+  uint64_t seed = 20160626;       ///< master seed (SIGMOD'16 vintage)
+  bool provide_true_scale = true; ///< expose scale as side info (paper §6.4)
+  size_t threads = 1;             ///< worker threads (cells are independent)
+};
+
+/// Identifier of one grid cell.
+struct ConfigKey {
+  std::string algorithm;
+  std::string dataset;
+  uint64_t scale = 0;
+  size_t domain_size = 0;
+  double epsilon = 0.0;
+
+  bool operator<(const ConfigKey& other) const;
+  std::string ToString() const;
+};
+
+/// Result of one grid cell: raw per-trial errors plus the summary.
+struct CellResult {
+  ConfigKey key;
+  std::vector<double> errors;
+  ErrorSummary summary;
+};
+
+/// Runs the grid. `progress` (optional) is invoked after each cell.
+class Runner {
+ public:
+  using ProgressFn = std::function<void(const CellResult&)>;
+
+  /// Executes all configurations; failures on individual cells abort with
+  /// the offending status (no partial silent results).
+  ///
+  /// Results are bit-identical regardless of `config.threads` and of the
+  /// *order* of the algorithm/dataset lists: every cell's randomness is
+  /// derived from a hash of (seed, dataset, domain, scale, eps, algorithm),
+  /// and the data samples from (seed, dataset, domain, scale).
+  static Result<std::vector<CellResult>> Run(const ExperimentConfig& config,
+                                             ProgressFn progress = nullptr);
+
+  /// Groups cell results by (dataset, scale, domain, eps), mapping
+  /// algorithm name to raw errors — the input shape CompetitiveSet needs.
+  static std::map<std::string, std::map<std::string, std::vector<double>>>
+  GroupBySetting(const std::vector<CellResult>& results);
+};
+
+/// Builds the benchmark workload for a domain.
+Workload MakeWorkload(WorkloadKind kind, const Domain& domain,
+                      size_t random_queries, uint64_t seed);
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ENGINE_RUNNER_H_

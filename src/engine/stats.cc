@@ -1,0 +1,84 @@
+#include "src/engine/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/math.h"
+
+namespace dpbench {
+
+Result<ErrorSummary> Summarize(const std::vector<double>& errors) {
+  if (errors.empty()) {
+    return Status::InvalidArgument("no trials to summarize");
+  }
+  ErrorSummary s;
+  s.mean = Mean(errors);
+  s.stddev = SampleStddev(errors);
+  s.p95 = Percentile(errors, 95.0);
+  s.trials = errors.size();
+  return s;
+}
+
+Result<double> WelchTTestPValue(const std::vector<double>& xs,
+                                const std::vector<double>& ys) {
+  if (xs.size() < 2 || ys.size() < 2) {
+    return Status::InvalidArgument("t-test needs at least 2 samples per arm");
+  }
+  double mx = Mean(xs), my = Mean(ys);
+  double vx = SampleVariance(xs), vy = SampleVariance(ys);
+  double nx = static_cast<double>(xs.size());
+  double ny = static_cast<double>(ys.size());
+  double se2 = vx / nx + vy / ny;
+  if (se2 <= 0.0) {
+    // Identical constant samples: no evidence of difference if means equal.
+    return (mx == my) ? 1.0 : 0.0;
+  }
+  double t = (mx - my) / std::sqrt(se2);
+  // Welch-Satterthwaite degrees of freedom.
+  double df_num = se2 * se2;
+  double df_den = (vx / nx) * (vx / nx) / (nx - 1.0) +
+                  (vy / ny) * (vy / ny) / (ny - 1.0);
+  double df = (df_den > 0.0) ? df_num / df_den : nx + ny - 2.0;
+  df = std::max(df, 1.0);
+  double cdf = StudentTCdf(std::abs(t), df);
+  return 2.0 * (1.0 - cdf);
+}
+
+Result<std::vector<std::string>> CompetitiveSet(
+    const std::map<std::string, std::vector<double>>& errors_by_algorithm,
+    double alpha) {
+  if (errors_by_algorithm.empty()) {
+    return Status::InvalidArgument("no algorithms to compare");
+  }
+  // Locate the algorithm with lowest mean error.
+  std::string best;
+  double best_mean = std::numeric_limits<double>::infinity();
+  for (const auto& [name, errs] : errors_by_algorithm) {
+    if (errs.empty()) {
+      return Status::InvalidArgument("algorithm " + name + " has no trials");
+    }
+    double m = Mean(errs);
+    if (m < best_mean) {
+      best_mean = m;
+      best = name;
+    }
+  }
+  size_t nalgs = errors_by_algorithm.size();
+  double corrected =
+      (nalgs > 1) ? alpha / static_cast<double>(nalgs - 1) : alpha;
+
+  std::vector<std::string> competitive{best};
+  const std::vector<double>& best_errs = errors_by_algorithm.at(best);
+  for (const auto& [name, errs] : errors_by_algorithm) {
+    if (name == best) continue;
+    if (errs.size() < 2 || best_errs.size() < 2) continue;
+    DPB_ASSIGN_OR_RETURN(double p, WelchTTestPValue(errs, best_errs));
+    // Not significantly different from the best -> competitive.
+    if (p > corrected) competitive.push_back(name);
+  }
+  std::sort(competitive.begin(), competitive.end());
+  return competitive;
+}
+
+}  // namespace dpbench

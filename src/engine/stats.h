@@ -1,0 +1,41 @@
+// Statistical machinery for DPBench's measurement standards (paper §5.3):
+// trial summaries (mean, 95th percentile), Welch's unpaired t-test, and the
+// Bonferroni-corrected competitiveness determination used by Tables 3a/3b.
+#ifndef DPBENCH_ENGINE_STATS_H_
+#define DPBENCH_ENGINE_STATS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace dpbench {
+
+/// Summary of repeated error measurements of one algorithm configuration.
+struct ErrorSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p95 = 0.0;  ///< 95th percentile error ("risk-averse" measure)
+  size_t trials = 0;
+};
+
+/// Computes the summary from raw per-trial errors.
+Result<ErrorSummary> Summarize(const std::vector<double>& errors);
+
+/// Welch's unpaired two-sample t-test. Returns the two-sided p-value for
+/// the null hypothesis that both samples have equal means.
+Result<double> WelchTTestPValue(const std::vector<double>& xs,
+                                const std::vector<double>& ys);
+
+/// Determines the competitive set (paper §5.3): the algorithm with lowest
+/// mean error plus every algorithm whose mean is not significantly higher
+/// (Welch t-test at alpha = `alpha` / (num_algorithms - 1), Bonferroni).
+/// Input: per-algorithm raw trial errors. Output: competitive names.
+Result<std::vector<std::string>> CompetitiveSet(
+    const std::map<std::string, std::vector<double>>& errors_by_algorithm,
+    double alpha = 0.05);
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ENGINE_STATS_H_

@@ -1,0 +1,58 @@
+#include "src/engine/synthetic.h"
+
+#include <cmath>
+
+namespace dpbench {
+
+Result<std::vector<SyntheticRecord>> SampleSyntheticRecords(
+    const DataVector& estimate, size_t count, Rng* rng) {
+  if (estimate.size() == 0) {
+    return Status::InvalidArgument("empty estimate");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("rng must be provided");
+  }
+  // Clamp negatives: probabilities must be non-negative.
+  std::vector<double> mass(estimate.size());
+  double total = 0.0;
+  for (size_t i = 0; i < estimate.size(); ++i) {
+    mass[i] = std::max(estimate[i], 0.0);
+    total += mass[i];
+  }
+  if (count == 0) {
+    count = static_cast<size_t>(std::llround(std::max(total, 0.0)));
+  }
+  std::vector<SyntheticRecord> records;
+  records.reserve(count);
+  if (count == 0) return records;
+  if (total <= 0.0) {
+    return Status::FailedPrecondition(
+        "estimate carries no positive mass to sample from");
+  }
+  std::vector<uint64_t> counts = rng->Multinomial(count, mass);
+  const Domain& domain = estimate.domain();
+  for (size_t cell = 0; cell < counts.size(); ++cell) {
+    SyntheticRecord index = domain.Unflatten(cell);
+    for (uint64_t k = 0; k < counts[cell]; ++k) records.push_back(index);
+  }
+  return records;
+}
+
+Result<DataVector> HistogramOfRecords(
+    const std::vector<SyntheticRecord>& records, const Domain& domain) {
+  DataVector out(domain);
+  for (const SyntheticRecord& r : records) {
+    if (r.size() != domain.num_dims()) {
+      return Status::InvalidArgument("record dimensionality mismatch");
+    }
+    for (size_t j = 0; j < r.size(); ++j) {
+      if (r[j] >= domain.size(j)) {
+        return Status::OutOfRange("record outside domain");
+      }
+    }
+    out[domain.Flatten(r)] += 1.0;
+  }
+  return out;
+}
+
+}  // namespace dpbench

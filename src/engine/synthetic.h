@@ -1,0 +1,35 @@
+// Synthetic microdata release: convert a private histogram estimate into
+// individual records.
+//
+// The census scenario that motivates the paper (§1) usually ends in a
+// microdata file, not a histogram. Because differential privacy is closed
+// under post-processing, sampling records from the released estimate is
+// free: the records carry exactly the privacy guarantee of the estimate.
+#ifndef DPBENCH_ENGINE_SYNTHETIC_H_
+#define DPBENCH_ENGINE_SYNTHETIC_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/histogram/data_vector.h"
+
+namespace dpbench {
+
+/// A synthetic record: one multi-index into the domain per tuple.
+using SyntheticRecord = std::vector<size_t>;
+
+/// Draws `count` records i.i.d. from the (clamped, normalized) estimate.
+/// Pass count == 0 to draw round(max(Scale, 0)) records — the natural
+/// choice matching the released total.
+Result<std::vector<SyntheticRecord>> SampleSyntheticRecords(
+    const DataVector& estimate, size_t count, Rng* rng);
+
+/// Rebuilds the histogram of a record set on a domain (inverse of the
+/// sampler; useful for verifying round trips and for re-aggregation).
+Result<DataVector> HistogramOfRecords(
+    const std::vector<SyntheticRecord>& records, const Domain& domain);
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ENGINE_SYNTHETIC_H_

@@ -1,0 +1,94 @@
+#include "src/engine/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+#include "src/common/math.h"
+#include "src/data/sampler.h"
+#include "src/data/shape.h"
+
+namespace dpbench {
+
+std::vector<DataVector> TrainingShapes(size_t domain_size, uint64_t seed) {
+  std::vector<DataVector> shapes;
+  Domain d(domain_size);
+  // Power-law shapes with different exponents.
+  for (double exponent : {0.8, 1.2, 2.0}) {
+    std::vector<double> mass(domain_size);
+    for (size_t i = 0; i < domain_size; ++i) {
+      mass[i] = std::pow(static_cast<double>(i + 1), -exponent);
+    }
+    double s = 0.0;
+    for (double m : mass) s += m;
+    for (double& m : mass) m /= s;
+    shapes.emplace_back(d, std::move(mass));
+  }
+  // Normal shapes with different widths.
+  uint64_t k = 0;
+  for (double width : {0.02, 0.1, 0.3}) {
+    ShapeBuilder b(d, seed + (k++));
+    b.AddGaussian({0.5}, {width}, 1.0);
+    shapes.push_back(b.Build());
+  }
+  return shapes;
+}
+
+Result<std::vector<ScheduleEntry>> LearnSchedule(const TunerConfig& config,
+                                                 const TunableRunFn& run) {
+  if (config.candidates.empty() || config.products.empty()) {
+    return Status::InvalidArgument("tuner needs candidates and products");
+  }
+  std::vector<DataVector> shapes =
+      TrainingShapes(config.domain_size, config.seed);
+  Rng rng(config.seed * 2654435761ULL + 1);
+
+  std::vector<double> sorted_products = config.products;
+  std::sort(sorted_products.begin(), sorted_products.end());
+
+  std::vector<ScheduleEntry> schedule;
+  for (double product : sorted_products) {
+    uint64_t scale = static_cast<uint64_t>(
+        std::llround(std::max(product / config.epsilon, 1.0)));
+    double best_err = std::numeric_limits<double>::infinity();
+    const ParamVector* best_theta = nullptr;
+    for (const ParamVector& theta : config.candidates) {
+      std::vector<double> errs;
+      for (const DataVector& shape : shapes) {
+        for (size_t t = 0; t < config.trials; ++t) {
+          DPB_ASSIGN_OR_RETURN(DataVector x,
+                               SampleAtScale(shape, scale, &rng));
+          DPB_ASSIGN_OR_RETURN(double err,
+                               run(theta, x, config.epsilon, &rng));
+          errs.push_back(err);
+        }
+      }
+      double mean = Mean(errs);
+      if (mean < best_err) {
+        best_err = mean;
+        best_theta = &theta;
+      }
+    }
+    DPB_CHECK(best_theta != nullptr);
+    // Regime lower bound: geometric midpoint with the previous product.
+    double min_product = schedule.empty()
+                             ? 0.0
+                             : std::sqrt(product * sorted_products
+                                             [schedule.size() - 1]);
+    schedule.push_back({min_product, *best_theta, best_err});
+  }
+  return schedule;
+}
+
+const ParamVector& ScheduleLookup(const std::vector<ScheduleEntry>& schedule,
+                                  double product) {
+  DPB_CHECK(!schedule.empty());
+  const ParamVector* theta = &schedule.front().theta;
+  for (const ScheduleEntry& e : schedule) {
+    if (product >= e.min_product) theta = &e.theta;
+  }
+  return *theta;
+}
+
+}  // namespace dpbench

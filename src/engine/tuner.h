@@ -1,0 +1,65 @@
+// Rparam (paper §5.2): learning free-parameter settings on held-out
+// synthetic training shapes so that deployed algorithms carry no free
+// parameters (Principle 6).
+//
+// The tuner evaluates a candidate grid theta on training shapes generated
+// from power-law and normal distributions (paper §6.4) across a range of
+// eps*scale products, and returns the best theta per signal regime. The
+// static schedules compiled into MWEM* and AHP* were produced by this
+// procedure (see examples/parameter_tuning.cc, which regenerates them).
+#ifndef DPBENCH_ENGINE_TUNER_H_
+#define DPBENCH_ENGINE_TUNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/histogram/data_vector.h"
+
+namespace dpbench {
+
+/// A candidate parameter vector.
+using ParamVector = std::vector<double>;
+
+/// Factory: instantiates a run of the target algorithm with parameters
+/// theta on (data, epsilon), returning the scaled L2-per-query error on the
+/// Prefix workload. Implementations wrap a Mechanism.
+using TunableRunFn = std::function<Result<double>(
+    const ParamVector& theta, const DataVector& data, double epsilon,
+    Rng* rng)>;
+
+/// Training shapes used by Rparam (paper §6.4: "synthetically generated
+/// from power law and normal distributions").
+std::vector<DataVector> TrainingShapes(size_t domain_size, uint64_t seed);
+
+/// One learned schedule entry: for signal >= min_product use theta.
+struct ScheduleEntry {
+  double min_product;  ///< lower bound of the eps*scale regime
+  ParamVector theta;
+  double mean_error;   ///< training error achieved
+};
+
+/// Configuration of a tuning run.
+struct TunerConfig {
+  std::vector<ParamVector> candidates;  ///< the theta grid
+  std::vector<double> products;         ///< eps*scale products to train at
+  double epsilon = 0.1;                 ///< eps held fixed; scale varies
+  size_t trials = 3;                    ///< runs per (theta, shape, product)
+  size_t domain_size = 1024;
+  uint64_t seed = 7;
+};
+
+/// Learns the schedule: for every product, evaluates every candidate on all
+/// training shapes and keeps the argmin-mean-error theta.
+Result<std::vector<ScheduleEntry>> LearnSchedule(const TunerConfig& config,
+                                                 const TunableRunFn& run);
+
+/// Looks up the theta for a given eps*scale product in a learned schedule.
+const ParamVector& ScheduleLookup(const std::vector<ScheduleEntry>& schedule,
+                                  double product);
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ENGINE_TUNER_H_

@@ -1,0 +1,121 @@
+#include "src/histogram/data_vector.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace dpbench {
+
+DataVector::DataVector(Domain domain, std::vector<double> counts)
+    : domain_(std::move(domain)), counts_(std::move(counts)) {
+  DPB_CHECK_EQ(counts_.size(), domain_.TotalCells());
+}
+
+double DataVector::Scale() const {
+  double s = 0.0;
+  for (double c : counts_) s += c;
+  return s;
+}
+
+std::vector<double> DataVector::Shape() const {
+  double s = Scale();
+  std::vector<double> p(counts_.size());
+  if (s <= 0.0) {
+    double u = 1.0 / static_cast<double>(counts_.size());
+    for (double& v : p) v = u;
+    return p;
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) p[i] = counts_[i] / s;
+  return p;
+}
+
+double DataVector::ZeroFraction(double eps) const {
+  if (counts_.empty()) return 0.0;
+  size_t zeros = 0;
+  for (double c : counts_) {
+    if (std::abs(c) < eps) ++zeros;
+  }
+  return static_cast<double>(zeros) / static_cast<double>(counts_.size());
+}
+
+double DataVector::RangeSum(const std::vector<size_t>& lo,
+                            const std::vector<size_t>& hi) const {
+  DPB_CHECK_EQ(lo.size(), domain_.num_dims());
+  DPB_CHECK_EQ(hi.size(), domain_.num_dims());
+  if (domain_.num_dims() == 1) {
+    double s = 0.0;
+    for (size_t i = lo[0]; i <= hi[0]; ++i) s += counts_[i];
+    return s;
+  }
+  if (domain_.num_dims() == 2) {
+    size_t cols = domain_.size(1);
+    double s = 0.0;
+    for (size_t r = lo[0]; r <= hi[0]; ++r) {
+      for (size_t c = lo[1]; c <= hi[1]; ++c) s += counts_[r * cols + c];
+    }
+    return s;
+  }
+  // General k-D fallback: iterate over the hyper-rectangle.
+  std::vector<size_t> idx = lo;
+  double s = 0.0;
+  while (true) {
+    s += counts_[domain_.Flatten(idx)];
+    size_t j = domain_.num_dims();
+    while (j-- > 0) {
+      if (idx[j] < hi[j]) {
+        ++idx[j];
+        break;
+      }
+      idx[j] = lo[j];
+      if (j == 0) return s;
+    }
+    if (j == static_cast<size_t>(-1)) break;
+  }
+  return s;
+}
+
+Result<DataVector> DataVector::Coarsen(
+    const std::vector<size_t>& factors) const {
+  DPB_ASSIGN_OR_RETURN(Domain coarse, domain_.Coarsen(factors));
+  DataVector out(coarse);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out[domain_.CoarsenIndex(i, factors, coarse)] += counts_[i];
+  }
+  return out;
+}
+
+PrefixSums::PrefixSums(const DataVector& x) : domain_(x.domain()) {
+  DPB_CHECK(domain_.num_dims() == 1 || domain_.num_dims() == 2);
+  if (domain_.num_dims() == 1) {
+    size_t n = domain_.size(0);
+    cum_.assign(n + 1, 0.0);
+    for (size_t i = 0; i < n; ++i) cum_[i + 1] = cum_[i] + x[i];
+  } else {
+    size_t rows = domain_.size(0), cols = domain_.size(1);
+    cum_.assign((rows + 1) * (cols + 1), 0.0);
+    auto at = [&](size_t r, size_t c) -> double& {
+      return cum_[r * (cols + 1) + c];
+    };
+    for (size_t r = 1; r <= rows; ++r) {
+      for (size_t c = 1; c <= cols; ++c) {
+        at(r, c) = x[(r - 1) * cols + (c - 1)] + at(r - 1, c) +
+                   at(r, c - 1) - at(r - 1, c - 1);
+      }
+    }
+  }
+}
+
+double PrefixSums::RangeSum(const std::vector<size_t>& lo,
+                            const std::vector<size_t>& hi) const {
+  if (domain_.num_dims() == 1) {
+    return cum_[hi[0] + 1] - cum_[lo[0]];
+  }
+  size_t cols = domain_.size(1);
+  auto at = [&](size_t r, size_t c) {
+    return cum_[r * (cols + 1) + c];
+  };
+  return at(hi[0] + 1, hi[1] + 1) - at(lo[0], hi[1] + 1) -
+         at(hi[0] + 1, lo[1]) + at(lo[0], lo[1]);
+}
+
+}  // namespace dpbench

@@ -1,0 +1,76 @@
+// DataVector: the vector x of cell counts over a Domain (paper §2.2).
+//
+// Counts are stored as doubles because algorithm outputs (noisy estimates)
+// are real-valued; true inputs always hold integral values. The three key
+// properties the paper studies are exposed directly: domain size
+// (TotalCells), scale (Scale == ||x||_1) and shape (Shape == x/||x||_1).
+#ifndef DPBENCH_HISTOGRAM_DATA_VECTOR_H_
+#define DPBENCH_HISTOGRAM_DATA_VECTOR_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/histogram/domain.h"
+
+namespace dpbench {
+
+/// A (possibly noisy) histogram over a Domain.
+class DataVector {
+ public:
+  DataVector() = default;
+
+  /// All-zero vector on `domain`.
+  explicit DataVector(Domain domain)
+      : domain_(std::move(domain)), counts_(domain_.TotalCells(), 0.0) {}
+
+  /// Vector with explicit counts; counts.size() must equal TotalCells().
+  DataVector(Domain domain, std::vector<double> counts);
+
+  const Domain& domain() const { return domain_; }
+  size_t size() const { return counts_.size(); }
+
+  double& operator[](size_t i) { return counts_[i]; }
+  double operator[](size_t i) const { return counts_[i]; }
+
+  const std::vector<double>& counts() const { return counts_; }
+  std::vector<double>& mutable_counts() { return counts_; }
+
+  /// Scale = ||x||_1 (total number of tuples for a true histogram).
+  double Scale() const;
+
+  /// Shape p = x / ||x||_1; uniform if the vector is all zero.
+  std::vector<double> Shape() const;
+
+  /// Fraction of cells with |count| < eps (Table 2's "% zero counts").
+  double ZeroFraction(double eps = 1e-12) const;
+
+  /// Sum of counts over a rectangular range [lo[j], hi[j]] inclusive per dim.
+  double RangeSum(const std::vector<size_t>& lo,
+                  const std::vector<size_t>& hi) const;
+
+  /// Coarsens by integer factors per dimension, summing merged cells.
+  Result<DataVector> Coarsen(const std::vector<size_t>& factors) const;
+
+ private:
+  Domain domain_;
+  std::vector<double> counts_;
+};
+
+/// Cumulative (prefix-sum) view of a DataVector enabling O(2^k) range sums.
+/// Supports 1D and 2D (the dimensionalities DPBench evaluates).
+class PrefixSums {
+ public:
+  explicit PrefixSums(const DataVector& x);
+
+  /// Sum over the inclusive range; bounds per dimension.
+  double RangeSum(const std::vector<size_t>& lo,
+                  const std::vector<size_t>& hi) const;
+
+ private:
+  Domain domain_;
+  std::vector<double> cum_;  // cum has (n1+1) x (n2+1) layout (2D) or n1+1.
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_HISTOGRAM_DATA_VECTOR_H_

@@ -1,0 +1,70 @@
+#include "src/histogram/domain.h"
+
+#include "src/common/logging.h"
+
+namespace dpbench {
+
+void Domain::ComputeStrides() {
+  strides_.assign(sizes_.size(), 1);
+  for (size_t j = sizes_.size(); j-- > 1;) {
+    strides_[j - 1] = strides_[j] * sizes_[j];
+  }
+}
+
+size_t Domain::TotalCells() const {
+  size_t n = 1;
+  for (size_t s : sizes_) n *= s;
+  return n;
+}
+
+size_t Domain::Flatten(const std::vector<size_t>& index) const {
+  DPB_CHECK_EQ(index.size(), sizes_.size());
+  size_t flat = 0;
+  for (size_t j = 0; j < sizes_.size(); ++j) {
+    DPB_CHECK_LT(index[j], sizes_[j]);
+    flat += index[j] * strides_[j];
+  }
+  return flat;
+}
+
+std::vector<size_t> Domain::Unflatten(size_t flat) const {
+  DPB_CHECK_LT(flat, TotalCells());
+  std::vector<size_t> index(sizes_.size());
+  for (size_t j = 0; j < sizes_.size(); ++j) {
+    index[j] = flat / strides_[j];
+    flat %= strides_[j];
+  }
+  return index;
+}
+
+Result<Domain> Domain::Coarsen(const std::vector<size_t>& factors) const {
+  if (factors.size() != sizes_.size()) {
+    return Status::InvalidArgument("coarsening factor arity mismatch");
+  }
+  std::vector<size_t> coarse(sizes_.size());
+  for (size_t j = 0; j < sizes_.size(); ++j) {
+    if (factors[j] == 0) {
+      return Status::InvalidArgument("zero coarsening factor");
+    }
+    coarse[j] = (sizes_[j] + factors[j] - 1) / factors[j];
+  }
+  return Domain(coarse);
+}
+
+size_t Domain::CoarsenIndex(size_t flat, const std::vector<size_t>& factors,
+                            const Domain& coarse) const {
+  std::vector<size_t> idx = Unflatten(flat);
+  for (size_t j = 0; j < idx.size(); ++j) idx[j] /= factors[j];
+  return coarse.Flatten(idx);
+}
+
+std::string Domain::ToString() const {
+  std::string out;
+  for (size_t j = 0; j < sizes_.size(); ++j) {
+    if (j) out += "x";
+    out += std::to_string(sizes_[j]);
+  }
+  return out;
+}
+
+}  // namespace dpbench

@@ -1,0 +1,74 @@
+// Multi-dimensional discrete domains.
+//
+// DPBench represents a database as a k-dimensional array x of cell counts
+// (paper §2.2). Domain describes the array geometry: per-attribute sizes,
+// row-major flattening, and coarsening (merging adjacent cells), which the
+// paper uses to derive smaller domain sizes from a source dataset.
+#ifndef DPBENCH_HISTOGRAM_DOMAIN_H_
+#define DPBENCH_HISTOGRAM_DOMAIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace dpbench {
+
+/// Geometry of the data vector: an ordered list of attribute domain sizes.
+class Domain {
+ public:
+  Domain() = default;
+
+  /// 1D domain of `n` cells.
+  explicit Domain(size_t n) : sizes_{n} { ComputeStrides(); }
+
+  /// k-D domain; sizes[j] is the domain size of attribute j.
+  explicit Domain(std::vector<size_t> sizes) : sizes_(std::move(sizes)) {
+    ComputeStrides();
+  }
+
+  static Domain D1(size_t n) { return Domain(n); }
+  static Domain D2(size_t rows, size_t cols) {
+    return Domain({rows, cols});
+  }
+
+  size_t num_dims() const { return sizes_.size(); }
+  size_t size(size_t dim) const { return sizes_[dim]; }
+  const std::vector<size_t>& sizes() const { return sizes_; }
+
+  /// Total number of cells n = n1 * ... * nk.
+  size_t TotalCells() const;
+
+  /// Row-major flat index of a multi-index.
+  size_t Flatten(const std::vector<size_t>& index) const;
+
+  /// Inverse of Flatten.
+  std::vector<size_t> Unflatten(size_t flat) const;
+
+  /// Coarsens each dimension by the given integer factor: dimension j of
+  /// size n_j becomes ceil(n_j / factors[j]) by merging adjacent cells.
+  /// Fails if factors has wrong arity or a zero factor.
+  Result<Domain> Coarsen(const std::vector<size_t>& factors) const;
+
+  /// Maps a cell of this domain to the cell of the coarsened domain.
+  size_t CoarsenIndex(size_t flat, const std::vector<size_t>& factors,
+                      const Domain& coarse) const;
+
+  bool operator==(const Domain& other) const { return sizes_ == other.sizes_; }
+  bool operator!=(const Domain& other) const { return !(*this == other); }
+
+  /// "4096" or "128x128".
+  std::string ToString() const;
+
+ private:
+  void ComputeStrides();
+
+  std::vector<size_t> sizes_;
+  std::vector<size_t> strides_;
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_HISTOGRAM_DOMAIN_H_

@@ -1,0 +1,90 @@
+#include "src/histogram/hilbert.h"
+
+#include "src/common/logging.h"
+#include "src/common/math.h"
+
+namespace dpbench {
+
+namespace {
+
+// One step of the classic Hilbert rotation.
+void Rotate(uint64_t s, uint64_t* x, uint64_t* y, uint64_t rx, uint64_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = s - 1 - *x;
+      *y = s - 1 - *y;
+    }
+    std::swap(*x, *y);
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertXYToIndex(uint64_t side, uint64_t x, uint64_t y) {
+  DPB_CHECK(IsPowerOfTwo(side));
+  DPB_CHECK_LT(x, side);
+  DPB_CHECK_LT(y, side);
+  uint64_t d = 0;
+  for (uint64_t s = side / 2; s > 0; s /= 2) {
+    uint64_t rx = (x & s) > 0 ? 1 : 0;
+    uint64_t ry = (y & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    Rotate(s, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+std::pair<uint64_t, uint64_t> HilbertIndexToXY(uint64_t side, uint64_t index) {
+  DPB_CHECK(IsPowerOfTwo(side));
+  DPB_CHECK_LT(index, side * side);
+  uint64_t x = 0, y = 0;
+  uint64_t t = index;
+  for (uint64_t s = 1; s < side; s *= 2) {
+    uint64_t rx = 1 & (t / 2);
+    uint64_t ry = 1 & (t ^ rx);
+    Rotate(s, &x, &y, rx, ry);
+    x += s * rx;
+    y += s * ry;
+    t /= 4;
+  }
+  return {x, y};
+}
+
+Result<DataVector> HilbertLinearize(const DataVector& x) {
+  const Domain& d = x.domain();
+  if (d.num_dims() != 2 || d.size(0) != d.size(1) ||
+      !IsPowerOfTwo(d.size(0))) {
+    return Status::InvalidArgument(
+        "Hilbert linearization requires a square power-of-two 2D domain, got " +
+        d.ToString());
+  }
+  uint64_t side = d.size(0);
+  DataVector out(Domain::D1(side * side));
+  for (uint64_t r = 0; r < side; ++r) {
+    for (uint64_t c = 0; c < side; ++c) {
+      out[HilbertXYToIndex(side, r, c)] = x[r * side + c];
+    }
+  }
+  return out;
+}
+
+Result<DataVector> HilbertDelinearize(const DataVector& linear,
+                                      const Domain& target) {
+  if (target.num_dims() != 2 || target.size(0) != target.size(1) ||
+      !IsPowerOfTwo(target.size(0))) {
+    return Status::InvalidArgument("target must be square power-of-two 2D");
+  }
+  uint64_t side = target.size(0);
+  if (linear.size() != side * side) {
+    return Status::InvalidArgument("linearized size mismatch");
+  }
+  DataVector out(target);
+  for (uint64_t r = 0; r < side; ++r) {
+    for (uint64_t c = 0; c < side; ++c) {
+      out[r * side + c] = linear[HilbertXYToIndex(side, r, c)];
+    }
+  }
+  return out;
+}
+
+}  // namespace dpbench

@@ -1,0 +1,36 @@
+// Hilbert space-filling curve on a 2^k x 2^k grid.
+//
+// DAWA and GREEDY_H operate natively on 1D domains; the paper (App. B)
+// extends them to 2D "by applying a Hilbert transformation" that preserves
+// spatial locality under linearization.
+#ifndef DPBENCH_HISTOGRAM_HILBERT_H_
+#define DPBENCH_HISTOGRAM_HILBERT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/histogram/data_vector.h"
+
+namespace dpbench {
+
+/// Converts grid coordinates on a side x side grid (side a power of two) to
+/// the cell's position along the Hilbert curve, in [0, side^2).
+uint64_t HilbertXYToIndex(uint64_t side, uint64_t x, uint64_t y);
+
+/// Converts a Hilbert curve position back to grid coordinates.
+std::pair<uint64_t, uint64_t> HilbertIndexToXY(uint64_t side, uint64_t index);
+
+/// Linearizes a square 2D DataVector (power-of-two side) along the Hilbert
+/// curve into a 1D DataVector. Fails on non-square or non-power-of-two
+/// domains.
+Result<DataVector> HilbertLinearize(const DataVector& x);
+
+/// Inverse of HilbertLinearize: scatters a 1D vector back onto the 2D grid.
+Result<DataVector> HilbertDelinearize(const DataVector& linear,
+                                      const Domain& target);
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_HISTOGRAM_HILBERT_H_

@@ -1,0 +1,126 @@
+#include "src/linalg/matrix.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace dpbench {
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  DPB_CHECK_EQ(data_.size(), rows_ * cols_);
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Result<Matrix> Matrix::Multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    return Status::InvalidArgument("matrix product shape mismatch");
+  }
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double v = at(r, k);
+      if (v == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out.at(r, c) += v * other.at(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<double>> Matrix::Apply(
+    const std::vector<double>& v) const {
+  if (v.size() != cols_) {
+    return Status::InvalidArgument("matrix-vector shape mismatch");
+  }
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += at(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+double Matrix::MaxColumnL1() const {
+  double best = 0.0;
+  for (size_t c = 0; c < cols_; ++c) {
+    double norm = 0.0;
+    for (size_t r = 0; r < rows_; ++r) norm += std::abs(at(r, c));
+    best = std::max(best, norm);
+  }
+  return best;
+}
+
+Result<Matrix> Cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a.at(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l.at(j, k) * l.at(j, k);
+    if (diag <= 0.0) {
+      return Status::InvalidArgument("matrix is not positive definite");
+    }
+    l.at(j, j) = std::sqrt(diag);
+    for (size_t i = j + 1; i < n; ++i) {
+      double v = a.at(i, j);
+      for (size_t k = 0; k < j; ++k) v -= l.at(i, k) * l.at(j, k);
+      l.at(i, j) = v / l.at(j, j);
+    }
+  }
+  return l;
+}
+
+Result<std::vector<double>> SolveSpd(const Matrix& a,
+                                     const std::vector<double>& b) {
+  DPB_ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
+  size_t n = a.rows();
+  if (b.size() != n) {
+    return Status::InvalidArgument("rhs size mismatch");
+  }
+  // Forward substitution L z = b.
+  std::vector<double> z(n);
+  for (size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (size_t k = 0; k < i; ++k) v -= l.at(i, k) * z[k];
+    z[i] = v / l.at(i, i);
+  }
+  // Back substitution L^T x = z.
+  std::vector<double> x(n);
+  for (size_t i = n; i-- > 0;) {
+    double v = z[i];
+    for (size_t k = i + 1; k < n; ++k) v -= l.at(k, i) * x[k];
+    x[i] = v / l.at(i, i);
+  }
+  return x;
+}
+
+Result<std::vector<double>> LeastSquares(const Matrix& s,
+                                         const std::vector<double>& y) {
+  if (y.size() != s.rows()) {
+    return Status::InvalidArgument("observation size mismatch");
+  }
+  Matrix st = s.Transpose();
+  DPB_ASSIGN_OR_RETURN(Matrix gram, st.Multiply(s));
+  DPB_ASSIGN_OR_RETURN(std::vector<double> rhs, st.Apply(y));
+  return SolveSpd(gram, rhs);
+}
+
+}  // namespace dpbench

@@ -1,0 +1,68 @@
+// Minimal dense linear algebra used by the matrix mechanism: row-major
+// matrices, products, Cholesky factorization and SPD solves.
+//
+// Sized for strategy analysis on small-to-moderate domains (n up to a few
+// thousand); DPBench's production algorithms use structured solvers (tree
+// GLS, wavelets) instead, and this module exists to express and *verify*
+// them against the generic framework (paper §3.1).
+#ifndef DPBENCH_LINALG_MATRIX_H_
+#define DPBENCH_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace dpbench {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  Matrix(size_t rows, size_t cols, std::vector<double> data);
+
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  const std::vector<double>& data() const { return data_; }
+
+  Matrix Transpose() const;
+
+  /// Matrix product; fails on shape mismatch.
+  Result<Matrix> Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product.
+  Result<std::vector<double>> Apply(const std::vector<double>& v) const;
+
+  /// Maximum column L1 norm — the L1 sensitivity of the linear map when
+  /// rows are queries over cells (paper Def. 2's Delta-f for strategies).
+  double MaxColumnL1() const;
+
+ private:
+  size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Cholesky factorization A = L L^T of a symmetric positive definite
+/// matrix; fails if A is not SPD (within numerical tolerance).
+Result<Matrix> Cholesky(const Matrix& a);
+
+/// Solves A x = b for SPD A via Cholesky.
+Result<std::vector<double>> SolveSpd(const Matrix& a,
+                                     const std::vector<double>& b);
+
+/// Ordinary least squares: minimizes ||S x - y||_2 via normal equations
+/// (S must have full column rank).
+Result<std::vector<double>> LeastSquares(const Matrix& s,
+                                         const std::vector<double>& y);
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_LINALG_MATRIX_H_

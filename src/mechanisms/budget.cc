@@ -1,0 +1,33 @@
+#include "src/mechanisms/budget.h"
+
+namespace dpbench {
+
+namespace {
+// Relative slack tolerated when summing many small sub-budgets.
+constexpr double kSlack = 1e-9;
+}  // namespace
+
+Status BudgetAccountant::Spend(double epsilon, const std::string& step) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("non-positive epsilon for step " + step);
+  }
+  if (spent_ + epsilon > total_ * (1.0 + kSlack) + kSlack) {
+    return Status::FailedPrecondition(
+        "budget exceeded at step " + step + ": spent " +
+        std::to_string(spent_) + " + " + std::to_string(epsilon) +
+        " > total " + std::to_string(total_));
+  }
+  spent_ += epsilon;
+  ledger_.push_back({step, epsilon});
+  return Status::OK();
+}
+
+double BudgetAccountant::SpendRemaining(const std::string& step) {
+  double rem = remaining();
+  if (rem <= 0.0) return 0.0;
+  spent_ = total_;
+  ledger_.push_back({step, rem});
+  return rem;
+}
+
+}  // namespace dpbench

@@ -1,0 +1,49 @@
+// Privacy budget accounting via sequential composition (paper §2.1):
+// running subroutines with budgets eps_1..eps_k yields sum(eps_i)-DP.
+//
+// Every algorithm in the suite draws its sub-budgets through an accountant
+// so that end-to-end privacy (Principle 5) is enforced mechanically: any
+// attempt to spend more than the total budget is an error.
+#ifndef DPBENCH_MECHANISMS_BUDGET_H_
+#define DPBENCH_MECHANISMS_BUDGET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace dpbench {
+
+/// Tracks spending of a fixed epsilon budget under sequential composition.
+class BudgetAccountant {
+ public:
+  explicit BudgetAccountant(double total_epsilon)
+      : total_(total_epsilon), spent_(0.0) {}
+
+  double total() const { return total_; }
+  double spent() const { return spent_; }
+  double remaining() const { return total_ - spent_; }
+
+  /// Records spending `epsilon` on a named step. Fails (without recording)
+  /// if this would exceed the total budget beyond a small numeric slack.
+  Status Spend(double epsilon, const std::string& step);
+
+  /// Spends everything that remains and returns it.
+  double SpendRemaining(const std::string& step);
+
+  /// Per-step ledger for auditing.
+  struct Entry {
+    std::string step;
+    double epsilon;
+  };
+  const std::vector<Entry>& ledger() const { return ledger_; }
+
+ private:
+  double total_;
+  double spent_;
+  std::vector<Entry> ledger_;
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_MECHANISMS_BUDGET_H_

@@ -1,0 +1,30 @@
+#include "src/mechanisms/exponential.h"
+
+namespace dpbench {
+
+Result<size_t> ExponentialMechanism(const std::vector<double>& scores,
+                                    double sensitivity, double epsilon,
+                                    Rng* rng) {
+  if (scores.empty()) {
+    return Status::InvalidArgument("ExponentialMechanism: empty score set");
+  }
+  if (epsilon <= 0.0 || sensitivity <= 0.0) {
+    return Status::InvalidArgument(
+        "ExponentialMechanism: epsilon and sensitivity must be > 0");
+  }
+  // Gumbel-max: argmax_i (eps * s_i / (2*sens) + G_i) has exactly the
+  // exponential-mechanism distribution.
+  double coef = epsilon / (2.0 * sensitivity);
+  size_t best = 0;
+  double best_val = scores[0] * coef + rng->Gumbel();
+  for (size_t i = 1; i < scores.size(); ++i) {
+    double v = scores[i] * coef + rng->Gumbel();
+    if (v > best_val) {
+      best_val = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace dpbench

@@ -1,0 +1,24 @@
+// The exponential mechanism: selects item i with probability proportional
+// to exp(epsilon * score_i / (2 * sensitivity)).
+//
+// Implemented with the Gumbel-max trick, which is numerically stable for
+// large epsilon*score values and exactly equivalent in distribution.
+#ifndef DPBENCH_MECHANISMS_EXPONENTIAL_H_
+#define DPBENCH_MECHANISMS_EXPONENTIAL_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace dpbench {
+
+/// Samples an index in [0, scores.size()) with probability proportional to
+/// exp(epsilon * scores[i] / (2 * sensitivity)). Higher score = better.
+Result<size_t> ExponentialMechanism(const std::vector<double>& scores,
+                                    double sensitivity, double epsilon,
+                                    Rng* rng);
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_MECHANISMS_EXPONENTIAL_H_

@@ -1,0 +1,35 @@
+#include "src/mechanisms/laplace.h"
+
+namespace dpbench {
+
+Result<std::vector<double>> LaplaceMechanism(const std::vector<double>& values,
+                                             double sensitivity,
+                                             double epsilon, Rng* rng) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("LaplaceMechanism: epsilon must be > 0");
+  }
+  if (sensitivity <= 0.0) {
+    return Status::InvalidArgument(
+        "LaplaceMechanism: sensitivity must be > 0");
+  }
+  double scale = sensitivity / epsilon;
+  std::vector<double> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = values[i] + rng->Laplace(scale);
+  }
+  return out;
+}
+
+Result<double> LaplaceMechanismScalar(double value, double sensitivity,
+                                      double epsilon, Rng* rng) {
+  DPB_ASSIGN_OR_RETURN(std::vector<double> v,
+                       LaplaceMechanism({value}, sensitivity, epsilon, rng));
+  return v[0];
+}
+
+double LaplaceVariance(double sensitivity, double epsilon) {
+  double scale = sensitivity / epsilon;
+  return 2.0 * scale * scale;
+}
+
+}  // namespace dpbench

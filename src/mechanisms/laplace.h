@@ -1,0 +1,30 @@
+// The Laplace mechanism (paper Definition 2): f(I) + Laplace(sensitivity/eps)
+// noise per coordinate.
+#ifndef DPBENCH_MECHANISMS_LAPLACE_H_
+#define DPBENCH_MECHANISMS_LAPLACE_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace dpbench {
+
+/// Adds i.i.d. Laplace(sensitivity/epsilon) noise to each value.
+/// epsilon and sensitivity must be positive.
+Result<std::vector<double>> LaplaceMechanism(const std::vector<double>& values,
+                                             double sensitivity,
+                                             double epsilon, Rng* rng);
+
+/// Scalar convenience overload.
+Result<double> LaplaceMechanismScalar(double value, double sensitivity,
+                                      double epsilon, Rng* rng);
+
+/// Variance of a single Laplace(sensitivity/epsilon) noise draw:
+/// 2 * (sensitivity/epsilon)^2. Used by inference steps that combine
+/// measurements by inverse variance.
+double LaplaceVariance(double sensitivity, double epsilon);
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_MECHANISMS_LAPLACE_H_

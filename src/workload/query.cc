@@ -1,0 +1,35 @@
+#include "src/workload/query.h"
+
+#include "src/common/logging.h"
+
+namespace dpbench {
+
+size_t RangeQuery::NumCells() const {
+  size_t n = 1;
+  for (size_t j = 0; j < lo.size(); ++j) {
+    DPB_CHECK_LE(lo[j], hi[j]);
+    n *= hi[j] - lo[j] + 1;
+  }
+  return n;
+}
+
+Status RangeQuery::Validate(const Domain& domain) const {
+  if (lo.size() != domain.num_dims() || hi.size() != domain.num_dims()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  for (size_t j = 0; j < lo.size(); ++j) {
+    if (lo[j] > hi[j]) {
+      return Status::InvalidArgument("query lower bound exceeds upper bound");
+    }
+    if (hi[j] >= domain.size(j)) {
+      return Status::OutOfRange("query exceeds domain");
+    }
+  }
+  return Status::OK();
+}
+
+double RangeQuery::Evaluate(const DataVector& x) const {
+  return x.RangeSum(lo, hi);
+}
+
+}  // namespace dpbench

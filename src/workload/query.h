@@ -1,0 +1,48 @@
+// Range queries: axis-aligned hyper-rectangles with inclusive bounds.
+#ifndef DPBENCH_WORKLOAD_QUERY_H_
+#define DPBENCH_WORKLOAD_QUERY_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/histogram/data_vector.h"
+
+namespace dpbench {
+
+/// A counting range query: SELECT COUNT(*) WHERE lo_j <= B_j <= hi_j.
+/// Bounds are cell indices, inclusive on both ends.
+struct RangeQuery {
+  std::vector<size_t> lo;
+  std::vector<size_t> hi;
+
+  RangeQuery() = default;
+  RangeQuery(std::vector<size_t> l, std::vector<size_t> h)
+      : lo(std::move(l)), hi(std::move(h)) {}
+
+  /// 1D convenience constructor.
+  static RangeQuery D1(size_t lo, size_t hi) { return RangeQuery({lo}, {hi}); }
+
+  /// 2D convenience constructor.
+  static RangeQuery D2(size_t rlo, size_t rhi, size_t clo, size_t chi) {
+    return RangeQuery({rlo, clo}, {rhi, chi});
+  }
+
+  size_t num_dims() const { return lo.size(); }
+
+  /// Number of cells covered.
+  size_t NumCells() const;
+
+  /// Validates bounds against a domain.
+  Status Validate(const Domain& domain) const;
+
+  /// True answer on x (direct summation; use PrefixSums for bulk evaluation).
+  double Evaluate(const DataVector& x) const;
+
+  bool operator==(const RangeQuery& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_WORKLOAD_QUERY_H_

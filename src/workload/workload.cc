@@ -1,0 +1,96 @@
+#include "src/workload/workload.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace dpbench {
+
+Workload Workload::Prefix1D(size_t n) {
+  std::vector<RangeQuery> qs;
+  qs.reserve(n);
+  for (size_t i = 0; i < n; ++i) qs.push_back(RangeQuery::D1(0, i));
+  return Workload(Domain::D1(n), std::move(qs), "prefix");
+}
+
+Workload Workload::Identity(const Domain& domain) {
+  std::vector<RangeQuery> qs;
+  size_t n = domain.TotalCells();
+  qs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<size_t> idx = domain.Unflatten(i);
+    qs.emplace_back(idx, idx);
+  }
+  return Workload(domain, std::move(qs), "identity");
+}
+
+Workload Workload::Total(const Domain& domain) {
+  std::vector<size_t> lo(domain.num_dims(), 0);
+  std::vector<size_t> hi(domain.num_dims());
+  for (size_t j = 0; j < domain.num_dims(); ++j) hi[j] = domain.size(j) - 1;
+  return Workload(domain, {RangeQuery(lo, hi)}, "total");
+}
+
+Workload Workload::RandomRange(const Domain& domain, size_t count,
+                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RangeQuery> qs;
+  qs.reserve(count);
+  for (size_t q = 0; q < count; ++q) {
+    std::vector<size_t> lo(domain.num_dims()), hi(domain.num_dims());
+    for (size_t j = 0; j < domain.num_dims(); ++j) {
+      size_t a = rng.UniformInt(domain.size(j));
+      size_t b = rng.UniformInt(domain.size(j));
+      lo[j] = std::min(a, b);
+      hi[j] = std::max(a, b);
+    }
+    qs.emplace_back(std::move(lo), std::move(hi));
+  }
+  return Workload(domain, std::move(qs), "random-range");
+}
+
+Workload Workload::AllRange1D(size_t n) {
+  std::vector<RangeQuery> qs;
+  qs.reserve(n * (n + 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) qs.push_back(RangeQuery::D1(i, j));
+  }
+  return Workload(Domain::D1(n), std::move(qs), "all-range");
+}
+
+Workload Workload::FixedWidth1D(size_t n, size_t width) {
+  DPB_CHECK_GE(width, 1u);
+  DPB_CHECK_LE(width, n);
+  std::vector<RangeQuery> qs;
+  qs.reserve(n - width + 1);
+  for (size_t i = 0; i + width <= n; ++i) {
+    qs.push_back(RangeQuery::D1(i, i + width - 1));
+  }
+  return Workload(Domain::D1(n), std::move(qs),
+                  "width-" + std::to_string(width));
+}
+
+std::vector<double> Workload::Evaluate(const DataVector& x) const {
+  DPB_CHECK(x.domain() == domain_);
+  std::vector<double> y(queries_.size());
+  if (domain_.num_dims() <= 2) {
+    PrefixSums ps(x);
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      y[i] = ps.RangeSum(queries_[i].lo, queries_[i].hi);
+    }
+  } else {
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      y[i] = queries_[i].Evaluate(x);
+    }
+  }
+  return y;
+}
+
+Status Workload::Validate() const {
+  for (const RangeQuery& q : queries_) {
+    DPB_RETURN_NOT_OK(q.Validate(domain_));
+  }
+  return Status::OK();
+}
+
+}  // namespace dpbench

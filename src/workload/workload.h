@@ -1,0 +1,66 @@
+// Workloads W: sets of range queries, with the standard constructions the
+// paper evaluates (Prefix for 1D, random ranges for 2D, Identity, Total,
+// AllRange) and fast bulk evaluation via prefix sums.
+#ifndef DPBENCH_WORKLOAD_WORKLOAD_H_
+#define DPBENCH_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/workload/query.h"
+
+namespace dpbench {
+
+/// An ordered set of range queries over a fixed domain.
+class Workload {
+ public:
+  Workload() = default;
+  Workload(Domain domain, std::vector<RangeQuery> queries, std::string name)
+      : domain_(std::move(domain)),
+        queries_(std::move(queries)),
+        name_(std::move(name)) {}
+
+  /// Prefix workload (1D): queries [0, i] for every i in [0, n).
+  /// Any 1D range query is the difference of two Prefix answers (paper §6.2).
+  static Workload Prefix1D(size_t n);
+
+  /// Identity workload: one singleton query per cell.
+  static Workload Identity(const Domain& domain);
+
+  /// The single total query covering the whole domain.
+  static Workload Total(const Domain& domain);
+
+  /// `count` uniformly random range queries (any dimensionality); the paper
+  /// uses 2000 random range queries as the 2D workload.
+  static Workload RandomRange(const Domain& domain, size_t count,
+                              uint64_t seed);
+
+  /// All O(n^2) 1D ranges; use only for small domains/tests.
+  static Workload AllRange1D(size_t n);
+
+  /// All 1D ranges of a fixed width w: [i, i+w-1] for i in [0, n-w].
+  /// Useful for studying how error scales with query width.
+  static Workload FixedWidth1D(size_t n, size_t width);
+
+  const Domain& domain() const { return domain_; }
+  const std::vector<RangeQuery>& queries() const { return queries_; }
+  size_t size() const { return queries_.size(); }
+  const std::string& name() const { return name_; }
+
+  /// Evaluates all queries against x (the vector Wx). Uses prefix sums:
+  /// O(n + q) for 1D, O(n + q) for 2D.
+  std::vector<double> Evaluate(const DataVector& x) const;
+
+  Status Validate() const;
+
+ private:
+  Domain domain_;
+  std::vector<RangeQuery> queries_;
+  std::string name_;
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_WORKLOAD_WORKLOAD_H_

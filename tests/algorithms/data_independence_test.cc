@@ -1,0 +1,83 @@
+// Statistical verification of the data-independence classification
+// (paper §3.1): an algorithm flagged data-independent must show the same
+// error distribution on radically different shapes of equal scale and
+// domain, while flagged data-dependent partitioning algorithms must not.
+#include <gtest/gtest.h>
+
+#include "src/algorithms/mechanism.h"
+#include "src/common/math.h"
+#include "src/engine/error.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+namespace {
+
+DataVector FlatShape(size_t n, double scale) {
+  return DataVector(Domain::D1(n), std::vector<double>(n, scale / n));
+}
+
+DataVector SpikyShape(size_t n, double scale) {
+  DataVector x(Domain::D1(n));
+  x[0] = scale * 0.6;
+  x[n / 3] = scale * 0.3;
+  x[2 * n / 3] = scale * 0.1;
+  return x;
+}
+
+double MeanError(const Mechanism& m, const DataVector& x, const Workload& w,
+                 int trials, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> truth = w.Evaluate(x);
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    RunContext ctx{x, w, 0.5, &rng, {}};
+    ctx.side_info.true_scale = x.Scale();
+    auto est = m.Run(ctx);
+    EXPECT_TRUE(est.ok());
+    total += *ScaledL2PerQueryError(truth, w.Evaluate(*est), x.Scale());
+  }
+  return total / trials;
+}
+
+class DataIndependentTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DataIndependentTest, SameErrorOnFlatAndSpikyShapes) {
+  MechanismPtr m = MechanismRegistry::Get(GetParam()).value();
+  ASSERT_TRUE(m->data_independent());
+  const size_t n = 128;
+  Workload w = Workload::Prefix1D(n);
+  double flat = MeanError(*m, FlatShape(n, 10000), w, 60, 11);
+  double spiky = MeanError(*m, SpikyShape(n, 10000), w, 60, 13);
+  EXPECT_NEAR(flat / spiky, 1.0, 0.25) << m->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, DataIndependentTest,
+                         ::testing::Values("IDENTITY", "PRIVELET", "H",
+                                           "HB", "GREEDY_H"));
+
+class DataDependentTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DataDependentTest, PartitionersExploitFlatShapes) {
+  // A partitioning algorithm must do much better on perfectly flat data
+  // than on a ramp (every cell distinct — the paper's hard case from
+  // Theorems 6-8) at the same scale: flat regions merge into wide,
+  // low-noise buckets while the ramp forces a bias/noise trade-off.
+  MechanismPtr m = MechanismRegistry::Get(GetParam()).value();
+  ASSERT_FALSE(m->data_independent());
+  const size_t n = 128;
+  Workload w = Workload::Prefix1D(n);
+  DataVector ramp(Domain::D1(n));
+  for (size_t i = 0; i < n; ++i) {
+    ramp[i] = std::round(10000.0 * 2.0 * (i + 1) / (n * (n + 1.0)));
+  }
+  double flat = MeanError(*m, FlatShape(n, 10000), w, 30, 17);
+  double hard = MeanError(*m, ramp, w, 30, 19);
+  EXPECT_LT(flat, hard * 0.8) << m->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitioners, DataDependentTest,
+                         ::testing::Values("DAWA", "AHP", "PHP",
+                                           "UNIFORM"));
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,89 @@
+// Cross-domain-size sweeps: every algorithm must run correctly on all
+// benchmark domain sizes (Principle 4, domain size diversity), including
+// awkward non-power-of-two sizes for the algorithms that support them.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/algorithms/mechanism.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+namespace {
+
+class DomainSweep1DTest
+    : public ::testing::TestWithParam<std::tuple<std::string, size_t>> {};
+
+TEST_P(DomainSweep1DTest, RunsAndCoversDomain) {
+  auto [name, n] = GetParam();
+  MechanismPtr m = MechanismRegistry::Get(name).value();
+  if (!m->SupportsDims(1)) GTEST_SKIP();
+  Rng rng(5);
+  DataVector x(Domain::D1(n));
+  // Mild structure plus mass so every algorithm has work to do.
+  for (size_t i = 0; i < n; ++i) x[i] = static_cast<double>((i * 13) % 7);
+  Workload w = Workload::Prefix1D(n);
+  RunContext ctx{x, w, 1.0, &rng, {}};
+  ctx.side_info.true_scale = x.Scale();
+  auto est = m->Run(ctx);
+  ASSERT_TRUE(est.ok()) << name << " @ " << n << ": "
+                        << est.status().ToString();
+  EXPECT_EQ(est->size(), n);
+  for (double v : est->counts()) EXPECT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DomainSweep1DTest,
+    ::testing::Combine(
+        ::testing::Values("IDENTITY", "PRIVELET", "H", "HB", "GREEDY_H",
+                          "UNIFORM", "MWEM", "AHP", "DPCUBE", "DAWA", "PHP",
+                          "EFPA", "SF"),
+        ::testing::Values(17, 100, 256, 1000)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, size_t>>&
+           info) {
+      std::string n = std::get<0>(info.param);
+      for (char& c : n) {
+        if (c == '*') c = 'S';
+      }
+      return n + "_" + std::to_string(std::get<1>(info.param));
+    });
+
+class DomainSweep2DTest
+    : public ::testing::TestWithParam<std::tuple<std::string, size_t>> {};
+
+TEST_P(DomainSweep2DTest, RunsAndCoversDomain) {
+  auto [name, side] = GetParam();
+  MechanismPtr m = MechanismRegistry::Get(name).value();
+  if (!m->SupportsDims(2)) GTEST_SKIP();
+  Rng rng(6);
+  DataVector x(Domain::D2(side, side));
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>((i * 7) % 5);
+  }
+  Workload w = Workload::RandomRange(x.domain(), 50, 9);
+  RunContext ctx{x, w, 1.0, &rng, {}};
+  ctx.side_info.true_scale = x.Scale();
+  auto est = m->Run(ctx);
+  ASSERT_TRUE(est.ok()) << name << " @ " << side << ": "
+                        << est.status().ToString();
+  EXPECT_EQ(est->size(), side * side);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DomainSweep2DTest,
+    ::testing::Combine(
+        ::testing::Values("IDENTITY", "PRIVELET", "HB", "UNIFORM", "MWEM",
+                          "AHP", "DPCUBE", "DAWA", "QUADTREE", "HYBRIDTREE",
+                          "UGRID", "AGRID", "GREEDY_H"),
+        ::testing::Values(8, 32, 64)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, size_t>>&
+           info) {
+      std::string n = std::get<0>(info.param);
+      for (char& c : n) {
+        if (c == '*') c = 'S';
+      }
+      return n + "_" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,115 @@
+#include "src/algorithms/greedy_h.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+namespace {
+
+using greedy_h_internal::AllocateBudget;
+using greedy_h_internal::LevelUsage;
+using greedy_h_internal::RunOnCounts;
+
+TEST(GreedyHBudgetTest, AllocationSumsToEpsilon) {
+  std::vector<double> eps = AllocateBudget({8.0, 1.0, 27.0}, 0.9);
+  double total = 0.0;
+  for (double e : eps) total += e;
+  EXPECT_NEAR(total, 0.9, 1e-12);
+}
+
+TEST(GreedyHBudgetTest, AllocationProportionalToCubeRoot) {
+  std::vector<double> eps = AllocateBudget({8.0, 27.0}, 1.0);
+  // cbrt(8)=2, cbrt(27)=3 -> 0.4 / 0.6 split.
+  EXPECT_NEAR(eps[0], 0.4, 1e-12);
+  EXPECT_NEAR(eps[1], 0.6, 1e-12);
+}
+
+TEST(GreedyHBudgetTest, ZeroUsageLevelsGetNothing) {
+  std::vector<double> eps = AllocateBudget({0.0, 1.0, 0.0}, 1.0);
+  EXPECT_DOUBLE_EQ(eps[0], 0.0);
+  EXPECT_DOUBLE_EQ(eps[1], 1.0);
+  EXPECT_DOUBLE_EQ(eps[2], 0.0);
+}
+
+TEST(GreedyHBudgetTest, DegenerateAllZeroFallsBackToLeaves) {
+  std::vector<double> eps = AllocateBudget({0.0, 0.0, 0.0}, 1.0);
+  EXPECT_DOUBLE_EQ(eps[2], 1.0);
+}
+
+TEST(GreedyHUsageTest, TotalQueryUsesRootOnly) {
+  RangeTree tree = RangeTree::Build(16, 2);
+  std::vector<double> usage = LevelUsage(tree, {{0, 15}});
+  EXPECT_DOUBLE_EQ(usage[0], 1.0);
+  for (int l = 1; l < tree.num_levels(); ++l) {
+    EXPECT_DOUBLE_EQ(usage[l], 0.0);
+  }
+}
+
+TEST(GreedyHUsageTest, SingletonQueriesUseLeavesOnly) {
+  RangeTree tree = RangeTree::Build(16, 2);
+  std::vector<double> usage = LevelUsage(tree, {{3, 3}, {7, 7}});
+  EXPECT_DOUBLE_EQ(usage[tree.num_levels() - 1], 2.0);
+  EXPECT_DOUBLE_EQ(usage[0], 0.0);
+}
+
+TEST(GreedyHRunTest, HighEpsilonRecoversCounts) {
+  Rng rng(1);
+  std::vector<double> counts{5, 0, 3, 9, 1, 1, 0, 7};
+  std::vector<std::pair<size_t, size_t>> ranges{{0, 7}, {2, 5}, {0, 0}};
+  auto est = RunOnCounts(counts, ranges, 2, 1e8, &rng);
+  ASSERT_TRUE(est.ok());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_NEAR((*est)[i], counts[i], 0.01);
+  }
+}
+
+TEST(GreedyHRunTest, WorksWithEmptyishWorkload) {
+  Rng rng(2);
+  std::vector<double> counts(16, 2.0);
+  auto est = RunOnCounts(counts, {}, 2, 1e7, &rng);
+  ASSERT_TRUE(est.ok());
+  for (size_t i = 0; i < 16; ++i) EXPECT_NEAR((*est)[i], 2.0, 0.01);
+}
+
+TEST(GreedyHMechanismTest, Runs1DPrefix) {
+  Rng rng(3);
+  DataVector x(Domain::D1(128), std::vector<double>(128, 4.0));
+  Workload w = Workload::Prefix1D(128);
+  GreedyHMechanism m;
+  auto est = m.Run({x, w, 0.5, &rng, {}});
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->size(), 128u);
+}
+
+TEST(GreedyHMechanismTest, Runs2DViaHilbert) {
+  Rng rng(4);
+  DataVector x(Domain::D2(16, 16), std::vector<double>(256, 1.0));
+  Workload w = Workload::RandomRange(x.domain(), 100, 1);
+  GreedyHMechanism m;
+  auto est = m.Run({x, w, 1e7, &rng, {}});
+  ASSERT_TRUE(est.ok());
+  for (size_t i = 0; i < 256; ++i) EXPECT_NEAR((*est)[i], 1.0, 0.05);
+}
+
+TEST(GreedyHMechanismTest, WorkloadAwareBeatUniformAllocationOnTotals) {
+  // A workload of only large ranges should favor upper levels; GREEDY_H's
+  // allocation must then answer those ranges better than uniform-budget H
+  // would through its leaf-heavy noise.
+  Rng rng(5);
+  const size_t n = 256;
+  DataVector x(Domain::D1(n), std::vector<double>(n, 8.0));
+  std::vector<std::pair<size_t, size_t>> big_ranges;
+  for (size_t i = 0; i < 8; ++i) big_ranges.push_back({0, n - 1});
+  RangeTree tree = RangeTree::Build(n, 2);
+  std::vector<double> usage = LevelUsage(tree, big_ranges);
+  std::vector<double> eps = AllocateBudget(usage, 1.0);
+  // Root level must dominate the allocation.
+  EXPECT_GT(eps[0], 0.5);
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,133 @@
+#include "src/algorithms/hier.h"
+
+#include <gtest/gtest.h>
+
+#include "src/algorithms/hb.h"
+#include "src/common/rng.h"
+#include "src/engine/error.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+namespace {
+
+TEST(HierTest, OutputDomainMatches) {
+  Rng rng(1);
+  DataVector x(Domain::D1(64), std::vector<double>(64, 3.0));
+  Workload w = Workload::Prefix1D(64);
+  HierMechanism m;
+  auto est = m.Run({x, w, 1.0, &rng, {}});
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->size(), 64u);
+}
+
+TEST(HierTest, Rejects2D) {
+  Rng rng(2);
+  DataVector x(Domain::D2(8, 8));
+  Workload w = Workload::RandomRange(x.domain(), 5, 1);
+  HierMechanism m;
+  EXPECT_EQ(m.Run({x, w, 1.0, &rng, {}}).status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(HierTest, HighEpsilonRecoversData) {
+  Rng rng(3);
+  std::vector<double> counts(128);
+  for (size_t i = 0; i < 128; ++i) counts[i] = static_cast<double>(i % 7);
+  DataVector x(Domain::D1(128), counts);
+  Workload w = Workload::Prefix1D(128);
+  HierMechanism m;
+  auto est = m.Run({x, w, 1e7, &rng, {}});
+  ASSERT_TRUE(est.ok());
+  for (size_t i = 0; i < 128; ++i) EXPECT_NEAR((*est)[i], counts[i], 0.01);
+}
+
+TEST(HierTest, BeatsIdentityOnLargeRanges) {
+  // The whole point of hierarchies: large range queries accumulate less
+  // noise than summing per-cell measurements.
+  Rng rng(4);
+  const size_t n = 1024;
+  DataVector x(Domain::D1(n), std::vector<double>(n, 10.0));
+  Workload prefix = Workload::Prefix1D(n);
+  std::vector<double> truth = prefix.Evaluate(x);
+  HierMechanism hier;
+  double hier_err = 0.0, ident_err = 0.0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    auto est = hier.Run({x, prefix, 0.5, &rng, {}});
+    ASSERT_TRUE(est.ok());
+    hier_err += *ScaledL2PerQueryError(truth, prefix.Evaluate(*est),
+                                       x.Scale());
+    // Identity baseline: per-cell noise 1/eps.
+    DataVector ident = x;
+    for (size_t i = 0; i < n; ++i) ident[i] += rng.Laplace(1.0 / 0.5);
+    ident_err += *ScaledL2PerQueryError(truth, prefix.Evaluate(ident),
+                                        x.Scale());
+  }
+  EXPECT_LT(hier_err, ident_err);
+}
+
+TEST(HierInternalTest, SkipsUnbudgetedLevels) {
+  Rng rng(5);
+  RangeTree tree = RangeTree::Build(8, 2);
+  std::vector<double> counts{1, 2, 3, 4, 5, 6, 7, 8};
+  // Budget only on the leaf level.
+  std::vector<double> eps(tree.num_levels(), 0.0);
+  eps.back() = 1e8;
+  auto cells = hier_internal::MeasureAndInfer(tree, counts, eps, &rng);
+  ASSERT_TRUE(cells.ok());
+  for (size_t i = 0; i < 8; ++i) EXPECT_NEAR((*cells)[i], counts[i], 0.01);
+}
+
+TEST(HierInternalTest, RejectsWrongArity) {
+  Rng rng(6);
+  RangeTree tree = RangeTree::Build(8, 2);
+  std::vector<double> counts(8, 1.0);
+  EXPECT_FALSE(
+      hier_internal::MeasureAndInfer(tree, counts, {1.0}, &rng).ok());
+}
+
+TEST(HbTest, Branching1DMatchesCostModel) {
+  // For very small domains a flat tree (large b) is best; for large
+  // domains moderate branching wins.
+  size_t b_small = HbMechanism::ChooseBranching1D(16);
+  size_t b_large = HbMechanism::ChooseBranching1D(4096);
+  EXPECT_GE(b_small, 2u);
+  EXPECT_GE(b_large, 2u);
+  EXPECT_LE(b_large, 64u);
+}
+
+TEST(HbTest, HighEpsilonRecovers1D) {
+  Rng rng(7);
+  std::vector<double> counts(100);
+  for (size_t i = 0; i < 100; ++i) counts[i] = static_cast<double>(i);
+  DataVector x(Domain::D1(100), counts);
+  Workload w = Workload::Prefix1D(100);
+  HbMechanism m;
+  auto est = m.Run({x, w, 1e7, &rng, {}});
+  ASSERT_TRUE(est.ok());
+  for (size_t i = 0; i < 100; ++i) EXPECT_NEAR((*est)[i], counts[i], 0.01);
+}
+
+TEST(HbTest, HighEpsilonRecovers2D) {
+  Rng rng(8);
+  std::vector<double> counts(32 * 32);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = static_cast<double>(i % 11);
+  }
+  DataVector x(Domain::D2(32, 32), counts);
+  Workload w = Workload::RandomRange(x.domain(), 20, 1);
+  HbMechanism m;
+  auto est = m.Run({x, w, 1e8, &rng, {}});
+  ASSERT_TRUE(est.ok());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_NEAR((*est)[i], counts[i], 0.05);
+  }
+}
+
+TEST(HbTest, DataIndependenceFlag) {
+  EXPECT_TRUE(HbMechanism().data_independent());
+  EXPECT_TRUE(HierMechanism().data_independent());
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,140 @@
+#include "src/algorithms/matrix_mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include "src/algorithms/hier.h"
+#include "src/algorithms/identity.h"
+#include "src/algorithms/privelet.h"
+#include "src/common/rng.h"
+#include "src/engine/error.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+namespace {
+
+TEST(StrategyTest, IdentityStrategySensitivity) {
+  Matrix s = strategies::IdentityStrategy(16);
+  EXPECT_DOUBLE_EQ(s.MaxColumnL1(), 1.0);
+}
+
+TEST(StrategyTest, HierarchicalStrategySensitivityIsLevels) {
+  // Every cell appears once per level of the binary tree.
+  Matrix s = strategies::HierarchicalStrategy(8, 2);
+  EXPECT_DOUBLE_EQ(s.MaxColumnL1(), 4.0);  // levels of an 8-leaf b=2 tree
+  EXPECT_EQ(s.rows(), 15u);
+}
+
+TEST(StrategyTest, WaveletStrategySensitivity) {
+  Matrix s = strategies::WaveletStrategy(16);
+  EXPECT_DOUBLE_EQ(s.MaxColumnL1(), 1.0 + 4.0);  // 1 + log2(16)
+}
+
+TEST(StrategyTest, WaveletStrategyMatchesTransform) {
+  // S x must equal HaarForward(x).
+  Rng rng(1);
+  std::vector<double> x(16);
+  for (double& v : x) v = rng.UniformInt(50);
+  Matrix s = strategies::WaveletStrategy(16);
+  std::vector<double> via_matrix = s.Apply(x).value();
+  std::vector<double> via_transform = wavelet::HaarForward(x);
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(via_matrix[i], via_transform[i], 1e-10);
+  }
+}
+
+TEST(MatrixMechanismTest, IdentityStrategyEqualsIdentityMechanismInLaw) {
+  // Same expected error as IDENTITY on the identity workload.
+  const size_t n = 32;
+  Workload w = Workload::Identity(Domain::D1(n));
+  MatrixMechanism mm("MM-ID", strategies::IdentityStrategy(n));
+  double expect_sq = mm.ExpectedSquaredError(w, 1.0).value();
+  // n queries each with Laplace(1/eps) variance 2.
+  EXPECT_NEAR(expect_sq, 2.0 * n, 1e-9);
+}
+
+TEST(MatrixMechanismTest, RunRecoversAtHighEpsilon) {
+  Rng rng(2);
+  const size_t n = 32;
+  std::vector<double> counts(n);
+  for (size_t i = 0; i < n; ++i) counts[i] = static_cast<double>(i);
+  DataVector x(Domain::D1(n), counts);
+  Workload w = Workload::Prefix1D(n);
+  MatrixMechanism mm("MM-H", strategies::HierarchicalStrategy(n, 2));
+  auto est = mm.Run({x, w, 1e8, &rng, {}});
+  ASSERT_TRUE(est.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR((*est)[i], counts[i], 0.01);
+}
+
+TEST(MatrixMechanismTest, AgreesWithStructuredHImplementation) {
+  // The dense matrix-mechanism H and the two-pass GLS H must have the
+  // same error distribution; check their mean errors agree over trials.
+  Rng rng(3);
+  const size_t n = 64;
+  std::vector<double> counts(n, 0.0);
+  counts[5] = 100;
+  counts[40] = 60;
+  DataVector x(Domain::D1(n), counts);
+  Workload w = Workload::Prefix1D(n);
+  std::vector<double> truth = w.Evaluate(x);
+  MatrixMechanism mm("MM-H", strategies::HierarchicalStrategy(n, 2));
+  HierMechanism h(2);
+  double mm_err = 0.0, h_err = 0.0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    auto a = mm.Run({x, w, 1.0, &rng, {}});
+    auto b = h.Run({x, w, 1.0, &rng, {}});
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    mm_err += *ScaledL2PerQueryError(truth, w.Evaluate(*a), x.Scale());
+    h_err += *ScaledL2PerQueryError(truth, w.Evaluate(*b), x.Scale());
+  }
+  EXPECT_NEAR(mm_err / h_err, 1.0, 0.10);
+}
+
+TEST(MatrixMechanismTest, ExpectedErrorMatchesMeasured) {
+  // The closed form E||W x-hat - W x||^2 must predict the empirical mean.
+  Rng rng(4);
+  const size_t n = 32;
+  DataVector x(Domain::D1(n), std::vector<double>(n, 7.0));
+  Workload w = Workload::Prefix1D(n);
+  std::vector<double> truth = w.Evaluate(x);
+  MatrixMechanism mm("MM-H", strategies::HierarchicalStrategy(n, 2));
+  double predicted = mm.ExpectedSquaredError(w, 0.5).value();
+  double measured = 0.0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    auto est = mm.Run({x, w, 0.5, &rng, {}});
+    std::vector<double> y = w.Evaluate(*est);
+    for (size_t q = 0; q < y.size(); ++q) {
+      measured += (y[q] - truth[q]) * (y[q] - truth[q]);
+    }
+  }
+  measured /= trials;
+  EXPECT_NEAR(measured / predicted, 1.0, 0.08);
+}
+
+TEST(MatrixMechanismTest, HierarchyBeatsIdentityForPrefixInTheory) {
+  // Strategy selection matters (paper §3.1): the hierarchical strategy's
+  // expected prefix-workload error is below identity's for large n.
+  const size_t n = 256;
+  Workload w = Workload::Prefix1D(n);
+  MatrixMechanism ident("MM-ID", strategies::IdentityStrategy(n));
+  MatrixMechanism hier("MM-H", strategies::HierarchicalStrategy(n, 2));
+  MatrixMechanism wave("MM-W", strategies::WaveletStrategy(n));
+  double e_ident = ident.ExpectedSquaredError(w, 1.0).value();
+  double e_hier = hier.ExpectedSquaredError(w, 1.0).value();
+  double e_wave = wave.ExpectedSquaredError(w, 1.0).value();
+  EXPECT_LT(e_hier, e_ident);
+  EXPECT_LT(e_wave, e_ident);
+}
+
+TEST(MatrixMechanismTest, RejectsArityMismatch) {
+  Rng rng(5);
+  DataVector x(Domain::D1(16));
+  Workload w = Workload::Prefix1D(16);
+  MatrixMechanism mm("MM", strategies::IdentityStrategy(8));
+  EXPECT_FALSE(mm.Run({x, w, 1.0, &rng, {}}).ok());
+}
+
+}  // namespace
+}  // namespace dpbench

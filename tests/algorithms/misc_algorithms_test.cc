@@ -1,0 +1,306 @@
+// Tests for IDENTITY, UNIFORM, PHP, EFPA, SF, AHP, DPCUBE.
+#include <gtest/gtest.h>
+
+#include "src/algorithms/ahp.h"
+#include "src/algorithms/dpcube.h"
+#include "src/algorithms/efpa.h"
+#include "src/algorithms/identity.h"
+#include "src/algorithms/php.h"
+#include "src/algorithms/sf.h"
+#include "src/algorithms/uniform.h"
+#include "src/common/rng.h"
+#include "src/engine/error.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+namespace {
+
+RunContext Ctx(const DataVector& x, const Workload& w, double eps, Rng* rng,
+               bool with_scale = true) {
+  RunContext ctx{x, w, eps, rng, {}};
+  if (with_scale) ctx.side_info.true_scale = x.Scale();
+  return ctx;
+}
+
+TEST(IdentityTest, AddsUnbiasedNoise) {
+  Rng rng(1);
+  DataVector x(Domain::D1(16), std::vector<double>(16, 10.0));
+  Workload w = Workload::Identity(x.domain());
+  IdentityMechanism m;
+  std::vector<double> mean(16, 0.0);
+  const int trials = 5000;
+  for (int t = 0; t < trials; ++t) {
+    auto est = m.Run(Ctx(x, w, 1.0, &rng));
+    ASSERT_TRUE(est.ok());
+    for (size_t i = 0; i < 16; ++i) mean[i] += (*est)[i];
+  }
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(mean[i] / trials, 10.0, 0.25);
+  }
+}
+
+TEST(IdentityTest, ErrorIndependentOfShape) {
+  // Data independence: mean error on two very different shapes matches.
+  Rng rng(2);
+  const size_t n = 128;
+  DataVector flat(Domain::D1(n), std::vector<double>(n, 100.0));
+  DataVector spiky(Domain::D1(n));
+  spiky[0] = 100.0 * n;
+  Workload w = Workload::Prefix1D(n);
+  IdentityMechanism m;
+  auto mean_err = [&](const DataVector& x) {
+    std::vector<double> truth = w.Evaluate(x);
+    double err = 0.0;
+    const int trials = 200;
+    for (int t = 0; t < trials; ++t) {
+      auto est = m.Run(Ctx(x, w, 1.0, &rng));
+      err += *ScaledL2PerQueryError(truth, w.Evaluate(*est), x.Scale()) /
+             trials;
+    }
+    return err;
+  };
+  double e_flat = mean_err(flat), e_spiky = mean_err(spiky);
+  EXPECT_NEAR(e_flat, e_spiky, 0.15 * e_flat);
+}
+
+TEST(UniformTest, OutputIsFlat) {
+  Rng rng(3);
+  DataVector x(Domain::D1(32));
+  x[7] = 640.0;
+  Workload w = Workload::Prefix1D(32);
+  UniformMechanism m;
+  auto est = m.Run(Ctx(x, w, 10.0, &rng));
+  ASSERT_TRUE(est.ok());
+  for (size_t i = 1; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ((*est)[i], (*est)[0]);
+  }
+  EXPECT_NEAR(est->Scale(), 640.0, 5.0);
+}
+
+TEST(UniformTest, BiasedOnNonUniformDataEvenAtHugeEpsilon) {
+  // UNIFORM is inconsistent (Table 1): it can never represent structure.
+  Rng rng(4);
+  DataVector x(Domain::D1(16));
+  x[0] = 1600.0;
+  Workload w = Workload::Identity(x.domain());
+  std::vector<double> truth = w.Evaluate(x);
+  UniformMechanism m;
+  auto est = m.Run(Ctx(x, w, 1e9, &rng));
+  ASSERT_TRUE(est.ok());
+  double err = *ScaledL2PerQueryError(truth, w.Evaluate(*est), x.Scale());
+  EXPECT_GT(err, 1e-3);
+}
+
+TEST(PhpTest, OutputDomainAndTotals) {
+  Rng rng(5);
+  DataVector x(Domain::D1(128), std::vector<double>(128, 10.0));
+  Workload w = Workload::Prefix1D(128);
+  PhpMechanism m;
+  auto est = m.Run(Ctx(x, w, 5.0, &rng));
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->size(), 128u);
+  EXPECT_NEAR(est->Scale(), x.Scale(), x.Scale() * 0.2);
+}
+
+TEST(PhpTest, Rejects2D) {
+  Rng rng(6);
+  DataVector x(Domain::D2(8, 8));
+  Workload w = Workload::RandomRange(x.domain(), 5, 1);
+  PhpMechanism m;
+  EXPECT_FALSE(m.Run(Ctx(x, w, 1.0, &rng)).ok());
+}
+
+TEST(PhpTest, RecoversPiecewiseConstantAtHighEpsilon) {
+  // With few distinct segments (< log2 n splits needed), PHP can find the
+  // exact partition and is unbiased there.
+  Rng rng(7);
+  const size_t n = 64;
+  std::vector<double> counts(n, 2.0);
+  for (size_t i = 32; i < 64; ++i) counts[i] = 90.0;
+  DataVector x(Domain::D1(n), counts);
+  Workload w = Workload::Prefix1D(n);
+  PhpMechanism m;
+  auto est = m.Run(Ctx(x, w, 1e8, &rng));
+  ASSERT_TRUE(est.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR((*est)[i], counts[i], 0.5);
+}
+
+TEST(EfpaTest, OutputDomainMatches) {
+  Rng rng(8);
+  DataVector x(Domain::D1(256), std::vector<double>(256, 3.0));
+  Workload w = Workload::Prefix1D(256);
+  EfpaMechanism m;
+  auto est = m.Run(Ctx(x, w, 1.0, &rng));
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->size(), 256u);
+}
+
+TEST(EfpaTest, ConsistentAtHighEpsilon) {
+  // Theorem 2: eps -> inf keeps all coefficients and the noise vanishes.
+  Rng rng(9);
+  std::vector<double> counts(64);
+  for (size_t i = 0; i < 64; ++i) counts[i] = static_cast<double>((i * 7) % 13);
+  DataVector x(Domain::D1(64), counts);
+  Workload w = Workload::Prefix1D(64);
+  EfpaMechanism m;
+  auto est = m.Run(Ctx(x, w, 1e9, &rng));
+  ASSERT_TRUE(est.ok());
+  for (size_t i = 0; i < 64; ++i) EXPECT_NEAR((*est)[i], counts[i], 0.05);
+}
+
+TEST(EfpaTest, SmoothDataNeedsFewCoefficients) {
+  // On a slowly varying signal EFPA at moderate eps should beat identity.
+  Rng rng(10);
+  const size_t n = 512;
+  std::vector<double> counts(n);
+  for (size_t i = 0; i < n; ++i) {
+    counts[i] = 500.0 * (1.0 + std::sin(2.0 * M_PI * i / n));
+  }
+  DataVector x(Domain::D1(n), counts);
+  Workload w = Workload::Prefix1D(n);
+  std::vector<double> truth = w.Evaluate(x);
+  EfpaMechanism m;
+  double efpa_err = 0.0, ident_err = 0.0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    auto est = m.Run(Ctx(x, w, 0.1, &rng));
+    ASSERT_TRUE(est.ok());
+    efpa_err += *ScaledL2PerQueryError(truth, w.Evaluate(*est), x.Scale());
+    DataVector ident = x;
+    for (size_t i = 0; i < n; ++i) ident[i] += rng.Laplace(10.0);
+    ident_err += *ScaledL2PerQueryError(truth, w.Evaluate(ident), x.Scale());
+  }
+  EXPECT_LT(efpa_err, ident_err);
+}
+
+TEST(SfTest, UsesNOver10Buckets) {
+  Rng rng(11);
+  const size_t n = 60;
+  std::vector<double> counts(n, 1.0);
+  DataVector x(Domain::D1(n), counts);
+  Workload w = Workload::Prefix1D(n);
+  SfMechanism m;  // k = ceil(60/10) = 6
+  auto est = m.Run(Ctx(x, w, 100.0, &rng));
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->size(), n);
+}
+
+TEST(SfTest, ConsistentVariantRecoversAtHighEpsilon) {
+  // Theorem 7: with the hierarchical within-bucket modification SF is
+  // consistent.
+  Rng rng(12);
+  const size_t n = 50;
+  std::vector<double> counts(n);
+  for (size_t i = 0; i < n; ++i) counts[i] = static_cast<double>(i);
+  DataVector x(Domain::D1(n), counts);
+  Workload w = Workload::Prefix1D(n);
+  SfMechanism m;
+  auto est = m.Run(Ctx(x, w, 1e9, &rng));
+  ASSERT_TRUE(est.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR((*est)[i], counts[i], 0.1);
+}
+
+TEST(SfTest, KOverride) {
+  Rng rng(13);
+  DataVector x(Domain::D1(32), std::vector<double>(32, 4.0));
+  Workload w = Workload::Prefix1D(32);
+  SfMechanism m(0.5, /*k=*/4);
+  auto est = m.Run(Ctx(x, w, 10.0, &rng));
+  ASSERT_TRUE(est.ok());
+}
+
+TEST(AhpTest, Names) {
+  EXPECT_EQ(AhpMechanism(false).name(), "AHP");
+  EXPECT_EQ(AhpMechanism(true).name(), "AHP*");
+}
+
+TEST(AhpTest, OutputCoversDomain) {
+  Rng rng(14);
+  DataVector x(Domain::D1(256), std::vector<double>(256, 5.0));
+  Workload w = Workload::Prefix1D(256);
+  AhpMechanism m;
+  auto est = m.Run(Ctx(x, w, 1.0, &rng));
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->size(), 256u);
+}
+
+TEST(AhpTest, ConsistentAtHighEpsilon) {
+  Rng rng(15);
+  std::vector<double> counts{9, 9, 9, 1, 1, 1, 50, 50, 0, 0, 0, 0, 0, 0, 0, 0};
+  DataVector x(Domain::D1(16), counts);
+  Workload w = Workload::Prefix1D(16);
+  AhpMechanism m;
+  auto est = m.Run(Ctx(x, w, 1e9, &rng));
+  ASSERT_TRUE(est.ok());
+  for (size_t i = 0; i < 16; ++i) EXPECT_NEAR((*est)[i], counts[i], 0.1);
+}
+
+TEST(AhpTest, SparseDataClusteredToZero) {
+  // At low eps on sparse data, thresholding should zero most noise cells,
+  // keeping the estimate sparse-ish (better than identity's noise floor).
+  Rng rng(16);
+  const size_t n = 1024;
+  DataVector x(Domain::D1(n));
+  x[100] = 200.0;
+  Workload w = Workload::Prefix1D(n);
+  std::vector<double> truth = w.Evaluate(x);
+  AhpMechanism m;
+  double ahp_err = 0.0, ident_err = 0.0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    auto est = m.Run(Ctx(x, w, 0.05, &rng));
+    ASSERT_TRUE(est.ok());
+    ahp_err += *ScaledL2PerQueryError(truth, w.Evaluate(*est), x.Scale());
+    DataVector ident = x;
+    for (size_t i = 0; i < n; ++i) ident[i] += rng.Laplace(20.0);
+    ident_err += *ScaledL2PerQueryError(truth, w.Evaluate(ident), x.Scale());
+  }
+  EXPECT_LT(ahp_err, ident_err);
+}
+
+TEST(AhpTest, TunedParamsVaryWithSignal) {
+  auto lo = AhpMechanism::TunedParams(10.0);
+  auto hi = AhpMechanism::TunedParams(1e8);
+  EXPECT_GT(lo.first, hi.first);   // more budget on clustering at low signal
+  EXPECT_GT(lo.second, hi.second); // harsher threshold at low signal
+}
+
+TEST(DpCubeTest, RunsOn1DAnd2D) {
+  Rng rng(17);
+  DataVector x1(Domain::D1(64), std::vector<double>(64, 2.0));
+  Workload w1 = Workload::Prefix1D(64);
+  DpCubeMechanism m;
+  EXPECT_TRUE(m.Run(Ctx(x1, w1, 1.0, &rng)).ok());
+
+  DataVector x2(Domain::D2(16, 16), std::vector<double>(256, 2.0));
+  Workload w2 = Workload::RandomRange(x2.domain(), 20, 1);
+  auto est = m.Run(Ctx(x2, w2, 1.0, &rng));
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->domain().ToString(), "16x16");
+}
+
+TEST(DpCubeTest, ConsistentAtHighEpsilon) {
+  // Theorem 3: the kd-tree refines to a zero-bias partition as eps grows.
+  Rng rng(18);
+  std::vector<double> counts{1, 5, 2, 8, 3, 9, 4, 7};
+  DataVector x(Domain::D1(8), counts);
+  Workload w = Workload::Prefix1D(8);
+  DpCubeMechanism m;
+  auto est = m.Run(Ctx(x, w, 1e9, &rng));
+  ASSERT_TRUE(est.ok());
+  for (size_t i = 0; i < 8; ++i) EXPECT_NEAR((*est)[i], counts[i], 0.1);
+}
+
+TEST(CheckContextTest, CommonValidation) {
+  Rng rng(19);
+  DataVector x(Domain::D1(8), std::vector<double>(8, 1.0));
+  Workload w = Workload::Prefix1D(8);
+  IdentityMechanism m;
+  EXPECT_FALSE(m.Run({x, w, 0.0, &rng, {}}).ok());    // bad epsilon
+  EXPECT_FALSE(m.Run({x, w, 1.0, nullptr, {}}).ok()); // missing rng
+  DataVector empty;
+  EXPECT_FALSE(m.Run({empty, w, 1.0, &rng, {}}).ok());
+}
+
+}  // namespace
+}  // namespace dpbench

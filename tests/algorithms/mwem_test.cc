@@ -1,0 +1,138 @@
+#include "src/algorithms/mwem.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/engine/error.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+namespace {
+
+TEST(MwemTest, Names) {
+  EXPECT_EQ(MwemMechanism(false).name(), "MWEM");
+  EXPECT_EQ(MwemMechanism(true).name(), "MWEM*");
+}
+
+TEST(MwemTest, SideInfoFlag) {
+  EXPECT_TRUE(MwemMechanism(false).uses_side_info());
+  EXPECT_FALSE(MwemMechanism(true).uses_side_info());
+}
+
+TEST(MwemTest, RequiresWorkload) {
+  Rng rng(1);
+  DataVector x(Domain::D1(8), std::vector<double>(8, 1.0));
+  Workload empty(Domain::D1(8), {}, "empty");
+  MwemMechanism m;
+  EXPECT_FALSE(m.Run({x, empty, 1.0, &rng, {}}).ok());
+}
+
+TEST(MwemTest, PreservesApproximateScale) {
+  Rng rng(2);
+  DataVector x(Domain::D1(32), std::vector<double>(32, 100.0));
+  Workload w = Workload::Prefix1D(32);
+  MwemMechanism m;
+  RunContext ctx{x, w, 1.0, &rng, {}};
+  ctx.side_info.true_scale = x.Scale();
+  auto est = m.Run(ctx);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->Scale(), 3200.0, 1.0);
+}
+
+TEST(MwemTest, ImprovesOverUniformStart) {
+  // On strongly non-uniform data with decent signal, MWEM's final error
+  // should be lower than the uniform initialization's error.
+  Rng rng(3);
+  const size_t n = 64;
+  std::vector<double> counts(n, 0.0);
+  counts[5] = 5000;
+  counts[50] = 5000;
+  DataVector x(Domain::D1(n), counts);
+  Workload w = Workload::Prefix1D(n);
+  std::vector<double> truth = w.Evaluate(x);
+
+  DataVector uniform(x.domain(),
+                     std::vector<double>(n, x.Scale() / n));
+  double uniform_err =
+      *ScaledL2PerQueryError(truth, w.Evaluate(uniform), x.Scale());
+
+  MwemMechanism m(false, 10);
+  double mwem_err = 0.0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    RunContext ctx{x, w, 1.0, &rng, {}};
+    ctx.side_info.true_scale = x.Scale();
+    auto est = m.Run(ctx);
+    ASSERT_TRUE(est.ok());
+    mwem_err +=
+        *ScaledL2PerQueryError(truth, w.Evaluate(*est), x.Scale()) / trials;
+  }
+  EXPECT_LT(mwem_err, uniform_err);
+}
+
+TEST(MwemTest, TunedRoundsGrowWithSignal) {
+  // Finding 7's mechanism: stronger signal supports more rounds.
+  EXPECT_LE(MwemMechanism::TunedRounds(10.0),
+            MwemMechanism::TunedRounds(1e4));
+  EXPECT_LE(MwemMechanism::TunedRounds(1e4),
+            MwemMechanism::TunedRounds(1e8));
+  EXPECT_EQ(MwemMechanism::TunedRounds(1.0), 2u);
+  EXPECT_EQ(MwemMechanism::TunedRounds(1e9), 100u);
+}
+
+TEST(MwemTest, StarRunsWithoutSideInfo) {
+  Rng rng(4);
+  DataVector x(Domain::D1(32), std::vector<double>(32, 50.0));
+  Workload w = Workload::Prefix1D(32);
+  MwemMechanism m(true);
+  auto est = m.Run({x, w, 1.0, &rng, {}});  // no side info provided
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->size(), 32u);
+}
+
+TEST(MwemTest, Runs2D) {
+  Rng rng(5);
+  DataVector x(Domain::D2(16, 16), std::vector<double>(256, 4.0));
+  Workload w = Workload::RandomRange(x.domain(), 100, 1);
+  MwemMechanism m;
+  RunContext ctx{x, w, 1.0, &rng, {}};
+  ctx.side_info.true_scale = x.Scale();
+  auto est = m.Run(ctx);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->size(), 256u);
+}
+
+TEST(MwemTest, EstimateIsNonNegative) {
+  // Multiplicative weights keeps the estimate in the positive orthant.
+  Rng rng(6);
+  DataVector x(Domain::D1(32), std::vector<double>(32, 0.0));
+  x[0] = 100;
+  Workload w = Workload::Prefix1D(32);
+  MwemMechanism m;
+  RunContext ctx{x, w, 0.5, &rng, {}};
+  ctx.side_info.true_scale = x.Scale();
+  auto est = m.Run(ctx);
+  ASSERT_TRUE(est.ok());
+  for (size_t i = 0; i < 32; ++i) EXPECT_GE((*est)[i], 0.0);
+}
+
+TEST(MwemTest, InconsistentEvenAtHugeEpsilon) {
+  // Paper Theorem 8: with fixed T < n, bias persists as eps -> inf.
+  Rng rng(7);
+  const size_t n = 64;
+  std::vector<double> counts(n);
+  for (size_t i = 0; i < n; ++i) counts[i] = static_cast<double>(i);
+  DataVector x(Domain::D1(n), counts);
+  Workload w = Workload::Identity(x.domain());
+  std::vector<double> truth = w.Evaluate(x);
+  MwemMechanism m(false, 5);  // T=5 << n
+  RunContext ctx{x, w, 1e9, &rng, {}};
+  ctx.side_info.true_scale = x.Scale();
+  auto est = m.Run(ctx);
+  ASSERT_TRUE(est.ok());
+  double err = *ScaledL2PerQueryError(truth, w.Evaluate(*est), x.Scale());
+  EXPECT_GT(err, 1e-6);  // residual bias, not vanishing
+}
+
+}  // namespace
+}  // namespace dpbench

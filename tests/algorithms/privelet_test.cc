@@ -1,0 +1,122 @@
+#include "src/algorithms/privelet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+namespace {
+
+TEST(HaarTest, ForwardOfConstant) {
+  std::vector<double> coef = wavelet::HaarForward({3.0, 3.0, 3.0, 3.0});
+  EXPECT_DOUBLE_EQ(coef[0], 12.0);  // total
+  for (size_t i = 1; i < 4; ++i) EXPECT_DOUBLE_EQ(coef[i], 0.0);
+}
+
+TEST(HaarTest, ForwardLayout) {
+  // x = [1,2,3,4]: total=10, root detail=(1+2)-(3+4)=-4, then 1-2, 3-4.
+  std::vector<double> coef = wavelet::HaarForward({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(coef[0], 10.0);
+  EXPECT_DOUBLE_EQ(coef[1], -4.0);
+  EXPECT_DOUBLE_EQ(coef[2], -1.0);
+  EXPECT_DOUBLE_EQ(coef[3], -1.0);
+}
+
+TEST(HaarTest, RoundTrip) {
+  Rng rng(1);
+  std::vector<double> x(256);
+  for (double& v : x) v = rng.UniformInt(1000);
+  std::vector<double> back = wavelet::HaarInverse(wavelet::HaarForward(x));
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-9);
+}
+
+TEST(HaarTest, SensitivityIsOnePlusLog2N) {
+  // Changing one cell by 1 changes exactly 1 + log2(n) coefficients by 1.
+  const size_t n = 64;
+  std::vector<double> zero(n, 0.0), one(n, 0.0);
+  one[37] = 1.0;
+  std::vector<double> c0 = wavelet::HaarForward(zero);
+  std::vector<double> c1 = wavelet::HaarForward(one);
+  double l1 = 0.0;
+  for (size_t i = 0; i < n; ++i) l1 += std::abs(c1[i] - c0[i]);
+  EXPECT_DOUBLE_EQ(l1, 1.0 + std::log2(static_cast<double>(n)));
+}
+
+TEST(PriveletTest, OutputDomainMatchesInput) {
+  Rng rng(2);
+  DataVector x(Domain::D1(100), std::vector<double>(100, 5.0));
+  PriveletMechanism m;
+  Workload w = Workload::Prefix1D(100);
+  auto est = m.Run({x, w, 1.0, &rng, {}});
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->size(), 100u);
+}
+
+TEST(PriveletTest, UnbiasedOnAverage) {
+  Rng rng(3);
+  const size_t n = 32;
+  std::vector<double> counts(n);
+  for (size_t i = 0; i < n; ++i) counts[i] = static_cast<double>(i * 3);
+  DataVector x(Domain::D1(n), counts);
+  Workload w = Workload::Prefix1D(n);
+  PriveletMechanism m;
+  std::vector<double> mean(n, 0.0);
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    auto est = m.Run({x, w, 1.0, &rng, {}});
+    ASSERT_TRUE(est.ok());
+    for (size_t i = 0; i < n; ++i) mean[i] += (*est)[i];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(mean[i] / trials, counts[i], 2.0) << "cell " << i;
+  }
+}
+
+TEST(PriveletTest, HighEpsilonRecoversData) {
+  Rng rng(4);
+  DataVector x(Domain::D1(64), std::vector<double>(64, 0.0));
+  x[10] = 500;
+  x[42] = 300;
+  Workload w = Workload::Prefix1D(64);
+  PriveletMechanism m;
+  auto est = m.Run({x, w, 1e7, &rng, {}});
+  ASSERT_TRUE(est.ok());
+  for (size_t i = 0; i < 64; ++i) EXPECT_NEAR((*est)[i], x[i], 0.01);
+}
+
+TEST(PriveletTest, Runs2D) {
+  Rng rng(5);
+  DataVector x(Domain::D2(16, 16), std::vector<double>(256, 2.0));
+  Workload w = Workload::RandomRange(x.domain(), 50, 1);
+  PriveletMechanism m;
+  auto est = m.Run({x, w, 1.0, &rng, {}});
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->size(), 256u);
+}
+
+TEST(PriveletTest, HighEpsilonRecovers2D) {
+  Rng rng(6);
+  DataVector x(Domain::D2(8, 8), std::vector<double>(64, 0.0));
+  x[3 * 8 + 5] = 1000;
+  Workload w = Workload::RandomRange(x.domain(), 10, 1);
+  PriveletMechanism m;
+  auto est = m.Run({x, w, 1e7, &rng, {}});
+  ASSERT_TRUE(est.ok());
+  for (size_t i = 0; i < 64; ++i) EXPECT_NEAR((*est)[i], x[i], 0.01);
+}
+
+TEST(PriveletTest, NonPowerOfTwoDomain) {
+  Rng rng(7);
+  DataVector x(Domain::D1(100), std::vector<double>(100, 1.0));
+  Workload w = Workload::Prefix1D(100);
+  PriveletMechanism m;
+  auto est = m.Run({x, w, 1e7, &rng, {}});
+  ASSERT_TRUE(est.ok());
+  for (size_t i = 0; i < 100; ++i) EXPECT_NEAR((*est)[i], 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,86 @@
+#include "src/algorithms/mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dpbench {
+namespace {
+
+TEST(RegistryTest, ContainsTable1Suite) {
+  std::vector<std::string> names = MechanismRegistry::Names();
+  std::set<std::string> set(names.begin(), names.end());
+  for (const char* expect :
+       {"IDENTITY", "PRIVELET", "H", "HB", "GREEDY_H", "UNIFORM", "MWEM",
+        "MWEM*", "AHP", "AHP*", "DPCUBE", "DAWA", "QUADTREE", "HYBRIDTREE",
+        "UGRID", "AGRID", "PHP", "EFPA", "SF"}) {
+    EXPECT_TRUE(set.count(expect)) << "missing " << expect;
+  }
+  EXPECT_EQ(names.size(), 19u);
+}
+
+TEST(RegistryTest, NamesAreUnique) {
+  std::vector<std::string> names = MechanismRegistry::Names();
+  std::set<std::string> set(names.begin(), names.end());
+  EXPECT_EQ(set.size(), names.size());
+}
+
+TEST(RegistryTest, GetReturnsMatchingName) {
+  for (const std::string& name : MechanismRegistry::Names()) {
+    auto m = MechanismRegistry::Get(name);
+    ASSERT_TRUE(m.ok()) << name;
+    EXPECT_EQ((*m)->name(), name);
+  }
+}
+
+TEST(RegistryTest, GetUnknownFails) {
+  EXPECT_EQ(MechanismRegistry::Get("NOPE").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, DimensionFiltering) {
+  std::vector<std::string> d1 = MechanismRegistry::NamesForDims(1);
+  std::vector<std::string> d2 = MechanismRegistry::NamesForDims(2);
+  auto has = [](const std::vector<std::string>& v, const std::string& n) {
+    return std::find(v.begin(), v.end(), n) != v.end();
+  };
+  // 1D-only algorithms (Table 1).
+  for (const char* n : {"H", "PHP", "EFPA", "SF"}) {
+    EXPECT_TRUE(has(d1, n)) << n;
+    EXPECT_FALSE(has(d2, n)) << n;
+  }
+  // 2D-only algorithms.
+  for (const char* n : {"QUADTREE", "HYBRIDTREE", "UGRID", "AGRID"}) {
+    EXPECT_TRUE(has(d2, n)) << n;
+    EXPECT_FALSE(has(d1, n)) << n;
+  }
+  // Multi-D algorithms.
+  for (const char* n :
+       {"IDENTITY", "PRIVELET", "HB", "UNIFORM", "MWEM", "AHP", "DPCUBE",
+        "DAWA", "GREEDY_H"}) {
+    EXPECT_TRUE(has(d1, n)) << n;
+    EXPECT_TRUE(has(d2, n)) << n;
+  }
+}
+
+TEST(RegistryTest, DataIndependenceFlagsMatchTable1) {
+  for (const char* n : {"IDENTITY", "PRIVELET", "H", "HB", "GREEDY_H"}) {
+    EXPECT_TRUE((*MechanismRegistry::Get(n))->data_independent()) << n;
+  }
+  for (const char* n : {"UNIFORM", "MWEM", "AHP", "DPCUBE", "DAWA",
+                        "QUADTREE", "UGRID", "AGRID", "PHP", "EFPA", "SF"}) {
+    EXPECT_FALSE((*MechanismRegistry::Get(n))->data_independent()) << n;
+  }
+}
+
+TEST(RegistryTest, SideInfoFlagsMatchTable1) {
+  for (const char* n : {"MWEM", "UGRID", "AGRID", "SF"}) {
+    EXPECT_TRUE((*MechanismRegistry::Get(n))->uses_side_info()) << n;
+  }
+  for (const char* n : {"MWEM*", "IDENTITY", "DAWA", "AHP"}) {
+    EXPECT_FALSE((*MechanismRegistry::Get(n))->uses_side_info()) << n;
+  }
+}
+
+}  // namespace
+}  // namespace dpbench

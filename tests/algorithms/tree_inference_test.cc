@@ -1,0 +1,214 @@
+#include "src/algorithms/tree_inference.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace dpbench {
+namespace {
+
+TEST(TreeGlsTest, SingleMeasuredNode) {
+  std::vector<MeasurementNode> nodes(1);
+  nodes[0].y = 7.0;
+  nodes[0].variance = 1.0;
+  auto est = TreeGlsInfer(nodes, 0);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ((*est)[0], 7.0);
+}
+
+TEST(TreeGlsTest, RootOutOfRangeFails) {
+  std::vector<MeasurementNode> nodes(1);
+  EXPECT_FALSE(TreeGlsInfer(nodes, 3).ok());
+}
+
+TEST(TreeGlsTest, ConsistencyEnforced) {
+  // Root + two leaves, all measured: estimates must satisfy
+  // root = left + right regardless of noisy inputs.
+  std::vector<MeasurementNode> nodes(3);
+  nodes[0].children = {1, 2};
+  nodes[0].y = 10.0;
+  nodes[0].variance = 1.0;
+  nodes[1].y = 3.0;
+  nodes[1].variance = 1.0;
+  nodes[2].y = 4.0;
+  nodes[2].variance = 1.0;
+  auto est = TreeGlsInfer(nodes, 0);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR((*est)[0], (*est)[1] + (*est)[2], 1e-10);
+}
+
+TEST(TreeGlsTest, MatchesClosedFormForEqualVariances) {
+  // For a 2-leaf binary tree with unit variances, the GLS estimate of the
+  // root is (2/3)*(l + r) + (1/3)*root_y (solve the normal equations).
+  std::vector<MeasurementNode> nodes(3);
+  nodes[0].children = {1, 2};
+  nodes[0].y = 12.0;
+  nodes[0].variance = 1.0;
+  nodes[1].y = 3.0;
+  nodes[1].variance = 1.0;
+  nodes[2].y = 5.0;
+  nodes[2].variance = 1.0;
+  auto est = TreeGlsInfer(nodes, 0);
+  ASSERT_TRUE(est.ok());
+  // z_children = 8 with var 2; combine with y=12 var 1:
+  // root = (12/1 + 8/2)/(1 + 1/2) = 16/1.5 = 10.6667.
+  EXPECT_NEAR((*est)[0], 32.0 / 3.0, 1e-10);
+  // Residual 10.6667-8 = 2.6667 split equally.
+  EXPECT_NEAR((*est)[1], 3.0 + 4.0 / 3.0, 1e-10);
+  EXPECT_NEAR((*est)[2], 5.0 + 4.0 / 3.0, 1e-10);
+}
+
+TEST(TreeGlsTest, InverseVarianceWeighting) {
+  // A very precise root measurement dominates imprecise children.
+  std::vector<MeasurementNode> nodes(3);
+  nodes[0].children = {1, 2};
+  nodes[0].y = 100.0;
+  nodes[0].variance = 1e-9;
+  nodes[1].y = 10.0;
+  nodes[1].variance = 1.0;
+  nodes[2].y = 10.0;
+  nodes[2].variance = 1.0;
+  auto est = TreeGlsInfer(nodes, 0);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR((*est)[0], 100.0, 1e-3);
+  EXPECT_NEAR((*est)[1], 50.0, 1e-3);  // residual split equally
+}
+
+TEST(TreeGlsTest, UnmeasuredRootUsesChildren) {
+  std::vector<MeasurementNode> nodes(3);
+  nodes[0].children = {1, 2};
+  nodes[1].y = 4.0;
+  nodes[1].variance = 2.0;
+  nodes[2].y = 6.0;
+  nodes[2].variance = 2.0;
+  auto est = TreeGlsInfer(nodes, 0);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ((*est)[0], 10.0);
+  EXPECT_DOUBLE_EQ((*est)[1], 4.0);
+  EXPECT_DOUBLE_EQ((*est)[2], 6.0);
+}
+
+TEST(TreeGlsTest, UnmeasuredLeafAbsorbsResidual) {
+  std::vector<MeasurementNode> nodes(3);
+  nodes[0].children = {1, 2};
+  nodes[0].y = 10.0;
+  nodes[0].variance = 0.5;
+  nodes[1].y = 3.0;
+  nodes[1].variance = 1.0;
+  // Leaf 2 unmeasured.
+  auto est = TreeGlsInfer(nodes, 0);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ((*est)[0], 10.0);
+  EXPECT_DOUBLE_EQ((*est)[1], 3.0);
+  EXPECT_DOUBLE_EQ((*est)[2], 7.0);
+}
+
+TEST(TreeGlsTest, VarianceReductionVersusLeafOnly) {
+  // Averaged over many noisy trials, GLS leaf estimates should have lower
+  // squared error than raw leaf measurements.
+  Rng rng(42);
+  const double truth_l = 20.0, truth_r = 30.0;
+  double gls_se = 0.0, raw_se = 0.0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<MeasurementNode> nodes(3);
+    nodes[0].children = {1, 2};
+    nodes[0].y = truth_l + truth_r + rng.Laplace(1.0);
+    nodes[0].variance = 2.0;
+    nodes[1].y = truth_l + rng.Laplace(1.0);
+    nodes[1].variance = 2.0;
+    nodes[2].y = truth_r + rng.Laplace(1.0);
+    nodes[2].variance = 2.0;
+    auto est = TreeGlsInfer(nodes, 0);
+    ASSERT_TRUE(est.ok());
+    gls_se += ((*est)[1] - truth_l) * ((*est)[1] - truth_l);
+    raw_se += (nodes[1].y - truth_l) * (nodes[1].y - truth_l);
+  }
+  EXPECT_LT(gls_se, raw_se * 0.95);
+}
+
+TEST(RangeTreeTest, BuildBinaryTreeShape) {
+  RangeTree t = RangeTree::Build(8, 2);
+  EXPECT_EQ(t.num_cells(), 8u);
+  EXPECT_EQ(t.num_levels(), 4);           // 8,4,2,1 cell ranges
+  EXPECT_EQ(t.num_nodes(), 15u);          // 1+2+4+8
+  EXPECT_EQ(t.node(t.root()).lo, 0u);
+  EXPECT_EQ(t.node(t.root()).hi, 7u);
+}
+
+TEST(RangeTreeTest, NonPowerOfTwoSizes) {
+  RangeTree t = RangeTree::Build(10, 3);
+  EXPECT_EQ(t.num_cells(), 10u);
+  // Leaves must tile [0,9] with singletons.
+  size_t leaf_cells = 0;
+  for (size_t i = 0; i < t.num_nodes(); ++i) {
+    if (t.node(i).children.empty()) {
+      EXPECT_EQ(t.node(i).lo, t.node(i).hi);
+      ++leaf_cells;
+    }
+  }
+  EXPECT_EQ(leaf_cells, 10u);
+}
+
+TEST(RangeTreeTest, ChildrenPartitionParent) {
+  RangeTree t = RangeTree::Build(37, 4);
+  for (size_t v = 0; v < t.num_nodes(); ++v) {
+    const auto& node = t.node(v);
+    if (node.children.empty()) continue;
+    size_t expect = node.lo;
+    for (size_t c : node.children) {
+      EXPECT_EQ(t.node(c).lo, expect);
+      expect = t.node(c).hi + 1;
+    }
+    EXPECT_EQ(expect, node.hi + 1);
+  }
+}
+
+TEST(RangeTreeTest, DecomposeTilesExactly) {
+  RangeTree t = RangeTree::Build(16, 2);
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t a = rng.UniformInt(16), b = rng.UniformInt(16);
+    if (a > b) std::swap(a, b);
+    std::vector<size_t> nodes = t.Decompose(a, b);
+    std::vector<bool> covered(16, false);
+    for (size_t v : nodes) {
+      for (size_t i = t.node(v).lo; i <= t.node(v).hi; ++i) {
+        EXPECT_FALSE(covered[i]) << "overlap at " << i;
+        covered[i] = true;
+      }
+    }
+    for (size_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(covered[i], i >= a && i <= b);
+    }
+  }
+}
+
+TEST(RangeTreeTest, DecomposeIsLogarithmic) {
+  RangeTree t = RangeTree::Build(1024, 2);
+  // Any range decomposes into at most 2*log2(n) nodes.
+  std::vector<size_t> nodes = t.Decompose(1, 1022);
+  EXPECT_LE(nodes.size(), 20u);
+}
+
+TEST(RangeTreeTest, InferRejectsArityMismatch) {
+  RangeTree t = RangeTree::Build(4, 2);
+  EXPECT_FALSE(t.Infer({1.0}, {1.0}).ok());
+}
+
+TEST(RangeTreeTest, InferExactWhenNoiseFree) {
+  RangeTree t = RangeTree::Build(8, 2);
+  std::vector<double> truth{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<double> y(t.num_nodes()), var(t.num_nodes(), 1.0);
+  std::vector<double> prefix(9, 0.0);
+  for (size_t i = 0; i < 8; ++i) prefix[i + 1] = prefix[i] + truth[i];
+  for (size_t v = 0; v < t.num_nodes(); ++v) {
+    y[v] = prefix[t.node(v).hi + 1] - prefix[t.node(v).lo];
+  }
+  auto cells = t.Infer(y, var);
+  ASSERT_TRUE(cells.ok());
+  for (size_t i = 0; i < 8; ++i) EXPECT_NEAR((*cells)[i], truth[i], 1e-10);
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,89 @@
+#include "src/common/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace dpbench {
+namespace {
+
+TEST(FftTest, ForwardInverseRoundTrip) {
+  Rng rng(5);
+  std::vector<std::complex<double>> a(64);
+  for (auto& c : a) c = {rng.Uniform(), rng.Uniform()};
+  auto original = a;
+  Fft(&a, false);
+  Fft(&a, true);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(a[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(FftTest, DeltaTransformsToConstant) {
+  std::vector<std::complex<double>> a(8, {0.0, 0.0});
+  a[0] = {1.0, 0.0};
+  Fft(&a, false);
+  for (const auto& c : a) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, ConstantTransformsToDelta) {
+  std::vector<std::complex<double>> a(8, {1.0, 0.0});
+  Fft(&a, false);
+  EXPECT_NEAR(a[0].real(), 8.0, 1e-12);
+  for (size_t i = 1; i < 8; ++i) EXPECT_NEAR(std::abs(a[i]), 0.0, 1e-12);
+}
+
+TEST(FftTest, MatchesNaiveDft) {
+  Rng rng(6);
+  const size_t n = 16;
+  std::vector<std::complex<double>> a(n);
+  for (auto& c : a) c = {rng.Uniform(), 0.0};
+  auto fast = a;
+  Fft(&fast, false);
+  for (size_t k = 0; k < n; ++k) {
+    std::complex<double> sum{0.0, 0.0};
+    for (size_t j = 0; j < n; ++j) {
+      double angle = -2.0 * M_PI * static_cast<double>(j * k) / n;
+      sum += a[j] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    EXPECT_NEAR(fast[k].real(), sum.real(), 1e-9);
+    EXPECT_NEAR(fast[k].imag(), sum.imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, OrthonormalDftPreservesEnergy) {
+  Rng rng(7);
+  std::vector<double> x(128);
+  for (double& v : x) v = rng.Uniform(-1, 1);
+  auto f = OrthonormalDft(x);
+  double ex = 0.0, ef = 0.0;
+  for (double v : x) ex += v * v;
+  for (const auto& c : f) ef += std::norm(c);
+  EXPECT_NEAR(ex, ef, 1e-9);  // Parseval
+}
+
+TEST(FftTest, OrthonormalRoundTrip) {
+  Rng rng(8);
+  std::vector<double> x(256);
+  for (double& v : x) v = rng.Uniform(0, 100);
+  auto f = OrthonormalDft(x);
+  auto back = OrthonormalIdftReal(f);
+  ASSERT_EQ(back.size(), x.size());
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-8);
+}
+
+TEST(FftTest, DcCoefficientIsScaledSum) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  auto f = OrthonormalDft(x);
+  EXPECT_NEAR(f[0].real(), 10.0 / 2.0, 1e-12);  // sum/sqrt(4)
+  EXPECT_NEAR(f[0].imag(), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,127 @@
+#include "src/common/math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dpbench {
+namespace {
+
+TEST(MathTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(MathTest, SampleVariance) {
+  EXPECT_DOUBLE_EQ(SampleVariance({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({3.0}), 0.0);
+  // var of {2,4,4,4,5,5,7,9} is 32/7 (unbiased).
+  EXPECT_NEAR(SampleVariance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+}
+
+TEST(MathTest, SampleStddev) {
+  EXPECT_NEAR(SampleStddev({1.0, 3.0}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(MathTest, PercentileEndpoints) {
+  std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 3.0);
+}
+
+TEST(MathTest, PercentileInterpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 95.0), 9.5);
+}
+
+TEST(MathTest, PercentileSingleton) {
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 95.0), 7.0);
+}
+
+TEST(MathTest, GeometricMean) {
+  EXPECT_DOUBLE_EQ(GeometricMean({}), 0.0);
+  EXPECT_NEAR(GeometricMean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(GeometricMean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(MathTest, LogSumExpStable) {
+  // Large values must not overflow.
+  double v = LogSumExp({1000.0, 1000.0});
+  EXPECT_NEAR(v, 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathTest, LogSumExpSmall) {
+  double v = LogSumExp({0.0, 0.0, 0.0, 0.0});
+  EXPECT_NEAR(v, std::log(4.0), 1e-12);
+}
+
+TEST(MathTest, IncompleteBetaEndpoints) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(MathTest, IncompleteBetaSymmetry) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  double x = 0.3, a = 2.5, b = 4.0;
+  EXPECT_NEAR(RegularizedIncompleteBeta(a, b, x),
+              1.0 - RegularizedIncompleteBeta(b, a, 1.0 - x), 1e-10);
+}
+
+TEST(MathTest, IncompleteBetaUniformCase) {
+  // I_x(1,1) = x.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, 0.42), 0.42, 1e-10);
+}
+
+TEST(MathTest, StudentTCdfSymmetry) {
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0), 0.5, 1e-12);
+  EXPECT_NEAR(StudentTCdf(1.3, 7.0) + StudentTCdf(-1.3, 7.0), 1.0, 1e-10);
+}
+
+TEST(MathTest, StudentTCdfKnownValues) {
+  // t=2.0, df=10: CDF ~ 0.9633; t=1.0, df=1 (Cauchy): CDF = 0.75.
+  EXPECT_NEAR(StudentTCdf(2.0, 10.0), 0.9633, 5e-4);
+  EXPECT_NEAR(StudentTCdf(1.0, 1.0), 0.75, 1e-6);
+}
+
+TEST(MathTest, StudentTCdfLargeDfApproachesNormal) {
+  // At df=1e6, CDF(1.96) ~ 0.975.
+  EXPECT_NEAR(StudentTCdf(1.96, 1e6), 0.975, 1e-3);
+}
+
+TEST(MathTest, Norms) {
+  EXPECT_DOUBLE_EQ(NormL1({1.0, -2.0, 3.0}), 6.0);
+  EXPECT_DOUBLE_EQ(NormL2({3.0, -4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(NormL1({}), 0.0);
+  EXPECT_DOUBLE_EQ(NormL2({}), 0.0);
+}
+
+TEST(MathTest, PowerOfTwoHelpers) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(4096));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(4095));
+}
+
+TEST(MathTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(4096), 12);
+  EXPECT_EQ(FloorLog2(4097), 12);
+}
+
+TEST(MathTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(4095), 4096u);
+  EXPECT_EQ(NextPowerOfTwo(4096), 4096u);
+}
+
+}  // namespace
+}  // namespace dpbench

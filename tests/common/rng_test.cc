@@ -1,0 +1,200 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/math.h"
+
+namespace dpbench {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform() == b.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(10), 10u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversSupport) {
+  Rng rng(11);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 2000; ++i) seen[rng.UniformInt(5)]++;
+  for (int count : seen) EXPECT_GT(count, 200);
+}
+
+TEST(RngTest, LaplaceMeanAndScale) {
+  Rng rng(13);
+  const double scale = 2.5;
+  std::vector<double> xs(200000);
+  for (double& x : xs) x = rng.Laplace(scale);
+  // Mean 0, variance 2*scale^2.
+  EXPECT_NEAR(Mean(xs), 0.0, 0.05);
+  EXPECT_NEAR(SampleVariance(xs), 2.0 * scale * scale, 0.3);
+}
+
+TEST(RngTest, LaplaceSymmetry) {
+  Rng rng(17);
+  int positive = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Laplace(1.0) > 0) ++positive;
+  }
+  EXPECT_NEAR(static_cast<double>(positive) / n, 0.5, 0.01);
+}
+
+TEST(RngTest, LaplaceAbsMeanMatchesScale) {
+  // E|Laplace(b)| = b.
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += std::abs(rng.Laplace(3.0));
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, GumbelLocation) {
+  // Gumbel(0,1) mean is the Euler-Mascheroni constant ~0.5772.
+  Rng rng(23);
+  std::vector<double> xs(200000);
+  for (double& x : xs) x = rng.Gumbel();
+  EXPECT_NEAR(Mean(xs), 0.5772, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(29);
+  std::vector<double> xs(200000);
+  for (double& x : xs) x = rng.Normal(2.0, 3.0);
+  EXPECT_NEAR(Mean(xs), 2.0, 0.05);
+  EXPECT_NEAR(SampleStddev(xs), 3.0, 0.1);
+}
+
+TEST(RngTest, BinomialEdgeCases) {
+  Rng rng(31);
+  EXPECT_EQ(rng.Binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.Binomial(10, 0.0), 0u);
+  EXPECT_EQ(rng.Binomial(10, 1.0), 10u);
+  EXPECT_EQ(rng.Binomial(10, -0.1), 0u);
+}
+
+TEST(RngTest, BinomialMean) {
+  Rng rng(37);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Binomial(100, 0.3));
+  EXPECT_NEAR(sum / n, 30.0, 0.5);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(41);
+  std::vector<double> w{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> seen(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) seen[rng.Discrete(w)]++;
+  EXPECT_NEAR(seen[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(seen[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_EQ(seen[2], 0);
+  EXPECT_NEAR(seen[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, MultinomialSumsToTrials) {
+  Rng rng(43);
+  std::vector<double> p{0.2, 0.3, 0.5};
+  for (uint64_t trials : {0ULL, 1ULL, 17ULL, 1000ULL, 1000000ULL}) {
+    std::vector<uint64_t> c = rng.Multinomial(trials, p);
+    uint64_t total = 0;
+    for (uint64_t x : c) total += x;
+    EXPECT_EQ(total, trials);
+  }
+}
+
+TEST(RngTest, MultinomialProportions) {
+  Rng rng(47);
+  std::vector<double> p{0.1, 0.2, 0.7};
+  std::vector<uint64_t> c = rng.Multinomial(1000000, p);
+  EXPECT_NEAR(c[0] / 1e6, 0.1, 0.01);
+  EXPECT_NEAR(c[1] / 1e6, 0.2, 0.01);
+  EXPECT_NEAR(c[2] / 1e6, 0.7, 0.01);
+}
+
+TEST(RngTest, MultinomialUnnormalizedWeights) {
+  Rng rng(53);
+  std::vector<double> p{2.0, 6.0};  // not normalized
+  std::vector<uint64_t> c = rng.Multinomial(100000, p);
+  EXPECT_NEAR(c[0] / 1e5, 0.25, 0.01);
+}
+
+TEST(RngTest, MultinomialZeroWeightBinsGetNothing) {
+  Rng rng(59);
+  std::vector<double> p{0.0, 1.0, 0.0};
+  std::vector<uint64_t> c = rng.Multinomial(5000, p);
+  EXPECT_EQ(c[0], 0u);
+  EXPECT_EQ(c[1], 5000u);
+  EXPECT_EQ(c[2], 0u);
+}
+
+TEST(RngTest, MultinomialAllZeroWeightsFallsBackToUniform) {
+  Rng rng(61);
+  std::vector<double> p{0.0, 0.0, 0.0, 0.0};
+  std::vector<uint64_t> c = rng.Multinomial(40000, p);
+  uint64_t total = 0;
+  for (uint64_t x : c) total += x;
+  EXPECT_EQ(total, 40000u);
+  for (uint64_t x : c) EXPECT_NEAR(x / 4e4, 0.25, 0.03);
+}
+
+TEST(RngTest, MultinomialLargeScaleFast) {
+  Rng rng(67);
+  std::vector<double> p(4096, 1.0);
+  std::vector<uint64_t> c = rng.Multinomial(100000000ULL, p);
+  uint64_t total = 0;
+  for (uint64_t x : c) total += x;
+  EXPECT_EQ(total, 100000000ULL);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng rng(71);
+  Rng child = rng.Fork();
+  // Child stream differs from parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (rng.Uniform() == child.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,123 @@
+#include "src/data/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace dpbench {
+namespace {
+
+TEST(DatasetRegistryTest, Has18OneDimensionalDatasets) {
+  EXPECT_EQ(DatasetRegistry::All1D().size(), 18u);
+}
+
+TEST(DatasetRegistryTest, Has9TwoDimensionalDatasets) {
+  EXPECT_EQ(DatasetRegistry::All2D().size(), 9u);
+}
+
+TEST(DatasetRegistryTest, InfoLookup) {
+  auto info = DatasetRegistry::Info("ADULT");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->dims, 1u);
+  EXPECT_DOUBLE_EQ(info->original_scale, 32558);
+  EXPECT_FALSE(info->new_in_paper);
+  EXPECT_FALSE(DatasetRegistry::Info("NOPE").ok());
+}
+
+TEST(DatasetRegistryTest, NewDatasetsFlagged) {
+  EXPECT_TRUE(DatasetRegistry::Info("BIDS-FJ")->new_in_paper);
+  EXPECT_TRUE(DatasetRegistry::Info("STROKE")->new_in_paper);
+  EXPECT_FALSE(DatasetRegistry::Info("GOWALLA")->new_in_paper);
+}
+
+TEST(DatasetRegistryTest, ShapeIsDeterministic) {
+  auto a = DatasetRegistry::Shape("TRACE");
+  auto b = DatasetRegistry::Shape("TRACE");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) EXPECT_DOUBLE_EQ((*a)[i], (*b)[i]);
+}
+
+TEST(DatasetRegistryTest, ShapeAtDomainCoarsens) {
+  for (size_t n : {256u, 512u, 1024u, 2048u, 4096u}) {
+    auto s = DatasetRegistry::ShapeAtDomain("PATENT", n);
+    ASSERT_TRUE(s.ok()) << n;
+    EXPECT_EQ(s->size(), n);
+    double total =
+        std::accumulate(s->counts().begin(), s->counts().end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(DatasetRegistryTest, ShapeAtDomain2D) {
+  for (size_t side : {32u, 64u, 128u, 256u}) {
+    auto s = DatasetRegistry::ShapeAtDomain("GOWALLA", side);
+    ASSERT_TRUE(s.ok()) << side;
+    EXPECT_EQ(s->domain().ToString(),
+              std::to_string(side) + "x" + std::to_string(side));
+  }
+}
+
+TEST(DatasetRegistryTest, ShapeAtDomainRejectsNonDivisor) {
+  EXPECT_FALSE(DatasetRegistry::ShapeAtDomain("ADULT", 1000).ok());
+  EXPECT_FALSE(DatasetRegistry::ShapeAtDomain("ADULT", 0).ok());
+}
+
+// Parameterized sweep across all 27 datasets: the shape must be a valid
+// distribution at the maximum domain with the documented sparsity.
+class AllDatasetsTest : public ::testing::TestWithParam<DatasetInfo> {};
+
+TEST_P(AllDatasetsTest, ShapeIsValidDistribution) {
+  const DatasetInfo& info = GetParam();
+  auto s = DatasetRegistry::Shape(info.name);
+  ASSERT_TRUE(s.ok());
+  size_t expect_cells = info.dims == 1
+                            ? kMaxDomain1D
+                            : kMaxDomainSide2D * kMaxDomainSide2D;
+  EXPECT_EQ(s->size(), expect_cells);
+  double total = 0.0;
+  for (double v : s->counts()) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(AllDatasetsTest, SparsityMatchesTable2) {
+  const DatasetInfo& info = GetParam();
+  auto s = DatasetRegistry::Shape(info.name);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s->ZeroFraction(), info.zero_fraction, 0.005)
+      << info.name << " sparsity off Table 2";
+}
+
+TEST_P(AllDatasetsTest, CoarseningReducesOrPreservesSparsity) {
+  // Merging cells can only decrease the fraction of zero cells.
+  const DatasetInfo& info = GetParam();
+  size_t max_size = info.dims == 1 ? kMaxDomain1D : kMaxDomainSide2D;
+  auto fine = DatasetRegistry::ShapeAtDomain(info.name, max_size);
+  auto coarse = DatasetRegistry::ShapeAtDomain(info.name, max_size / 4);
+  ASSERT_TRUE(fine.ok());
+  ASSERT_TRUE(coarse.ok());
+  EXPECT_LE(coarse->ZeroFraction(), fine->ZeroFraction() + 1e-9);
+}
+
+std::vector<DatasetInfo> AllInfos() {
+  std::vector<DatasetInfo> all = DatasetRegistry::All1D();
+  const auto& d2 = DatasetRegistry::All2D();
+  all.insert(all.end(), d2.begin(), d2.end());
+  return all;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, AllDatasetsTest, ::testing::ValuesIn(AllInfos()),
+    [](const ::testing::TestParamInfo<DatasetInfo>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,105 @@
+#include "src/data/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/datasets.h"
+
+namespace dpbench {
+namespace {
+
+TEST(SamplerTest, ScaleIsExact) {
+  Rng rng(1);
+  DataVector shape(Domain::D1(16), std::vector<double>(16, 1.0 / 16));
+  for (uint64_t m : {1ULL, 100ULL, 12345ULL, 10000000ULL}) {
+    auto x = SampleAtScale(shape, m, &rng);
+    ASSERT_TRUE(x.ok());
+    EXPECT_DOUBLE_EQ(x->Scale(), static_cast<double>(m));
+  }
+}
+
+TEST(SamplerTest, CountsAreIntegral) {
+  // Paper §5.1: sampling (vs scalar multiplication) guarantees integers.
+  Rng rng(2);
+  auto shape = DatasetRegistry::Shape("MEDCOST");
+  ASSERT_TRUE(shape.ok());
+  auto x = SampleAtScale(*shape, 9415, &rng);
+  ASSERT_TRUE(x.ok());
+  for (double v : x->counts()) {
+    EXPECT_DOUBLE_EQ(v, std::floor(v));
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(SamplerTest, RespectsShapeSupport) {
+  Rng rng(3);
+  std::vector<double> p(8, 0.0);
+  p[2] = 0.5;
+  p[5] = 0.5;
+  DataVector shape(Domain::D1(8), p);
+  auto x = SampleAtScale(shape, 100000, &rng);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < 8; ++i) {
+    if (i == 2 || i == 5) {
+      EXPECT_NEAR((*x)[i], 50000.0, 1000.0);
+    } else {
+      EXPECT_DOUBLE_EQ((*x)[i], 0.0);
+    }
+  }
+}
+
+TEST(SamplerTest, LargeScaleConvergesToShape) {
+  // Increasing scale gives a stronger "signal" (paper §5.1): the empirical
+  // shape approaches the source shape.
+  Rng rng(4);
+  auto shape = DatasetRegistry::ShapeAtDomain("HEPPH", 256);
+  ASSERT_TRUE(shape.ok());
+  auto x = SampleAtScale(*shape, 100000000, &rng);
+  ASSERT_TRUE(x.ok());
+  std::vector<double> emp = x->Shape();
+  double l1 = 0.0;
+  for (size_t i = 0; i < emp.size(); ++i) {
+    l1 += std::abs(emp[i] - (*shape)[i]);
+  }
+  EXPECT_LT(l1, 0.005);
+}
+
+TEST(SamplerTest, SampleAtScaleAndDomainCoarsens) {
+  Rng rng(5);
+  auto shape = DatasetRegistry::Shape("SEARCH");
+  ASSERT_TRUE(shape.ok());
+  auto x = SampleAtScaleAndDomain(*shape, 5000, 4, &rng);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x->size(), kMaxDomain1D / 4);
+  EXPECT_DOUBLE_EQ(x->Scale(), 5000.0);
+}
+
+TEST(SamplerTest, CoarsenFactorOneIsIdentityDomain) {
+  Rng rng(6);
+  DataVector shape(Domain::D1(32), std::vector<double>(32, 1.0 / 32));
+  auto x = SampleAtScaleAndDomain(shape, 100, 1, &rng);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x->size(), 32u);
+}
+
+TEST(SamplerTest, RejectsZeroFactor) {
+  Rng rng(7);
+  DataVector shape(Domain::D1(4), {0.25, 0.25, 0.25, 0.25});
+  EXPECT_FALSE(SampleAtScaleAndDomain(shape, 10, 0, &rng).ok());
+}
+
+TEST(SamplerTest, DifferentDrawsDiffer) {
+  Rng rng(8);
+  DataVector shape(Domain::D1(64), std::vector<double>(64, 1.0 / 64));
+  auto a = SampleAtScale(shape, 10000, &rng);
+  auto b = SampleAtScale(shape, 10000, &rng);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool differ = false;
+  for (size_t i = 0; i < 64; ++i) {
+    if ((*a)[i] != (*b)[i]) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,153 @@
+#include "src/data/shape.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace dpbench {
+namespace {
+
+double Sum(const DataVector& x) {
+  return std::accumulate(x.counts().begin(), x.counts().end(), 0.0);
+}
+
+TEST(ShapeBuilderTest, BuildsNormalizedShape) {
+  ShapeBuilder b(Domain::D1(64), 1);
+  b.AddUniform(1.0);
+  DataVector s = b.Build();
+  EXPECT_NEAR(Sum(s), 1.0, 1e-12);
+  for (size_t i = 0; i < s.size(); ++i) EXPECT_NEAR(s[i], 1.0 / 64, 1e-12);
+}
+
+TEST(ShapeBuilderTest, GaussianConcentratesMass) {
+  ShapeBuilder b(Domain::D1(256), 2);
+  b.AddGaussian({0.5}, {0.05}, 1.0);
+  DataVector s = b.Build();
+  // Most mass within +-3 sigma of the center.
+  double central = 0.0;
+  for (size_t i = 128 - 40; i <= 128 + 40; ++i) central += s[i];
+  EXPECT_GT(central, 0.99);
+}
+
+TEST(ShapeBuilderTest, Gaussian2D) {
+  ShapeBuilder b(Domain::D2(32, 32), 3);
+  b.AddGaussian({0.25, 0.75}, {0.05, 0.05}, 1.0);
+  DataVector s = b.Build();
+  EXPECT_NEAR(Sum(s), 1.0, 1e-12);
+  // Peak near (8, 24).
+  size_t argmax = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] > s[argmax]) argmax = i;
+  }
+  size_t r = argmax / 32, c = argmax % 32;
+  EXPECT_NEAR(static_cast<double>(r), 8.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(c), 24.0, 2.0);
+}
+
+TEST(ShapeBuilderTest, LognormalIsSkewed) {
+  ShapeBuilder b(Domain::D1(512), 4);
+  b.AddLognormal(0.1, 1.0, 1.0);
+  DataVector s = b.Build();
+  // Mass in the first fifth exceeds mass in the last fifth.
+  double head = 0.0, tail = 0.0;
+  for (size_t i = 0; i < 102; ++i) head += s[i];
+  for (size_t i = 410; i < 512; ++i) tail += s[i];
+  EXPECT_GT(head, 10.0 * tail);
+}
+
+TEST(ShapeBuilderTest, ZipfSpikesAreSparse) {
+  ShapeBuilder b(Domain::D1(1024), 5);
+  b.AddZipfSpikes(20, 1.5, 1.0);
+  DataVector s = b.Build();
+  EXPECT_GE(s.ZeroFraction(), 0.97);  // at most 20 nonzero cells
+  EXPECT_NEAR(Sum(s), 1.0, 1e-12);
+}
+
+TEST(ShapeBuilderTest, PeriodicSpikes) {
+  ShapeBuilder b(Domain::D1(100), 6);
+  b.AddPeriodicSpikes(10, 0.0, 1.0);
+  DataVector s = b.Build();
+  for (size_t i = 0; i < 100; ++i) {
+    if (i % 10 == 0) {
+      EXPECT_NEAR(s[i], 0.1, 1e-12);
+    } else {
+      EXPECT_DOUBLE_EQ(s[i], 0.0);
+    }
+  }
+}
+
+TEST(ShapeBuilderTest, ExponentialDecayIsMonotone) {
+  ShapeBuilder b(Domain::D1(128), 7);
+  b.AddExponentialDecay(0.1, 1.0);
+  DataVector s = b.Build();
+  for (size_t i = 1; i < 128; ++i) EXPECT_LE(s[i], s[i - 1] + 1e-15);
+}
+
+TEST(ShapeBuilderTest, TruncateSupportHitsTarget) {
+  for (double frac : {0.022, 0.25, 0.5, 0.9}) {
+    ShapeBuilder b(Domain::D1(1000), 8);
+    b.AddUniform(0.5).AddGaussian({0.5}, {0.2}, 0.5).Roughen(0.3);
+    b.TruncateSupport(frac);
+    DataVector s = b.Build();
+    EXPECT_NEAR(1.0 - s.ZeroFraction(), frac, 0.002) << "frac=" << frac;
+    EXPECT_NEAR(Sum(s), 1.0, 1e-9);
+  }
+}
+
+TEST(ShapeBuilderTest, TruncateSupportDenseKeepsAllPositive) {
+  ShapeBuilder b(Domain::D1(100), 9);
+  b.AddGaussian({0.2}, {0.01}, 1.0);  // leaves far cells at ~0
+  b.TruncateSupport(1.0);
+  DataVector s = b.Build();
+  EXPECT_DOUBLE_EQ(s.ZeroFraction(), 0.0);
+  for (size_t i = 0; i < s.size(); ++i) EXPECT_GT(s[i], 0.0);
+}
+
+TEST(ShapeBuilderTest, RoughenPreservesSupportAndNormalization) {
+  ShapeBuilder b(Domain::D1(64), 10);
+  b.AddUniform(1.0).Roughen(0.5);
+  DataVector s = b.Build();
+  EXPECT_NEAR(Sum(s), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.ZeroFraction(), 0.0);
+  // Texture should actually vary.
+  double mn = 1.0, mx = 0.0;
+  for (size_t i = 0; i < 64; ++i) {
+    mn = std::min(mn, s[i]);
+    mx = std::max(mx, s[i]);
+  }
+  EXPECT_GT(mx / mn, 1.5);
+}
+
+TEST(ShapeBuilderTest, DiagonalBandFollowsLine) {
+  ShapeBuilder b(Domain::D2(64, 64), 11);
+  b.AddDiagonalBand(1.0, 0.0, 0.03, 1.0);
+  DataVector s = b.Build();
+  // Mass on the diagonal dominates off-diagonal mass.
+  double on = 0.0, off = 0.0;
+  for (size_t r = 0; r < 64; ++r) {
+    for (size_t c = 0; c < 64; ++c) {
+      double v = s[r * 64 + c];
+      if (r == c) {
+        on += v;
+      } else if (r + 20 < c || c + 20 < r) {
+        off += v;
+      }
+    }
+  }
+  EXPECT_GT(on, 0.15);
+  EXPECT_LT(off, 1e-6);
+}
+
+TEST(ShapeBuilderTest, DeterministicForSeed) {
+  auto build = [] {
+    ShapeBuilder b(Domain::D1(128), 99);
+    b.AddZipfSpikes(30, 1.0, 0.7).AddUniform(0.3).Roughen(0.4);
+    return b.Build();
+  };
+  DataVector a = build(), c = build();
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], c[i]);
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,80 @@
+#include "src/engine/error.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dpbench {
+namespace {
+
+TEST(ErrorTest, ExactFormula) {
+  // ||(3,4)||_2 = 5; scale 10, q = 2 -> 5 / 20 = 0.25.
+  auto e = ScaledL2PerQueryError({1.0, 1.0}, {4.0, 5.0}, 10.0);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 0.25);
+}
+
+TEST(ErrorTest, ZeroWhenExact) {
+  auto e = ScaledL2PerQueryError({1.0, 2.0}, {1.0, 2.0}, 5.0);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 0.0);
+}
+
+TEST(ErrorTest, ScalingMatters) {
+  // Paper's motivating example: the same absolute error is 100x worse in
+  // scaled terms on a 1000-record dataset vs a 100000-record one.
+  double abs_err = 100.0;
+  auto small = ScaledL2PerQueryError({0.0}, {abs_err}, 1000.0);
+  auto large = ScaledL2PerQueryError({0.0}, {abs_err}, 100000.0);
+  EXPECT_DOUBLE_EQ(*small, 0.1);
+  EXPECT_DOUBLE_EQ(*large, 0.001);
+}
+
+TEST(ErrorTest, RejectsBadInput) {
+  EXPECT_FALSE(ScaledL2PerQueryError({1.0}, {1.0, 2.0}, 1.0).ok());
+  EXPECT_FALSE(ScaledL2PerQueryError({}, {}, 1.0).ok());
+  EXPECT_FALSE(ScaledL2PerQueryError({1.0}, {1.0}, 0.0).ok());
+  EXPECT_FALSE(ScaledL2PerQueryError({1.0}, {1.0}, -5.0).ok());
+}
+
+TEST(ErrorTest, WorkloadErrorEndToEnd) {
+  DataVector truth(Domain::D1(4), {10, 0, 0, 0});
+  DataVector est(Domain::D1(4), {0, 10, 0, 0});
+  Workload w = Workload::Prefix1D(4);
+  // Truth prefix: 10,10,10,10; est prefix: 0,10,10,10. Diff=(10,0,0,0).
+  auto e = WorkloadError(w, truth, est);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 10.0 / (10.0 * 4.0));
+}
+
+TEST(ErrorTest, WorkloadErrorRejectsDomainMismatch) {
+  DataVector truth(Domain::D1(4));
+  DataVector est(Domain::D1(8));
+  Workload w = Workload::Prefix1D(4);
+  EXPECT_FALSE(WorkloadError(w, truth, est).ok());
+}
+
+TEST(BiasVarianceTest, PureBias) {
+  // All runs identical and offset from truth: bias only.
+  auto bv = DecomposeBiasVariance({0.0, 0.0},
+                                  {{3.0, 4.0}, {3.0, 4.0}, {3.0, 4.0}});
+  ASSERT_TRUE(bv.ok());
+  EXPECT_NEAR(bv->bias_l2, 5.0, 1e-12);
+  EXPECT_NEAR(bv->stddev_l2, 0.0, 1e-12);
+}
+
+TEST(BiasVarianceTest, PureNoise) {
+  // Runs symmetric around the truth: no bias, positive dispersion.
+  auto bv = DecomposeBiasVariance({0.0}, {{1.0}, {-1.0}});
+  ASSERT_TRUE(bv.ok());
+  EXPECT_NEAR(bv->bias_l2, 0.0, 1e-12);
+  EXPECT_GT(bv->stddev_l2, 0.5);
+}
+
+TEST(BiasVarianceTest, RejectsEmptyAndMismatched) {
+  EXPECT_FALSE(DecomposeBiasVariance({0.0}, {}).ok());
+  EXPECT_FALSE(DecomposeBiasVariance({0.0}, {{1.0, 2.0}}).ok());
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,120 @@
+#include "src/engine/postprocess.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace dpbench {
+namespace {
+
+TEST(PostprocessTest, ClampZeroesNegatives) {
+  DataVector x(Domain::D1(4), {-1.0, 2.0, -0.5, 3.0});
+  DataVector y = ClampNonNegative(x);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+  EXPECT_DOUBLE_EQ(y[3], 3.0);
+}
+
+TEST(PostprocessTest, ClampPreservesNonNegative) {
+  DataVector x(Domain::D1(3), {0.0, 1.5, 7.0});
+  DataVector y = ClampNonNegative(x);
+  for (size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(PostprocessTest, NormalizeHitsTargetScale) {
+  DataVector x(Domain::D1(4), {1.0, 1.0, 1.0, 1.0});
+  DataVector y = NormalizeToScale(x, 100.0);
+  EXPECT_DOUBLE_EQ(y.Scale(), 100.0);
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(y[i], 25.0);
+}
+
+TEST(PostprocessTest, NormalizeNoOpOnZeroTotal) {
+  DataVector x(Domain::D1(2), {1.0, -1.0});
+  DataVector y = NormalizeToScale(x, 50.0);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(PostprocessTest, RoundProducesIntegerCounts) {
+  DataVector x(Domain::D1(4), {1.4, 1.6, -0.7, 2.5});
+  DataVector y = RoundToCounts(x);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+  EXPECT_DOUBLE_EQ(y[3], 3.0);  // round-half-away-from-zero
+}
+
+TEST(ProjectionTest, AlreadyFeasibleIsUnchanged) {
+  DataVector x(Domain::D1(3), {1.0, 2.0, 3.0});
+  DataVector y = ProjectNonNegativeKeepingTotal(x);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(y[i], x[i], 1e-12);
+}
+
+TEST(ProjectionTest, PreservesTotalAndNonNegativity) {
+  Rng rng(1);
+  std::vector<double> counts(50);
+  for (double& v : counts) v = rng.Uniform(-10, 30);
+  DataVector x(Domain::D1(50), counts);
+  DataVector y = ProjectNonNegativeKeepingTotal(x);
+  double expected_total = std::max(x.Scale(), 0.0);
+  EXPECT_NEAR(y.Scale(), expected_total, 1e-8);
+  for (size_t i = 0; i < 50; ++i) EXPECT_GE(y[i], 0.0);
+}
+
+TEST(ProjectionTest, KnownSmallCase) {
+  // x = (3, -1); total 2. Projection: theta solves max(3-t,0)+max(-1-t,0)=2
+  // -> t = 1 -> (2, 0).
+  DataVector x(Domain::D1(2), {3.0, -1.0});
+  DataVector y = ProjectNonNegativeKeepingTotal(x);
+  EXPECT_NEAR(y[0], 2.0, 1e-12);
+  EXPECT_NEAR(y[1], 0.0, 1e-12);
+}
+
+TEST(ProjectionTest, NegativeTotalClampsToZeroMass) {
+  DataVector x(Domain::D1(2), {-3.0, -5.0});
+  DataVector y = ProjectNonNegativeKeepingTotal(x);
+  EXPECT_NEAR(y.Scale(), 0.0, 1e-12);
+  for (size_t i = 0; i < 2; ++i) EXPECT_GE(y[i], 0.0);
+}
+
+TEST(ProjectionTest, AddsMassUniformlyWhenTotalExceedsSum) {
+  // All cells positive but the projection can also *raise* cells when the
+  // preserved total requires it (theta negative). x=(0,0), total 0: stays.
+  DataVector x(Domain::D1(4), {0.0, 0.0, 0.0, 0.0});
+  DataVector y = ProjectNonNegativeKeepingTotal(x);
+  EXPECT_NEAR(y.Scale(), 0.0, 1e-12);
+}
+
+TEST(ProjectionTest, IsIdempotent) {
+  Rng rng(2);
+  std::vector<double> counts(32);
+  for (double& v : counts) v = rng.Uniform(-5, 10);
+  DataVector x(Domain::D1(32), counts);
+  DataVector once = ProjectNonNegativeKeepingTotal(x);
+  DataVector twice = ProjectNonNegativeKeepingTotal(once);
+  for (size_t i = 0; i < 32; ++i) EXPECT_NEAR(twice[i], once[i], 1e-9);
+}
+
+TEST(ProjectionTest, CloserThanClampInL2) {
+  // The projection is the *minimum-distance* feasible point; verify it is
+  // no farther from x than clamp-then-normalize for random inputs.
+  Rng rng(3);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<double> counts(40);
+    for (double& v : counts) v = rng.Uniform(-20, 40);
+    DataVector x(Domain::D1(40), counts);
+    if (x.Scale() <= 0.0) continue;
+    DataVector proj = ProjectNonNegativeKeepingTotal(x);
+    DataVector alt = NormalizeToScale(ClampNonNegative(x), x.Scale());
+    double d_proj = 0.0, d_alt = 0.0;
+    for (size_t i = 0; i < 40; ++i) {
+      d_proj += (proj[i] - x[i]) * (proj[i] - x[i]);
+      d_alt += (alt[i] - x[i]) * (alt[i] - x[i]);
+    }
+    EXPECT_LE(d_proj, d_alt + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dpbench

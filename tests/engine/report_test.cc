@@ -1,0 +1,121 @@
+#include "src/engine/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dpbench {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"algo", "error"});
+  t.AddRow({"IDENTITY", "0.1"});
+  t.AddRow({"HB", "0.002"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("algo"), std::string::npos);
+  EXPECT_NE(out.find("IDENTITY"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTableTest, NumFormatting) {
+  EXPECT_EQ(TextTable::Num(0.0), "0");
+  EXPECT_NE(TextTable::Num(0.5).find("0.5"), std::string::npos);
+  EXPECT_NE(TextTable::Num(1.5e-7).find("e-0"), std::string::npos);
+}
+
+TEST(WriteCsvTest, EmitsHeaderAndRows) {
+  CellResult cell;
+  cell.key = {"DAWA", "ADULT", 1000, 4096, 0.1};
+  cell.errors = {0.1, 0.2};
+  cell.summary = {0.15, 0.05, 0.19, 2};
+  std::ostringstream os;
+  WriteCsv({cell}, os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("algorithm,dataset"), std::string::npos);
+  EXPECT_NE(out.find("DAWA,ADULT,1000,4096,0.1,2,0.15"), std::string::npos);
+}
+
+TEST(ReadCsvTest, RoundTripsWrittenResults) {
+  CellResult a;
+  a.key = {"DAWA", "ADULT", 1000, 4096, 0.1};
+  a.summary = {0.15, 0.05, 0.19, 20};
+  CellResult b;
+  b.key = {"HB", "TRACE", 100000, 256, 1.0};
+  b.summary = {0.003, 0.001, 0.004, 50};
+  std::ostringstream os;
+  WriteCsv({a, b}, os);
+  std::istringstream is(os.str());
+  auto cells = ReadCsv(is);
+  ASSERT_TRUE(cells.ok());
+  ASSERT_EQ(cells->size(), 2u);
+  EXPECT_EQ((*cells)[0].key.algorithm, "DAWA");
+  EXPECT_EQ((*cells)[0].key.scale, 1000u);
+  EXPECT_DOUBLE_EQ((*cells)[0].summary.mean, 0.15);
+  EXPECT_EQ((*cells)[1].key.dataset, "TRACE");
+  EXPECT_DOUBLE_EQ((*cells)[1].summary.p95, 0.004);
+  EXPECT_EQ((*cells)[1].summary.trials, 50u);
+}
+
+TEST(ReadCsvTest, RejectsMissingHeader) {
+  std::istringstream is("DAWA,ADULT,1000,4096,0.1,2,0.1,0.1,0.1\n");
+  EXPECT_FALSE(ReadCsv(is).ok());
+}
+
+TEST(ReadCsvTest, RejectsMalformedRow) {
+  std::istringstream is(
+      "algorithm,dataset,scale,domain,epsilon,trials,mean_error,stddev,p95\n"
+      "DAWA,ADULT,notanumber,4096,0.1,2,0.1,0.1,0.1\n");
+  EXPECT_FALSE(ReadCsv(is).ok());
+}
+
+TEST(ReadCsvTest, RejectsEmptyInput) {
+  std::istringstream is("");
+  EXPECT_FALSE(ReadCsv(is).ok());
+}
+
+TEST(RegretTest, OracleHasRegretOne) {
+  std::map<std::string, std::map<std::string, double>> errs{
+      {"s1", {{"A", 1.0}, {"B", 2.0}}},
+      {"s2", {{"A", 1.0}, {"B", 4.0}}},
+  };
+  auto regret = ComputeRegret(errs);
+  ASSERT_TRUE(regret.ok());
+  EXPECT_DOUBLE_EQ(regret->at("A"), 1.0);
+  EXPECT_NEAR(regret->at("B"), std::sqrt(2.0 * 4.0), 1e-12);
+}
+
+TEST(RegretTest, GeometricMeanAggregation) {
+  // A: ratios 2 and 8 -> geomean 4.
+  std::map<std::string, std::map<std::string, double>> errs{
+      {"s1", {{"A", 2.0}, {"B", 1.0}}},
+      {"s2", {{"A", 8.0}, {"B", 1.0}}},
+  };
+  auto regret = ComputeRegret(errs);
+  ASSERT_TRUE(regret.ok());
+  EXPECT_NEAR(regret->at("A"), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(regret->at("B"), 1.0);
+}
+
+TEST(RegretTest, PartialAlgorithmsExcluded) {
+  // C only appears in one setting: it is not scored and does not define
+  // the oracle in the setting it is missing from.
+  std::map<std::string, std::map<std::string, double>> errs{
+      {"s1", {{"A", 2.0}, {"B", 4.0}, {"C", 0.5}}},
+      {"s2", {{"A", 2.0}, {"B", 1.0}}},
+  };
+  auto regret = ComputeRegret(errs);
+  ASSERT_TRUE(regret.ok());
+  EXPECT_EQ(regret->count("C"), 0u);
+  // Oracle in s1 is A (2.0) among {A,B}; in s2 it is B (1.0).
+  EXPECT_NEAR(regret->at("A"), std::sqrt(1.0 * 2.0), 1e-12);
+  EXPECT_NEAR(regret->at("B"), std::sqrt(2.0 * 1.0), 1e-12);
+}
+
+TEST(RegretTest, RejectsEmpty) {
+  EXPECT_FALSE(ComputeRegret({}).ok());
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,170 @@
+#include "src/engine/runner.h"
+
+#include <gtest/gtest.h>
+
+namespace dpbench {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig c;
+  c.algorithms = {"IDENTITY", "UNIFORM"};
+  c.datasets = {"ADULT"};
+  c.scales = {1000};
+  c.domain_sizes = {256};
+  c.epsilons = {0.1};
+  c.data_samples = 2;
+  c.runs_per_sample = 3;
+  c.workload = WorkloadKind::kPrefix1D;
+  return c;
+}
+
+TEST(RunnerTest, ProducesOneCellPerConfiguration) {
+  auto results = Runner::Run(SmallConfig());
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 2u);  // 2 algorithms x 1 everything else
+  for (const CellResult& cell : *results) {
+    EXPECT_EQ(cell.errors.size(), 6u);  // 2 samples x 3 runs
+    EXPECT_GT(cell.summary.mean, 0.0);
+    EXPECT_GE(cell.summary.p95, 0.0);
+  }
+}
+
+TEST(RunnerTest, GridExpansion) {
+  ExperimentConfig c = SmallConfig();
+  c.scales = {1000, 10000};
+  c.epsilons = {0.1, 1.0};
+  auto results = Runner::Run(c);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 8u);  // 2 algos x 2 scales x 2 eps
+}
+
+TEST(RunnerTest, DeterministicForSeed) {
+  auto a = Runner::Run(SmallConfig());
+  auto b = Runner::Run(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*a)[i].summary.mean, (*b)[i].summary.mean);
+  }
+}
+
+TEST(RunnerTest, SeedChangesResults) {
+  ExperimentConfig c = SmallConfig();
+  auto a = Runner::Run(c);
+  c.seed += 1;
+  auto b = Runner::Run(c);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE((*a)[0].summary.mean, (*b)[0].summary.mean);
+}
+
+TEST(RunnerTest, SkipsUnsupportedDimensions) {
+  ExperimentConfig c = SmallConfig();
+  c.algorithms = {"IDENTITY", "UGRID"};  // UGRID is 2D-only
+  auto results = Runner::Run(c);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].key.algorithm, "IDENTITY");
+}
+
+TEST(RunnerTest, FailsOnUnknownDataset) {
+  ExperimentConfig c = SmallConfig();
+  c.datasets = {"NOPE"};
+  EXPECT_FALSE(Runner::Run(c).ok());
+}
+
+TEST(RunnerTest, FailsOnUnknownAlgorithm) {
+  ExperimentConfig c = SmallConfig();
+  c.algorithms = {"NOPE"};
+  EXPECT_FALSE(Runner::Run(c).ok());
+}
+
+TEST(RunnerTest, ProgressCallbackFires) {
+  int calls = 0;
+  auto results =
+      Runner::Run(SmallConfig(), [&](const CellResult&) { ++calls; });
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RunnerTest, Runs2DWorkload) {
+  ExperimentConfig c;
+  c.algorithms = {"UNIFORM", "AGRID"};
+  c.datasets = {"STROKE"};
+  c.scales = {10000};
+  c.domain_sizes = {32};
+  c.epsilons = {0.1};
+  c.data_samples = 1;
+  c.runs_per_sample = 2;
+  c.workload = WorkloadKind::kRandomRange2D;
+  c.random_queries = 100;
+  auto results = Runner::Run(c);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 2u);
+}
+
+TEST(RunnerTest, GroupBySettingShapesForTTest) {
+  ExperimentConfig c = SmallConfig();
+  c.scales = {1000, 10000};
+  auto results = Runner::Run(c);
+  ASSERT_TRUE(results.ok());
+  auto grouped = Runner::GroupBySetting(*results);
+  EXPECT_EQ(grouped.size(), 2u);  // two settings (scales)
+  for (const auto& [setting, by_algo] : grouped) {
+    EXPECT_EQ(by_algo.size(), 2u);  // both algorithms present
+    EXPECT_TRUE(by_algo.count("IDENTITY"));
+    EXPECT_TRUE(by_algo.count("UNIFORM"));
+  }
+}
+
+TEST(RunnerTest, ParallelMatchesSerialBitExactly) {
+  ExperimentConfig serial = SmallConfig();
+  serial.algorithms = {"IDENTITY", "UNIFORM", "HB", "DAWA"};
+  ExperimentConfig parallel = serial;
+  parallel.threads = 4;
+  auto a = Runner::Run(serial);
+  auto b = Runner::Run(parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].key.ToString(), (*b)[i].key.ToString());
+    ASSERT_EQ((*a)[i].errors.size(), (*b)[i].errors.size());
+    for (size_t t = 0; t < (*a)[i].errors.size(); ++t) {
+      EXPECT_DOUBLE_EQ((*a)[i].errors[t], (*b)[i].errors[t]);
+    }
+  }
+}
+
+TEST(RunnerTest, ResultsIndependentOfAlgorithmListOrder) {
+  // Per-cell seeding is derived from the configuration key, so permuting
+  // the grid must not change any cell's trials.
+  ExperimentConfig c1 = SmallConfig();
+  c1.algorithms = {"IDENTITY", "UNIFORM", "HB"};
+  ExperimentConfig c2 = c1;
+  c2.algorithms = {"HB", "IDENTITY", "UNIFORM"};
+  auto a = Runner::Run(c1);
+  auto b = Runner::Run(c2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::map<std::string, double> mean_a, mean_b;
+  for (const CellResult& cell : *a) {
+    mean_a[cell.key.ToString()] = cell.summary.mean;
+  }
+  for (const CellResult& cell : *b) {
+    mean_b[cell.key.ToString()] = cell.summary.mean;
+  }
+  EXPECT_EQ(mean_a, mean_b);
+}
+
+TEST(RunnerTest, ConfigKeyOrderingAndToString) {
+  ConfigKey a{"A", "D", 1, 2, 0.1};
+  ConfigKey b{"B", "D", 1, 2, 0.1};
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_NE(a.ToString().find("scale=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpbench

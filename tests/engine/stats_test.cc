@@ -1,0 +1,143 @@
+#include "src/engine/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace dpbench {
+namespace {
+
+TEST(SummarizeTest, Basics) {
+  auto s = Summarize({1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->mean, 2.5);
+  EXPECT_EQ(s->trials, 4u);
+  EXPECT_GT(s->p95, 3.5);
+  EXPECT_FALSE(Summarize({}).ok());
+}
+
+TEST(SummarizeTest, P95CapturesTail) {
+  std::vector<double> errs(100, 1.0);
+  for (int i = 0; i < 10; ++i) errs[90 + i] = 100.0;  // catastrophic 10%
+  auto s = Summarize(errs);
+  ASSERT_TRUE(s.ok());
+  EXPECT_LT(s->mean, 11.0);
+  EXPECT_GT(s->p95, 50.0);  // tail visible to the risk-averse analyst
+}
+
+TEST(WelchTest, IdenticalSamplesGiveHighP) {
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0};
+  auto p = WelchTTestPValue(a, a);
+  ASSERT_TRUE(p.ok());
+  EXPECT_GT(*p, 0.99);
+}
+
+TEST(WelchTest, ClearlySeparatedSamplesGiveLowP) {
+  std::vector<double> a{1.0, 1.1, 0.9, 1.05, 0.95};
+  std::vector<double> b{10.0, 10.1, 9.9, 10.05, 9.95};
+  auto p = WelchTTestPValue(a, b);
+  ASSERT_TRUE(p.ok());
+  EXPECT_LT(*p, 1e-6);
+}
+
+TEST(WelchTest, SymmetricInArguments) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{2.0, 3.0, 4.0};
+  EXPECT_NEAR(*WelchTTestPValue(a, b), *WelchTTestPValue(b, a), 1e-12);
+}
+
+TEST(WelchTest, KnownValue) {
+  // Classic example: equal n, means 5 vs 7, sd ~1.58: p ~ 0.07.
+  std::vector<double> a{3, 4, 5, 6, 7};
+  std::vector<double> b{5, 6, 7, 8, 9};
+  auto p = WelchTTestPValue(a, b);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 0.0789, 0.005);
+}
+
+TEST(WelchTest, RequiresTwoSamplesPerArm) {
+  EXPECT_FALSE(WelchTTestPValue({1.0}, {1.0, 2.0}).ok());
+}
+
+TEST(WelchTest, ConstantEqualSamples) {
+  auto p = WelchTTestPValue({2.0, 2.0, 2.0}, {2.0, 2.0, 2.0});
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(*p, 1.0);
+}
+
+TEST(CompetitiveSetTest, SingleAlgorithmIsCompetitive) {
+  std::map<std::string, std::vector<double>> errs{
+      {"A", {1.0, 1.1, 0.9}},
+  };
+  auto c = CompetitiveSet(errs);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, std::vector<std::string>{"A"});
+}
+
+TEST(CompetitiveSetTest, ClearWinnerExcludesLosers) {
+  Rng rng(1);
+  std::map<std::string, std::vector<double>> errs;
+  for (int i = 0; i < 20; ++i) {
+    errs["GOOD"].push_back(1.0 + 0.01 * rng.Uniform());
+    errs["BAD"].push_back(5.0 + 0.01 * rng.Uniform());
+  }
+  auto c = CompetitiveSet(errs);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, std::vector<std::string>{"GOOD"});
+}
+
+TEST(CompetitiveSetTest, StatisticalTiesAreBothCompetitive) {
+  Rng rng(2);
+  std::map<std::string, std::vector<double>> errs;
+  for (int i = 0; i < 10; ++i) {
+    errs["A"].push_back(1.0 + rng.Uniform());
+    errs["B"].push_back(1.0 + rng.Uniform());
+    errs["C"].push_back(50.0 + rng.Uniform());
+  }
+  auto c = CompetitiveSet(errs);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->size(), 2u);
+  EXPECT_EQ((*c)[0], "A");
+  EXPECT_EQ((*c)[1], "B");
+}
+
+TEST(CompetitiveSetTest, BonferroniMakesInclusionEasier) {
+  // With more algorithms the corrected alpha shrinks, so a borderline
+  // algorithm is *more* likely to be declared competitive (harder to call
+  // significant). Fixed borderline pair: mean gap 0.13, Welch p ~ 0.008.
+  std::vector<double> best{1.00, 1.05, 1.10, 1.15, 1.20, 1.25, 1.08, 1.18};
+  std::vector<double> borderline{1.13, 1.18, 1.23, 1.28,
+                                 1.33, 1.38, 1.21, 1.31};
+  double p = *WelchTTestPValue(borderline, best);
+  ASSERT_GT(p, 0.0009);  // keeps both assertions below meaningful
+  ASSERT_LT(p, 0.05);
+  std::map<std::string, std::vector<double>> two{{"BEST", best},
+                                                 {"MID", borderline}};
+  auto c2 = CompetitiveSet(two, 0.05);
+  // alpha/(2-1) = 0.05: MID excluded since p <= 0.05.
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(c2->size(), 1u);
+
+  std::map<std::string, std::vector<double>> many = two;
+  Rng rng(3);
+  for (int k = 0; k < 60; ++k) {
+    std::vector<double> bad;
+    for (int i = 0; i < 8; ++i) bad.push_back(100.0 + rng.Uniform());
+    many["BAD" + std::to_string(k)] = bad;
+  }
+  // alpha/(62-1) ~ 0.0008 < p: MID becomes competitive.
+  auto cm = CompetitiveSet(many, 0.05);
+  ASSERT_TRUE(cm.ok());
+  bool has_mid = false;
+  for (const auto& name : *cm) has_mid |= (name == "MID");
+  EXPECT_TRUE(has_mid);
+}
+
+TEST(CompetitiveSetTest, RejectsEmptyInput) {
+  EXPECT_FALSE(CompetitiveSet({}).ok());
+  std::map<std::string, std::vector<double>> errs{{"A", {}}};
+  EXPECT_FALSE(CompetitiveSet(errs).ok());
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,96 @@
+#include "src/engine/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace dpbench {
+namespace {
+
+TEST(SyntheticTest, RejectsBadInput) {
+  Rng rng(1);
+  DataVector empty;
+  EXPECT_FALSE(SampleSyntheticRecords(empty, 10, &rng).ok());
+  DataVector x(Domain::D1(4), {1, 1, 1, 1});
+  EXPECT_FALSE(SampleSyntheticRecords(x, 10, nullptr).ok());
+}
+
+TEST(SyntheticTest, ExactCountRequested) {
+  Rng rng(2);
+  DataVector x(Domain::D1(8), std::vector<double>(8, 5.0));
+  auto recs = SampleSyntheticRecords(x, 123, &rng);
+  ASSERT_TRUE(recs.ok());
+  EXPECT_EQ(recs->size(), 123u);
+}
+
+TEST(SyntheticTest, DefaultCountMatchesScale) {
+  Rng rng(3);
+  DataVector x(Domain::D1(4), {10.0, 20.0, 0.0, 12.0});
+  auto recs = SampleSyntheticRecords(x, 0, &rng);
+  ASSERT_TRUE(recs.ok());
+  EXPECT_EQ(recs->size(), 42u);
+}
+
+TEST(SyntheticTest, NegativeCellsGetNoRecords) {
+  Rng rng(4);
+  DataVector x(Domain::D1(3), {-50.0, 100.0, -10.0});
+  auto recs = SampleSyntheticRecords(x, 1000, &rng);
+  ASSERT_TRUE(recs.ok());
+  for (const SyntheticRecord& r : *recs) {
+    EXPECT_EQ(r[0], 1u);
+  }
+}
+
+TEST(SyntheticTest, AllNonPositiveFailsCleanly) {
+  Rng rng(5);
+  DataVector x(Domain::D1(3), {-1.0, 0.0, -2.0});
+  EXPECT_FALSE(SampleSyntheticRecords(x, 10, &rng).ok());
+  // But requesting zero records succeeds trivially... count=0 resolves to
+  // round(max(total,0)) = 0 records.
+  auto recs = SampleSyntheticRecords(x, 0, &rng);
+  ASSERT_TRUE(recs.ok());
+  EXPECT_TRUE(recs->empty());
+}
+
+TEST(SyntheticTest, RecordsFollowEstimateDistribution) {
+  Rng rng(6);
+  DataVector x(Domain::D1(4), {10.0, 30.0, 0.0, 60.0});
+  auto recs = SampleSyntheticRecords(x, 100000, &rng);
+  ASSERT_TRUE(recs.ok());
+  auto hist = HistogramOfRecords(*recs, x.domain());
+  ASSERT_TRUE(hist.ok());
+  EXPECT_NEAR((*hist)[0] / 1e5, 0.1, 0.01);
+  EXPECT_NEAR((*hist)[1] / 1e5, 0.3, 0.01);
+  EXPECT_DOUBLE_EQ((*hist)[2], 0.0);
+  EXPECT_NEAR((*hist)[3] / 1e5, 0.6, 0.01);
+}
+
+TEST(SyntheticTest, TwoDimensionalRecords) {
+  Rng rng(7);
+  DataVector x(Domain::D2(4, 4));
+  x[5] = 100.0;  // (1, 1)
+  auto recs = SampleSyntheticRecords(x, 50, &rng);
+  ASSERT_TRUE(recs.ok());
+  for (const SyntheticRecord& r : *recs) {
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[0], 1u);
+    EXPECT_EQ(r[1], 1u);
+  }
+}
+
+TEST(SyntheticTest, HistogramRoundTrip) {
+  Rng rng(8);
+  DataVector x(Domain::D2(8, 8));
+  for (size_t i = 0; i < x.size(); ++i) x[i] = (i % 3 == 0) ? 4.0 : 0.0;
+  auto recs = SampleSyntheticRecords(x, 0, &rng);
+  ASSERT_TRUE(recs.ok());
+  auto hist = HistogramOfRecords(*recs, x.domain());
+  ASSERT_TRUE(hist.ok());
+  EXPECT_DOUBLE_EQ(hist->Scale(), x.Scale());
+}
+
+TEST(SyntheticTest, HistogramRejectsBadRecords) {
+  EXPECT_FALSE(HistogramOfRecords({{9}}, Domain::D1(4)).ok());
+  EXPECT_FALSE(HistogramOfRecords({{1, 1}}, Domain::D1(4)).ok());
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,106 @@
+#include "src/engine/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/algorithms/mwem.h"
+#include "src/engine/error.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+namespace {
+
+TEST(TunerTest, TrainingShapesAreValidDistributions) {
+  std::vector<DataVector> shapes = TrainingShapes(256, 1);
+  EXPECT_EQ(shapes.size(), 6u);  // 3 power-law + 3 normal
+  for (const DataVector& s : shapes) {
+    EXPECT_EQ(s.size(), 256u);
+    double total = 0.0;
+    for (double v : s.counts()) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(TunerTest, RejectsEmptyConfig) {
+  TunerConfig config;
+  auto r = LearnSchedule(config, [](const ParamVector&, const DataVector&,
+                                    double, Rng*) -> Result<double> {
+    return 0.0;
+  });
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TunerTest, PicksKnownBestCandidate) {
+  // Synthetic objective: candidate theta minimizing |theta - log10(scale)|
+  // is optimal, so the learned schedule should increase with the product.
+  TunerConfig config;
+  config.candidates = {{1.0}, {3.0}, {5.0}};
+  config.products = {10.0, 1e5};
+  config.epsilon = 0.1;
+  config.trials = 1;
+  config.domain_size = 64;
+  auto r = LearnSchedule(
+      config,
+      [](const ParamVector& theta, const DataVector& data, double,
+         Rng*) -> Result<double> {
+        double target = std::log10(std::max(data.Scale(), 1.0));
+        return std::abs(theta[0] - target);
+      });
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  // product 10 @ eps 0.1 -> scale 100 -> log10 = 2 -> best theta 1 or 3.
+  EXPECT_LE((*r)[0].theta[0], 3.0);
+  // product 1e5 @ eps 0.1 -> scale 1e6 -> log10 = 6 -> best theta 5.
+  EXPECT_DOUBLE_EQ((*r)[1].theta[0], 5.0);
+}
+
+TEST(TunerTest, ScheduleLookupSelectsRegime) {
+  std::vector<ScheduleEntry> schedule{
+      {0.0, {2.0}, 0.1},
+      {1e3, {10.0}, 0.1},
+      {1e6, {100.0}, 0.1},
+  };
+  EXPECT_DOUBLE_EQ(ScheduleLookup(schedule, 10.0)[0], 2.0);
+  EXPECT_DOUBLE_EQ(ScheduleLookup(schedule, 1e4)[0], 10.0);
+  EXPECT_DOUBLE_EQ(ScheduleLookup(schedule, 1e9)[0], 100.0);
+}
+
+TEST(TunerTest, MwemRoundsScheduleIsMonotone) {
+  // The compiled-in MWEM* schedule (produced by this tuner) must be
+  // monotone in the signal product — the paper's Finding 7 mechanism.
+  size_t prev = 0;
+  for (double p : {1.0, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8}) {
+    size_t t = MwemMechanism::TunedRounds(p);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(TunerTest, EndToEndMwemTuning) {
+  // A tiny real tuning run over MWEM's T on a small domain: verify the
+  // learned T for a high-signal regime is at least the low-signal one.
+  TunerConfig config;
+  config.candidates = {{2.0}, {10.0}, {30.0}};
+  config.products = {100.0, 1e6};
+  config.epsilon = 1.0;
+  config.trials = 2;
+  config.domain_size = 64;
+  auto run = [](const ParamVector& theta, const DataVector& data, double eps,
+                Rng* rng) -> Result<double> {
+    MwemMechanism m(false, static_cast<size_t>(theta[0]));
+    Workload w = Workload::Prefix1D(data.size());
+    RunContext ctx{data, w, eps, rng, {}};
+    ctx.side_info.true_scale = data.Scale();
+    DPB_ASSIGN_OR_RETURN(DataVector est, m.Run(ctx));
+    return WorkloadError(w, data, est);
+  };
+  auto r = LearnSchedule(config, run);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_LE((*r)[0].theta[0], (*r)[1].theta[0]);
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,115 @@
+#include "src/histogram/data_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace dpbench {
+namespace {
+
+TEST(DataVectorTest, ZeroInitialized) {
+  DataVector x(Domain::D1(10));
+  EXPECT_EQ(x.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(x[i], 0.0);
+}
+
+TEST(DataVectorTest, ScaleIsL1) {
+  DataVector x(Domain::D1(3), {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(x.Scale(), 6.0);
+}
+
+TEST(DataVectorTest, ShapeNormalizes) {
+  DataVector x(Domain::D1(4), {1.0, 1.0, 2.0, 0.0});
+  std::vector<double> p = x.Shape();
+  EXPECT_DOUBLE_EQ(p[0], 0.25);
+  EXPECT_DOUBLE_EQ(p[2], 0.5);
+  EXPECT_DOUBLE_EQ(p[3], 0.0);
+}
+
+TEST(DataVectorTest, ShapeOfZeroVectorIsUniform) {
+  DataVector x(Domain::D1(4));
+  std::vector<double> p = x.Shape();
+  for (double v : p) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(DataVectorTest, ZeroFraction) {
+  DataVector x(Domain::D1(4), {0.0, 1.0, 0.0, 2.0});
+  EXPECT_DOUBLE_EQ(x.ZeroFraction(), 0.5);
+}
+
+TEST(DataVectorTest, RangeSum1D) {
+  DataVector x(Domain::D1(5), {1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(x.RangeSum({0}, {4}), 15.0);
+  EXPECT_DOUBLE_EQ(x.RangeSum({1}, {3}), 9.0);
+  EXPECT_DOUBLE_EQ(x.RangeSum({2}, {2}), 3.0);
+}
+
+TEST(DataVectorTest, RangeSum2D) {
+  // 2x3 grid: rows [1,2,3],[4,5,6].
+  DataVector x(Domain::D2(2, 3), {1, 2, 3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(x.RangeSum({0, 0}, {1, 2}), 21.0);
+  EXPECT_DOUBLE_EQ(x.RangeSum({0, 1}, {1, 2}), 16.0);
+  EXPECT_DOUBLE_EQ(x.RangeSum({1, 0}, {1, 1}), 9.0);
+}
+
+TEST(DataVectorTest, CoarsenSumsGroups) {
+  DataVector x(Domain::D1(6), {1, 2, 3, 4, 5, 6});
+  auto c = x.Coarsen({2});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->size(), 3u);
+  EXPECT_DOUBLE_EQ((*c)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*c)[1], 7.0);
+  EXPECT_DOUBLE_EQ((*c)[2], 11.0);
+}
+
+TEST(DataVectorTest, CoarsenPreservesScale) {
+  Rng rng(3);
+  std::vector<double> counts(64);
+  for (double& v : counts) v = rng.UniformInt(100);
+  DataVector x(Domain::D2(8, 8), counts);
+  auto c = x.Coarsen({2, 2});
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c->Scale(), x.Scale());
+  EXPECT_EQ(c->domain().ToString(), "4x4");
+}
+
+TEST(DataVectorTest, Coarsen2DGroupsBlocks) {
+  // 2x2 -> 1x1.
+  DataVector x(Domain::D2(2, 2), {1, 2, 3, 4});
+  auto c = x.Coarsen({2, 2});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->size(), 1u);
+  EXPECT_DOUBLE_EQ((*c)[0], 10.0);
+}
+
+TEST(PrefixSumsTest, Matches1DDirectSums) {
+  Rng rng(4);
+  std::vector<double> counts(100);
+  for (double& v : counts) v = rng.UniformInt(50);
+  DataVector x(Domain::D1(100), counts);
+  PrefixSums ps(x);
+  for (int t = 0; t < 200; ++t) {
+    size_t a = rng.UniformInt(100), b = rng.UniformInt(100);
+    if (a > b) std::swap(a, b);
+    EXPECT_DOUBLE_EQ(ps.RangeSum({a}, {b}), x.RangeSum({a}, {b}));
+  }
+}
+
+TEST(PrefixSumsTest, Matches2DDirectSums) {
+  Rng rng(5);
+  std::vector<double> counts(16 * 12);
+  for (double& v : counts) v = rng.UniformInt(9);
+  DataVector x(Domain::D2(16, 12), counts);
+  PrefixSums ps(x);
+  for (int t = 0; t < 200; ++t) {
+    size_t r0 = rng.UniformInt(16), r1 = rng.UniformInt(16);
+    size_t c0 = rng.UniformInt(12), c1 = rng.UniformInt(12);
+    if (r0 > r1) std::swap(r0, r1);
+    if (c0 > c1) std::swap(c0, c1);
+    EXPECT_DOUBLE_EQ(ps.RangeSum({r0, c0}, {r1, c1}),
+                     x.RangeSum({r0, c0}, {r1, c1}));
+  }
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,90 @@
+#include "src/histogram/domain.h"
+
+#include <gtest/gtest.h>
+
+namespace dpbench {
+namespace {
+
+TEST(DomainTest, OneDimensional) {
+  Domain d = Domain::D1(4096);
+  EXPECT_EQ(d.num_dims(), 1u);
+  EXPECT_EQ(d.TotalCells(), 4096u);
+  EXPECT_EQ(d.ToString(), "4096");
+}
+
+TEST(DomainTest, TwoDimensional) {
+  Domain d = Domain::D2(128, 64);
+  EXPECT_EQ(d.num_dims(), 2u);
+  EXPECT_EQ(d.size(0), 128u);
+  EXPECT_EQ(d.size(1), 64u);
+  EXPECT_EQ(d.TotalCells(), 8192u);
+  EXPECT_EQ(d.ToString(), "128x64");
+}
+
+TEST(DomainTest, FlattenRowMajor) {
+  Domain d = Domain::D2(4, 5);
+  EXPECT_EQ(d.Flatten({0, 0}), 0u);
+  EXPECT_EQ(d.Flatten({0, 4}), 4u);
+  EXPECT_EQ(d.Flatten({1, 0}), 5u);
+  EXPECT_EQ(d.Flatten({3, 4}), 19u);
+}
+
+TEST(DomainTest, FlattenUnflattenRoundTrip) {
+  Domain d = Domain::D2(7, 11);
+  for (size_t i = 0; i < d.TotalCells(); ++i) {
+    EXPECT_EQ(d.Flatten(d.Unflatten(i)), i);
+  }
+}
+
+TEST(DomainTest, ThreeDimensionalRoundTrip) {
+  Domain d({3, 4, 5});
+  EXPECT_EQ(d.TotalCells(), 60u);
+  for (size_t i = 0; i < 60; ++i) {
+    EXPECT_EQ(d.Flatten(d.Unflatten(i)), i);
+  }
+}
+
+TEST(DomainTest, CoarsenHalves) {
+  Domain d = Domain::D1(4096);
+  auto coarse = d.Coarsen({4});
+  ASSERT_TRUE(coarse.ok());
+  EXPECT_EQ(coarse->TotalCells(), 1024u);
+}
+
+TEST(DomainTest, CoarsenNonDivisibleRoundsUp) {
+  Domain d = Domain::D1(10);
+  auto coarse = d.Coarsen({3});
+  ASSERT_TRUE(coarse.ok());
+  EXPECT_EQ(coarse->TotalCells(), 4u);  // ceil(10/3)
+}
+
+TEST(DomainTest, Coarsen2D) {
+  Domain d = Domain::D2(256, 256);
+  auto coarse = d.Coarsen({2, 2});
+  ASSERT_TRUE(coarse.ok());
+  EXPECT_EQ(coarse->ToString(), "128x128");
+}
+
+TEST(DomainTest, CoarsenErrors) {
+  Domain d = Domain::D2(8, 8);
+  EXPECT_FALSE(d.Coarsen({2}).ok());        // arity mismatch
+  EXPECT_FALSE(d.Coarsen({2, 0}).ok());     // zero factor
+}
+
+TEST(DomainTest, CoarsenIndexMapsCells) {
+  Domain d = Domain::D1(8);
+  Domain coarse = d.Coarsen({2}).value();
+  EXPECT_EQ(d.CoarsenIndex(0, {2}, coarse), 0u);
+  EXPECT_EQ(d.CoarsenIndex(1, {2}, coarse), 0u);
+  EXPECT_EQ(d.CoarsenIndex(2, {2}, coarse), 1u);
+  EXPECT_EQ(d.CoarsenIndex(7, {2}, coarse), 3u);
+}
+
+TEST(DomainTest, Equality) {
+  EXPECT_EQ(Domain::D1(8), Domain::D1(8));
+  EXPECT_NE(Domain::D1(8), Domain::D1(16));
+  EXPECT_NE(Domain::D1(8), Domain::D2(8, 1));
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,102 @@
+#include "src/histogram/hilbert.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+
+namespace dpbench {
+namespace {
+
+TEST(HilbertTest, BijectionSmall) {
+  const uint64_t side = 8;
+  std::set<uint64_t> seen;
+  for (uint64_t x = 0; x < side; ++x) {
+    for (uint64_t y = 0; y < side; ++y) {
+      uint64_t d = HilbertXYToIndex(side, x, y);
+      EXPECT_LT(d, side * side);
+      EXPECT_TRUE(seen.insert(d).second) << "duplicate index " << d;
+      auto [bx, by] = HilbertIndexToXY(side, d);
+      EXPECT_EQ(bx, x);
+      EXPECT_EQ(by, y);
+    }
+  }
+  EXPECT_EQ(seen.size(), side * side);
+}
+
+TEST(HilbertTest, ConsecutiveIndicesAreGridNeighbors) {
+  // The defining property of the Hilbert curve: successive positions are
+  // adjacent cells (Manhattan distance exactly 1).
+  const uint64_t side = 32;
+  auto prev = HilbertIndexToXY(side, 0);
+  for (uint64_t d = 1; d < side * side; ++d) {
+    auto cur = HilbertIndexToXY(side, d);
+    uint64_t dist =
+        (cur.first > prev.first ? cur.first - prev.first
+                                : prev.first - cur.first) +
+        (cur.second > prev.second ? cur.second - prev.second
+                                  : prev.second - cur.second);
+    EXPECT_EQ(dist, 1u) << "at index " << d;
+    prev = cur;
+  }
+}
+
+TEST(HilbertTest, LinearizeRoundTrip) {
+  Rng rng(9);
+  const size_t side = 16;
+  std::vector<double> counts(side * side);
+  for (double& v : counts) v = rng.UniformInt(100);
+  DataVector x(Domain::D2(side, side), counts);
+  auto lin = HilbertLinearize(x);
+  ASSERT_TRUE(lin.ok());
+  EXPECT_EQ(lin->domain().num_dims(), 1u);
+  EXPECT_DOUBLE_EQ(lin->Scale(), x.Scale());
+  auto back = HilbertDelinearize(*lin, x.domain());
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*back)[i], x[i]);
+  }
+}
+
+TEST(HilbertTest, LinearizeRejectsNonSquare) {
+  DataVector x(Domain::D2(8, 16));
+  EXPECT_FALSE(HilbertLinearize(x).ok());
+}
+
+TEST(HilbertTest, LinearizeRejectsNonPowerOfTwo) {
+  DataVector x(Domain::D2(6, 6));
+  EXPECT_FALSE(HilbertLinearize(x).ok());
+}
+
+TEST(HilbertTest, LinearizeRejects1D) {
+  DataVector x(Domain::D1(16));
+  EXPECT_FALSE(HilbertLinearize(x).ok());
+}
+
+TEST(HilbertTest, DelinearizeRejectsSizeMismatch) {
+  DataVector lin(Domain::D1(16));
+  EXPECT_FALSE(HilbertDelinearize(lin, Domain::D2(8, 8)).ok());
+}
+
+TEST(HilbertTest, LocalityPreservation) {
+  // Cells close on the curve should be close on the grid: check that a
+  // dyadic-aligned curve segment of length 64 spans a bounded area.
+  const uint64_t side = 64;
+  for (uint64_t start = 0; start < side * side; start += 64) {
+    uint64_t min_x = side, max_x = 0, min_y = side, max_y = 0;
+    for (uint64_t d = start; d < start + 64; ++d) {
+      auto [x, y] = HilbertIndexToXY(side, d);
+      min_x = std::min(min_x, x);
+      max_x = std::max(max_x, x);
+      min_y = std::min(min_y, y);
+      max_y = std::max(max_y, y);
+    }
+    // An aligned 64-cell Hilbert segment fits in an 8x8 box.
+    EXPECT_LE(max_x - min_x, 8u);
+    EXPECT_LE(max_y - min_y, 8u);
+  }
+}
+
+}  // namespace
+}  // namespace dpbench

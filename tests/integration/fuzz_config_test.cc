@@ -1,0 +1,74 @@
+// Randomized-configuration robustness: the runner must either succeed or
+// fail with a clean Status for arbitrary (valid-domain) grids — no crashes,
+// no NaNs, no budget violations — across a randomized sweep of algorithms,
+// datasets, scales, domains and epsilons.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/algorithms/mechanism.h"
+#include "src/data/datasets.h"
+#include "src/engine/runner.h"
+
+namespace dpbench {
+namespace {
+
+class FuzzConfigTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzConfigTest, RandomGridRunsClean) {
+  Rng rng(GetParam());
+
+  ExperimentConfig c;
+  c.seed = rng.UniformInt(1 << 20);
+  // Random dimensionality, dataset and matching workload.
+  bool two_d = rng.Uniform() < 0.4;
+  const auto& pool =
+      two_d ? DatasetRegistry::All2D() : DatasetRegistry::All1D();
+  c.datasets = {pool[rng.UniformInt(pool.size())].name};
+  c.workload =
+      two_d ? WorkloadKind::kRandomRange2D : WorkloadKind::kPrefix1D;
+  c.random_queries = 50 + rng.UniformInt(100);
+
+  // Random subset of applicable algorithms (at least 1).
+  std::vector<std::string> names = MechanismRegistry::NamesForDims(
+      two_d ? 2 : 1);
+  size_t count = 1 + rng.UniformInt(3);
+  for (size_t i = 0; i < count; ++i) {
+    c.algorithms.push_back(names[rng.UniformInt(names.size())]);
+  }
+
+  // Random scale, domain, epsilon from benchmark-plausible menus.
+  const uint64_t scales[] = {100, 1000, 100000};
+  c.scales = {scales[rng.UniformInt(3)]};
+  if (two_d) {
+    const size_t domains[] = {16, 32, 64};
+    c.domain_sizes = {domains[rng.UniformInt(3)]};
+  } else {
+    const size_t domains[] = {128, 256, 512};
+    c.domain_sizes = {domains[rng.UniformInt(3)]};
+  }
+  const double epsilons[] = {0.01, 0.1, 1.0, 10.0};
+  c.epsilons = {epsilons[rng.UniformInt(4)]};
+  c.data_samples = 1;
+  c.runs_per_sample = 2;
+  c.provide_true_scale = rng.Uniform() < 0.5;
+  c.threads = 1 + rng.UniformInt(3);
+
+  auto results = Runner::Run(c);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  for (const CellResult& cell : *results) {
+    EXPECT_FALSE(cell.errors.empty()) << cell.key.ToString();
+    for (double e : cell.errors) {
+      EXPECT_TRUE(std::isfinite(e)) << cell.key.ToString();
+      EXPECT_GE(e, 0.0) << cell.key.ToString();
+    }
+    EXPECT_TRUE(std::isfinite(cell.summary.mean));
+    EXPECT_TRUE(std::isfinite(cell.summary.p95));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FuzzConfigTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{25}));
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,123 @@
+#include "src/linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace dpbench {
+namespace {
+
+TEST(MatrixTest, IdentityConstruction) {
+  Matrix m = Matrix::Identity(3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(m.at(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(t.at(2, 0), 3.0);
+}
+
+TEST(MatrixTest, Multiply) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {5, 6, 7, 8});
+  auto c = a.Multiply(b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c->at(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c->at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c->at(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c->at(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyShapeMismatch) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_FALSE(a.Multiply(b).ok());
+}
+
+TEST(MatrixTest, Apply) {
+  Matrix a(2, 3, {1, 0, 2, 0, 3, 0});
+  auto y = a.Apply({1, 1, 1});
+  ASSERT_TRUE(y.ok());
+  EXPECT_DOUBLE_EQ((*y)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*y)[1], 3.0);
+  EXPECT_FALSE(a.Apply({1, 1}).ok());
+}
+
+TEST(MatrixTest, MaxColumnL1) {
+  Matrix a(2, 2, {1, -4, 2, 1});
+  EXPECT_DOUBLE_EQ(a.MaxColumnL1(), 5.0);  // |−4| + |1|
+}
+
+TEST(CholeskyTest, KnownFactorization) {
+  // A = [[4,2],[2,3]] has L = [[2,0],[1,sqrt(2)]].
+  Matrix a(2, 2, {4, 2, 2, 3});
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_DOUBLE_EQ(l->at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(l->at(1, 0), 1.0);
+  EXPECT_NEAR(l->at(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a(2, 2, {1, 2, 2, 1});  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky(a).ok());
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_FALSE(Cholesky(Matrix(2, 3)).ok());
+}
+
+TEST(SolveSpdTest, RoundTrip) {
+  Rng rng(1);
+  const size_t n = 12;
+  // Random SPD: A = B^T B + I.
+  Matrix b(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) b.at(r, c) = rng.Uniform(-1, 1);
+  }
+  Matrix a = b.Transpose().Multiply(b).value();
+  for (size_t i = 0; i < n; ++i) a.at(i, i) += 1.0;
+  std::vector<double> x_true(n);
+  for (double& v : x_true) v = rng.Uniform(-5, 5);
+  std::vector<double> rhs = a.Apply(x_true).value();
+  auto x = SolveSpd(a, rhs);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-8);
+}
+
+TEST(LeastSquaresTest, ExactForConsistentSystem) {
+  // Overdetermined but consistent.
+  Matrix s(3, 2, {1, 0, 0, 1, 1, 1});
+  std::vector<double> y{2, 3, 5};
+  auto x = LeastSquares(s, y);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-10);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-10);
+}
+
+TEST(LeastSquaresTest, MinimizesResidual) {
+  // Inconsistent system: y = [1, 1, 0] with rows x1, x2, x1+x2.
+  Matrix s(3, 2, {1, 0, 0, 1, 1, 1});
+  std::vector<double> y{1, 1, 0};
+  auto x = LeastSquares(s, y);
+  ASSERT_TRUE(x.ok());
+  // Normal equations give x = (1/3, 1/3).
+  EXPECT_NEAR((*x)[0], 1.0 / 3.0, 1e-10);
+  EXPECT_NEAR((*x)[1], 1.0 / 3.0, 1e-10);
+}
+
+TEST(LeastSquaresTest, RejectsSizeMismatch) {
+  Matrix s(3, 2);
+  EXPECT_FALSE(LeastSquares(s, {1, 2}).ok());
+}
+
+}  // namespace
+}  // namespace dpbench

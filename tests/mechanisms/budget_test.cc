@@ -1,0 +1,61 @@
+#include "src/mechanisms/budget.h"
+
+#include <gtest/gtest.h>
+
+namespace dpbench {
+namespace {
+
+TEST(BudgetTest, TracksSpending) {
+  BudgetAccountant b(1.0);
+  EXPECT_DOUBLE_EQ(b.total(), 1.0);
+  EXPECT_DOUBLE_EQ(b.remaining(), 1.0);
+  EXPECT_TRUE(b.Spend(0.3, "a").ok());
+  EXPECT_DOUBLE_EQ(b.spent(), 0.3);
+  EXPECT_DOUBLE_EQ(b.remaining(), 0.7);
+}
+
+TEST(BudgetTest, RejectsOverspend) {
+  BudgetAccountant b(1.0);
+  EXPECT_TRUE(b.Spend(0.9, "a").ok());
+  Status s = b.Spend(0.2, "b");
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  // Failed spend does not change the ledger.
+  EXPECT_DOUBLE_EQ(b.spent(), 0.9);
+}
+
+TEST(BudgetTest, RejectsNonPositive) {
+  BudgetAccountant b(1.0);
+  EXPECT_EQ(b.Spend(0.0, "a").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.Spend(-0.5, "a").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BudgetTest, ExactSpendToleratesFloatingPoint) {
+  BudgetAccountant b(0.1);
+  // Ten sub-budgets of eps/10 must sum to exactly the total.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(b.Spend(0.1 / 10.0, "level").ok()) << "step " << i;
+  }
+  EXPECT_NEAR(b.remaining(), 0.0, 1e-12);
+}
+
+TEST(BudgetTest, SpendRemaining) {
+  BudgetAccountant b(1.0);
+  EXPECT_TRUE(b.Spend(0.25, "a").ok());
+  double rest = b.SpendRemaining("b");
+  EXPECT_DOUBLE_EQ(rest, 0.75);
+  EXPECT_DOUBLE_EQ(b.remaining(), 0.0);
+  EXPECT_DOUBLE_EQ(b.SpendRemaining("c"), 0.0);
+}
+
+TEST(BudgetTest, LedgerRecordsSteps) {
+  BudgetAccountant b(1.0);
+  ASSERT_TRUE(b.Spend(0.4, "partition").ok());
+  ASSERT_TRUE(b.Spend(0.6, "measure").ok());
+  ASSERT_EQ(b.ledger().size(), 2u);
+  EXPECT_EQ(b.ledger()[0].step, "partition");
+  EXPECT_DOUBLE_EQ(b.ledger()[0].epsilon, 0.4);
+  EXPECT_EQ(b.ledger()[1].step, "measure");
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,90 @@
+#include "src/mechanisms/exponential.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dpbench {
+namespace {
+
+TEST(ExponentialMechanismTest, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(ExponentialMechanism({}, 1.0, 1.0, &rng).ok());
+  EXPECT_FALSE(ExponentialMechanism({1.0}, 0.0, 1.0, &rng).ok());
+  EXPECT_FALSE(ExponentialMechanism({1.0}, 1.0, 0.0, &rng).ok());
+}
+
+TEST(ExponentialMechanismTest, SingleCandidate) {
+  Rng rng(2);
+  auto r = ExponentialMechanism({5.0}, 1.0, 1.0, &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 0u);
+}
+
+TEST(ExponentialMechanismTest, HighEpsilonPicksArgmax) {
+  // Lemma 2 of the paper: as eps -> inf, EM picks a max-score item w.p. 1.
+  Rng rng(3);
+  std::vector<double> scores{1.0, 5.0, 3.0, 4.9};
+  for (int t = 0; t < 200; ++t) {
+    auto r = ExponentialMechanism(scores, 1.0, 1e9, &rng);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, 1u);
+  }
+}
+
+TEST(ExponentialMechanismTest, LowEpsilonNearUniform) {
+  Rng rng(4);
+  std::vector<double> scores{0.0, 100.0};
+  int picked_low = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    picked_low += (*ExponentialMechanism(scores, 1.0, 1e-9, &rng) == 0);
+  }
+  EXPECT_NEAR(picked_low / static_cast<double>(trials), 0.5, 0.02);
+}
+
+TEST(ExponentialMechanismTest, DistributionMatchesTheory) {
+  // P(i) proportional to exp(eps * s_i / 2) with sensitivity 1.
+  Rng rng(5);
+  std::vector<double> scores{0.0, 2.0};
+  const double eps = 1.0;
+  double w0 = std::exp(0.0), w1 = std::exp(eps * 2.0 / 2.0);
+  double expected1 = w1 / (w0 + w1);
+  const int trials = 100000;
+  int count1 = 0;
+  for (int t = 0; t < trials; ++t) {
+    count1 += (*ExponentialMechanism(scores, 1.0, eps, &rng) == 1);
+  }
+  EXPECT_NEAR(count1 / static_cast<double>(trials), expected1, 0.01);
+}
+
+TEST(ExponentialMechanismTest, SensitivityScalesSelection) {
+  // Doubling the sensitivity halves the effective exponent.
+  Rng rng(6);
+  std::vector<double> scores{0.0, 4.0};
+  const int trials = 100000;
+  auto frac_top = [&](double sens) {
+    int c = 0;
+    for (int t = 0; t < trials; ++t) {
+      c += (*ExponentialMechanism(scores, sens, 1.0, &rng) == 1);
+    }
+    return c / static_cast<double>(trials);
+  };
+  double f1 = frac_top(1.0);   // exp(2) odds
+  double f2 = frac_top(2.0);   // exp(1) odds
+  EXPECT_GT(f1, f2);
+  EXPECT_NEAR(f1, std::exp(2.0) / (1 + std::exp(2.0)), 0.01);
+  EXPECT_NEAR(f2, std::exp(1.0) / (1 + std::exp(1.0)), 0.01);
+}
+
+TEST(ExponentialMechanismTest, HandlesLargeScoreMagnitudes) {
+  // Gumbel-max must not overflow with huge eps*score products.
+  Rng rng(7);
+  std::vector<double> scores{1e8, 2e8, 1.5e8};
+  auto r = ExponentialMechanism(scores, 1.0, 100.0, &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 1u);
+}
+
+}  // namespace
+}  // namespace dpbench

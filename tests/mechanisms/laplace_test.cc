@@ -1,0 +1,65 @@
+#include "src/mechanisms/laplace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/math.h"
+
+namespace dpbench {
+namespace {
+
+TEST(LaplaceMechanismTest, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(LaplaceMechanism({1.0}, 1.0, 0.0, &rng).ok());
+  EXPECT_FALSE(LaplaceMechanism({1.0}, 1.0, -1.0, &rng).ok());
+  EXPECT_FALSE(LaplaceMechanism({1.0}, 0.0, 1.0, &rng).ok());
+}
+
+TEST(LaplaceMechanismTest, OutputSizeMatches) {
+  Rng rng(2);
+  auto r = LaplaceMechanism({1.0, 2.0, 3.0}, 1.0, 0.5, &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(LaplaceMechanismTest, Unbiased) {
+  Rng rng(3);
+  const int trials = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    auto r = LaplaceMechanismScalar(10.0, 1.0, 1.0, &rng);
+    ASSERT_TRUE(r.ok());
+    sum += *r;
+  }
+  EXPECT_NEAR(sum / trials, 10.0, 0.05);
+}
+
+TEST(LaplaceMechanismTest, NoiseScalesWithSensitivityOverEpsilon) {
+  Rng rng(4);
+  const int trials = 50000;
+  std::vector<double> residuals(trials);
+  for (int i = 0; i < trials; ++i) {
+    residuals[i] = *LaplaceMechanismScalar(0.0, 2.0, 0.5, &rng);
+  }
+  // Variance should be 2*(sens/eps)^2 = 2*16 = 32.
+  EXPECT_NEAR(SampleVariance(residuals), 32.0, 1.5);
+}
+
+TEST(LaplaceMechanismTest, HigherEpsilonLessNoise) {
+  Rng rng(5);
+  auto spread = [&](double eps) {
+    std::vector<double> rs(20000);
+    for (double& r : rs) r = *LaplaceMechanismScalar(0.0, 1.0, eps, &rng);
+    return SampleStddev(rs);
+  };
+  EXPECT_LT(spread(10.0), spread(0.1));
+}
+
+TEST(LaplaceVarianceTest, Formula) {
+  EXPECT_DOUBLE_EQ(LaplaceVariance(1.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(LaplaceVariance(2.0, 0.5), 32.0);
+}
+
+}  // namespace
+}  // namespace dpbench

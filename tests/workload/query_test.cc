@@ -1,0 +1,58 @@
+#include "src/workload/query.h"
+
+#include <gtest/gtest.h>
+
+namespace dpbench {
+namespace {
+
+TEST(RangeQueryTest, NumCells1D) {
+  EXPECT_EQ(RangeQuery::D1(0, 0).NumCells(), 1u);
+  EXPECT_EQ(RangeQuery::D1(3, 7).NumCells(), 5u);
+}
+
+TEST(RangeQueryTest, NumCells2D) {
+  EXPECT_EQ(RangeQuery::D2(0, 1, 0, 2).NumCells(), 6u);
+}
+
+TEST(RangeQueryTest, ValidateAcceptsInBounds) {
+  Domain d = Domain::D1(10);
+  EXPECT_TRUE(RangeQuery::D1(0, 9).Validate(d).ok());
+  EXPECT_TRUE(RangeQuery::D1(5, 5).Validate(d).ok());
+}
+
+TEST(RangeQueryTest, ValidateRejectsOutOfBounds) {
+  Domain d = Domain::D1(10);
+  EXPECT_EQ(RangeQuery::D1(0, 10).Validate(d).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(RangeQueryTest, ValidateRejectsInverted) {
+  Domain d = Domain::D1(10);
+  RangeQuery q({5}, {3});
+  EXPECT_EQ(q.Validate(d).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RangeQueryTest, ValidateRejectsDimMismatch) {
+  Domain d = Domain::D2(4, 4);
+  EXPECT_EQ(RangeQuery::D1(0, 3).Validate(d).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RangeQueryTest, Evaluate1D) {
+  DataVector x(Domain::D1(4), {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(RangeQuery::D1(1, 2).Evaluate(x), 5.0);
+}
+
+TEST(RangeQueryTest, Evaluate2D) {
+  DataVector x(Domain::D2(2, 2), {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(RangeQuery::D2(0, 1, 0, 0).Evaluate(x), 4.0);
+  EXPECT_DOUBLE_EQ(RangeQuery::D2(0, 1, 0, 1).Evaluate(x), 10.0);
+}
+
+TEST(RangeQueryTest, Equality) {
+  EXPECT_EQ(RangeQuery::D1(1, 3), RangeQuery::D1(1, 3));
+  EXPECT_FALSE(RangeQuery::D1(1, 3) == RangeQuery::D1(1, 4));
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,101 @@
+#include "src/workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace dpbench {
+namespace {
+
+TEST(WorkloadTest, PrefixStructure) {
+  Workload w = Workload::Prefix1D(8);
+  EXPECT_EQ(w.size(), 8u);
+  EXPECT_TRUE(w.Validate().ok());
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(w.queries()[i].lo[0], 0u);
+    EXPECT_EQ(w.queries()[i].hi[0], i);
+  }
+}
+
+TEST(WorkloadTest, PrefixAnswersAreCumulative) {
+  DataVector x(Domain::D1(4), {1, 2, 3, 4});
+  std::vector<double> y = Workload::Prefix1D(4).Evaluate(x);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 6.0);
+  EXPECT_DOUBLE_EQ(y[3], 10.0);
+}
+
+TEST(WorkloadTest, AnyRangeIsDifferenceOfTwoPrefixes) {
+  // The paper's stated reason for using Prefix (§6.2).
+  Rng rng(1);
+  std::vector<double> counts(64);
+  for (double& v : counts) v = rng.UniformInt(20);
+  DataVector x(Domain::D1(64), counts);
+  std::vector<double> prefix = Workload::Prefix1D(64).Evaluate(x);
+  for (int t = 0; t < 100; ++t) {
+    size_t a = rng.UniformInt(64), b = rng.UniformInt(64);
+    if (a > b) std::swap(a, b);
+    double direct = x.RangeSum({a}, {b});
+    double via_prefix = prefix[b] - (a == 0 ? 0.0 : prefix[a - 1]);
+    EXPECT_DOUBLE_EQ(direct, via_prefix);
+  }
+}
+
+TEST(WorkloadTest, IdentityWorkload) {
+  Workload w = Workload::Identity(Domain::D2(3, 3));
+  EXPECT_EQ(w.size(), 9u);
+  DataVector x(Domain::D2(3, 3), {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  std::vector<double> y = w.Evaluate(x);
+  for (size_t i = 0; i < 9; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(WorkloadTest, TotalWorkload) {
+  Workload w = Workload::Total(Domain::D2(4, 4));
+  EXPECT_EQ(w.size(), 1u);
+  DataVector x(Domain::D2(4, 4));
+  x[0] = 3;
+  x[15] = 4;
+  EXPECT_DOUBLE_EQ(w.Evaluate(x)[0], 7.0);
+}
+
+TEST(WorkloadTest, RandomRangeCountAndValidity) {
+  Workload w = Workload::RandomRange(Domain::D2(32, 32), 2000, 42);
+  EXPECT_EQ(w.size(), 2000u);
+  EXPECT_TRUE(w.Validate().ok());
+}
+
+TEST(WorkloadTest, RandomRangeDeterministicInSeed) {
+  Workload a = Workload::RandomRange(Domain::D1(128), 50, 7);
+  Workload b = Workload::RandomRange(Domain::D1(128), 50, 7);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.queries()[i], b.queries()[i]);
+  }
+  Workload c = Workload::RandomRange(Domain::D1(128), 50, 8);
+  bool any_diff = false;
+  for (size_t i = 0; i < 50; ++i) {
+    if (!(a.queries()[i] == c.queries()[i])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorkloadTest, AllRange1DCount) {
+  Workload w = Workload::AllRange1D(5);
+  EXPECT_EQ(w.size(), 15u);  // n(n+1)/2
+  EXPECT_TRUE(w.Validate().ok());
+}
+
+TEST(WorkloadTest, EvaluateMatchesDirectEvaluation) {
+  Rng rng(2);
+  std::vector<double> counts(16 * 16);
+  for (double& v : counts) v = rng.UniformInt(10);
+  DataVector x(Domain::D2(16, 16), counts);
+  Workload w = Workload::RandomRange(x.domain(), 300, 3);
+  std::vector<double> fast = w.Evaluate(x);
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fast[i], w.queries()[i].Evaluate(x));
+  }
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,95 @@
+// dpbench_compare — regression comparison of two benchmark CSV outputs.
+//
+// Joins two CSV files (produced by dpbench_run --csv or any bench binary
+// with --csv) on the configuration key and reports per-cell error ratios,
+// flagging cells whose mean error moved more than a threshold. Useful for
+// validating algorithm changes against a golden run.
+//
+//   dpbench_run ... --csv > baseline.csv
+//   (change code)
+//   dpbench_run ... --csv > candidate.csv
+//   dpbench_compare baseline.csv candidate.csv [--threshold=1.2]
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "src/engine/report.h"
+
+using namespace dpbench;
+
+namespace {
+
+Result<std::vector<CellResult>> Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  // Tolerate leading non-CSV banner lines by skipping to the header.
+  std::string content, line;
+  bool found = false;
+  while (std::getline(in, line)) {
+    if (!found && line.rfind("algorithm,", 0) == 0) found = true;
+    if (found) content += line + "\n";
+  }
+  std::istringstream iss(content);
+  return ReadCsv(iss);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: dpbench_compare baseline.csv candidate.csv"
+                 " [--threshold=R]\n";
+    return 1;
+  }
+  double threshold = 1.2;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      threshold = std::stod(arg.substr(12));
+    }
+  }
+
+  auto baseline = Load(argv[1]);
+  auto candidate = Load(argv[2]);
+  if (!baseline.ok() || !candidate.ok()) {
+    std::cerr << (baseline.ok() ? candidate.status() : baseline.status())
+                     .ToString()
+              << "\n";
+    return 1;
+  }
+
+  std::map<ConfigKey, const CellResult*> base_by_key;
+  for (const CellResult& cell : *baseline) {
+    base_by_key[cell.key] = &cell;
+  }
+
+  TextTable table({"configuration", "baseline", "candidate", "ratio",
+                   "verdict"});
+  size_t regressions = 0, improvements = 0, matched = 0;
+  for (const CellResult& cand : *candidate) {
+    auto it = base_by_key.find(cand.key);
+    if (it == base_by_key.end()) continue;
+    ++matched;
+    double base_mean = it->second->summary.mean;
+    double ratio = (base_mean > 0.0) ? cand.summary.mean / base_mean : 0.0;
+    std::string verdict;
+    if (ratio > threshold) {
+      verdict = "REGRESSION";
+      ++regressions;
+    } else if (ratio < 1.0 / threshold) {
+      verdict = "improved";
+      ++improvements;
+    }
+    table.AddRow({cand.key.ToString(), TextTable::Num(base_mean),
+                  TextTable::Num(cand.summary.mean), TextTable::Num(ratio),
+                  verdict});
+  }
+  table.Print(std::cout);
+  std::cout << "\nmatched " << matched << " cells; " << regressions
+            << " regressions, " << improvements << " improvements at "
+            << threshold << "x threshold\n";
+  return regressions > 0 ? 2 : 0;
+}

@@ -1,0 +1,198 @@
+// dpbench_run — the command-line front end to the benchmark runner.
+//
+// Runs an arbitrary {algorithms x datasets x scales x domains x epsilons}
+// grid and reports per-cell summaries, CSV, and (optionally) the
+// t-test-based competitive sets.
+//
+// Examples:
+//   dpbench_run --algorithms=IDENTITY,HB,DAWA --datasets=ADULT,TRACE \
+//               --scales=1000,100000 --domains=1024 --epsilons=0.1
+//   dpbench_run --list            # show available algorithms and datasets
+//   dpbench_run --workload=random2d --datasets=GOWALLA --domains=64 \
+//               --algorithms=AGRID,UGRID --scales=1000000 --competitive
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "src/algorithms/mechanism.h"
+#include "src/data/datasets.h"
+#include "src/engine/report.h"
+#include "src/engine/runner.h"
+#include "src/engine/stats.h"
+
+using namespace dpbench;
+
+namespace {
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void PrintUsage() {
+  std::cout <<
+      "usage: dpbench_run [flags]\n"
+      "  --algorithms=A,B,...   algorithms to run (default: all for dims)\n"
+      "  --datasets=D1,D2,...   datasets (default: ADULT)\n"
+      "  --scales=1000,...      dataset scales (default: 1000,100000)\n"
+      "  --domains=1024,...     per-dimension domain sizes (default: 1024)\n"
+      "  --epsilons=0.1,...     privacy budgets (default: 0.1)\n"
+      "  --workload=prefix|random2d|identity (default: prefix)\n"
+      "  --queries=N            random2d query count (default: 2000)\n"
+      "  --samples=N            data vectors from generator G (default: 2)\n"
+      "  --runs=N               runs per vector (default: 5)\n"
+      "  --seed=N               master seed (default: 20160626)\n"
+      "  --threads=N            worker threads (default: 1; results are\n"
+      "                         identical regardless of thread count)\n"
+      "  --competitive          also print t-test competitive sets\n"
+      "  --csv                  print raw CSV\n"
+      "  --list                 list algorithms and datasets, then exit\n";
+}
+
+void PrintInventory() {
+  std::cout << "algorithms (1D): ";
+  for (const auto& n : MechanismRegistry::NamesForDims(1)) {
+    std::cout << n << " ";
+  }
+  std::cout << "\nalgorithms (2D): ";
+  for (const auto& n : MechanismRegistry::NamesForDims(2)) {
+    std::cout << n << " ";
+  }
+  std::cout << "\ndatasets (1D): ";
+  for (const auto& d : DatasetRegistry::All1D()) std::cout << d.name << " ";
+  std::cout << "\ndatasets (2D): ";
+  for (const auto& d : DatasetRegistry::All2D()) std::cout << d.name << " ";
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentConfig config;
+  config.datasets = {"ADULT"};
+  config.scales = {1000, 100000};
+  config.domain_sizes = {1024};
+  config.epsilons = {0.1};
+  config.data_samples = 2;
+  config.runs_per_sample = 5;
+  bool competitive = false, csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> std::string {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg == "--list") {
+      PrintInventory();
+      return 0;
+    } else if (arg.rfind("--algorithms=", 0) == 0) {
+      config.algorithms = SplitCsv(value("--algorithms="));
+    } else if (arg.rfind("--datasets=", 0) == 0) {
+      config.datasets = SplitCsv(value("--datasets="));
+    } else if (arg.rfind("--scales=", 0) == 0) {
+      config.scales.clear();
+      for (const auto& s : SplitCsv(value("--scales="))) {
+        config.scales.push_back(std::stoull(s));
+      }
+    } else if (arg.rfind("--domains=", 0) == 0) {
+      config.domain_sizes.clear();
+      for (const auto& s : SplitCsv(value("--domains="))) {
+        config.domain_sizes.push_back(std::stoul(s));
+      }
+    } else if (arg.rfind("--epsilons=", 0) == 0) {
+      config.epsilons.clear();
+      for (const auto& s : SplitCsv(value("--epsilons="))) {
+        config.epsilons.push_back(std::stod(s));
+      }
+    } else if (arg.rfind("--workload=", 0) == 0) {
+      std::string w = value("--workload=");
+      if (w == "prefix") {
+        config.workload = WorkloadKind::kPrefix1D;
+      } else if (w == "random2d") {
+        config.workload = WorkloadKind::kRandomRange2D;
+      } else if (w == "identity") {
+        config.workload = WorkloadKind::kIdentity;
+      } else {
+        std::cerr << "unknown workload " << w << "\n";
+        return 1;
+      }
+    } else if (arg.rfind("--queries=", 0) == 0) {
+      config.random_queries = std::stoul(value("--queries="));
+    } else if (arg.rfind("--samples=", 0) == 0) {
+      config.data_samples = std::stoul(value("--samples="));
+    } else if (arg.rfind("--runs=", 0) == 0) {
+      config.runs_per_sample = std::stoul(value("--runs="));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      config.seed = std::stoull(value("--seed="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      config.threads = std::stoul(value("--threads="));
+    } else if (arg == "--competitive") {
+      competitive = true;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      PrintUsage();
+      return 1;
+    }
+  }
+
+  if (config.algorithms.empty()) {
+    // Default to every algorithm valid for the first dataset's dims.
+    auto info = DatasetRegistry::Info(config.datasets.front());
+    if (!info.ok()) {
+      std::cerr << info.status().ToString() << "\n";
+      return 1;
+    }
+    config.algorithms = MechanismRegistry::NamesForDims(info->dims);
+  }
+
+  auto results = Runner::Run(config, [](const CellResult& cell) {
+    std::cerr << cell.key.ToString() << " mean=" << cell.summary.mean
+              << " p95=" << cell.summary.p95 << "\n";
+  });
+  if (!results.ok()) {
+    std::cerr << "run failed: " << results.status().ToString() << "\n";
+    return 1;
+  }
+
+  TextTable table(
+      {"algorithm", "dataset", "scale", "domain", "eps", "mean", "p95"});
+  for (const CellResult& cell : *results) {
+    table.AddRow({cell.key.algorithm, cell.key.dataset,
+                  std::to_string(cell.key.scale),
+                  std::to_string(cell.key.domain_size),
+                  TextTable::Num(cell.key.epsilon),
+                  TextTable::Num(cell.summary.mean),
+                  TextTable::Num(cell.summary.p95)});
+  }
+  table.Print(std::cout);
+
+  if (competitive) {
+    std::cout << "\ncompetitive sets (Welch t-test, Bonferroni alpha=0.05):\n";
+    for (const auto& [setting, by_algo] :
+         Runner::GroupBySetting(*results)) {
+      auto set = CompetitiveSet(by_algo);
+      std::cout << "  " << setting << ": ";
+      if (set.ok()) {
+        for (const auto& a : *set) std::cout << a << " ";
+      } else {
+        std::cout << set.status().ToString();
+      }
+      std::cout << "\n";
+    }
+  }
+  if (csv) {
+    std::cout << "\n";
+    WriteCsv(*results, std::cout);
+  }
+  return 0;
+}
