@@ -1,6 +1,15 @@
 // MICRO — google-benchmark microbenchmarks: wall-clock cost of one run of
 // each algorithm at benchmark domain sizes (ours; the paper reports only
 // total compute, ~22 CPU-days for the full grid).
+//
+// Three families expose the plan/execute split of the pipeline:
+//   BM_<Algo>_<dims>            full Run() = plan + execute every iteration
+//                               (the legacy per-trial rebuild path)
+//   BM_<Algo>_<dims>_PlanOnce   plan hoisted out of the loop; iterations
+//                               execute the cached plan (the runner's
+//                               plan-cache path — compare against the
+//                               previous family for the cache payoff)
+//   BM_<Algo>_<dims>_PlanOnly   cost of building the plan itself
 #include <benchmark/benchmark.h>
 
 #include "src/algorithms/mechanism.h"
@@ -55,6 +64,40 @@ void RunAlgorithm(benchmark::State& state, const std::string& name,
   }
 }
 
+void RunPlanOnce(benchmark::State& state, const std::string& name,
+                 bool two_d) {
+  MechanismPtr m = MechanismRegistry::Get(name).value();
+  const DataVector& x = two_d ? Data2D() : Data1D();
+  const Workload& w = two_d ? Ranges2D() : Prefix();
+  PlanContext pctx{x.domain(), w, 0.1, {x.Scale()}};
+  auto plan_or = m->Plan(pctx);
+  if (!plan_or.ok()) {
+    state.SkipWithError(plan_or.status().ToString().c_str());
+    return;
+  }
+  PlanPtr plan = std::move(plan_or).value();
+  Rng rng(42);
+  for (auto _ : state) {
+    ExecContext ectx{x, &rng};
+    auto est = plan->Execute(ectx);
+    if (!est.ok()) state.SkipWithError(est.status().ToString().c_str());
+    benchmark::DoNotOptimize(est);
+  }
+}
+
+void RunPlanOnly(benchmark::State& state, const std::string& name,
+                 bool two_d) {
+  MechanismPtr m = MechanismRegistry::Get(name).value();
+  const DataVector& x = two_d ? Data2D() : Data1D();
+  const Workload& w = two_d ? Ranges2D() : Prefix();
+  for (auto _ : state) {
+    PlanContext pctx{x.domain(), w, 0.1, {x.Scale()}};
+    auto plan = m->Plan(pctx);
+    if (!plan.ok()) state.SkipWithError(plan.status().ToString().c_str());
+    benchmark::DoNotOptimize(plan);
+  }
+}
+
 #define DPBENCH_MICRO_1D(NAME, ALGO)                        \
   void BM_##NAME##_1D(benchmark::State& state) {            \
     RunAlgorithm(state, ALGO, false);                       \
@@ -66,6 +109,28 @@ void RunAlgorithm(benchmark::State& state, const std::string& name,
     RunAlgorithm(state, ALGO, true);                        \
   }                                                         \
   BENCHMARK(BM_##NAME##_2D)->Unit(benchmark::kMillisecond)
+
+#define DPBENCH_MICRO_PLAN_1D(NAME, ALGO)                   \
+  void BM_##NAME##_1D_PlanOnce(benchmark::State& state) {   \
+    RunPlanOnce(state, ALGO, false);                        \
+  }                                                         \
+  BENCHMARK(BM_##NAME##_1D_PlanOnce)                        \
+      ->Unit(benchmark::kMillisecond);                      \
+  void BM_##NAME##_1D_PlanOnly(benchmark::State& state) {   \
+    RunPlanOnly(state, ALGO, false);                        \
+  }                                                         \
+  BENCHMARK(BM_##NAME##_1D_PlanOnly)->Unit(benchmark::kMillisecond)
+
+#define DPBENCH_MICRO_PLAN_2D(NAME, ALGO)                   \
+  void BM_##NAME##_2D_PlanOnce(benchmark::State& state) {   \
+    RunPlanOnce(state, ALGO, true);                         \
+  }                                                         \
+  BENCHMARK(BM_##NAME##_2D_PlanOnce)                        \
+      ->Unit(benchmark::kMillisecond);                      \
+  void BM_##NAME##_2D_PlanOnly(benchmark::State& state) {   \
+    RunPlanOnly(state, ALGO, true);                         \
+  }                                                         \
+  BENCHMARK(BM_##NAME##_2D_PlanOnly)->Unit(benchmark::kMillisecond)
 
 DPBENCH_MICRO_1D(Identity, "IDENTITY");
 DPBENCH_MICRO_1D(Privelet, "PRIVELET");
@@ -90,6 +155,18 @@ DPBENCH_MICRO_2D(Ugrid, "UGRID");
 DPBENCH_MICRO_2D(QuadTree, "QUADTREE");
 DPBENCH_MICRO_2D(HybridTree, "HYBRIDTREE");
 DPBENCH_MICRO_2D(DpCube2, "DPCUBE");
+
+// Plan-once / execute-many variants for the data-independent suite (the
+// mechanisms whose plans hold real precomputed state).
+DPBENCH_MICRO_PLAN_1D(Identity, "IDENTITY");
+DPBENCH_MICRO_PLAN_1D(Privelet, "PRIVELET");
+DPBENCH_MICRO_PLAN_1D(H, "H");
+DPBENCH_MICRO_PLAN_1D(Hb, "HB");
+DPBENCH_MICRO_PLAN_1D(GreedyH, "GREEDY_H");
+DPBENCH_MICRO_PLAN_1D(Uniform, "UNIFORM");
+DPBENCH_MICRO_PLAN_2D(Hb2, "HB");
+DPBENCH_MICRO_PLAN_2D(Ugrid, "UGRID");
+DPBENCH_MICRO_PLAN_2D(QuadTree, "QUADTREE");
 
 }  // namespace
 }  // namespace dpbench

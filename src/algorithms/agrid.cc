@@ -22,7 +22,7 @@ size_t AGridMechanism::FineGridSize(double noisy_count, double eps2,
   return std::max<size_t>(1, static_cast<size_t>(std::ceil(m)));
 }
 
-Result<DataVector> AGridMechanism::Run(const RunContext& ctx) const {
+Result<DataVector> AGridMechanism::RunImpl(const RunContext& ctx) const {
   DPB_RETURN_NOT_OK(CheckContext(ctx));
   const Domain& domain = ctx.data.domain();
   size_t rows = domain.size(0), cols = domain.size(1);

@@ -21,8 +21,10 @@ class AGridMechanism : public Mechanism {
   std::string name() const override { return "AGRID"; }
   bool SupportsDims(size_t dims) const override { return dims == 2; }
   bool uses_side_info() const override { return true; }
-  Result<DataVector> Run(const RunContext& ctx) const override;
+ protected:
+  Result<DataVector> RunImpl(const RunContext& ctx) const override;
 
+ public:
   /// Coarse grid rule m1 = max(10, ceil(sqrt(N*eps/c)/2)).
   static size_t CoarseGridSize(double scale, double epsilon, double c);
 

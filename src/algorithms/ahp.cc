@@ -20,7 +20,7 @@ std::pair<double, double> AhpMechanism::TunedParams(
   return {0.15, 0.5};
 }
 
-Result<DataVector> AhpMechanism::Run(const RunContext& ctx) const {
+Result<DataVector> AhpMechanism::RunImpl(const RunContext& ctx) const {
   DPB_RETURN_NOT_OK(CheckContext(ctx));
   const Domain& domain = ctx.data.domain();
   const size_t n = ctx.data.size();

@@ -93,7 +93,7 @@ std::vector<size_t> LeastCostPartition(const std::vector<double>& counts,
 
 }  // namespace dawa_internal
 
-Result<DataVector> DawaMechanism::Run(const RunContext& ctx) const {
+Result<DataVector> DawaMechanism::RunImpl(const RunContext& ctx) const {
   DPB_RETURN_NOT_OK(CheckContext(ctx));
   const Domain& domain = ctx.data.domain();
   const bool two_d = domain.num_dims() == 2;

@@ -31,7 +31,10 @@ class DawaMechanism : public Mechanism {
   bool SupportsDims(size_t dims) const override {
     return dims == 1 || dims == 2;
   }
-  Result<DataVector> Run(const RunContext& ctx) const override;
+ protected:
+  Result<DataVector> RunImpl(const RunContext& ctx) const override;
+
+ public:
 
  private:
   double rho_;

@@ -64,7 +64,7 @@ double RegionHeterogeneity(const DataVector& noisy, const Region& r) {
 
 }  // namespace
 
-Result<DataVector> DpCubeMechanism::Run(const RunContext& ctx) const {
+Result<DataVector> DpCubeMechanism::RunImpl(const RunContext& ctx) const {
   DPB_RETURN_NOT_OK(CheckContext(ctx));
   const Domain& domain = ctx.data.domain();
 

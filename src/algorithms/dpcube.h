@@ -22,7 +22,10 @@ class DpCubeMechanism : public Mechanism {
 
   std::string name() const override { return "DPCUBE"; }
   bool SupportsDims(size_t) const override { return true; }
-  Result<DataVector> Run(const RunContext& ctx) const override;
+ protected:
+  Result<DataVector> RunImpl(const RunContext& ctx) const override;
+
+ public:
 
  private:
   double rho_;

@@ -11,7 +11,7 @@
 
 namespace dpbench {
 
-Result<DataVector> EfpaMechanism::Run(const RunContext& ctx) const {
+Result<DataVector> EfpaMechanism::RunImpl(const RunContext& ctx) const {
   DPB_RETURN_NOT_OK(CheckContext(ctx));
   const size_t true_n = ctx.data.size();
 

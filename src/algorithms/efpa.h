@@ -18,7 +18,8 @@ class EfpaMechanism : public Mechanism {
  public:
   std::string name() const override { return "EFPA"; }
   bool SupportsDims(size_t dims) const override { return dims == 1; }
-  Result<DataVector> Run(const RunContext& ctx) const override;
+ protected:
+  Result<DataVector> RunImpl(const RunContext& ctx) const override;
 };
 
 }  // namespace dpbench

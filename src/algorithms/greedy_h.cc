@@ -1,6 +1,8 @@
 #include "src/algorithms/greedy_h.h"
 
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "src/algorithms/hier.h"
 #include "src/histogram/hilbert.h"
@@ -43,44 +45,77 @@ std::vector<double> LevelUsage(
   return usage;
 }
 
-Result<std::vector<double>> RunOnCounts(
-    const std::vector<double>& counts,
-    const std::vector<std::pair<size_t, size_t>>& ranges, size_t branching,
-    double epsilon, Rng* rng) {
-  RangeTree tree = RangeTree::Build(counts.size(), branching);
-  std::vector<double> usage = LevelUsage(tree, ranges);
+std::pair<std::shared_ptr<const RangeTree>, std::vector<double>>
+PlanOnRanges(size_t n, const std::vector<std::pair<size_t, size_t>>& ranges,
+             size_t branching, double epsilon) {
+  auto tree = std::make_shared<const RangeTree>(RangeTree::Build(n, branching));
+  std::vector<double> usage = LevelUsage(*tree, ranges);
   // Guarantee the leaf level is measured so every cell has an estimate
   // even if the workload never touches single cells.
   if (usage.back() <= 0.0) usage.back() = 1.0;
   std::vector<double> eps = AllocateBudget(usage, epsilon);
-  return hier_internal::MeasureAndInfer(tree, counts, eps, rng);
+  return {std::move(tree), std::move(eps)};
+}
+
+Result<std::vector<double>> RunOnCounts(
+    const std::vector<double>& counts,
+    const std::vector<std::pair<size_t, size_t>>& ranges, size_t branching,
+    double epsilon, Rng* rng) {
+  auto [tree, eps] = PlanOnRanges(counts.size(), ranges, branching, epsilon);
+  return hier_internal::MeasureAndInfer(*tree, counts, eps, rng);
 }
 
 }  // namespace greedy_h_internal
 
-Result<DataVector> GreedyHMechanism::Run(const RunContext& ctx) const {
-  DPB_RETURN_NOT_OK(CheckContext(ctx));
-  const Domain& domain = ctx.data.domain();
+namespace {
 
-  if (domain.num_dims() == 1) {
+// 2D plan: the strategy tree, budget and GLS coefficients live on the
+// Hilbert-linearized domain (delegated to the planned 1D pipeline);
+// execution linearizes the data, runs the planned measure+infer, and
+// scatters the estimate back onto the grid.
+class GreedyHHilbertPlan : public MechanismPlan {
+ public:
+  GreedyHHilbertPlan(std::string name, Domain domain, size_t linear_cells,
+                     std::shared_ptr<const RangeTree> tree,
+                     std::vector<double> eps_per_level)
+      : MechanismPlan(name, std::move(domain)),
+        linear_plan_(std::move(name), Domain::D1(linear_cells),
+                     std::move(tree), std::move(eps_per_level)) {}
+
+  Result<DataVector> Execute(const ExecContext& ctx) const override {
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    DPB_ASSIGN_OR_RETURN(DataVector linear, HilbertLinearize(ctx.data));
+    DPB_ASSIGN_OR_RETURN(DataVector est1d,
+                         linear_plan_.Execute({linear, ctx.rng}));
+    return HilbertDelinearize(est1d, domain());
+  }
+
+ private:
+  hier_internal::RangeTreePlan linear_plan_;
+};
+
+}  // namespace
+
+Result<PlanPtr> GreedyHMechanism::Plan(const PlanContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+
+  if (ctx.domain.num_dims() == 1) {
     std::vector<std::pair<size_t, size_t>> ranges;
     ranges.reserve(ctx.workload.size());
     for (const RangeQuery& q : ctx.workload.queries()) {
       ranges.emplace_back(q.lo[0], q.hi[0]);
     }
-    DPB_ASSIGN_OR_RETURN(
-        std::vector<double> cells,
-        greedy_h_internal::RunOnCounts(ctx.data.counts(), ranges, branching_,
-                                       ctx.epsilon, ctx.rng));
-    return DataVector(domain, std::move(cells));
+    auto [tree, eps] = greedy_h_internal::PlanOnRanges(
+        ctx.domain.TotalCells(), ranges, branching_, ctx.epsilon);
+    return PlanPtr(new hier_internal::RangeTreePlan(
+        name(), ctx.domain, std::move(tree), std::move(eps)));
   }
 
   // 2D: Hilbert-linearize; 2D rectangles do not map to 1D intervals, so we
   // charge usage uniformly by decomposing the full-domain range per level
   // (equivalent to H-with-allocation on the linearized domain).
-  DPB_ASSIGN_OR_RETURN(DataVector linear, HilbertLinearize(ctx.data));
   std::vector<std::pair<size_t, size_t>> ranges;
-  size_t n = linear.size();
+  size_t n = ctx.domain.TotalCells();
   // Use a spread of dyadic ranges as a usage proxy for spatial queries.
   for (size_t len = 1; len <= n; len *= 2) {
     for (size_t start = 0; start + len <= n; start += len) {
@@ -89,12 +124,10 @@ Result<DataVector> GreedyHMechanism::Run(const RunContext& ctx) const {
     }
     if (ranges.size() > 4096) break;
   }
-  DPB_ASSIGN_OR_RETURN(
-      std::vector<double> cells,
-      greedy_h_internal::RunOnCounts(linear.counts(), ranges, branching_,
-                                     ctx.epsilon, ctx.rng));
-  DataVector est1d(Domain::D1(n), std::move(cells));
-  return HilbertDelinearize(est1d, domain);
+  auto [tree, eps] =
+      greedy_h_internal::PlanOnRanges(n, ranges, branching_, ctx.epsilon);
+  return PlanPtr(new GreedyHHilbertPlan(name(), ctx.domain, n,
+                                        std::move(tree), std::move(eps)));
 }
 
 }  // namespace dpbench

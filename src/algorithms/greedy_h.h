@@ -12,6 +12,9 @@
 #ifndef DPBENCH_ALGORITHMS_GREEDY_H_H_
 #define DPBENCH_ALGORITHMS_GREEDY_H_H_
 
+#include <memory>
+#include <utility>
+
 #include "src/algorithms/mechanism.h"
 #include "src/algorithms/tree_inference.h"
 
@@ -26,7 +29,7 @@ class GreedyHMechanism : public Mechanism {
     return dims == 1 || dims == 2;
   }
   bool data_independent() const override { return true; }
-  Result<DataVector> Run(const RunContext& ctx) const override;
+  Result<PlanPtr> Plan(const PlanContext& ctx) const override;
 
  private:
   size_t branching_;
@@ -44,6 +47,12 @@ std::vector<double> AllocateBudget(const std::vector<double>& usage,
 std::vector<double> LevelUsage(const RangeTree& tree,
                                const std::vector<std::pair<size_t, size_t>>&
                                    ranges);
+
+/// Data-independent half of the pipeline: builds the strategy tree over n
+/// cells and the usage-driven per-level budget for `ranges`.
+std::pair<std::shared_ptr<const RangeTree>, std::vector<double>>
+PlanOnRanges(size_t n, const std::vector<std::pair<size_t, size_t>>& ranges,
+             size_t branching, double epsilon);
 
 /// Runs the full GREEDY_H pipeline on a raw 1D count vector with ranges
 /// (used standalone and by DAWA's second stage).

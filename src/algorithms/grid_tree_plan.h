@@ -1,0 +1,44 @@
+// The shared plan of the 2D grid-hierarchy family (HB-2D, QUADTREE):
+// a tree of axis-aligned rectangles measured top-down with per-level
+// budgets, made consistent by GLS. The tree geometry, budget split and
+// GLS coefficients are all plan-time state; execution measures (in node
+// order), runs the planned two-pass inference and spreads leaf estimates
+// uniformly over their cells.
+#ifndef DPBENCH_ALGORITHMS_GRID_TREE_PLAN_H_
+#define DPBENCH_ALGORITHMS_GRID_TREE_PLAN_H_
+
+#include <vector>
+
+#include "src/algorithms/mechanism.h"
+#include "src/algorithms/tree_inference.h"
+
+namespace dpbench {
+namespace grid_internal {
+
+/// One rectangle of a 2D measurement hierarchy; bounds are inclusive.
+struct GridRect {
+  size_t r0, r1, c0, c1;
+  std::vector<size_t> children;  ///< indices into the node array
+  int level;                     ///< root = 0
+};
+
+class GridTreePlan : public MechanismPlan {
+ public:
+  /// `nodes[0]` must be the root; eps_per_level[l] > 0 for every level
+  /// present in `nodes`.
+  GridTreePlan(std::string name, Domain domain, std::vector<GridRect> nodes,
+               std::vector<double> eps_per_level);
+
+  Result<DataVector> Execute(const ExecContext& ctx) const override;
+
+ private:
+  std::vector<GridRect> nodes_;
+  std::vector<double> eps_per_level_;
+  PlannedTreeGls gls_;
+  std::vector<size_t> leaves_;  // node ids of leaves, in node order
+};
+
+}  // namespace grid_internal
+}  // namespace dpbench
+
+#endif  // DPBENCH_ALGORITHMS_GRID_TREE_PLAN_H_

@@ -1,15 +1,19 @@
 #include "src/algorithms/hb.h"
 
 #include <cmath>
+#include <memory>
+#include <utility>
 
+#include "src/algorithms/grid_tree_plan.h"
 #include "src/algorithms/hier.h"
 #include "src/algorithms/tree_inference.h"
 #include "src/common/logging.h"
-#include "src/mechanisms/laplace.h"
 
 namespace dpbench {
 
 namespace {
+
+using grid_internal::GridRect;
 
 // Height (number of levels below the root inclusive of leaves) of a b-ary
 // hierarchy over n cells.
@@ -25,17 +29,11 @@ int HeightFor(size_t n, size_t b) {
 
 // 2D grid hierarchy: nodes are rectangles; each split divides both sides
 // into up to b parts. Leaves are single cells.
-struct GridNode {
-  size_t r0, r1, c0, c1;  // inclusive
-  std::vector<size_t> children;
-  int level;
-};
-
 void BuildGridTree(size_t rows, size_t cols, size_t b,
-                   std::vector<GridNode>* nodes) {
+                   std::vector<GridRect>* nodes) {
   nodes->push_back({0, rows - 1, 0, cols - 1, {}, 0});
   for (size_t v = 0; v < nodes->size(); ++v) {
-    GridNode node = (*nodes)[v];
+    GridRect node = (*nodes)[v];
     size_t h = node.r1 - node.r0 + 1, w = node.c1 - node.c0 + 1;
     if (h == 1 && w == 1) continue;
     size_t rparts = std::min(b, h), cparts = std::min(b, w);
@@ -90,59 +88,33 @@ size_t HbMechanism::ChooseBranching2D(size_t side) {
   return best_b;
 }
 
-Result<DataVector> HbMechanism::Run(const RunContext& ctx) const {
-  DPB_RETURN_NOT_OK(CheckContext(ctx));
-  const Domain& domain = ctx.data.domain();
+Result<PlanPtr> HbMechanism::Plan(const PlanContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
 
-  if (domain.num_dims() == 1) {
-    size_t n = ctx.data.size();
+  if (ctx.domain.num_dims() == 1) {
+    size_t n = ctx.domain.TotalCells();
     size_t b = ChooseBranching1D(n);
-    RangeTree tree = RangeTree::Build(n, b);
-    int levels = tree.num_levels();
+    auto tree = std::make_shared<const RangeTree>(RangeTree::Build(n, b));
+    int levels = tree->num_levels();
     std::vector<double> eps(levels,
                             ctx.epsilon / static_cast<double>(levels));
-    DPB_ASSIGN_OR_RETURN(std::vector<double> cells,
-                         hier_internal::MeasureAndInfer(
-                             tree, ctx.data.counts(), eps, ctx.rng));
-    return DataVector(domain, std::move(cells));
+    return PlanPtr(new hier_internal::RangeTreePlan(
+        name(), ctx.domain, std::move(tree), std::move(eps)));
   }
 
-  // 2D grid hierarchy.
-  size_t rows = domain.size(0), cols = domain.size(1);
+  // 2D grid hierarchy with uniform budget per level.
+  size_t rows = ctx.domain.size(0), cols = ctx.domain.size(1);
   size_t b = ChooseBranching2D(std::max(rows, cols));
-  std::vector<GridNode> grid_nodes;
+  std::vector<GridRect> grid_nodes;
   BuildGridTree(rows, cols, b, &grid_nodes);
   int levels = 0;
-  for (const GridNode& node : grid_nodes) {
+  for (const GridRect& node : grid_nodes) {
     levels = std::max(levels, node.level + 1);
   }
-  double eps_per_level = ctx.epsilon / static_cast<double>(levels);
-  double var = LaplaceVariance(1.0, eps_per_level);
-
-  PrefixSums ps(ctx.data);
-  std::vector<MeasurementNode> mnodes(grid_nodes.size());
-  for (size_t v = 0; v < grid_nodes.size(); ++v) {
-    const GridNode& node = grid_nodes[v];
-    mnodes[v].children = node.children;
-    double truth = ps.RangeSum({node.r0, node.c0}, {node.r1, node.c1});
-    mnodes[v].y = truth + ctx.rng->Laplace(1.0 / eps_per_level);
-    mnodes[v].variance = var;
-  }
-  DPB_ASSIGN_OR_RETURN(std::vector<double> est, TreeGlsInfer(mnodes, 0));
-
-  DataVector out(domain);
-  for (size_t v = 0; v < grid_nodes.size(); ++v) {
-    const GridNode& node = grid_nodes[v];
-    if (!node.children.empty()) continue;
-    double area = static_cast<double>((node.r1 - node.r0 + 1) *
-                                      (node.c1 - node.c0 + 1));
-    for (size_t r = node.r0; r <= node.r1; ++r) {
-      for (size_t c = node.c0; c <= node.c1; ++c) {
-        out[r * cols + c] = est[v] / area;
-      }
-    }
-  }
-  return out;
+  std::vector<double> eps(levels,
+                          ctx.epsilon / static_cast<double>(levels));
+  return PlanPtr(new grid_internal::GridTreePlan(
+      name(), ctx.domain, std::move(grid_nodes), std::move(eps)));
 }
 
 }  // namespace dpbench

@@ -19,7 +19,7 @@ class HbMechanism : public Mechanism {
     return dims == 1 || dims == 2;
   }
   bool data_independent() const override { return true; }
-  Result<DataVector> Run(const RunContext& ctx) const override;
+  Result<PlanPtr> Plan(const PlanContext& ctx) const override;
 
   /// Branching factor minimizing (b-1) * ceil(log_b n)^3 (exposed for tests).
   static size_t ChooseBranching1D(size_t n);

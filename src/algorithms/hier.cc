@@ -1,7 +1,9 @@
 #include "src/algorithms/hier.h"
 
 #include <numeric>
+#include <utility>
 
+#include "src/common/logging.h"
 #include "src/mechanisms/laplace.h"
 
 namespace dpbench {
@@ -35,20 +37,72 @@ Result<std::vector<double>> MeasureAndInfer(
   return tree.Infer(y, variance);
 }
 
+RangeTreePlan::RangeTreePlan(std::string name, Domain domain,
+                             std::shared_ptr<const RangeTree> tree,
+                             std::vector<double> eps_per_level)
+    : MechanismPlan(std::move(name), std::move(domain)),
+      tree_(std::move(tree)),
+      eps_per_level_(std::move(eps_per_level)) {
+  // Fold the budget's variance profile into GLS coefficients once.
+  std::vector<MeasurementNode> mnodes(tree_->num_nodes());
+  for (size_t v = 0; v < tree_->num_nodes(); ++v) {
+    const RangeTree::Node& node = tree_->node(v);
+    mnodes[v].children = node.children;
+    double eps = eps_per_level_[node.level];
+    if (eps > 0.0) mnodes[v].variance = LaplaceVariance(1.0, eps);
+    if (node.children.empty()) leaves_.push_back(v);
+  }
+  auto plan = PlannedTreeGls::Build(mnodes, tree_->root());
+  DPB_CHECK(plan.ok());  // RangeTree is well-formed by construction
+  gls_ = std::move(plan).value();
+}
+
+Result<DataVector> RangeTreePlan::Execute(const ExecContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckExec(ctx));
+  const std::vector<double>& counts = ctx.data.counts();
+  // Prefix sums for O(1) true node counts.
+  std::vector<double> prefix(counts.size() + 1, 0.0);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    prefix[i + 1] = prefix[i] + counts[i];
+  }
+  // Measure level by level — the same noise-draw order as MeasureAndInfer
+  // so planned and unplanned paths consume the rng identically.
+  std::vector<double> y(tree_->num_nodes(), 0.0);
+  for (int level = 0; level < tree_->num_levels(); ++level) {
+    double eps = eps_per_level_[level];
+    if (eps <= 0.0) continue;
+    for (size_t v : tree_->level_nodes(level)) {
+      const RangeTree::Node& node = tree_->node(v);
+      double truth = prefix[node.hi + 1] - prefix[node.lo];
+      y[v] = truth + ctx.rng->Laplace(1.0 / eps);
+    }
+  }
+  std::vector<double> node_est = gls_.InferNodes(y);
+  std::vector<double> cells(tree_->num_cells(), 0.0);
+  for (size_t v : leaves_) {
+    const RangeTree::Node& node = tree_->node(v);
+    size_t len = node.hi - node.lo + 1;
+    for (size_t c = node.lo; c <= node.hi; ++c) {
+      cells[c] = node_est[v] / static_cast<double>(len);
+    }
+  }
+  return DataVector(domain(), std::move(cells));
+}
+
 }  // namespace hier_internal
 
-Result<DataVector> HierMechanism::Run(const RunContext& ctx) const {
-  DPB_RETURN_NOT_OK(CheckContext(ctx));
-  size_t n = ctx.data.size();
-  RangeTree tree = RangeTree::Build(n, branching_);
+Result<PlanPtr> HierMechanism::Plan(const PlanContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  size_t n = ctx.domain.TotalCells();
+  auto tree =
+      std::make_shared<const RangeTree>(RangeTree::Build(n, branching_));
   // Uniform budget across all levels: a record is counted once per level,
   // so each level-eps adds up to the total sensitivity budget.
-  int levels = tree.num_levels();
+  int levels = tree->num_levels();
   std::vector<double> eps(levels, ctx.epsilon / static_cast<double>(levels));
-  DPB_ASSIGN_OR_RETURN(
-      std::vector<double> cells,
-      hier_internal::MeasureAndInfer(tree, ctx.data.counts(), eps, ctx.rng));
-  return DataVector(ctx.data.domain(), std::move(cells));
+  return PlanPtr(new hier_internal::RangeTreePlan(name(), ctx.domain,
+                                                  std::move(tree),
+                                                  std::move(eps)));
 }
 
 }  // namespace dpbench

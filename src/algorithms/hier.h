@@ -3,6 +3,8 @@
 #ifndef DPBENCH_ALGORITHMS_HIER_H_
 #define DPBENCH_ALGORITHMS_HIER_H_
 
+#include <memory>
+
 #include "src/algorithms/mechanism.h"
 #include "src/algorithms/tree_inference.h"
 
@@ -15,7 +17,7 @@ class HierMechanism : public Mechanism {
   std::string name() const override { return "H"; }
   bool SupportsDims(size_t dims) const override { return dims == 1; }
   bool data_independent() const override { return true; }
-  Result<DataVector> Run(const RunContext& ctx) const override;
+  Result<PlanPtr> Plan(const PlanContext& ctx) const override;
 
   size_t branching() const { return branching_; }
 
@@ -31,6 +33,29 @@ namespace hier_internal {
 Result<std::vector<double>> MeasureAndInfer(
     const RangeTree& tree, const std::vector<double>& counts,
     const std::vector<double>& eps_per_level, Rng* rng);
+
+/// The shared plan of the 1D hierarchy family (H, HB-1D, GREEDY_H-1D):
+/// a prebuilt RangeTree, a per-level budget allocation, and the
+/// precomputed GLS inference coefficients for that budget's variance
+/// profile. Execution measures the planned nodes (same noise-draw order
+/// as MeasureAndInfer) and runs the planned two-pass inference.
+class RangeTreePlan : public MechanismPlan {
+ public:
+  RangeTreePlan(std::string name, Domain domain,
+                std::shared_ptr<const RangeTree> tree,
+                std::vector<double> eps_per_level);
+
+  Result<DataVector> Execute(const ExecContext& ctx) const override;
+
+  const RangeTree& tree() const { return *tree_; }
+  const std::vector<double>& eps_per_level() const { return eps_per_level_; }
+
+ private:
+  std::shared_ptr<const RangeTree> tree_;
+  std::vector<double> eps_per_level_;
+  PlannedTreeGls gls_;
+  std::vector<size_t> leaves_;  // node ids of leaves, in tree order
+};
 
 }  // namespace hier_internal
 

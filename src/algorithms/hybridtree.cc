@@ -20,7 +20,7 @@ struct HNode {
 
 }  // namespace
 
-Result<DataVector> HybridTreeMechanism::Run(const RunContext& ctx) const {
+Result<DataVector> HybridTreeMechanism::RunImpl(const RunContext& ctx) const {
   DPB_RETURN_NOT_OK(CheckContext(ctx));
   const Domain& domain = ctx.data.domain();
   size_t rows = domain.size(0), cols = domain.size(1);

@@ -21,7 +21,10 @@ class HybridTreeMechanism : public Mechanism {
 
   std::string name() const override { return "HYBRIDTREE"; }
   bool SupportsDims(size_t dims) const override { return dims == 2; }
-  Result<DataVector> Run(const RunContext& ctx) const override;
+ protected:
+  Result<DataVector> RunImpl(const RunContext& ctx) const override;
+
+ public:
 
  private:
   size_t kd_levels_;

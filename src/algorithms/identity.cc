@@ -4,14 +4,34 @@
 
 namespace dpbench {
 
-Result<DataVector> IdentityMechanism::Run(const RunContext& ctx) const {
-  DPB_RETURN_NOT_OK(CheckContext(ctx));
-  // Sensitivity of the full histogram is 1: one record changes one cell.
-  DPB_ASSIGN_OR_RETURN(
-      std::vector<double> noisy,
-      LaplaceMechanism(ctx.data.counts(), /*sensitivity=*/1.0, ctx.epsilon,
-                       ctx.rng));
-  return DataVector(ctx.data.domain(), std::move(noisy));
+namespace {
+
+// All plan-time state IDENTITY needs: the per-cell noise scale.
+class IdentityPlan : public MechanismPlan {
+ public:
+  IdentityPlan(std::string name, Domain domain, double epsilon)
+      : MechanismPlan(std::move(name), std::move(domain)),
+        epsilon_(epsilon) {}
+
+  Result<DataVector> Execute(const ExecContext& ctx) const override {
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    // Sensitivity of the full histogram is 1: one record changes one cell.
+    DPB_ASSIGN_OR_RETURN(
+        std::vector<double> noisy,
+        LaplaceMechanism(ctx.data.counts(), /*sensitivity=*/1.0, epsilon_,
+                         ctx.rng));
+    return DataVector(domain(), std::move(noisy));
+  }
+
+ private:
+  double epsilon_;
+};
+
+}  // namespace
+
+Result<PlanPtr> IdentityMechanism::Plan(const PlanContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  return PlanPtr(new IdentityPlan(name(), ctx.domain, ctx.epsilon));
 }
 
 }  // namespace dpbench

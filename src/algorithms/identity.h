@@ -12,7 +12,7 @@ class IdentityMechanism : public Mechanism {
   std::string name() const override { return "IDENTITY"; }
   bool SupportsDims(size_t) const override { return true; }
   bool data_independent() const override { return true; }
-  Result<DataVector> Run(const RunContext& ctx) const override;
+  Result<PlanPtr> Plan(const PlanContext& ctx) const override;
 };
 
 }  // namespace dpbench

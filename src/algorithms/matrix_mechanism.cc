@@ -41,20 +41,64 @@ Matrix WaveletStrategy(size_t n) {
 
 }  // namespace strategies
 
-Result<DataVector> MatrixMechanism::Run(const RunContext& ctx) const {
-  DPB_RETURN_NOT_OK(CheckContext(ctx));
-  if (strategy_.cols() != ctx.data.size()) {
+namespace {
+
+// Plan-time state of the generic matrix mechanism: the strategy's L1
+// sensitivity and the Cholesky factor of its Gram matrix S^T S. The O(n^3)
+// factorization happens once; each execution is two O(mn) products, one
+// noise pass and an O(n^2) triangular solve.
+class MatrixMechanismPlan : public MechanismPlan {
+ public:
+  MatrixMechanismPlan(std::string name, Domain domain,
+                      const Matrix* strategy, Matrix strategy_transpose,
+                      double sensitivity, Matrix gram_cholesky,
+                      double epsilon)
+      : MechanismPlan(std::move(name), std::move(domain)),
+        strategy_(strategy),
+        strategy_transpose_(std::move(strategy_transpose)),
+        sensitivity_(sensitivity),
+        gram_cholesky_(std::move(gram_cholesky)),
+        epsilon_(epsilon) {}
+
+  Result<DataVector> Execute(const ExecContext& ctx) const override {
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    DPB_ASSIGN_OR_RETURN(std::vector<double> answers,
+                         strategy_->Apply(ctx.data.counts()));
+    DPB_ASSIGN_OR_RETURN(
+        std::vector<double> noisy,
+        LaplaceMechanism(answers, sensitivity_, epsilon_, ctx.rng));
+    // Least squares through the cached factorization: solve
+    // (S^T S) x = S^T y, with S^T materialized at plan time so the hot
+    // per-trial product streams row-major memory.
+    DPB_ASSIGN_OR_RETURN(std::vector<double> rhs,
+                         strategy_transpose_.Apply(noisy));
+    DPB_ASSIGN_OR_RETURN(std::vector<double> est,
+                         CholeskySolve(gram_cholesky_, rhs));
+    return DataVector(domain(), std::move(est));
+  }
+
+ private:
+  const Matrix* strategy_;  // owned by the mechanism, which outlives us
+  Matrix strategy_transpose_;
+  double sensitivity_;
+  Matrix gram_cholesky_;
+  double epsilon_;
+};
+
+}  // namespace
+
+Result<PlanPtr> MatrixMechanism::Plan(const PlanContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  if (strategy_.cols() != ctx.domain.TotalCells()) {
     return Status::InvalidArgument(name_ + ": strategy arity mismatch");
   }
   double sensitivity = strategy_.MaxColumnL1();
-  DPB_ASSIGN_OR_RETURN(std::vector<double> answers,
-                       strategy_.Apply(ctx.data.counts()));
-  DPB_ASSIGN_OR_RETURN(
-      std::vector<double> noisy,
-      LaplaceMechanism(answers, sensitivity, ctx.epsilon, ctx.rng));
-  DPB_ASSIGN_OR_RETURN(std::vector<double> est,
-                       LeastSquares(strategy_, noisy));
-  return DataVector(ctx.data.domain(), std::move(est));
+  Matrix st = strategy_.Transpose();
+  DPB_ASSIGN_OR_RETURN(Matrix gram, st.Multiply(strategy_));
+  DPB_ASSIGN_OR_RETURN(Matrix l, Cholesky(gram));
+  return PlanPtr(new MatrixMechanismPlan(name(), ctx.domain, &strategy_,
+                                         std::move(st), sensitivity,
+                                         std::move(l), ctx.epsilon));
 }
 
 Result<double> MatrixMechanism::ExpectedSquaredError(const Workload& w,

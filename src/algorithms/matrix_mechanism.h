@@ -45,7 +45,7 @@ class MatrixMechanism : public Mechanism {
   std::string name() const override { return name_; }
   bool SupportsDims(size_t dims) const override { return dims == 1; }
   bool data_independent() const override { return true; }
-  Result<DataVector> Run(const RunContext& ctx) const override;
+  Result<PlanPtr> Plan(const PlanContext& ctx) const override;
 
   /// Exact expected squared error of answering workload W through this
   /// strategy at the given epsilon:

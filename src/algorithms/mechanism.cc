@@ -20,6 +20,67 @@
 
 namespace dpbench {
 
+Status MechanismPlan::CheckExec(const ExecContext& ctx) const {
+  if (ctx.rng == nullptr) {
+    return Status::InvalidArgument(mechanism_name_ +
+                                   ": rng must be provided");
+  }
+  if (ctx.data.size() == 0) {
+    return Status::InvalidArgument(mechanism_name_ + ": empty data vector");
+  }
+  if (ctx.data.domain() != domain_) {
+    return Status::InvalidArgument(
+        mechanism_name_ + ": data domain " + ctx.data.domain().ToString() +
+        " does not match planned domain " + domain_.ToString());
+  }
+  return Status::OK();
+}
+
+/// Default plan for data-dependent algorithms: captures the plan-time
+/// inputs and defers all work to RunImpl() at execution time.
+class PassThroughPlan : public MechanismPlan {
+ public:
+  PassThroughPlan(const Mechanism* mech, const PlanContext& ctx)
+      : MechanismPlan(mech->name(), ctx.domain),
+        mech_(mech),
+        workload_(&ctx.workload),
+        epsilon_(ctx.epsilon),
+        side_info_(ctx.side_info) {}
+
+  bool precomputed() const override { return false; }
+
+  Result<DataVector> Execute(const ExecContext& ctx) const override {
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    RunContext rctx{ctx.data, *workload_, epsilon_, ctx.rng, side_info_};
+    return mech_->RunImpl(rctx);
+  }
+
+ private:
+  const Mechanism* mech_;
+  const Workload* workload_;
+  double epsilon_;
+  SideInfo side_info_;
+};
+
+Result<PlanPtr> Mechanism::Plan(const PlanContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  return PlanPtr(new PassThroughPlan(this, ctx));
+}
+
+Result<DataVector> Mechanism::Run(const RunContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckContext(ctx));
+  PlanContext pctx{ctx.data.domain(), ctx.workload, ctx.epsilon,
+                   ctx.side_info};
+  DPB_ASSIGN_OR_RETURN(PlanPtr plan, Plan(pctx));
+  ExecContext ectx{ctx.data, ctx.rng};
+  return plan->Execute(ectx);
+}
+
+Result<DataVector> Mechanism::RunImpl(const RunContext&) const {
+  return Status::Internal(name() +
+                          ": RunImpl not implemented (plan-based mechanism)");
+}
+
 Status Mechanism::CheckContext(const RunContext& ctx) const {
   if (ctx.rng == nullptr) {
     return Status::InvalidArgument(name() + ": rng must be provided");
@@ -34,6 +95,21 @@ Status Mechanism::CheckContext(const RunContext& ctx) const {
     return Status::NotSupported(
         name() + " does not support " +
         std::to_string(ctx.data.domain().num_dims()) + "-dimensional data");
+  }
+  return Status::OK();
+}
+
+Status Mechanism::CheckPlanContext(const PlanContext& ctx) const {
+  if (ctx.epsilon <= 0.0) {
+    return Status::InvalidArgument(name() + ": epsilon must be > 0");
+  }
+  if (ctx.domain.TotalCells() == 0) {
+    return Status::InvalidArgument(name() + ": empty domain");
+  }
+  if (!SupportsDims(ctx.domain.num_dims())) {
+    return Status::NotSupported(
+        name() + " does not support " +
+        std::to_string(ctx.domain.num_dims()) + "-dimensional data");
   }
   return Status::OK();
 }

@@ -1,12 +1,24 @@
 // The common interface all differentially private algorithms implement,
 // plus a registry for lookup by name (Table 1 of the paper).
 //
-// Contract: Run() consumes a true data vector and a privacy budget epsilon
-// and returns an *estimated data vector* on the same domain. Workload
-// answers are obtained by evaluating W against the estimate, which makes
-// algorithm comparison uniform (every algorithm in the paper is of this
-// form). Budget is tracked through BudgetAccountant so end-to-end privacy
+// Contract: every algorithm is exposed through a *plan-once / execute-many*
+// pipeline. Plan() consumes only data-independent inputs — (domain,
+// workload, epsilon, side info) — and produces an immutable MechanismPlan
+// holding all state derivable without looking at the data: strategy trees,
+// measurement matrices, budget allocations, transform layouts. Execute()
+// consumes (data, rng) and performs the noisy measurement + inference.
+// Run() is a thin Plan+Execute wrapper kept for call-site compatibility:
+// it consumes a true data vector and a privacy budget epsilon and returns
+// an *estimated data vector* on the same domain. Workload answers are
+// obtained by evaluating W against the estimate, which makes algorithm
+// comparison uniform (every algorithm in the paper is of this form).
+// Budget is tracked through BudgetAccountant so end-to-end privacy
 // (Principle 5) is enforced mechanically.
+//
+// Data-dependent algorithms (DAWA, MWEM, ...) cannot precompute anything
+// useful; they implement RunImpl() and inherit a pass-through plan that
+// defers all work to execution. Data-independent algorithms override
+// Plan() with a real plan and need no RunImpl.
 #ifndef DPBENCH_ALGORITHMS_MECHANISM_H_
 #define DPBENCH_ALGORITHMS_MECHANISM_H_
 
@@ -38,6 +50,63 @@ struct RunContext {
   SideInfo side_info;          ///< optional public side information
 };
 
+/// Data-independent inputs available at planning time. The workload is
+/// referenced, not copied: it must outlive any plan built from this
+/// context (the experiment engine guarantees this by owning workloads for
+/// the whole run).
+struct PlanContext {
+  const Domain& domain;        ///< geometry of the data vector
+  const Workload& workload;    ///< workload W
+  double epsilon = 0.1;        ///< total privacy budget
+  SideInfo side_info;          ///< optional public side information
+};
+
+/// Data-dependent inputs consumed at execution time.
+struct ExecContext {
+  const DataVector& data;      ///< true histogram x
+  Rng* rng = nullptr;          ///< randomness source (seeded by caller)
+};
+
+/// An immutable, reusable execution plan produced by Mechanism::Plan().
+/// Plans are safe to share across threads: Execute() is const and keeps
+/// all mutable state on the stack. A plan may retain references to the
+/// mechanism and workload it was built from; both must outlive the plan.
+class MechanismPlan {
+ public:
+  MechanismPlan(std::string mechanism_name, Domain domain)
+      : mechanism_name_(std::move(mechanism_name)),
+        domain_(std::move(domain)) {}
+  virtual ~MechanismPlan() = default;
+
+  /// Executes the planned mechanism on a concrete data vector under the
+  /// planned epsilon-DP budget; returns the estimate x-hat.
+  virtual Result<DataVector> Execute(const ExecContext& ctx) const = 0;
+
+  /// True if the plan holds real precomputed state; false for the default
+  /// pass-through plan of data-dependent algorithms (useful for cache
+  /// accounting — caching a pass-through plan saves nothing).
+  virtual bool precomputed() const { return true; }
+
+  /// Name of the mechanism that produced this plan.
+  const std::string& mechanism_name() const { return mechanism_name_; }
+
+  /// Domain the plan was built for; Execute() rejects other domains.
+  const Domain& domain() const { return domain_; }
+
+ protected:
+  /// Validates execution preconditions (rng present, data on the planned
+  /// domain). Call first in Execute() implementations.
+  Status CheckExec(const ExecContext& ctx) const;
+
+ private:
+  std::string mechanism_name_;
+  Domain domain_;
+};
+
+using PlanPtr = std::shared_ptr<const MechanismPlan>;
+
+class PassThroughPlan;
+
 /// Base class for all algorithms in the benchmark.
 class Mechanism {
  public:
@@ -56,13 +125,31 @@ class Mechanism {
   /// True if the algorithm reads SideInfo (Table 1 "Side info" column).
   virtual bool uses_side_info() const { return false; }
 
+  /// Builds a reusable plan from data-independent inputs. The default
+  /// returns a pass-through plan that defers everything to RunImpl();
+  /// data-independent algorithms override this with real precomputation.
+  /// The mechanism and ctx.workload must outlive the returned plan.
+  virtual Result<PlanPtr> Plan(const PlanContext& ctx) const;
+
   /// Executes the algorithm under epsilon-DP; returns the estimate x-hat.
-  virtual Result<DataVector> Run(const RunContext& ctx) const = 0;
+  /// Thin wrapper: builds a plan and executes it once.
+  Result<DataVector> Run(const RunContext& ctx) const;
 
  protected:
+  /// One-shot implementation hook for data-dependent algorithms (all work
+  /// happens with the data in hand). Mechanisms that override Plan() do
+  /// not implement this.
+  virtual Result<DataVector> RunImpl(const RunContext& ctx) const;
+
   /// Validates common preconditions (positive epsilon, rng present,
-  /// dimensionality supported). Call first in Run() implementations.
+  /// dimensionality supported). Call first in RunImpl() implementations.
   Status CheckContext(const RunContext& ctx) const;
+
+  /// Validates planning preconditions (positive epsilon, non-empty domain
+  /// of a supported dimensionality). Call first in Plan() overrides.
+  Status CheckPlanContext(const PlanContext& ctx) const;
+
+  friend class PassThroughPlan;
 };
 
 using MechanismPtr = std::shared_ptr<const Mechanism>;

@@ -34,7 +34,7 @@ size_t MwemMechanism::TunedRounds(double eps_scale_product) {
   return 100;
 }
 
-Result<DataVector> MwemMechanism::Run(const RunContext& ctx) const {
+Result<DataVector> MwemMechanism::RunImpl(const RunContext& ctx) const {
   DPB_RETURN_NOT_OK(CheckContext(ctx));
   const Domain& domain = ctx.data.domain();
   const size_t n = ctx.data.size();

@@ -25,7 +25,7 @@ double DevCost(const std::vector<double>& counts, size_t lo, size_t hi) {
 
 }  // namespace
 
-Result<DataVector> PhpMechanism::Run(const RunContext& ctx) const {
+Result<DataVector> PhpMechanism::RunImpl(const RunContext& ctx) const {
   DPB_RETURN_NOT_OK(CheckContext(ctx));
   const std::vector<double>& counts = ctx.data.counts();
   const size_t n = counts.size();

@@ -25,7 +25,10 @@ class PhpMechanism : public Mechanism {
 
   std::string name() const override { return "PHP"; }
   bool SupportsDims(size_t dims) const override { return dims == 1; }
-  Result<DataVector> Run(const RunContext& ctx) const override;
+ protected:
+  Result<DataVector> RunImpl(const RunContext& ctx) const override;
+
+ public:
 
  private:
   double rho_;

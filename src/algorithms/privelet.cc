@@ -67,56 +67,90 @@ std::vector<double> PadPow2(const std::vector<double>& x) {
 
 }  // namespace
 
-Result<DataVector> PriveletMechanism::Run(const RunContext& ctx) const {
-  DPB_RETURN_NOT_OK(CheckContext(ctx));
-  const Domain& domain = ctx.data.domain();
+namespace {
 
-  if (domain.num_dims() == 1) {
+// Plan-time state of the wavelet mechanism: padded transform geometry and
+// the per-coefficient Laplace noise scale (the L1 sensitivity of the
+// transform divided by epsilon). Both depend only on the domain.
+class PriveletPlan : public MechanismPlan {
+ public:
+  PriveletPlan(std::string name, Domain domain, double noise_scale)
+      : MechanismPlan(std::move(name), std::move(domain)),
+        noise_scale_(noise_scale) {}
+
+  Result<DataVector> Execute(const ExecContext& ctx) const override {
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    if (domain().num_dims() == 1) return Execute1D(ctx);
+    return Execute2D(ctx);
+  }
+
+ private:
+  Result<DataVector> Execute1D(const ExecContext& ctx) const {
     std::vector<double> padded = PadPow2(ctx.data.counts());
-    double sensitivity = 1.0 + static_cast<double>(FloorLog2(padded.size()));
     std::vector<double> coef = wavelet::HaarForward(padded);
     for (double& c : coef) {
-      c += ctx.rng->Laplace(sensitivity / ctx.epsilon);
+      c += ctx.rng->Laplace(noise_scale_);
     }
     std::vector<double> rec = wavelet::HaarInverse(coef);
     rec.resize(ctx.data.size());
-    return DataVector(domain, std::move(rec));
+    return DataVector(domain(), std::move(rec));
   }
 
-  // 2D separable transform: rows, then columns.
-  size_t rows = domain.size(0), cols = domain.size(1);
-  size_t prow = NextPowerOfTwo(rows), pcol = NextPowerOfTwo(cols);
-  std::vector<std::vector<double>> grid(prow, std::vector<double>(pcol, 0.0));
-  for (size_t r = 0; r < rows; ++r) {
-    for (size_t c = 0; c < cols; ++c) grid[r][c] = ctx.data[r * cols + c];
-  }
-  for (size_t r = 0; r < prow; ++r) grid[r] = wavelet::HaarForward(grid[r]);
-  for (size_t c = 0; c < pcol; ++c) {
-    std::vector<double> col(prow);
-    for (size_t r = 0; r < prow; ++r) col[r] = grid[r][c];
-    col = wavelet::HaarForward(col);
-    for (size_t r = 0; r < prow; ++r) grid[r][c] = col[r];
-  }
-  double sensitivity = (1.0 + static_cast<double>(FloorLog2(prow))) *
-                       (1.0 + static_cast<double>(FloorLog2(pcol)));
-  for (size_t r = 0; r < prow; ++r) {
-    for (size_t c = 0; c < pcol; ++c) {
-      grid[r][c] += ctx.rng->Laplace(sensitivity / ctx.epsilon);
+  Result<DataVector> Execute2D(const ExecContext& ctx) const {
+    // 2D separable transform: rows, then columns.
+    size_t rows = domain().size(0), cols = domain().size(1);
+    size_t prow = NextPowerOfTwo(rows), pcol = NextPowerOfTwo(cols);
+    std::vector<std::vector<double>> grid(prow,
+                                          std::vector<double>(pcol, 0.0));
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) grid[r][c] = ctx.data[r * cols + c];
     }
-  }
-  for (size_t c = 0; c < pcol; ++c) {
-    std::vector<double> col(prow);
-    for (size_t r = 0; r < prow; ++r) col[r] = grid[r][c];
-    col = wavelet::HaarInverse(col);
-    for (size_t r = 0; r < prow; ++r) grid[r][c] = col[r];
-  }
-  for (size_t r = 0; r < prow; ++r) grid[r] = wavelet::HaarInverse(grid[r]);
+    for (size_t r = 0; r < prow; ++r) grid[r] = wavelet::HaarForward(grid[r]);
+    for (size_t c = 0; c < pcol; ++c) {
+      std::vector<double> col(prow);
+      for (size_t r = 0; r < prow; ++r) col[r] = grid[r][c];
+      col = wavelet::HaarForward(col);
+      for (size_t r = 0; r < prow; ++r) grid[r][c] = col[r];
+    }
+    for (size_t r = 0; r < prow; ++r) {
+      for (size_t c = 0; c < pcol; ++c) {
+        grid[r][c] += ctx.rng->Laplace(noise_scale_);
+      }
+    }
+    for (size_t c = 0; c < pcol; ++c) {
+      std::vector<double> col(prow);
+      for (size_t r = 0; r < prow; ++r) col[r] = grid[r][c];
+      col = wavelet::HaarInverse(col);
+      for (size_t r = 0; r < prow; ++r) grid[r][c] = col[r];
+    }
+    for (size_t r = 0; r < prow; ++r) grid[r] = wavelet::HaarInverse(grid[r]);
 
-  DataVector out(domain);
-  for (size_t r = 0; r < rows; ++r) {
-    for (size_t c = 0; c < cols; ++c) out[r * cols + c] = grid[r][c];
+    DataVector out(domain());
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) out[r * cols + c] = grid[r][c];
+    }
+    return out;
   }
-  return out;
+
+  double noise_scale_;
+};
+
+}  // namespace
+
+Result<PlanPtr> PriveletMechanism::Plan(const PlanContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  double sensitivity;
+  if (ctx.domain.num_dims() == 1) {
+    size_t padded = NextPowerOfTwo(ctx.domain.TotalCells());
+    sensitivity = 1.0 + static_cast<double>(FloorLog2(padded));
+  } else {
+    size_t prow = NextPowerOfTwo(ctx.domain.size(0));
+    size_t pcol = NextPowerOfTwo(ctx.domain.size(1));
+    sensitivity = (1.0 + static_cast<double>(FloorLog2(prow))) *
+                  (1.0 + static_cast<double>(FloorLog2(pcol)));
+  }
+  return PlanPtr(
+      new PriveletPlan(name(), ctx.domain, sensitivity / ctx.epsilon));
 }
 
 }  // namespace dpbench

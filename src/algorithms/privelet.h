@@ -21,7 +21,7 @@ class PriveletMechanism : public Mechanism {
     return dims == 1 || dims == 2;
   }
   bool data_independent() const override { return true; }
-  Result<DataVector> Run(const RunContext& ctx) const override;
+  Result<PlanPtr> Plan(const PlanContext& ctx) const override;
 };
 
 namespace wavelet {

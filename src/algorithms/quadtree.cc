@@ -1,33 +1,23 @@
 #include "src/algorithms/quadtree.h"
 
 #include <cmath>
+#include <utility>
 
-#include "src/algorithms/tree_inference.h"
-#include "src/mechanisms/laplace.h"
+#include "src/algorithms/grid_tree_plan.h"
 
 namespace dpbench {
 
-namespace {
-
-struct QNode {
-  size_t r0, r1, c0, c1;  // inclusive
-  std::vector<size_t> children;
-  int level;
-};
-
-}  // namespace
-
-Result<DataVector> QuadTreeMechanism::Run(const RunContext& ctx) const {
-  DPB_RETURN_NOT_OK(CheckContext(ctx));
-  const Domain& domain = ctx.data.domain();
-  size_t rows = domain.size(0), cols = domain.size(1);
+Result<PlanPtr> QuadTreeMechanism::Plan(const PlanContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  size_t rows = ctx.domain.size(0), cols = ctx.domain.size(1);
+  using grid_internal::GridRect;
 
   // Build the quadtree to the height cap (or single cells).
-  std::vector<QNode> nodes;
+  std::vector<GridRect> nodes;
   nodes.push_back({0, rows - 1, 0, cols - 1, {}, 0});
   int depth = 0;
   for (size_t v = 0; v < nodes.size(); ++v) {
-    QNode node = nodes[v];
+    GridRect node = nodes[v];
     depth = std::max(depth, node.level);
     if (static_cast<size_t>(node.level) + 1 >= max_height_) continue;
     size_t h = node.r1 - node.r0 + 1, w = node.c1 - node.c0 + 1;
@@ -64,32 +54,8 @@ Result<DataVector> QuadTreeMechanism::Run(const RunContext& ctx) const {
     eps[l] = ctx.epsilon * weight[l] / total_w;
   }
 
-  // Measure every node; GLS for consistency.
-  PrefixSums ps(ctx.data);
-  std::vector<MeasurementNode> mnodes(nodes.size());
-  for (size_t v = 0; v < nodes.size(); ++v) {
-    const QNode& node = nodes[v];
-    mnodes[v].children = node.children;
-    double e = eps[node.level];
-    double truth = ps.RangeSum({node.r0, node.c0}, {node.r1, node.c1});
-    mnodes[v].y = truth + ctx.rng->Laplace(1.0 / e);
-    mnodes[v].variance = LaplaceVariance(1.0, e);
-  }
-  DPB_ASSIGN_OR_RETURN(std::vector<double> est, TreeGlsInfer(mnodes, 0));
-
-  DataVector out(domain);
-  for (size_t v = 0; v < nodes.size(); ++v) {
-    const QNode& node = nodes[v];
-    if (!node.children.empty()) continue;
-    double area = static_cast<double>((node.r1 - node.r0 + 1) *
-                                      (node.c1 - node.c0 + 1));
-    for (size_t r = node.r0; r <= node.r1; ++r) {
-      for (size_t c = node.c0; c <= node.c1; ++c) {
-        out[r * cols + c] = est[v] / area;
-      }
-    }
-  }
-  return out;
+  return PlanPtr(new grid_internal::GridTreePlan(
+      name(), ctx.domain, std::move(nodes), std::move(eps)));
 }
 
 }  // namespace dpbench

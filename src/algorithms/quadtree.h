@@ -23,7 +23,7 @@ class QuadTreeMechanism : public Mechanism {
 
   std::string name() const override { return "QUADTREE"; }
   bool SupportsDims(size_t dims) const override { return dims == 2; }
-  Result<DataVector> Run(const RunContext& ctx) const override;
+  Result<PlanPtr> Plan(const PlanContext& ctx) const override;
 
  private:
   size_t max_height_;

@@ -36,7 +36,7 @@ class SseCalculator {
 
 }  // namespace
 
-Result<DataVector> SfMechanism::Run(const RunContext& ctx) const {
+Result<DataVector> SfMechanism::RunImpl(const RunContext& ctx) const {
   DPB_RETURN_NOT_OK(CheckContext(ctx));
   const std::vector<double>& counts = ctx.data.counts();
   const size_t n = counts.size();

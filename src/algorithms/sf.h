@@ -26,7 +26,10 @@ class SfMechanism : public Mechanism {
   std::string name() const override { return "SF"; }
   bool SupportsDims(size_t dims) const override { return dims == 1; }
   bool uses_side_info() const override { return true; }
-  Result<DataVector> Run(const RunContext& ctx) const override;
+ protected:
+  Result<DataVector> RunImpl(const RunContext& ctx) const override;
+
+ public:
 
  private:
   double rho_;

@@ -114,6 +114,139 @@ Result<std::vector<double>> TreeGlsInfer(
   return est;
 }
 
+Result<PlannedTreeGls> PlannedTreeGls::Build(
+    const std::vector<MeasurementNode>& nodes, size_t root) {
+  if (root >= nodes.size()) {
+    return Status::InvalidArgument("root out of range");
+  }
+  const size_t n = nodes.size();
+  PlannedTreeGls plan;
+  plan.root_ = root;
+  plan.order_.reserve(n);
+  std::deque<size_t> queue{root};
+  while (!queue.empty()) {
+    size_t v = queue.front();
+    queue.pop_front();
+    plan.order_.push_back(v);
+    for (size_t c : nodes[v].children) {
+      if (c >= nodes.size()) {
+        return Status::InvalidArgument("child index out of range");
+      }
+      queue.push_back(c);
+    }
+  }
+  plan.child_start_.assign(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) {
+    plan.child_start_[v + 1] = plan.child_start_[v] + nodes[v].children.size();
+  }
+  plan.children_.reserve(plan.child_start_[n]);
+  for (size_t v = 0; v < n; ++v) {
+    plan.children_.insert(plan.children_.end(), nodes[v].children.begin(),
+                          nodes[v].children.end());
+  }
+
+  // Bottom-up structure analysis, mirroring TreeGlsInfer but tracking only
+  // variances; the data-dependent z recursion is captured in (a, b).
+  std::vector<double> s(n, kUnmeasured);  // aggregated subtree variance
+  plan.a_.assign(n, 0.0);
+  plan.b_.assign(n, 0.0);
+  for (auto it = plan.order_.rbegin(); it != plan.order_.rend(); ++it) {
+    size_t v = *it;
+    double own_s = nodes[v].variance;
+    bool own_measured = !std::isinf(own_s);
+    if (nodes[v].children.empty()) {
+      plan.a_[v] = own_measured ? 1.0 : 0.0;
+      s[v] = own_s;
+      continue;
+    }
+    double sc = 0.0;
+    bool child_inf = false;
+    for (size_t c : nodes[v].children) {
+      if (std::isinf(s[c])) {
+        child_inf = true;
+      } else {
+        sc += s[c];
+      }
+    }
+    if (child_inf) {
+      // Children sum is uninformative; fall back to the own measurement.
+      plan.a_[v] = own_measured ? 1.0 : 0.0;
+      s[v] = own_s;
+    } else if (!own_measured) {
+      plan.b_[v] = 1.0;
+      s[v] = sc;
+    } else if (sc <= 0.0) {
+      // Children exact: they dominate.
+      plan.b_[v] = 1.0;
+      s[v] = 0.0;
+    } else {
+      double w_own = 1.0 / own_s;
+      double w_kids = 1.0 / sc;
+      plan.a_[v] = w_own / (w_own + w_kids);
+      plan.b_[v] = w_kids / (w_own + w_kids);
+      s[v] = 1.0 / (w_own + w_kids);
+    }
+  }
+
+  // Top-down residual shares per child, resolving TreeGlsInfer's three
+  // distribution modes into one coefficient.
+  plan.r_.assign(n, 0.0);
+  for (size_t v = 0; v < n; ++v) {
+    const std::vector<size_t>& kids = nodes[v].children;
+    if (kids.empty()) continue;
+    double var_sum = 0.0;
+    size_t num_inf = 0;
+    for (size_t c : kids) {
+      if (std::isinf(s[c])) {
+        ++num_inf;
+      } else {
+        var_sum += s[c];
+      }
+    }
+    for (size_t c : kids) {
+      if (num_inf > 0) {
+        plan.r_[c] = std::isinf(s[c])
+                         ? 1.0 / static_cast<double>(num_inf)
+                         : 0.0;
+      } else if (var_sum <= 0.0) {
+        plan.r_[c] = 1.0 / static_cast<double>(kids.size());
+      } else {
+        plan.r_[c] = s[c] / var_sum;
+      }
+    }
+  }
+  return plan;
+}
+
+std::vector<double> PlannedTreeGls::InferNodes(
+    const std::vector<double>& y) const {
+  const size_t n = a_.size();
+  DPB_CHECK_EQ(y.size(), n);
+  std::vector<double> z(n, 0.0);
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    size_t v = *it;
+    double zc = 0.0;
+    for (size_t k = child_start_[v]; k < child_start_[v + 1]; ++k) {
+      zc += z[children_[k]];
+    }
+    z[v] = a_[v] * y[v] + b_[v] * zc;
+  }
+  std::vector<double> est(n, 0.0);
+  est[root_] = z[root_];
+  for (size_t v : order_) {
+    size_t begin = child_start_[v], end = child_start_[v + 1];
+    if (begin == end) continue;
+    double child_sum = 0.0;
+    for (size_t k = begin; k < end; ++k) child_sum += z[children_[k]];
+    double residual = est[v] - child_sum;
+    for (size_t k = begin; k < end; ++k) {
+      size_t c = children_[k];
+      est[c] = z[c] + residual * r_[c];
+    }
+  }
+  return est;
+}
+
 RangeTree RangeTree::Build(size_t n, size_t branching) {
   DPB_CHECK_GE(n, 1u);
   DPB_CHECK_GE(branching, 2u);

@@ -41,6 +41,42 @@ struct MeasurementNode {
 Result<std::vector<double>> TreeGlsInfer(
     const std::vector<MeasurementNode>& nodes, size_t root);
 
+/// Plan-once form of TreeGlsInfer. The GLS combination weights of the
+/// two-pass solver depend only on the tree topology and the measurement
+/// variances — never on the measurements themselves — so for a fixed
+/// (tree, variance profile) they can be folded into per-node linear
+/// coefficients once:
+///
+///   bottom-up:  z_v = a_v * y_v + b_v * sum_c z_c
+///   top-down:   est_c = z_c + (est_v - sum z_c) * r_c
+///
+/// Build() resolves every special case of TreeGlsInfer (unmeasured nodes,
+/// exact children, unconstrained subtrees) into (a, b, r); InferNodes()
+/// is then two allocation-light passes over flat arrays. Mechanism plans
+/// build this once and reuse it across thousands of noisy trials.
+class PlannedTreeGls {
+ public:
+  /// `nodes` supplies topology + variances; y values are ignored.
+  static Result<PlannedTreeGls> Build(
+      const std::vector<MeasurementNode>& nodes, size_t root);
+
+  /// GLS node estimates for one set of measurements (one entry per node;
+  /// entries of unmeasured nodes are ignored). Result matches
+  /// TreeGlsInfer on the same inputs.
+  std::vector<double> InferNodes(const std::vector<double>& y) const;
+
+  size_t num_nodes() const { return a_.size(); }
+
+ private:
+  std::vector<size_t> order_;        // BFS from root, parents first
+  std::vector<size_t> child_start_;  // CSR offsets, size num_nodes + 1
+  std::vector<size_t> children_;     // flat child ids, CSR layout
+  std::vector<double> a_;            // own-measurement weight per node
+  std::vector<double> b_;            // children-sum weight per node
+  std::vector<double> r_;            // residual share per node (as child)
+  size_t root_ = 0;
+};
+
 /// A complete hierarchy over a 1D range of n cells with branching factor b:
 /// leaves are single cells in order; internal nodes own contiguous ranges.
 /// Helper used by H, HB, GREEDY_H, DAWA and SF.

@@ -13,51 +13,89 @@ size_t UGridMechanism::GridSize(double scale, double epsilon, double c) {
   return std::max<size_t>(10, static_cast<size_t>(std::lround(m)));
 }
 
-Result<DataVector> UGridMechanism::Run(const RunContext& ctx) const {
-  DPB_RETURN_NOT_OK(CheckContext(ctx));
-  const Domain& domain = ctx.data.domain();
-  size_t rows = domain.size(0), cols = domain.size(1);
+namespace {
 
-  BudgetAccountant budget(ctx.epsilon);
-  double scale;
-  if (ctx.side_info.true_scale.has_value()) {
-    scale = *ctx.side_info.true_scale;
-  } else {
-    double rho_total = 0.05 * ctx.epsilon;
-    DPB_RETURN_NOT_OK(budget.Spend(rho_total, "scale-estimate"));
-    DPB_ASSIGN_OR_RETURN(
-        scale, LaplaceMechanismScalar(ctx.data.Scale(), 1.0, rho_total,
-                                      ctx.rng));
-    scale = std::max(scale, 1.0);
-  }
-  double eps = budget.remaining();
-  DPB_RETURN_NOT_OK(budget.Spend(eps, "grid-counts"));
+// When the true scale is public side information (the benchmark default,
+// Table 1), the grid resolution m is data-independent and is chosen at
+// plan time. Without it, resolution selection spends budget on a private
+// scale estimate and must defer to execution (m_ unset).
+class UGridPlan : public MechanismPlan {
+ public:
+  UGridPlan(std::string name, Domain domain, double epsilon, double c,
+            std::optional<size_t> m)
+      : MechanismPlan(std::move(name), std::move(domain)),
+        epsilon_(epsilon),
+        c_(c),
+        m_(m) {}
 
-  size_t m = GridSize(scale, eps, c_);
-  m = std::min({m, rows, cols});
-  m = std::max<size_t>(m, 1);
+  bool precomputed() const override { return m_.has_value(); }
 
-  // Equi-width m x m grid; grid cell (gr, gc) covers row range
-  // [gr*rows/m, (gr+1)*rows/m) and analogously for columns.
-  auto row_lo = [&](size_t g) { return g * rows / m; };
-  auto col_lo = [&](size_t g) { return g * cols / m; };
-  PrefixSums ps(ctx.data);
-  DataVector out(domain);
-  for (size_t gr = 0; gr < m; ++gr) {
-    size_t r0 = row_lo(gr), r1 = row_lo(gr + 1) - 1;
-    for (size_t gc = 0; gc < m; ++gc) {
-      size_t c0 = col_lo(gc), c1 = col_lo(gc + 1) - 1;
-      double truth = ps.RangeSum({r0, c0}, {r1, c1});
-      double noisy = truth + ctx.rng->Laplace(1.0 / eps);
-      double area = static_cast<double>((r1 - r0 + 1) * (c1 - c0 + 1));
-      for (size_t r = r0; r <= r1; ++r) {
-        for (size_t c = c0; c <= c1; ++c) {
-          out[r * cols + c] = noisy / area;
+  Result<DataVector> Execute(const ExecContext& ctx) const override {
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    size_t rows = domain().size(0), cols = domain().size(1);
+
+    size_t m;
+    double eps;
+    if (m_.has_value()) {
+      m = *m_;
+      eps = epsilon_;  // full budget goes to grid counts
+    } else {
+      BudgetAccountant budget(epsilon_);
+      double rho_total = 0.05 * epsilon_;
+      DPB_RETURN_NOT_OK(budget.Spend(rho_total, "scale-estimate"));
+      DPB_ASSIGN_OR_RETURN(
+          double scale, LaplaceMechanismScalar(ctx.data.Scale(), 1.0,
+                                               rho_total, ctx.rng));
+      scale = std::max(scale, 1.0);
+      eps = budget.remaining();
+      DPB_RETURN_NOT_OK(budget.Spend(eps, "grid-counts"));
+      m = UGridMechanism::GridSize(scale, eps, c_);
+      m = std::min({m, rows, cols});
+      m = std::max<size_t>(m, 1);
+    }
+
+    // Equi-width m x m grid; grid cell (gr, gc) covers row range
+    // [gr*rows/m, (gr+1)*rows/m) and analogously for columns.
+    auto row_lo = [&](size_t g) { return g * rows / m; };
+    auto col_lo = [&](size_t g) { return g * cols / m; };
+    PrefixSums ps(ctx.data);
+    DataVector out(domain());
+    for (size_t gr = 0; gr < m; ++gr) {
+      size_t r0 = row_lo(gr), r1 = row_lo(gr + 1) - 1;
+      for (size_t gc = 0; gc < m; ++gc) {
+        size_t c0 = col_lo(gc), c1 = col_lo(gc + 1) - 1;
+        double truth = ps.RangeSum({r0, c0}, {r1, c1});
+        double noisy = truth + ctx.rng->Laplace(1.0 / eps);
+        double area = static_cast<double>((r1 - r0 + 1) * (c1 - c0 + 1));
+        for (size_t r = r0; r <= r1; ++r) {
+          for (size_t c = c0; c <= c1; ++c) {
+            out[r * cols + c] = noisy / area;
+          }
         }
       }
     }
+    return out;
   }
-  return out;
+
+ private:
+  double epsilon_;
+  double c_;
+  std::optional<size_t> m_;
+};
+
+}  // namespace
+
+Result<PlanPtr> UGridMechanism::Plan(const PlanContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  std::optional<size_t> m;
+  if (ctx.side_info.true_scale.has_value()) {
+    size_t rows = ctx.domain.size(0), cols = ctx.domain.size(1);
+    size_t res = GridSize(*ctx.side_info.true_scale, ctx.epsilon, c_);
+    res = std::min({res, rows, cols});
+    res = std::max<size_t>(res, 1);
+    m = res;
+  }
+  return PlanPtr(new UGridPlan(name(), ctx.domain, ctx.epsilon, c_, m));
 }
 
 }  // namespace dpbench

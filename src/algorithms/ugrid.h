@@ -20,7 +20,7 @@ class UGridMechanism : public Mechanism {
   std::string name() const override { return "UGRID"; }
   bool SupportsDims(size_t dims) const override { return dims == 2; }
   bool uses_side_info() const override { return true; }
-  Result<DataVector> Run(const RunContext& ctx) const override;
+  Result<PlanPtr> Plan(const PlanContext& ctx) const override;
 
   /// Grid resolution rule m = max(10, sqrt(N*eps/c)) (exposed for tests).
   static size_t GridSize(double scale, double epsilon, double c);

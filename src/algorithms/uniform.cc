@@ -4,17 +4,36 @@
 
 namespace dpbench {
 
-Result<DataVector> UniformMechanism::Run(const RunContext& ctx) const {
-  DPB_RETURN_NOT_OK(CheckContext(ctx));
-  DPB_ASSIGN_OR_RETURN(
-      double total,
-      LaplaceMechanismScalar(ctx.data.Scale(), /*sensitivity=*/1.0,
-                             ctx.epsilon, ctx.rng));
-  size_t n = ctx.data.size();
-  DataVector out(ctx.data.domain());
-  double per_cell = total / static_cast<double>(n);
-  for (size_t i = 0; i < n; ++i) out[i] = per_cell;
-  return out;
+namespace {
+
+class UniformPlan : public MechanismPlan {
+ public:
+  UniformPlan(std::string name, Domain domain, double epsilon)
+      : MechanismPlan(std::move(name), std::move(domain)),
+        epsilon_(epsilon) {}
+
+  Result<DataVector> Execute(const ExecContext& ctx) const override {
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    DPB_ASSIGN_OR_RETURN(
+        double total,
+        LaplaceMechanismScalar(ctx.data.Scale(), /*sensitivity=*/1.0,
+                               epsilon_, ctx.rng));
+    size_t n = ctx.data.size();
+    DataVector out(domain());
+    double per_cell = total / static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) out[i] = per_cell;
+    return out;
+  }
+
+ private:
+  double epsilon_;
+};
+
+}  // namespace
+
+Result<PlanPtr> UniformMechanism::Plan(const PlanContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  return PlanPtr(new UniformPlan(name(), ctx.domain, ctx.epsilon));
 }
 
 }  // namespace dpbench

@@ -11,7 +11,7 @@ class UniformMechanism : public Mechanism {
  public:
   std::string name() const override { return "UNIFORM"; }
   bool SupportsDims(size_t) const override { return true; }
-  Result<DataVector> Run(const RunContext& ctx) const override;
+  Result<PlanPtr> Plan(const PlanContext& ctx) const override;
 };
 
 }  // namespace dpbench

@@ -1,15 +1,18 @@
 #include "src/engine/runner.h"
 
-#include <atomic>
+#include <chrono>
+#include <memory>
 #include <mutex>
+#include <set>
 #include <sstream>
-#include <thread>
 #include <tuple>
+#include <utility>
 
 #include "src/algorithms/mechanism.h"
 #include "src/data/datasets.h"
 #include "src/data/sampler.h"
 #include "src/engine/error.h"
+#include "src/engine/thread_pool.h"
 
 namespace dpbench {
 
@@ -26,6 +29,12 @@ uint64_t StreamSeed(uint64_t master, const std::string& label) {
     h *= 1099511628211ULL;
   }
   return h;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 
 }  // namespace
@@ -57,22 +66,45 @@ Workload MakeWorkload(WorkloadKind kind, const Domain& domain,
 }
 
 Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
-                                            ProgressFn progress) {
+                                            ProgressFn progress,
+                                            RunDiagnostics* diagnostics) {
   struct SharedInput {
-    Workload workload;
+    std::shared_ptr<const Workload> workload;
     std::vector<DataVector> samples;
     std::vector<std::vector<double>> true_answers;
   };
   struct CellTask {
     ConfigKey key;
     const SharedInput* input = nullptr;
+    std::string plan_key;
   };
+
+  // Phase 0: resolve the algorithm list against the registry exactly once
+  // (one lookup per algorithm, not one per grid cell).
+  std::map<std::string, MechanismPtr> mechanisms;
+  for (const std::string& algo : config.algorithms) {
+    if (mechanisms.count(algo)) continue;
+    DPB_ASSIGN_OR_RETURN(MechanismPtr mech, MechanismRegistry::Get(algo));
+    mechanisms.emplace(algo, std::move(mech));
+  }
 
   // Phase 1 (sequential): draw the data vectors per (dataset, domain,
   // scale) so all algorithms and epsilons see identical samples — the
-  // paper's controlled-comparison requirement.
+  // paper's controlled-comparison requirement. Workloads are shared per
+  // domain; plans per (algorithm, domain, epsilon [, scale]).
   std::vector<std::unique_ptr<SharedInput>> inputs;
   std::vector<CellTask> tasks;
+  std::map<std::string, std::shared_ptr<const Workload>> workload_cache;
+  struct PlanRequest {
+    MechanismPtr mech;
+    const SharedInput* input = nullptr;
+    double epsilon = 0.0;
+    SideInfo side_info;
+  };
+  std::map<std::string, PlanRequest> plan_requests;
+  std::set<std::tuple<std::string, std::string, size_t>> skipped_seen;
+  std::vector<SkippedCombo> skipped;
+
   for (const std::string& dataset : config.datasets) {
     DPB_ASSIGN_OR_RETURN(DatasetInfo info, DatasetRegistry::Info(dataset));
     (void)info;
@@ -80,8 +112,19 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
       DPB_ASSIGN_OR_RETURN(
           DataVector shape,
           DatasetRegistry::ShapeAtDomain(dataset, domain_size));
-      Workload workload = MakeWorkload(config.workload, shape.domain(),
-                                       config.random_queries, config.seed);
+      const Domain& domain = shape.domain();
+      std::string domain_tag = domain.ToString();
+      auto workload_it = workload_cache.find(domain_tag);
+      if (workload_it == workload_cache.end()) {
+        workload_it =
+            workload_cache
+                .emplace(domain_tag,
+                         std::make_shared<const Workload>(MakeWorkload(
+                             config.workload, domain, config.random_queries,
+                             config.seed)))
+                .first;
+      }
+      std::shared_ptr<const Workload> workload = workload_it->second;
       for (uint64_t scale : config.scales) {
         std::ostringstream label;
         label << "data/" << dataset << "/" << domain_size << "/" << scale;
@@ -91,18 +134,46 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
         for (size_t s = 0; s < config.data_samples; ++s) {
           DPB_ASSIGN_OR_RETURN(DataVector x,
                                SampleAtScale(shape, scale, &data_rng));
-          input->true_answers.push_back(input->workload.Evaluate(x));
           input->samples.push_back(std::move(x));
         }
+        input->true_answers = workload->EvaluateAll(input->samples);
         for (double eps : config.epsilons) {
           for (const std::string& algo : config.algorithms) {
-            DPB_ASSIGN_OR_RETURN(MechanismPtr mech,
-                                 MechanismRegistry::Get(algo));
-            if (!mech->SupportsDims(shape.domain().num_dims())) {
-              continue;  // e.g. PHP on 2D: silently out of scope
+            const MechanismPtr& mech = mechanisms.at(algo);
+            if (!mech->SupportsDims(domain.num_dims())) {
+              // e.g. PHP on 2D: out of scope, but surfaced in diagnostics
+              // rather than dropped without trace.
+              if (skipped_seen.emplace(algo, dataset, domain_size).second) {
+                skipped.push_back(
+                    {algo, dataset, domain_size, domain.num_dims(),
+                     "unsupported dimensionality (" +
+                         std::to_string(domain.num_dims()) + "D)"});
+              }
+              continue;
             }
-            tasks.push_back(
-                {{algo, dataset, scale, domain_size, eps}, input.get()});
+            SideInfo side_info;
+            if (config.provide_true_scale) {
+              side_info.true_scale = static_cast<double>(scale);
+            }
+            // Plans depend on (algorithm, domain, epsilon) — plus the
+            // scale when the mechanism consumes it as side information.
+            // Epsilon is keyed at full precision: the default 6-digit
+            // formatting would collide near-equal epsilons from generated
+            // sweeps onto one plan (silently wrong noise scale).
+            std::ostringstream plan_key;
+            plan_key.precision(17);
+            plan_key << algo << "|" << domain_tag << "|eps=" << eps;
+            if (mech->uses_side_info() && side_info.true_scale) {
+              plan_key << "|scale=" << scale;
+            }
+            auto [it, inserted] = plan_requests.emplace(
+                plan_key.str(),
+                PlanRequest{mech, input.get(), eps, side_info});
+            (void)it;
+            (void)inserted;
+            tasks.push_back({{algo, dataset, scale, domain_size, eps},
+                             input.get(),
+                             plan_key.str()});
           }
         }
         inputs.push_back(std::move(input));
@@ -110,37 +181,65 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
     }
   }
 
-  // Phase 2: execute cells (independently seeded, hence parallelizable).
+  size_t threads = std::max<size_t>(config.threads, 1);
+  WorkStealingPool pool(threads);
+
+  // Phase 2a: build every unique plan once. Planning is deterministic (it
+  // never draws randomness), so building plans concurrently cannot change
+  // results.
+  auto plan_start = std::chrono::steady_clock::now();
+  std::vector<std::pair<const std::string*, const PlanRequest*>> plan_order;
+  plan_order.reserve(plan_requests.size());
+  for (const auto& [key, req] : plan_requests) {
+    plan_order.emplace_back(&key, &req);
+  }
+  std::map<std::string, PlanPtr> plan_cache;
+  std::vector<PlanPtr> built_plans(plan_order.size());
+  std::vector<Status> plan_failures(plan_order.size(), Status::OK());
+  pool.ParallelFor(plan_order.size(), [&](size_t i) {
+    const PlanRequest& req = *plan_order[i].second;
+    PlanContext pctx{req.input->workload->domain(), *req.input->workload,
+                     req.epsilon, req.side_info};
+    auto plan_or = req.mech->Plan(pctx);
+    if (!plan_or.ok()) {
+      plan_failures[i] = plan_or.status();
+      return;
+    }
+    built_plans[i] = std::move(plan_or).value();
+  });
+  for (const Status& st : plan_failures) {
+    DPB_RETURN_NOT_OK(st);
+  }
+  for (size_t i = 0; i < plan_order.size(); ++i) {
+    plan_cache.emplace(*plan_order[i].first, std::move(built_plans[i]));
+  }
+  double plan_seconds = SecondsSince(plan_start);
+
+  // Phase 2b: execute cells (independently seeded, hence parallelizable).
+  auto exec_start = std::chrono::steady_clock::now();
   std::vector<CellResult> out(tasks.size());
   std::vector<Status> failures(tasks.size(), Status::OK());
-  std::atomic<size_t> next{0};
   std::mutex progress_mu;
 
   auto run_cell = [&](size_t idx) {
     const CellTask& task = tasks[idx];
-    auto mech_or = MechanismRegistry::Get(task.key.algorithm);
-    if (!mech_or.ok()) {
-      failures[idx] = mech_or.status();
-      return;
-    }
-    MechanismPtr mech = std::move(mech_or).value();
+    const PlanPtr& plan = plan_cache.at(task.plan_key);
     CellResult cell;
     cell.key = task.key;
+    cell.errors.reserve(task.input->samples.size() *
+                        config.runs_per_sample);
     Rng run_rng(StreamSeed(config.seed, "run/" + task.key.ToString()));
+    std::vector<double> y_hat;
     for (size_t s = 0; s < task.input->samples.size(); ++s) {
       const DataVector& x = task.input->samples[s];
       for (size_t r = 0; r < config.runs_per_sample; ++r) {
-        RunContext ctx{x, task.input->workload, task.key.epsilon, &run_rng,
-                       {}};
-        if (config.provide_true_scale) {
-          ctx.side_info.true_scale = x.Scale();
-        }
-        auto est = mech->Run(ctx);
+        ExecContext ectx{x, &run_rng};
+        auto est = plan->Execute(ectx);
         if (!est.ok()) {
           failures[idx] = est.status();
           return;
         }
-        std::vector<double> y_hat = task.input->workload.Evaluate(*est);
+        task.input->workload->EvaluateInto(*est, &y_hat);
         auto err = ScaledL2PerQueryError(task.input->true_answers[s], y_hat,
                                          x.Scale());
         if (!err.ok()) {
@@ -163,23 +262,24 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
     out[idx] = std::move(cell);
   };
 
-  size_t threads = std::max<size_t>(config.threads, 1);
-  if (threads == 1) {
-    for (size_t i = 0; i < tasks.size(); ++i) run_cell(i);
-  } else {
-    std::vector<std::thread> pool;
-    for (size_t t = 0; t < threads; ++t) {
-      pool.emplace_back([&] {
-        for (size_t i = next.fetch_add(1); i < tasks.size();
-             i = next.fetch_add(1)) {
-          run_cell(i);
-        }
-      });
-    }
-    for (std::thread& t : pool) t.join();
-  }
+  pool.ParallelFor(tasks.size(), run_cell);
   for (const Status& st : failures) {
     DPB_RETURN_NOT_OK(st);
+  }
+
+  if (diagnostics != nullptr) {
+    diagnostics->skipped = std::move(skipped);
+    diagnostics->cells = tasks.size();
+    diagnostics->trials = 0;
+    for (const CellResult& cell : out) {
+      diagnostics->trials += cell.errors.size();
+    }
+    diagnostics->plans_built = plan_cache.size();
+    diagnostics->plan_cache_hits =
+        tasks.size() > plan_cache.size() ? tasks.size() - plan_cache.size()
+                                         : 0;
+    diagnostics->plan_seconds = plan_seconds;
+    diagnostics->execute_seconds = SecondsSince(exec_start);
   }
   return out;
 }

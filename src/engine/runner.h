@@ -5,6 +5,12 @@
 // For each configuration the runner draws `data_samples` fresh data vectors
 // from the data generator G and executes each algorithm `runs_per_sample`
 // times per vector (paper §6.1 uses 5 x 10).
+//
+// Execution is a plan-once / execute-many pipeline: data-independent
+// mechanism state (strategy trees, measurement matrices, budget splits) is
+// planned once per (algorithm, domain, workload, epsilon) and cached, then
+// every trial of every cell sharing that configuration executes the cached
+// plan against its data sample. Cells run on a work-stealing thread pool.
 #ifndef DPBENCH_ENGINE_RUNNER_H_
 #define DPBENCH_ENGINE_RUNNER_H_
 
@@ -61,6 +67,29 @@ struct CellResult {
   ErrorSummary summary;
 };
 
+/// A grid combination the runner did not execute (e.g. a 1D-only algorithm
+/// on a 2D dataset). One record per (algorithm, dataset, domain_size);
+/// scales and epsilons are orthogonal to the skip reason.
+struct SkippedCombo {
+  std::string algorithm;
+  std::string dataset;
+  size_t domain_size = 0;
+  size_t dims = 0;
+  std::string reason;
+};
+
+/// Where the time went in one Runner::Run invocation, plus everything that
+/// was skipped. Optional output — pass to Run() when you care.
+struct RunDiagnostics {
+  std::vector<SkippedCombo> skipped;
+  size_t cells = 0;            ///< grid cells executed
+  size_t trials = 0;           ///< total mechanism executions
+  size_t plans_built = 0;      ///< unique plans constructed
+  size_t plan_cache_hits = 0;  ///< cell-plan lookups served from cache
+  double plan_seconds = 0.0;     ///< wall time building plans
+  double execute_seconds = 0.0;  ///< wall time executing cells
+};
+
 /// Runs the grid. `progress` (optional) is invoked after each cell.
 class Runner {
  public:
@@ -72,9 +101,11 @@ class Runner {
   /// Results are bit-identical regardless of `config.threads` and of the
   /// *order* of the algorithm/dataset lists: every cell's randomness is
   /// derived from a hash of (seed, dataset, domain, scale, eps, algorithm),
-  /// and the data samples from (seed, dataset, domain, scale).
-  static Result<std::vector<CellResult>> Run(const ExperimentConfig& config,
-                                             ProgressFn progress = nullptr);
+  /// the data samples from (seed, dataset, domain, scale), and plans are
+  /// deterministic (planning never draws randomness).
+  static Result<std::vector<CellResult>> Run(
+      const ExperimentConfig& config, ProgressFn progress = nullptr,
+      RunDiagnostics* diagnostics = nullptr);
 
   /// Groups cell results by (dataset, scale, domain, eps), mapping
   /// algorithm name to raw errors — the input shape CompetitiveSet needs.

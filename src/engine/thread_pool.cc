@@ -1,0 +1,82 @@
+#include "src/engine/thread_pool.h"
+
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dpbench {
+
+namespace {
+
+// One worker's task deque. Owner pops from the front; thieves pop from the
+// back. A plain mutex per deque is plenty: runner tasks are coarse
+// (milliseconds to seconds), so contention on the queue lock is noise.
+struct TaskDeque {
+  std::deque<size_t> tasks;
+  std::mutex mu;
+
+  bool PopFront(size_t* out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (tasks.empty()) return false;
+    *out = tasks.front();
+    tasks.pop_front();
+    return true;
+  }
+
+  bool PopBack(size_t* out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (tasks.empty()) return false;
+    *out = tasks.back();
+    tasks.pop_back();
+    return true;
+  }
+};
+
+}  // namespace
+
+WorkStealingPool::WorkStealingPool(size_t num_threads)
+    : num_threads_(num_threads == 0 ? 1 : num_threads) {}
+
+void WorkStealingPool::ParallelFor(
+    size_t num_tasks, const std::function<void(size_t)>& fn) const {
+  if (num_tasks == 0) return;
+  if (num_threads_ == 1 || num_tasks == 1) {
+    for (size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+
+  size_t workers = std::min(num_threads_, num_tasks);
+  std::vector<TaskDeque> queues(workers);
+  for (size_t i = 0; i < num_tasks; ++i) {
+    queues[i % workers].tasks.push_back(i);
+  }
+
+  auto work = [&](size_t self) {
+    size_t task;
+    for (;;) {
+      if (queues[self].PopFront(&task)) {
+        fn(task);
+        continue;
+      }
+      // Own deque drained: steal one task from the back of a victim.
+      bool stole = false;
+      for (size_t off = 1; off < workers; ++off) {
+        size_t victim = (self + off) % workers;
+        if (queues[victim].PopBack(&task)) {
+          stole = true;
+          break;
+        }
+      }
+      if (!stole) return;  // every deque empty: all tasks claimed
+      fn(task);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t t = 0; t < workers; ++t) threads.emplace_back(work, t);
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace dpbench

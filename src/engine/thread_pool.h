@@ -1,0 +1,41 @@
+// A small work-stealing parallel-for used by the experiment runner.
+//
+// Tasks are pre-distributed round-robin across per-worker deques; a worker
+// drains its own deque from the front and, when empty, steals single tasks
+// from the back of a victim's deque. This keeps neighbouring cells (which
+// share plan-cache entries and data samples) on the same core while still
+// balancing the tail — grid cells have wildly different costs (IDENTITY at
+// domain 128 vs DAWA at 4096), so static partitioning alone stalls on
+// stragglers.
+//
+// Determinism: the pool makes no ordering promises, so callers must ensure
+// task results do not depend on execution order. The runner guarantees
+// this by seeding every cell independently (StreamSeed) and writing each
+// result to a distinct slot.
+#ifndef DPBENCH_ENGINE_THREAD_POOL_H_
+#define DPBENCH_ENGINE_THREAD_POOL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace dpbench {
+
+class WorkStealingPool {
+ public:
+  /// `num_threads` == 0 or 1 means run inline on the calling thread.
+  explicit WorkStealingPool(size_t num_threads);
+
+  /// Runs fn(i) for every i in [0, num_tasks); blocks until all complete.
+  /// fn must be safe to call concurrently from multiple threads.
+  void ParallelFor(size_t num_tasks,
+                   const std::function<void(size_t)>& fn) const;
+
+  size_t num_threads() const { return num_threads_; }
+
+ private:
+  size_t num_threads_;
+};
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ENGINE_THREAD_POOL_H_

@@ -66,6 +66,11 @@ class PrefixSums {
   double RangeSum(const std::vector<size_t>& lo,
                   const std::vector<size_t>& hi) const;
 
+  /// Raw cumulative table: layout n1+1 (1D) or (n1+1) x (n2+1) row-major
+  /// (2D). Exposed so callers with precomputed corner indices (see
+  /// Workload's evaluation plan) can skip per-query bound handling.
+  const std::vector<double>& raw() const { return cum_; }
+
  private:
   Domain domain_;
   std::vector<double> cum_;  // cum has (n1+1) x (n2+1) layout (2D) or n1+1.

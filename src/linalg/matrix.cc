@@ -88,10 +88,9 @@ Result<Matrix> Cholesky(const Matrix& a) {
   return l;
 }
 
-Result<std::vector<double>> SolveSpd(const Matrix& a,
-                                     const std::vector<double>& b) {
-  DPB_ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
-  size_t n = a.rows();
+Result<std::vector<double>> CholeskySolve(const Matrix& l,
+                                          const std::vector<double>& b) {
+  size_t n = l.rows();
   if (b.size() != n) {
     return Status::InvalidArgument("rhs size mismatch");
   }
@@ -110,6 +109,12 @@ Result<std::vector<double>> SolveSpd(const Matrix& a,
     x[i] = v / l.at(i, i);
   }
   return x;
+}
+
+Result<std::vector<double>> SolveSpd(const Matrix& a,
+                                     const std::vector<double>& b) {
+  DPB_ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
+  return CholeskySolve(l, b);
 }
 
 Result<std::vector<double>> LeastSquares(const Matrix& s,

@@ -58,6 +58,13 @@ Result<Matrix> Cholesky(const Matrix& a);
 Result<std::vector<double>> SolveSpd(const Matrix& a,
                                      const std::vector<double>& b);
 
+/// Solves A x = b given a precomputed Cholesky factor L (A = L L^T) by
+/// forward + back substitution — O(n^2) per solve. Factor once with
+/// Cholesky(), then reuse across many right-hand sides (plan-once /
+/// execute-many solves).
+Result<std::vector<double>> CholeskySolve(const Matrix& l,
+                                          const std::vector<double>& b);
+
 /// Ordinary least squares: minimizes ||S x - y||_2 via normal equations
 /// (S must have full column rank).
 Result<std::vector<double>> LeastSquares(const Matrix& s,

@@ -70,20 +70,72 @@ Workload Workload::FixedWidth1D(size_t n, size_t width) {
                   "width-" + std::to_string(width));
 }
 
-std::vector<double> Workload::Evaluate(const DataVector& x) const {
-  DPB_CHECK(x.domain() == domain_);
-  std::vector<double> y(queries_.size());
-  if (domain_.num_dims() <= 2) {
-    PrefixSums ps(x);
-    for (size_t i = 0; i < queries_.size(); ++i) {
-      y[i] = ps.RangeSum(queries_[i].lo, queries_[i].hi);
+void Workload::BuildEvalPlan() {
+  if (domain_.num_dims() > 2 || queries_.empty()) return;
+  auto plan = std::make_shared<EvalPlan>();
+  if (domain_.num_dims() == 1) {
+    plan->terms_per_query = 2;
+    plan->corner_idx.reserve(2 * queries_.size());
+    for (const RangeQuery& q : queries_) {
+      plan->corner_idx.push_back(q.hi[0] + 1);  // +cum[hi+1]
+      plan->corner_idx.push_back(q.lo[0]);      // -cum[lo]
     }
   } else {
-    for (size_t i = 0; i < queries_.size(); ++i) {
-      y[i] = queries_[i].Evaluate(x);
+    size_t stride = domain_.size(1) + 1;  // cum is (n1+1) x (n2+1) row-major
+    plan->terms_per_query = 4;
+    plan->corner_idx.reserve(4 * queries_.size());
+    for (const RangeQuery& q : queries_) {
+      size_t r0 = q.lo[0], r1 = q.hi[0] + 1;
+      size_t c0 = q.lo[1], c1 = q.hi[1] + 1;
+      plan->corner_idx.push_back(r1 * stride + c1);  // +
+      plan->corner_idx.push_back(r0 * stride + c1);  // -
+      plan->corner_idx.push_back(r1 * stride + c0);  // -
+      plan->corner_idx.push_back(r0 * stride + c0);  // +
     }
   }
+  eval_plan_ = std::move(plan);
+}
+
+void Workload::EvaluateInto(const DataVector& x,
+                            std::vector<double>* out) const {
+  DPB_CHECK(x.domain() == domain_);
+  out->resize(queries_.size());
+  if (eval_plan_ != nullptr) {
+    PrefixSums ps(x);
+    const std::vector<double>& cum = ps.raw();
+    const std::vector<size_t>& idx = eval_plan_->corner_idx;
+    if (eval_plan_->terms_per_query == 2) {
+      for (size_t i = 0; i < queries_.size(); ++i) {
+        (*out)[i] = cum[idx[2 * i]] - cum[idx[2 * i + 1]];
+      }
+    } else {
+      for (size_t i = 0; i < queries_.size(); ++i) {
+        (*out)[i] = cum[idx[4 * i]] - cum[idx[4 * i + 1]] -
+                    cum[idx[4 * i + 2]] + cum[idx[4 * i + 3]];
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    (*out)[i] = queries_[i].Evaluate(x);
+  }
+}
+
+std::vector<double> Workload::Evaluate(const DataVector& x) const {
+  std::vector<double> y;
+  EvaluateInto(x, &y);
   return y;
+}
+
+std::vector<std::vector<double>> Workload::EvaluateAll(
+    const std::vector<DataVector>& xs) const {
+  std::vector<std::vector<double>> ys;
+  ys.reserve(xs.size());
+  for (const DataVector& x : xs) {
+    ys.emplace_back();
+    EvaluateInto(x, &ys.back());
+  }
+  return ys;
 }
 
 Status Workload::Validate() const {

@@ -1,9 +1,16 @@
 // Workloads W: sets of range queries, with the standard constructions the
 // paper evaluates (Prefix for 1D, random ranges for 2D, Identity, Total,
 // AllRange) and fast bulk evaluation via prefix sums.
+//
+// Construction precomputes an *evaluation plan* — each query's corner
+// indices into the prefix-sum table — so evaluating a workload against a
+// data vector is one O(n) prefix-sum pass plus a handful of flat lookups
+// per query, with no per-query index arithmetic on vectors. The plan is
+// immutable and shared across copies of the workload.
 #ifndef DPBENCH_WORKLOAD_WORKLOAD_H_
 #define DPBENCH_WORKLOAD_WORKLOAD_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,7 +27,9 @@ class Workload {
   Workload(Domain domain, std::vector<RangeQuery> queries, std::string name)
       : domain_(std::move(domain)),
         queries_(std::move(queries)),
-        name_(std::move(name)) {}
+        name_(std::move(name)) {
+    BuildEvalPlan();
+  }
 
   /// Prefix workload (1D): queries [0, i] for every i in [0, n).
   /// Any 1D range query is the difference of two Prefix answers (paper §6.2).
@@ -53,12 +62,32 @@ class Workload {
   /// O(n + q) for 1D, O(n + q) for 2D.
   std::vector<double> Evaluate(const DataVector& x) const;
 
+  /// Evaluate() into a caller-owned buffer, reusing its capacity — the
+  /// allocation-free form the experiment engine's trial loop uses.
+  void EvaluateInto(const DataVector& x, std::vector<double>* out) const;
+
+  /// Batched evaluation of many data vectors (e.g. the per-cell data
+  /// samples, or repeated trial estimates) against the same workload.
+  std::vector<std::vector<double>> EvaluateAll(
+      const std::vector<DataVector>& xs) const;
+
   Status Validate() const;
 
  private:
+  // Precomputed corner terms into PrefixSums::raw(): 2 indices per query
+  // in 1D (plus, minus), 4 in 2D (plus, minus, minus, plus). Empty for
+  // dims > 2 (falls back to direct per-query evaluation).
+  struct EvalPlan {
+    size_t terms_per_query = 0;
+    std::vector<size_t> corner_idx;
+  };
+
+  void BuildEvalPlan();
+
   Domain domain_;
   std::vector<RangeQuery> queries_;
   std::string name_;
+  std::shared_ptr<const EvalPlan> eval_plan_;  // immutable, shared by copies
 };
 
 }  // namespace dpbench

@@ -1,0 +1,192 @@
+// Tests of the plan-once / execute-many pipeline: plans are reusable,
+// Plan+Execute is equivalent to Run for the same rng stream, pass-through
+// plans work for data-dependent algorithms, and planning never consumes
+// randomness (the property the runner's plan cache relies on).
+#include <gtest/gtest.h>
+
+#include "src/algorithms/matrix_mechanism.h"
+#include "src/algorithms/mechanism.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+namespace {
+
+DataVector TestData1D(size_t n) {
+  DataVector x(Domain::D1(n));
+  for (size_t i = 0; i < n; ++i) x[i] = static_cast<double>((i * 37) % 11);
+  return x;
+}
+
+DataVector TestData2D(size_t side) {
+  DataVector x(Domain::D2(side, side));
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>((i * 13) % 7);
+  }
+  return x;
+}
+
+class PlanExecuteTest : public ::testing::TestWithParam<std::string> {};
+
+// Run() must equal Plan()+Execute() bit-for-bit when both consume the same
+// rng stream — Run is documented to be exactly that thin wrapper.
+TEST_P(PlanExecuteTest, RunEqualsPlanThenExecute) {
+  MechanismPtr m = MechanismRegistry::Get(GetParam()).value();
+  bool two_d = !m->SupportsDims(1);
+  DataVector x = two_d ? TestData2D(16) : TestData1D(64);
+  Workload w = two_d ? Workload::RandomRange(x.domain(), 50, 7)
+                     : Workload::Prefix1D(x.size());
+
+  Rng rng_run(123);
+  RunContext rctx{x, w, 0.5, &rng_run, {x.Scale()}};
+  auto via_run = m->Run(rctx);
+  ASSERT_TRUE(via_run.ok()) << via_run.status().ToString();
+
+  PlanContext pctx{x.domain(), w, 0.5, {x.Scale()}};
+  auto plan = m->Plan(pctx);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  Rng rng_exec(123);
+  ExecContext ectx{x, &rng_exec};
+  auto via_plan = (*plan)->Execute(ectx);
+  ASSERT_TRUE(via_plan.ok()) << via_plan.status().ToString();
+
+  ASSERT_EQ(via_run->size(), via_plan->size());
+  for (size_t i = 0; i < via_run->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*via_run)[i], (*via_plan)[i]) << "cell " << i;
+  }
+}
+
+// One plan, many executions: re-seeding the rng reproduces the estimate
+// exactly, proving Execute() keeps no mutable state in the plan.
+TEST_P(PlanExecuteTest, PlanIsReusableAndStateless) {
+  MechanismPtr m = MechanismRegistry::Get(GetParam()).value();
+  bool two_d = !m->SupportsDims(1);
+  DataVector x = two_d ? TestData2D(16) : TestData1D(64);
+  Workload w = two_d ? Workload::RandomRange(x.domain(), 50, 7)
+                     : Workload::Prefix1D(x.size());
+
+  PlanContext pctx{x.domain(), w, 0.5, {x.Scale()}};
+  auto plan = m->Plan(pctx);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  Rng rng_a(99);
+  auto a = (*plan)->Execute({x, &rng_a});
+  ASSERT_TRUE(a.ok());
+  // Interleave an unrelated execution to perturb any hidden plan state.
+  Rng rng_other(5);
+  ASSERT_TRUE((*plan)->Execute({x, &rng_other}).ok());
+  Rng rng_b(99);
+  auto b = (*plan)->Execute({x, &rng_b});
+  ASSERT_TRUE(b.ok());
+
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*a)[i], (*b)[i]) << "cell " << i;
+  }
+}
+
+// Planning is deterministic and rng-free: two plans built from the same
+// context execute identically under the same seed.
+TEST_P(PlanExecuteTest, PlanningIsDeterministic) {
+  MechanismPtr m = MechanismRegistry::Get(GetParam()).value();
+  bool two_d = !m->SupportsDims(1);
+  DataVector x = two_d ? TestData2D(16) : TestData1D(64);
+  Workload w = two_d ? Workload::RandomRange(x.domain(), 50, 7)
+                     : Workload::Prefix1D(x.size());
+
+  PlanContext pctx{x.domain(), w, 0.5, {x.Scale()}};
+  auto plan_a = m->Plan(pctx);
+  auto plan_b = m->Plan(pctx);
+  ASSERT_TRUE(plan_a.ok());
+  ASSERT_TRUE(plan_b.ok());
+  Rng rng_a(7), rng_b(7);
+  auto a = (*plan_a)->Execute({x, &rng_a});
+  auto b = (*plan_b)->Execute({x, &rng_b});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*a)[i], (*b)[i]) << "cell " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, PlanExecuteTest,
+                         ::testing::Values("IDENTITY", "PRIVELET", "H",
+                                           "HB", "GREEDY_H", "UNIFORM",
+                                           "QUADTREE", "UGRID", "MWEM",
+                                           "AHP", "DAWA", "PHP", "EFPA",
+                                           "SF", "DPCUBE", "AGRID",
+                                           "HYBRIDTREE"));
+
+TEST(PlanExecuteTest, DataIndependentSuiteHasRealPlans) {
+  const size_t n = 64;
+  Workload w = Workload::Prefix1D(n);
+  Domain d = Domain::D1(n);
+  for (const char* name : {"IDENTITY", "PRIVELET", "H", "HB", "GREEDY_H"}) {
+    MechanismPtr m = MechanismRegistry::Get(name).value();
+    PlanContext pctx{d, w, 0.5, {}};
+    auto plan = m->Plan(pctx);
+    ASSERT_TRUE(plan.ok()) << name;
+    EXPECT_TRUE((*plan)->precomputed()) << name;
+  }
+}
+
+TEST(PlanExecuteTest, DataDependentSuiteGetsPassThroughPlans) {
+  const size_t n = 64;
+  Workload w = Workload::Prefix1D(n);
+  Domain d = Domain::D1(n);
+  for (const char* name : {"DAWA", "MWEM", "AHP", "PHP", "EFPA"}) {
+    MechanismPtr m = MechanismRegistry::Get(name).value();
+    PlanContext pctx{d, w, 0.5, {}};
+    auto plan = m->Plan(pctx);
+    ASSERT_TRUE(plan.ok()) << name;
+    EXPECT_FALSE((*plan)->precomputed()) << name;
+  }
+}
+
+TEST(PlanExecuteTest, PlanRejectsBadEpsilonAndDims) {
+  MechanismPtr m = MechanismRegistry::Get("HB").value();
+  Workload w = Workload::Prefix1D(64);
+  Domain d1 = Domain::D1(64);
+  EXPECT_FALSE(m->Plan({d1, w, 0.0, {}}).ok());
+  EXPECT_FALSE(m->Plan({d1, w, -1.0, {}}).ok());
+
+  MechanismPtr ugrid = MechanismRegistry::Get("UGRID").value();
+  EXPECT_EQ(ugrid->Plan({d1, w, 0.5, {}}).status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(PlanExecuteTest, ExecuteRejectsMismatchedDomainAndMissingRng) {
+  MechanismPtr m = MechanismRegistry::Get("H").value();
+  Workload w = Workload::Prefix1D(64);
+  auto plan = m->Plan({Domain::D1(64), w, 0.5, {}});
+  ASSERT_TRUE(plan.ok());
+  DataVector wrong(Domain::D1(32));
+  wrong[0] = 1.0;
+  Rng rng(1);
+  EXPECT_FALSE((*plan)->Execute({wrong, &rng}).ok());
+  DataVector right = TestData1D(64);
+  EXPECT_FALSE((*plan)->Execute({right, nullptr}).ok());
+}
+
+TEST(PlanExecuteTest, MatrixMechanismPlanReusesFactorization) {
+  const size_t n = 32;
+  MatrixMechanism mm("MM-H2", strategies::HierarchicalStrategy(n, 2));
+  Workload w = Workload::Prefix1D(n);
+  DataVector x = TestData1D(n);
+
+  auto plan = mm.Plan({x.domain(), w, 0.5, {}});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE((*plan)->precomputed());
+
+  Rng rng_run(11);
+  auto via_run = mm.Run({x, w, 0.5, &rng_run, {}});
+  ASSERT_TRUE(via_run.ok());
+  Rng rng_exec(11);
+  auto via_plan = (*plan)->Execute({x, &rng_exec});
+  ASSERT_TRUE(via_plan.ok());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR((*via_run)[i], (*via_plan)[i], 1e-9) << "cell " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dpbench

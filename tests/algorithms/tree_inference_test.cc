@@ -210,5 +210,57 @@ TEST(RangeTreeTest, InferExactWhenNoiseFree) {
   for (size_t i = 0; i < 8; ++i) EXPECT_NEAR((*cells)[i], truth[i], 1e-10);
 }
 
+// PlannedTreeGls must match TreeGlsInfer on arbitrary trees and variance
+// profiles, including every special case its Build() resolves into
+// coefficients: unmeasured leaves, unmeasured internals, whole unmeasured
+// subtrees, and (near-)exact children.
+TEST(PlannedTreeGlsTest, MatchesTreeGlsInferOnRandomizedTrees) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random tree: BFS construction, each node gets 0 or 2-4 children
+    // until a size cap.
+    std::vector<MeasurementNode> nodes(1);
+    size_t cap = 5 + rng.UniformInt(40);
+    for (size_t v = 0; v < nodes.size() && nodes.size() < cap; ++v) {
+      if (rng.Uniform() < 0.3) continue;  // leaf
+      size_t kids = 2 + rng.UniformInt(3);
+      for (size_t k = 0; k < kids; ++k) {
+        nodes[v].children.push_back(nodes.size());
+        nodes.emplace_back();
+      }
+    }
+    // Random measurements: ~25% of nodes unmeasured, occasional exact
+    // (zero-variance) leaves. Exact *internal* measurements are excluded:
+    // combining them with noisy children divides inf/inf in both solvers.
+    for (MeasurementNode& node : nodes) {
+      if (rng.Uniform() < 0.25) continue;  // leave kUnmeasured
+      node.y = rng.Normal(0.0, 10.0);
+      bool exact = node.children.empty() && rng.Uniform() < 0.1;
+      node.variance = exact ? 0.0 : 0.1 + rng.Uniform() * 5.0;
+    }
+    auto reference = TreeGlsInfer(nodes, 0);
+    ASSERT_TRUE(reference.ok());
+
+    auto plan = PlannedTreeGls::Build(nodes, 0);
+    ASSERT_TRUE(plan.ok());
+    std::vector<double> y(nodes.size(), 0.0);
+    for (size_t v = 0; v < nodes.size(); ++v) y[v] = nodes[v].y;
+    std::vector<double> planned = plan->InferNodes(y);
+
+    ASSERT_EQ(planned.size(), reference->size());
+    for (size_t v = 0; v < planned.size(); ++v) {
+      EXPECT_NEAR(planned[v], (*reference)[v], 1e-9)
+          << "trial " << trial << " node " << v;
+    }
+  }
+}
+
+TEST(PlannedTreeGlsTest, RejectsMalformedTrees) {
+  std::vector<MeasurementNode> nodes(2);
+  EXPECT_FALSE(PlannedTreeGls::Build(nodes, 5).ok());  // root out of range
+  nodes[0].children = {7};                             // child out of range
+  EXPECT_FALSE(PlannedTreeGls::Build(nodes, 0).ok());
+}
+
 }  // namespace
 }  // namespace dpbench

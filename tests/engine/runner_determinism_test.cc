@@ -1,0 +1,120 @@
+// The runner's documented guarantee, exercised hard: results are
+// bit-identical regardless of thread count and of the order of the
+// algorithm/dataset lists, with the plan cache active (plan-heavy
+// algorithms included on purpose). Also covers the skipped-combination
+// diagnostics introduced with the plan/execute pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/engine/runner.h"
+
+namespace dpbench {
+namespace {
+
+ExperimentConfig PlanHeavyConfig() {
+  ExperimentConfig c;
+  // Mix of plan-based data-independent algorithms (shared plan-cache
+  // entries across datasets/epsilons) and a data-dependent one.
+  c.algorithms = {"HB", "GREEDY_H", "PRIVELET", "IDENTITY", "DAWA"};
+  c.datasets = {"ADULT", "TRACE"};
+  c.scales = {1000};
+  c.domain_sizes = {128};
+  c.epsilons = {0.1, 1.0};
+  c.data_samples = 2;
+  c.runs_per_sample = 2;
+  c.workload = WorkloadKind::kPrefix1D;
+  return c;
+}
+
+std::map<std::string, std::vector<double>> ErrorsByKey(
+    const std::vector<CellResult>& cells) {
+  std::map<std::string, std::vector<double>> out;
+  for (const CellResult& cell : cells) {
+    out[cell.key.ToString()] = cell.errors;
+  }
+  return out;
+}
+
+TEST(RunnerDeterminismTest, EightThreadsBitIdenticalToOne) {
+  ExperimentConfig serial = PlanHeavyConfig();
+  serial.threads = 1;
+  ExperimentConfig parallel = PlanHeavyConfig();
+  parallel.threads = 8;
+
+  auto a = Runner::Run(serial);
+  auto b = Runner::Run(parallel);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].key.ToString(), (*b)[i].key.ToString());
+    ASSERT_EQ((*a)[i].errors.size(), (*b)[i].errors.size());
+    for (size_t t = 0; t < (*a)[i].errors.size(); ++t) {
+      // Bit-identical, not merely close.
+      EXPECT_EQ((*a)[i].errors[t], (*b)[i].errors[t])
+          << (*a)[i].key.ToString() << " trial " << t;
+    }
+  }
+}
+
+TEST(RunnerDeterminismTest, InvariantToAlgorithmAndDatasetPermutation) {
+  ExperimentConfig c1 = PlanHeavyConfig();
+  ExperimentConfig c2 = PlanHeavyConfig();
+  std::reverse(c2.algorithms.begin(), c2.algorithms.end());
+  std::reverse(c2.datasets.begin(), c2.datasets.end());
+  std::reverse(c2.epsilons.begin(), c2.epsilons.end());
+  c2.threads = 4;
+
+  auto a = Runner::Run(c1);
+  auto b = Runner::Run(c2);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  auto errors_a = ErrorsByKey(*a);
+  auto errors_b = ErrorsByKey(*b);
+  EXPECT_EQ(errors_a, errors_b);
+}
+
+TEST(RunnerDeterminismTest, PlanCacheIsSharedAcrossCells) {
+  ExperimentConfig c = PlanHeavyConfig();
+  RunDiagnostics diag;
+  auto results = Runner::Run(c, nullptr, &diag);
+  ASSERT_TRUE(results.ok());
+  // 5 algorithms x 2 datasets x 2 epsilons = 20 cells, but plans depend
+  // only on (algorithm, domain, epsilon): 5 x 1 x 2 = 10 unique plans.
+  EXPECT_EQ(diag.cells, 20u);
+  EXPECT_EQ(diag.plans_built, 10u);
+  EXPECT_EQ(diag.plan_cache_hits, 10u);
+  EXPECT_EQ(diag.trials, 20u * 2 * 2);
+  EXPECT_TRUE(diag.skipped.empty());
+}
+
+TEST(RunnerDeterminismTest, SkippedCombinationsAreSurfaced) {
+  ExperimentConfig c = PlanHeavyConfig();
+  c.algorithms = {"IDENTITY", "UGRID", "PHP"};  // UGRID is 2D-only
+  RunDiagnostics diag;
+  auto results = Runner::Run(c, nullptr, &diag);
+  ASSERT_TRUE(results.ok());
+  // UGRID skipped on both 1D datasets; IDENTITY and PHP run everywhere.
+  ASSERT_EQ(diag.skipped.size(), 2u);
+  for (const SkippedCombo& s : diag.skipped) {
+    EXPECT_EQ(s.algorithm, "UGRID");
+    EXPECT_EQ(s.dims, 1u);
+    EXPECT_NE(s.reason.find("dimensionality"), std::string::npos);
+  }
+  for (const CellResult& cell : *results) {
+    EXPECT_NE(cell.key.algorithm, "UGRID");
+  }
+}
+
+TEST(RunnerDeterminismTest, DiagnosticsOptional) {
+  ExperimentConfig c = PlanHeavyConfig();
+  c.algorithms = {"IDENTITY"};
+  c.datasets = {"ADULT"};
+  c.epsilons = {0.1};
+  EXPECT_TRUE(Runner::Run(c).ok());
+}
+
+}  // namespace
+}  // namespace dpbench

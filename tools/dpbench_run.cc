@@ -155,10 +155,14 @@ int main(int argc, char** argv) {
     config.algorithms = MechanismRegistry::NamesForDims(info->dims);
   }
 
-  auto results = Runner::Run(config, [](const CellResult& cell) {
-    std::cerr << cell.key.ToString() << " mean=" << cell.summary.mean
-              << " p95=" << cell.summary.p95 << "\n";
-  });
+  RunDiagnostics diagnostics;
+  auto results = Runner::Run(
+      config,
+      [](const CellResult& cell) {
+        std::cerr << cell.key.ToString() << " mean=" << cell.summary.mean
+                  << " p95=" << cell.summary.p95 << "\n";
+      },
+      &diagnostics);
   if (!results.ok()) {
     std::cerr << "run failed: " << results.status().ToString() << "\n";
     return 1;
@@ -175,6 +179,20 @@ int main(int argc, char** argv) {
                   TextTable::Num(cell.summary.p95)});
   }
   table.Print(std::cout);
+
+  std::cout << "\npipeline: " << diagnostics.cells << " cells, "
+            << diagnostics.trials << " trials | plans built="
+            << diagnostics.plans_built
+            << " cache hits=" << diagnostics.plan_cache_hits
+            << " | plan time=" << diagnostics.plan_seconds
+            << "s execute time=" << diagnostics.execute_seconds << "s\n";
+  if (!diagnostics.skipped.empty()) {
+    std::cout << "skipped combinations:\n";
+    for (const SkippedCombo& s : diagnostics.skipped) {
+      std::cout << "  " << s.algorithm << " on " << s.dataset << "/domain="
+                << s.domain_size << ": " << s.reason << "\n";
+    }
+  }
 
   if (competitive) {
     std::cout << "\ncompetitive sets (Welch t-test, Bonferroni alpha=0.05):\n";
