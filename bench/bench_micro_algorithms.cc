@@ -6,9 +6,11 @@
 //   BM_<Algo>_<dims>            full Run() = plan + execute every iteration
 //                               (the legacy per-trial rebuild path)
 //   BM_<Algo>_<dims>_PlanOnce   plan hoisted out of the loop; iterations
-//                               execute the cached plan (the runner's
-//                               plan-cache path — compare against the
-//                               previous family for the cache payoff)
+//                               execute the cached plan into a reused
+//                               estimate with a persistent ExecScratch
+//                               (the runner's plan-cache + zero-allocation
+//                               path — compare against the previous family
+//                               for the cache payoff)
 //   BM_<Algo>_<dims>_PlanOnly   cost of building the plan itself
 #include <benchmark/benchmark.h>
 
@@ -77,10 +79,12 @@ void RunPlanOnce(benchmark::State& state, const std::string& name,
   }
   PlanPtr plan = std::move(plan_or).value();
   Rng rng(42);
+  ExecScratch scratch;
+  DataVector est;
   for (auto _ : state) {
-    ExecContext ectx{x, &rng};
-    auto est = plan->Execute(ectx);
-    if (!est.ok()) state.SkipWithError(est.status().ToString().c_str());
+    ExecContext ectx{x, &rng, &scratch};
+    Status st = plan->ExecuteInto(ectx, &est);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
     benchmark::DoNotOptimize(est);
   }
 }

@@ -1,0 +1,237 @@
+// THROUGHPUT — trial-loop hot-path benchmark with allocation accounting.
+//
+// Two sections:
+//   1. Per-plan trial loops for the converted data-independent mechanisms
+//      (IDENTITY/H/HB/PRIVELET/GREEDY_H), comparing the allocating
+//      Execute() path against the scratch ExecuteInto() path the runner
+//      uses. Reports trials/sec and allocations/trial for both, measured
+//      with a global counting operator new. The scratch path must be
+//      allocation-free in the steady state: any regression exits nonzero,
+//      so CI fails loudly instead of silently.
+//   2. Runner throughput on a fixed small grid, exercising both
+//      retain_raw_errors settings, reporting trials/sec from
+//      RunDiagnostics and cross-checking the streaming summaries against
+//      the exact ones.
+//
+// Flags: --smoke (1 repetition, CI mode), --trials=N (per-plan loop
+// length, default 2000), --threads=N (runner section, default 4).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/algorithms/mechanism.h"
+#include "src/data/datasets.h"
+#include "src/data/sampler.h"
+#include "src/engine/runner.h"
+#include "src/workload/workload.h"
+
+// ---------------------------------------------------------------------------
+// Counting allocator hook: every operator new bumps a relaxed atomic.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dpbench {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct PlanLoopResult {
+  double trials_per_sec = 0.0;
+  double allocs_per_trial = 0.0;
+};
+
+PlanLoopResult TimeTrials(const PlanPtr& plan, const DataVector& x,
+                          size_t trials, bool use_scratch) {
+  Rng rng(42);
+  ExecScratch scratch;
+  DataVector est;
+  // Warm up: let scratch buffers and the output slot reach steady-state
+  // capacity before counting.
+  for (int w = 0; w < 3; ++w) {
+    ExecContext ectx{x, &rng, use_scratch ? &scratch : nullptr};
+    if (use_scratch) {
+      if (!plan->ExecuteInto(ectx, &est).ok()) std::abort();
+    } else {
+      auto r = plan->Execute(ectx);
+      if (!r.ok()) std::abort();
+    }
+  }
+  uint64_t alloc_start = g_allocations.load(std::memory_order_relaxed);
+  double t0 = NowSeconds();
+  for (size_t i = 0; i < trials; ++i) {
+    ExecContext ectx{x, &rng, use_scratch ? &scratch : nullptr};
+    if (use_scratch) {
+      if (!plan->ExecuteInto(ectx, &est).ok()) std::abort();
+    } else {
+      auto r = plan->Execute(ectx);
+      if (!r.ok()) std::abort();
+    }
+  }
+  double elapsed = NowSeconds() - t0;
+  uint64_t allocs = g_allocations.load(std::memory_order_relaxed) - alloc_start;
+  PlanLoopResult out;
+  out.trials_per_sec =
+      elapsed > 0.0 ? static_cast<double>(trials) / elapsed : 0.0;
+  out.allocs_per_trial =
+      static_cast<double>(allocs) / static_cast<double>(trials);
+  return out;
+}
+
+int RunPlanSection(size_t trials) {
+  const size_t kDomain = 1024;
+  Rng data_rng(7);
+  auto shape = DatasetRegistry::ShapeAtDomain("SEARCH", kDomain);
+  if (!shape.ok()) std::abort();
+  auto data = SampleAtScale(*shape, 100000, &data_rng);
+  if (!data.ok()) std::abort();
+  Workload workload = Workload::Prefix1D(kDomain);
+
+  std::printf("\n-- plan trial loops (domain=%zu, %zu trials) --\n", kDomain,
+              trials);
+  std::printf("%-10s %14s %14s %10s %10s %8s\n", "algorithm", "exec tps",
+              "scratch tps", "exec a/t", "scr a/t", "speedup");
+  int failures = 0;
+  for (const char* name :
+       {"IDENTITY", "H", "HB", "PRIVELET", "GREEDY_H", "UNIFORM"}) {
+    auto mech = MechanismRegistry::Get(name);
+    if (!mech.ok()) std::abort();
+    PlanContext pctx{data->domain(), workload, 0.1, {data->Scale()}};
+    auto plan = (*mech)->Plan(pctx);
+    if (!plan.ok()) std::abort();
+    PlanLoopResult alloc_path = TimeTrials(*plan, *data, trials, false);
+    PlanLoopResult scratch_path = TimeTrials(*plan, *data, trials, true);
+    double speedup = alloc_path.trials_per_sec > 0.0
+                         ? scratch_path.trials_per_sec /
+                               alloc_path.trials_per_sec
+                         : 0.0;
+    std::printf("%-10s %14.0f %14.0f %10.2f %10.2f %7.2fx\n", name,
+                alloc_path.trials_per_sec, scratch_path.trials_per_sec,
+                alloc_path.allocs_per_trial, scratch_path.allocs_per_trial,
+                speedup);
+    if (scratch_path.allocs_per_trial > 0.0) {
+      std::printf("FAIL: %s scratch path allocates per trial\n", name);
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+int RunRunnerSection(size_t threads, size_t runs_per_sample) {
+  ExperimentConfig config;
+  config.algorithms = {"IDENTITY", "H", "HB", "PRIVELET", "GREEDY_H"};
+  config.datasets = {"ADULT"};
+  config.scales = {100000};
+  config.domain_sizes = {1024};
+  config.epsilons = {0.1};
+  config.data_samples = 2;
+  config.runs_per_sample = runs_per_sample;
+  config.threads = threads;
+
+  std::printf("\n-- runner throughput (%zu threads, %zu runs/sample) --\n",
+              threads, runs_per_sample);
+  int failures = 0;
+  std::vector<CellResult> exact_cells;
+  for (bool retain : {true, false}) {
+    config.retain_raw_errors = retain;
+    RunDiagnostics diag;
+    auto results = Runner::Run(config, nullptr, &diag);
+    if (!results.ok()) {
+      std::printf("FAIL: runner error: %s\n",
+                  results.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("retain_raw_errors=%d: %zu trials, %.2f s execute, "
+                "%.0f trials/s | pool: %llu phases, %llu tasks, %llu stolen\n",
+                retain ? 1 : 0, diag.trials, diag.execute_seconds,
+                diag.trials_per_second,
+                static_cast<unsigned long long>(diag.pool_parallel_jobs),
+                static_cast<unsigned long long>(diag.pool_tasks_executed),
+                static_cast<unsigned long long>(diag.pool_tasks_stolen));
+    if (retain) {
+      exact_cells = std::move(*results);
+    } else {
+      // Streaming summaries must agree with the exact ones.
+      for (size_t i = 0; i < results->size(); ++i) {
+        const ErrorSummary& streaming = (*results)[i].summary;
+        const ErrorSummary& exact = exact_cells[i].summary;
+        double tol = 1e-9 * std::max(1.0, std::abs(exact.mean));
+        if (std::abs(streaming.mean - exact.mean) > tol ||
+            std::abs(streaming.stddev - exact.stddev) > tol) {
+          std::printf("FAIL: streaming summary diverges at cell %zu\n", i);
+          ++failures;
+        }
+        if (!(*results)[i].errors.empty()) {
+          std::printf("FAIL: raw errors retained despite "
+                      "retain_raw_errors=false\n");
+          ++failures;
+        }
+      }
+    }
+  }
+  return failures;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  size_t trials = 2000;
+  size_t threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--trials=", 9) == 0) {
+      trials = static_cast<size_t>(std::atoll(argv[i] + 9));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<size_t>(std::atoll(argv[i] + 10));
+    } else {
+      std::printf("warning: unknown flag %s\n", argv[i]);
+    }
+  }
+  if (smoke) trials = 200;
+  std::printf("== bench_runner_throughput (%s mode) ==\n",
+              smoke ? "smoke" : "full");
+
+  int failures = RunPlanSection(trials);
+  failures += RunRunnerSection(threads, smoke ? 2 : 10);
+  if (failures > 0) {
+    std::printf("\n%d hot-path regression(s) detected\n", failures);
+    return 1;
+  }
+  std::printf("\nOK: scratch paths allocation-free, streaming summaries "
+              "match exact\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dpbench
+
+int main(int argc, char** argv) { return dpbench::Main(argc, argv); }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/algorithms/hier.h"
+#include "src/common/math.h"
 #include "src/histogram/hilbert.h"
 
 namespace dpbench {
@@ -71,8 +72,9 @@ namespace {
 
 // 2D plan: the strategy tree, budget and GLS coefficients live on the
 // Hilbert-linearized domain (delegated to the planned 1D pipeline);
-// execution linearizes the data, runs the planned measure+infer, and
-// scatters the estimate back onto the grid.
+// execution gathers the data through a permutation precomputed from the
+// Hilbert curve once at plan time, runs the planned measure+infer, and
+// scatters the estimate back onto the grid through the same permutation.
 class GreedyHHilbertPlan : public MechanismPlan {
  public:
   GreedyHHilbertPlan(std::string name, Domain domain, size_t linear_cells,
@@ -80,18 +82,62 @@ class GreedyHHilbertPlan : public MechanismPlan {
                      std::vector<double> eps_per_level)
       : MechanismPlan(name, std::move(domain)),
         linear_plan_(std::move(name), Domain::D1(linear_cells),
-                     std::move(tree), std::move(eps_per_level)) {}
+                     std::move(tree), std::move(eps_per_level)) {
+    // perm_[row-major cell] = Hilbert position; identical to what
+    // HilbertLinearize/Delinearize compute per call. Left empty on domains
+    // the curve rejects, so execution reports the same InvalidArgument the
+    // per-call path did.
+    const Domain& d = this->domain();
+    uint64_t side = d.size(0);
+    if (d.size(1) == side && IsPowerOfTwo(side)) {
+      perm_.reserve(linear_cells);
+      for (uint64_t r = 0; r < side; ++r) {
+        for (uint64_t c = 0; c < side; ++c) {
+          perm_.push_back(HilbertXYToIndex(side, r, c));
+        }
+      }
+    }
+  }
 
   Result<DataVector> Execute(const ExecContext& ctx) const override {
+    DataVector out;
+    DPB_RETURN_NOT_OK(ExecuteInto(ctx, &out));
+    return out;
+  }
+
+  Status ExecuteInto(const ExecContext& ctx, DataVector* out) const override {
     DPB_RETURN_NOT_OK(CheckExec(ctx));
-    DPB_ASSIGN_OR_RETURN(DataVector linear, HilbertLinearize(ctx.data));
-    DPB_ASSIGN_OR_RETURN(DataVector est1d,
-                         linear_plan_.Execute({linear, ctx.rng}));
-    return HilbertDelinearize(est1d, domain());
+    if (perm_.empty()) {
+      // Domain unsupported by the Hilbert curve: keep the per-call path,
+      // whose linearization reports the precise error.
+      DPB_ASSIGN_OR_RETURN(DataVector linear, HilbertLinearize(ctx.data));
+      DPB_ASSIGN_OR_RETURN(DataVector est1d,
+                           linear_plan_.Execute({linear, ctx.rng}));
+      DPB_ASSIGN_OR_RETURN(*out, HilbertDelinearize(est1d, domain()));
+      return Status::OK();
+    }
+    ExecScratch local;
+    ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local;
+    const Domain& d1 = linear_plan_.domain();
+    if (s.linear.domain() != d1) s.linear = DataVector(d1);
+    for (size_t i = 0; i < perm_.size(); ++i) {
+      s.linear[perm_[i]] = ctx.data[i];
+    }
+    // The nested plan shares the arena; its buffers (prefix/y/z/node_est)
+    // are disjoint from the linearization vectors used here.
+    ExecContext inner{s.linear, ctx.rng, &s};
+    DPB_RETURN_NOT_OK(linear_plan_.ExecuteInto(inner, &s.linear_est));
+    PrepareOut(out);
+    std::vector<double>& cells = out->mutable_counts();
+    for (size_t i = 0; i < perm_.size(); ++i) {
+      cells[i] = s.linear_est[perm_[i]];
+    }
+    return Status::OK();
   }
 
  private:
   hier_internal::RangeTreePlan linear_plan_;
+  std::vector<size_t> perm_;
 };
 
 }  // namespace

@@ -24,35 +24,63 @@ GridTreePlan::GridTreePlan(std::string name, Domain domain,
   auto plan = PlannedTreeGls::Build(mnodes, 0);
   DPB_CHECK(plan.ok());  // grid trees are well-formed by construction
   gls_ = std::move(plan).value();
+
+  // Plan-time corner indices into the prefix-sum table, in the 2D
+  // inclusion-exclusion order (+ - - +) PrefixSums::RangeSum uses, so
+  // execution measures each node with four flat loads.
+  size_t stride = this->domain().size(1) + 1;
+  corners_.reserve(4 * nodes_.size());
+  scales_.reserve(nodes_.size());
+  for (const GridRect& node : nodes_) {
+    corners_.push_back((node.r1 + 1) * stride + (node.c1 + 1));  // +
+    corners_.push_back(node.r0 * stride + (node.c1 + 1));        // -
+    corners_.push_back((node.r1 + 1) * stride + node.c0);        // -
+    corners_.push_back(node.r0 * stride + node.c0);              // +
+    scales_.push_back(1.0 / eps_per_level_[node.level]);
+  }
 }
 
 Result<DataVector> GridTreePlan::Execute(const ExecContext& ctx) const {
+  DataVector out;
+  DPB_RETURN_NOT_OK(ExecuteInto(ctx, &out));
+  return out;
+}
+
+Status GridTreePlan::ExecuteInto(const ExecContext& ctx,
+                                 DataVector* out) const {
   DPB_RETURN_NOT_OK(CheckExec(ctx));
+  ExecScratch local;
+  ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local;
   size_t cols = domain().size(1);
 
-  // Measure every node; planned GLS for consistency.
-  PrefixSums ps(ctx.data);
-  std::vector<double> y(nodes_.size(), 0.0);
+  // Measure every node via the precomputed corner indices; planned GLS
+  // for consistency.
+  ComputePrefixSums(ctx.data, &s.prefix);
+  const std::vector<double>& cum = s.prefix;
+  std::vector<double>& y = s.y;
+  y.assign(nodes_.size(), 0.0);
   for (size_t v = 0; v < nodes_.size(); ++v) {
-    const GridRect& node = nodes_[v];
-    double eps = eps_per_level_[node.level];
-    double truth = ps.RangeSum({node.r0, node.c0}, {node.r1, node.c1});
-    y[v] = truth + ctx.rng->Laplace(1.0 / eps);
+    double truth = cum[corners_[4 * v]] - cum[corners_[4 * v + 1]] -
+                   cum[corners_[4 * v + 2]] + cum[corners_[4 * v + 3]];
+    y[v] = truth + ctx.rng->Laplace(scales_[v]);
   }
-  std::vector<double> est = gls_.InferNodes(y);
+  gls_.InferNodesInto(y, &s.z, &s.node_est);
+  const std::vector<double>& est = s.node_est;
 
-  DataVector out(domain());
+  PrepareOut(out);
+  std::vector<double>& cells = out->mutable_counts();
+  // Leaf rectangles partition the grid, so every cell is overwritten.
   for (size_t v : leaves_) {
     const GridRect& node = nodes_[v];
     double area = static_cast<double>((node.r1 - node.r0 + 1) *
                                       (node.c1 - node.c0 + 1));
     for (size_t r = node.r0; r <= node.r1; ++r) {
       for (size_t c = node.c0; c <= node.c1; ++c) {
-        out[r * cols + c] = est[v] / area;
+        cells[r * cols + c] = est[v] / area;
       }
     }
   }
-  return out;
+  return Status::OK();
 }
 
 }  // namespace grid_internal

@@ -30,12 +30,15 @@ class GridTreePlan : public MechanismPlan {
                std::vector<double> eps_per_level);
 
   Result<DataVector> Execute(const ExecContext& ctx) const override;
+  Status ExecuteInto(const ExecContext& ctx, DataVector* out) const override;
 
  private:
   std::vector<GridRect> nodes_;
   std::vector<double> eps_per_level_;
   PlannedTreeGls gls_;
-  std::vector<size_t> leaves_;  // node ids of leaves, in node order
+  std::vector<size_t> leaves_;   // node ids of leaves, in node order
+  std::vector<size_t> corners_;  // 4 prefix-table corner indices per node
+  std::vector<double> scales_;   // per-node Laplace scale (1/eps of level)
 };
 
 }  // namespace grid_internal

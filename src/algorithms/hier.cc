@@ -55,30 +55,52 @@ RangeTreePlan::RangeTreePlan(std::string name, Domain domain,
   auto plan = PlannedTreeGls::Build(mnodes, tree_->root());
   DPB_CHECK(plan.ok());  // RangeTree is well-formed by construction
   gls_ = std::move(plan).value();
-}
 
-Result<DataVector> RangeTreePlan::Execute(const ExecContext& ctx) const {
-  DPB_RETURN_NOT_OK(CheckExec(ctx));
-  const std::vector<double>& counts = ctx.data.counts();
-  // Prefix sums for O(1) true node counts.
-  std::vector<double> prefix(counts.size() + 1, 0.0);
-  for (size_t i = 0; i < counts.size(); ++i) {
-    prefix[i + 1] = prefix[i] + counts[i];
-  }
-  // Measure level by level — the same noise-draw order as MeasureAndInfer
-  // so planned and unplanned paths consume the rng identically.
-  std::vector<double> y(tree_->num_nodes(), 0.0);
+  // Flatten the measurement schedule in level order — the same noise-draw
+  // order as MeasureAndInfer — with the per-level Laplace scale resolved
+  // once here instead of once per node per trial.
   for (int level = 0; level < tree_->num_levels(); ++level) {
     double eps = eps_per_level_[level];
     if (eps <= 0.0) continue;
+    double scale = 1.0 / eps;
     for (size_t v : tree_->level_nodes(level)) {
       const RangeTree::Node& node = tree_->node(v);
-      double truth = prefix[node.hi + 1] - prefix[node.lo];
-      y[v] = truth + ctx.rng->Laplace(1.0 / eps);
+      meas_node_.push_back(v);
+      meas_lo_.push_back(node.lo);
+      meas_hi1_.push_back(node.hi + 1);
+      meas_scale_.push_back(scale);
     }
   }
-  std::vector<double> node_est = gls_.InferNodes(y);
-  std::vector<double> cells(tree_->num_cells(), 0.0);
+}
+
+Result<DataVector> RangeTreePlan::Execute(const ExecContext& ctx) const {
+  DataVector out;
+  DPB_RETURN_NOT_OK(ExecuteInto(ctx, &out));
+  return out;
+}
+
+Status RangeTreePlan::ExecuteInto(const ExecContext& ctx,
+                                  DataVector* out) const {
+  DPB_RETURN_NOT_OK(CheckExec(ctx));
+  ExecScratch local;
+  ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local;
+  // Prefix sums for O(1) true node counts.
+  ComputePrefixSums(ctx.data, &s.prefix);
+  const std::vector<double>& prefix = s.prefix;
+  // Measure through the flattened schedule — level order, the same
+  // noise-draw order as MeasureAndInfer, so planned and unplanned paths
+  // consume the rng identically.
+  std::vector<double>& y = s.y;
+  y.assign(tree_->num_nodes(), 0.0);
+  for (size_t k = 0; k < meas_node_.size(); ++k) {
+    double truth = prefix[meas_hi1_[k]] - prefix[meas_lo_[k]];
+    y[meas_node_[k]] = truth + ctx.rng->Laplace(meas_scale_[k]);
+  }
+  gls_.InferNodesInto(y, &s.z, &s.node_est);
+  const std::vector<double>& node_est = s.node_est;
+  PrepareOut(out);
+  std::vector<double>& cells = out->mutable_counts();
+  // Leaves partition the domain, so every cell is overwritten.
   for (size_t v : leaves_) {
     const RangeTree::Node& node = tree_->node(v);
     size_t len = node.hi - node.lo + 1;
@@ -86,7 +108,7 @@ Result<DataVector> RangeTreePlan::Execute(const ExecContext& ctx) const {
       cells[c] = node_est[v] / static_cast<double>(len);
     }
   }
-  return DataVector(domain(), std::move(cells));
+  return Status::OK();
 }
 
 }  // namespace hier_internal

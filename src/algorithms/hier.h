@@ -46,6 +46,7 @@ class RangeTreePlan : public MechanismPlan {
                 std::vector<double> eps_per_level);
 
   Result<DataVector> Execute(const ExecContext& ctx) const override;
+  Status ExecuteInto(const ExecContext& ctx, DataVector* out) const override;
 
   const RangeTree& tree() const { return *tree_; }
   const std::vector<double>& eps_per_level() const { return eps_per_level_; }
@@ -55,6 +56,13 @@ class RangeTreePlan : public MechanismPlan {
   std::vector<double> eps_per_level_;
   PlannedTreeGls gls_;
   std::vector<size_t> leaves_;  // node ids of leaves, in tree order
+  // Flattened measurement schedule (level order, the rng draw order):
+  // node id, prefix-table endpoints, and the per-draw noise scale — so the
+  // hot measure loop is sequential array walks with no per-node division.
+  std::vector<size_t> meas_node_;
+  std::vector<size_t> meas_lo_;
+  std::vector<size_t> meas_hi1_;  // hi + 1
+  std::vector<double> meas_scale_;
 };
 
 }  // namespace hier_internal

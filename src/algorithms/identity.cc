@@ -14,13 +14,17 @@ class IdentityPlan : public MechanismPlan {
         epsilon_(epsilon) {}
 
   Result<DataVector> Execute(const ExecContext& ctx) const override {
+    DataVector out;
+    DPB_RETURN_NOT_OK(ExecuteInto(ctx, &out));
+    return out;
+  }
+
+  Status ExecuteInto(const ExecContext& ctx, DataVector* out) const override {
     DPB_RETURN_NOT_OK(CheckExec(ctx));
+    PrepareOut(out);
     // Sensitivity of the full histogram is 1: one record changes one cell.
-    DPB_ASSIGN_OR_RETURN(
-        std::vector<double> noisy,
-        LaplaceMechanism(ctx.data.counts(), /*sensitivity=*/1.0, epsilon_,
-                         ctx.rng));
-    return DataVector(domain(), std::move(noisy));
+    return LaplaceMechanismInto(ctx.data.counts(), /*sensitivity=*/1.0,
+                                epsilon_, ctx.rng, &out->mutable_counts());
   }
 
  private:

@@ -36,6 +36,17 @@ Status MechanismPlan::CheckExec(const ExecContext& ctx) const {
   return Status::OK();
 }
 
+Status MechanismPlan::ExecuteInto(const ExecContext& ctx,
+                                  DataVector* out) const {
+  DPB_ASSIGN_OR_RETURN(DataVector est, Execute(ctx));
+  *out = std::move(est);
+  return Status::OK();
+}
+
+void MechanismPlan::PrepareOut(DataVector* out) const {
+  if (out->domain() != domain_) *out = DataVector(domain_);
+}
+
 /// Default plan for data-dependent algorithms: captures the plan-time
 /// inputs and defers all work to RunImpl() at execution time.
 class PassThroughPlan : public MechanismPlan {

@@ -61,10 +61,34 @@ struct PlanContext {
   SideInfo side_info;          ///< optional public side information
 };
 
+/// Reusable buffer arena for the execute hot path. The experiment engine
+/// owns one ExecScratch per worker thread and threads it through
+/// ExecContext so the execute-many trial loop performs zero per-trial heap
+/// allocations in the steady state: buffers are assign()ed (reusing
+/// capacity) instead of freshly constructed. The buffers carry no state
+/// between trials — every use fully overwrites what it reads — so results
+/// are bit-identical with or without scratch.
+///
+/// A scratch belongs to exactly one thread at a time. The named buffers
+/// are a convention, not a contract; a plan may use any of them for any
+/// purpose as long as nested plan execution (e.g. GREEDY_H-2D delegating
+/// to its linearized 1D plan) does not clobber a buffer the outer plan
+/// still reads.
+struct ExecScratch {
+  std::vector<double> prefix;    ///< prefix sums / padded input / work space
+  std::vector<double> y;         ///< per-node measurements / padded 2D grid
+  std::vector<double> z;         ///< GLS bottom-up pass / column gather
+  std::vector<double> node_est;  ///< GLS node estimates / column scatter
+  std::vector<double> coef;      ///< wavelet coefficients / 2D transform grid
+  DataVector linear;             ///< Hilbert-linearized input (GREEDY_H 2D)
+  DataVector linear_est;         ///< estimate on the linearized domain
+};
+
 /// Data-dependent inputs consumed at execution time.
 struct ExecContext {
-  const DataVector& data;      ///< true histogram x
-  Rng* rng = nullptr;          ///< randomness source (seeded by caller)
+  const DataVector& data;        ///< true histogram x
+  Rng* rng = nullptr;            ///< randomness source (seeded by caller)
+  ExecScratch* scratch = nullptr;  ///< optional per-thread buffer arena
 };
 
 /// An immutable, reusable execution plan produced by Mechanism::Plan().
@@ -82,6 +106,14 @@ class MechanismPlan {
   /// planned epsilon-DP budget; returns the estimate x-hat.
   virtual Result<DataVector> Execute(const ExecContext& ctx) const = 0;
 
+  /// Executes into *out, reusing its storage when it is already a vector
+  /// on the planned domain — the allocation-free form the experiment
+  /// engine's trial loop uses together with ExecContext::scratch. The
+  /// default delegates to Execute(); hot plans override it (and implement
+  /// Execute() as a thin allocate-and-delegate wrapper). Results are
+  /// bit-identical to Execute() on the same rng stream.
+  virtual Status ExecuteInto(const ExecContext& ctx, DataVector* out) const;
+
   /// True if the plan holds real precomputed state; false for the default
   /// pass-through plan of data-dependent algorithms (useful for cache
   /// accounting — caching a pass-through plan saves nothing).
@@ -97,6 +129,12 @@ class MechanismPlan {
   /// Validates execution preconditions (rng present, data on the planned
   /// domain). Call first in Execute() implementations.
   Status CheckExec(const ExecContext& ctx) const;
+
+  /// Ensures *out is a vector on the planned domain. When it already is
+  /// (every trial after a cell's first), the existing buffer is reused and
+  /// nothing is allocated; ExecuteInto overrides must then overwrite every
+  /// cell.
+  void PrepareOut(DataVector* out) const;
 
  private:
   std::string mechanism_name_;

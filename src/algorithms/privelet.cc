@@ -9,129 +9,160 @@ namespace dpbench {
 
 namespace wavelet {
 
+void HaarForwardInPlace(double* work, double* coef, size_t n) {
+  DPB_CHECK(IsPowerOfTwo(n));
+  // Each pass halves the sum pyramid held in work[0..half*2) and emits its
+  // detail coefficients at coef[half..2*half) — writing work[i] from
+  // work[2i], work[2i+1] is safe because i <= 2i.
+  for (size_t half = n / 2; half >= 1; half /= 2) {
+    for (size_t i = 0; i < half; ++i) {
+      double a = work[2 * i], b = work[2 * i + 1];
+      work[i] = a + b;
+      coef[half + i] = a - b;
+    }
+  }
+  coef[0] = work[0];  // grand total
+}
+
+void HaarInverseInPlace(const double* coef, double* out, size_t n) {
+  DPB_CHECK(IsPowerOfTwo(n));
+  out[0] = coef[0];
+  // Expand the sum pyramid inside `out`: iterating i downwards keeps the
+  // not-yet-consumed sums (indices < i) intact while writing 2i, 2i+1.
+  for (size_t half = 1; half < n; half *= 2) {
+    for (size_t i = half; i-- > 0;) {
+      double d = coef[half + i];
+      double s = out[i];
+      out[2 * i] = (s + d) / 2.0;
+      out[2 * i + 1] = (s - d) / 2.0;
+    }
+  }
+}
+
 std::vector<double> HaarForward(const std::vector<double>& x) {
   DPB_CHECK(IsPowerOfTwo(x.size()));
-  size_t n = x.size();
-  std::vector<double> sums = x;
-  std::vector<std::vector<double>> detail_levels;  // finest first
-  while (sums.size() > 1) {
-    size_t half = sums.size() / 2;
-    std::vector<double> next(half), details(half);
-    for (size_t i = 0; i < half; ++i) {
-      next[i] = sums[2 * i] + sums[2 * i + 1];
-      details[i] = sums[2 * i] - sums[2 * i + 1];
-    }
-    detail_levels.push_back(std::move(details));
-    sums = std::move(next);
-  }
-  std::vector<double> coef;
-  coef.reserve(n);
-  coef.push_back(sums[0]);  // grand total
-  for (auto it = detail_levels.rbegin(); it != detail_levels.rend(); ++it) {
-    coef.insert(coef.end(), it->begin(), it->end());
-  }
+  std::vector<double> work = x;
+  std::vector<double> coef(x.size());
+  HaarForwardInPlace(work.data(), coef.data(), x.size());
   return coef;
 }
 
 std::vector<double> HaarInverse(const std::vector<double>& coef) {
   DPB_CHECK(IsPowerOfTwo(coef.size()));
-  size_t n = coef.size();
-  std::vector<double> sums{coef[0]};
-  size_t pos = 1;
-  while (sums.size() < n) {
-    size_t half = sums.size();
-    std::vector<double> next(2 * half);
-    for (size_t i = 0; i < half; ++i) {
-      double d = coef[pos + i];
-      next[2 * i] = (sums[i] + d) / 2.0;
-      next[2 * i + 1] = (sums[i] - d) / 2.0;
-    }
-    pos += half;
-    sums = std::move(next);
-  }
-  return sums;
+  std::vector<double> out(coef.size());
+  HaarInverseInPlace(coef.data(), out.data(), coef.size());
+  return out;
 }
 
 }  // namespace wavelet
 
 namespace {
 
-// Pads to the next power of two with zero cells (padding is public: it
-// depends only on the domain geometry).
-std::vector<double> PadPow2(const std::vector<double>& x) {
-  size_t n = NextPowerOfTwo(x.size());
-  std::vector<double> out = x;
-  out.resize(n, 0.0);
-  return out;
-}
-
-}  // namespace
-
-namespace {
-
-// Plan-time state of the wavelet mechanism: padded transform geometry and
-// the per-coefficient Laplace noise scale (the L1 sensitivity of the
-// transform divided by epsilon). Both depend only on the domain.
+// Plan-time state of the wavelet mechanism: the padded transform layout
+// (per-dimension power-of-two sizes, from which the in-place Haar level
+// offsets follow) and the per-coefficient Laplace noise scale (the L1
+// sensitivity of the transform divided by epsilon). All of it depends only
+// on the domain, so execution is two in-place transform sweeps over
+// scratch buffers — no per-level vector churn.
 class PriveletPlan : public MechanismPlan {
  public:
-  PriveletPlan(std::string name, Domain domain, double noise_scale)
+  PriveletPlan(std::string name, Domain domain, size_t padded_rows,
+               size_t padded_cols, double noise_scale)
       : MechanismPlan(std::move(name), std::move(domain)),
+        padded_rows_(padded_rows),
+        padded_cols_(padded_cols),
         noise_scale_(noise_scale) {}
 
   Result<DataVector> Execute(const ExecContext& ctx) const override {
-    DPB_RETURN_NOT_OK(CheckExec(ctx));
-    if (domain().num_dims() == 1) return Execute1D(ctx);
-    return Execute2D(ctx);
-  }
-
- private:
-  Result<DataVector> Execute1D(const ExecContext& ctx) const {
-    std::vector<double> padded = PadPow2(ctx.data.counts());
-    std::vector<double> coef = wavelet::HaarForward(padded);
-    for (double& c : coef) {
-      c += ctx.rng->Laplace(noise_scale_);
-    }
-    std::vector<double> rec = wavelet::HaarInverse(coef);
-    rec.resize(ctx.data.size());
-    return DataVector(domain(), std::move(rec));
-  }
-
-  Result<DataVector> Execute2D(const ExecContext& ctx) const {
-    // 2D separable transform: rows, then columns.
-    size_t rows = domain().size(0), cols = domain().size(1);
-    size_t prow = NextPowerOfTwo(rows), pcol = NextPowerOfTwo(cols);
-    std::vector<std::vector<double>> grid(prow,
-                                          std::vector<double>(pcol, 0.0));
-    for (size_t r = 0; r < rows; ++r) {
-      for (size_t c = 0; c < cols; ++c) grid[r][c] = ctx.data[r * cols + c];
-    }
-    for (size_t r = 0; r < prow; ++r) grid[r] = wavelet::HaarForward(grid[r]);
-    for (size_t c = 0; c < pcol; ++c) {
-      std::vector<double> col(prow);
-      for (size_t r = 0; r < prow; ++r) col[r] = grid[r][c];
-      col = wavelet::HaarForward(col);
-      for (size_t r = 0; r < prow; ++r) grid[r][c] = col[r];
-    }
-    for (size_t r = 0; r < prow; ++r) {
-      for (size_t c = 0; c < pcol; ++c) {
-        grid[r][c] += ctx.rng->Laplace(noise_scale_);
-      }
-    }
-    for (size_t c = 0; c < pcol; ++c) {
-      std::vector<double> col(prow);
-      for (size_t r = 0; r < prow; ++r) col[r] = grid[r][c];
-      col = wavelet::HaarInverse(col);
-      for (size_t r = 0; r < prow; ++r) grid[r][c] = col[r];
-    }
-    for (size_t r = 0; r < prow; ++r) grid[r] = wavelet::HaarInverse(grid[r]);
-
-    DataVector out(domain());
-    for (size_t r = 0; r < rows; ++r) {
-      for (size_t c = 0; c < cols; ++c) out[r * cols + c] = grid[r][c];
-    }
+    DataVector out;
+    DPB_RETURN_NOT_OK(ExecuteInto(ctx, &out));
     return out;
   }
 
+  Status ExecuteInto(const ExecContext& ctx, DataVector* out) const override {
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    ExecScratch local;
+    ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local;
+    if (domain().num_dims() == 1) return Execute1D(ctx, s, out);
+    return Execute2D(ctx, s, out);
+  }
+
+ private:
+  Status Execute1D(const ExecContext& ctx, ExecScratch& s,
+                   DataVector* out) const {
+    size_t n = padded_cols_;
+    // Pad to the planned power of two (padding is public: it depends only
+    // on the domain geometry), transform in place, perturb, invert.
+    std::vector<double>& work = s.prefix;
+    work.assign(n, 0.0);
+    const std::vector<double>& counts = ctx.data.counts();
+    for (size_t i = 0; i < counts.size(); ++i) work[i] = counts[i];
+    std::vector<double>& coef = s.coef;
+    coef.assign(n, 0.0);
+    wavelet::HaarForwardInPlace(work.data(), coef.data(), n);
+    for (double& c : coef) {
+      c += ctx.rng->Laplace(noise_scale_);
+    }
+    wavelet::HaarInverseInPlace(coef.data(), work.data(), n);
+    PrepareOut(out);
+    std::vector<double>& cells = out->mutable_counts();
+    for (size_t i = 0; i < cells.size(); ++i) cells[i] = work[i];
+    return Status::OK();
+  }
+
+  Status Execute2D(const ExecContext& ctx, ExecScratch& s,
+                   DataVector* out) const {
+    // 2D separable transform: rows, then columns — all sweeps run over two
+    // flat padded grids (data pyramid + coefficient grid) and two
+    // column-gather buffers from the scratch arena.
+    size_t rows = domain().size(0), cols = domain().size(1);
+    size_t prow = padded_rows_, pcol = padded_cols_;
+    std::vector<double>& grid = s.y;       // row pyramids, later row output
+    std::vector<double>& coef = s.coef;    // transformed grid
+    std::vector<double>& colw = s.z;       // column gather / work
+    std::vector<double>& colc = s.node_est;  // column coefficients
+    grid.assign(prow * pcol, 0.0);
+    coef.assign(prow * pcol, 0.0);
+    colw.assign(prow, 0.0);
+    colc.assign(prow, 0.0);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        grid[r * pcol + c] = ctx.data[r * cols + c];
+      }
+    }
+    for (size_t r = 0; r < prow; ++r) {
+      wavelet::HaarForwardInPlace(&grid[r * pcol], &coef[r * pcol], pcol);
+    }
+    for (size_t c = 0; c < pcol; ++c) {
+      for (size_t r = 0; r < prow; ++r) colw[r] = coef[r * pcol + c];
+      wavelet::HaarForwardInPlace(colw.data(), colc.data(), prow);
+      for (size_t r = 0; r < prow; ++r) coef[r * pcol + c] = colc[r];
+    }
+    for (size_t r = 0; r < prow; ++r) {
+      for (size_t c = 0; c < pcol; ++c) {
+        coef[r * pcol + c] += ctx.rng->Laplace(noise_scale_);
+      }
+    }
+    for (size_t c = 0; c < pcol; ++c) {
+      for (size_t r = 0; r < prow; ++r) colw[r] = coef[r * pcol + c];
+      wavelet::HaarInverseInPlace(colw.data(), colc.data(), prow);
+      for (size_t r = 0; r < prow; ++r) coef[r * pcol + c] = colc[r];
+    }
+    for (size_t r = 0; r < prow; ++r) {
+      wavelet::HaarInverseInPlace(&coef[r * pcol], &grid[r * pcol], pcol);
+    }
+    PrepareOut(out);
+    std::vector<double>& cells = out->mutable_counts();
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        cells[r * cols + c] = grid[r * pcol + c];
+      }
+    }
+    return Status::OK();
+  }
+
+  size_t padded_rows_;  // 1 in 1D
+  size_t padded_cols_;
   double noise_scale_;
 };
 
@@ -140,17 +171,19 @@ class PriveletPlan : public MechanismPlan {
 Result<PlanPtr> PriveletMechanism::Plan(const PlanContext& ctx) const {
   DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
   double sensitivity;
+  size_t prow, pcol;
   if (ctx.domain.num_dims() == 1) {
-    size_t padded = NextPowerOfTwo(ctx.domain.TotalCells());
-    sensitivity = 1.0 + static_cast<double>(FloorLog2(padded));
+    prow = 1;
+    pcol = NextPowerOfTwo(ctx.domain.TotalCells());
+    sensitivity = 1.0 + static_cast<double>(FloorLog2(pcol));
   } else {
-    size_t prow = NextPowerOfTwo(ctx.domain.size(0));
-    size_t pcol = NextPowerOfTwo(ctx.domain.size(1));
+    prow = NextPowerOfTwo(ctx.domain.size(0));
+    pcol = NextPowerOfTwo(ctx.domain.size(1));
     sensitivity = (1.0 + static_cast<double>(FloorLog2(prow))) *
                   (1.0 + static_cast<double>(FloorLog2(pcol)));
   }
-  return PlanPtr(
-      new PriveletPlan(name(), ctx.domain, sensitivity / ctx.epsilon));
+  return PlanPtr(new PriveletPlan(name(), ctx.domain, prow, pcol,
+                                  sensitivity / ctx.epsilon));
 }
 
 }  // namespace dpbench

@@ -33,6 +33,22 @@ std::vector<double> HaarForward(const std::vector<double>& x);
 /// Exact inverse of HaarForward.
 std::vector<double> HaarInverse(const std::vector<double>& coef);
 
+/// In-place planned forms used by the allocation-free execute path. Both
+/// produce bit-identical values to the vector forms above (same arithmetic
+/// in the same order); they differ only in storage discipline. `n` must be
+/// a power of two and `work`/`coef`/`out` must be distinct length-n spans.
+///
+/// Forward: reads work[0..n) (clobbering it as the sum pyramid collapses)
+/// and writes the coefficient layout into coef[0..n). The detail
+/// coefficients of the pass producing `half` outputs land at
+/// coef[half..2*half) — a binary-heap layout, which is the "level layout"
+/// a PRIVELET plan precomputes once from its padded domain size.
+void HaarForwardInPlace(double* work, double* coef, size_t n);
+
+/// Inverse: reads coef[0..n) and writes the reconstruction into out[0..n),
+/// expanding the sum pyramid inside `out` itself.
+void HaarInverseInPlace(const double* coef, double* out, size_t n);
+
 }  // namespace wavelet
 
 }  // namespace dpbench

@@ -220,9 +220,20 @@ Result<PlannedTreeGls> PlannedTreeGls::Build(
 
 std::vector<double> PlannedTreeGls::InferNodes(
     const std::vector<double>& y) const {
+  std::vector<double> z, est;
+  InferNodesInto(y, &z, &est);
+  return est;
+}
+
+void PlannedTreeGls::InferNodesInto(const std::vector<double>& y,
+                                    std::vector<double>* z_buf,
+                                    std::vector<double>* est_buf) const {
   const size_t n = a_.size();
   DPB_CHECK_EQ(y.size(), n);
-  std::vector<double> z(n, 0.0);
+  z_buf->assign(n, 0.0);
+  est_buf->assign(n, 0.0);
+  std::vector<double>& z = *z_buf;
+  std::vector<double>& est = *est_buf;
   for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
     size_t v = *it;
     double zc = 0.0;
@@ -231,7 +242,6 @@ std::vector<double> PlannedTreeGls::InferNodes(
     }
     z[v] = a_[v] * y[v] + b_[v] * zc;
   }
-  std::vector<double> est(n, 0.0);
   est[root_] = z[root_];
   for (size_t v : order_) {
     size_t begin = child_start_[v], end = child_start_[v + 1];
@@ -244,7 +254,6 @@ std::vector<double> PlannedTreeGls::InferNodes(
       est[c] = z[c] + residual * r_[c];
     }
   }
-  return est;
 }
 
 RangeTree RangeTree::Build(size_t n, size_t branching) {

@@ -65,6 +65,13 @@ class PlannedTreeGls {
   /// TreeGlsInfer on the same inputs.
   std::vector<double> InferNodes(const std::vector<double>& y) const;
 
+  /// Allocation-free form of InferNodes: both passes run in caller-owned
+  /// buffers (reusing their capacity). `z` holds the bottom-up
+  /// accumulators, `est` receives the node estimates; both are fully
+  /// overwritten. Results are bit-identical to InferNodes.
+  void InferNodesInto(const std::vector<double>& y, std::vector<double>* z,
+                      std::vector<double>* est) const;
+
   size_t num_nodes() const { return a_.size(); }
 
  private:

@@ -1,7 +1,5 @@
 #include "src/algorithms/uniform.h"
 
-#include "src/mechanisms/laplace.h"
-
 namespace dpbench {
 
 namespace {
@@ -13,16 +11,23 @@ class UniformPlan : public MechanismPlan {
         epsilon_(epsilon) {}
 
   Result<DataVector> Execute(const ExecContext& ctx) const override {
-    DPB_RETURN_NOT_OK(CheckExec(ctx));
-    DPB_ASSIGN_OR_RETURN(
-        double total,
-        LaplaceMechanismScalar(ctx.data.Scale(), /*sensitivity=*/1.0,
-                               epsilon_, ctx.rng));
-    size_t n = ctx.data.size();
-    DataVector out(domain());
-    double per_cell = total / static_cast<double>(n);
-    for (size_t i = 0; i < n; ++i) out[i] = per_cell;
+    DataVector out;
+    DPB_RETURN_NOT_OK(ExecuteInto(ctx, &out));
     return out;
+  }
+
+  Status ExecuteInto(const ExecContext& ctx, DataVector* out) const override {
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    // Single scalar measurement; epsilon > 0 was validated at plan time,
+    // so draw the noise directly (no temporary vector).
+    double total =
+        ctx.data.Scale() + ctx.rng->Laplace(/*scale=*/1.0 / epsilon_);
+    size_t n = ctx.data.size();
+    PrepareOut(out);
+    std::vector<double>& cells = out->mutable_counts();
+    double per_cell = total / static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) cells[i] = per_cell;
+    return Status::OK();
   }
 
  private:

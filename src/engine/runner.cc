@@ -216,40 +216,61 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
   double plan_seconds = SecondsSince(plan_start);
 
   // Phase 2b: execute cells (independently seeded, hence parallelizable).
+  // Each worker owns a scratch arena (buffers + estimate + workload
+  // answers), so the trial loop performs zero per-trial heap allocations
+  // in the steady state. Scratch never carries values between trials —
+  // every use fully overwrites what it reads — so results stay
+  // bit-identical across thread counts and worker assignments.
   auto exec_start = std::chrono::steady_clock::now();
   std::vector<CellResult> out(tasks.size());
   std::vector<Status> failures(tasks.size(), Status::OK());
   std::mutex progress_mu;
 
-  auto run_cell = [&](size_t idx) {
+  struct WorkerState {
+    ExecScratch scratch;
+    DataVector est;             // reusable estimate slot
+    std::vector<double> y_hat;  // workload answers
+    std::vector<double> cum;    // workload prefix-sum table
+  };
+  std::vector<WorkerState> workers(pool.num_threads());
+
+  auto run_cell = [&](size_t idx, size_t worker) {
+    WorkerState& ws = workers[worker];
     const CellTask& task = tasks[idx];
     const PlanPtr& plan = plan_cache.at(task.plan_key);
     CellResult cell;
     cell.key = task.key;
-    cell.errors.reserve(task.input->samples.size() *
-                        config.runs_per_sample);
+    StreamingSummary stream;
+    if (config.retain_raw_errors) {
+      cell.errors.reserve(task.input->samples.size() *
+                          config.runs_per_sample);
+    }
     Rng run_rng(StreamSeed(config.seed, "run/" + task.key.ToString()));
-    std::vector<double> y_hat;
     for (size_t s = 0; s < task.input->samples.size(); ++s) {
       const DataVector& x = task.input->samples[s];
       for (size_t r = 0; r < config.runs_per_sample; ++r) {
-        ExecContext ectx{x, &run_rng};
-        auto est = plan->Execute(ectx);
-        if (!est.ok()) {
-          failures[idx] = est.status();
+        ExecContext ectx{x, &run_rng, &ws.scratch};
+        Status exec_status = plan->ExecuteInto(ectx, &ws.est);
+        if (!exec_status.ok()) {
+          failures[idx] = exec_status;
           return;
         }
-        task.input->workload->EvaluateInto(*est, &y_hat);
-        auto err = ScaledL2PerQueryError(task.input->true_answers[s], y_hat,
-                                         x.Scale());
+        task.input->workload->EvaluateInto(ws.est, &ws.cum, &ws.y_hat);
+        auto err = ScaledL2PerQueryError(task.input->true_answers[s],
+                                         ws.y_hat, x.Scale());
         if (!err.ok()) {
           failures[idx] = err.status();
           return;
         }
-        cell.errors.push_back(*err);
+        if (config.retain_raw_errors) {
+          cell.errors.push_back(*err);
+        } else {
+          stream.Add(*err);
+        }
       }
     }
-    auto summary = Summarize(cell.errors);
+    auto summary =
+        config.retain_raw_errors ? Summarize(cell.errors) : stream.Finalize();
     if (!summary.ok()) {
       failures[idx] = summary.status();
       return;
@@ -262,7 +283,7 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
     out[idx] = std::move(cell);
   };
 
-  pool.ParallelFor(tasks.size(), run_cell);
+  pool.ParallelForWorker(tasks.size(), run_cell);
   for (const Status& st : failures) {
     DPB_RETURN_NOT_OK(st);
   }
@@ -272,7 +293,7 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
     diagnostics->cells = tasks.size();
     diagnostics->trials = 0;
     for (const CellResult& cell : out) {
-      diagnostics->trials += cell.errors.size();
+      diagnostics->trials += cell.summary.trials;
     }
     diagnostics->plans_built = plan_cache.size();
     diagnostics->plan_cache_hits =
@@ -280,19 +301,45 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
                                          : 0;
     diagnostics->plan_seconds = plan_seconds;
     diagnostics->execute_seconds = SecondsSince(exec_start);
+    diagnostics->trials_per_second =
+        diagnostics->execute_seconds > 0.0
+            ? static_cast<double>(diagnostics->trials) /
+                  diagnostics->execute_seconds
+            : 0.0;
+    PoolStats pstats = pool.stats();
+    diagnostics->pool_parallel_jobs = pstats.parallel_jobs;
+    diagnostics->pool_tasks_executed = pstats.tasks_executed;
+    diagnostics->pool_tasks_stolen = pstats.tasks_stolen;
   }
   return out;
 }
+
+namespace {
+
+std::string SettingLabel(const ConfigKey& key) {
+  std::ostringstream setting;
+  setting << key.dataset << "/scale=" << key.scale
+          << "/domain=" << key.domain_size << "/eps=" << key.epsilon;
+  return setting.str();
+}
+
+}  // namespace
 
 std::map<std::string, std::map<std::string, std::vector<double>>>
 Runner::GroupBySetting(const std::vector<CellResult>& results) {
   std::map<std::string, std::map<std::string, std::vector<double>>> grouped;
   for (const CellResult& cell : results) {
-    std::ostringstream setting;
-    setting << cell.key.dataset << "/scale=" << cell.key.scale
-            << "/domain=" << cell.key.domain_size
-            << "/eps=" << cell.key.epsilon;
-    grouped[setting.str()][cell.key.algorithm] = cell.errors;
+    grouped[SettingLabel(cell.key)][cell.key.algorithm] = cell.errors;
+  }
+  return grouped;
+}
+
+std::map<std::string, std::map<std::string, std::vector<double>>>
+Runner::GroupBySetting(std::vector<CellResult>&& results) {
+  std::map<std::string, std::map<std::string, std::vector<double>>> grouped;
+  for (CellResult& cell : results) {
+    grouped[SettingLabel(cell.key)][cell.key.algorithm] =
+        std::move(cell.errors);
   }
   return grouped;
 }

@@ -46,6 +46,13 @@ struct ExperimentConfig {
   uint64_t seed = 20160626;       ///< master seed (SIGMOD'16 vintage)
   bool provide_true_scale = true; ///< expose scale as side info (paper §6.4)
   size_t threads = 1;             ///< worker threads (cells are independent)
+  /// When false, per-trial errors are folded into a StreamingSummary and
+  /// CellResult::errors stays empty: memory per cell is O(1) in the trial
+  /// count (the paper-scale mode). Mean/stddev then agree with the exact
+  /// path to accumulation accuracy and p95 is the P-squared estimate (exact
+  /// below StreamingSummary::kExactWindow trials). Raw-error consumers
+  /// (GroupBySetting/CompetitiveSet) need the default `true`.
+  bool retain_raw_errors = true;
 };
 
 /// Identifier of one grid cell.
@@ -61,6 +68,7 @@ struct ConfigKey {
 };
 
 /// Result of one grid cell: raw per-trial errors plus the summary.
+/// `errors` is empty when the run used retain_raw_errors=false.
 struct CellResult {
   ConfigKey key;
   std::vector<double> errors;
@@ -88,6 +96,11 @@ struct RunDiagnostics {
   size_t plan_cache_hits = 0;  ///< cell-plan lookups served from cache
   double plan_seconds = 0.0;     ///< wall time building plans
   double execute_seconds = 0.0;  ///< wall time executing cells
+  double trials_per_second = 0.0;  ///< trials / execute_seconds
+  /// Pool utilization over this run (persistent-pool counters).
+  uint64_t pool_parallel_jobs = 0;   ///< ParallelFor phases served
+  uint64_t pool_tasks_executed = 0;  ///< plan + cell tasks run on the pool
+  uint64_t pool_tasks_stolen = 0;    ///< tasks balanced via work stealing
 };
 
 /// Runs the grid. `progress` (optional) is invoked after each cell.
@@ -109,8 +122,15 @@ class Runner {
 
   /// Groups cell results by (dataset, scale, domain, eps), mapping
   /// algorithm name to raw errors — the input shape CompetitiveSet needs.
+  /// This overload copies every error vector; prefer the rvalue overload
+  /// when the results are not needed afterwards.
   static std::map<std::string, std::map<std::string, std::vector<double>>>
   GroupBySetting(const std::vector<CellResult>& results);
+
+  /// Moving overload: steals each cell's error vector instead of copying,
+  /// so competitive-set analysis does not double paper-scale memory.
+  static std::map<std::string, std::map<std::string, std::vector<double>>>
+  GroupBySetting(std::vector<CellResult>&& results);
 };
 
 /// Builds the benchmark workload for a domain.

@@ -20,6 +20,109 @@ Result<ErrorSummary> Summarize(const std::vector<double>& errors) {
   return s;
 }
 
+namespace {
+
+constexpr double kP2Quantile = 0.95;
+
+}  // namespace
+
+void StreamingSummary::Add(double x) {
+  // Welford update.
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+
+  if (count_ <= kExactWindow) window_[count_ - 1] = x;
+  AddP2(x);
+}
+
+void StreamingSummary::AddP2(double x) {
+  const double p = kP2Quantile;
+  if (count_ <= 5) {
+    // Collect the first five observations, kept sorted.
+    size_t i = count_ - 1;
+    q_[i] = x;
+    for (; i > 0 && q_[i - 1] > q_[i]; --i) std::swap(q_[i - 1], q_[i]);
+    if (count_ == 5) {
+      for (size_t k = 0; k < 5; ++k) pos_[k] = static_cast<double>(k + 1);
+      des_ = {1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0};
+    }
+    return;
+  }
+
+  // Locate the cell containing x, clamping the extreme markers.
+  size_t k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x >= q_[4]) {
+    q_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= q_[k + 1]) ++k;
+  }
+  for (size_t i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  const std::array<double, 5> dn = {0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0};
+  for (size_t i = 0; i < 5; ++i) des_[i] += dn[i];
+
+  // Nudge the three interior markers toward their desired positions with
+  // piecewise-parabolic (P^2) interpolation, falling back to linear when
+  // the parabola would leave the bracketing heights.
+  for (size_t i = 1; i <= 3; ++i) {
+    double d = des_[i] - pos_[i];
+    double right_gap = pos_[i + 1] - pos_[i];
+    double left_gap = pos_[i - 1] - pos_[i];
+    if ((d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0)) {
+      double sign = d >= 1.0 ? 1.0 : -1.0;
+      double qp = q_[i] +
+                  sign / (pos_[i + 1] - pos_[i - 1]) *
+                      ((pos_[i] - pos_[i - 1] + sign) * (q_[i + 1] - q_[i]) /
+                           right_gap +
+                       (pos_[i + 1] - pos_[i] - sign) * (q_[i] - q_[i - 1]) /
+                           (pos_[i] - pos_[i - 1]));
+      if (q_[i - 1] < qp && qp < q_[i + 1]) {
+        q_[i] = qp;
+      } else {
+        // Linear toward the neighbour in the movement direction.
+        size_t j = d >= 1.0 ? i + 1 : i - 1;
+        q_[i] += sign * (q_[j] - q_[i]) /
+                 (pos_[j] - pos_[i]);
+      }
+      pos_[i] += sign;
+    }
+  }
+}
+
+double StreamingSummary::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingSummary::stddev() const { return std::sqrt(variance()); }
+
+double StreamingSummary::p95() const {
+  if (count_ == 0) return 0.0;
+  if (count_ <= kExactWindow) {
+    std::vector<double> head(window_.begin(), window_.begin() + count_);
+    return Percentile(std::move(head), 95.0);
+  }
+  return q_[2];  // the middle marker tracks the p-quantile
+}
+
+Result<ErrorSummary> StreamingSummary::Finalize() const {
+  if (count_ == 0) {
+    return Status::InvalidArgument("no trials to summarize");
+  }
+  ErrorSummary s;
+  s.mean = mean();
+  s.stddev = stddev();
+  s.p95 = p95();
+  s.trials = count_;
+  return s;
+}
+
 Result<double> WelchTTestPValue(const std::vector<double>& xs,
                                 const std::vector<double>& ys) {
   if (xs.size() < 2 || ys.size() < 2) {

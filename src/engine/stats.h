@@ -4,6 +4,8 @@
 #ifndef DPBENCH_ENGINE_STATS_H_
 #define DPBENCH_ENGINE_STATS_H_
 
+#include <array>
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
@@ -22,6 +24,47 @@ struct ErrorSummary {
 
 /// Computes the summary from raw per-trial errors.
 Result<ErrorSummary> Summarize(const std::vector<double>& errors);
+
+/// O(1)-memory trial summary for paper-scale runs (millions of trials per
+/// grid): Welford's algorithm for mean/variance plus the P-squared
+/// streaming estimator (Jain & Chlamtac, CACM'85) for the 95th percentile.
+///
+/// Mean and stddev agree with the exact batch Summarize() to floating-
+/// point accumulation accuracy (~1e-15 relative). The p95 is exact while
+/// fewer than kExactWindow observations have arrived (they are kept in a
+/// fixed-size window and the batch percentile is computed from it) and
+/// switches to the P-squared marker estimate from then on.
+class StreamingSummary {
+ public:
+  /// Observations kept for the exact small-sample percentile fallback.
+  static constexpr size_t kExactWindow = 50;
+
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;  ///< unbiased (n-1); 0 for n < 2
+  double stddev() const;
+  double p95() const;
+
+  /// The summary of everything Add()ed so far; InvalidArgument when no
+  /// trials were observed (mirroring Summarize on an empty vector).
+  Result<ErrorSummary> Finalize() const;
+
+ private:
+  void AddP2(double x);
+
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations (Welford)
+
+  std::array<double, kExactWindow> window_{};  // first kExactWindow values
+
+  // P-squared state: 5 markers tracking {min, p/2, p, (1+p)/2, max}.
+  std::array<double, 5> q_{};   // marker heights
+  std::array<double, 5> pos_{}; // actual marker positions (1-based)
+  std::array<double, 5> des_{}; // desired marker positions
+};
 
 /// Welch's unpaired two-sample t-test. Returns the two-sided p-value for
 /// the null hypothesis that both samples have equal means.

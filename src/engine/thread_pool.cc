@@ -1,82 +1,112 @@
 #include "src/engine/thread_pool.h"
 
-#include <deque>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <algorithm>
 
 namespace dpbench {
 
-namespace {
-
-// One worker's task deque. Owner pops from the front; thieves pop from the
-// back. A plain mutex per deque is plenty: runner tasks are coarse
-// (milliseconds to seconds), so contention on the queue lock is noise.
-struct TaskDeque {
-  std::deque<size_t> tasks;
-  std::mutex mu;
-
-  bool PopFront(size_t* out) {
-    std::lock_guard<std::mutex> lock(mu);
-    if (tasks.empty()) return false;
-    *out = tasks.front();
-    tasks.pop_front();
-    return true;
-  }
-
-  bool PopBack(size_t* out) {
-    std::lock_guard<std::mutex> lock(mu);
-    if (tasks.empty()) return false;
-    *out = tasks.back();
-    tasks.pop_back();
-    return true;
-  }
-};
-
-}  // namespace
-
 WorkStealingPool::WorkStealingPool(size_t num_threads)
-    : num_threads_(num_threads == 0 ? 1 : num_threads) {}
+    : num_threads_(num_threads == 0 ? 1 : num_threads),
+      queues_(num_threads_) {
+  threads_.reserve(num_threads_ - 1);
+  for (size_t t = 1; t < num_threads_; ++t) {
+    threads_.emplace_back(&WorkStealingPool::WorkerLoop, this, t);
+  }
+}
 
-void WorkStealingPool::ParallelFor(
-    size_t num_tasks, const std::function<void(size_t)>& fn) const {
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkStealingPool::DrainTasks(size_t self) {
+  size_t task;
+  for (;;) {
+    if (queues_[self].PopFront(&task)) {
+      (*job_)(task, self);
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Own deque drained: steal one task from the back of a victim.
+    bool stole = false;
+    for (size_t off = 1; off < num_threads_; ++off) {
+      size_t victim = (self + off) % num_threads_;
+      if (queues_[victim].PopBack(&task)) {
+        stole = true;
+        break;
+      }
+    }
+    if (!stole) return;  // every deque empty: all tasks claimed
+    (*job_)(task, self);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void WorkStealingPool::WorkerLoop(size_t self) {
+  uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_work_.wait(lock,
+                  [&] { return shutdown_ || epoch_ != seen_epoch; });
+    if (shutdown_) return;
+    seen_epoch = epoch_;
+    lock.unlock();
+    DrainTasks(self);
+    lock.lock();
+    ++workers_done_;
+    if (workers_done_ == threads_.size()) cv_done_.notify_one();
+  }
+}
+
+void WorkStealingPool::ParallelForWorker(size_t num_tasks,
+                                         const WorkerFn& fn) {
   if (num_tasks == 0) return;
+  parallel_jobs_.fetch_add(1, std::memory_order_relaxed);
   if (num_threads_ == 1 || num_tasks == 1) {
-    for (size_t i = 0; i < num_tasks; ++i) fn(i);
+    for (size_t i = 0; i < num_tasks; ++i) fn(i, 0);
+    tasks_executed_.fetch_add(num_tasks, std::memory_order_relaxed);
     return;
   }
 
-  size_t workers = std::min(num_threads_, num_tasks);
-  std::vector<TaskDeque> queues(workers);
+  // All workers are parked (the previous job waited for quiescence), so
+  // the deques can be filled without holding their locks; publishing the
+  // epoch under mu_ gives the fills a happens-before edge to every worker.
+  size_t used = std::min(num_threads_, num_tasks);
   for (size_t i = 0; i < num_tasks; ++i) {
-    queues[i % workers].tasks.push_back(i);
+    queues_[i % used].tasks.push_back(i);
   }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    workers_done_ = 0;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
 
-  auto work = [&](size_t self) {
-    size_t task;
-    for (;;) {
-      if (queues[self].PopFront(&task)) {
-        fn(task);
-        continue;
-      }
-      // Own deque drained: steal one task from the back of a victim.
-      bool stole = false;
-      for (size_t off = 1; off < workers; ++off) {
-        size_t victim = (self + off) % workers;
-        if (queues[victim].PopBack(&task)) {
-          stole = true;
-          break;
-        }
-      }
-      if (!stole) return;  // every deque empty: all tasks claimed
-      fn(task);
-    }
-  };
+  // The owner participates as worker 0, then waits until every spawned
+  // worker has drained and parked — only then is it safe to reuse the
+  // deques (and for the caller to read results produced by stolen tasks).
+  DrainTasks(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return workers_done_ == threads_.size(); });
+  job_ = nullptr;
+}
 
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (size_t t = 0; t < workers; ++t) threads.emplace_back(work, t);
-  for (std::thread& t : threads) t.join();
+void WorkStealingPool::ParallelFor(size_t num_tasks,
+                                   const std::function<void(size_t)>& fn) {
+  ParallelForWorker(num_tasks, [&fn](size_t task, size_t) { fn(task); });
+}
+
+PoolStats WorkStealingPool::stats() const {
+  PoolStats s;
+  s.parallel_jobs = parallel_jobs_.load(std::memory_order_relaxed);
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace dpbench

@@ -1,39 +1,122 @@
-// A small work-stealing parallel-for used by the experiment runner.
+// A persistent work-stealing parallel-for used by the experiment runner.
 //
-// Tasks are pre-distributed round-robin across per-worker deques; a worker
-// drains its own deque from the front and, when empty, steals single tasks
-// from the back of a victim's deque. This keeps neighbouring cells (which
-// share plan-cache entries and data samples) on the same core while still
-// balancing the tail — grid cells have wildly different costs (IDENTITY at
-// domain 128 vs DAWA at 4096), so static partitioning alone stalls on
-// stragglers.
+// Workers are spawned once at construction and parked on a condition
+// variable between ParallelFor calls, so the execute-many trial loop pays
+// no thread spawn/join cost per phase. Tasks are pre-distributed
+// round-robin across per-worker deques; a worker drains its own deque from
+// the front and, when empty, steals single tasks from the back of a
+// victim's deque. This keeps neighbouring cells (which share plan-cache
+// entries and data samples) on the same core while still balancing the
+// tail — grid cells have wildly different costs (IDENTITY at domain 128 vs
+// DAWA at 4096), so static partitioning alone stalls on stragglers.
+//
+// The calling thread participates as worker 0; spawned threads are workers
+// 1..num_threads-1. Worker ids are stable for the lifetime of the pool and
+// are exposed through ParallelForWorker so callers can index per-thread
+// scratch state (the runner's ExecScratch arenas) without locking.
 //
 // Determinism: the pool makes no ordering promises, so callers must ensure
 // task results do not depend on execution order. The runner guarantees
 // this by seeding every cell independently (StreamSeed) and writing each
 // result to a distinct slot.
+//
+// Concurrency contract: ParallelFor/ParallelForWorker must be issued from
+// one thread at a time (the pool owner) and must not be called reentrantly
+// from inside a task. Destruction joins all workers (TSan-clean shutdown).
 #ifndef DPBENCH_ENGINE_THREAD_POOL_H_
 #define DPBENCH_ENGINE_THREAD_POOL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace dpbench {
 
+/// Lifetime counters of a pool — cheap relaxed atomics, suitable for
+/// utilization diagnostics (RunDiagnostics), not for synchronization.
+struct PoolStats {
+  uint64_t parallel_jobs = 0;   ///< ParallelFor/ParallelForWorker calls served
+  uint64_t tasks_executed = 0;  ///< total task-function invocations
+  uint64_t tasks_stolen = 0;    ///< tasks popped from another worker's deque
+};
+
 class WorkStealingPool {
  public:
-  /// `num_threads` == 0 or 1 means run inline on the calling thread.
+  /// fn(task, worker): `worker` is a stable id in [0, num_threads).
+  using WorkerFn = std::function<void(size_t task, size_t worker)>;
+
+  /// `num_threads` == 0 or 1 means run inline on the calling thread (no
+  /// workers are spawned — the 1-thread fast path takes no locks).
   explicit WorkStealingPool(size_t num_threads);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
 
   /// Runs fn(i) for every i in [0, num_tasks); blocks until all complete.
   /// fn must be safe to call concurrently from multiple threads.
-  void ParallelFor(size_t num_tasks,
-                   const std::function<void(size_t)>& fn) const;
+  void ParallelFor(size_t num_tasks, const std::function<void(size_t)>& fn);
+
+  /// As ParallelFor, but fn also receives the executing worker's id so the
+  /// caller can index per-thread scratch without synchronization. At most
+  /// one task runs per worker id at any instant.
+  void ParallelForWorker(size_t num_tasks, const WorkerFn& fn);
 
   size_t num_threads() const { return num_threads_; }
 
+  PoolStats stats() const;
+
  private:
+  // One worker's task deque. Owner pops from the front; thieves pop from
+  // the back. A plain mutex per deque is plenty: runner tasks are coarse
+  // (milliseconds to seconds), so contention on the queue lock is noise.
+  struct TaskDeque {
+    std::deque<size_t> tasks;
+    std::mutex mu;
+
+    bool PopFront(size_t* out) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (tasks.empty()) return false;
+      *out = tasks.front();
+      tasks.pop_front();
+      return true;
+    }
+
+    bool PopBack(size_t* out) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (tasks.empty()) return false;
+      *out = tasks.back();
+      tasks.pop_back();
+      return true;
+    }
+  };
+
+  void WorkerLoop(size_t self);
+  void DrainTasks(size_t self);
+
   size_t num_threads_;
+  std::vector<TaskDeque> queues_;
+
+  // Job state, published under mu_ at the start of every parallel region.
+  const WorkerFn* job_ = nullptr;
+  uint64_t epoch_ = 0;        // bumped per job; workers wake on change
+  size_t workers_done_ = 0;   // spawned workers that finished this epoch
+  bool shutdown_ = false;
+  std::mutex mu_;
+  std::condition_variable cv_work_;  // workers park here between jobs
+  std::condition_variable cv_done_;  // owner waits for quiescence here
+
+  std::atomic<uint64_t> parallel_jobs_{0};
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> tasks_stolen_{0};
+
+  std::vector<std::thread> threads_;  // workers 1..num_threads-1
 };
 
 }  // namespace dpbench

@@ -84,17 +84,19 @@ Result<DataVector> DataVector::Coarsen(
   return out;
 }
 
-PrefixSums::PrefixSums(const DataVector& x) : domain_(x.domain()) {
-  DPB_CHECK(domain_.num_dims() == 1 || domain_.num_dims() == 2);
-  if (domain_.num_dims() == 1) {
-    size_t n = domain_.size(0);
-    cum_.assign(n + 1, 0.0);
-    for (size_t i = 0; i < n; ++i) cum_[i + 1] = cum_[i] + x[i];
+void ComputePrefixSums(const DataVector& x, std::vector<double>* cum_out) {
+  const Domain& domain = x.domain();
+  DPB_CHECK(domain.num_dims() == 1 || domain.num_dims() == 2);
+  std::vector<double>& cum = *cum_out;
+  if (domain.num_dims() == 1) {
+    size_t n = domain.size(0);
+    cum.assign(n + 1, 0.0);
+    for (size_t i = 0; i < n; ++i) cum[i + 1] = cum[i] + x[i];
   } else {
-    size_t rows = domain_.size(0), cols = domain_.size(1);
-    cum_.assign((rows + 1) * (cols + 1), 0.0);
+    size_t rows = domain.size(0), cols = domain.size(1);
+    cum.assign((rows + 1) * (cols + 1), 0.0);
     auto at = [&](size_t r, size_t c) -> double& {
-      return cum_[r * (cols + 1) + c];
+      return cum[r * (cols + 1) + c];
     };
     for (size_t r = 1; r <= rows; ++r) {
       for (size_t c = 1; c <= cols; ++c) {
@@ -103,6 +105,10 @@ PrefixSums::PrefixSums(const DataVector& x) : domain_(x.domain()) {
       }
     }
   }
+}
+
+PrefixSums::PrefixSums(const DataVector& x) : domain_(x.domain()) {
+  ComputePrefixSums(x, &cum_);
 }
 
 double PrefixSums::RangeSum(const std::vector<size_t>& lo,

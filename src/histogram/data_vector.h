@@ -56,6 +56,12 @@ class DataVector {
   std::vector<double> counts_;
 };
 
+/// Fills *cum with the cumulative table PrefixSums builds (same layout and
+/// bit-identical values), reusing the buffer's capacity. Shared by
+/// PrefixSums and allocation-free callers that hold a scratch buffer
+/// (workload evaluation and grid-tree measurement in the trial hot loop).
+void ComputePrefixSums(const DataVector& x, std::vector<double>* cum);
+
 /// Cumulative (prefix-sum) view of a DataVector enabling O(2^k) range sums.
 /// Supports 1D and 2D (the dimensionalities DPBench evaluates).
 class PrefixSums {

@@ -2,9 +2,9 @@
 
 namespace dpbench {
 
-Result<std::vector<double>> LaplaceMechanism(const std::vector<double>& values,
-                                             double sensitivity,
-                                             double epsilon, Rng* rng) {
+Status LaplaceMechanismInto(const std::vector<double>& values,
+                            double sensitivity, double epsilon, Rng* rng,
+                            std::vector<double>* out) {
   if (epsilon <= 0.0) {
     return Status::InvalidArgument("LaplaceMechanism: epsilon must be > 0");
   }
@@ -13,10 +13,19 @@ Result<std::vector<double>> LaplaceMechanism(const std::vector<double>& values,
         "LaplaceMechanism: sensitivity must be > 0");
   }
   double scale = sensitivity / epsilon;
-  std::vector<double> out(values.size());
+  out->resize(values.size());
   for (size_t i = 0; i < values.size(); ++i) {
-    out[i] = values[i] + rng->Laplace(scale);
+    (*out)[i] = values[i] + rng->Laplace(scale);
   }
+  return Status::OK();
+}
+
+Result<std::vector<double>> LaplaceMechanism(const std::vector<double>& values,
+                                             double sensitivity,
+                                             double epsilon, Rng* rng) {
+  std::vector<double> out;
+  DPB_RETURN_NOT_OK(
+      LaplaceMechanismInto(values, sensitivity, epsilon, rng, &out));
   return out;
 }
 

@@ -16,6 +16,13 @@ Result<std::vector<double>> LaplaceMechanism(const std::vector<double>& values,
                                              double sensitivity,
                                              double epsilon, Rng* rng);
 
+/// Allocation-free form: writes values + noise into *out, reusing its
+/// capacity. Same noise-draw order (hence bit-identical results) as
+/// LaplaceMechanism.
+Status LaplaceMechanismInto(const std::vector<double>& values,
+                            double sensitivity, double epsilon, Rng* rng,
+                            std::vector<double>* out);
+
 /// Scalar convenience overload.
 Result<double> LaplaceMechanismScalar(double value, double sensitivity,
                                       double epsilon, Rng* rng);

@@ -98,11 +98,18 @@ void Workload::BuildEvalPlan() {
 
 void Workload::EvaluateInto(const DataVector& x,
                             std::vector<double>* out) const {
+  std::vector<double> cum;
+  EvaluateInto(x, &cum, out);
+}
+
+void Workload::EvaluateInto(const DataVector& x,
+                            std::vector<double>* cum_scratch,
+                            std::vector<double>* out) const {
   DPB_CHECK(x.domain() == domain_);
   out->resize(queries_.size());
   if (eval_plan_ != nullptr) {
-    PrefixSums ps(x);
-    const std::vector<double>& cum = ps.raw();
+    ComputePrefixSums(x, cum_scratch);
+    const std::vector<double>& cum = *cum_scratch;
     const std::vector<size_t>& idx = eval_plan_->corner_idx;
     if (eval_plan_->terms_per_query == 2) {
       for (size_t i = 0; i < queries_.size(); ++i) {

@@ -62,9 +62,15 @@ class Workload {
   /// O(n + q) for 1D, O(n + q) for 2D.
   std::vector<double> Evaluate(const DataVector& x) const;
 
-  /// Evaluate() into a caller-owned buffer, reusing its capacity — the
-  /// allocation-free form the experiment engine's trial loop uses.
+  /// Evaluate() into a caller-owned buffer, reusing its capacity.
   void EvaluateInto(const DataVector& x, std::vector<double>* out) const;
+
+  /// Fully allocation-free form: the prefix-sum table is built in
+  /// *cum_scratch (reusing its capacity) instead of a fresh PrefixSums.
+  /// This is the variant the experiment engine's trial loop uses with its
+  /// per-thread scratch arena. Results are bit-identical to Evaluate().
+  void EvaluateInto(const DataVector& x, std::vector<double>* cum_scratch,
+                    std::vector<double>* out) const;
 
   /// Batched evaluation of many data vectors (e.g. the per-cell data
   /// samples, or repeated trial estimates) against the same workload.

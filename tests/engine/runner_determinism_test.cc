@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <map>
+#include <utility>
 
 #include "src/engine/runner.h"
 
@@ -114,6 +116,84 @@ TEST(RunnerDeterminismTest, DiagnosticsOptional) {
   c.datasets = {"ADULT"};
   c.epsilons = {0.1};
   EXPECT_TRUE(Runner::Run(c).ok());
+}
+
+TEST(RunnerDeterminismTest, StreamingSummariesMatchRetainedPath) {
+  // retain_raw_errors=false folds trials into StreamingSummary instead of
+  // keeping them; the summaries must agree with the exact path: mean and
+  // stddev to accumulation accuracy, p95 exactly here (trial counts below
+  // the streaming estimator's exact window).
+  ExperimentConfig retained = PlanHeavyConfig();
+  ExperimentConfig streaming = PlanHeavyConfig();
+  streaming.retain_raw_errors = false;
+  streaming.threads = 8;  // scratch arenas + streaming under parallelism
+
+  auto a = Runner::Run(retained);
+  auto b = Runner::Run(streaming);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    const CellResult& exact = (*a)[i];
+    const CellResult& stream = (*b)[i];
+    EXPECT_EQ(exact.key.ToString(), stream.key.ToString());
+    EXPECT_FALSE(exact.errors.empty());
+    EXPECT_TRUE(stream.errors.empty());  // O(1) per-cell memory
+    EXPECT_EQ(exact.summary.trials, stream.summary.trials);
+    double tol = 1e-12 * std::max(1.0, std::abs(exact.summary.mean));
+    EXPECT_NEAR(stream.summary.mean, exact.summary.mean, tol)
+        << exact.key.ToString();
+    EXPECT_NEAR(stream.summary.stddev, exact.summary.stddev,
+                1e-12 * std::max(1.0, exact.summary.stddev))
+        << exact.key.ToString();
+    EXPECT_EQ(stream.summary.p95, exact.summary.p95) << exact.key.ToString();
+  }
+}
+
+TEST(RunnerDeterminismTest, StreamingModeBitIdenticalAcrossThreadCounts) {
+  ExperimentConfig serial = PlanHeavyConfig();
+  serial.retain_raw_errors = false;
+  serial.threads = 1;
+  ExperimentConfig parallel = serial;
+  parallel.threads = 8;
+
+  auto a = Runner::Run(serial);
+  auto b = Runner::Run(parallel);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    // The streaming accumulators see trials in the same per-cell order
+    // regardless of scheduling, so even the summaries are bit-identical.
+    EXPECT_EQ((*a)[i].summary.mean, (*b)[i].summary.mean);
+    EXPECT_EQ((*a)[i].summary.stddev, (*b)[i].summary.stddev);
+    EXPECT_EQ((*a)[i].summary.p95, (*b)[i].summary.p95);
+  }
+}
+
+TEST(RunnerDeterminismTest, PoolDiagnosticsReportUtilization) {
+  ExperimentConfig c = PlanHeavyConfig();
+  c.threads = 4;
+  RunDiagnostics diag;
+  auto results = Runner::Run(c, nullptr, &diag);
+  ASSERT_TRUE(results.ok());
+  // One plan phase + one execute phase on the persistent pool.
+  EXPECT_EQ(diag.pool_parallel_jobs, 2u);
+  EXPECT_EQ(diag.pool_tasks_executed, diag.cells + diag.plans_built);
+  EXPECT_GT(diag.trials_per_second, 0.0);
+}
+
+TEST(RunnerDeterminismTest, GroupBySettingMoveMatchesCopy) {
+  ExperimentConfig c = PlanHeavyConfig();
+  auto results = Runner::Run(c);
+  ASSERT_TRUE(results.ok());
+  auto copied = Runner::GroupBySetting(*results);
+  auto moved = Runner::GroupBySetting(std::move(*results));
+  EXPECT_EQ(copied, moved);
+  // The moving overload stole the raw errors.
+  for (const CellResult& cell : *results) {
+    EXPECT_TRUE(cell.errors.empty());
+  }
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "src/common/rng.h"
 
 namespace dpbench {
@@ -137,6 +140,86 @@ TEST(CompetitiveSetTest, RejectsEmptyInput) {
   EXPECT_FALSE(CompetitiveSet({}).ok());
   std::map<std::string, std::vector<double>> errs{{"A", {}}};
   EXPECT_FALSE(CompetitiveSet(errs).ok());
+}
+
+// ---------------------------------------------------------------------------
+// StreamingSummary: Welford mean/variance must agree with the exact batch
+// path to accumulation accuracy; p95 is exact below kExactWindow trials and
+// a P-squared estimate (within tolerance) above.
+// ---------------------------------------------------------------------------
+
+std::vector<double> LaplaceLikeSamples(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Positive heavy-tailed values, the shape of scaled trial errors.
+    xs.push_back(0.01 + std::abs(rng.Laplace(0.5)));
+  }
+  return xs;
+}
+
+TEST(StreamingSummaryTest, MeanAndStddevMatchExactPath) {
+  for (size_t n : std::vector<size_t>{1, 2, 10, 49, 50, 51, 1000}) {
+    std::vector<double> xs = LaplaceLikeSamples(n, 100 + n);
+    StreamingSummary stream;
+    for (double x : xs) stream.Add(x);
+    auto exact = Summarize(xs);
+    ASSERT_TRUE(exact.ok());
+    auto streaming = stream.Finalize();
+    ASSERT_TRUE(streaming.ok());
+    double tol = 1e-12 * std::max(1.0, std::abs(exact->mean));
+    EXPECT_NEAR(streaming->mean, exact->mean, tol) << "n=" << n;
+    EXPECT_NEAR(streaming->stddev, exact->stddev,
+                1e-12 * std::max(1.0, exact->stddev))
+        << "n=" << n;
+    EXPECT_EQ(streaming->trials, n);
+  }
+}
+
+TEST(StreamingSummaryTest, P95ExactBelowWindow) {
+  // Below kExactWindow observations the percentile is computed from the
+  // retained window — bit-identical to the batch path.
+  for (size_t n :
+       std::vector<size_t>{1, 5, 20, StreamingSummary::kExactWindow}) {
+    std::vector<double> xs = LaplaceLikeSamples(n, 7 * n + 1);
+    StreamingSummary stream;
+    for (double x : xs) stream.Add(x);
+    auto exact = Summarize(xs);
+    ASSERT_TRUE(exact.ok());
+    auto streaming = stream.Finalize();
+    ASSERT_TRUE(streaming.ok());
+    EXPECT_EQ(streaming->p95, exact->p95) << "n=" << n;
+  }
+}
+
+TEST(StreamingSummaryTest, P95WithinToleranceAboveWindow) {
+  for (size_t n : std::vector<size_t>{200, 1000, 5000}) {
+    std::vector<double> xs = LaplaceLikeSamples(n, 31 * n);
+    StreamingSummary stream;
+    for (double x : xs) stream.Add(x);
+    auto exact = Summarize(xs);
+    ASSERT_TRUE(exact.ok());
+    auto streaming = stream.Finalize();
+    ASSERT_TRUE(streaming.ok());
+    // P-squared is an estimator; 10% relative tolerance on a heavy-tailed
+    // distribution is the advertised contract.
+    EXPECT_NEAR(streaming->p95, exact->p95, 0.10 * exact->p95) << "n=" << n;
+  }
+}
+
+TEST(StreamingSummaryTest, UniformP95Converges) {
+  // On U(0,1), the 95th percentile is 0.95; a tight absolute check.
+  Rng rng(4242);
+  StreamingSummary stream;
+  for (int i = 0; i < 20000; ++i) stream.Add(rng.Uniform());
+  EXPECT_NEAR(stream.p95(), 0.95, 0.01);
+}
+
+TEST(StreamingSummaryTest, EmptyFinalizeFailsLikeSummarize) {
+  StreamingSummary stream;
+  EXPECT_FALSE(stream.Finalize().ok());
+  EXPECT_EQ(stream.count(), 0u);
 }
 
 }  // namespace

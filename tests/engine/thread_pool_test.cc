@@ -1,0 +1,129 @@
+// The persistent pool's contract: workers are spawned once and reused
+// across ParallelFor calls (stable worker-id -> thread mapping), every
+// task runs exactly once with a worker id in range, the 1-thread path is
+// inline, and shutdown joins cleanly (constructing and destroying pools
+// leaks no threads — TSan-friendly).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/engine/thread_pool.h"
+
+namespace dpbench {
+namespace {
+
+TEST(ThreadPoolTest, AllTasksRunExactlyOnce) {
+  WorkStealingPool pool(4);
+  constexpr size_t kTasks = 257;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(kTasks, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, WorkersAreReusedAcrossCalls) {
+  WorkStealingPool pool(4);
+  // Map worker id -> OS thread id for two sequential ParallelFor calls;
+  // a persistent pool serves both calls with the same threads.
+  auto collect = [&] {
+    std::map<size_t, std::thread::id> ids;
+    std::mutex mu;
+    pool.ParallelForWorker(64, [&](size_t, size_t worker) {
+      std::lock_guard<std::mutex> lock(mu);
+      auto it = ids.find(worker);
+      if (it == ids.end()) {
+        ids.emplace(worker, std::this_thread::get_id());
+      } else {
+        // A worker id is pinned to one thread for the pool's lifetime.
+        EXPECT_EQ(it->second, std::this_thread::get_id());
+      }
+    });
+    return ids;
+  };
+  std::map<size_t, std::thread::id> first = collect();
+  std::map<size_t, std::thread::id> second = collect();
+  ASSERT_FALSE(first.empty());
+  for (const auto& [worker, tid] : second) {
+    EXPECT_LT(worker, pool.num_threads());
+    auto it = first.find(worker);
+    if (it != first.end()) {
+      EXPECT_EQ(it->second, tid) << "worker " << worker
+                                 << " changed threads between calls";
+    }
+  }
+  // Worker 0 is the calling thread (conditional: in a pathological
+  // schedule the other workers could steal every one of its tasks).
+  if (first.count(0)) {
+    EXPECT_EQ(first.at(0), std::this_thread::get_id());
+  }
+
+  PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.parallel_jobs, 2u);
+  EXPECT_EQ(stats.tasks_executed, 128u);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  WorkStealingPool pool(1);
+  std::set<std::thread::id> seen;
+  pool.ParallelForWorker(16, [&](size_t, size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    seen.insert(std::this_thread::get_id());
+  });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(*seen.begin(), std::this_thread::get_id());
+}
+
+TEST(ThreadPoolTest, ZeroThreadsBehavesAsOne) {
+  WorkStealingPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> count{0};
+  pool.ParallelFor(8, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, MoreWorkersThanTasks) {
+  WorkStealingPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(3, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, UnevenTasksStillAllComplete) {
+  // Skewed task costs force stealing; every task must still run once.
+  WorkStealingPool pool(4);
+  constexpr size_t kTasks = 64;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(kTasks, [&](size_t i) {
+    if (i % 4 == 0) {
+      volatile double sink = 0.0;
+      for (int k = 0; k < 200000; ++k) sink = sink + static_cast<double>(k);
+    }
+    hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ConstructDestroyLeaksNoWork) {
+  // Pools that never run a job must still shut down cleanly, and repeated
+  // construction/destruction must not deadlock.
+  for (int i = 0; i < 8; ++i) {
+    WorkStealingPool pool(4);
+    if (i % 2 == 0) {
+      std::atomic<int> n{0};
+      pool.ParallelFor(5, [&](size_t) { n.fetch_add(1); });
+      EXPECT_EQ(n.load(), 5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpbench

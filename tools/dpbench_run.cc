@@ -185,7 +185,11 @@ int main(int argc, char** argv) {
             << diagnostics.plans_built
             << " cache hits=" << diagnostics.plan_cache_hits
             << " | plan time=" << diagnostics.plan_seconds
-            << "s execute time=" << diagnostics.execute_seconds << "s\n";
+            << "s execute time=" << diagnostics.execute_seconds << "s ("
+            << diagnostics.trials_per_second << " trials/s)\n"
+            << "pool: " << diagnostics.pool_parallel_jobs << " phases, "
+            << diagnostics.pool_tasks_executed << " tasks, "
+            << diagnostics.pool_tasks_stolen << " stolen\n";
   if (!diagnostics.skipped.empty()) {
     std::cout << "skipped combinations:\n";
     for (const SkippedCombo& s : diagnostics.skipped) {
@@ -194,10 +198,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (csv) {
+    std::cout << "\n";
+    WriteCsv(*results, std::cout);
+  }
   if (competitive) {
     std::cout << "\ncompetitive sets (Welch t-test, Bonferroni alpha=0.05):\n";
+    // Last consumer of the results: hand the raw errors to the grouping
+    // instead of copying them.
     for (const auto& [setting, by_algo] :
-         Runner::GroupBySetting(*results)) {
+         Runner::GroupBySetting(std::move(*results))) {
       auto set = CompetitiveSet(by_algo);
       std::cout << "  " << setting << ": ";
       if (set.ok()) {
@@ -207,10 +217,6 @@ int main(int argc, char** argv) {
       }
       std::cout << "\n";
     }
-  }
-  if (csv) {
-    std::cout << "\n";
-    WriteCsv(*results, std::cout);
   }
   return 0;
 }
