@@ -1,0 +1,160 @@
+// PLAN-HYDRATE — measures what the plan cache saves: for each
+// plan-capable mechanism, the cost of a fresh Plan() vs hydrating the
+// serialized payload (decode + HydratePlan), with the payload size, and a
+// bit-identity cross-check between the two plans' executions.
+//
+// This is the number the sharded-runner workflow banks on: workers that
+// --load-plans skip the planning column entirely and pay the hydrate
+// column instead.
+//
+// Flags: --smoke (1 repetition, CI mode), --reps=N (default 50).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/algorithms/matrix_mechanism.h"
+#include "src/algorithms/mechanism.h"
+#include "src/common/rng.h"
+#include "src/engine/serialize.h"
+#include "src/histogram/data_vector.h"
+#include "src/workload/workload.h"
+
+using namespace dpbench;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+struct Case {
+  const char* label;
+  const char* algo;
+  Domain domain;
+};
+
+int RunMech(const Case& c, MechanismPtr mech, int reps);
+
+int RunCase(const Case& c, int reps) {
+  // "MATRIX:<n>" runs the generic matrix mechanism (registry-external; the
+  // paper's framework instance) with the b=2 hierarchical strategy: its
+  // plan is the O(n^3) Gram factorization, the plan cache's best case.
+  if (std::strncmp(c.algo, "MATRIX:", 7) == 0) {
+    size_t n = static_cast<size_t>(std::atoi(c.algo + 7));
+    return RunMech(c, std::make_shared<MatrixMechanism>(
+                          "H_matrix", strategies::HierarchicalStrategy(n, 2)),
+                   reps);
+  }
+  auto mech_or = MechanismRegistry::Get(c.algo);
+  if (!mech_or.ok()) {
+    std::fprintf(stderr, "%s: %s\n", c.algo,
+                 mech_or.status().ToString().c_str());
+    return 1;
+  }
+  return RunMech(c, *mech_or, reps);
+}
+
+int RunMech(const Case& c, MechanismPtr mech, int reps) {
+  Workload w = c.domain.num_dims() == 1
+                   ? Workload::Prefix1D(c.domain.TotalCells())
+                   : Workload::RandomRange(c.domain, 2000, 20160626);
+  SideInfo side;
+  side.true_scale = 100000.0;
+  PlanContext ctx{c.domain, w, 0.1, side};
+
+  // Serialize once (outside the timed loops) for the hydrate side.
+  auto first = mech->Plan(ctx);
+  if (!first.ok()) {
+    std::fprintf(stderr, "%s: %s\n", c.label,
+                 first.status().ToString().c_str());
+    return 1;
+  }
+  auto payload = (*first)->SerializePayload();
+  if (!payload.ok()) {
+    std::fprintf(stderr, "%s: %s\n", c.label,
+                 payload.status().ToString().c_str());
+    return 1;
+  }
+  std::string encoded = EncodePlanPayload(*payload);
+
+  PlanPtr planned, hydrated;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    planned = std::move(mech->Plan(ctx)).value();
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    auto decoded = DecodePlanPayload(encoded);
+    if (!decoded.ok()) return 1;
+    auto plan = mech->HydratePlan(ctx, *decoded);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "%s hydrate: %s\n", c.label,
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    hydrated = std::move(plan).value();
+  }
+  auto t2 = std::chrono::steady_clock::now();
+
+  // Cross-check: both plans must execute bit-identically.
+  DataVector x(c.domain);
+  Rng fill(7);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(fill.UniformInt(100));
+  }
+  Rng rng_a(99), rng_b(99);
+  auto est_a = planned->Execute({x, &rng_a});
+  auto est_b = hydrated->Execute({x, &rng_b});
+  if (!est_a.ok() || !est_b.ok()) {
+    std::fprintf(stderr, "%s: execute failed\n", c.label);
+    return 1;
+  }
+  for (size_t i = 0; i < est_a->size(); ++i) {
+    if ((*est_a)[i] != (*est_b)[i]) {
+      std::fprintf(stderr,
+                   "%s: hydrated plan diverged from planned at cell %zu\n",
+                   c.label, i);
+      return 1;
+    }
+  }
+
+  double plan_us = Seconds(t0, t1) / reps * 1e6;
+  double hydrate_us = Seconds(t1, t2) / reps * 1e6;
+  std::printf("%-16s %10.1f %12.1f %9.1fx %10zu\n", c.label, plan_us,
+              hydrate_us, plan_us / hydrate_us, encoded.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 50;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      reps = 1;
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = std::atoi(argv[i] + 7);
+    }
+  }
+
+  std::vector<Case> cases = {
+      {"H_4096", "H", Domain::D1(4096)},
+      {"HB_4096", "HB", Domain::D1(4096)},
+      {"GREEDY_H_4096", "GREEDY_H", Domain::D1(4096)},
+      {"PRIVELET_4096", "PRIVELET", Domain::D1(4096)},
+      {"HB_128x128", "HB", Domain::D2(128, 128)},
+      {"QUADTREE_128", "QUADTREE", Domain::D2(128, 128)},
+      {"GREEDY_H_64x64", "GREEDY_H", Domain::D2(64, 64)},
+      {"UGRID_128x128", "UGRID", Domain::D2(128, 128)},
+      {"MATRIX_H_512", "MATRIX:512", Domain::D1(512)},
+  };
+
+  std::printf("%-16s %10s %12s %9s %10s\n", "plan", "plan_us",
+              "hydrate_us", "speedup", "bytes");
+  int rc = 0;
+  for (const Case& c : cases) rc |= RunCase(c, reps);
+  return rc;
+}

@@ -79,10 +79,10 @@ class GreedyHHilbertPlan : public MechanismPlan {
  public:
   GreedyHHilbertPlan(std::string name, Domain domain, size_t linear_cells,
                      std::shared_ptr<const RangeTree> tree,
-                     std::vector<double> eps_per_level)
+                     std::vector<double> eps_per_level, double epsilon)
       : MechanismPlan(name, std::move(domain)),
         linear_plan_(std::move(name), Domain::D1(linear_cells),
-                     std::move(tree), std::move(eps_per_level)) {
+                     std::move(tree), std::move(eps_per_level), epsilon) {
     // perm_[row-major cell] = Hilbert position; identical to what
     // HilbertLinearize/Delinearize compute per call. Left empty on domains
     // the curve rejects, so execution reports the same InvalidArgument the
@@ -98,6 +98,18 @@ class GreedyHHilbertPlan : public MechanismPlan {
       }
     }
   }
+
+  /// Hydrating form: the linearized 1D pipeline comes from deserialized
+  /// parts and the Hilbert permutation from the payload (instead of being
+  /// recomputed from the curve).
+  GreedyHHilbertPlan(std::string name, Domain domain, size_t linear_cells,
+                     hier_internal::RangeTreeParts parts, double epsilon,
+                     std::vector<size_t> perm)
+      : MechanismPlan(name, std::move(domain)),
+        linear_plan_(std::move(name), Domain::D1(linear_cells),
+                     std::move(parts.tree), std::move(parts.eps_per_level),
+                     epsilon, std::move(parts.gls)),
+        perm_(std::move(perm)) {}
 
   Result<DataVector> Execute(const ExecContext& ctx) const override {
     DataVector out;
@@ -135,6 +147,13 @@ class GreedyHHilbertPlan : public MechanismPlan {
     return Status::OK();
   }
 
+  Result<PlanPayload> SerializePayload() const override {
+    DPB_ASSIGN_OR_RETURN(PlanPayload p, linear_plan_.SerializePayload());
+    p.kind = "hilbert_range_tree";
+    p.int_vecs["hilbert_perm"].assign(perm_.begin(), perm_.end());
+    return p;
+  }
+
  private:
   hier_internal::RangeTreePlan linear_plan_;
   std::vector<size_t> perm_;
@@ -154,7 +173,7 @@ Result<PlanPtr> GreedyHMechanism::Plan(const PlanContext& ctx) const {
     auto [tree, eps] = greedy_h_internal::PlanOnRanges(
         ctx.domain.TotalCells(), ranges, branching_, ctx.epsilon);
     return PlanPtr(new hier_internal::RangeTreePlan(
-        name(), ctx.domain, std::move(tree), std::move(eps)));
+        name(), ctx.domain, std::move(tree), std::move(eps), ctx.epsilon));
   }
 
   // 2D: Hilbert-linearize; 2D rectangles do not map to 1D intervals, so we
@@ -173,7 +192,46 @@ Result<PlanPtr> GreedyHMechanism::Plan(const PlanContext& ctx) const {
   auto [tree, eps] =
       greedy_h_internal::PlanOnRanges(n, ranges, branching_, ctx.epsilon);
   return PlanPtr(new GreedyHHilbertPlan(name(), ctx.domain, n,
-                                        std::move(tree), std::move(eps)));
+                                        std::move(tree), std::move(eps),
+                                        ctx.epsilon));
+}
+
+Result<PlanPtr> GreedyHMechanism::HydratePlan(
+    const PlanContext& ctx, const PlanPayload& payload) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  if (ctx.domain.num_dims() == 1) {
+    return hier_internal::HydrateRangeTreePlan(name(), ctx, payload);
+  }
+  DPB_RETURN_NOT_OK(
+      payload.CheckHeader(name(), "hilbert_range_tree", ctx.epsilon));
+  size_t n = ctx.domain.TotalCells();
+  DPB_ASSIGN_OR_RETURN(hier_internal::RangeTreeParts parts,
+                       hier_internal::RangeTreePartsFromPayload(payload, n));
+  DPB_ASSIGN_OR_RETURN(std::vector<uint64_t> perm64,
+                       payload.IntVec("hilbert_perm"));
+  if (!perm64.empty() && perm64.size() != n) {
+    return Status::InvalidArgument(
+        name() + ": Hilbert permutation arity does not match the domain");
+  }
+  std::vector<size_t> perm(perm64.size());
+  std::vector<char> seen(perm64.empty() ? 0 : n, 0);
+  for (size_t i = 0; i < perm64.size(); ++i) {
+    if (perm64[i] >= n) {
+      return Status::InvalidArgument(
+          name() + ": Hilbert permutation index out of range");
+    }
+    // Bijectivity, not just range: a duplicate target would silently
+    // scatter two cells onto one linear slot (and leave another stale).
+    if (seen[perm64[i]]) {
+      return Status::InvalidArgument(
+          name() + ": Hilbert permutation has duplicate indices");
+    }
+    seen[perm64[i]] = 1;
+    perm[i] = static_cast<size_t>(perm64[i]);
+  }
+  return PlanPtr(new GreedyHHilbertPlan(name(), ctx.domain, n,
+                                        std::move(parts), ctx.epsilon,
+                                        std::move(perm)));
 }
 
 }  // namespace dpbench

@@ -30,6 +30,8 @@ class GreedyHMechanism : public Mechanism {
   }
   bool data_independent() const override { return true; }
   Result<PlanPtr> Plan(const PlanContext& ctx) const override;
+  Result<PlanPtr> HydratePlan(const PlanContext& ctx,
+                              const PlanPayload& payload) const override;
 
  private:
   size_t branching_;

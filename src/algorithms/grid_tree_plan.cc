@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/algorithms/hier.h"  // shared GLS payload helpers
 #include "src/common/logging.h"
 #include "src/mechanisms/laplace.h"
 
@@ -10,34 +11,154 @@ namespace grid_internal {
 
 GridTreePlan::GridTreePlan(std::string name, Domain domain,
                            std::vector<GridRect> nodes,
-                           std::vector<double> eps_per_level)
+                           std::vector<double> eps_per_level, double epsilon)
     : MechanismPlan(std::move(name), std::move(domain)),
       nodes_(std::move(nodes)),
-      eps_per_level_(std::move(eps_per_level)) {
+      eps_per_level_(std::move(eps_per_level)),
+      planned_epsilon_(epsilon) {
   std::vector<MeasurementNode> mnodes(nodes_.size());
   for (size_t v = 0; v < nodes_.size(); ++v) {
     mnodes[v].children = nodes_[v].children;
     mnodes[v].variance =
         LaplaceVariance(1.0, eps_per_level_[nodes_[v].level]);
-    if (nodes_[v].children.empty()) leaves_.push_back(v);
   }
   auto plan = PlannedTreeGls::Build(mnodes, 0);
   DPB_CHECK(plan.ok());  // grid trees are well-formed by construction
   gls_ = std::move(plan).value();
+  InitSchedule();
+}
 
+GridTreePlan::GridTreePlan(std::string name, Domain domain,
+                           std::vector<GridRect> nodes,
+                           std::vector<double> eps_per_level, double epsilon,
+                           PlannedTreeGls gls)
+    : MechanismPlan(std::move(name), std::move(domain)),
+      nodes_(std::move(nodes)),
+      eps_per_level_(std::move(eps_per_level)),
+      planned_epsilon_(epsilon),
+      gls_(std::move(gls)) {
+  InitSchedule();
+}
+
+void GridTreePlan::InitSchedule() {
   // Plan-time corner indices into the prefix-sum table, in the 2D
   // inclusion-exclusion order (+ - - +) PrefixSums::RangeSum uses, so
   // execution measures each node with four flat loads.
   size_t stride = this->domain().size(1) + 1;
   corners_.reserve(4 * nodes_.size());
   scales_.reserve(nodes_.size());
-  for (const GridRect& node : nodes_) {
+  for (size_t v = 0; v < nodes_.size(); ++v) {
+    const GridRect& node = nodes_[v];
+    if (node.children.empty()) leaves_.push_back(v);
     corners_.push_back((node.r1 + 1) * stride + (node.c1 + 1));  // +
     corners_.push_back(node.r0 * stride + (node.c1 + 1));        // -
     corners_.push_back((node.r1 + 1) * stride + node.c0);        // -
     corners_.push_back(node.r0 * stride + node.c0);              // +
     scales_.push_back(1.0 / eps_per_level_[node.level]);
   }
+}
+
+Result<PlanPayload> GridTreePlan::SerializePayload() const {
+  PlanPayload p;
+  p.mechanism = mechanism_name();
+  p.kind = "grid_tree";
+  p.reals["epsilon"] = planned_epsilon_;
+  // Tree geometry in struct-of-arrays form plus CSR children. Unlike the
+  // 1D range tree (rebuildable from (cells, branching)), grid hierarchies
+  // have per-mechanism construction rules, so the topology itself is the
+  // serialized schedule.
+  const size_t n = nodes_.size();
+  std::vector<uint64_t> r0(n), r1(n), c0(n), c1(n), level(n);
+  std::vector<uint64_t> child_start(n + 1, 0), children;
+  for (size_t v = 0; v < n; ++v) {
+    r0[v] = nodes_[v].r0;
+    r1[v] = nodes_[v].r1;
+    c0[v] = nodes_[v].c0;
+    c1[v] = nodes_[v].c1;
+    level[v] = static_cast<uint64_t>(nodes_[v].level);
+    child_start[v + 1] = child_start[v] + nodes_[v].children.size();
+    children.insert(children.end(), nodes_[v].children.begin(),
+                    nodes_[v].children.end());
+  }
+  p.int_vecs["r0"] = std::move(r0);
+  p.int_vecs["r1"] = std::move(r1);
+  p.int_vecs["c0"] = std::move(c0);
+  p.int_vecs["c1"] = std::move(c1);
+  p.int_vecs["level"] = std::move(level);
+  p.int_vecs["child_start"] = std::move(child_start);
+  p.int_vecs["children"] = std::move(children);
+  p.real_vecs["eps_per_level"] = eps_per_level_;
+  hier_internal::GlsToPayload(gls_, &p);
+  return p;
+}
+
+Result<PlanPtr> GridTreePlan::FromPayload(const std::string& mechanism_name,
+                                          const Domain& domain,
+                                          double epsilon,
+                                          const PlanPayload& payload) {
+  DPB_ASSIGN_OR_RETURN(std::vector<uint64_t> r0, payload.IntVec("r0"));
+  DPB_ASSIGN_OR_RETURN(std::vector<uint64_t> r1, payload.IntVec("r1"));
+  DPB_ASSIGN_OR_RETURN(std::vector<uint64_t> c0, payload.IntVec("c0"));
+  DPB_ASSIGN_OR_RETURN(std::vector<uint64_t> c1, payload.IntVec("c1"));
+  DPB_ASSIGN_OR_RETURN(std::vector<uint64_t> level,
+                       payload.IntVec("level"));
+  DPB_ASSIGN_OR_RETURN(std::vector<uint64_t> child_start,
+                       payload.IntVec("child_start"));
+  DPB_ASSIGN_OR_RETURN(std::vector<uint64_t> children,
+                       payload.IntVec("children"));
+  DPB_ASSIGN_OR_RETURN(std::vector<double> eps_per_level,
+                       payload.RealVec("eps_per_level"));
+  const size_t n = r0.size();
+  if (n == 0 || r1.size() != n || c0.size() != n || c1.size() != n ||
+      level.size() != n || child_start.size() != n + 1) {
+    return Status::InvalidArgument(
+        "grid-tree payload: inconsistent node array arities");
+  }
+  if (child_start[0] != 0 || child_start[n] != children.size()) {
+    return Status::InvalidArgument(
+        "grid-tree payload: CSR offsets do not span the child array");
+  }
+  size_t rows = domain.size(0), cols = domain.size(1);
+  std::vector<GridRect> nodes(n);
+  for (size_t v = 0; v < n; ++v) {
+    if (child_start[v + 1] < child_start[v]) {
+      return Status::InvalidArgument(
+          "grid-tree payload: CSR offsets not monotone");
+    }
+    if (r0[v] > r1[v] || c0[v] > c1[v] || r1[v] >= rows || c1[v] >= cols) {
+      return Status::InvalidArgument(
+          "grid-tree payload: node rectangle outside the domain");
+    }
+    if (level[v] >= eps_per_level.size()) {
+      return Status::InvalidArgument(
+          "grid-tree payload: node level has no budget entry");
+    }
+    if (eps_per_level[level[v]] <= 0.0) {
+      return Status::InvalidArgument(
+          "grid-tree payload: non-positive budget on a measured level");
+    }
+    nodes[v].r0 = r0[v];
+    nodes[v].r1 = r1[v];
+    nodes[v].c0 = c0[v];
+    nodes[v].c1 = c1[v];
+    nodes[v].level = static_cast<int>(level[v]);
+    for (size_t k = child_start[v]; k < child_start[v + 1]; ++k) {
+      if (children[k] >= n) {
+        return Status::InvalidArgument(
+            "grid-tree payload: child index out of range");
+      }
+      nodes[v].children.push_back(children[k]);
+    }
+  }
+  DPB_ASSIGN_OR_RETURN(PlannedTreeGls gls,
+                       hier_internal::GlsFromPayload(payload));
+  if (gls.num_nodes() != n) {
+    return Status::InvalidArgument(
+        "grid-tree payload: GLS solver arity does not match the tree");
+  }
+  return PlanPtr(new GridTreePlan(mechanism_name, domain, std::move(nodes),
+                                  std::move(eps_per_level), epsilon,
+                                  std::move(gls)));
 }
 
 Result<DataVector> GridTreePlan::Execute(const ExecContext& ctx) const {

@@ -25,16 +25,36 @@ struct GridRect {
 class GridTreePlan : public MechanismPlan {
  public:
   /// `nodes[0]` must be the root; eps_per_level[l] > 0 for every level
-  /// present in `nodes`.
+  /// present in `nodes`. `epsilon` is the total budget the plan was built
+  /// for (recorded for serialized-payload validation).
   GridTreePlan(std::string name, Domain domain, std::vector<GridRect> nodes,
-               std::vector<double> eps_per_level);
+               std::vector<double> eps_per_level, double epsilon);
+
+  /// Hydrating form (plan-cache load path): trusts previously serialized
+  /// GLS coefficients instead of rebuilding them. Execution is
+  /// bit-identical to the planning form.
+  GridTreePlan(std::string name, Domain domain, std::vector<GridRect> nodes,
+               std::vector<double> eps_per_level, double epsilon,
+               PlannedTreeGls gls);
 
   Result<DataVector> Execute(const ExecContext& ctx) const override;
   Status ExecuteInto(const ExecContext& ctx, DataVector* out) const override;
+  Result<PlanPayload> SerializePayload() const override;
+
+  /// Decodes, validates, and hydrates a "grid_tree" payload for
+  /// `mechanism_name` on `domain` (shared by HB-2D and QUADTREE).
+  static Result<PlanPtr> FromPayload(const std::string& mechanism_name,
+                                     const Domain& domain, double epsilon,
+                                     const PlanPayload& payload);
 
  private:
+  /// Flattens leaves, prefix-table corners and per-node noise scales
+  /// (shared by both constructors).
+  void InitSchedule();
+
   std::vector<GridRect> nodes_;
   std::vector<double> eps_per_level_;
+  double planned_epsilon_;
   PlannedTreeGls gls_;
   std::vector<size_t> leaves_;   // node ids of leaves, in node order
   std::vector<size_t> corners_;  // 4 prefix-table corner indices per node

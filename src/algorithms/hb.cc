@@ -99,7 +99,7 @@ Result<PlanPtr> HbMechanism::Plan(const PlanContext& ctx) const {
     std::vector<double> eps(levels,
                             ctx.epsilon / static_cast<double>(levels));
     return PlanPtr(new hier_internal::RangeTreePlan(
-        name(), ctx.domain, std::move(tree), std::move(eps)));
+        name(), ctx.domain, std::move(tree), std::move(eps), ctx.epsilon));
   }
 
   // 2D grid hierarchy with uniform budget per level.
@@ -114,7 +114,19 @@ Result<PlanPtr> HbMechanism::Plan(const PlanContext& ctx) const {
   std::vector<double> eps(levels,
                           ctx.epsilon / static_cast<double>(levels));
   return PlanPtr(new grid_internal::GridTreePlan(
-      name(), ctx.domain, std::move(grid_nodes), std::move(eps)));
+      name(), ctx.domain, std::move(grid_nodes), std::move(eps),
+      ctx.epsilon));
+}
+
+Result<PlanPtr> HbMechanism::HydratePlan(const PlanContext& ctx,
+                                         const PlanPayload& payload) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  if (ctx.domain.num_dims() == 1) {
+    return hier_internal::HydrateRangeTreePlan(name(), ctx, payload);
+  }
+  DPB_RETURN_NOT_OK(payload.CheckHeader(name(), "grid_tree", ctx.epsilon));
+  return grid_internal::GridTreePlan::FromPayload(name(), ctx.domain,
+                                                  ctx.epsilon, payload);
 }
 
 }  // namespace dpbench

@@ -20,6 +20,8 @@ class HbMechanism : public Mechanism {
   }
   bool data_independent() const override { return true; }
   Result<PlanPtr> Plan(const PlanContext& ctx) const override;
+  Result<PlanPtr> HydratePlan(const PlanContext& ctx,
+                              const PlanPayload& payload) const override;
 
   /// Branching factor minimizing (b-1) * ceil(log_b n)^3 (exposed for tests).
   static size_t ChooseBranching1D(size_t n);

@@ -39,10 +39,12 @@ Result<std::vector<double>> MeasureAndInfer(
 
 RangeTreePlan::RangeTreePlan(std::string name, Domain domain,
                              std::shared_ptr<const RangeTree> tree,
-                             std::vector<double> eps_per_level)
+                             std::vector<double> eps_per_level,
+                             double epsilon)
     : MechanismPlan(std::move(name), std::move(domain)),
       tree_(std::move(tree)),
-      eps_per_level_(std::move(eps_per_level)) {
+      eps_per_level_(std::move(eps_per_level)),
+      planned_epsilon_(epsilon) {
   // Fold the budget's variance profile into GLS coefficients once.
   std::vector<MeasurementNode> mnodes(tree_->num_nodes());
   for (size_t v = 0; v < tree_->num_nodes(); ++v) {
@@ -50,12 +52,29 @@ RangeTreePlan::RangeTreePlan(std::string name, Domain domain,
     mnodes[v].children = node.children;
     double eps = eps_per_level_[node.level];
     if (eps > 0.0) mnodes[v].variance = LaplaceVariance(1.0, eps);
-    if (node.children.empty()) leaves_.push_back(v);
   }
   auto plan = PlannedTreeGls::Build(mnodes, tree_->root());
   DPB_CHECK(plan.ok());  // RangeTree is well-formed by construction
   gls_ = std::move(plan).value();
+  InitSchedule();
+}
 
+RangeTreePlan::RangeTreePlan(std::string name, Domain domain,
+                             std::shared_ptr<const RangeTree> tree,
+                             std::vector<double> eps_per_level,
+                             double epsilon, PlannedTreeGls gls)
+    : MechanismPlan(std::move(name), std::move(domain)),
+      tree_(std::move(tree)),
+      eps_per_level_(std::move(eps_per_level)),
+      planned_epsilon_(epsilon),
+      gls_(std::move(gls)) {
+  InitSchedule();
+}
+
+void RangeTreePlan::InitSchedule() {
+  for (size_t v = 0; v < tree_->num_nodes(); ++v) {
+    if (tree_->node(v).children.empty()) leaves_.push_back(v);
+  }
   // Flatten the measurement schedule in level order — the same noise-draw
   // order as MeasureAndInfer — with the per-level Laplace scale resolved
   // once here instead of once per node per trial.
@@ -71,6 +90,88 @@ RangeTreePlan::RangeTreePlan(std::string name, Domain domain,
       meas_scale_.push_back(scale);
     }
   }
+}
+
+void GlsToPayload(const PlannedTreeGls& gls, PlanPayload* out) {
+  PlannedTreeGls::Coefficients c = gls.coefficients();
+  out->int_vecs["gls_order"] = std::move(c.order);
+  out->int_vecs["gls_child_start"] = std::move(c.child_start);
+  out->int_vecs["gls_children"] = std::move(c.children);
+  out->real_vecs["gls_a"] = std::move(c.a);
+  out->real_vecs["gls_b"] = std::move(c.b);
+  out->real_vecs["gls_r"] = std::move(c.r);
+  out->ints["gls_root"] = c.root;
+}
+
+Result<PlannedTreeGls> GlsFromPayload(const PlanPayload& payload) {
+  PlannedTreeGls::Coefficients c;
+  DPB_ASSIGN_OR_RETURN(c.order, payload.IntVec("gls_order"));
+  DPB_ASSIGN_OR_RETURN(c.child_start, payload.IntVec("gls_child_start"));
+  DPB_ASSIGN_OR_RETURN(c.children, payload.IntVec("gls_children"));
+  DPB_ASSIGN_OR_RETURN(c.a, payload.RealVec("gls_a"));
+  DPB_ASSIGN_OR_RETURN(c.b, payload.RealVec("gls_b"));
+  DPB_ASSIGN_OR_RETURN(c.r, payload.RealVec("gls_r"));
+  DPB_ASSIGN_OR_RETURN(c.root, payload.Int("gls_root"));
+  return PlannedTreeGls::FromCoefficients(std::move(c));
+}
+
+void RangeTreePlan::FillPayload(PlanPayload* out) const {
+  out->ints["cells"] = tree_->num_cells();
+  out->ints["branching"] = tree_->branching();
+  out->real_vecs["eps_per_level"] = eps_per_level_;
+  GlsToPayload(gls_, out);
+}
+
+Result<PlanPayload> RangeTreePlan::SerializePayload() const {
+  PlanPayload p;
+  p.mechanism = mechanism_name();
+  p.kind = "range_tree";
+  p.reals["epsilon"] = planned_epsilon_;
+  FillPayload(&p);
+  return p;
+}
+
+Result<RangeTreeParts> RangeTreePartsFromPayload(const PlanPayload& payload,
+                                                 size_t expected_cells) {
+  DPB_ASSIGN_OR_RETURN(uint64_t cells, payload.Int("cells"));
+  DPB_ASSIGN_OR_RETURN(uint64_t branching, payload.Int("branching"));
+  if (cells != expected_cells) {
+    return Status::InvalidArgument(
+        "range-tree payload was built for " + std::to_string(cells) +
+        " cells, context has " + std::to_string(expected_cells));
+  }
+  if (branching < 2) {
+    return Status::InvalidArgument("range-tree payload: branching < 2");
+  }
+  RangeTreeParts parts;
+  parts.tree = std::make_shared<const RangeTree>(RangeTree::Build(
+      static_cast<size_t>(cells), static_cast<size_t>(branching)));
+  DPB_ASSIGN_OR_RETURN(parts.eps_per_level,
+                       payload.RealVec("eps_per_level"));
+  if (parts.eps_per_level.size() !=
+      static_cast<size_t>(parts.tree->num_levels())) {
+    return Status::InvalidArgument(
+        "range-tree payload: per-level budget arity mismatch");
+  }
+  DPB_ASSIGN_OR_RETURN(parts.gls, GlsFromPayload(payload));
+  if (parts.gls.num_nodes() != parts.tree->num_nodes()) {
+    return Status::InvalidArgument(
+        "range-tree payload: GLS solver arity does not match the tree");
+  }
+  return parts;
+}
+
+Result<PlanPtr> HydrateRangeTreePlan(const std::string& mechanism_name,
+                                     const PlanContext& ctx,
+                                     const PlanPayload& payload) {
+  DPB_RETURN_NOT_OK(
+      payload.CheckHeader(mechanism_name, "range_tree", ctx.epsilon));
+  DPB_ASSIGN_OR_RETURN(
+      RangeTreeParts parts,
+      RangeTreePartsFromPayload(payload, ctx.domain.TotalCells()));
+  return PlanPtr(new RangeTreePlan(
+      mechanism_name, ctx.domain, std::move(parts.tree),
+      std::move(parts.eps_per_level), ctx.epsilon, std::move(parts.gls)));
 }
 
 Result<DataVector> RangeTreePlan::Execute(const ExecContext& ctx) const {
@@ -122,9 +223,14 @@ Result<PlanPtr> HierMechanism::Plan(const PlanContext& ctx) const {
   // so each level-eps adds up to the total sensitivity budget.
   int levels = tree->num_levels();
   std::vector<double> eps(levels, ctx.epsilon / static_cast<double>(levels));
-  return PlanPtr(new hier_internal::RangeTreePlan(name(), ctx.domain,
-                                                  std::move(tree),
-                                                  std::move(eps)));
+  return PlanPtr(new hier_internal::RangeTreePlan(
+      name(), ctx.domain, std::move(tree), std::move(eps), ctx.epsilon));
+}
+
+Result<PlanPtr> HierMechanism::HydratePlan(const PlanContext& ctx,
+                                           const PlanPayload& payload) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  return hier_internal::HydrateRangeTreePlan(name(), ctx, payload);
 }
 
 }  // namespace dpbench

@@ -18,6 +18,8 @@ class HierMechanism : public Mechanism {
   bool SupportsDims(size_t dims) const override { return dims == 1; }
   bool data_independent() const override { return true; }
   Result<PlanPtr> Plan(const PlanContext& ctx) const override;
+  Result<PlanPtr> HydratePlan(const PlanContext& ctx,
+                              const PlanPayload& payload) const override;
 
   size_t branching() const { return branching_; }
 
@@ -41,19 +43,41 @@ Result<std::vector<double>> MeasureAndInfer(
 /// as MeasureAndInfer) and runs the planned two-pass inference.
 class RangeTreePlan : public MechanismPlan {
  public:
+  /// `epsilon` is the total budget the plan was built for; it is recorded
+  /// (alongside the derived per-level split) so serialized payloads can be
+  /// validated bit-exactly against the hydrating context.
   RangeTreePlan(std::string name, Domain domain,
                 std::shared_ptr<const RangeTree> tree,
-                std::vector<double> eps_per_level);
+                std::vector<double> eps_per_level, double epsilon);
+
+  /// Hydrating form (plan-cache load path): trusts previously serialized
+  /// GLS coefficients instead of rebuilding them from the variance
+  /// profile. Execution is bit-identical to the planning form.
+  RangeTreePlan(std::string name, Domain domain,
+                std::shared_ptr<const RangeTree> tree,
+                std::vector<double> eps_per_level, double epsilon,
+                PlannedTreeGls gls);
 
   Result<DataVector> Execute(const ExecContext& ctx) const override;
   Status ExecuteInto(const ExecContext& ctx, DataVector* out) const override;
+  Result<PlanPayload> SerializePayload() const override;
+
+  /// Fills the shared range-tree payload fields (tree identity, budget
+  /// split, GLS coefficients). Used by SerializePayload and by plans that
+  /// embed a linearized 1D pipeline (GREEDY_H's 2D Hilbert wrapper).
+  void FillPayload(PlanPayload* out) const;
 
   const RangeTree& tree() const { return *tree_; }
   const std::vector<double>& eps_per_level() const { return eps_per_level_; }
 
  private:
+  /// Flattens leaves + the level-order measurement schedule (shared by
+  /// both constructors; depends only on tree_ and eps_per_level_).
+  void InitSchedule();
+
   std::shared_ptr<const RangeTree> tree_;
   std::vector<double> eps_per_level_;
+  double planned_epsilon_;
   PlannedTreeGls gls_;
   std::vector<size_t> leaves_;  // node ids of leaves, in tree order
   // Flattened measurement schedule (level order, the rng draw order):
@@ -64,6 +88,35 @@ class RangeTreePlan : public MechanismPlan {
   std::vector<size_t> meas_hi1_;  // hi + 1
   std::vector<double> meas_scale_;
 };
+
+/// The deserialized pieces of a range-tree payload, ready to construct a
+/// hydrated RangeTreePlan (or the linearized half of the 2D wrapper).
+struct RangeTreeParts {
+  std::shared_ptr<const RangeTree> tree;
+  std::vector<double> eps_per_level;
+  PlannedTreeGls gls;
+};
+
+/// Decodes and validates the shared range-tree fields of a payload:
+/// rebuilds the (deterministic) tree topology from its identity and
+/// restores the serialized GLS coefficients. `expected_cells` is the cell
+/// count of the domain being planned for.
+Result<RangeTreeParts> RangeTreePartsFromPayload(const PlanPayload& payload,
+                                                 size_t expected_cells);
+
+/// The GLS-coefficient fields shared by every tree plan payload
+/// (gls_order/child_start/children/a/b/r/root). One writer/reader pair so
+/// the field set cannot drift between the 1D and 2D plan families.
+void GlsToPayload(const PlannedTreeGls& gls, PlanPayload* out);
+Result<PlannedTreeGls> GlsFromPayload(const PlanPayload& payload);
+
+/// The full 1D hydrate path shared by the range-tree plan family (H,
+/// HB-1D, GREEDY_H-1D): payload header check against `mechanism_name` and
+/// the context epsilon, parts decode, hydrating construction. One
+/// implementation so the three mechanisms cannot drift.
+Result<PlanPtr> HydrateRangeTreePlan(const std::string& mechanism_name,
+                                     const PlanContext& ctx,
+                                     const PlanPayload& payload);
 
 }  // namespace hier_internal
 

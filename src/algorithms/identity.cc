@@ -27,6 +27,14 @@ class IdentityPlan : public MechanismPlan {
                                 epsilon_, ctx.rng, &out->mutable_counts());
   }
 
+  Result<PlanPayload> SerializePayload() const override {
+    PlanPayload p;
+    p.mechanism = mechanism_name();
+    p.kind = "identity";
+    p.reals["epsilon"] = epsilon_;
+    return p;
+  }
+
  private:
   double epsilon_;
 };
@@ -35,6 +43,13 @@ class IdentityPlan : public MechanismPlan {
 
 Result<PlanPtr> IdentityMechanism::Plan(const PlanContext& ctx) const {
   DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  return PlanPtr(new IdentityPlan(name(), ctx.domain, ctx.epsilon));
+}
+
+Result<PlanPtr> IdentityMechanism::HydratePlan(
+    const PlanContext& ctx, const PlanPayload& payload) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  DPB_RETURN_NOT_OK(payload.CheckHeader(name(), "identity", ctx.epsilon));
   return PlanPtr(new IdentityPlan(name(), ctx.domain, ctx.epsilon));
 }
 

@@ -13,6 +13,8 @@ class IdentityMechanism : public Mechanism {
   bool SupportsDims(size_t) const override { return true; }
   bool data_independent() const override { return true; }
   Result<PlanPtr> Plan(const PlanContext& ctx) const override;
+  Result<PlanPtr> HydratePlan(const PlanContext& ctx,
+                              const PlanPayload& payload) const override;
 };
 
 }  // namespace dpbench

@@ -77,6 +77,21 @@ class MatrixMechanismPlan : public MechanismPlan {
     return DataVector(domain(), std::move(est));
   }
 
+  Result<PlanPayload> SerializePayload() const override {
+    PlanPayload p;
+    p.mechanism = mechanism_name();
+    p.kind = "matrix";
+    p.reals["epsilon"] = epsilon_;
+    p.reals["sensitivity"] = sensitivity_;
+    p.ints["strategy_rows"] = strategy_->rows();
+    p.ints["strategy_cols"] = strategy_->cols();
+    // Only the O(n^3) factorization is worth persisting; the transpose is
+    // O(mn) to rebuild from the mechanism-owned strategy and hydration
+    // recomputes it (which also revalidates against the live strategy).
+    p.real_vecs["gram_cholesky"] = gram_cholesky_.data();
+    return p;
+  }
+
  private:
   const Matrix* strategy_;  // owned by the mechanism, which outlives us
   Matrix strategy_transpose_;
@@ -99,6 +114,37 @@ Result<PlanPtr> MatrixMechanism::Plan(const PlanContext& ctx) const {
   return PlanPtr(new MatrixMechanismPlan(name(), ctx.domain, &strategy_,
                                          std::move(st), sensitivity,
                                          std::move(l), ctx.epsilon));
+}
+
+Result<PlanPtr> MatrixMechanism::HydratePlan(
+    const PlanContext& ctx, const PlanPayload& payload) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  DPB_RETURN_NOT_OK(payload.CheckHeader(name(), "matrix", ctx.epsilon));
+  const size_t m = strategy_.rows(), n = strategy_.cols();
+  if (n != ctx.domain.TotalCells()) {
+    return Status::InvalidArgument(name_ + ": strategy arity mismatch");
+  }
+  DPB_ASSIGN_OR_RETURN(uint64_t rows, payload.Int("strategy_rows"));
+  DPB_ASSIGN_OR_RETURN(uint64_t cols, payload.Int("strategy_cols"));
+  DPB_ASSIGN_OR_RETURN(double sensitivity, payload.Real("sensitivity"));
+  DPB_ASSIGN_OR_RETURN(std::vector<double> chol_data,
+                       payload.RealVec("gram_cholesky"));
+  if (rows != m || cols != n || chol_data.size() != n * n) {
+    return Status::InvalidArgument(
+        name_ + ": matrix payload does not match this strategy's shape");
+  }
+  // Everything cheap is recomputed from the live strategy and validated
+  // bit-exactly, so a payload from a build whose strategy changed under
+  // the same name fails loudly; only the O(n^3) Cholesky factor is
+  // trusted from the cache.
+  if (!(sensitivity == strategy_.MaxColumnL1())) {
+    return Status::InvalidArgument(
+        name_ +
+        ": matrix payload sensitivity does not match this strategy");
+  }
+  return PlanPtr(new MatrixMechanismPlan(
+      name(), ctx.domain, &strategy_, strategy_.Transpose(), sensitivity,
+      Matrix(n, n, std::move(chol_data)), ctx.epsilon));
 }
 
 Result<double> MatrixMechanism::ExpectedSquaredError(const Workload& w,

@@ -46,6 +46,11 @@ class MatrixMechanism : public Mechanism {
   bool SupportsDims(size_t dims) const override { return dims == 1; }
   bool data_independent() const override { return true; }
   Result<PlanPtr> Plan(const PlanContext& ctx) const override;
+  /// Rebuilds a plan from serialized factors (sensitivity, materialized
+  /// S^T, cached Cholesky of S^T S) without re-running the O(n^3)
+  /// factorization. The strategy matrix itself stays mechanism-owned.
+  Result<PlanPtr> HydratePlan(const PlanContext& ctx,
+                              const PlanPayload& payload) const override;
 
   /// Exact expected squared error of answering workload W through this
   /// strategy at the given epsilon:

@@ -20,6 +20,76 @@
 
 namespace dpbench {
 
+Result<uint64_t> PlanPayload::Int(const std::string& name) const {
+  auto it = ints.find(name);
+  if (it == ints.end()) {
+    return Status::NotFound("plan payload missing int field '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<double> PlanPayload::Real(const std::string& name) const {
+  auto it = reals.find(name);
+  if (it == reals.end()) {
+    return Status::NotFound("plan payload missing real field '" + name +
+                            "'");
+  }
+  return it->second;
+}
+
+Result<std::vector<uint64_t>> PlanPayload::IntVec(
+    const std::string& name) const {
+  auto it = int_vecs.find(name);
+  if (it == int_vecs.end()) {
+    return Status::NotFound("plan payload missing int-vector field '" +
+                            name + "'");
+  }
+  return it->second;
+}
+
+Result<std::vector<double>> PlanPayload::RealVec(
+    const std::string& name) const {
+  auto it = real_vecs.find(name);
+  if (it == real_vecs.end()) {
+    return Status::NotFound("plan payload missing real-vector field '" +
+                            name + "'");
+  }
+  return it->second;
+}
+
+Status PlanPayload::CheckHeader(const std::string& mechanism_name,
+                                const std::string& expected_kind,
+                                double epsilon) const {
+  if (mechanism != mechanism_name) {
+    return Status::InvalidArgument("plan payload was produced by '" +
+                                   mechanism + "', not '" + mechanism_name +
+                                   "'");
+  }
+  if (kind != expected_kind) {
+    return Status::InvalidArgument("plan payload kind '" + kind +
+                                   "' does not match expected '" +
+                                   expected_kind + "'");
+  }
+  DPB_ASSIGN_OR_RETURN(double payload_eps, Real("epsilon"));
+  // Bit-exact: a cache entry for a different budget must never be used.
+  if (!(payload_eps == epsilon)) {
+    return Status::InvalidArgument(
+        mechanism_name + ": plan payload epsilon does not match context");
+  }
+  return Status::OK();
+}
+
+Result<PlanPayload> MechanismPlan::SerializePayload() const {
+  return Status::NotSupported(mechanism_name_ +
+                              ": plan is not serializable");
+}
+
+Result<PlanPtr> Mechanism::HydratePlan(const PlanContext&,
+                                       const PlanPayload&) const {
+  return Status::NotSupported(name() +
+                              ": mechanism has no serializable plan");
+}
+
 Status MechanismPlan::CheckExec(const ExecContext& ctx) const {
   if (ctx.rng == nullptr) {
     return Status::InvalidArgument(mechanism_name_ +

@@ -22,6 +22,7 @@
 #ifndef DPBENCH_ALGORITHMS_MECHANISM_H_
 #define DPBENCH_ALGORITHMS_MECHANISM_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -91,6 +92,43 @@ struct ExecContext {
   ExecScratch* scratch = nullptr;  ///< optional per-thread buffer arena
 };
 
+/// The serializable essence of a precomputed plan: everything a worker in
+/// another process needs to rebuild the plan without re-planning — tree
+/// schedules, budget splits, GLS coefficients, Hilbert permutations,
+/// cached matrix factors. The representation is a small set of named,
+/// typed fields so the wire format (engine/serialize) stays self-
+/// describing and mechanism-agnostic; `kind` tags the field schema each
+/// plan family uses and `mechanism` names the producer, both validated on
+/// hydration. All values round-trip bit-exactly.
+struct PlanPayload {
+  std::string mechanism;  ///< producing mechanism's canonical name
+  std::string kind;       ///< payload schema tag (e.g. "range_tree")
+  std::map<std::string, uint64_t> ints;
+  std::map<std::string, double> reals;
+  std::map<std::string, std::vector<uint64_t>> int_vecs;
+  std::map<std::string, std::vector<double>> real_vecs;
+
+  bool operator==(const PlanPayload& other) const {
+    return mechanism == other.mechanism && kind == other.kind &&
+           ints == other.ints && reals == other.reals &&
+           int_vecs == other.int_vecs && real_vecs == other.real_vecs;
+  }
+
+  /// Field accessors for hydration: NotFound with the field name when the
+  /// payload lacks it (so a wrong/stale cache fails with a precise error).
+  Result<uint64_t> Int(const std::string& name) const;
+  Result<double> Real(const std::string& name) const;
+  Result<std::vector<uint64_t>> IntVec(const std::string& name) const;
+  Result<std::vector<double>> RealVec(const std::string& name) const;
+
+  /// Validates the (mechanism, kind) pair and that `epsilon` (when the
+  /// payload carries the "epsilon" field — every builtin payload does)
+  /// matches the plan context bit-exactly: a cache built for a different
+  /// budget must never silently supply a wrong noise scale.
+  Status CheckHeader(const std::string& mechanism_name,
+                     const std::string& expected_kind, double epsilon) const;
+};
+
 /// An immutable, reusable execution plan produced by Mechanism::Plan().
 /// Plans are safe to share across threads: Execute() is const and keeps
 /// all mutable state on the stack. A plan may retain references to the
@@ -118,6 +156,12 @@ class MechanismPlan {
   /// pass-through plan of data-dependent algorithms (useful for cache
   /// accounting — caching a pass-through plan saves nothing).
   virtual bool precomputed() const { return true; }
+
+  /// Extracts the serializable payload of this plan. Default: NotSupported
+  /// (pass-through plans and plans without serialization hooks). Plans
+  /// that override it guarantee Mechanism::HydratePlan() on the payload
+  /// reproduces a plan with bit-identical execution behavior.
+  virtual Result<PlanPayload> SerializePayload() const;
 
   /// Name of the mechanism that produced this plan.
   const std::string& mechanism_name() const { return mechanism_name_; }
@@ -168,6 +212,16 @@ class Mechanism {
   /// data-independent algorithms override this with real precomputation.
   /// The mechanism and ctx.workload must outlive the returned plan.
   virtual Result<PlanPtr> Plan(const PlanContext& ctx) const;
+
+  /// Rebuilds a plan from a serialized payload instead of planning — the
+  /// plan-cache load path of sharded/repeated runs. The returned plan
+  /// executes bit-identically to the plan the payload was extracted from
+  /// (hence to a fresh Plan() on the same context). Fails with
+  /// NotSupported when the mechanism has no serializable plan, and with
+  /// InvalidArgument when the payload does not match this mechanism or
+  /// context (wrong producer, kind, epsilon, or geometry).
+  virtual Result<PlanPtr> HydratePlan(const PlanContext& ctx,
+                                      const PlanPayload& payload) const;
 
   /// Executes the algorithm under epsilon-DP; returns the estimate x-hat.
   /// Thin wrapper: builds a plan and executes it once.

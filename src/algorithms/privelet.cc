@@ -67,11 +67,12 @@ namespace {
 class PriveletPlan : public MechanismPlan {
  public:
   PriveletPlan(std::string name, Domain domain, size_t padded_rows,
-               size_t padded_cols, double noise_scale)
+               size_t padded_cols, double noise_scale, double epsilon)
       : MechanismPlan(std::move(name), std::move(domain)),
         padded_rows_(padded_rows),
         padded_cols_(padded_cols),
-        noise_scale_(noise_scale) {}
+        noise_scale_(noise_scale),
+        planned_epsilon_(epsilon) {}
 
   Result<DataVector> Execute(const ExecContext& ctx) const override {
     DataVector out;
@@ -85,6 +86,17 @@ class PriveletPlan : public MechanismPlan {
     ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local;
     if (domain().num_dims() == 1) return Execute1D(ctx, s, out);
     return Execute2D(ctx, s, out);
+  }
+
+  Result<PlanPayload> SerializePayload() const override {
+    PlanPayload p;
+    p.mechanism = mechanism_name();
+    p.kind = "wavelet";
+    p.ints["padded_rows"] = padded_rows_;
+    p.ints["padded_cols"] = padded_cols_;
+    p.reals["epsilon"] = planned_epsilon_;
+    p.reals["noise_scale"] = noise_scale_;
+    return p;
   }
 
  private:
@@ -164,6 +176,7 @@ class PriveletPlan : public MechanismPlan {
   size_t padded_rows_;  // 1 in 1D
   size_t padded_cols_;
   double noise_scale_;
+  double planned_epsilon_;
 };
 
 }  // namespace
@@ -183,7 +196,39 @@ Result<PlanPtr> PriveletMechanism::Plan(const PlanContext& ctx) const {
                   (1.0 + static_cast<double>(FloorLog2(pcol)));
   }
   return PlanPtr(new PriveletPlan(name(), ctx.domain, prow, pcol,
-                                  sensitivity / ctx.epsilon));
+                                  sensitivity / ctx.epsilon, ctx.epsilon));
+}
+
+Result<PlanPtr> PriveletMechanism::HydratePlan(
+    const PlanContext& ctx, const PlanPayload& payload) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  DPB_RETURN_NOT_OK(payload.CheckHeader(name(), "wavelet", ctx.epsilon));
+  DPB_ASSIGN_OR_RETURN(uint64_t prow, payload.Int("padded_rows"));
+  DPB_ASSIGN_OR_RETURN(uint64_t pcol, payload.Int("padded_cols"));
+  DPB_ASSIGN_OR_RETURN(double noise_scale, payload.Real("noise_scale"));
+  // The layout is a pure function of the domain, so validate by exact
+  // equality against what Plan() would compute — a merely-plausible
+  // padding or noise scale would execute a *different* mechanism without
+  // any error surfacing.
+  size_t expect_prow, expect_pcol;
+  double sensitivity;
+  if (ctx.domain.num_dims() == 1) {
+    expect_prow = 1;
+    expect_pcol = NextPowerOfTwo(ctx.domain.TotalCells());
+    sensitivity = 1.0 + static_cast<double>(FloorLog2(expect_pcol));
+  } else {
+    expect_prow = NextPowerOfTwo(ctx.domain.size(0));
+    expect_pcol = NextPowerOfTwo(ctx.domain.size(1));
+    sensitivity = (1.0 + static_cast<double>(FloorLog2(expect_prow))) *
+                  (1.0 + static_cast<double>(FloorLog2(expect_pcol)));
+  }
+  if (prow != expect_prow || pcol != expect_pcol ||
+      !(noise_scale == sensitivity / ctx.epsilon)) {
+    return Status::InvalidArgument(
+        name() + ": wavelet payload layout does not match this domain");
+  }
+  return PlanPtr(new PriveletPlan(name(), ctx.domain, expect_prow,
+                                  expect_pcol, noise_scale, ctx.epsilon));
 }
 
 }  // namespace dpbench

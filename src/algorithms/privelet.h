@@ -22,6 +22,8 @@ class PriveletMechanism : public Mechanism {
   }
   bool data_independent() const override { return true; }
   Result<PlanPtr> Plan(const PlanContext& ctx) const override;
+  Result<PlanPtr> HydratePlan(const PlanContext& ctx,
+                              const PlanPayload& payload) const override;
 };
 
 namespace wavelet {

@@ -55,7 +55,15 @@ Result<PlanPtr> QuadTreeMechanism::Plan(const PlanContext& ctx) const {
   }
 
   return PlanPtr(new grid_internal::GridTreePlan(
-      name(), ctx.domain, std::move(nodes), std::move(eps)));
+      name(), ctx.domain, std::move(nodes), std::move(eps), ctx.epsilon));
+}
+
+Result<PlanPtr> QuadTreeMechanism::HydratePlan(
+    const PlanContext& ctx, const PlanPayload& payload) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  DPB_RETURN_NOT_OK(payload.CheckHeader(name(), "grid_tree", ctx.epsilon));
+  return grid_internal::GridTreePlan::FromPayload(name(), ctx.domain,
+                                                  ctx.epsilon, payload);
 }
 
 }  // namespace dpbench

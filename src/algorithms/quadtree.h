@@ -24,6 +24,8 @@ class QuadTreeMechanism : public Mechanism {
   std::string name() const override { return "QUADTREE"; }
   bool SupportsDims(size_t dims) const override { return dims == 2; }
   Result<PlanPtr> Plan(const PlanContext& ctx) const override;
+  Result<PlanPtr> HydratePlan(const PlanContext& ctx,
+                              const PlanPayload& payload) const override;
 
  private:
   size_t max_height_;

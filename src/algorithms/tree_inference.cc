@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <utility>
 
 #include "src/common/logging.h"
 
@@ -218,6 +219,65 @@ Result<PlannedTreeGls> PlannedTreeGls::Build(
   return plan;
 }
 
+PlannedTreeGls::Coefficients PlannedTreeGls::coefficients() const {
+  Coefficients c;
+  c.order.assign(order_.begin(), order_.end());
+  c.child_start.assign(child_start_.begin(), child_start_.end());
+  c.children.assign(children_.begin(), children_.end());
+  c.a = a_;
+  c.b = b_;
+  c.r = r_;
+  c.root = root_;
+  return c;
+}
+
+Result<PlannedTreeGls> PlannedTreeGls::FromCoefficients(Coefficients c) {
+  const size_t n = c.a.size();
+  if (c.b.size() != n || c.r.size() != n || c.order.size() != n ||
+      c.child_start.size() != n + 1) {
+    return Status::InvalidArgument(
+        "GLS coefficients: inconsistent array arities");
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("GLS coefficients: empty solver");
+  }
+  if (c.root >= n) {
+    return Status::InvalidArgument("GLS coefficients: root out of range");
+  }
+  if (c.child_start[0] != 0 ||
+      c.child_start[n] != c.children.size()) {
+    return Status::InvalidArgument(
+        "GLS coefficients: CSR offsets do not span the child array");
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (c.child_start[v + 1] < c.child_start[v]) {
+      return Status::InvalidArgument(
+          "GLS coefficients: CSR offsets not monotone");
+    }
+    if (c.order[v] >= n) {
+      return Status::InvalidArgument(
+          "GLS coefficients: traversal order index out of range");
+    }
+  }
+  for (uint64_t child : c.children) {
+    if (child >= n) {
+      return Status::InvalidArgument(
+          "GLS coefficients: child index out of range");
+    }
+  }
+  PlannedTreeGls plan;
+  // Index arrays need the u64 -> size_t element conversion; the double
+  // arrays are adopted as-is.
+  plan.order_.assign(c.order.begin(), c.order.end());
+  plan.child_start_.assign(c.child_start.begin(), c.child_start.end());
+  plan.children_.assign(c.children.begin(), c.children.end());
+  plan.a_ = std::move(c.a);
+  plan.b_ = std::move(c.b);
+  plan.r_ = std::move(c.r);
+  plan.root_ = static_cast<size_t>(c.root);
+  return plan;
+}
+
 std::vector<double> PlannedTreeGls::InferNodes(
     const std::vector<double>& y) const {
   std::vector<double> z, est;
@@ -261,6 +321,7 @@ RangeTree RangeTree::Build(size_t n, size_t branching) {
   DPB_CHECK_GE(branching, 2u);
   RangeTree tree;
   tree.n_ = n;
+  tree.branching_ = branching;
   tree.nodes_.push_back({0, n - 1, kNoParent, {}, 0});
   // BFS expansion.
   for (size_t v = 0; v < tree.nodes_.size(); ++v) {

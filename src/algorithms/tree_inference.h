@@ -74,6 +74,29 @@ class PlannedTreeGls {
 
   size_t num_nodes() const { return a_.size(); }
 
+  /// The solver's full internal state, exposed so plans can serialize
+  /// their GLS coefficients: a solver rebuilt with FromCoefficients infers
+  /// bit-identically to the one the coefficients came from. Indices are
+  /// widened to uint64_t for a platform-independent wire form.
+  struct Coefficients {
+    std::vector<uint64_t> order;        ///< BFS from root, parents first
+    std::vector<uint64_t> child_start;  ///< CSR offsets, num_nodes + 1
+    std::vector<uint64_t> children;     ///< flat child ids, CSR layout
+    std::vector<double> a;              ///< own-measurement weight
+    std::vector<double> b;              ///< children-sum weight
+    std::vector<double> r;              ///< residual share (as child)
+    uint64_t root = 0;
+  };
+
+  Coefficients coefficients() const;
+
+  /// Rebuilds a solver from serialized coefficients, validating internal
+  /// consistency (array arities, CSR shape, index bounds) so a corrupt
+  /// payload fails loudly instead of executing out of bounds. Takes the
+  /// coefficients by value: the double arrays are adopted without another
+  /// copy (they run to megabytes for paper-scale trees).
+  static Result<PlannedTreeGls> FromCoefficients(Coefficients c);
+
  private:
   std::vector<size_t> order_;        // BFS from root, parents first
   std::vector<size_t> child_start_;  // CSR offsets, size num_nodes + 1
@@ -103,6 +126,10 @@ class RangeTree {
 
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_cells() const { return n_; }
+  /// The branching factor Build() was called with. Together with
+  /// num_cells() it identifies the topology exactly (Build is
+  /// deterministic), which is how range-tree plans serialize their tree.
+  size_t branching() const { return branching_; }
   const Node& node(size_t i) const { return nodes_[i]; }
   size_t root() const { return 0; }
 
@@ -125,6 +152,7 @@ class RangeTree {
 
  private:
   size_t n_ = 0;
+  size_t branching_ = 2;
   int num_levels_ = 0;
   std::vector<Node> nodes_;
   std::vector<std::vector<size_t>> by_level_;

@@ -30,6 +30,22 @@ class UGridPlan : public MechanismPlan {
 
   bool precomputed() const override { return m_.has_value(); }
 
+  Result<PlanPayload> SerializePayload() const override {
+    if (!m_.has_value()) {
+      // Without public scale the resolution is chosen at execution time
+      // with a private estimate — there is nothing plan-time to persist.
+      return Status::NotSupported(
+          mechanism_name() + ": plan without public scale has no payload");
+    }
+    PlanPayload p;
+    p.mechanism = mechanism_name();
+    p.kind = "ugrid";
+    p.reals["epsilon"] = epsilon_;
+    p.reals["c"] = c_;
+    p.ints["m"] = *m_;
+    return p;
+  }
+
   Result<DataVector> Execute(const ExecContext& ctx) const override {
     DPB_RETURN_NOT_OK(CheckExec(ctx));
     size_t rows = domain().size(0), cols = domain().size(1);
@@ -96,6 +112,37 @@ Result<PlanPtr> UGridMechanism::Plan(const PlanContext& ctx) const {
     m = res;
   }
   return PlanPtr(new UGridPlan(name(), ctx.domain, ctx.epsilon, c_, m));
+}
+
+Result<PlanPtr> UGridMechanism::HydratePlan(const PlanContext& ctx,
+                                            const PlanPayload& payload) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  DPB_RETURN_NOT_OK(payload.CheckHeader(name(), "ugrid", ctx.epsilon));
+  DPB_ASSIGN_OR_RETURN(double c, payload.Real("c"));
+  DPB_ASSIGN_OR_RETURN(uint64_t m, payload.Int("m"));
+  // The resolution is a pure function of (scale, epsilon, c, domain), so
+  // validate by exact equality against what Plan() would choose — a
+  // merely-in-range m would silently run a different grid.
+  if (!(c == c_)) {
+    return Status::InvalidArgument(
+        name() + ": ugrid payload was built with a different c parameter");
+  }
+  if (!ctx.side_info.true_scale.has_value()) {
+    return Status::InvalidArgument(
+        name() +
+        ": ugrid payload has a planned resolution but the context has no "
+        "public scale");
+  }
+  size_t rows = ctx.domain.size(0), cols = ctx.domain.size(1);
+  size_t expect = GridSize(*ctx.side_info.true_scale, ctx.epsilon, c_);
+  expect = std::min({expect, rows, cols});
+  expect = std::max<size_t>(expect, 1);
+  if (m != expect) {
+    return Status::InvalidArgument(
+        name() + ": ugrid payload resolution does not match this context");
+  }
+  return PlanPtr(new UGridPlan(name(), ctx.domain, ctx.epsilon, c_,
+                               static_cast<size_t>(m)));
 }
 
 }  // namespace dpbench

@@ -21,6 +21,8 @@ class UGridMechanism : public Mechanism {
   bool SupportsDims(size_t dims) const override { return dims == 2; }
   bool uses_side_info() const override { return true; }
   Result<PlanPtr> Plan(const PlanContext& ctx) const override;
+  Result<PlanPtr> HydratePlan(const PlanContext& ctx,
+                              const PlanPayload& payload) const override;
 
   /// Grid resolution rule m = max(10, sqrt(N*eps/c)) (exposed for tests).
   static size_t GridSize(double scale, double epsilon, double c);

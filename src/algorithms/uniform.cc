@@ -30,6 +30,14 @@ class UniformPlan : public MechanismPlan {
     return Status::OK();
   }
 
+  Result<PlanPayload> SerializePayload() const override {
+    PlanPayload p;
+    p.mechanism = mechanism_name();
+    p.kind = "uniform";
+    p.reals["epsilon"] = epsilon_;
+    return p;
+  }
+
  private:
   double epsilon_;
 };
@@ -38,6 +46,13 @@ class UniformPlan : public MechanismPlan {
 
 Result<PlanPtr> UniformMechanism::Plan(const PlanContext& ctx) const {
   DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  return PlanPtr(new UniformPlan(name(), ctx.domain, ctx.epsilon));
+}
+
+Result<PlanPtr> UniformMechanism::HydratePlan(
+    const PlanContext& ctx, const PlanPayload& payload) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  DPB_RETURN_NOT_OK(payload.CheckHeader(name(), "uniform", ctx.epsilon));
   return PlanPtr(new UniformPlan(name(), ctx.domain, ctx.epsilon));
 }
 

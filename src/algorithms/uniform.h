@@ -12,6 +12,8 @@ class UniformMechanism : public Mechanism {
   std::string name() const override { return "UNIFORM"; }
   bool SupportsDims(size_t) const override { return true; }
   Result<PlanPtr> Plan(const PlanContext& ctx) const override;
+  Result<PlanPtr> HydratePlan(const PlanContext& ctx,
+                              const PlanPayload& payload) const override;
 };
 
 }  // namespace dpbench

@@ -1,11 +1,52 @@
 #include "src/common/rng.h"
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "src/common/logging.h"
 
 namespace dpbench {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+}  // namespace
+
+SeedMixer::SeedMixer(uint64_t master) : h_(kFnvOffset ^ master) {
+  h_ *= kFnvPrime;
+}
+
+SeedMixer& SeedMixer::Mix(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h_ ^= (v >> (8 * i)) & 0xffULL;
+    h_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+SeedMixer& SeedMixer::Mix(const std::string& s) {
+  for (char c : s) {
+    h_ ^= static_cast<unsigned char>(c);
+    h_ *= kFnvPrime;
+  }
+  // Fold the length in as a delimiter so adjacent string fields cannot
+  // collide by re-splitting the same concatenation ("AB","C" vs "A","BC").
+  return Mix(static_cast<uint64_t>(s.size()));
+}
+
+SeedMixer& SeedMixer::MixDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double is not 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return Mix(bits);
+}
+
+uint64_t StreamSeed(uint64_t master, const std::string& label) {
+  return SeedMixer(master).Mix(label).seed();
+}
 
 double Rng::Uniform() {
   // Explicit 53-bit mantissa scaling: exact values in [0, 1) with the full

@@ -8,9 +8,41 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace dpbench {
+
+/// Deterministic seed derivation for labelled sub-experiments: an FNV-1a
+/// accumulator over a master seed and a sequence of typed fields. Every
+/// independent random stream in the experiment engine derives its seed
+/// through a mixer so that results depend only on *what* is being run
+/// (the master seed plus the identifying fields), never on grid iteration
+/// order, shard assignment, or thread scheduling.
+///
+/// Doubles are mixed by bit pattern, so two fields that differ anywhere in
+/// the significand produce different seeds — unlike formatted-string labels,
+/// which collapse near-equal values at their print precision.
+class SeedMixer {
+ public:
+  explicit SeedMixer(uint64_t master);
+
+  SeedMixer& Mix(uint64_t v);
+  /// Mixes the bytes followed by the length, so adjacent string fields
+  /// are delimited ("AB"+"C" and "A"+"BC" produce different seeds).
+  SeedMixer& Mix(const std::string& s);
+  SeedMixer& MixDouble(double v);  ///< by bit pattern (full precision)
+
+  uint64_t seed() const { return h_; }
+
+ private:
+  uint64_t h_;
+};
+
+/// Seed for a labelled stream: SeedMixer over the master seed and `label`.
+/// (The historical string-label form; structured field mixing via SeedMixer
+/// is preferred for new streams with numeric identity.)
+uint64_t StreamSeed(uint64_t master, const std::string& label);
 
 /// A seeded random source with the distributions DPBench needs:
 /// uniform, Laplace, Gumbel (for the exponential mechanism), discrete,

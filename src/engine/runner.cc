@@ -18,19 +18,6 @@ namespace dpbench {
 
 namespace {
 
-// Deterministic stream seed for a labelled sub-experiment: FNV-1a over the
-// master seed and the label. Guarantees results do not depend on grid
-// iteration order or thread scheduling.
-uint64_t StreamSeed(uint64_t master, const std::string& label) {
-  uint64_t h = 1469598103934665603ULL ^ master;
-  h *= 1099511628211ULL;
-  for (char c : label) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
@@ -52,6 +39,20 @@ std::string ConfigKey::ToString() const {
   return os.str();
 }
 
+uint64_t CellStreamSeed(uint64_t master_seed, const ConfigKey& key) {
+  // Structured-field mixing (not the formatted label): the epsilon enters
+  // by bit pattern, so every distinct double gets its own stream, and the
+  // seed is invariant to shard assignment and cell execution order.
+  return SeedMixer(master_seed)
+      .Mix(std::string("cell"))
+      .Mix(key.algorithm)
+      .Mix(key.dataset)
+      .Mix(key.scale)
+      .Mix(static_cast<uint64_t>(key.domain_size))
+      .MixDouble(key.epsilon)
+      .seed();
+}
+
 Workload MakeWorkload(WorkloadKind kind, const Domain& domain,
                       size_t random_queries, uint64_t seed) {
   switch (kind) {
@@ -67,7 +68,9 @@ Workload MakeWorkload(WorkloadKind kind, const Domain& domain,
 
 Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
                                             ProgressFn progress,
-                                            RunDiagnostics* diagnostics) {
+                                            RunDiagnostics* diagnostics,
+                                            const PlanStore* hydrate_plans,
+                                            PlanStore* export_plans) {
   struct SharedInput {
     std::shared_ptr<const Workload> workload;
     std::vector<DataVector> samples;
@@ -75,9 +78,20 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
   };
   struct CellTask {
     ConfigKey key;
+    size_t grid_index = 0;
     const SharedInput* input = nullptr;
     std::string plan_key;
   };
+
+  if (config.shard_count == 0) {
+    return Status::InvalidArgument("shard_count must be >= 1");
+  }
+  if (config.shard_index >= config.shard_count) {
+    return Status::InvalidArgument(
+        "shard_index " + std::to_string(config.shard_index) +
+        " out of range for shard_count " +
+        std::to_string(config.shard_count));
+  }
 
   // Phase 0: resolve the algorithm list against the registry exactly once
   // (one lookup per algorithm, not one per grid cell).
@@ -88,10 +102,15 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
     mechanisms.emplace(algo, std::move(mech));
   }
 
-  // Phase 1 (sequential): draw the data vectors per (dataset, domain,
-  // scale) so all algorithms and epsilons see identical samples — the
-  // paper's controlled-comparison requirement. Workloads are shared per
-  // domain; plans per (algorithm, domain, epsilon [, scale]).
+  // Phase 1 (sequential): enumerate the full grid in its canonical order
+  // (dataset, domain, scale, epsilon, algorithm) — assigning every
+  // non-skipped cell its stable grid index — and keep the cells of this
+  // shard. Data vectors are drawn per (dataset, domain, scale) from a
+  // stream seeded by that identity, so all algorithms and epsilons (and
+  // every shard) see identical samples — the paper's controlled-comparison
+  // requirement. Inputs are materialized lazily: a shard only pays for the
+  // samples and true answers of combos it actually executes. Workloads are
+  // shared per domain; plans per (algorithm, domain, epsilon [, scale]).
   std::vector<std::unique_ptr<SharedInput>> inputs;
   std::vector<CellTask> tasks;
   std::map<std::string, std::shared_ptr<const Workload>> workload_cache;
@@ -104,6 +123,7 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
   std::map<std::string, PlanRequest> plan_requests;
   std::set<std::tuple<std::string, std::string, size_t>> skipped_seen;
   std::vector<SkippedCombo> skipped;
+  size_t grid_cells = 0;  // canonical index counter over the full grid
 
   for (const std::string& dataset : config.datasets) {
     DPB_ASSIGN_OR_RETURN(DatasetInfo info, DatasetRegistry::Info(dataset));
@@ -126,23 +146,14 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
       }
       std::shared_ptr<const Workload> workload = workload_it->second;
       for (uint64_t scale : config.scales) {
-        std::ostringstream label;
-        label << "data/" << dataset << "/" << domain_size << "/" << scale;
-        Rng data_rng(StreamSeed(config.seed, label.str()));
-        auto input = std::make_unique<SharedInput>();
-        input->workload = workload;
-        for (size_t s = 0; s < config.data_samples; ++s) {
-          DPB_ASSIGN_OR_RETURN(DataVector x,
-                               SampleAtScale(shape, scale, &data_rng));
-          input->samples.push_back(std::move(x));
-        }
-        input->true_answers = workload->EvaluateAll(input->samples);
+        std::unique_ptr<SharedInput> input;  // materialized on first use
         for (double eps : config.epsilons) {
           for (const std::string& algo : config.algorithms) {
             const MechanismPtr& mech = mechanisms.at(algo);
             if (!mech->SupportsDims(domain.num_dims())) {
               // e.g. PHP on 2D: out of scope, but surfaced in diagnostics
-              // rather than dropped without trace.
+              // rather than dropped without trace. Skips are detected over
+              // the full grid, so every shard reports the same list.
               if (skipped_seen.emplace(algo, dataset, domain_size).second) {
                 skipped.push_back(
                     {algo, dataset, domain_size, domain.num_dims(),
@@ -150,6 +161,23 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
                          std::to_string(domain.num_dims()) + "D)"});
               }
               continue;
+            }
+            size_t grid_index = grid_cells++;
+            if (grid_index % config.shard_count != config.shard_index) {
+              continue;  // another shard's cell
+            }
+            if (input == nullptr) {
+              std::ostringstream label;
+              label << "data/" << dataset << "/" << domain_size << "/"
+                    << scale;
+              Rng data_rng(StreamSeed(config.seed, label.str()));
+              input = std::make_unique<SharedInput>();
+              input->workload = workload;
+              for (size_t s = 0; s < config.data_samples; ++s) {
+                DPB_ASSIGN_OR_RETURN(DataVector x,
+                                     SampleAtScale(shape, scale, &data_rng));
+                input->samples.push_back(std::move(x));
+              }
             }
             SideInfo side_info;
             if (config.provide_true_scale) {
@@ -172,11 +200,15 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
             (void)it;
             (void)inserted;
             tasks.push_back({{algo, dataset, scale, domain_size, eps},
+                             grid_index,
                              input.get(),
                              plan_key.str()});
           }
         }
-        inputs.push_back(std::move(input));
+        if (input != nullptr) {
+          input->true_answers = workload->EvaluateAll(input->samples);
+          inputs.push_back(std::move(input));
+        }
       }
     }
   }
@@ -184,9 +216,10 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
   size_t threads = std::max<size_t>(config.threads, 1);
   WorkStealingPool pool(threads);
 
-  // Phase 2a: build every unique plan once. Planning is deterministic (it
-  // never draws randomness), so building plans concurrently cannot change
-  // results.
+  // Phase 2a: build every unique plan once — or hydrate it from the
+  // provided serialized store instead of planning. Planning and hydration
+  // are deterministic (they never draw randomness), so running them
+  // concurrently cannot change results.
   auto plan_start = std::chrono::steady_clock::now();
   std::vector<std::pair<const std::string*, const PlanRequest*>> plan_order;
   plan_order.reserve(plan_requests.size());
@@ -196,10 +229,26 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
   std::map<std::string, PlanPtr> plan_cache;
   std::vector<PlanPtr> built_plans(plan_order.size());
   std::vector<Status> plan_failures(plan_order.size(), Status::OK());
+  std::vector<char> hydrated(plan_order.size(), 0);
   pool.ParallelFor(plan_order.size(), [&](size_t i) {
     const PlanRequest& req = *plan_order[i].second;
     PlanContext pctx{req.input->workload->domain(), *req.input->workload,
                      req.epsilon, req.side_info};
+    if (hydrate_plans != nullptr) {
+      auto it = hydrate_plans->plans.find(*plan_order[i].first);
+      if (it != hydrate_plans->plans.end()) {
+        auto plan_or = req.mech->HydratePlan(pctx, it->second);
+        if (!plan_or.ok()) {
+          // A supplied-but-unusable payload is a corrupt or mismatched
+          // cache; surface it instead of silently re-planning.
+          plan_failures[i] = plan_or.status();
+          return;
+        }
+        built_plans[i] = std::move(plan_or).value();
+        hydrated[i] = 1;
+        return;
+      }
+    }
     auto plan_or = req.mech->Plan(pctx);
     if (!plan_or.ok()) {
       plan_failures[i] = plan_or.status();
@@ -209,6 +258,20 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
   });
   for (const Status& st : plan_failures) {
     DPB_RETURN_NOT_OK(st);
+  }
+  size_t plans_hydrated = 0;
+  for (char h : hydrated) plans_hydrated += h;
+  if (export_plans != nullptr) {
+    for (size_t i = 0; i < plan_order.size(); ++i) {
+      if (!built_plans[i]->precomputed()) continue;
+      auto payload = built_plans[i]->SerializePayload();
+      if (payload.ok()) {
+        export_plans->plans[*plan_order[i].first] =
+            std::move(payload).value();
+      } else if (payload.status().code() != StatusCode::kNotSupported) {
+        return payload.status();
+      }
+    }
   }
   for (size_t i = 0; i < plan_order.size(); ++i) {
     plan_cache.emplace(*plan_order[i].first, std::move(built_plans[i]));
@@ -240,12 +303,13 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
     const PlanPtr& plan = plan_cache.at(task.plan_key);
     CellResult cell;
     cell.key = task.key;
+    cell.grid_index = task.grid_index;
     StreamingSummary stream;
     if (config.retain_raw_errors) {
       cell.errors.reserve(task.input->samples.size() *
                           config.runs_per_sample);
     }
-    Rng run_rng(StreamSeed(config.seed, "run/" + task.key.ToString()));
+    Rng run_rng(CellStreamSeed(config.seed, task.key));
     for (size_t s = 0; s < task.input->samples.size(); ++s) {
       const DataVector& x = task.input->samples[s];
       for (size_t r = 0; r < config.runs_per_sample; ++r) {
@@ -291,11 +355,13 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
   if (diagnostics != nullptr) {
     diagnostics->skipped = std::move(skipped);
     diagnostics->cells = tasks.size();
+    diagnostics->grid_cells = grid_cells;
     diagnostics->trials = 0;
     for (const CellResult& cell : out) {
       diagnostics->trials += cell.summary.trials;
     }
-    diagnostics->plans_built = plan_cache.size();
+    diagnostics->plans_built = plan_cache.size() - plans_hydrated;
+    diagnostics->plans_hydrated = plans_hydrated;
     diagnostics->plan_cache_hits =
         tasks.size() > plan_cache.size() ? tasks.size() - plan_cache.size()
                                          : 0;

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/algorithms/mechanism.h"
 #include "src/common/status.h"
 #include "src/engine/stats.h"
 #include "src/workload/workload.h"
@@ -53,6 +54,16 @@ struct ExperimentConfig {
   /// below StreamingSummary::kExactWindow trials). Raw-error consumers
   /// (GroupBySetting/CompetitiveSet) need the default `true`.
   bool retain_raw_errors = true;
+  /// Deterministic grid partitioning for multi-process runs: this process
+  /// executes only the cells whose canonical grid index i satisfies
+  /// i % shard_count == shard_index (a strided split, so uneven grids stay
+  /// balanced). Cells are enumerated in a stable canonical order and every
+  /// random stream is derived from (seed, cell identity), so the union of
+  /// any shard partition is bit-identical to the monolithic run
+  /// (shard_count=1). Merge shard outputs with engine/serialize's
+  /// MergeShards or the dpbench_merge tool.
+  size_t shard_index = 0;
+  size_t shard_count = 1;
 };
 
 /// Identifier of one grid cell.
@@ -69,8 +80,12 @@ struct ConfigKey {
 
 /// Result of one grid cell: raw per-trial errors plus the summary.
 /// `errors` is empty when the run used retain_raw_errors=false.
+/// `grid_index` is the cell's position in the canonical full-grid
+/// enumeration (identical across shard assignments; shard merge sorts by
+/// it to reproduce the monolithic result order).
 struct CellResult {
   ConfigKey key;
+  size_t grid_index = 0;
   std::vector<double> errors;
   ErrorSummary summary;
 };
@@ -90,9 +105,11 @@ struct SkippedCombo {
 /// was skipped. Optional output — pass to Run() when you care.
 struct RunDiagnostics {
   std::vector<SkippedCombo> skipped;
-  size_t cells = 0;            ///< grid cells executed
+  size_t cells = 0;            ///< grid cells executed (this shard)
+  size_t grid_cells = 0;       ///< non-skipped cells in the *full* grid
   size_t trials = 0;           ///< total mechanism executions
-  size_t plans_built = 0;      ///< unique plans constructed
+  size_t plans_built = 0;      ///< unique plans constructed by planning
+  size_t plans_hydrated = 0;   ///< plans restored from a serialized cache
   size_t plan_cache_hits = 0;  ///< cell-plan lookups served from cache
   double plan_seconds = 0.0;     ///< wall time building plans
   double execute_seconds = 0.0;  ///< wall time executing cells
@@ -103,6 +120,13 @@ struct RunDiagnostics {
   uint64_t pool_tasks_stolen = 0;    ///< tasks balanced via work stealing
 };
 
+/// A set of serialized mechanism plans keyed by the runner's plan-cache
+/// key. Passed into Runner::Run to hydrate plans instead of planning
+/// (sharded/repeated runs), or filled by it to persist the plans it built.
+struct PlanStore {
+  std::map<std::string, PlanPayload> plans;
+};
+
 /// Runs the grid. `progress` (optional) is invoked after each cell.
 class Runner {
  public:
@@ -111,14 +135,23 @@ class Runner {
   /// Executes all configurations; failures on individual cells abort with
   /// the offending status (no partial silent results).
   ///
-  /// Results are bit-identical regardless of `config.threads` and of the
-  /// *order* of the algorithm/dataset lists: every cell's randomness is
-  /// derived from a hash of (seed, dataset, domain, scale, eps, algorithm),
-  /// the data samples from (seed, dataset, domain, scale), and plans are
-  /// deterministic (planning never draws randomness).
+  /// Results are bit-identical regardless of `config.threads`, of the
+  /// *order* of the algorithm/dataset lists, and of the shard assignment:
+  /// every cell's randomness is derived from a hash of (seed, cell key)
+  /// via CellStreamSeed (full-precision epsilon), the data samples from
+  /// (seed, dataset, domain, scale), and plans are deterministic
+  /// (planning never draws randomness).
+  ///
+  /// `hydrate_plans` (optional): plans found here (by plan-cache key) are
+  /// rehydrated through Mechanism::HydratePlan instead of planned; a
+  /// present-but-invalid payload aborts the run (a wrong cache must fail
+  /// loudly). `export_plans` (optional): receives the serializable payload
+  /// of every precomputed plan this run used, keyed for later hydration.
   static Result<std::vector<CellResult>> Run(
       const ExperimentConfig& config, ProgressFn progress = nullptr,
-      RunDiagnostics* diagnostics = nullptr);
+      RunDiagnostics* diagnostics = nullptr,
+      const PlanStore* hydrate_plans = nullptr,
+      PlanStore* export_plans = nullptr);
 
   /// Groups cell results by (dataset, scale, domain, eps), mapping
   /// algorithm name to raw errors — the input shape CompetitiveSet needs.
@@ -136,6 +169,13 @@ class Runner {
 /// Builds the benchmark workload for a domain.
 Workload MakeWorkload(WorkloadKind kind, const Domain& domain,
                       size_t random_queries, uint64_t seed);
+
+/// Seed of a grid cell's random stream: a hash of the master seed and the
+/// cell's structured identity. The epsilon is mixed by bit pattern, so
+/// near-equal epsilons from generated sweeps never collide onto one stream
+/// (a formatted-label seed would collapse them at print precision).
+/// Exposed so sharded workers and tests can reproduce any single cell.
+uint64_t CellStreamSeed(uint64_t master_seed, const ConfigKey& key);
 
 }  // namespace dpbench
 

@@ -1,0 +1,1163 @@
+#include "src/engine/serialize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace dpbench {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'P', 'B', 'S'};
+
+// Field wire types. The tag is written with every field, which is what
+// makes the format self-describing: a reader can walk (and DebugJson can
+// render) any record without knowing its schema.
+enum FieldType : uint8_t {
+  kU64 = 1,
+  kF64 = 2,
+  kStr = 3,
+  kU64Vec = 4,
+  kF64Vec = 5,
+  kStrVec = 6,
+  kRec = 7,     // nested record (encoded bytes)
+  kRecVec = 8,  // vector of nested records
+};
+
+const char* FieldTypeName(uint8_t type) {
+  switch (type) {
+    case kU64: return "u64";
+    case kF64: return "f64";
+    case kStr: return "string";
+    case kU64Vec: return "u64 vector";
+    case kF64Vec: return "f64 vector";
+    case kStrVec: return "string vector";
+    case kRec: return "record";
+    case kRecVec: return "record vector";
+  }
+  return "unknown";
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double DoubleFromBits(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Record writer: accumulates (name, type, value) fields; Finish() prefixes
+// the field count. All scalars little-endian fixed-width.
+// ---------------------------------------------------------------------------
+class RecordWriter {
+ public:
+  void U64(const std::string& name, uint64_t v) {
+    Header(name, kU64);
+    RawU64(v);
+  }
+  void F64(const std::string& name, double v) {
+    Header(name, kF64);
+    RawU64(DoubleBits(v));
+  }
+  void Str(const std::string& name, const std::string& v) {
+    Header(name, kStr);
+    RawStr(v);
+  }
+  void U64Vec(const std::string& name, const std::vector<uint64_t>& v) {
+    Header(name, kU64Vec);
+    RawU64(v.size());
+    for (uint64_t x : v) RawU64(x);
+  }
+  void F64Vec(const std::string& name, const std::vector<double>& v) {
+    Header(name, kF64Vec);
+    RawU64(v.size());
+    for (double x : v) RawU64(DoubleBits(x));
+  }
+  void StrVec(const std::string& name, const std::vector<std::string>& v) {
+    Header(name, kStrVec);
+    RawU64(v.size());
+    for (const std::string& s : v) RawStr(s);
+  }
+  void Rec(const std::string& name, const std::string& record_bytes) {
+    Header(name, kRec);
+    RawStr(record_bytes);
+  }
+  void RecVec(const std::string& name,
+              const std::vector<std::string>& records) {
+    Header(name, kRecVec);
+    RawU64(records.size());
+    for (const std::string& r : records) RawStr(r);
+  }
+
+  std::string Finish() && {
+    std::string out;
+    out.reserve(8 + body_.size());
+    AppendU64(&out, fields_);
+    out += body_;
+    return out;
+  }
+
+ private:
+  static void AppendU64(std::string* s, uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      s->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void RawU64(uint64_t v) { AppendU64(&body_, v); }
+  void RawStr(const std::string& s) {
+    RawU64(s.size());
+    body_ += s;
+  }
+  void Header(const std::string& name, FieldType type) {
+    ++fields_;
+    RawStr(name);
+    body_.push_back(static_cast<char>(type));
+  }
+
+  uint64_t fields_ = 0;
+  std::string body_;
+};
+
+// ---------------------------------------------------------------------------
+// Record reader. Parse() walks every field with bounds checks (truncated
+// input fails with a precise error, oversized counts are rejected before
+// any allocation); typed getters validate presence and wire type.
+// ---------------------------------------------------------------------------
+struct FieldValue {
+  uint8_t type = 0;
+  uint64_t u64 = 0;
+  std::string str;                 // kStr / kRec payload
+  std::vector<uint64_t> u64_vec;   // also kF64Vec (bit patterns)
+  std::vector<std::string> str_vec;  // kStrVec / kRecVec payloads
+};
+
+Status Truncated(const std::string& what) {
+  return Status::InvalidArgument("truncated serialized data (reading " +
+                                 what + ")");
+}
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  Result<uint64_t> U64(const std::string& what) {
+    if (remaining() < 8) return Truncated(what);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<uint8_t> U8(const std::string& what) {
+    if (remaining() < 1) return Truncated(what);
+    return static_cast<uint8_t>(static_cast<unsigned char>(data_[pos_++]));
+  }
+
+  Result<std::string> Str(const std::string& what) {
+    DPB_ASSIGN_OR_RETURN(uint64_t len, U64(what + " length"));
+    if (remaining() < len) return Truncated(what);
+    std::string s = data_.substr(pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+class Record {
+ public:
+  static Result<Record> Parse(const std::string& bytes) {
+    Record rec;
+    Cursor c(bytes);
+    DPB_ASSIGN_OR_RETURN(uint64_t count, c.U64("field count"));
+    // Every field is at least name-length + type byte: 9 bytes.
+    if (count > bytes.size() / 9 + 1) {
+      return Status::InvalidArgument(
+          "serialized record claims an implausible field count");
+    }
+    for (uint64_t f = 0; f < count; ++f) {
+      DPB_ASSIGN_OR_RETURN(std::string name, c.Str("field name"));
+      DPB_ASSIGN_OR_RETURN(uint8_t type, c.U8("field type of " + name));
+      FieldValue value;
+      value.type = type;
+      switch (type) {
+        case kU64: {
+          DPB_ASSIGN_OR_RETURN(value.u64, c.U64(name));
+          break;
+        }
+        case kF64: {
+          DPB_ASSIGN_OR_RETURN(value.u64, c.U64(name));
+          break;
+        }
+        case kStr:
+        case kRec: {
+          DPB_ASSIGN_OR_RETURN(value.str, c.Str(name));
+          break;
+        }
+        case kU64Vec:
+        case kF64Vec: {
+          DPB_ASSIGN_OR_RETURN(uint64_t n, c.U64(name + " count"));
+          if (c.remaining() < n * 8 || n > c.remaining()) {
+            return Truncated(name);
+          }
+          value.u64_vec.reserve(n);
+          for (uint64_t i = 0; i < n; ++i) {
+            DPB_ASSIGN_OR_RETURN(uint64_t x, c.U64(name));
+            value.u64_vec.push_back(x);
+          }
+          break;
+        }
+        case kStrVec:
+        case kRecVec: {
+          DPB_ASSIGN_OR_RETURN(uint64_t n, c.U64(name + " count"));
+          if (c.remaining() < n * 8 || n > c.remaining()) {
+            return Truncated(name);
+          }
+          value.str_vec.reserve(n);
+          for (uint64_t i = 0; i < n; ++i) {
+            DPB_ASSIGN_OR_RETURN(std::string s, c.Str(name));
+            value.str_vec.push_back(std::move(s));
+          }
+          break;
+        }
+        default:
+          return Status::InvalidArgument(
+              "serialized record has unknown field type for '" + name +
+              "'");
+      }
+      rec.fields_.emplace(std::move(name), std::move(value));
+    }
+    if (!c.done()) {
+      return Status::InvalidArgument(
+          "serialized record has trailing bytes (corrupt or mis-framed)");
+    }
+    return rec;
+  }
+
+  const std::map<std::string, FieldValue>& fields() const { return fields_; }
+  /// Mutable access for decoders that consume the record by moving field
+  /// payloads out (the plan-payload path decodes multi-MB GLS arrays).
+  std::map<std::string, FieldValue>& mutable_fields() { return fields_; }
+
+  Result<const FieldValue*> Find(const std::string& name,
+                                 uint8_t type) const {
+    auto it = fields_.find(name);
+    if (it == fields_.end()) {
+      return Status::InvalidArgument("serialized record missing field '" +
+                                     name + "'");
+    }
+    if (it->second.type != type) {
+      return Status::InvalidArgument(
+          "serialized field '" + name + "' has type " +
+          FieldTypeName(it->second.type) + ", expected " +
+          FieldTypeName(type));
+    }
+    return &it->second;
+  }
+
+  Result<uint64_t> U64(const std::string& name) const {
+    DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kU64));
+    return v->u64;
+  }
+  Result<double> F64(const std::string& name) const {
+    DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kF64));
+    return DoubleFromBits(v->u64);
+  }
+  Result<std::string> Str(const std::string& name) const {
+    DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kStr));
+    return v->str;
+  }
+  Result<std::vector<uint64_t>> U64Vec(const std::string& name) const {
+    DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kU64Vec));
+    return v->u64_vec;
+  }
+  Result<std::vector<double>> F64Vec(const std::string& name) const {
+    DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kF64Vec));
+    std::vector<double> out(v->u64_vec.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = DoubleFromBits(v->u64_vec[i]);
+    }
+    return out;
+  }
+  Result<std::vector<std::string>> StrVec(const std::string& name) const {
+    DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kStrVec));
+    return v->str_vec;
+  }
+  Result<std::string> Rec(const std::string& name) const {
+    DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kRec));
+    return v->str;
+  }
+  Result<std::vector<std::string>> RecVec(const std::string& name) const {
+    DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kRecVec));
+    return v->str_vec;
+  }
+  /// Moving form for the bulk paths (a shard file's cells can be most of
+  /// the file): steals the record-bytes vector instead of copying it.
+  Result<std::vector<std::string>> TakeRecVec(const std::string& name) {
+    auto it = fields_.find(name);
+    if (it == fields_.end()) {
+      return Status::InvalidArgument("serialized record missing field '" +
+                                     name + "'");
+    }
+    if (it->second.type != kRecVec) {
+      return Status::InvalidArgument(
+          "serialized field '" + name + "' has type " +
+          FieldTypeName(it->second.type) + ", expected " +
+          FieldTypeName(kRecVec));
+    }
+    return std::move(it->second.str_vec);
+  }
+
+ private:
+  std::map<std::string, FieldValue> fields_;
+};
+
+// ---------------------------------------------------------------------------
+// Envelope.
+// ---------------------------------------------------------------------------
+
+std::string WrapEnvelope(const std::string& kind, std::string record) {
+  std::string out;
+  out.reserve(4 + 4 + 8 + kind.size() + record.size());
+  out.append(kMagic, 4);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(
+        static_cast<char>((kSerializeFormatVersion >> (8 * i)) & 0xff));
+  }
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>(
+        (static_cast<uint64_t>(kind.size()) >> (8 * i)) & 0xff));
+  }
+  out += kind;
+  out += record;
+  return out;
+}
+
+struct Envelope {
+  std::string kind;
+  std::string record;  // record bytes
+};
+
+Result<Envelope> UnwrapEnvelope(const std::string& bytes) {
+  if (bytes.size() < 8 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return Status::InvalidArgument(
+        "not a DPBench serialized file (bad magic)");
+  }
+  uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<uint32_t>(
+                   static_cast<unsigned char>(bytes[4 + i]))
+               << (8 * i);
+  }
+  if (version != kSerializeFormatVersion) {
+    return Status::InvalidArgument(
+        "serialized format version skew: file has v" +
+        std::to_string(version) + ", this build reads v" +
+        std::to_string(kSerializeFormatVersion));
+  }
+  if (bytes.size() < 16) return Truncated("envelope kind length");
+  uint64_t kind_len = 0;
+  for (int i = 0; i < 8; ++i) {
+    kind_len |= static_cast<uint64_t>(
+                    static_cast<unsigned char>(bytes[8 + i]))
+                << (8 * i);
+  }
+  // Overflow-safe form: 16 + kind_len could wrap for a hostile length.
+  if (kind_len > bytes.size() - 16) return Truncated("envelope kind");
+  Envelope env;
+  env.kind = bytes.substr(16, kind_len);
+  env.record = bytes.substr(16 + kind_len);
+  return env;
+}
+
+Result<Record> UnwrapAndParse(const std::string& bytes,
+                              const std::string& expected_kind) {
+  DPB_ASSIGN_OR_RETURN(Envelope env, UnwrapEnvelope(bytes));
+  if (env.kind != expected_kind) {
+    return Status::InvalidArgument("serialized artifact is a '" + env.kind +
+                                   "', expected '" + expected_kind + "'");
+  }
+  return Record::Parse(env.record);
+}
+
+// ---------------------------------------------------------------------------
+// Record-level encoders/decoders for the engine structs (no envelope; the
+// public Encode*/Decode* and the file formats wrap these).
+// ---------------------------------------------------------------------------
+
+std::string ConfigKeyRecord(const ConfigKey& key) {
+  RecordWriter w;
+  w.Str("algorithm", key.algorithm);
+  w.Str("dataset", key.dataset);
+  w.U64("scale", key.scale);
+  w.U64("domain_size", key.domain_size);
+  w.F64("epsilon", key.epsilon);
+  return std::move(w).Finish();
+}
+
+Result<ConfigKey> ConfigKeyFromRecord(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(Record rec, Record::Parse(bytes));
+  ConfigKey key;
+  DPB_ASSIGN_OR_RETURN(key.algorithm, rec.Str("algorithm"));
+  DPB_ASSIGN_OR_RETURN(key.dataset, rec.Str("dataset"));
+  DPB_ASSIGN_OR_RETURN(key.scale, rec.U64("scale"));
+  DPB_ASSIGN_OR_RETURN(uint64_t domain, rec.U64("domain_size"));
+  key.domain_size = static_cast<size_t>(domain);
+  DPB_ASSIGN_OR_RETURN(key.epsilon, rec.F64("epsilon"));
+  return key;
+}
+
+std::string ErrorSummaryRecord(const ErrorSummary& s) {
+  RecordWriter w;
+  w.F64("mean", s.mean);
+  w.F64("stddev", s.stddev);
+  w.F64("p95", s.p95);
+  w.U64("trials", s.trials);
+  return std::move(w).Finish();
+}
+
+Result<ErrorSummary> ErrorSummaryFromRecord(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(Record rec, Record::Parse(bytes));
+  ErrorSummary s;
+  DPB_ASSIGN_OR_RETURN(s.mean, rec.F64("mean"));
+  DPB_ASSIGN_OR_RETURN(s.stddev, rec.F64("stddev"));
+  DPB_ASSIGN_OR_RETURN(s.p95, rec.F64("p95"));
+  DPB_ASSIGN_OR_RETURN(uint64_t trials, rec.U64("trials"));
+  s.trials = static_cast<size_t>(trials);
+  return s;
+}
+
+std::string CellResultRecord(const CellResult& cell) {
+  RecordWriter w;
+  w.Rec("key", ConfigKeyRecord(cell.key));
+  w.U64("grid_index", cell.grid_index);
+  w.F64Vec("errors", cell.errors);
+  w.Rec("summary", ErrorSummaryRecord(cell.summary));
+  return std::move(w).Finish();
+}
+
+Result<CellResult> CellResultFromRecord(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(Record rec, Record::Parse(bytes));
+  CellResult cell;
+  DPB_ASSIGN_OR_RETURN(std::string key_rec, rec.Rec("key"));
+  DPB_ASSIGN_OR_RETURN(cell.key, ConfigKeyFromRecord(key_rec));
+  DPB_ASSIGN_OR_RETURN(uint64_t grid_index, rec.U64("grid_index"));
+  cell.grid_index = static_cast<size_t>(grid_index);
+  DPB_ASSIGN_OR_RETURN(cell.errors, rec.F64Vec("errors"));
+  DPB_ASSIGN_OR_RETURN(std::string summary_rec, rec.Rec("summary"));
+  DPB_ASSIGN_OR_RETURN(cell.summary, ErrorSummaryFromRecord(summary_rec));
+  return cell;
+}
+
+std::string StreamingSummaryRecord(const StreamingSummary& summary) {
+  StreamingSummary::State s = summary.state();
+  RecordWriter w;
+  w.U64("count", s.count);
+  w.F64("mean", s.mean);
+  w.F64("m2", s.m2);
+  w.F64Vec("window", {s.window.begin(), s.window.end()});
+  w.F64Vec("q", {s.q.begin(), s.q.end()});
+  w.F64Vec("pos", {s.pos.begin(), s.pos.end()});
+  w.F64Vec("des", {s.des.begin(), s.des.end()});
+  return std::move(w).Finish();
+}
+
+Result<StreamingSummary> StreamingSummaryFromRecord(
+    const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(Record rec, Record::Parse(bytes));
+  StreamingSummary::State s;
+  DPB_ASSIGN_OR_RETURN(s.count, rec.U64("count"));
+  DPB_ASSIGN_OR_RETURN(s.mean, rec.F64("mean"));
+  DPB_ASSIGN_OR_RETURN(s.m2, rec.F64("m2"));
+  DPB_ASSIGN_OR_RETURN(std::vector<double> window, rec.F64Vec("window"));
+  DPB_ASSIGN_OR_RETURN(std::vector<double> q, rec.F64Vec("q"));
+  DPB_ASSIGN_OR_RETURN(std::vector<double> pos, rec.F64Vec("pos"));
+  DPB_ASSIGN_OR_RETURN(std::vector<double> des, rec.F64Vec("des"));
+  if (window.size() != s.window.size() || q.size() != 5 ||
+      pos.size() != 5 || des.size() != 5) {
+    return Status::InvalidArgument(
+        "streaming-summary state has wrong accumulator arities");
+  }
+  std::copy(window.begin(), window.end(), s.window.begin());
+  std::copy(q.begin(), q.end(), s.q.begin());
+  std::copy(pos.begin(), pos.end(), s.pos.begin());
+  std::copy(des.begin(), des.end(), s.des.begin());
+  return StreamingSummary::FromState(s);
+}
+
+std::string SkippedComboRecord(const SkippedCombo& s) {
+  RecordWriter w;
+  w.Str("algorithm", s.algorithm);
+  w.Str("dataset", s.dataset);
+  w.U64("domain_size", s.domain_size);
+  w.U64("dims", s.dims);
+  w.Str("reason", s.reason);
+  return std::move(w).Finish();
+}
+
+Result<SkippedCombo> SkippedComboFromRecord(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(Record rec, Record::Parse(bytes));
+  SkippedCombo s;
+  DPB_ASSIGN_OR_RETURN(s.algorithm, rec.Str("algorithm"));
+  DPB_ASSIGN_OR_RETURN(s.dataset, rec.Str("dataset"));
+  DPB_ASSIGN_OR_RETURN(uint64_t domain, rec.U64("domain_size"));
+  s.domain_size = static_cast<size_t>(domain);
+  DPB_ASSIGN_OR_RETURN(uint64_t dims, rec.U64("dims"));
+  s.dims = static_cast<size_t>(dims);
+  DPB_ASSIGN_OR_RETURN(s.reason, rec.Str("reason"));
+  return s;
+}
+
+std::string RunDiagnosticsRecord(const RunDiagnostics& d) {
+  RecordWriter w;
+  std::vector<std::string> skipped;
+  skipped.reserve(d.skipped.size());
+  for (const SkippedCombo& s : d.skipped) {
+    skipped.push_back(SkippedComboRecord(s));
+  }
+  w.RecVec("skipped", skipped);
+  w.U64("cells", d.cells);
+  w.U64("grid_cells", d.grid_cells);
+  w.U64("trials", d.trials);
+  w.U64("plans_built", d.plans_built);
+  w.U64("plans_hydrated", d.plans_hydrated);
+  w.U64("plan_cache_hits", d.plan_cache_hits);
+  w.F64("plan_seconds", d.plan_seconds);
+  w.F64("execute_seconds", d.execute_seconds);
+  w.F64("trials_per_second", d.trials_per_second);
+  w.U64("pool_parallel_jobs", d.pool_parallel_jobs);
+  w.U64("pool_tasks_executed", d.pool_tasks_executed);
+  w.U64("pool_tasks_stolen", d.pool_tasks_stolen);
+  return std::move(w).Finish();
+}
+
+Result<RunDiagnostics> RunDiagnosticsFromRecord(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(Record rec, Record::Parse(bytes));
+  RunDiagnostics d;
+  DPB_ASSIGN_OR_RETURN(std::vector<std::string> skipped,
+                       rec.RecVec("skipped"));
+  for (const std::string& s : skipped) {
+    DPB_ASSIGN_OR_RETURN(SkippedCombo combo, SkippedComboFromRecord(s));
+    d.skipped.push_back(std::move(combo));
+  }
+  DPB_ASSIGN_OR_RETURN(uint64_t cells, rec.U64("cells"));
+  d.cells = static_cast<size_t>(cells);
+  DPB_ASSIGN_OR_RETURN(uint64_t grid_cells, rec.U64("grid_cells"));
+  d.grid_cells = static_cast<size_t>(grid_cells);
+  DPB_ASSIGN_OR_RETURN(uint64_t trials, rec.U64("trials"));
+  d.trials = static_cast<size_t>(trials);
+  DPB_ASSIGN_OR_RETURN(uint64_t plans_built, rec.U64("plans_built"));
+  d.plans_built = static_cast<size_t>(plans_built);
+  DPB_ASSIGN_OR_RETURN(uint64_t plans_hydrated, rec.U64("plans_hydrated"));
+  d.plans_hydrated = static_cast<size_t>(plans_hydrated);
+  DPB_ASSIGN_OR_RETURN(uint64_t cache_hits, rec.U64("plan_cache_hits"));
+  d.plan_cache_hits = static_cast<size_t>(cache_hits);
+  DPB_ASSIGN_OR_RETURN(d.plan_seconds, rec.F64("plan_seconds"));
+  DPB_ASSIGN_OR_RETURN(d.execute_seconds, rec.F64("execute_seconds"));
+  DPB_ASSIGN_OR_RETURN(d.trials_per_second, rec.F64("trials_per_second"));
+  DPB_ASSIGN_OR_RETURN(d.pool_parallel_jobs, rec.U64("pool_parallel_jobs"));
+  DPB_ASSIGN_OR_RETURN(d.pool_tasks_executed,
+                       rec.U64("pool_tasks_executed"));
+  DPB_ASSIGN_OR_RETURN(d.pool_tasks_stolen, rec.U64("pool_tasks_stolen"));
+  return d;
+}
+
+// Plan payloads: the mechanism/kind header plus the typed field maps,
+// each map entry stored as its own prefixed field ("i:", "r:", "iv:",
+// "rv:") so the record stays flat and self-describing.
+std::string PlanPayloadRecord(const PlanPayload& p) {
+  RecordWriter w;
+  w.Str("mechanism", p.mechanism);
+  w.Str("kind", p.kind);
+  for (const auto& [name, v] : p.ints) w.U64("i:" + name, v);
+  for (const auto& [name, v] : p.reals) w.F64("r:" + name, v);
+  for (const auto& [name, v] : p.int_vecs) w.U64Vec("iv:" + name, v);
+  for (const auto& [name, v] : p.real_vecs) w.F64Vec("rv:" + name, v);
+  return std::move(w).Finish();
+}
+
+Result<PlanPayload> PlanPayloadFromRecord(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(Record rec, Record::Parse(bytes));
+  PlanPayload p;
+  DPB_ASSIGN_OR_RETURN(p.mechanism, rec.Str("mechanism"));
+  DPB_ASSIGN_OR_RETURN(p.kind, rec.Str("kind"));
+  // Move vector payloads out of the record: GLS/tree arrays run to
+  // megabytes and the record is discarded right after this loop.
+  for (auto& [name, value] : rec.mutable_fields()) {
+    if (name.rfind("i:", 0) == 0 && value.type == kU64) {
+      p.ints[name.substr(2)] = value.u64;
+    } else if (name.rfind("r:", 0) == 0 && value.type == kF64) {
+      p.reals[name.substr(2)] = DoubleFromBits(value.u64);
+    } else if (name.rfind("iv:", 0) == 0 && value.type == kU64Vec) {
+      p.int_vecs[name.substr(3)] = std::move(value.u64_vec);
+    } else if (name.rfind("rv:", 0) == 0 && value.type == kF64Vec) {
+      std::vector<double>& out = p.real_vecs[name.substr(3)];
+      out.resize(value.u64_vec.size());
+      for (size_t i = 0; i < out.size(); ++i) {
+        out[i] = DoubleFromBits(value.u64_vec[i]);
+      }
+    }
+  }
+  return p;
+}
+
+// Grid identity: every config field that affects results. The execution
+// fields (threads, shard_index, shard_count) are deliberately absent —
+// shards differ in them by design.
+std::string ConfigRecord(const ExperimentConfig& c) {
+  RecordWriter w;
+  w.StrVec("algorithms", c.algorithms);
+  w.StrVec("datasets", c.datasets);
+  w.U64Vec("scales", c.scales);
+  w.U64Vec("domain_sizes",
+           std::vector<uint64_t>(c.domain_sizes.begin(),
+                                 c.domain_sizes.end()));
+  w.F64Vec("epsilons", c.epsilons);
+  w.U64("workload", static_cast<uint64_t>(c.workload));
+  w.U64("random_queries", c.random_queries);
+  w.U64("data_samples", c.data_samples);
+  w.U64("runs_per_sample", c.runs_per_sample);
+  w.U64("seed", c.seed);
+  w.U64("provide_true_scale", c.provide_true_scale ? 1 : 0);
+  w.U64("retain_raw_errors", c.retain_raw_errors ? 1 : 0);
+  return std::move(w).Finish();
+}
+
+Result<ExperimentConfig> ConfigFromRecord(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(Record rec, Record::Parse(bytes));
+  ExperimentConfig c;
+  DPB_ASSIGN_OR_RETURN(c.algorithms, rec.StrVec("algorithms"));
+  DPB_ASSIGN_OR_RETURN(c.datasets, rec.StrVec("datasets"));
+  DPB_ASSIGN_OR_RETURN(c.scales, rec.U64Vec("scales"));
+  DPB_ASSIGN_OR_RETURN(std::vector<uint64_t> domains,
+                       rec.U64Vec("domain_sizes"));
+  c.domain_sizes.assign(domains.begin(), domains.end());
+  DPB_ASSIGN_OR_RETURN(c.epsilons, rec.F64Vec("epsilons"));
+  DPB_ASSIGN_OR_RETURN(uint64_t workload, rec.U64("workload"));
+  if (workload > static_cast<uint64_t>(WorkloadKind::kIdentity)) {
+    return Status::InvalidArgument(
+        "serialized config has unknown workload kind");
+  }
+  c.workload = static_cast<WorkloadKind>(workload);
+  DPB_ASSIGN_OR_RETURN(uint64_t random_queries, rec.U64("random_queries"));
+  c.random_queries = static_cast<size_t>(random_queries);
+  DPB_ASSIGN_OR_RETURN(uint64_t data_samples, rec.U64("data_samples"));
+  c.data_samples = static_cast<size_t>(data_samples);
+  DPB_ASSIGN_OR_RETURN(uint64_t runs, rec.U64("runs_per_sample"));
+  c.runs_per_sample = static_cast<size_t>(runs);
+  DPB_ASSIGN_OR_RETURN(c.seed, rec.U64("seed"));
+  DPB_ASSIGN_OR_RETURN(uint64_t true_scale, rec.U64("provide_true_scale"));
+  c.provide_true_scale = true_scale != 0;
+  DPB_ASSIGN_OR_RETURN(uint64_t retain, rec.U64("retain_raw_errors"));
+  c.retain_raw_errors = retain != 0;
+  return c;
+}
+
+// Envelope kinds.
+constexpr char kKindCellResult[] = "dpbench.cell_result";
+constexpr char kKindStreamingSummary[] = "dpbench.streaming_summary";
+constexpr char kKindRunDiagnostics[] = "dpbench.run_diagnostics";
+constexpr char kKindPlanPayload[] = "dpbench.plan_payload";
+constexpr char kKindShard[] = "dpbench.shard";
+constexpr char kKindPlanCache[] = "dpbench.plan_cache";
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public standalone artifacts.
+// ---------------------------------------------------------------------------
+
+std::string EncodeCellResult(const CellResult& cell) {
+  return WrapEnvelope(kKindCellResult, CellResultRecord(cell));
+}
+
+Result<CellResult> DecodeCellResult(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(Envelope env, UnwrapEnvelope(bytes));
+  if (env.kind != kKindCellResult) {
+    return Status::InvalidArgument("serialized artifact is a '" + env.kind +
+                                   "', expected '" + kKindCellResult + "'");
+  }
+  return CellResultFromRecord(env.record);
+}
+
+std::string EncodeStreamingSummary(const StreamingSummary& summary) {
+  return WrapEnvelope(kKindStreamingSummary,
+                      StreamingSummaryRecord(summary));
+}
+
+Result<StreamingSummary> DecodeStreamingSummary(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(Envelope env, UnwrapEnvelope(bytes));
+  if (env.kind != kKindStreamingSummary) {
+    return Status::InvalidArgument("serialized artifact is a '" + env.kind +
+                                   "', expected '" + kKindStreamingSummary +
+                                   "'");
+  }
+  return StreamingSummaryFromRecord(env.record);
+}
+
+std::string EncodeRunDiagnostics(const RunDiagnostics& diagnostics) {
+  return WrapEnvelope(kKindRunDiagnostics,
+                      RunDiagnosticsRecord(diagnostics));
+}
+
+Result<RunDiagnostics> DecodeRunDiagnostics(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(Envelope env, UnwrapEnvelope(bytes));
+  if (env.kind != kKindRunDiagnostics) {
+    return Status::InvalidArgument("serialized artifact is a '" + env.kind +
+                                   "', expected '" + kKindRunDiagnostics +
+                                   "'");
+  }
+  return RunDiagnosticsFromRecord(env.record);
+}
+
+std::string EncodePlanPayload(const PlanPayload& payload) {
+  return WrapEnvelope(kKindPlanPayload, PlanPayloadRecord(payload));
+}
+
+Result<PlanPayload> DecodePlanPayload(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(Envelope env, UnwrapEnvelope(bytes));
+  if (env.kind != kKindPlanPayload) {
+    return Status::InvalidArgument("serialized artifact is a '" + env.kind +
+                                   "', expected '" + kKindPlanPayload +
+                                   "'");
+  }
+  return PlanPayloadFromRecord(env.record);
+}
+
+// ---------------------------------------------------------------------------
+// Shard files.
+// ---------------------------------------------------------------------------
+
+std::string ConfigFingerprint(const ExperimentConfig& config) {
+  return ConfigRecord(config);
+}
+
+std::string EncodeShardFile(const ShardFile& shard) {
+  RecordWriter w;
+  w.U64("shard_index", shard.shard_index);
+  w.U64("shard_count", shard.shard_count);
+  w.U64("total_cells", shard.total_cells);
+  w.Rec("config", ConfigRecord(shard.config));
+  std::vector<std::string> cells;
+  cells.reserve(shard.cells.size());
+  for (const CellResult& cell : shard.cells) {
+    cells.push_back(CellResultRecord(cell));
+  }
+  w.RecVec("cells", cells);
+  w.Rec("diagnostics", RunDiagnosticsRecord(shard.diagnostics));
+  return WrapEnvelope(kKindShard, std::move(w).Finish());
+}
+
+Result<ShardFile> DecodeShardFile(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(Record rec, UnwrapAndParse(bytes, kKindShard));
+  ShardFile shard;
+  DPB_ASSIGN_OR_RETURN(shard.shard_index, rec.U64("shard_index"));
+  DPB_ASSIGN_OR_RETURN(shard.shard_count, rec.U64("shard_count"));
+  DPB_ASSIGN_OR_RETURN(shard.total_cells, rec.U64("total_cells"));
+  DPB_ASSIGN_OR_RETURN(std::string config_rec, rec.Rec("config"));
+  DPB_ASSIGN_OR_RETURN(shard.config, ConfigFromRecord(config_rec));
+  DPB_ASSIGN_OR_RETURN(std::vector<std::string> cells,
+                       rec.TakeRecVec("cells"));
+  shard.cells.reserve(cells.size());
+  for (const std::string& cell_rec : cells) {
+    DPB_ASSIGN_OR_RETURN(CellResult cell, CellResultFromRecord(cell_rec));
+    shard.cells.push_back(std::move(cell));
+  }
+  DPB_ASSIGN_OR_RETURN(std::string diag_rec, rec.Rec("diagnostics"));
+  DPB_ASSIGN_OR_RETURN(shard.diagnostics,
+                       RunDiagnosticsFromRecord(diag_rec));
+  if (shard.shard_count == 0 || shard.shard_index >= shard.shard_count) {
+    return Status::InvalidArgument(
+        "shard file has inconsistent shard indexing (shard " +
+        std::to_string(shard.shard_index) + " of " +
+        std::to_string(shard.shard_count) + ")");
+  }
+  return shard;
+}
+
+// ---------------------------------------------------------------------------
+// Plan-cache files.
+// ---------------------------------------------------------------------------
+
+std::string EncodePlanCacheFile(const PlanStore& store,
+                                const ExperimentConfig& config) {
+  RecordWriter w;
+  // The query count and seed shape the workload only for random2d; they
+  // are normalized to 0 otherwise so caches stay reusable across runs
+  // that differ only in irrelevant fields.
+  bool random2d = config.workload == WorkloadKind::kRandomRange2D;
+  w.U64("workload", static_cast<uint64_t>(config.workload));
+  w.U64("random_queries", random2d ? config.random_queries : 0);
+  w.U64("workload_seed", random2d ? config.seed : 0);
+  std::vector<std::string> keys;
+  std::vector<std::string> payloads;
+  keys.reserve(store.plans.size());
+  payloads.reserve(store.plans.size());
+  for (const auto& [key, payload] : store.plans) {
+    keys.push_back(key);
+    payloads.push_back(PlanPayloadRecord(payload));
+  }
+  w.StrVec("keys", keys);
+  w.RecVec("payloads", payloads);
+  return WrapEnvelope(kKindPlanCache, std::move(w).Finish());
+}
+
+Result<PlanStore> DecodePlanCacheFile(const std::string& bytes,
+                                      const ExperimentConfig& config) {
+  DPB_ASSIGN_OR_RETURN(Record rec, UnwrapAndParse(bytes, kKindPlanCache));
+  // Workload identity check: plans of workload-aware mechanisms are only
+  // valid for the exact workload they were planned against. The plan keys
+  // (algo|domain|eps) deliberately omit it, so the file carries it.
+  DPB_ASSIGN_OR_RETURN(uint64_t workload, rec.U64("workload"));
+  DPB_ASSIGN_OR_RETURN(uint64_t random_queries, rec.U64("random_queries"));
+  DPB_ASSIGN_OR_RETURN(uint64_t workload_seed, rec.U64("workload_seed"));
+  bool random2d = config.workload == WorkloadKind::kRandomRange2D;
+  if (workload != static_cast<uint64_t>(config.workload) ||
+      random_queries != (random2d ? config.random_queries : 0) ||
+      workload_seed != (random2d ? config.seed : 0)) {
+    return Status::InvalidArgument(
+        "plan cache was built for a different workload than this run's "
+        "config");
+  }
+  DPB_ASSIGN_OR_RETURN(std::vector<std::string> keys, rec.StrVec("keys"));
+  DPB_ASSIGN_OR_RETURN(std::vector<std::string> payloads,
+                       rec.TakeRecVec("payloads"));
+  if (keys.size() != payloads.size()) {
+    return Status::InvalidArgument(
+        "plan-cache file has mismatched key/payload arities");
+  }
+  PlanStore store;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    DPB_ASSIGN_OR_RETURN(PlanPayload payload,
+                         PlanPayloadFromRecord(payloads[i]));
+    if (!store.plans.emplace(keys[i], std::move(payload)).second) {
+      return Status::InvalidArgument(
+          "plan-cache file has duplicate plan key '" + keys[i] + "'");
+    }
+  }
+  return store;
+}
+
+// ---------------------------------------------------------------------------
+// Merge.
+// ---------------------------------------------------------------------------
+
+Result<MergedRun> MergeShards(std::vector<ShardFile> shards) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("no shard files to merge");
+  }
+  // shard_count and total_cells come from the files, so they are bounded
+  // by set-based bookkeeping (never by allocating or looping over the
+  // claimed counts): a corrupt header must fail with a precise error,
+  // not crash the merge on a 2^60-element reservation.
+  const ShardFile& first = shards.front();
+  const std::string fingerprint = ConfigRecord(first.config);
+  std::set<uint64_t> shard_seen;
+  for (const ShardFile& shard : shards) {
+    if (shard.shard_count != first.shard_count) {
+      return Status::InvalidArgument(
+          "shard manifest mismatch: shard " +
+          std::to_string(shard.shard_index) + " was run as 1 of " +
+          std::to_string(shard.shard_count) + ", expected 1 of " +
+          std::to_string(first.shard_count));
+    }
+    if (shard.shard_count == 0 || shard.shard_index >= shard.shard_count) {
+      return Status::InvalidArgument(
+          "shard file has inconsistent shard indexing (shard " +
+          std::to_string(shard.shard_index) + " of " +
+          std::to_string(shard.shard_count) + ")");
+    }
+    if (shard.total_cells != first.total_cells) {
+      return Status::InvalidArgument(
+          "shard manifest mismatch: shards disagree on the full grid size");
+    }
+    if (ConfigRecord(shard.config) != fingerprint) {
+      return Status::InvalidArgument(
+          "shard manifest mismatch: shard " +
+          std::to_string(shard.shard_index) +
+          " was run with a different experiment config");
+    }
+    if (!shard_seen.insert(shard.shard_index).second) {
+      return Status::InvalidArgument(
+          "overlapping shards: shard " + std::to_string(shard.shard_index) +
+          " supplied more than once");
+    }
+  }
+  if (shard_seen.size() < first.shard_count) {
+    // The smallest missing index is at most the number of distinct
+    // indices present, so this scan is bounded by the input size.
+    uint64_t missing = 0;
+    while (shard_seen.count(missing)) ++missing;
+    return Status::InvalidArgument(
+        "shard gap: shard " + std::to_string(missing) + " of " +
+        std::to_string(first.shard_count) + " is missing");
+  }
+
+  size_t supplied_cells = 0;
+  for (const ShardFile& shard : shards) {
+    supplied_cells += shard.cells.size();
+  }
+  MergedRun merged;
+  merged.config = first.config;
+  merged.cells.reserve(supplied_cells);
+  std::set<uint64_t> cell_seen;
+  for (ShardFile& shard : shards) {
+    for (CellResult& cell : shard.cells) {
+      if (cell.grid_index >= first.total_cells) {
+        return Status::InvalidArgument(
+            "cell " + cell.key.ToString() + " has grid index " +
+            std::to_string(cell.grid_index) + " outside the grid of " +
+            std::to_string(first.total_cells) + " cells");
+      }
+      if (cell.grid_index % shard.shard_count != shard.shard_index) {
+        return Status::InvalidArgument(
+            "cell " + cell.key.ToString() + " (grid index " +
+            std::to_string(cell.grid_index) + ") does not belong to shard " +
+            std::to_string(shard.shard_index));
+      }
+      if (!cell_seen.insert(cell.grid_index).second) {
+        return Status::InvalidArgument(
+            "duplicate cell: grid index " +
+            std::to_string(cell.grid_index) + " (" + cell.key.ToString() +
+            ") appears more than once");
+      }
+      merged.cells.push_back(std::move(cell));
+    }
+  }
+  if (cell_seen.size() < first.total_cells) {
+    uint64_t missing = 0;
+    while (cell_seen.count(missing)) ++missing;
+    return Status::InvalidArgument(
+        "missing cell: grid index " + std::to_string(missing) +
+        " was produced by no shard");
+  }
+  std::sort(merged.cells.begin(), merged.cells.end(),
+            [](const CellResult& a, const CellResult& b) {
+              return a.grid_index < b.grid_index;
+            });
+
+  // Aggregate diagnostics: counters sum; the wall-clock fields become
+  // total CPU-seconds across shards; skipped combos are identical in every
+  // shard (skips are detected over the full grid), take the first's.
+  RunDiagnostics& d = merged.diagnostics;
+  d.skipped = std::move(shards.front().diagnostics.skipped);
+  d.grid_cells = static_cast<size_t>(first.total_cells);
+  for (const ShardFile& shard : shards) {
+    const RunDiagnostics& sd = shard.diagnostics;
+    d.cells += sd.cells;
+    d.trials += sd.trials;
+    d.plans_built += sd.plans_built;
+    d.plans_hydrated += sd.plans_hydrated;
+    d.plan_cache_hits += sd.plan_cache_hits;
+    d.plan_seconds += sd.plan_seconds;
+    d.execute_seconds += sd.execute_seconds;
+    d.pool_parallel_jobs += sd.pool_parallel_jobs;
+    d.pool_tasks_executed += sd.pool_tasks_executed;
+    d.pool_tasks_stolen += sd.pool_tasks_stolen;
+  }
+  d.trials_per_second =
+      d.execute_seconds > 0.0
+          ? static_cast<double>(d.trials) / d.execute_seconds
+          : 0.0;
+  return merged;
+}
+
+// ---------------------------------------------------------------------------
+// JSON debug rendering.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void JsonEscape(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char ch : s) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void JsonDouble(double v, std::string* out) {
+  if (!std::isfinite(v)) {
+    // JSON has no literals for these; render as strings in the debug form.
+    *out += v > 0 ? "\"inf\"" : (v < 0 ? "\"-inf\"" : "\"nan\"");
+    return;
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  *out += os.str();
+}
+
+std::string Indent(int depth) { return std::string(2 * depth, ' '); }
+
+// Nesting bound for the JSON renderer: file-supplied structure must not
+// be able to drive unbounded recursion (stack overflow) — no legitimate
+// artifact nests anywhere near this deep.
+constexpr int kMaxJsonDepth = 64;
+
+Status JsonRecord(const std::string& record_bytes, int depth,
+                  std::string* out);
+
+Status JsonValue(const FieldValue& v, int depth, std::string* out) {
+  switch (v.type) {
+    case kU64:
+      *out += std::to_string(v.u64);
+      return Status::OK();
+    case kF64:
+      JsonDouble(DoubleFromBits(v.u64), out);
+      return Status::OK();
+    case kStr:
+      JsonEscape(v.str, out);
+      return Status::OK();
+    case kU64Vec: {
+      *out += "[";
+      for (size_t i = 0; i < v.u64_vec.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += std::to_string(v.u64_vec[i]);
+      }
+      *out += "]";
+      return Status::OK();
+    }
+    case kF64Vec: {
+      *out += "[";
+      for (size_t i = 0; i < v.u64_vec.size(); ++i) {
+        if (i > 0) *out += ", ";
+        JsonDouble(DoubleFromBits(v.u64_vec[i]), out);
+      }
+      *out += "]";
+      return Status::OK();
+    }
+    case kStrVec: {
+      *out += "[";
+      for (size_t i = 0; i < v.str_vec.size(); ++i) {
+        if (i > 0) *out += ", ";
+        JsonEscape(v.str_vec[i], out);
+      }
+      *out += "]";
+      return Status::OK();
+    }
+    case kRec:
+      return JsonRecord(v.str, depth, out);
+    case kRecVec: {
+      if (v.str_vec.empty()) {
+        *out += "[]";
+        return Status::OK();
+      }
+      *out += "[\n";
+      for (size_t i = 0; i < v.str_vec.size(); ++i) {
+        *out += Indent(depth + 1);
+        DPB_RETURN_NOT_OK(JsonRecord(v.str_vec[i], depth + 1, out));
+        if (i + 1 < v.str_vec.size()) *out += ",";
+        *out += "\n";
+      }
+      *out += Indent(depth) + "]";
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown field type in JSON rendering");
+}
+
+Status JsonRecord(const std::string& record_bytes, int depth,
+                  std::string* out) {
+  if (depth > kMaxJsonDepth) {
+    return Status::InvalidArgument(
+        "serialized record nests deeper than " +
+        std::to_string(kMaxJsonDepth) + " levels (corrupt or hostile file)");
+  }
+  DPB_ASSIGN_OR_RETURN(Record rec, Record::Parse(record_bytes));
+  if (rec.fields().empty()) {
+    *out += "{}";
+    return Status::OK();
+  }
+  *out += "{\n";
+  size_t i = 0;
+  for (const auto& [name, value] : rec.fields()) {
+    *out += Indent(depth + 1);
+    JsonEscape(name, out);
+    *out += ": ";
+    DPB_RETURN_NOT_OK(JsonValue(value, depth + 1, out));
+    if (++i < rec.fields().size()) *out += ",";
+    *out += "\n";
+  }
+  *out += Indent(depth) + "}";
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> DebugJson(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(Envelope env, UnwrapEnvelope(bytes));
+  std::string out = "{\n  \"kind\": ";
+  JsonEscape(env.kind, &out);
+  out += ",\n  \"format_version\": " +
+         std::to_string(kSerializeFormatVersion) + ",\n  \"record\": ";
+  DPB_RETURN_NOT_OK(JsonRecord(env.record, 1, &out));
+  out += "\n}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// File IO.
+// ---------------------------------------------------------------------------
+
+Status WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    return Status::NotFound("cannot open '" + path + "' for writing");
+  }
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  os.flush();
+  if (!os) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return Status::NotFound("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  if (is.bad()) {
+    return Status::Internal("read error on '" + path + "'");
+  }
+  return buf.str();
+}
+
+}  // namespace dpbench

@@ -1,0 +1,135 @@
+// Serialization of experiment artifacts for the sharded runner: cell
+// results, streaming-summary state, run diagnostics, mechanism plan
+// payloads, and the two file formats built from them (shard result files
+// and plan-cache files), plus the manifest-validated shard merge.
+//
+// Wire format: a versioned envelope ("DPBS" magic, format version, kind
+// tag) around a self-describing binary record — a field count followed by
+// (name, type, value) triples, nestable. Integers are fixed-width
+// little-endian; doubles travel by bit pattern, so every value
+// round-trips bit-exactly. Unknown fields are preserved by the parser
+// (they are simply not looked up), version skew and truncation are
+// rejected with precise errors, and any artifact can be rendered as JSON
+// for debugging with DebugJson().
+#ifndef DPBENCH_ENGINE_SERIALIZE_H_
+#define DPBENCH_ENGINE_SERIALIZE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/algorithms/mechanism.h"
+#include "src/common/status.h"
+#include "src/engine/runner.h"
+#include "src/engine/stats.h"
+
+namespace dpbench {
+
+/// Format version of everything this module writes. Readers reject other
+/// versions (no silent cross-version reinterpretation).
+inline constexpr uint32_t kSerializeFormatVersion = 1;
+
+// ---------------------------------------------------------------------------
+// Standalone artifacts. Each Encode* output is a complete enveloped file
+// image (magic + version + kind + record); the matching Decode* validates
+// the envelope and every field it reads.
+// ---------------------------------------------------------------------------
+
+std::string EncodeCellResult(const CellResult& cell);
+Result<CellResult> DecodeCellResult(const std::string& bytes);
+
+std::string EncodeStreamingSummary(const StreamingSummary& summary);
+Result<StreamingSummary> DecodeStreamingSummary(const std::string& bytes);
+
+std::string EncodeRunDiagnostics(const RunDiagnostics& diagnostics);
+Result<RunDiagnostics> DecodeRunDiagnostics(const std::string& bytes);
+
+std::string EncodePlanPayload(const PlanPayload& payload);
+Result<PlanPayload> DecodePlanPayload(const std::string& bytes);
+
+// ---------------------------------------------------------------------------
+// Shard result files.
+// ---------------------------------------------------------------------------
+
+/// One shard's complete output: which slice of which grid it ran, the
+/// cells it produced (each carrying its canonical grid index), and the
+/// shard's diagnostics. `config` records the grid identity — all fields
+/// of ExperimentConfig except the execution-only ones (threads,
+/// shard_index, shard_count), which decode to their defaults — and must
+/// be identical across shards for a merge to be valid.
+struct ShardFile {
+  uint64_t shard_index = 0;
+  uint64_t shard_count = 1;
+  uint64_t total_cells = 0;  ///< non-skipped cells in the *full* grid
+  ExperimentConfig config;
+  std::vector<CellResult> cells;
+  RunDiagnostics diagnostics;
+};
+
+std::string EncodeShardFile(const ShardFile& shard);
+Result<ShardFile> DecodeShardFile(const std::string& bytes);
+
+/// The canonical encoding of a grid identity (the config minus execution
+/// fields). Two configs describe the same grid iff their fingerprints are
+/// byte-identical; the merge validator compares these.
+std::string ConfigFingerprint(const ExperimentConfig& config);
+
+// ---------------------------------------------------------------------------
+// Plan-cache files: serialized plan payloads keyed by the runner's
+// plan-cache key, written by a planning run and hydrated by later ones.
+//
+// The file records the workload identity it was planned against
+// (workload kind, random-query count, and — for the seeded random2d
+// workload — the master seed); Decode validates it against the loading
+// run's config. Plans of workload-aware mechanisms (GREEDY_H) are only
+// valid for the exact workload they were built from, and a mismatch must
+// fail loudly rather than silently run a mis-budgeted mechanism. A cache
+// IS reusable across seeds for the deterministic workloads (prefix,
+// identity), where the seed never enters planning.
+// ---------------------------------------------------------------------------
+
+std::string EncodePlanCacheFile(const PlanStore& store,
+                                const ExperimentConfig& config);
+Result<PlanStore> DecodePlanCacheFile(const std::string& bytes,
+                                      const ExperimentConfig& config);
+
+// ---------------------------------------------------------------------------
+// Merge.
+// ---------------------------------------------------------------------------
+
+/// A validated, merged multi-shard run: cells in canonical (monolithic)
+/// order and aggregated diagnostics.
+struct MergedRun {
+  ExperimentConfig config;
+  std::vector<CellResult> cells;
+  RunDiagnostics diagnostics;
+};
+
+/// Validates the shard manifest and merges. Fails loudly on: no shards;
+/// config fingerprint mismatch; disagreeing shard_count or total_cells;
+/// the same shard index supplied twice (overlap); a missing shard index
+/// (gap); a cell outside its shard's slice; duplicate or missing cell
+/// indices. On success the merged cells are bit-identical to the
+/// single-process run of the same config (summed diagnostics: cells,
+/// trials, plan and pool counters; wall-clock fields are summed CPU
+/// seconds across shards, and `skipped` — identical in every shard by
+/// construction — is taken from the first).
+Result<MergedRun> MergeShards(std::vector<ShardFile> shards);
+
+// ---------------------------------------------------------------------------
+// Debugging and IO.
+// ---------------------------------------------------------------------------
+
+/// Renders any enveloped artifact produced by this module as indented
+/// JSON (kind and version included; doubles printed with 17 significant
+/// digits, non-finite values as strings). Debug form only — there is no
+/// JSON reader.
+Result<std::string> DebugJson(const std::string& bytes);
+
+Status WriteFileBytes(const std::string& path, const std::string& bytes);
+Result<std::string> ReadFileBytes(const std::string& path);
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ENGINE_SERIALIZE_H_

@@ -111,6 +111,30 @@ double StreamingSummary::p95() const {
   return q_[2];  // the middle marker tracks the p-quantile
 }
 
+StreamingSummary::State StreamingSummary::state() const {
+  State s;
+  s.count = count_;
+  s.mean = mean_;
+  s.m2 = m2_;
+  s.window = window_;
+  s.q = q_;
+  s.pos = pos_;
+  s.des = des_;
+  return s;
+}
+
+StreamingSummary StreamingSummary::FromState(const State& s) {
+  StreamingSummary out;
+  out.count_ = static_cast<size_t>(s.count);
+  out.mean_ = s.mean;
+  out.m2_ = s.m2;
+  out.window_ = s.window;
+  out.q_ = s.q;
+  out.pos_ = s.pos;
+  out.des_ = s.des;
+  return out;
+}
+
 Result<ErrorSummary> StreamingSummary::Finalize() const {
   if (count_ == 0) {
     return Status::InvalidArgument("no trials to summarize");

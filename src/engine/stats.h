@@ -51,6 +51,23 @@ class StreamingSummary {
   /// trials were observed (mirroring Summarize on an empty vector).
   Result<ErrorSummary> Finalize() const;
 
+  /// Complete snapshot of the accumulator, exposed so mid-stream state can
+  /// be serialized (engine/serialize) and later resumed: an accumulator
+  /// restored with FromState and fed the remaining observations produces
+  /// bit-identical results to one that saw the whole stream.
+  struct State {
+    uint64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    std::array<double, kExactWindow> window{};
+    std::array<double, 5> q{};
+    std::array<double, 5> pos{};
+    std::array<double, 5> des{};
+  };
+
+  State state() const;
+  static StreamingSummary FromState(const State& s);
+
  private:
   void AddP2(double x);
 

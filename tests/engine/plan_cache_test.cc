@@ -1,0 +1,306 @@
+// The plan-cache load path: hydrating a serialized plan must produce
+// bit-identical estimates vs freshly planning, for every plan-capable
+// algorithm, through both the direct Mechanism::HydratePlan API and the
+// Runner's hydrate/export hooks (including the diagnostics accounting of
+// planned vs hydrated counts). Stale or mismatched payloads must be
+// rejected, not silently executed.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/algorithms/matrix_mechanism.h"
+#include "src/algorithms/mechanism.h"
+#include "src/common/rng.h"
+#include "src/engine/runner.h"
+#include "src/engine/serialize.h"
+#include "src/histogram/data_vector.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+namespace {
+
+DataVector MakeData(const Domain& domain, uint64_t seed) {
+  DataVector x(domain);
+  Rng rng(seed);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(rng.UniformInt(50));
+  }
+  return x;
+}
+
+struct Case {
+  std::string algo;
+  Domain domain;
+};
+
+std::vector<Case> PlanCapableCases() {
+  return {
+      {"IDENTITY", Domain::D1(128)},  {"UNIFORM", Domain::D1(128)},
+      {"PRIVELET", Domain::D1(100)},  {"H", Domain::D1(128)},
+      {"HB", Domain::D1(200)},        {"GREEDY_H", Domain::D1(128)},
+      {"PRIVELET", Domain::D2(8, 8)}, {"HB", Domain::D2(16, 16)},
+      {"QUADTREE", Domain::D2(16, 16)},
+      {"GREEDY_H", Domain::D2(16, 16)},
+      {"UGRID", Domain::D2(32, 32)},
+  };
+}
+
+// Plans travel through the *serialized* payload (encode + decode), not
+// just the in-memory struct, so the whole persistence path is covered.
+Result<PlanPtr> PlanViaCache(const Mechanism& mech, const PlanContext& ctx) {
+  DPB_ASSIGN_OR_RETURN(PlanPtr fresh, mech.Plan(ctx));
+  DPB_ASSIGN_OR_RETURN(PlanPayload payload, fresh->SerializePayload());
+  DPB_ASSIGN_OR_RETURN(PlanPayload decoded,
+                       DecodePlanPayload(EncodePlanPayload(payload)));
+  return mech.HydratePlan(ctx, decoded);
+}
+
+TEST(PlanCacheTest, HydratedPlansExecuteBitIdentically) {
+  for (const Case& c : PlanCapableCases()) {
+    SCOPED_TRACE(c.algo + " on " + c.domain.ToString());
+    auto mech = MechanismRegistry::Get(c.algo);
+    ASSERT_TRUE(mech.ok());
+    Workload w = c.domain.num_dims() == 1
+                     ? Workload::Prefix1D(c.domain.TotalCells())
+                     : Workload::RandomRange(c.domain, 64, 7);
+    SideInfo side;
+    side.true_scale = 100000.0;
+    PlanContext ctx{c.domain, w, 0.1, side};
+
+    auto fresh = (*mech)->Plan(ctx);
+    ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+    auto hydrated = PlanViaCache(**mech, ctx);
+    ASSERT_TRUE(hydrated.ok()) << hydrated.status().ToString();
+
+    DataVector x = MakeData(c.domain, 123);
+    // Same seed on both sides: identical noise stream, so any difference
+    // in planned state shows up as a different estimate.
+    for (uint64_t seed : {1u, 99u}) {
+      Rng rng_a(seed), rng_b(seed);
+      auto est_a = (*fresh)->Execute({x, &rng_a});
+      auto est_b = (*hydrated)->Execute({x, &rng_b});
+      ASSERT_TRUE(est_a.ok()) << est_a.status().ToString();
+      ASSERT_TRUE(est_b.ok()) << est_b.status().ToString();
+      ASSERT_EQ(est_a->size(), est_b->size());
+      for (size_t i = 0; i < est_a->size(); ++i) {
+        ASSERT_EQ((*est_a)[i], (*est_b)[i])
+            << "cell " << i << " differs for seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(PlanCacheTest, MatrixMechanismHydratesBitIdentically) {
+  MatrixMechanism mm("H_matrix", strategies::HierarchicalStrategy(32, 2));
+  Workload w = Workload::Prefix1D(32);
+  PlanContext ctx{w.domain(), w, 0.5, {}};
+  auto fresh = mm.Plan(ctx);
+  ASSERT_TRUE(fresh.ok());
+  auto hydrated = PlanViaCache(mm, ctx);
+  ASSERT_TRUE(hydrated.ok()) << hydrated.status().ToString();
+  DataVector x = MakeData(w.domain(), 5);
+  Rng rng_a(11), rng_b(11);
+  auto est_a = (*fresh)->Execute({x, &rng_a});
+  auto est_b = (*hydrated)->Execute({x, &rng_b});
+  ASSERT_TRUE(est_a.ok());
+  ASSERT_TRUE(est_b.ok());
+  for (size_t i = 0; i < est_a->size(); ++i) {
+    ASSERT_EQ((*est_a)[i], (*est_b)[i]);
+  }
+}
+
+TEST(PlanCacheTest, MismatchedPayloadsAreRejected) {
+  auto h = MechanismRegistry::Get("H");
+  auto hb = MechanismRegistry::Get("HB");
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(hb.ok());
+  Workload w = Workload::Prefix1D(128);
+  PlanContext ctx{w.domain(), w, 0.1, {}};
+  auto plan = (*h)->Plan(ctx);
+  ASSERT_TRUE(plan.ok());
+  auto payload = (*plan)->SerializePayload();
+  ASSERT_TRUE(payload.ok());
+
+  // Wrong mechanism: H's payload offered to HB.
+  EXPECT_FALSE((*hb)->HydratePlan(ctx, *payload).ok());
+
+  // Wrong epsilon: bit-exact check must fire.
+  PlanContext other_eps{w.domain(), w, 0.2, {}};
+  auto wrong_eps = (*h)->HydratePlan(other_eps, *payload);
+  ASSERT_FALSE(wrong_eps.ok());
+  EXPECT_NE(wrong_eps.status().message().find("epsilon"),
+            std::string::npos);
+
+  // Wrong domain size.
+  Workload w2 = Workload::Prefix1D(64);
+  PlanContext other_domain{w2.domain(), w2, 0.1, {}};
+  EXPECT_FALSE((*h)->HydratePlan(other_domain, *payload).ok());
+
+  // Data-dependent mechanisms have nothing to hydrate.
+  auto dawa = MechanismRegistry::Get("DAWA");
+  ASSERT_TRUE(dawa.ok());
+  auto no_plan = (*dawa)->HydratePlan(ctx, *payload);
+  ASSERT_FALSE(no_plan.ok());
+}
+
+TEST(PlanCacheTest, CorruptCoefficientsAreRejected) {
+  auto h = MechanismRegistry::Get("H");
+  ASSERT_TRUE(h.ok());
+  Workload w = Workload::Prefix1D(64);
+  PlanContext ctx{w.domain(), w, 0.1, {}};
+  auto plan = (*h)->Plan(ctx);
+  ASSERT_TRUE(plan.ok());
+  auto payload = (*plan)->SerializePayload();
+  ASSERT_TRUE(payload.ok());
+
+  PlanPayload bad = *payload;
+  bad.int_vecs["gls_children"].back() = 1u << 20;  // out-of-range child id
+  EXPECT_FALSE((*h)->HydratePlan(ctx, bad).ok());
+
+  bad = *payload;
+  bad.real_vecs["gls_a"].pop_back();  // arity mismatch
+  EXPECT_FALSE((*h)->HydratePlan(ctx, bad).ok());
+
+  bad = *payload;
+  bad.real_vecs.erase("eps_per_level");  // missing field
+  EXPECT_FALSE((*h)->HydratePlan(ctx, bad).ok());
+}
+
+TEST(PlanCacheTest, InexactGeometryPayloadsAreRejected) {
+  // Layout fields are validated by exact equality against what Plan()
+  // would compute — a merely-plausible padding or grid resolution would
+  // execute a different mechanism without an error.
+  auto privelet = MechanismRegistry::Get("PRIVELET");
+  ASSERT_TRUE(privelet.ok());
+  Domain d1 = Domain::D1(600);  // pads to exactly 1024
+  Workload w = Workload::Prefix1D(d1.TotalCells());
+  PlanContext ctx{d1, w, 0.1, {}};
+  auto plan = (*privelet)->Plan(ctx);
+  ASSERT_TRUE(plan.ok());
+  auto payload = (*plan)->SerializePayload();
+  ASSERT_TRUE(payload.ok());
+  EXPECT_TRUE((*privelet)->HydratePlan(ctx, *payload).ok());
+  PlanPayload bad = *payload;
+  bad.ints["padded_cols"] = 2048;  // power of two, fits — but not Plan()'s
+  EXPECT_FALSE((*privelet)->HydratePlan(ctx, bad).ok());
+
+  auto ugrid = MechanismRegistry::Get("UGRID");
+  ASSERT_TRUE(ugrid.ok());
+  Domain d2 = Domain::D2(64, 64);
+  Workload w2 = Workload::RandomRange(d2, 16, 3);
+  SideInfo side;
+  side.true_scale = 100000.0;
+  PlanContext ctx2{d2, w2, 0.1, side};
+  auto uplan = (*ugrid)->Plan(ctx2);
+  ASSERT_TRUE(uplan.ok());
+  auto upayload = (*uplan)->SerializePayload();
+  ASSERT_TRUE(upayload.ok());
+  EXPECT_TRUE((*ugrid)->HydratePlan(ctx2, *upayload).ok());
+  PlanPayload ubad = *upayload;
+  ubad.ints["m"] = ubad.ints.at("m") + 1;  // in range, but not Plan()'s m
+  EXPECT_FALSE((*ugrid)->HydratePlan(ctx2, ubad).ok());
+  // A context without the public scale cannot validate the resolution.
+  PlanContext no_side{d2, w2, 0.1, {}};
+  EXPECT_FALSE((*ugrid)->HydratePlan(no_side, *upayload).ok());
+}
+
+TEST(PlanCacheTest, DuplicateHilbertPermutationIsRejected) {
+  auto gh = MechanismRegistry::Get("GREEDY_H");
+  ASSERT_TRUE(gh.ok());
+  Domain domain = Domain::D2(16, 16);
+  Workload w = Workload::RandomRange(domain, 16, 3);
+  PlanContext ctx{domain, w, 0.1, {}};
+  auto plan = (*gh)->Plan(ctx);
+  ASSERT_TRUE(plan.ok());
+  auto payload = (*plan)->SerializePayload();
+  ASSERT_TRUE(payload.ok());
+  PlanPayload bad = *payload;
+  auto& perm = bad.int_vecs.at("hilbert_perm");
+  ASSERT_GE(perm.size(), 2u);
+  perm[1] = perm[0];  // in range but no longer a bijection
+  auto hydrated = (*gh)->HydratePlan(ctx, bad);
+  ASSERT_FALSE(hydrated.ok());
+  EXPECT_NE(hydrated.status().message().find("duplicate"),
+            std::string::npos);
+}
+
+ExperimentConfig CacheConfig() {
+  ExperimentConfig c;
+  c.algorithms = {"H", "HB", "GREEDY_H", "PRIVELET", "IDENTITY", "DAWA"};
+  c.datasets = {"ADULT"};
+  c.scales = {1000};
+  c.domain_sizes = {128};
+  c.epsilons = {0.1, 1.0};
+  c.data_samples = 2;
+  c.runs_per_sample = 2;
+  return c;
+}
+
+TEST(PlanCacheTest, RunnerExportThenHydrateIsBitIdentical) {
+  ExperimentConfig config = CacheConfig();
+
+  PlanStore exported;
+  RunDiagnostics diag_plan;
+  auto baseline = Runner::Run(config, nullptr, &diag_plan, nullptr,
+                              &exported);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  // 5 plan-capable algorithms x 2 epsilons; DAWA's pass-through plan must
+  // not be exported.
+  EXPECT_EQ(exported.plans.size(), 10u);
+  EXPECT_EQ(diag_plan.plans_built, 12u);
+  EXPECT_EQ(diag_plan.plans_hydrated, 0u);
+  for (const auto& [key, payload] : exported.plans) {
+    EXPECT_EQ(payload.kind == "range_tree" || payload.kind == "wavelet" ||
+                  payload.kind == "identity",
+              true)
+        << key << " has kind " << payload.kind;
+  }
+
+  // Round-trip the store through its file format, then hydrate.
+  auto store =
+      DecodePlanCacheFile(EncodePlanCacheFile(exported, config), config);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  RunDiagnostics diag_hydrate;
+  auto rerun = Runner::Run(config, nullptr, &diag_hydrate, &*store,
+                           nullptr);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+
+  // Diagnostics must account hydrated vs planned correctly: everything in
+  // the store hydrates, only DAWA's pass-through plans are built.
+  EXPECT_EQ(diag_hydrate.plans_hydrated, 10u);
+  EXPECT_EQ(diag_hydrate.plans_built, 2u);
+  EXPECT_EQ(diag_hydrate.plan_cache_hits, diag_plan.plan_cache_hits);
+
+  // And the results are bit-identical to the planning run.
+  ASSERT_EQ(baseline->size(), rerun->size());
+  for (size_t i = 0; i < baseline->size(); ++i) {
+    EXPECT_EQ((*baseline)[i].key.ToString(), (*rerun)[i].key.ToString());
+    ASSERT_EQ((*baseline)[i].errors.size(), (*rerun)[i].errors.size());
+    for (size_t t = 0; t < (*baseline)[i].errors.size(); ++t) {
+      EXPECT_EQ((*baseline)[i].errors[t], (*rerun)[i].errors[t])
+          << (*baseline)[i].key.ToString() << " trial " << t;
+    }
+    EXPECT_EQ((*baseline)[i].summary.mean, (*rerun)[i].summary.mean);
+    EXPECT_EQ((*baseline)[i].summary.p95, (*rerun)[i].summary.p95);
+  }
+}
+
+TEST(PlanCacheTest, RunnerRejectsCorruptStoreEntries) {
+  ExperimentConfig config = CacheConfig();
+  PlanStore exported;
+  auto baseline = Runner::Run(config, nullptr, nullptr, nullptr, &exported);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_FALSE(exported.plans.empty());
+
+  // Corrupt one entry: the run must fail loudly, not fall back silently.
+  PlanStore corrupt = exported;
+  auto it = corrupt.plans.begin();
+  it->second.reals["epsilon"] = 123.0;
+  auto rerun = Runner::Run(config, nullptr, nullptr, &corrupt, nullptr);
+  ASSERT_FALSE(rerun.ok());
+}
+
+}  // namespace
+}  // namespace dpbench

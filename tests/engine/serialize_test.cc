@@ -1,0 +1,396 @@
+// Round-trip tests for the serialization layer: every serialized type
+// must survive encode/decode with bit-exact fields, and malformed input
+// (version skew, truncation, wrong kind, corrupt framing) must be
+// rejected with an error, never accepted or crashed on.
+#include "src/engine/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/algorithms/matrix_mechanism.h"
+#include "src/algorithms/mechanism.h"
+#include "src/engine/runner.h"
+#include "src/engine/stats.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+namespace {
+
+CellResult MakeCell(bool with_errors) {
+  CellResult cell;
+  cell.key = {"GREEDY_H", "ADULT", 100000, 4096, 0.014999999999999999};
+  cell.grid_index = 42;
+  if (with_errors) {
+    cell.errors = {1.25e-3, 0.0, -0.0, 7.0,
+                   std::numeric_limits<double>::denorm_min(),
+                   0.1 + 0.2};  // 0.30000000000000004: bit-exactness matters
+  }
+  cell.summary.mean = 3.0000000000000004e-2;
+  cell.summary.stddev = 1.9999999999999998e-3;
+  cell.summary.p95 = 9.99e-1;
+  cell.summary.trials = with_errors ? cell.errors.size() : 50;
+  return cell;
+}
+
+TEST(SerializeCellResultTest, RoundTripWithRawErrors) {
+  CellResult cell = MakeCell(true);
+  auto decoded = DecodeCellResult(EncodeCellResult(cell));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->key.algorithm, cell.key.algorithm);
+  EXPECT_EQ(decoded->key.dataset, cell.key.dataset);
+  EXPECT_EQ(decoded->key.scale, cell.key.scale);
+  EXPECT_EQ(decoded->key.domain_size, cell.key.domain_size);
+  // Bit-exact doubles throughout (EXPECT_EQ, never EXPECT_NEAR).
+  EXPECT_EQ(decoded->key.epsilon, cell.key.epsilon);
+  EXPECT_EQ(decoded->grid_index, cell.grid_index);
+  ASSERT_EQ(decoded->errors.size(), cell.errors.size());
+  for (size_t i = 0; i < cell.errors.size(); ++i) {
+    EXPECT_EQ(decoded->errors[i], cell.errors[i]) << "error " << i;
+    EXPECT_EQ(std::signbit(decoded->errors[i]),
+              std::signbit(cell.errors[i]))
+        << "sign bit of error " << i;
+  }
+  EXPECT_EQ(decoded->summary.mean, cell.summary.mean);
+  EXPECT_EQ(decoded->summary.stddev, cell.summary.stddev);
+  EXPECT_EQ(decoded->summary.p95, cell.summary.p95);
+  EXPECT_EQ(decoded->summary.trials, cell.summary.trials);
+}
+
+TEST(SerializeCellResultTest, RoundTripWithoutRawErrors) {
+  // The retain_raw_errors=false shape: empty error vector, summary only.
+  CellResult cell = MakeCell(false);
+  auto decoded = DecodeCellResult(EncodeCellResult(cell));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->errors.empty());
+  EXPECT_EQ(decoded->summary.mean, cell.summary.mean);
+  EXPECT_EQ(decoded->summary.trials, 50u);
+}
+
+TEST(SerializeStreamingSummaryTest, MidStreamStateResumesBitIdentically) {
+  // Serialize an accumulator mid-stream, resume it, and feed both the
+  // restored and the original the same remaining observations: every
+  // statistic must match bit-exactly at the end.
+  for (size_t checkpoint : {7u, 37u, 50u, 51u, 200u}) {
+    StreamingSummary original;
+    uint64_t x = 88172645463325252ULL;  // xorshift: arbitrary error stream
+    auto next = [&x]() {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      return static_cast<double>(x >> 11) * 0x1.0p-53;
+    };
+    for (size_t i = 0; i < checkpoint; ++i) original.Add(next());
+
+    auto restored = DecodeStreamingSummary(EncodeStreamingSummary(original));
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    EXPECT_EQ(restored->count(), original.count());
+
+    uint64_t x2 = x;  // same continuation stream for both accumulators
+    auto next2 = [&x2]() {
+      x2 ^= x2 << 13;
+      x2 ^= x2 >> 7;
+      x2 ^= x2 << 17;
+      return static_cast<double>(x2 >> 11) * 0x1.0p-53;
+    };
+    for (size_t i = 0; i < 300; ++i) {
+      original.Add(next());
+      restored->Add(next2());
+    }
+    EXPECT_EQ(restored->count(), original.count()) << checkpoint;
+    EXPECT_EQ(restored->mean(), original.mean()) << checkpoint;
+    EXPECT_EQ(restored->stddev(), original.stddev()) << checkpoint;
+    EXPECT_EQ(restored->p95(), original.p95()) << checkpoint;
+  }
+}
+
+TEST(SerializeStreamingSummaryTest, EmptyStateRoundTrips) {
+  StreamingSummary empty;
+  auto restored = DecodeStreamingSummary(EncodeStreamingSummary(empty));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->count(), 0u);
+  EXPECT_FALSE(restored->Finalize().ok());  // mirrors the live accumulator
+}
+
+TEST(SerializeRunDiagnosticsTest, RoundTripIncludingSkips) {
+  RunDiagnostics d;
+  d.skipped = {{"PHP", "BEIJING-CABS-E", 128, 2, "unsupported (2D)"},
+               {"UGRID", "ADULT", 4096, 1, "unsupported (1D)"}};
+  d.cells = 7;
+  d.grid_cells = 20;
+  d.trials = 350;
+  d.plans_built = 5;
+  d.plans_hydrated = 2;
+  d.plan_cache_hits = 1;
+  d.plan_seconds = 0.25;
+  d.execute_seconds = 1.5;
+  d.trials_per_second = 350.0 / 1.5;
+  d.pool_parallel_jobs = 2;
+  d.pool_tasks_executed = 12;
+  d.pool_tasks_stolen = 3;
+
+  auto decoded = DecodeRunDiagnostics(EncodeRunDiagnostics(d));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->skipped.size(), 2u);
+  EXPECT_EQ(decoded->skipped[0].algorithm, "PHP");
+  EXPECT_EQ(decoded->skipped[0].dataset, "BEIJING-CABS-E");
+  EXPECT_EQ(decoded->skipped[0].domain_size, 128u);
+  EXPECT_EQ(decoded->skipped[0].dims, 2u);
+  EXPECT_EQ(decoded->skipped[0].reason, "unsupported (2D)");
+  EXPECT_EQ(decoded->cells, d.cells);
+  EXPECT_EQ(decoded->grid_cells, d.grid_cells);
+  EXPECT_EQ(decoded->trials, d.trials);
+  EXPECT_EQ(decoded->plans_built, d.plans_built);
+  EXPECT_EQ(decoded->plans_hydrated, d.plans_hydrated);
+  EXPECT_EQ(decoded->plan_cache_hits, d.plan_cache_hits);
+  EXPECT_EQ(decoded->plan_seconds, d.plan_seconds);
+  EXPECT_EQ(decoded->execute_seconds, d.execute_seconds);
+  EXPECT_EQ(decoded->trials_per_second, d.trials_per_second);
+  EXPECT_EQ(decoded->pool_parallel_jobs, d.pool_parallel_jobs);
+  EXPECT_EQ(decoded->pool_tasks_executed, d.pool_tasks_executed);
+  EXPECT_EQ(decoded->pool_tasks_stolen, d.pool_tasks_stolen);
+}
+
+// Plan payloads of every plan-capable mechanism: extract, encode, decode,
+// and compare the full field maps exactly (PlanPayload::operator==
+// compares doubles bitwise via map equality).
+TEST(SerializePlanPayloadTest, EveryPlanCapableMechanismRoundTrips) {
+  struct Case {
+    std::string algo;
+    Domain domain;
+  };
+  std::vector<Case> cases = {
+      {"IDENTITY", Domain::D1(128)},  {"UNIFORM", Domain::D1(128)},
+      {"PRIVELET", Domain::D1(100)},  {"H", Domain::D1(128)},
+      {"HB", Domain::D1(200)},        {"GREEDY_H", Domain::D1(128)},
+      {"PRIVELET", Domain::D2(8, 8)}, {"HB", Domain::D2(16, 16)},
+      {"QUADTREE", Domain::D2(16, 16)},
+      {"GREEDY_H", Domain::D2(16, 16)},
+      {"UGRID", Domain::D2(32, 32)},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.algo + " on " + c.domain.ToString());
+    auto mech = MechanismRegistry::Get(c.algo);
+    ASSERT_TRUE(mech.ok());
+    Workload w = Workload::Prefix1D(c.domain.num_dims() == 1
+                                        ? c.domain.TotalCells()
+                                        : 4);  // 2D plans ignore it here
+    SideInfo side;
+    side.true_scale = 100000.0;
+    PlanContext ctx{c.domain, w, 0.1, side};
+    auto plan = (*mech)->Plan(ctx);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    auto payload = (*plan)->SerializePayload();
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    EXPECT_EQ(payload->mechanism, c.algo);
+
+    auto decoded = DecodePlanPayload(EncodePlanPayload(*payload));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(*decoded == *payload);
+  }
+}
+
+TEST(SerializePlanPayloadTest, MatrixMechanismFactorsRoundTrip) {
+  MatrixMechanism mm("H_matrix", strategies::HierarchicalStrategy(32, 2));
+  Workload w = Workload::Prefix1D(32);
+  PlanContext ctx{w.domain(), w, 0.5, {}};
+  auto plan = mm.Plan(ctx);
+  ASSERT_TRUE(plan.ok());
+  auto payload = (*plan)->SerializePayload();
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  EXPECT_EQ(payload->kind, "matrix");
+  auto decoded = DecodePlanPayload(EncodePlanPayload(*payload));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(*decoded == *payload);
+}
+
+TEST(SerializePlanPayloadTest, PassThroughPlansAreNotSerializable) {
+  auto mech = MechanismRegistry::Get("DAWA");
+  ASSERT_TRUE(mech.ok());
+  Workload w = Workload::Prefix1D(64);
+  PlanContext ctx{w.domain(), w, 0.1, {}};
+  auto plan = (*mech)->Plan(ctx);
+  ASSERT_TRUE(plan.ok());
+  auto payload = (*plan)->SerializePayload();
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(SerializeEnvelopeTest, RejectsBadMagic) {
+  std::string bytes = EncodeCellResult(MakeCell(true));
+  bytes[0] = 'X';
+  auto decoded = DecodeCellResult(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("magic"), std::string::npos);
+}
+
+TEST(SerializeEnvelopeTest, RejectsVersionSkew) {
+  std::string bytes = EncodeCellResult(MakeCell(true));
+  bytes[4] = static_cast<char>(kSerializeFormatVersion + 1);
+  auto decoded = DecodeCellResult(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("version skew"),
+            std::string::npos)
+      << decoded.status().ToString();
+}
+
+TEST(SerializeEnvelopeTest, RejectsWrongKind) {
+  std::string bytes = EncodeRunDiagnostics(RunDiagnostics{});
+  auto decoded = DecodeCellResult(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("dpbench.run_diagnostics"),
+            std::string::npos);
+}
+
+TEST(SerializeEnvelopeTest, RejectsEveryTruncation) {
+  // A file cut at ANY byte boundary must produce an error, not a value
+  // and not a crash.
+  std::string bytes = EncodeCellResult(MakeCell(true));
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto decoded = DecodeCellResult(bytes.substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "accepted a file truncated to " << len
+                               << " of " << bytes.size() << " bytes";
+  }
+}
+
+TEST(SerializeEnvelopeTest, RejectsHostileKindLength) {
+  // A kind length of 2^64-1 must hit the truncation error, not wrap the
+  // bounds check.
+  std::string bytes = EncodeCellResult(MakeCell(true));
+  for (size_t i = 8; i < 16; ++i) bytes[i] = static_cast<char>(0xff);
+  auto decoded = DecodeCellResult(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("truncated"),
+            std::string::npos)
+      << decoded.status().ToString();
+}
+
+TEST(SerializeEnvelopeTest, RejectsTrailingGarbage) {
+  std::string bytes = EncodeCellResult(MakeCell(true));
+  auto decoded = DecodeCellResult(bytes + "garbage");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(SerializePlanCacheTest, FileRoundTripsAndRejectsDuplicates) {
+  auto mech = MechanismRegistry::Get("H");
+  ASSERT_TRUE(mech.ok());
+  Workload w = Workload::Prefix1D(64);
+  PlanContext ctx{w.domain(), w, 0.1, {}};
+  auto plan = (*mech)->Plan(ctx);
+  ASSERT_TRUE(plan.ok());
+  auto payload = (*plan)->SerializePayload();
+  ASSERT_TRUE(payload.ok());
+
+  ExperimentConfig config;
+  PlanStore store;
+  store.plans["H|64|eps=0.1"] = *payload;
+  store.plans["H|64|eps=1"] = *payload;
+  auto decoded =
+      DecodePlanCacheFile(EncodePlanCacheFile(store, config), config);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->plans.size(), 2u);
+  EXPECT_TRUE(decoded->plans.at("H|64|eps=0.1") == *payload);
+
+  // Truncations of the cache file must also fail loudly.
+  std::string bytes = EncodePlanCacheFile(store, config);
+  for (size_t len : {0u, 4u, 15u, 40u}) {
+    if (len >= bytes.size()) continue;
+    EXPECT_FALSE(DecodePlanCacheFile(bytes.substr(0, len), config).ok());
+  }
+}
+
+TEST(SerializePlanCacheTest, RejectsWorkloadMismatch) {
+  // Plans of workload-aware mechanisms (GREEDY_H) embed the workload's
+  // budget split, so a cache built under one workload must not hydrate
+  // into a run with another — that would silently execute a mis-budgeted
+  // mechanism.
+  ExperimentConfig prefix_config;
+  prefix_config.workload = WorkloadKind::kPrefix1D;
+  std::string bytes = EncodePlanCacheFile(PlanStore{}, prefix_config);
+
+  ExperimentConfig identity_config = prefix_config;
+  identity_config.workload = WorkloadKind::kIdentity;
+  auto mismatch = DecodePlanCacheFile(bytes, identity_config);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_NE(mismatch.status().message().find("different workload"),
+            std::string::npos);
+
+  // Seed and query count matter exactly when the workload is the seeded
+  // random2d one; prefix caches stay reusable across seeds.
+  ExperimentConfig reseeded = prefix_config;
+  reseeded.seed += 1;
+  EXPECT_TRUE(DecodePlanCacheFile(bytes, reseeded).ok());
+
+  ExperimentConfig random_config = prefix_config;
+  random_config.workload = WorkloadKind::kRandomRange2D;
+  std::string random_bytes =
+      EncodePlanCacheFile(PlanStore{}, random_config);
+  ExperimentConfig random_reseeded = random_config;
+  random_reseeded.seed += 1;
+  EXPECT_TRUE(DecodePlanCacheFile(random_bytes, random_config).ok());
+  EXPECT_FALSE(DecodePlanCacheFile(random_bytes, random_reseeded).ok());
+}
+
+TEST(SerializeJsonTest, DebugJsonRendersAnyArtifact) {
+  std::string cell_json_src = EncodeCellResult(MakeCell(true));
+  auto json = DebugJson(cell_json_src);
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_NE(json->find("\"kind\": \"dpbench.cell_result\""),
+            std::string::npos);
+  EXPECT_NE(json->find("\"algorithm\": \"GREEDY_H\""), std::string::npos);
+  EXPECT_NE(json->find("\"grid_index\": 42"), std::string::npos);
+  // 17-significant-digit doubles: enough to reconstruct the bit pattern.
+  EXPECT_NE(json->find("0.014999999999999999"), std::string::npos);
+
+  auto diag_json = DebugJson(EncodeRunDiagnostics(RunDiagnostics{}));
+  ASSERT_TRUE(diag_json.ok());
+  EXPECT_NE(diag_json->find("\"skipped\": []"), std::string::npos);
+}
+
+TEST(SerializeJsonTest, RejectsPathologicallyDeepNesting) {
+  // Hand-build a file whose record nests 100 kRec levels deep: the JSON
+  // renderer must reject it with an error, not recurse off the stack.
+  auto u64le = [](uint64_t v) {
+    std::string s;
+    for (int i = 0; i < 8; ++i) {
+      s.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+    return s;
+  };
+  std::string record = u64le(0);  // innermost: empty record
+  for (int level = 0; level < 100; ++level) {
+    std::string wrapped = u64le(1);      // one field
+    wrapped += u64le(1);                 // name length
+    wrapped += "r";                      // name
+    wrapped.push_back(static_cast<char>(7));  // kRec
+    wrapped += u64le(record.size());
+    wrapped += record;
+    record = std::move(wrapped);
+  }
+  std::string file = "DPBS";
+  file += std::string(1, static_cast<char>(kSerializeFormatVersion)) +
+          std::string(3, '\0');  // u32 version, little-endian
+  file += u64le(4);
+  file += "deep";
+  file += record;
+  auto json = DebugJson(file);
+  ASSERT_FALSE(json.ok());
+  EXPECT_NE(json.status().message().find("nests deeper"),
+            std::string::npos)
+      << json.status().ToString();
+}
+
+TEST(SerializeFileIoTest, WriteReadRoundTripAndMissingFile) {
+  std::string path = ::testing::TempDir() + "/dpbench_serialize_io.bin";
+  std::string bytes = EncodeCellResult(MakeCell(false));
+  ASSERT_TRUE(WriteFileBytes(path, bytes).ok());
+  auto read = ReadFileBytes(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, bytes);
+  EXPECT_FALSE(ReadFileBytes(path + ".does-not-exist").ok());
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,318 @@
+// The sharded runner's contract: running a grid as any number of shards
+// (1/2/4/7, even and uneven splits) and merging produces bit-identical
+// cells, summaries and diagnostics to the monolithic run — through the
+// real serialized shard-file format. Plus the merge manifest validator's
+// failure modes: overlap, gap, duplicate cells, config mismatch and
+// version skew must all fail loudly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/engine/runner.h"
+#include "src/engine/serialize.h"
+
+namespace dpbench {
+namespace {
+
+// A grid that exercises both plan-based and data-dependent algorithms, a
+// skipped combination (UGRID is 2D-only), two datasets and two epsilons:
+// 2 datasets x 1 scale x 1 domain x 2 eps x 5 supported algorithms = 20
+// cells, which splits unevenly over 7 shards.
+ExperimentConfig GridConfig() {
+  ExperimentConfig c;
+  c.algorithms = {"HB", "GREEDY_H", "IDENTITY", "DAWA", "UNIFORM", "UGRID"};
+  c.datasets = {"ADULT", "TRACE"};
+  c.scales = {1000};
+  c.domain_sizes = {128};
+  c.epsilons = {0.1, 1.0};
+  c.data_samples = 2;
+  c.runs_per_sample = 2;
+  c.workload = WorkloadKind::kPrefix1D;
+  return c;
+}
+
+ShardFile RunShard(const ExperimentConfig& base, size_t index,
+                   size_t count) {
+  ExperimentConfig config = base;
+  config.shard_index = index;
+  config.shard_count = count;
+  RunDiagnostics diagnostics;
+  auto cells = Runner::Run(config, nullptr, &diagnostics);
+  EXPECT_TRUE(cells.ok()) << cells.status().ToString();
+  ShardFile shard;
+  shard.shard_index = index;
+  shard.shard_count = count;
+  shard.total_cells = diagnostics.grid_cells;
+  shard.config = config;
+  shard.cells = std::move(cells).value();
+  shard.diagnostics = diagnostics;
+  return shard;
+}
+
+// Round-trips every shard through its serialized form before merging, so
+// equivalence is proven through the real file format, not just in-memory.
+Result<MergedRun> RunShardedAndMerge(const ExperimentConfig& base,
+                                     size_t count) {
+  std::vector<ShardFile> shards;
+  for (size_t i = 0; i < count; ++i) {
+    ShardFile shard = RunShard(base, i, count);
+    auto decoded = DecodeShardFile(EncodeShardFile(shard));
+    if (!decoded.ok()) return decoded.status();
+    shards.push_back(std::move(decoded).value());
+  }
+  return MergeShards(std::move(shards));
+}
+
+void ExpectBitIdentical(const std::vector<CellResult>& mono,
+                        const std::vector<CellResult>& merged,
+                        const std::string& label) {
+  ASSERT_EQ(mono.size(), merged.size()) << label;
+  for (size_t i = 0; i < mono.size(); ++i) {
+    SCOPED_TRACE(label + ": " + mono[i].key.ToString());
+    EXPECT_EQ(mono[i].key.ToString(), merged[i].key.ToString());
+    EXPECT_EQ(mono[i].grid_index, merged[i].grid_index);
+    ASSERT_EQ(mono[i].errors.size(), merged[i].errors.size());
+    for (size_t t = 0; t < mono[i].errors.size(); ++t) {
+      // Bit-identical, not merely close.
+      EXPECT_EQ(mono[i].errors[t], merged[i].errors[t]) << "trial " << t;
+    }
+    EXPECT_EQ(mono[i].summary.mean, merged[i].summary.mean);
+    EXPECT_EQ(mono[i].summary.stddev, merged[i].summary.stddev);
+    EXPECT_EQ(mono[i].summary.p95, merged[i].summary.p95);
+    EXPECT_EQ(mono[i].summary.trials, merged[i].summary.trials);
+  }
+}
+
+class ShardEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new ExperimentConfig(GridConfig());
+    diagnostics_ = new RunDiagnostics();
+    auto mono = Runner::Run(*config_, nullptr, diagnostics_);
+    ASSERT_TRUE(mono.ok()) << mono.status().ToString();
+    mono_ = new std::vector<CellResult>(std::move(mono).value());
+  }
+  static void TearDownTestSuite() {
+    delete config_;
+    delete diagnostics_;
+    delete mono_;
+  }
+
+  static ExperimentConfig* config_;
+  static RunDiagnostics* diagnostics_;
+  static std::vector<CellResult>* mono_;
+};
+
+ExperimentConfig* ShardEquivalenceTest::config_ = nullptr;
+RunDiagnostics* ShardEquivalenceTest::diagnostics_ = nullptr;
+std::vector<CellResult>* ShardEquivalenceTest::mono_ = nullptr;
+
+TEST_F(ShardEquivalenceTest, MonolithicGridShape) {
+  EXPECT_EQ(mono_->size(), 20u);
+  EXPECT_EQ(diagnostics_->grid_cells, 20u);
+  EXPECT_EQ(diagnostics_->cells, 20u);
+  ASSERT_EQ(diagnostics_->skipped.size(), 2u);  // UGRID on both 1D datasets
+  // Canonical order: grid_index is the position in the returned vector.
+  for (size_t i = 0; i < mono_->size(); ++i) {
+    EXPECT_EQ((*mono_)[i].grid_index, i);
+  }
+}
+
+TEST_F(ShardEquivalenceTest, EveryShardCountMergesBitIdentically) {
+  // 20 cells over 1..8 shards: covers even splits, uneven splits, and
+  // shard counts that do not divide the grid.
+  for (size_t count : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    auto merged = RunShardedAndMerge(*config_, count);
+    ASSERT_TRUE(merged.ok())
+        << count << " shards: " << merged.status().ToString();
+    ExpectBitIdentical(*mono_, merged->cells,
+                       std::to_string(count) + " shards");
+    // Aggregated diagnostics match the monolithic run where they must.
+    EXPECT_EQ(merged->diagnostics.cells, diagnostics_->cells);
+    EXPECT_EQ(merged->diagnostics.grid_cells, diagnostics_->grid_cells);
+    EXPECT_EQ(merged->diagnostics.trials, diagnostics_->trials);
+    ASSERT_EQ(merged->diagnostics.skipped.size(),
+              diagnostics_->skipped.size());
+    for (size_t i = 0; i < diagnostics_->skipped.size(); ++i) {
+      EXPECT_EQ(merged->diagnostics.skipped[i].algorithm,
+                diagnostics_->skipped[i].algorithm);
+      EXPECT_EQ(merged->diagnostics.skipped[i].dataset,
+                diagnostics_->skipped[i].dataset);
+    }
+  }
+}
+
+TEST_F(ShardEquivalenceTest, StreamingModeShardsMergeBitIdentically) {
+  // The O(1)-memory summary path must shard identically too.
+  ExperimentConfig streaming = *config_;
+  streaming.retain_raw_errors = false;
+  RunDiagnostics diag;
+  auto mono = Runner::Run(streaming, nullptr, &diag);
+  ASSERT_TRUE(mono.ok());
+  auto merged = RunShardedAndMerge(streaming, 4);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ExpectBitIdentical(*mono, merged->cells, "streaming 4 shards");
+}
+
+TEST_F(ShardEquivalenceTest, ShardsAreDisjointAndStrided) {
+  std::vector<ShardFile> shards;
+  size_t total = 0;
+  for (size_t i = 0; i < 7; ++i) {
+    shards.push_back(RunShard(*config_, i, 7));
+    total += shards.back().cells.size();
+    for (const CellResult& cell : shards.back().cells) {
+      EXPECT_EQ(cell.grid_index % 7, i);
+    }
+  }
+  EXPECT_EQ(total, mono_->size());
+  // Uneven split: 20 cells over 7 shards = sizes 3,3,3,3,3,3,2.
+  EXPECT_EQ(shards.front().cells.size(), 3u);
+  EXPECT_EQ(shards.back().cells.size(), 2u);
+}
+
+TEST_F(ShardEquivalenceTest, ThreadCountDoesNotAffectShardResults) {
+  ExperimentConfig threaded = *config_;
+  threaded.threads = 8;
+  ShardFile a = RunShard(*config_, 1, 4);
+  ShardFile b = RunShard(threaded, 1, 4);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].errors, b.cells[i].errors);
+  }
+}
+
+// --- Manifest validator failure modes -----------------------------------
+
+class MergeValidatorTest : public ::testing::Test {
+ protected:
+  static ExperimentConfig Config() {
+    ExperimentConfig c = GridConfig();
+    c.algorithms = {"IDENTITY", "UNIFORM"};
+    c.datasets = {"ADULT"};
+    c.epsilons = {0.1, 1.0};  // 4 cells
+    return c;
+  }
+};
+
+TEST_F(MergeValidatorTest, RejectsOverlappingShards) {
+  ShardFile s0 = RunShard(Config(), 0, 2);
+  ShardFile s1 = RunShard(Config(), 1, 2);
+  auto merged = MergeShards({s0, s1, s0});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("overlapping"),
+            std::string::npos)
+      << merged.status().ToString();
+}
+
+TEST_F(MergeValidatorTest, RejectsShardGap) {
+  ShardFile s0 = RunShard(Config(), 0, 3);
+  ShardFile s2 = RunShard(Config(), 2, 3);
+  auto merged = MergeShards({s0, s2});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("shard 1"), std::string::npos);
+  EXPECT_NE(merged.status().message().find("missing"), std::string::npos);
+}
+
+TEST_F(MergeValidatorTest, RejectsDuplicateCells) {
+  ShardFile s0 = RunShard(Config(), 0, 2);
+  ShardFile s1 = RunShard(Config(), 1, 2);
+  // A hand-built corrupt shard: one of its cells duplicated.
+  s1.cells.push_back(s1.cells.front());
+  auto merged = MergeShards({s0, s1});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("duplicate cell"),
+            std::string::npos)
+      << merged.status().ToString();
+}
+
+TEST_F(MergeValidatorTest, RejectsMissingCells) {
+  ShardFile s0 = RunShard(Config(), 0, 2);
+  ShardFile s1 = RunShard(Config(), 1, 2);
+  s1.cells.pop_back();
+  auto merged = MergeShards({s0, s1});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("missing cell"),
+            std::string::npos);
+}
+
+TEST_F(MergeValidatorTest, RejectsForeignCells) {
+  ShardFile s0 = RunShard(Config(), 0, 2);
+  ShardFile s1 = RunShard(Config(), 1, 2);
+  std::swap(s0.cells, s1.cells);  // cells that belong to the other slice
+  auto merged = MergeShards({s0, s1});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("does not belong"),
+            std::string::npos);
+}
+
+TEST_F(MergeValidatorTest, RejectsConfigMismatch) {
+  ShardFile s0 = RunShard(Config(), 0, 2);
+  ExperimentConfig other = Config();
+  other.seed += 1;
+  ShardFile s1 = RunShard(other, 1, 2);
+  auto merged = MergeShards({s0, s1});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("different experiment config"),
+            std::string::npos);
+}
+
+TEST_F(MergeValidatorTest, RejectsShardCountMismatch) {
+  ShardFile s0 = RunShard(Config(), 0, 2);
+  ShardFile s1 = RunShard(Config(), 1, 3);
+  auto merged = MergeShards({s0, s1});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("shard manifest mismatch"),
+            std::string::npos);
+}
+
+TEST_F(MergeValidatorTest, RejectsNoShards) {
+  auto merged = MergeShards({});
+  ASSERT_FALSE(merged.ok());
+}
+
+TEST_F(MergeValidatorTest, CorruptHeaderCountsFailFastWithoutAllocating) {
+  // File-supplied counts must never size an allocation or a loop: a
+  // shard claiming 2^60 cells (or shards) has to produce an immediate
+  // InvalidArgument, not a std::length_error or an effectively-infinite
+  // gap scan.
+  ShardFile huge_cells = RunShard(Config(), 0, 1);
+  huge_cells.total_cells = 1ULL << 60;
+  auto merged = MergeShards({huge_cells});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("missing cell"),
+            std::string::npos)
+      << merged.status().ToString();
+
+  ShardFile huge_count = RunShard(Config(), 0, 1);
+  huge_count.shard_count = 1ULL << 60;
+  merged = MergeShards({huge_count});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("shard gap"), std::string::npos)
+      << merged.status().ToString();
+}
+
+TEST_F(MergeValidatorTest, ShardFileVersionSkewIsRejectedAtDecode) {
+  ShardFile s0 = RunShard(Config(), 0, 1);
+  std::string bytes = EncodeShardFile(s0);
+  bytes[4] = static_cast<char>(kSerializeFormatVersion + 1);
+  auto decoded = DecodeShardFile(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("version skew"),
+            std::string::npos);
+}
+
+TEST_F(MergeValidatorTest, RunnerRejectsInvalidShardSpec) {
+  ExperimentConfig c = Config();
+  c.shard_index = 3;
+  c.shard_count = 3;
+  EXPECT_FALSE(Runner::Run(c).ok());
+  c.shard_index = 0;
+  c.shard_count = 0;
+  EXPECT_FALSE(Runner::Run(c).ok());
+}
+
+}  // namespace
+}  // namespace dpbench

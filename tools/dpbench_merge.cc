@@ -1,0 +1,146 @@
+// dpbench_merge — validates and merges dpbench_shard result files into
+// one report identical to the single-process run of the same config.
+//
+// The manifest validator fails loudly on overlapping shards, shard gaps,
+// config or shard-count mismatches, duplicate or missing cells, and
+// format-version skew; a merge that succeeds is guaranteed complete. The
+// merged cells are emitted in the canonical (monolithic) order, so
+// --csv-out produces a byte-identical file to
+// `dpbench_run --csv-out` on the same config.
+//
+// Examples:
+//   dpbench_merge shard0.bin shard1.bin shard2.bin
+//   dpbench_merge --csv-out=merged.csv shard*.bin
+//   dpbench_merge --json shard0.bin        # debug-dump, no merge
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/engine/report.h"
+#include "src/engine/runner.h"
+#include "src/engine/serialize.h"
+#include "tools/grid_flags.h"
+
+using namespace dpbench;
+
+namespace {
+
+void PrintUsage() {
+  std::cout <<
+      "usage: dpbench_merge [flags] SHARD_FILE...\n"
+      "  --csv                  print merged results as CSV to stdout\n"
+      "  --csv-out=FILE         write merged results as CSV to FILE\n"
+      "  --json                 dump each input file as JSON (no merge)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string csv_out;
+  bool csv = false, json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg.rfind("--csv-out=", 0) == 0) {
+      csv_out = arg.substr(std::strlen("--csv-out="));
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag " << arg << "\n";
+      PrintUsage();
+      return 1;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "no shard files given\n";
+    PrintUsage();
+    return 1;
+  }
+
+  if (json) {
+    for (const std::string& path : paths) {
+      auto bytes = ReadFileBytes(path);
+      if (!bytes.ok()) {
+        std::cerr << bytes.status().ToString() << "\n";
+        return 1;
+      }
+      auto rendered = DebugJson(*bytes);
+      if (!rendered.ok()) {
+        std::cerr << path << ": " << rendered.status().ToString() << "\n";
+        return 1;
+      }
+      std::cout << *rendered;
+    }
+    return 0;
+  }
+
+  std::vector<ShardFile> shards;
+  shards.reserve(paths.size());
+  for (const std::string& path : paths) {
+    auto bytes = ReadFileBytes(path);
+    if (!bytes.ok()) {
+      std::cerr << bytes.status().ToString() << "\n";
+      return 1;
+    }
+    auto shard = DecodeShardFile(*bytes);
+    if (!shard.ok()) {
+      std::cerr << path << ": " << shard.status().ToString() << "\n";
+      return 1;
+    }
+    shards.push_back(std::move(shard).value());
+  }
+
+  auto merged = MergeShards(std::move(shards));
+  if (!merged.ok()) {
+    std::cerr << "merge failed: " << merged.status().ToString() << "\n";
+    return 1;
+  }
+
+  TextTable table(
+      {"algorithm", "dataset", "scale", "domain", "eps", "mean", "p95"});
+  for (const CellResult& cell : merged->cells) {
+    table.AddRow({cell.key.algorithm, cell.key.dataset,
+                  std::to_string(cell.key.scale),
+                  std::to_string(cell.key.domain_size),
+                  TextTable::Num(cell.key.epsilon),
+                  TextTable::Num(cell.summary.mean),
+                  TextTable::Num(cell.summary.p95)});
+  }
+  table.Print(std::cout);
+
+  const RunDiagnostics& d = merged->diagnostics;
+  std::cout << "\nmerged " << paths.size() << " shard files: " << d.cells
+            << " cells, " << d.trials << " trials | plans built="
+            << d.plans_built << " hydrated=" << d.plans_hydrated
+            << " | total plan time=" << d.plan_seconds
+            << "s total execute time=" << d.execute_seconds << "s\n";
+  if (!d.skipped.empty()) {
+    std::cout << "skipped combinations:\n";
+    for (const SkippedCombo& s : d.skipped) {
+      std::cout << "  " << s.algorithm << " on " << s.dataset << "/domain="
+                << s.domain_size << ": " << s.reason << "\n";
+    }
+  }
+
+  if (csv) {
+    std::cout << "\n";
+    WriteCsv(merged->cells, std::cout);
+  }
+  if (!csv_out.empty()) {
+    if (Status st = tools::WriteCsvFile(csv_out, merged->cells); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

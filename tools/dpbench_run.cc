@@ -11,6 +11,7 @@
 //   dpbench_run --workload=random2d --datasets=GOWALLA --domains=64 \
 //               --algorithms=AGRID,UGRID --scales=1000000 --competitive
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
@@ -19,39 +20,22 @@
 #include "src/engine/report.h"
 #include "src/engine/runner.h"
 #include "src/engine/stats.h"
+#include "tools/grid_flags.h"
 
 using namespace dpbench;
 
 namespace {
 
-std::vector<std::string> SplitCsv(const std::string& s) {
-  std::vector<std::string> out;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
-
 void PrintUsage() {
-  std::cout <<
-      "usage: dpbench_run [flags]\n"
-      "  --algorithms=A,B,...   algorithms to run (default: all for dims)\n"
-      "  --datasets=D1,D2,...   datasets (default: ADULT)\n"
-      "  --scales=1000,...      dataset scales (default: 1000,100000)\n"
-      "  --domains=1024,...     per-dimension domain sizes (default: 1024)\n"
-      "  --epsilons=0.1,...     privacy budgets (default: 0.1)\n"
-      "  --workload=prefix|random2d|identity (default: prefix)\n"
-      "  --queries=N            random2d query count (default: 2000)\n"
-      "  --samples=N            data vectors from generator G (default: 2)\n"
-      "  --runs=N               runs per vector (default: 5)\n"
-      "  --seed=N               master seed (default: 20160626)\n"
-      "  --threads=N            worker threads (default: 1; results are\n"
-      "                         identical regardless of thread count)\n"
-      "  --competitive          also print t-test competitive sets\n"
-      "  --csv                  print raw CSV\n"
-      "  --list                 list algorithms and datasets, then exit\n";
+  std::cout << "usage: dpbench_run [flags]\n"
+            << tools::GridFlagsHelp()
+            << "  --competitive          also print t-test competitive sets\n"
+               "  --csv                  print raw CSV\n"
+               "  --csv-out=FILE         write raw CSV to FILE "
+               "(byte-comparable\n"
+               "                         with dpbench_merge --csv-out)\n"
+               "  --list                 list algorithms and datasets, then "
+               "exit\n";
 }
 
 void PrintInventory() {
@@ -73,71 +57,30 @@ void PrintInventory() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  ExperimentConfig config;
-  config.datasets = {"ADULT"};
-  config.scales = {1000, 100000};
-  config.domain_sizes = {1024};
-  config.epsilons = {0.1};
-  config.data_samples = 2;
-  config.runs_per_sample = 5;
+  ExperimentConfig config = tools::DefaultGridConfig();
   bool competitive = false, csv = false;
+  std::string csv_out;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    auto value = [&](const char* prefix) -> std::string {
-      return arg.substr(std::strlen(prefix));
-    };
+    std::string grid_error;
     if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;
     } else if (arg == "--list") {
       PrintInventory();
       return 0;
-    } else if (arg.rfind("--algorithms=", 0) == 0) {
-      config.algorithms = SplitCsv(value("--algorithms="));
-    } else if (arg.rfind("--datasets=", 0) == 0) {
-      config.datasets = SplitCsv(value("--datasets="));
-    } else if (arg.rfind("--scales=", 0) == 0) {
-      config.scales.clear();
-      for (const auto& s : SplitCsv(value("--scales="))) {
-        config.scales.push_back(std::stoull(s));
-      }
-    } else if (arg.rfind("--domains=", 0) == 0) {
-      config.domain_sizes.clear();
-      for (const auto& s : SplitCsv(value("--domains="))) {
-        config.domain_sizes.push_back(std::stoul(s));
-      }
-    } else if (arg.rfind("--epsilons=", 0) == 0) {
-      config.epsilons.clear();
-      for (const auto& s : SplitCsv(value("--epsilons="))) {
-        config.epsilons.push_back(std::stod(s));
-      }
-    } else if (arg.rfind("--workload=", 0) == 0) {
-      std::string w = value("--workload=");
-      if (w == "prefix") {
-        config.workload = WorkloadKind::kPrefix1D;
-      } else if (w == "random2d") {
-        config.workload = WorkloadKind::kRandomRange2D;
-      } else if (w == "identity") {
-        config.workload = WorkloadKind::kIdentity;
-      } else {
-        std::cerr << "unknown workload " << w << "\n";
+    } else if (tools::ParseGridFlag(arg, &config, &grid_error)) {
+      if (!grid_error.empty()) {
+        std::cerr << grid_error << "\n";
         return 1;
       }
-    } else if (arg.rfind("--queries=", 0) == 0) {
-      config.random_queries = std::stoul(value("--queries="));
-    } else if (arg.rfind("--samples=", 0) == 0) {
-      config.data_samples = std::stoul(value("--samples="));
-    } else if (arg.rfind("--runs=", 0) == 0) {
-      config.runs_per_sample = std::stoul(value("--runs="));
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      config.seed = std::stoull(value("--seed="));
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      config.threads = std::stoul(value("--threads="));
     } else if (arg == "--competitive") {
       competitive = true;
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg.rfind("--csv-out=", 0) == 0) {
+      csv_out = arg.substr(std::strlen("--csv-out="));
     } else {
       std::cerr << "unknown flag " << arg << "\n";
       PrintUsage();
@@ -145,14 +88,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (config.algorithms.empty()) {
-    // Default to every algorithm valid for the first dataset's dims.
-    auto info = DatasetRegistry::Info(config.datasets.front());
-    if (!info.ok()) {
-      std::cerr << info.status().ToString() << "\n";
-      return 1;
-    }
-    config.algorithms = MechanismRegistry::NamesForDims(info->dims);
+  if (Status st = tools::ResolveDefaultAlgorithms(&config); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
   }
 
   RunDiagnostics diagnostics;
@@ -201,6 +139,12 @@ int main(int argc, char** argv) {
   if (csv) {
     std::cout << "\n";
     WriteCsv(*results, std::cout);
+  }
+  if (!csv_out.empty()) {
+    if (Status st = tools::WriteCsvFile(csv_out, *results); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
   }
   if (competitive) {
     std::cout << "\ncompetitive sets (Welch t-test, Bonferroni alpha=0.05):\n";

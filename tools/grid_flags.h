@@ -1,0 +1,206 @@
+// Shared grid-flag parsing for the CLI front ends (dpbench_run,
+// dpbench_shard). One parser, one set of defaults, one help block: the
+// shard/merge byte-identity contract depends on both binaries building
+// the *same* ExperimentConfig from the same flags, so the grid surface
+// must not be able to drift between them.
+#ifndef DPBENCH_TOOLS_GRID_FLAGS_H_
+#define DPBENCH_TOOLS_GRID_FLAGS_H_
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/algorithms/mechanism.h"
+#include "src/data/datasets.h"
+#include "src/engine/report.h"
+#include "src/engine/runner.h"
+
+namespace dpbench {
+namespace tools {
+
+inline std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// The defaults both CLIs start from (a small ADULT grid).
+inline ExperimentConfig DefaultGridConfig() {
+  ExperimentConfig config;
+  config.datasets = {"ADULT"};
+  config.scales = {1000, 100000};
+  config.domain_sizes = {1024};
+  config.epsilons = {0.1};
+  config.data_samples = 2;
+  config.runs_per_sample = 5;
+  return config;
+}
+
+/// Help text for the flags ParseGridFlag understands.
+inline const char* GridFlagsHelp() {
+  return
+      "  --algorithms=A,B,...   algorithms to run (default: all for dims)\n"
+      "  --datasets=D1,D2,...   datasets (default: ADULT)\n"
+      "  --scales=1000,...      dataset scales (default: 1000,100000)\n"
+      "  --domains=1024,...     per-dimension domain sizes (default: 1024)\n"
+      "  --epsilons=0.1,...     privacy budgets (default: 0.1)\n"
+      "  --workload=prefix|random2d|identity (default: prefix)\n"
+      "  --queries=N            random2d query count (default: 2000)\n"
+      "  --samples=N            data vectors from generator G (default: 2)\n"
+      "  --runs=N               runs per vector (default: 5)\n"
+      "  --seed=N               master seed (default: 20160626)\n"
+      "  --threads=N            worker threads (default: 1; results are\n"
+      "                         identical regardless of thread count)\n";
+}
+
+namespace grid_flags_internal {
+
+inline bool ParseU64(const std::string& s, uint64_t* out) {
+  // std::stoull accepts leading whitespace and silently wraps negative
+  // input to huge unsigned values; require plain digits so "-3" is a
+  // parse error, not shard 0 of 2^64-3.
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  try {
+    size_t pos = 0;
+    uint64_t v = std::stoull(s, &pos);
+    if (pos != s.size()) return false;
+    *out = v;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+inline bool ParseF64(const std::string& s, double* out) {
+  try {
+    size_t pos = 0;
+    double v = std::stod(s, &pos);
+    if (pos != s.size()) return false;
+    *out = v;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace grid_flags_internal
+
+/// Applies one grid flag to `config`. Returns true when the flag was a
+/// grid flag (consumed), false when the caller should handle it; a
+/// malformed value sets *error and returns true (never throws).
+inline bool ParseGridFlag(const std::string& arg, ExperimentConfig* config,
+                          std::string* error) {
+  using grid_flags_internal::ParseF64;
+  using grid_flags_internal::ParseU64;
+  auto value = [&](const char* prefix) -> std::string {
+    return arg.substr(std::strlen(prefix));
+  };
+  auto bad = [&](const std::string& s) {
+    *error = "malformed value '" + s + "' in " + arg;
+  };
+  if (arg.rfind("--algorithms=", 0) == 0) {
+    config->algorithms = SplitCsv(value("--algorithms="));
+  } else if (arg.rfind("--datasets=", 0) == 0) {
+    config->datasets = SplitCsv(value("--datasets="));
+  } else if (arg.rfind("--scales=", 0) == 0) {
+    config->scales.clear();
+    for (const auto& s : SplitCsv(value("--scales="))) {
+      uint64_t v;
+      if (!ParseU64(s, &v)) return bad(s), true;
+      config->scales.push_back(v);
+    }
+  } else if (arg.rfind("--domains=", 0) == 0) {
+    config->domain_sizes.clear();
+    for (const auto& s : SplitCsv(value("--domains="))) {
+      uint64_t v;
+      if (!ParseU64(s, &v)) return bad(s), true;
+      config->domain_sizes.push_back(static_cast<size_t>(v));
+    }
+  } else if (arg.rfind("--epsilons=", 0) == 0) {
+    config->epsilons.clear();
+    for (const auto& s : SplitCsv(value("--epsilons="))) {
+      double v;
+      if (!ParseF64(s, &v)) return bad(s), true;
+      config->epsilons.push_back(v);
+    }
+  } else if (arg.rfind("--workload=", 0) == 0) {
+    std::string w = value("--workload=");
+    if (w == "prefix") {
+      config->workload = WorkloadKind::kPrefix1D;
+    } else if (w == "random2d") {
+      config->workload = WorkloadKind::kRandomRange2D;
+    } else if (w == "identity") {
+      config->workload = WorkloadKind::kIdentity;
+    } else {
+      *error = "unknown workload " + w;
+    }
+  } else if (arg.rfind("--queries=", 0) == 0) {
+    uint64_t v;
+    if (!ParseU64(value("--queries="), &v)) return bad(value("--queries=")), true;
+    config->random_queries = static_cast<size_t>(v);
+  } else if (arg.rfind("--samples=", 0) == 0) {
+    uint64_t v;
+    if (!ParseU64(value("--samples="), &v)) return bad(value("--samples=")), true;
+    config->data_samples = static_cast<size_t>(v);
+  } else if (arg.rfind("--runs=", 0) == 0) {
+    uint64_t v;
+    if (!ParseU64(value("--runs="), &v)) return bad(value("--runs=")), true;
+    config->runs_per_sample = static_cast<size_t>(v);
+  } else if (arg.rfind("--seed=", 0) == 0) {
+    uint64_t v;
+    if (!ParseU64(value("--seed="), &v)) return bad(value("--seed=")), true;
+    config->seed = v;
+  } else if (arg.rfind("--threads=", 0) == 0) {
+    uint64_t v;
+    if (!ParseU64(value("--threads="), &v)) return bad(value("--threads=")), true;
+    config->threads = static_cast<size_t>(v);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Writes the cells as CSV to `path`, surfacing open and short-write
+/// failures. One implementation for dpbench_run and dpbench_merge: their
+/// --csv-out files are byte-compared by the shard CI contract, so the
+/// writing code must not be able to drift between them.
+inline Status WriteCsvFile(const std::string& path,
+                           const std::vector<CellResult>& cells) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    return Status::NotFound("cannot open '" + path + "' for writing");
+  }
+  WriteCsv(cells, os);
+  os.flush();
+  if (!os) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+/// Fills an empty algorithm list with every algorithm valid for the
+/// first dataset's dimensionality (the shared "--algorithms omitted"
+/// behavior).
+inline Status ResolveDefaultAlgorithms(ExperimentConfig* config) {
+  if (config->datasets.empty()) {
+    return Status::InvalidArgument("no datasets given");
+  }
+  if (!config->algorithms.empty()) return Status::OK();
+  DPB_ASSIGN_OR_RETURN(DatasetInfo info,
+                       DatasetRegistry::Info(config->datasets.front()));
+  config->algorithms = MechanismRegistry::NamesForDims(info.dims);
+  return Status::OK();
+}
+
+}  // namespace tools
+}  // namespace dpbench
+
+#endif  // DPBENCH_TOOLS_GRID_FLAGS_H_
