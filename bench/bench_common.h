@@ -8,6 +8,7 @@
 #ifndef DPBENCH_BENCH_BENCH_COMMON_H_
 #define DPBENCH_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,14 @@
 
 namespace dpbench {
 namespace bench {
+
+/// Monotonic wall clock in seconds, for hand-rolled timing loops in the
+/// benches that do not use google-benchmark.
+inline double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 struct Options {
   bool full = false;

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/algorithms/mechanism.h"
 #include "src/data/datasets.h"
 #include "src/data/sampler.h"
@@ -59,11 +60,7 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 namespace dpbench {
 namespace {
 
-double NowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+using bench::NowSeconds;
 
 struct PlanLoopResult {
   double trials_per_sec = 0.0;
@@ -107,29 +104,21 @@ PlanLoopResult TimeTrials(const PlanPtr& plan, const DataVector& x,
   return out;
 }
 
-int RunPlanSection(size_t trials) {
-  const size_t kDomain = 1024;
-  Rng data_rng(7);
-  auto shape = DatasetRegistry::ShapeAtDomain("SEARCH", kDomain);
-  if (!shape.ok()) std::abort();
-  auto data = SampleAtScale(*shape, 100000, &data_rng);
-  if (!data.ok()) std::abort();
-  Workload workload = Workload::Prefix1D(kDomain);
-
-  std::printf("\n-- plan trial loops (domain=%zu, %zu trials) --\n", kDomain,
-              trials);
+int RunPlanLoops(const char* title, const DataVector& data,
+                 const Workload& workload,
+                 const std::vector<const char*>& algorithms, size_t trials) {
+  std::printf("\n-- %s (%zu trials) --\n", title, trials);
   std::printf("%-10s %14s %14s %10s %10s %8s\n", "algorithm", "exec tps",
               "scratch tps", "exec a/t", "scr a/t", "speedup");
   int failures = 0;
-  for (const char* name :
-       {"IDENTITY", "H", "HB", "PRIVELET", "GREEDY_H", "UNIFORM"}) {
+  for (const char* name : algorithms) {
     auto mech = MechanismRegistry::Get(name);
     if (!mech.ok()) std::abort();
-    PlanContext pctx{data->domain(), workload, 0.1, {data->Scale()}};
+    PlanContext pctx{data.domain(), workload, 0.1, {data.Scale()}};
     auto plan = (*mech)->Plan(pctx);
     if (!plan.ok()) std::abort();
-    PlanLoopResult alloc_path = TimeTrials(*plan, *data, trials, false);
-    PlanLoopResult scratch_path = TimeTrials(*plan, *data, trials, true);
+    PlanLoopResult alloc_path = TimeTrials(*plan, data, trials, false);
+    PlanLoopResult scratch_path = TimeTrials(*plan, data, trials, true);
     double speedup = alloc_path.trials_per_sec > 0.0
                          ? scratch_path.trials_per_sec /
                                alloc_path.trials_per_sec
@@ -143,6 +132,34 @@ int RunPlanSection(size_t trials) {
       ++failures;
     }
   }
+  return failures;
+}
+
+int RunPlanSection(size_t trials) {
+  const size_t kDomain = 1024;
+  Rng data_rng(7);
+  auto shape = DatasetRegistry::ShapeAtDomain("SEARCH", kDomain);
+  if (!shape.ok()) std::abort();
+  auto data = SampleAtScale(*shape, 100000, &data_rng);
+  if (!data.ok()) std::abort();
+  Workload workload = Workload::Prefix1D(kDomain);
+  int failures = RunPlanLoops(
+      "plan trial loops (1D, domain=1024)", *data, workload,
+      {"IDENTITY", "H", "HB", "PRIVELET", "GREEDY_H", "UNIFORM"}, trials);
+
+  // 2D: the grid-hierarchy family plus the batched-noise converts whose
+  // hot path only exists on grids (UGRID). Every scratch path must be
+  // allocation-free, the same contract as the 1D section.
+  const size_t kSide = 64;
+  Rng data_rng2(11);
+  auto shape2 = DatasetRegistry::ShapeAtDomain("ADULT-2D", kSide);
+  if (!shape2.ok()) std::abort();
+  auto data2 = SampleAtScale(*shape2, 100000, &data_rng2);
+  if (!data2.ok()) std::abort();
+  Workload workload2 = Workload::Identity(data2->domain());
+  failures += RunPlanLoops(
+      "plan trial loops (2D, domain=64x64)", *data2, workload2,
+      {"HB", "QUADTREE", "UGRID", "GREEDY_H", "PRIVELET"}, trials);
   return failures;
 }
 

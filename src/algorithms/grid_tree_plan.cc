@@ -179,11 +179,18 @@ Status GridTreePlan::ExecuteInto(const ExecContext& ctx,
   ComputePrefixSums(ctx.data, &s.prefix);
   const std::vector<double>& cum = s.prefix;
   std::vector<double>& y = s.y;
-  y.assign(nodes_.size(), 0.0);
-  for (size_t v = 0; v < nodes_.size(); ++v) {
+  const size_t m = nodes_.size();
+  y.assign(m, 0.0);
+  // Block-fill the per-node noise through the planned scale array, then
+  // add it to the four-corner range sums — same draw order as the scalar
+  // per-node loop, one vectorized transform for the whole hierarchy.
+  std::vector<double>& noise = s.noise;
+  noise.resize(m);
+  ctx.rng->FillLaplace(noise.data(), scales_.data(), m);
+  for (size_t v = 0; v < m; ++v) {
     double truth = cum[corners_[4 * v]] - cum[corners_[4 * v + 1]] -
                    cum[corners_[4 * v + 2]] + cum[corners_[4 * v + 3]];
-    y[v] = truth + ctx.rng->Laplace(scales_[v]);
+    y[v] = truth + noise[v];
   }
   gls_.InferNodesInto(y, &s.z, &s.node_est);
   const std::vector<double>& est = s.node_est;

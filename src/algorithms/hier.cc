@@ -188,14 +188,21 @@ Status RangeTreePlan::ExecuteInto(const ExecContext& ctx,
   // Prefix sums for O(1) true node counts.
   ComputePrefixSums(ctx.data, &s.prefix);
   const std::vector<double>& prefix = s.prefix;
-  // Measure through the flattened schedule — level order, the same
-  // noise-draw order as MeasureAndInfer, so planned and unplanned paths
-  // consume the rng identically.
+  // Measure through the flattened schedule: block-fill the whole
+  // schedule's noise through the per-measurement scale array (one
+  // vectorized transform), then scatter truth + noise into node order.
+  // The fill consumes draws in level order — the same noise-draw order as
+  // MeasureAndInfer — so planned and unplanned paths consume the rng
+  // identically.
   std::vector<double>& y = s.y;
   y.assign(tree_->num_nodes(), 0.0);
-  for (size_t k = 0; k < meas_node_.size(); ++k) {
+  const size_t m = meas_node_.size();
+  std::vector<double>& noise = s.noise;
+  noise.resize(m);
+  ctx.rng->FillLaplace(noise.data(), meas_scale_.data(), m);
+  for (size_t k = 0; k < m; ++k) {
     double truth = prefix[meas_hi1_[k]] - prefix[meas_lo_[k]];
-    y[meas_node_[k]] = truth + ctx.rng->Laplace(meas_scale_[k]);
+    y[meas_node_[k]] = truth + noise[k];
   }
   gls_.InferNodesInto(y, &s.z, &s.node_est);
   const std::vector<double>& node_est = s.node_est;

@@ -81,6 +81,7 @@ struct ExecScratch {
   std::vector<double> z;         ///< GLS bottom-up pass / column gather
   std::vector<double> node_est;  ///< GLS node estimates / column scatter
   std::vector<double> coef;      ///< wavelet coefficients / 2D transform grid
+  std::vector<double> noise;     ///< block-filled Laplace noise (Rng fills)
   DataVector linear;             ///< Hilbert-linearized input (GREEDY_H 2D)
   DataVector linear_est;         ///< estimate on the linearized domain
 };

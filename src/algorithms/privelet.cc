@@ -112,9 +112,11 @@ class PriveletPlan : public MechanismPlan {
     std::vector<double>& coef = s.coef;
     coef.assign(n, 0.0);
     wavelet::HaarForwardInPlace(work.data(), coef.data(), n);
-    for (double& c : coef) {
-      c += ctx.rng->Laplace(noise_scale_);
-    }
+    // The forward transform collapsed `work` into a sum pyramid nothing
+    // reads anymore, so it doubles as the noise block: one vectorized
+    // fill for all n coefficients instead of n per-draw engine calls.
+    ctx.rng->FillLaplace(work.data(), n, noise_scale_);
+    for (size_t i = 0; i < n; ++i) coef[i] += work[i];
     wavelet::HaarInverseInPlace(coef.data(), work.data(), n);
     PrepareOut(out);
     std::vector<double>& cells = out->mutable_counts();
@@ -150,11 +152,11 @@ class PriveletPlan : public MechanismPlan {
       wavelet::HaarForwardInPlace(colw.data(), colc.data(), prow);
       for (size_t r = 0; r < prow; ++r) coef[r * pcol + c] = colc[r];
     }
-    for (size_t r = 0; r < prow; ++r) {
-      for (size_t c = 0; c < pcol; ++c) {
-        coef[r * pcol + c] += ctx.rng->Laplace(noise_scale_);
-      }
-    }
+    // After both forward passes `grid` holds only consumed row pyramids;
+    // reuse it as the noise block for the whole padded coefficient grid
+    // (row-major fill order — the same draw order as the scalar loop).
+    ctx.rng->FillLaplace(grid.data(), prow * pcol, noise_scale_);
+    for (size_t i = 0; i < prow * pcol; ++i) coef[i] += grid[i];
     for (size_t c = 0; c < pcol; ++c) {
       for (size_t r = 0; r < prow; ++r) colw[r] = coef[r * pcol + c];
       wavelet::HaarInverseInPlace(colw.data(), colc.data(), prow);

@@ -47,7 +47,15 @@ class UGridPlan : public MechanismPlan {
   }
 
   Result<DataVector> Execute(const ExecContext& ctx) const override {
+    DataVector out;
+    DPB_RETURN_NOT_OK(ExecuteInto(ctx, &out));
+    return out;
+  }
+
+  Status ExecuteInto(const ExecContext& ctx, DataVector* out) const override {
     DPB_RETURN_NOT_OK(CheckExec(ctx));
+    ExecScratch local;
+    ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local;
     size_t rows = domain().size(0), cols = domain().size(1);
 
     size_t m;
@@ -71,26 +79,38 @@ class UGridPlan : public MechanismPlan {
     }
 
     // Equi-width m x m grid; grid cell (gr, gc) covers row range
-    // [gr*rows/m, (gr+1)*rows/m) and analogously for columns.
+    // [gr*rows/m, (gr+1)*rows/m) and analogously for columns. The grid
+    // counts come from the scratch prefix-sum table, and the noise is
+    // block-filled for all m*m measurements up front (row-major — the
+    // same draw order as the per-cell scalar loop), so the planned path
+    // is allocation-free in the steady state.
     auto row_lo = [&](size_t g) { return g * rows / m; };
     auto col_lo = [&](size_t g) { return g * cols / m; };
-    PrefixSums ps(ctx.data);
-    DataVector out(domain());
+    ComputePrefixSums(ctx.data, &s.prefix);
+    const std::vector<double>& cum = s.prefix;
+    const size_t stride = cols + 1;
+    std::vector<double>& noise = s.noise;
+    noise.resize(m * m);
+    ctx.rng->FillLaplace(noise.data(), m * m, 1.0 / eps);
+    PrepareOut(out);
+    std::vector<double>& cells = out->mutable_counts();
     for (size_t gr = 0; gr < m; ++gr) {
       size_t r0 = row_lo(gr), r1 = row_lo(gr + 1) - 1;
       for (size_t gc = 0; gc < m; ++gc) {
         size_t c0 = col_lo(gc), c1 = col_lo(gc + 1) - 1;
-        double truth = ps.RangeSum({r0, c0}, {r1, c1});
-        double noisy = truth + ctx.rng->Laplace(1.0 / eps);
+        double truth = cum[(r1 + 1) * stride + (c1 + 1)] -
+                       cum[r0 * stride + (c1 + 1)] -
+                       cum[(r1 + 1) * stride + c0] + cum[r0 * stride + c0];
+        double noisy = truth + noise[gr * m + gc];
         double area = static_cast<double>((r1 - r0 + 1) * (c1 - c0 + 1));
         for (size_t r = r0; r <= r1; ++r) {
           for (size_t c = c0; c <= c1; ++c) {
-            out[r * cols + c] = noisy / area;
+            cells[r * cols + c] = noisy / area;
           }
         }
       }
     }
-    return out;
+    return Status::OK();
   }
 
  private:

@@ -1,5 +1,12 @@
 #include "src/common/rng.h"
 
+// This file is compiled with -ffp-contract=off (see CMakeLists.txt): the
+// FastLog polynomial and the Laplace transform must evaluate as written,
+// without the compiler fusing multiply+add into FMAs, so the noise stream
+// is bit-identical across optimization levels, auto-vectorized and scalar
+// code paths, and toolchains.
+
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -12,6 +19,79 @@ namespace {
 
 constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
 constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+// Philox4x32 round constants (Random123's PHILOX_M4x32_* / PHILOX_W32_*).
+constexpr uint64_t kPhiloxM0 = 0xD2511F53ULL;
+constexpr uint64_t kPhiloxM1 = 0xCD9E8D57ULL;
+constexpr uint32_t kPhiloxW0 = 0x9E3779B9U;
+constexpr uint32_t kPhiloxW1 = 0xBB67AE85U;
+
+inline uint64_t BitsOf(double x) {
+  uint64_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
+}
+
+inline double DoubleOf(uint64_t bits) {
+  double x;
+  std::memcpy(&x, &bits, sizeof(x));
+  return x;
+}
+
+constexpr double kLn2 = 0.6931471805599453;         // round(ln 2)
+constexpr double kSqrt2 = 1.4142135623730951;       // round(sqrt 2)
+
+// log(x) for positive normal x: decompose x = m * 2^e with m in
+// [1/sqrt2, sqrt2), then log(m) = 2 artanh(s) with s = (m-1)/(m+1),
+// |s| <= sqrt2-1 / sqrt2+1 = 0.1716, via the odd series
+// 2s (1 + s^2/3 + s^4/5 + ... + s^14/15). Truncation error is below
+// 1e-13 relative; every operation is a plain IEEE double op, so a loop
+// over this inline body auto-vectorizes and gives bit-identical results
+// lane-for-lane with the scalar evaluation.
+inline double FastLogImpl(double x) {
+  uint64_t bits = BitsOf(x);
+  // Exponent as a double via an int32 conversion (packed-vectorizable on
+  // SSE2, unlike int64 -> double).
+  double e = static_cast<double>(static_cast<int32_t>(bits >> 52)) - 1023.0;
+  double m = DoubleOf((bits & 0x000FFFFFFFFFFFFFULL) |
+                      0x3FF0000000000000ULL);  // mantissa in [1, 2)
+  // Shift m into [1/sqrt2, sqrt2) so the series argument stays small.
+  // The select is a single arithmetic blend — m - shift*(0.5*m) is
+  // exactly 0.5*m or m since halving is exact — because a shared boolean
+  // feeding two conditional moves defeats GCC's loop if-conversion and
+  // would leave the whole transform scalar.
+  double shift = (m > kSqrt2) ? 1.0 : 0.0;
+  e += shift;
+  m = m - shift * (0.5 * m);
+  double s = (m - 1.0) / (m + 1.0);
+  double z = s * s;
+  double p = 1.0 / 15.0;
+  p = p * z + 1.0 / 13.0;
+  p = p * z + 1.0 / 11.0;
+  p = p * z + 1.0 / 9.0;
+  p = p * z + 1.0 / 7.0;
+  p = p * z + 1.0 / 5.0;
+  p = p * z + 1.0 / 3.0;
+  p = p * z + 1.0;
+  return e * kLn2 + 2.0 * s * p;
+}
+
+// Laplace(0, scale) from one raw 64-bit draw; shared by the scalar and
+// block paths so they are bit-identical by construction. The top 52 bits
+// build u in (0, 1] directly in the mantissa (2 - [1,2) avoids an
+// unvectorizable uint64 -> double conversion and log(0)), bit 0 flips the
+// sign of the non-positive scale * log(u) through the IEEE sign bit —
+// no branches, no libm.
+inline double LaplaceFromDraw(uint64_t r, double scale) {
+  double u = 2.0 - DoubleOf(0x3FF0000000000000ULL | (r >> 12));  // (0, 1]
+  double v = scale * FastLogImpl(u);                             // <= 0
+  return DoubleOf(BitsOf(v) ^ ((r & 1) << 63));
+}
+
+// Fill granularity: raw counter output is staged through a fixed stack
+// chunk (2 KiB) so fills of any length stay allocation-free and the
+// transform runs over a cache-hot contiguous buffer.
+constexpr size_t kFillChunk = 256;
 
 }  // namespace
 
@@ -48,36 +128,169 @@ uint64_t StreamSeed(uint64_t master, const std::string& label) {
   return SeedMixer(master).Mix(label).seed();
 }
 
+void Philox4x32::BlockRaw(const uint32_t ctr[4], const uint32_t key[2],
+                          uint32_t out[4]) {
+  uint32_t c0 = ctr[0], c1 = ctr[1], c2 = ctr[2], c3 = ctr[3];
+  uint32_t k0 = key[0], k1 = key[1];
+  for (int round = 0;; ++round) {
+    // One Philox S-box: two 32x32 -> 64 multiplies, then a word shuffle
+    // xored with the counter and the (round-bumped) key.
+    uint64_t p0 = kPhiloxM0 * c0;
+    uint64_t p1 = kPhiloxM1 * c2;
+    uint32_t hi0 = static_cast<uint32_t>(p0 >> 32);
+    uint32_t lo0 = static_cast<uint32_t>(p0);
+    uint32_t hi1 = static_cast<uint32_t>(p1 >> 32);
+    uint32_t lo1 = static_cast<uint32_t>(p1);
+    c0 = hi1 ^ c1 ^ k0;
+    c1 = lo1;
+    c2 = hi0 ^ c3 ^ k1;
+    c3 = lo0;
+    if (round == 9) break;
+    k0 += kPhiloxW0;
+    k1 += kPhiloxW1;
+  }
+  out[0] = c0;
+  out[1] = c1;
+  out[2] = c2;
+  out[3] = c3;
+}
+
+void Philox4x32::Block(uint64_t key, uint64_t block, uint64_t out[2]) {
+  uint32_t ctr[4] = {static_cast<uint32_t>(block),
+                     static_cast<uint32_t>(block >> 32), 0, 0};
+  uint32_t k[2] = {static_cast<uint32_t>(key),
+                   static_cast<uint32_t>(key >> 32)};
+  uint32_t o[4];
+  BlockRaw(ctr, k, o);
+  out[0] = o[0] | (static_cast<uint64_t>(o[1]) << 32);
+  out[1] = o[2] | (static_cast<uint64_t>(o[3]) << 32);
+}
+
+Philox4x32::result_type Philox4x32::operator()() {
+  uint64_t block = pos_ >> 1;
+  if (!have_block_ || cached_block_ != block) {
+    Block(key_, block, buf_);
+    cached_block_ = block;
+    have_block_ = true;
+  }
+  return buf_[pos_++ & 1];
+}
+
+void Philox4x32::FillRaw(uint64_t* out, size_t n) {
+  size_t i = 0;
+  if (n == 0) return;
+  if (pos_ & 1) {
+    // Mid-block: emit the second half of the current block first (through
+    // the cache, so it is not recomputed if a scalar draw just made it).
+    out[i++] = (*this)();
+  }
+  while (n - i >= 2) {
+    Block(key_, pos_ >> 1, out + i);
+    pos_ += 2;
+    i += 2;
+  }
+  if (i < n) {
+    // Trailing lone draw: cache the block so the next draw's second half
+    // does not recompute it.
+    uint64_t block = pos_ >> 1;
+    Block(key_, block, buf_);
+    cached_block_ = block;
+    have_block_ = true;
+    out[i] = buf_[0];
+    ++pos_;
+  }
+}
+
+double FastLog(double x) {
+  DPB_CHECK(std::isnormal(x) && x > 0.0);
+  return FastLogImpl(x);
+}
+
 double Rng::Uniform() {
   // Explicit 53-bit mantissa scaling: exact values in [0, 1) with the full
   // double resolution, independent of the standard library's
-  // implementation-defined uniform_real_distribution (which also costs
-  // ~2x more per draw — this is the innermost operation of every noisy
-  // trial). Same mt19937_64 stream consumption: one 64-bit draw.
+  // implementation-defined uniform_real_distribution. One 64-bit draw.
   return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
 }
 
 double Rng::Uniform(double lo, double hi) {
-  return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  // The affine map can round up to hi when Uniform() is close to 1; clamp
+  // to the largest double below hi to keep the half-open contract.
+  double r = lo + Uniform() * (hi - lo);
+  return r < hi ? r : std::nextafter(hi, lo);
 }
 
 uint64_t Rng::UniformInt(uint64_t n) {
   DPB_CHECK_GT(n, 0u);
-  return std::uniform_int_distribution<uint64_t>(0, n - 1)(gen_);
+  // Lemire's multiply-shift: map a 64-bit draw onto [0, n) through the
+  // high word of a 128-bit product, rejecting the sliver of draws that
+  // would bias low values. Exact, and unlike
+  // std::uniform_int_distribution not implementation-defined.
+  unsigned __int128 product =
+      static_cast<unsigned __int128>(gen_()) * n;
+  uint64_t low = static_cast<uint64_t>(product);
+  if (low < n) {
+    uint64_t threshold = (0 - n) % n;  // (2^64 - n) mod n
+    while (low < threshold) {
+      product = static_cast<unsigned __int128>(gen_()) * n;
+      low = static_cast<uint64_t>(product);
+    }
+  }
+  return static_cast<uint64_t>(product >> 64);
 }
 
 double Rng::Laplace(double scale) {
   DPB_CHECK(std::isfinite(scale) && scale > 0.0);
-  // Inverse CDF: u in (-1/2, 1/2), x = -scale * sgn(u) * ln(1 - 2|u|).
-  // ln is computed as log(1 - mag) rather than log1p(-mag): identical to
-  // double precision for this use (mag is a random magnitude, not a tiny
-  // increment) and about 2x faster in glibc — this is the innermost call
-  // of every noisy trial, drawn O(domain) times per execution.
-  double u = Uniform() - 0.5;
-  double sign = (u < 0) ? -1.0 : 1.0;
-  double mag = std::min(std::abs(u) * 2.0,
-                        1.0 - std::numeric_limits<double>::epsilon());
-  return -scale * sign * std::log(1.0 - mag);
+  return LaplaceFromDraw(gen_(), scale);
+}
+
+void Rng::FillUniform(double* out, size_t n) {
+  uint64_t raw[kFillChunk];
+  size_t i = 0;
+  while (i < n) {
+    size_t chunk = std::min(n - i, kFillChunk);
+    gen_.FillRaw(raw, chunk);
+    double* o = out + i;
+    for (size_t j = 0; j < chunk; ++j) {
+      o[j] = static_cast<double>(raw[j] >> 11) * 0x1.0p-53;
+    }
+    i += chunk;
+  }
+}
+
+void Rng::FillLaplace(double* out, size_t n, double scale) {
+  DPB_CHECK(std::isfinite(scale) && scale > 0.0);
+  uint64_t raw[kFillChunk];
+  size_t i = 0;
+  while (i < n) {
+    size_t chunk = std::min(n - i, kFillChunk);
+    gen_.FillRaw(raw, chunk);
+    double* o = out + i;
+    for (size_t j = 0; j < chunk; ++j) {
+      o[j] = LaplaceFromDraw(raw[j], scale);
+    }
+    i += chunk;
+  }
+}
+
+void Rng::FillLaplace(double* out, const double* scales, size_t n) {
+  // Same per-draw validation as the scalar path, hoisted out of the
+  // transform loop so it stays branch-free.
+  for (size_t k = 0; k < n; ++k) {
+    DPB_CHECK(std::isfinite(scales[k]) && scales[k] > 0.0);
+  }
+  uint64_t raw[kFillChunk];
+  size_t i = 0;
+  while (i < n) {
+    size_t chunk = std::min(n - i, kFillChunk);
+    gen_.FillRaw(raw, chunk);
+    double* o = out + i;
+    const double* sc = scales + i;
+    for (size_t j = 0; j < chunk; ++j) {
+      o[j] = LaplaceFromDraw(raw[j], sc[j]);
+    }
+    i += chunk;
+  }
 }
 
 double Rng::Gumbel() {

@@ -214,7 +214,7 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
   }
 
   size_t threads = std::max<size_t>(config.threads, 1);
-  WorkStealingPool pool(threads);
+  WorkStealingPool pool(threads, config.pin_threads);
 
   // Phase 2a: build every unique plan once — or hydrate it from the
   // provided serialized store instead of planning. Planning and hydration
@@ -376,6 +376,7 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
     diagnostics->pool_parallel_jobs = pstats.parallel_jobs;
     diagnostics->pool_tasks_executed = pstats.tasks_executed;
     diagnostics->pool_tasks_stolen = pstats.tasks_stolen;
+    diagnostics->pool_workers_pinned = pstats.workers_pinned;
   }
   return out;
 }

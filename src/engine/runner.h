@@ -47,6 +47,13 @@ struct ExperimentConfig {
   uint64_t seed = 20160626;       ///< master seed (SIGMOD'16 vintage)
   bool provide_true_scale = true; ///< expose scale as side info (paper §6.4)
   size_t threads = 1;             ///< worker threads (cells are independent)
+  /// Pin the pool's spawned workers to cores (pthread_setaffinity_np,
+  /// Linux, best-effort) so persistent workers keep cache/NUMA locality
+  /// across phases on large multi-socket grids. Off by default; never
+  /// affects results (execution-only, excluded from shard-config
+  /// identity). RunDiagnostics::pool_workers_pinned reports how many
+  /// workers the affinity call actually stuck.
+  bool pin_threads = false;
   /// When false, per-trial errors are folded into a StreamingSummary and
   /// CellResult::errors stays empty: memory per cell is O(1) in the trial
   /// count (the paper-scale mode). Mean/stddev then agree with the exact
@@ -118,6 +125,7 @@ struct RunDiagnostics {
   uint64_t pool_parallel_jobs = 0;   ///< ParallelFor phases served
   uint64_t pool_tasks_executed = 0;  ///< plan + cell tasks run on the pool
   uint64_t pool_tasks_stolen = 0;    ///< tasks balanced via work stealing
+  uint64_t pool_workers_pinned = 0;  ///< workers with core affinity applied
 };
 
 /// A set of serialized mechanism plans keyed by the runner's plan-cache

@@ -2,10 +2,30 @@
 
 #include <algorithm>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace dpbench {
 
-WorkStealingPool::WorkStealingPool(size_t num_threads)
+bool WorkStealingPool::PinSelfToCore(size_t self) {
+#if defined(__linux__)
+  unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(self % std::min<unsigned>(cores, CPU_SETSIZE), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)self;
+  return false;
+#endif
+}
+
+WorkStealingPool::WorkStealingPool(size_t num_threads, bool pin_threads)
     : num_threads_(num_threads == 0 ? 1 : num_threads),
+      pin_threads_(pin_threads),
       queues_(num_threads_) {
   threads_.reserve(num_threads_ - 1);
   for (size_t t = 1; t < num_threads_; ++t) {
@@ -47,6 +67,9 @@ void WorkStealingPool::DrainTasks(size_t self) {
 }
 
 void WorkStealingPool::WorkerLoop(size_t self) {
+  if (pin_threads_ && PinSelfToCore(self)) {
+    workers_pinned_.fetch_add(1, std::memory_order_relaxed);
+  }
   uint64_t seen_epoch = 0;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -106,6 +129,7 @@ PoolStats WorkStealingPool::stats() const {
   s.parallel_jobs = parallel_jobs_.load(std::memory_order_relaxed);
   s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
   s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
+  s.workers_pinned = workers_pinned_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -44,6 +44,7 @@ struct PoolStats {
   uint64_t parallel_jobs = 0;   ///< ParallelFor/ParallelForWorker calls served
   uint64_t tasks_executed = 0;  ///< total task-function invocations
   uint64_t tasks_stolen = 0;    ///< tasks popped from another worker's deque
+  uint64_t workers_pinned = 0;  ///< workers with a core affinity applied
 };
 
 class WorkStealingPool {
@@ -53,7 +54,17 @@ class WorkStealingPool {
 
   /// `num_threads` == 0 or 1 means run inline on the calling thread (no
   /// workers are spawned — the 1-thread fast path takes no locks).
-  explicit WorkStealingPool(size_t num_threads);
+  ///
+  /// `pin_threads` pins each spawned worker to core (worker id mod
+  /// hardware cores): persistent workers then keep their cache and NUMA
+  /// locality across phases instead of migrating between them. Worker 0
+  /// is the calling thread and is never pinned — the pool must not mutate
+  /// the caller's scheduling state beyond its own lifetime. Pinning is
+  /// best-effort (Linux only; a cpuset that excludes the target core
+  /// leaves that worker unpinned) and never affects results —
+  /// PoolStats::workers_pinned reports how many workers it actually
+  /// stuck.
+  explicit WorkStealingPool(size_t num_threads, bool pin_threads = false);
   ~WorkStealingPool();
 
   WorkStealingPool(const WorkStealingPool&) = delete;
@@ -99,8 +110,12 @@ class WorkStealingPool {
 
   void WorkerLoop(size_t self);
   void DrainTasks(size_t self);
+  /// Pins the calling thread to core (self mod hardware cores); returns
+  /// whether the affinity call succeeded. No-op (false) off Linux.
+  static bool PinSelfToCore(size_t self);
 
   size_t num_threads_;
+  bool pin_threads_;
   std::vector<TaskDeque> queues_;
 
   // Job state, published under mu_ at the start of every parallel region.
@@ -115,6 +130,7 @@ class WorkStealingPool {
   std::atomic<uint64_t> parallel_jobs_{0};
   std::atomic<uint64_t> tasks_executed_{0};
   std::atomic<uint64_t> tasks_stolen_{0};
+  std::atomic<uint64_t> workers_pinned_{0};
 
   std::vector<std::thread> threads_;  // workers 1..num_threads-1
 };

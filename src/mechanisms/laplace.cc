@@ -13,10 +13,16 @@ Status LaplaceMechanismInto(const std::vector<double>& values,
         "LaplaceMechanism: sensitivity must be > 0");
   }
   double scale = sensitivity / epsilon;
-  out->resize(values.size());
-  for (size_t i = 0; i < values.size(); ++i) {
-    (*out)[i] = values[i] + rng->Laplace(scale);
-  }
+  const size_t n = values.size();
+  // Block-fill the noise into the output, then add the values — the same
+  // draws in the same order as the scalar loop, but generated and
+  // transformed over contiguous buffers (Rng::FillLaplace) instead of one
+  // engine round-trip per coordinate.
+  out->resize(n);
+  rng->FillLaplace(out->data(), n, scale);
+  const double* v = values.data();
+  double* o = out->data();
+  for (size_t i = 0; i < n; ++i) o[i] += v[i];
   return Status::OK();
 }
 

@@ -18,7 +18,8 @@ Result<std::vector<double>> LaplaceMechanism(const std::vector<double>& values,
 
 /// Allocation-free form: writes values + noise into *out, reusing its
 /// capacity. Same noise-draw order (hence bit-identical results) as
-/// LaplaceMechanism.
+/// LaplaceMechanism. The noise is block-filled into *out before the
+/// values are added, so *out must not alias `values`.
 Status LaplaceMechanismInto(const std::vector<double>& values,
                             double sensitivity, double epsilon, Rng* rng,
                             std::vector<double>* out);

@@ -2,12 +2,227 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include "src/common/math.h"
 
 namespace dpbench {
 namespace {
+
+// -------------------------------------------------------------------------
+// Counter-based engine: known answers, addressability, fill granularity.
+// -------------------------------------------------------------------------
+
+// Published Random123 philox4x32-10 test vectors (kat_vectors): the
+// counter/key words map to exact output words, pinning our permutation to
+// the reference implementation bit for bit.
+TEST(PhiloxTest, KnownAnswerVectors) {
+  struct Kat {
+    uint32_t ctr[4];
+    uint32_t key[2];
+    uint32_t expect[4];
+  };
+  const Kat kats[] = {
+      {{0u, 0u, 0u, 0u},
+       {0u, 0u},
+       {0x6627e8d5u, 0xe169c58du, 0xbc57ac4cu, 0x9b00dbd8u}},
+      {{0xffffffffu, 0xffffffffu, 0xffffffffu, 0xffffffffu},
+       {0xffffffffu, 0xffffffffu},
+       {0x408f276du, 0x41c83b0eu, 0xa20bc7c6u, 0x6d5451fdu}},
+      {{0x243f6a88u, 0x85a308d3u, 0x13198a2eu, 0x03707344u},
+       {0xa4093822u, 0x299f31d0u},
+       {0xd16cfe09u, 0x94fdccebu, 0x5001e420u, 0x24126ea1u}},
+  };
+  for (const Kat& kat : kats) {
+    uint32_t out[4];
+    Philox4x32::BlockRaw(kat.ctr, kat.key, out);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(out[i], kat.expect[i]) << "word " << i;
+    }
+  }
+}
+
+TEST(PhiloxTest, DrawsArePureFunctionOfPosition) {
+  const uint64_t seed = 0x853c49e6748fea9bULL;
+  Philox4x32 gen(seed);
+  for (uint64_t i = 0; i < 64; ++i) {
+    uint64_t block[2];
+    Philox4x32::Block(seed, i / 2, block);
+    EXPECT_EQ(gen(), block[i & 1]) << "draw " << i;
+  }
+  EXPECT_EQ(gen.position(), 64u);
+}
+
+TEST(PhiloxTest, FillRawMatchesScalarAtAnyGranularity) {
+  const uint64_t seed = 77;
+  Philox4x32 scalar(seed);
+  std::vector<uint64_t> want(700);
+  for (uint64_t& v : want) v = scalar();
+
+  // Odd chunk sizes force every partial-block path: mid-block entry,
+  // mid-block exit, and both at once.
+  const size_t chunks[] = {1, 3, 2, 7, 1, 256, 301, 4, 125};
+  Philox4x32 filler(seed);
+  std::vector<uint64_t> got;
+  for (size_t c : chunks) {
+    std::vector<uint64_t> buf(c);
+    filler.FillRaw(buf.data(), c);
+    got.insert(got.end(), buf.begin(), buf.end());
+  }
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(got, want);
+}
+
+TEST(RngTest, FillUniformMatchesScalarAtAnyGranularity) {
+  Rng scalar(991);
+  std::vector<double> want(600);
+  for (double& v : want) v = scalar.Uniform();
+
+  Rng filler(991);
+  std::vector<double> got(600);
+  size_t off = 0;
+  for (size_t c : {5, 1, 250, 301, 43}) {
+    filler.FillUniform(got.data() + off, c);
+    off += c;
+  }
+  ASSERT_EQ(off, want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i], got[i]) << "draw " << i;
+  }
+}
+
+TEST(RngTest, FillLaplaceMatchesScalarAtAnyGranularity) {
+  const double scale = 1.7;
+  Rng scalar(1234);
+  std::vector<double> want(600);
+  for (double& v : want) v = scalar.Laplace(scale);
+
+  Rng filler(1234);
+  std::vector<double> got(600);
+  size_t off = 0;
+  for (size_t c : {1, 256, 7, 300, 36}) {
+    filler.FillLaplace(got.data() + off, c, scale);
+    off += c;
+  }
+  ASSERT_EQ(off, want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i], got[i]) << "draw " << i;
+  }
+}
+
+TEST(RngTest, FillAndScalarDrawsInterleaveOnOneStream) {
+  // A fill after an odd number of scalar draws starts mid-block; the
+  // stream must carry through without skipping or replaying draws.
+  Rng scalar(555);
+  std::vector<double> want(21);
+  for (double& v : want) v = scalar.Laplace(2.0);
+
+  Rng mixed(555);
+  std::vector<double> got(21);
+  got[0] = mixed.Laplace(2.0);
+  mixed.FillLaplace(got.data() + 1, 6, 2.0);
+  got[7] = mixed.Laplace(2.0);
+  got[8] = mixed.Laplace(2.0);
+  mixed.FillLaplace(got.data() + 9, 12, 2.0);
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i], got[i]) << "draw " << i;
+  }
+}
+
+TEST(RngTest, FillLaplacePerScaleMatchesScalar) {
+  std::vector<double> scales(500);
+  for (size_t i = 0; i < scales.size(); ++i) {
+    scales[i] = 0.25 + static_cast<double>(i % 7);
+  }
+  Rng scalar(31337);
+  std::vector<double> want(scales.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    want[i] = scalar.Laplace(scales[i]);
+  }
+  Rng filler(31337);
+  std::vector<double> got(scales.size());
+  filler.FillLaplace(got.data(), scales.data(), scales.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i], got[i]) << "draw " << i;
+  }
+}
+
+TEST(RngTest, FillLaplaceMomentsAndKolmogorovSmirnov) {
+  const double scale = 2.5;
+  const size_t n = 200000;
+  Rng rng(4242);
+  std::vector<double> xs(n);
+  rng.FillLaplace(xs.data(), n, scale);
+  EXPECT_NEAR(Mean(xs), 0.0, 0.05);
+  EXPECT_NEAR(SampleVariance(xs), 2.0 * scale * scale, 0.3);
+  double abs_sum = 0.0;
+  for (double x : xs) abs_sum += std::abs(x);
+  EXPECT_NEAR(abs_sum / static_cast<double>(n), scale, 0.05);
+
+  // One-sample KS statistic against the analytic Laplace CDF. The 0.001
+  // critical value at this n is ~0.0062; the fixed seed keeps it exact.
+  std::sort(xs.begin(), xs.end());
+  auto cdf = [scale](double x) {
+    return x < 0.0 ? 0.5 * std::exp(x / scale)
+                   : 1.0 - 0.5 * std::exp(-x / scale);
+  };
+  double d = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double f = cdf(xs[i]);
+    double lo = static_cast<double>(i) / n;
+    double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(f - lo), std::abs(f - hi)});
+  }
+  EXPECT_LT(d, 0.0062);
+}
+
+TEST(RngTest, FillLaplacePerScaleMomentsBucketByScale) {
+  // Alternating scales: each position's samples must follow its own scale.
+  const size_t n = 100000;
+  std::vector<double> scales(n);
+  for (size_t i = 0; i < n; ++i) scales[i] = (i % 2 == 0) ? 1.0 : 3.0;
+  Rng rng(90210);
+  std::vector<double> xs(n);
+  rng.FillLaplace(xs.data(), scales.data(), n);
+  double abs_even = 0.0, abs_odd = 0.0;
+  for (size_t i = 0; i < n; i += 2) abs_even += std::abs(xs[i]);
+  for (size_t i = 1; i < n; i += 2) abs_odd += std::abs(xs[i]);
+  EXPECT_NEAR(abs_even / (n / 2), 1.0, 0.05);  // E|Laplace(b)| = b
+  EXPECT_NEAR(abs_odd / (n / 2), 3.0, 0.15);
+}
+
+TEST(RngTest, FastLogMatchesStdLog) {
+  Rng rng(777);
+  double worst = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    // Cover the Laplace-transform domain (0, 1] plus a wide positive
+    // exponent range.
+    double x = (i % 2 == 0) ? rng.Uniform() + 0x1.0p-53
+                            : std::ldexp(1.0 + rng.Uniform(),
+                                         static_cast<int>(rng.UniformInt(600)) -
+                                             300);
+    double want = std::log(x);
+    double got = FastLog(x);
+    double err = std::abs(got - want) /
+                 std::max(std::abs(want), 1e-6);
+    worst = std::max(worst, err);
+  }
+  EXPECT_LT(worst, 1e-12);
+}
+
+TEST(RngTest, UniformIntOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+TEST(RngTest, UniformIntHugeRangeStaysInBounds) {
+  Rng rng(6);
+  const uint64_t n = (1ULL << 63) + 12345;  // rejection path is reachable
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.UniformInt(n), n);
+}
 
 TEST(RngTest, DeterministicGivenSeed) {
   Rng a(123), b(123);

@@ -36,7 +36,10 @@ TEST(BoundsTest, IdentityBoundPredictsMeasurement) {
   double predicted = IdentityExpectedError(w, 0.2, x.Scale()).value();
   IdentityMechanism m;
   double measured = 0.0;
-  const int trials = 400;
+  // Re-tuned for the counter-based noise streams (PR 4): 400 trials left
+  // the mean ~3 sigma wide; 1200 brings the ratio comfortably inside the
+  // same 15% window.
+  const int trials = 1200;
   for (int t = 0; t < trials; ++t) {
     auto est = m.Run({x, w, 0.2, &rng, {}});
     measured += *ScaledL2PerQueryError(truth, w.Evaluate(*est), x.Scale()) /

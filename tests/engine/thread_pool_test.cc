@@ -12,6 +12,11 @@
 #include <thread>
 #include <vector>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "src/engine/thread_pool.h"
 
 namespace dpbench {
@@ -111,6 +116,46 @@ TEST(ThreadPoolTest, UnevenTasksStillAllComplete) {
   });
   for (size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1);
 }
+
+#if defined(__linux__)
+TEST(ThreadPoolTest, PinnedWorkersRunOnOneCore) {
+  WorkStealingPool pool(4, /*pin_threads=*/true);
+  // Results first: pinning must not change what runs or where results go.
+  constexpr size_t kTasks = 97;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  std::atomic<int> singleton_masks{0};
+  std::atomic<int> spawned_tasks{0};
+  pool.ParallelForWorker(kTasks, [&](size_t i, size_t worker) {
+    hits[i].fetch_add(1);
+    if (worker == 0) return;  // the calling thread is never pinned
+    spawned_tasks.fetch_add(1);
+    cpu_set_t mask;
+    if (pthread_getaffinity_np(pthread_self(), sizeof(mask), &mask) == 0 &&
+        CPU_COUNT(&mask) == 1) {
+      singleton_masks.fetch_add(1);
+    }
+  });
+  for (size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1);
+  PoolStats stats = pool.stats();
+  EXPECT_LE(stats.workers_pinned, pool.num_threads() - 1);
+  // Pinning is best-effort (a restrictive cpuset can reject the target
+  // core), but when the pool reports full success every spawned worker
+  // must actually be on a singleton affinity mask.
+  if (stats.workers_pinned == pool.num_threads() - 1 &&
+      spawned_tasks.load() > 0) {
+    EXPECT_EQ(singleton_masks.load(), spawned_tasks.load());
+  }
+}
+
+TEST(ThreadPoolTest, UnpinnedPoolReportsZeroPinned) {
+  WorkStealingPool pool(3);
+  std::atomic<int> n{0};
+  pool.ParallelFor(12, [&](size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 12);
+  EXPECT_EQ(pool.stats().workers_pinned, 0u);
+}
+#endif  // defined(__linux__)
 
 TEST(ThreadPoolTest, ConstructDestroyLeaksNoWork) {
   // Pools that never run a job must still shut down cleanly, and repeated

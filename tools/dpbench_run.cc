@@ -127,7 +127,8 @@ int main(int argc, char** argv) {
             << diagnostics.trials_per_second << " trials/s)\n"
             << "pool: " << diagnostics.pool_parallel_jobs << " phases, "
             << diagnostics.pool_tasks_executed << " tasks, "
-            << diagnostics.pool_tasks_stolen << " stolen\n";
+            << diagnostics.pool_tasks_stolen << " stolen, "
+            << diagnostics.pool_workers_pinned << " pinned\n";
   if (!diagnostics.skipped.empty()) {
     std::cout << "skipped combinations:\n";
     for (const SkippedCombo& s : diagnostics.skipped) {

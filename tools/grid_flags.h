@@ -56,7 +56,9 @@ inline const char* GridFlagsHelp() {
       "  --runs=N               runs per vector (default: 5)\n"
       "  --seed=N               master seed (default: 20160626)\n"
       "  --threads=N            worker threads (default: 1; results are\n"
-      "                         identical regardless of thread count)\n";
+      "                         identical regardless of thread count)\n"
+      "  --pin-threads          pin spawned pool workers to cores\n"
+      "                         (Linux, best-effort; never affects results)\n";
 }
 
 namespace grid_flags_internal {
@@ -162,6 +164,8 @@ inline bool ParseGridFlag(const std::string& arg, ExperimentConfig* config,
     uint64_t v;
     if (!ParseU64(value("--threads="), &v)) return bad(value("--threads=")), true;
     config->threads = static_cast<size_t>(v);
+  } else if (arg == "--pin-threads") {
+    config->pin_threads = true;
   } else {
     return false;
   }
