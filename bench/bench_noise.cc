@@ -9,7 +9,9 @@
 //   3. Laplace, per-measurement scales: scalar loop vs the per-scale
 //      FillLaplace overload — the tree-schedule shape (H/HB/GREEDY_H/
 //      QUADTREE node scales).
-//   4. Raw counter output: Philox4x32::FillRaw bandwidth.
+//   4. Gumbel: scalar Gumbel() loop vs Rng::FillGumbel (the exponential
+//      mechanism's block form; same stream positions, FastLog transform).
+//   5. Raw counter output: Philox4x32::FillRaw bandwidth.
 //
 // Before timing, every fill result is checked byte-for-byte against the
 // scalar path (the counter-based stream contract), so the bench doubles
@@ -38,6 +40,11 @@ using bench::NowSeconds;
 // than the per-call loop. The measured margin is well above 2x (see
 // ROADMAP); the gate sits lower so a loaded CI machine does not flake.
 constexpr double kLaplaceSpeedupGate = 1.5;
+
+// The Gumbel fill (exponential-mechanism selection noise, the MWEM/SF hot
+// draw) must beat the scalar Gumbel loop it replaced. Measured ~1.45x
+// (two FastLogs, vectorized); gated lower against CI noise.
+constexpr double kGumbelSpeedupGate = 1.15;
 
 // Keeps the optimizer from deleting the generation loops.
 double Checksum(const std::vector<double>& v) {
@@ -129,6 +136,18 @@ int Main(int argc, char** argv) {
       std::printf("FAIL: per-scale FillLaplace diverges from scalar\n");
       ++failures;
     }
+    // FillGumbel's values are a documented departure from scalar
+    // Gumbel() (midpoint uniform + FastLog), but its *position* contract
+    // — n fill draws consume exactly the stream of n scalar draws — must
+    // hold, or every draw after an exponential-mechanism call shifts.
+    Rng rg(20), rh(20);
+    for (size_t i = 0; i < n; ++i) a[i] = rg.Gumbel();
+    rh.FillGumbel(b.data(), n);
+    if (rg.generator().position() != rh.generator().position()) {
+      std::printf("FAIL: FillGumbel consumes a different stream length "
+                  "than scalar Gumbel\n");
+      ++failures;
+    }
   }
   if (failures > 0) return 1;
 
@@ -174,6 +193,18 @@ int Main(int argc, char** argv) {
   });
   PrintRow("laplace per-scale", scalar_per_scale, batch_per_scale);
 
+  Rng sg(505);
+  Rate scalar_gumbel = Time(n, reps, &sink, [&] {
+    for (size_t i = 0; i < n; ++i) buf[i] = sg.Gumbel();
+    return Checksum(buf);
+  });
+  Rng bg(505);
+  Rate batch_gumbel = Time(n, reps, &sink, [&] {
+    bg.FillGumbel(buf.data(), n);
+    return Checksum(buf);
+  });
+  PrintRow("gumbel", scalar_gumbel, batch_gumbel);
+
   {
     std::vector<uint64_t> raw(n);
     Philox4x32 gen(404);
@@ -194,9 +225,18 @@ int Main(int argc, char** argv) {
                 speedup, kLaplaceSpeedupGate);
     return 1;
   }
-  std::printf("\nOK: fills bit-identical to scalar draws; batched Laplace "
-              "%.2fx over per-call\n",
-              speedup);
+  double gumbel_speedup =
+      scalar_gumbel.ns_per_draw / batch_gumbel.ns_per_draw;
+  if (gumbel_speedup < kGumbelSpeedupGate) {
+    std::printf("\nFAIL: Gumbel fill speedup %.2fx is below the %.2fx "
+                "gate\n",
+                gumbel_speedup, kGumbelSpeedupGate);
+    return 1;
+  }
+  std::printf("\nOK: uniform/Laplace fills bit-identical to scalar "
+              "draws, Gumbel fill position-exact; batched Laplace %.2fx "
+              "over per-call, Gumbel fill %.2fx\n",
+              speedup, gumbel_speedup);
   return 0;
 }
 

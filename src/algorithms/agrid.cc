@@ -9,6 +9,160 @@
 
 namespace dpbench {
 
+namespace {
+
+// Structured AGRID plan. With the scale provided as side information (the
+// benchmark's Table 1 configuration, and the reason the runner keys AGRID
+// plans by scale) the coarse grid size m1 and the level budgets are
+// plan-time constants; without it the scale is estimated per trial with
+// the same 5% slice as the legacy path. Execution mirrors RunImpl
+// draw-for-draw: one scalar level-1 draw per coarse cell followed by one
+// Laplace block for its m2 x m2 level-2 grid, against a scratch
+// prefix-sum table whose corner arithmetic matches PrefixSums::RangeSum.
+class AGridPlan : public MechanismPlan {
+ public:
+  AGridPlan(std::string name, const PlanContext& ctx, double c, double c2,
+            double rho)
+      : MechanismPlan(std::move(name), ctx.domain),
+        c_(c),
+        c2_(c2),
+        rho_(rho),
+        epsilon_(ctx.epsilon),
+        rows_(ctx.domain.size(0)),
+        cols_(ctx.domain.size(1)),
+        side_scale_(ctx.side_info.true_scale) {
+    if (side_scale_.has_value()) {
+      double eps_work = epsilon_;
+      eps1_ = rho_ * eps_work;
+      eps2_ = eps_work - eps1_;
+      m1_ = AGridMechanism::CoarseGridSize(*side_scale_, eps_work, c_);
+      m1_ = std::min({m1_, rows_, cols_});
+      m1_ = std::max<size_t>(m1_, 1);
+    }
+  }
+
+  Result<DataVector> Execute(const ExecContext& ctx) const override {
+    DataVector out;
+    DPB_RETURN_NOT_OK(ExecuteInto(ctx, &out));
+    return out;
+  }
+
+  Status ExecuteInto(const ExecContext& ctx, DataVector* out) const override {
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    ExecScratch local;
+    ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local;
+
+    double eps1 = eps1_, eps2 = eps2_;
+    size_t m1 = m1_;
+    if (!side_scale_.has_value()) {
+      // No public scale: spend 5% estimating it, as in the legacy path.
+      double rho_total = 0.05 * epsilon_;
+      double scale = ctx.data.Scale() + ctx.rng->Laplace(1.0 / rho_total);
+      scale = std::max(scale, 1.0);
+      double eps_work = epsilon_ - rho_total;
+      eps1 = rho_ * eps_work;
+      eps2 = eps_work - eps1;
+      m1 = AGridMechanism::CoarseGridSize(scale, eps_work, c_);
+      m1 = std::min({m1, rows_, cols_});
+      m1 = std::max<size_t>(m1, 1);
+    }
+    if (eps1 <= 0.0 || eps2 <= 0.0) {
+      return Status::InvalidArgument(
+          "LaplaceMechanism: epsilon must be > 0");
+    }
+
+    // The level-2 grid of one coarse cell never exceeds the cell itself.
+    s.y.reserve(rows_ * cols_);
+
+    ComputePrefixSums(ctx.data, &s.prefix);
+    const std::vector<double>& cum = s.prefix;
+    auto range_sum = [&](size_t r0, size_t c0, size_t r1, size_t c1) {
+      return CumRangeSum2D(cum, cols_, r0, c0, r1, c1);
+    };
+
+    PrepareOut(out);
+    std::vector<double>& cells = out->mutable_counts();
+    double var1 = LaplaceVariance(1.0, eps1);
+    double var2 = LaplaceVariance(1.0, eps2);
+
+    auto row_lo = [&](size_t g) { return g * rows_ / m1; };
+    auto col_lo = [&](size_t g) { return g * cols_ / m1; };
+    for (size_t gr = 0; gr < m1; ++gr) {
+      size_t r0 = row_lo(gr), r1 = row_lo(gr + 1) - 1;
+      for (size_t gc = 0; gc < m1; ++gc) {
+        size_t c0 = col_lo(gc), c1 = col_lo(gc + 1) - 1;
+        double truth1 = range_sum(r0, c0, r1, c1);
+        double noisy1 = truth1 + ctx.rng->Laplace(1.0 / eps1);
+
+        // Level-2 subdivision sized by the noisy level-1 count.
+        size_t side_r = r1 - r0 + 1, side_c = c1 - c0 + 1;
+        size_t m2 = AGridMechanism::FineGridSize(noisy1, eps2, c2_);
+        m2 = std::min({m2, side_r, side_c});
+        m2 = std::max<size_t>(m2, 1);
+
+        // Measure the m2 x m2 sub-cells (noise block-filled; the draw
+        // order matches the legacy per-cell scalar draws).
+        std::vector<double>& sub = s.y;
+        sub.resize(m2 * m2);
+        ctx.rng->FillLaplace(sub.data(), m2 * m2, 1.0 / eps2);
+        double sub_sum = 0.0;
+        for (size_t sr = 0; sr < m2; ++sr) {
+          size_t rr0 = r0 + sr * side_r / m2;
+          size_t rr1 = r0 + (sr + 1) * side_r / m2 - 1;
+          for (size_t sc = 0; sc < m2; ++sc) {
+            size_t cc0 = c0 + sc * side_c / m2;
+            size_t cc1 = c0 + (sc + 1) * side_c / m2 - 1;
+            double t = range_sum(rr0, cc0, rr1, cc1);
+            double v = t + sub[sr * m2 + sc];
+            sub[sr * m2 + sc] = v;
+            sub_sum += v;
+          }
+        }
+
+        // Two-level GLS: reconcile the level-1 measurement with the sum
+        // of level-2 measurements, then distribute the residual equally.
+        double cells2 = static_cast<double>(m2 * m2);
+        double w1 = 1.0 / var1, w2 = 1.0 / (cells2 * var2);
+        double combined = (noisy1 * w1 + sub_sum * w2) / (w1 + w2);
+        double residual = (combined - sub_sum) / cells2;
+
+        for (size_t sr = 0; sr < m2; ++sr) {
+          size_t rr0 = r0 + sr * side_r / m2;
+          size_t rr1 = r0 + (sr + 1) * side_r / m2 - 1;
+          for (size_t sc = 0; sc < m2; ++sc) {
+            size_t cc0 = c0 + sc * side_c / m2;
+            size_t cc1 = c0 + (sc + 1) * side_c / m2 - 1;
+            double v = sub[sr * m2 + sc] + residual;
+            double area = static_cast<double>((rr1 - rr0 + 1) *
+                                              (cc1 - cc0 + 1));
+            for (size_t r = rr0; r <= rr1; ++r) {
+              for (size_t c = cc0; c <= cc1; ++c) {
+                cells[r * cols_ + c] = v / area;
+              }
+            }
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  double c_, c2_, rho_;
+  double epsilon_;
+  size_t rows_, cols_;
+  std::optional<double> side_scale_;
+  double eps1_ = 0.0, eps2_ = 0.0;
+  size_t m1_ = 1;
+};
+
+}  // namespace
+
+Result<PlanPtr> AGridMechanism::Plan(const PlanContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  return PlanPtr(new AGridPlan(name(), ctx, c_, c2_, rho_));
+}
+
 size_t AGridMechanism::CoarseGridSize(double scale, double epsilon,
                                       double c) {
   double m = std::sqrt(std::max(scale, 0.0) * epsilon / c) / 2.0;

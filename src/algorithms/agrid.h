@@ -21,6 +21,13 @@ class AGridMechanism : public Mechanism {
   std::string name() const override { return "AGRID"; }
   bool SupportsDims(size_t dims) const override { return dims == 2; }
   bool uses_side_info() const override { return true; }
+
+  /// Structured plan: with side-info scale (the Table 1 configuration)
+  /// the coarse grid size and both budget shares are hoisted; execution
+  /// runs on a scratch prefix-sum table and block-fills each coarse
+  /// cell's level-2 noise.
+  Result<PlanPtr> Plan(const PlanContext& ctx) const override;
+
  protected:
   Result<DataVector> RunImpl(const RunContext& ctx) const override;
 

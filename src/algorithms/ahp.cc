@@ -9,6 +9,166 @@
 
 namespace dpbench {
 
+namespace {
+
+// Structured AHP plan. The pipeline is dimension-agnostic (cells are
+// treated as a flat vector), so one plan covers every dimensionality.
+// Execution mirrors RunImpl draw-for-draw: the AHP* scale-estimate draw,
+// the block-filled noisy counts, std::sort on the same keys, the same
+// greedy clustering (clusters are contiguous ranges of the sorted order,
+// so boundaries replace the per-cluster vectors), and one Laplace block
+// for the cluster measurements.
+class AhpPlan : public MechanismPlan {
+ public:
+  AhpPlan(std::string name, const PlanContext& ctx, bool tuned, double rho,
+          double eta)
+      : MechanismPlan(std::move(name), ctx.domain),
+        epsilon_(ctx.epsilon),
+        tuned_(tuned),
+        rho_(rho),
+        eta_(eta) {}
+
+  Result<DataVector> Execute(const ExecContext& ctx) const override {
+    DataVector out;
+    DPB_RETURN_NOT_OK(ExecuteInto(ctx, &out));
+    return out;
+  }
+
+  Status ExecuteInto(const ExecContext& ctx, DataVector* out) const override {
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    ExecScratch local;
+    ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local;
+    const size_t n = ctx.data.size();
+
+    double rho = rho_, eta = eta_;
+    double eps_work = epsilon_;
+    if (tuned_) {
+      // AHP*: estimate scale with 5% of the budget to select parameters.
+      double rho_total = 0.05 * epsilon_;
+      double noisy_scale =
+          ctx.data.Scale() + ctx.rng->Laplace(1.0 / rho_total);
+      noisy_scale = std::max(noisy_scale, 1.0);
+      std::tie(rho, eta) = AhpMechanism::TunedParams(epsilon_ * noisy_scale);
+      eps_work = epsilon_ - rho_total;
+    }
+    double eps1 = rho * eps_work;
+    double eps2 = eps_work - eps1;
+    if (eps1 <= 0.0 || eps2 <= 0.0) {
+      // Same failure the legacy path reports from its Laplace calls.
+      return Status::InvalidArgument(
+          "LaplaceMechanism: epsilon must be > 0");
+    }
+
+    // Step 1: noisy counts, thresholding, sort, greedy clustering. The
+    // value + threshold passes are fused into the fill consumption.
+    std::vector<double>& noisy = s.noisy;
+    noisy.resize(n);
+    ctx.rng->FillLaplace(noisy.data(), n, 1.0 / eps1);
+    double threshold =
+        eta *
+        std::sqrt(std::log(static_cast<double>(std::max<size_t>(n, 2)))) /
+        eps1;
+    size_t survivors = 0;
+    {
+      const std::vector<double>& counts = ctx.data.counts();
+      for (size_t i = 0; i < n; ++i) {
+        double v = noisy[i] + counts[i];
+        v = v < threshold ? 0.0 : v;
+        noisy[i] = v;
+        survivors += (v != 0.0);
+      }
+    }
+    // The sort order is the deterministic total order (value descending,
+    // index ascending on ties) the legacy path uses. Thresholding zeroed
+    // every sub-threshold cell and kept values are >= threshold > 0, so
+    // the zeros are exactly the tail of that order, already in index
+    // order: sort only the (value, index) pairs of the survivors and
+    // place the zeros behind them — equal to sorting all n cells, at a
+    // fraction of the comparisons (the sort dominated the converted
+    // trial).
+    std::vector<std::pair<double, size_t>>& keyed = s.keyed;
+    keyed.resize(n);
+    {
+      size_t sp = 0, zp = survivors;
+      for (size_t i = 0; i < n; ++i) {
+        double v = noisy[i];
+        keyed[v != 0.0 ? sp : zp] = {v, i};
+        sp += (v != 0.0);
+        zp += (v == 0.0);
+      }
+    }
+    std::sort(keyed.begin(), keyed.begin() + survivors,
+              [](const std::pair<double, size_t>& a,
+                 const std::pair<double, size_t>& b) {
+                return a.first > b.first ||
+                       (a.first == b.first && a.second < b.second);
+              });
+
+    // Greedy clustering over the sorted sequence: extend the current
+    // cluster while the next value stays within the noise tolerance of the
+    // cluster mean; otherwise close it. A cluster is always a contiguous
+    // rank range, so only the (exclusive) end ranks are recorded.
+    double tolerance = 2.0 / eps2;
+    std::vector<size_t>& ends = s.ends;
+    ends.clear();
+    ends.reserve(n);
+    double cur_sum = 0.0;
+    size_t cur_start = 0;
+    for (size_t rank = 0; rank < n; ++rank) {
+      double v = keyed[rank].first;
+      if (rank == cur_start) {
+        cur_sum = v;
+        continue;
+      }
+      double mean = cur_sum / static_cast<double>(rank - cur_start);
+      if (std::abs(v - mean) <= tolerance) {
+        cur_sum += v;
+      } else {
+        ends.push_back(rank);
+        cur_start = rank;
+        cur_sum = v;
+      }
+    }
+    if (n > 0) ends.push_back(n);
+
+    // Step 2: fresh Laplace per cluster total, spread uniformly.
+    const size_t num_clusters = ends.size();
+    s.noise.reserve(n);
+    s.noise.resize(num_clusters);
+    ctx.rng->FillLaplace(s.noise.data(), num_clusters, 1.0 / eps2);
+    PrepareOut(out);
+    std::vector<double>& cells = out->mutable_counts();
+    size_t start = 0;
+    for (size_t b = 0; b < num_clusters; ++b) {
+      double truth = 0.0;
+      for (size_t r = start; r < ends[b]; ++r) {
+        truth += ctx.data[keyed[r].second];
+      }
+      double measured = s.noise[b] + truth;
+      double per_cell =
+          measured / static_cast<double>(ends[b] - start);
+      for (size_t r = start; r < ends[b]; ++r) {
+        cells[keyed[r].second] = per_cell;
+      }
+      start = ends[b];
+    }
+    return Status::OK();
+  }
+
+ private:
+  double epsilon_;
+  bool tuned_;
+  double rho_;
+  double eta_;
+};
+
+}  // namespace
+
+Result<PlanPtr> AhpMechanism::Plan(const PlanContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  return PlanPtr(new AhpPlan(name(), ctx, tuned_, rho_, eta_));
+}
+
 std::pair<double, double> AhpMechanism::TunedParams(
     double eps_scale_product) {
   // Low signal: spend more on clustering and threshold aggressively (noise
@@ -54,8 +214,13 @@ Result<DataVector> AhpMechanism::RunImpl(const RunContext& ctx) const {
   }
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
-            [&](size_t a, size_t b) { return noisy[a] > noisy[b]; });
+  // Deterministic total order: value descending, index ascending on ties
+  // (the thresholding step mass-produces exact-zero ties, and an
+  // implementation-defined tie order would make the result depend on the
+  // sort algorithm).
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return noisy[a] > noisy[b] || (noisy[a] == noisy[b] && a < b);
+  });
 
   // Greedy clustering over the sorted sequence: extend the current cluster
   // while the next value stays within the noise tolerance of the cluster

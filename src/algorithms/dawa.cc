@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/algorithms/greedy_h.h"
+#include "src/algorithms/hier.h"
 #include "src/common/math.h"
 #include "src/histogram/hilbert.h"
 #include "src/mechanisms/budget.h"
@@ -92,6 +93,260 @@ std::vector<size_t> LeastCostPartition(const std::vector<double>& counts,
 }
 
 }  // namespace dawa_internal
+
+namespace {
+
+// Structured DAWA plan. Hoisted at plan time: the budget split and
+// partition penalties, the aligned-dyadic cost-table layout (per-level
+// bucket counts and offsets into one flattened array — a function of the
+// linearized domain size alone), the Hilbert permutation (2D), and the 1D
+// workload's flattened query bounds. Execution mirrors RunImpl
+// draw-for-draw: one Laplace block for the stage-1 noisy view, the same
+// least-cost DP over the same noisy interval costs, and stage 2 through
+// the flat (allocation-free) form of the GREEDY_H bucket pipeline.
+class DawaPlan : public MechanismPlan {
+ public:
+  DawaPlan(std::string name, const PlanContext& ctx, double rho,
+           size_t branching)
+      : MechanismPlan(std::move(name), ctx.domain),
+        branching_(branching),
+        two_d_(ctx.domain.num_dims() == 2),
+        n_(ctx.domain.TotalCells()),
+        linear_domain_(Domain::D1(n_)) {
+    eps1_ = rho * ctx.epsilon;
+    eps2_ = ctx.epsilon - eps1_;
+    cell_noise_ = (eps1_ > 0.0) ? 1.0 / eps1_ : 0.0;
+    constexpr double kSelectionBias = 1.3;
+    per_bucket_ = 1.0 / eps2_ + kSelectionBias * cell_noise_;
+    levels_ = FloorLog2(NextPowerOfTwo(n_)) + 1;
+    // Flattened cost-table layout: level l occupies
+    // [cost_offset_[l], cost_offset_[l + 1]), one slot per aligned bucket.
+    cost_offset_.resize(static_cast<size_t>(levels_) + 1, 0);
+    for (int l = 0; l < levels_; ++l) {
+      size_t len = size_t{1} << l;
+      cost_offset_[static_cast<size_t>(l) + 1] =
+          cost_offset_[static_cast<size_t>(l)] + (n_ + len - 1) / len;
+    }
+    if (two_d_) {
+      // perm_[row-major cell] = Hilbert position; identical to what
+      // HilbertLinearize/Delinearize compute per call. The mechanism only
+      // builds this plan for domains the curve accepts.
+      uint64_t side = ctx.domain.size(0);
+      perm_.reserve(n_);
+      for (uint64_t r = 0; r < side; ++r) {
+        for (uint64_t c = 0; c < side; ++c) {
+          perm_.push_back(HilbertXYToIndex(side, r, c));
+        }
+      }
+    } else {
+      qlo_.reserve(ctx.workload.size());
+      qhi_.reserve(ctx.workload.size());
+      for (const RangeQuery& q : ctx.workload.queries()) {
+        qlo_.push_back(q.lo[0]);
+        qhi_.push_back(q.hi[0]);
+      }
+    }
+  }
+
+  Result<DataVector> Execute(const ExecContext& ctx) const override {
+    DataVector out;
+    DPB_RETURN_NOT_OK(ExecuteInto(ctx, &out));
+    return out;
+  }
+
+  Status ExecuteInto(const ExecContext& ctx, DataVector* out) const override {
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    ExecScratch local;
+    ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local;
+    const size_t n = n_;
+    // Worst-case reserves (partition sizes vary per trial with the noise;
+    // growing on demand would allocate deep into the trial loop).
+    s.tree.Reserve(2 * n, n);
+    s.ends.reserve(n);
+    s.truth.reserve(n);
+    s.answers.reserve(n);
+    s.range_lo.reserve(std::max(qlo_.size(), 2 * n + 2));
+    s.range_hi.reserve(std::max(qhi_.size(), 2 * n + 2));
+
+    // Linearize 2D inputs along the Hilbert curve.
+    const std::vector<double>* counts = &ctx.data.counts();
+    if (two_d_) {
+      if (s.linear.domain() != linear_domain_) {
+        s.linear = DataVector(linear_domain_);
+      }
+      for (size_t i = 0; i < n; ++i) s.linear[perm_[i]] = ctx.data[i];
+      counts = &s.linear.counts();
+    }
+
+    // Stage 1: least-cost partition (dawa_internal::LeastCostPartition
+    // with the cost table flattened into the planned layout).
+    std::vector<double>& noisy = s.noisy;
+    noisy.assign(counts->begin(), counts->end());
+    if (eps1_ > 0.0) {
+      s.noise.resize(n);
+      ctx.rng->FillLaplace(s.noise.data(), n, cell_noise_);
+      for (size_t i = 0; i < n; ++i) noisy[i] += s.noise[i];
+    }
+    // cost[cost_offset_[l] + k] is the noisy L1-deviation cost of the
+    // aligned dyadic interval [k*L, min((k+1)*L, n)) with L = 2^l.
+    std::vector<double>& cost = s.cost;
+    cost.assign(cost_offset_.back(), 0.0);
+    for (int l = 0; l < levels_; ++l) {
+      size_t len = size_t{1} << l;
+      size_t buckets = (n + len - 1) / len;
+      double* level_cost = cost.data() + cost_offset_[static_cast<size_t>(l)];
+      for (size_t k = 0; k < buckets; ++k) {
+        size_t lo = k * len, hi = std::min(lo + len, n);
+        double width = static_cast<double>(hi - lo);
+        double sum = 0.0;
+        for (size_t i = lo; i < hi; ++i) sum += noisy[i];
+        double mean = sum / width;
+        double dev = 0.0;
+        for (size_t i = lo; i < hi; ++i) dev += std::abs(noisy[i] - mean);
+        level_cost[k] = dev;
+      }
+    }
+
+    // DP over prefix positions; interval [j-L, j) is admissible when
+    // aligned.
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double>& best = s.dp;
+    std::vector<size_t>& back = s.back;
+    best.assign(n + 1, kInf);
+    back.assign(n + 1, 0);
+    best[0] = 0.0;
+    for (size_t j = 1; j <= n; ++j) {
+      for (int l = 0; l < levels_; ++l) {
+        size_t len = size_t{1} << l;
+        size_t k = (j - 1) / len;  // aligned bucket containing cell j-1
+        if (std::min((k + 1) * len, n) != j) continue;  // j must end k
+        size_t start = k * len;
+        double cand = best[start] +
+                      cost[cost_offset_[static_cast<size_t>(l)] + k] +
+                      per_bucket_;
+        if (cand < best[j]) {
+          best[j] = cand;
+          back[j] = start;
+        }
+      }
+    }
+
+    // Reconstruct bucket boundaries (exclusive ends).
+    std::vector<size_t>& ends = s.ends;
+    ends.clear();
+    size_t j = n;
+    while (j > 0) {
+      ends.push_back(j);
+      j = back[j];
+    }
+    std::reverse(ends.begin(), ends.end());
+
+    // Bucket totals (true values; measured privately below).
+    const size_t num_buckets = ends.size();
+    std::vector<double>& bucket_counts = s.truth;
+    std::vector<size_t>& cell_bucket = s.bucket_of;
+    bucket_counts.assign(num_buckets, 0.0);
+    cell_bucket.assign(n, 0);
+    size_t start = 0;
+    for (size_t b = 0; b < num_buckets; ++b) {
+      for (size_t i = start; i < ends[b]; ++i) {
+        bucket_counts[b] += (*counts)[i];
+        cell_bucket[i] = b;
+      }
+      start = ends[b];
+    }
+
+    // Stage 2: GREEDY_H over the bucket vector. Workload ranges are
+    // mapped onto bucket indices (1D); 2D uses the dyadic-range proxy.
+    std::vector<size_t>& range_lo = s.range_lo;
+    std::vector<size_t>& range_hi = s.range_hi;
+    range_lo.clear();
+    range_hi.clear();
+    if (!two_d_) {
+      for (size_t q = 0; q < qlo_.size(); ++q) {
+        range_lo.push_back(cell_bucket[qlo_[q]]);
+        range_hi.push_back(cell_bucket[qhi_[q]]);
+      }
+    } else {
+      for (size_t len = 1; len <= num_buckets; len *= 2) {
+        for (size_t p = 0; p + len <= num_buckets && range_lo.size() <= 4096;
+             p += len) {
+          range_lo.push_back(p);
+          range_hi.push_back(p + len - 1);
+        }
+      }
+    }
+    if (range_lo.empty()) {
+      range_lo.push_back(0);
+      range_hi.push_back(num_buckets - 1);
+    }
+    // The flat form of greedy_h_internal::RunOnCounts (bit-identical).
+    hier_internal::FlatRangeTreeBuild(num_buckets, branching_, &s.tree);
+    hier_internal::FlatLevelUsage(s.tree, range_lo.data(), range_hi.data(),
+                                  range_lo.size(), &s.tree.usage,
+                                  &s.tree.stack);
+    // Guarantee the leaf level is measured so every cell has an estimate
+    // even if the workload never touches single cells.
+    if (s.tree.usage.back() <= 0.0) s.tree.usage.back() = 1.0;
+    hier_internal::FlatAllocateBudget(s.tree.usage, eps2_, &s.tree.eps);
+    std::vector<double>& bucket_est = s.answers;
+    bucket_est.resize(num_buckets);
+    DPB_RETURN_NOT_OK(hier_internal::FlatMeasureAndInfer(
+        bucket_counts.data(), num_buckets, s.tree.eps, ctx.rng, &s.tree,
+        bucket_est.data()));
+
+    // Expand buckets uniformly back to cells.
+    PrepareOut(out);
+    std::vector<double>& cells = out->mutable_counts();
+    double* est = cells.data();
+    if (two_d_) {
+      // Stage the linear estimate, then scatter through the permutation
+      // (identical to HilbertDelinearize).
+      if (s.linear_est.domain() != s.linear.domain()) {
+        s.linear_est = DataVector(s.linear.domain());
+      }
+      est = s.linear_est.mutable_counts().data();
+    }
+    start = 0;
+    for (size_t b = 0; b < num_buckets; ++b) {
+      double width = static_cast<double>(ends[b] - start);
+      for (size_t i = start; i < ends[b]; ++i) {
+        est[i] = bucket_est[b] / width;
+      }
+      start = ends[b];
+    }
+    if (two_d_) {
+      for (size_t i = 0; i < n; ++i) cells[i] = s.linear_est[perm_[i]];
+    }
+    return Status::OK();
+  }
+
+ private:
+  size_t branching_;
+  bool two_d_;
+  size_t n_;
+  Domain linear_domain_;
+  double eps1_, eps2_, cell_noise_, per_bucket_;
+  int levels_;
+  std::vector<size_t> cost_offset_;
+  std::vector<size_t> perm_;
+  std::vector<size_t> qlo_, qhi_;
+};
+
+}  // namespace
+
+Result<PlanPtr> DawaMechanism::Plan(const PlanContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  if (ctx.domain.num_dims() == 2) {
+    uint64_t side = ctx.domain.size(0);
+    if (ctx.domain.size(1) != side || !IsPowerOfTwo(side)) {
+      // Domain unsupported by the Hilbert curve: keep the per-call path,
+      // whose linearization reports the precise error.
+      return ReferencePlan(ctx);
+    }
+  }
+  return PlanPtr(new DawaPlan(name(), ctx, rho_, branching_));
+}
 
 Result<DataVector> DawaMechanism::RunImpl(const RunContext& ctx) const {
   DPB_RETURN_NOT_OK(CheckContext(ctx));

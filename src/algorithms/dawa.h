@@ -31,6 +31,14 @@ class DawaMechanism : public Mechanism {
   bool SupportsDims(size_t dims) const override {
     return dims == 1 || dims == 2;
   }
+
+  /// Structured plan: stage-1 cost-table geometry, budget split, Hilbert
+  /// permutation (2D), and the workload's flattened query bounds hoisted;
+  /// execution block-fills the noisy view and runs stage 2 through the
+  /// flat allocation-free range-tree pipeline. Falls back to the
+  /// pass-through reference plan on 2D domains the Hilbert curve rejects.
+  Result<PlanPtr> Plan(const PlanContext& ctx) const override;
+
  protected:
   Result<DataVector> RunImpl(const RunContext& ctx) const override;
 

@@ -62,7 +62,178 @@ double RegionHeterogeneity(const DataVector& noisy, const Region& r) {
   return dev;
 }
 
+// Structured DPCUBE plan for the benchmark's 1D/2D domains. Regions are
+// tracked as flat (row, column) bound quadruples (1D uses a single
+// column), the kd stack and leaf list live in scratch, and both phases
+// block-fill their draws. All region sums iterate cells directly in
+// row-major order — the same arithmetic as DataVector::RangeSum on the
+// legacy path — so results are bit-identical to RunImpl.
+class DpCubePlan : public MechanismPlan {
+ public:
+  DpCubePlan(std::string name, const PlanContext& ctx, double rho,
+             size_t min_cells)
+      : MechanismPlan(std::move(name), ctx.domain),
+        min_cells_(min_cells),
+        rows_(ctx.domain.size(0)),
+        cols_(ctx.domain.num_dims() == 2 ? ctx.domain.size(1) : 1) {
+    eps1_ = rho * ctx.epsilon;
+    eps2_ = ctx.epsilon - eps1_;
+    noise_l1_ = 1.0 / eps1_;  // E|Laplace(1/eps1)|
+  }
+
+  Result<DataVector> Execute(const ExecContext& ctx) const override {
+    DataVector out;
+    DPB_RETURN_NOT_OK(ExecuteInto(ctx, &out));
+    return out;
+  }
+
+  Status ExecuteInto(const ExecContext& ctx, DataVector* out) const override {
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    if (eps1_ <= 0.0 || eps2_ <= 0.0) {
+      return Status::InvalidArgument(
+          "LaplaceMechanism: epsilon must be > 0");
+    }
+    ExecScratch local;
+    ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local;
+    const std::vector<double>& counts = ctx.data.counts();
+    const size_t n = counts.size();
+    // Worst-case reserves: the kd-tree shape varies with the phase-1
+    // noise (at most one leaf per cell).
+    s.tree.Reserve(n, n);
+    s.noise.reserve(n);
+
+    // Phase 1: noisy counts for every cell.
+    std::vector<double>& noisy = s.noisy;
+    noisy.resize(n);
+    ctx.rng->FillLaplace(noisy.data(), n, 1.0 / eps1_);
+    for (size_t i = 0; i < n; ++i) noisy[i] += counts[i];
+
+    // Row-major direct summation, the same cell order (hence the same
+    // floating-point result) as DataVector::RangeSum.
+    auto region_sum = [&](const std::vector<double>& cells, size_t r0,
+                          size_t r1, size_t c0, size_t c1) {
+      double sum = 0.0;
+      for (size_t r = r0; r <= r1; ++r) {
+        for (size_t c = c0; c <= c1; ++c) sum += cells[r * cols_ + c];
+      }
+      return sum;
+    };
+
+    // Build the kd-tree on the noisy counts (pure post-processing). The
+    // stack packs one region per four entries (r0, r1, c0, c1); leaves
+    // accumulate in the scratch tree's bound arrays in pop order,
+    // mirroring the legacy LIFO traversal.
+    std::vector<size_t>& stack = s.tree.stack;
+    stack.assign({0, rows_ - 1, 0, cols_ - 1});
+    std::vector<size_t>& leaf_r0 = s.tree.lo;
+    std::vector<size_t>& leaf_r1 = s.tree.hi;
+    std::vector<size_t>& leaf_c0 = s.tree.lo2;
+    std::vector<size_t>& leaf_c1 = s.tree.hi2;
+    leaf_r0.clear();
+    leaf_r1.clear();
+    leaf_c0.clear();
+    leaf_c1.clear();
+    while (!stack.empty()) {
+      size_t c1 = stack.back();
+      stack.pop_back();
+      size_t c0 = stack.back();
+      stack.pop_back();
+      size_t r1 = stack.back();
+      stack.pop_back();
+      size_t r0 = stack.back();
+      stack.pop_back();
+      size_t cells = (r1 - r0 + 1) * (c1 - c0 + 1);
+      bool splittable = false;
+      if (cells > 1) {
+        // Split when the observed deviation exceeds what phase-1 noise
+        // alone explains; larger regions (above the np floor) split under
+        // a weaker threshold (see RunImpl).
+        double sum = region_sum(noisy, r0, r1, c0, c1);
+        double mean = sum / static_cast<double>(cells);
+        double het = 0.0;
+        for (size_t r = r0; r <= r1; ++r) {
+          for (size_t c = c0; c <= c1; ++c) {
+            het += std::abs(noisy[r * cols_ + c] - mean);
+          }
+        }
+        double base = noise_l1_ * static_cast<double>(cells);
+        splittable =
+            het > 2.0 * base || (cells > min_cells_ && het > base);
+      }
+      if (!splittable) {
+        leaf_r0.push_back(r0);
+        leaf_r1.push_back(r1);
+        leaf_c0.push_back(c0);
+        leaf_c1.push_back(c1);
+        continue;
+      }
+      // Split along the widest dimension at the weighted median of noisy
+      // mass.
+      size_t len_r = r1 - r0 + 1, len_c = c1 - c0 + 1;
+      bool split_rows = len_c <= len_r;  // dim 0 wins ties (WidestDim)
+      size_t lo = split_rows ? r0 : c0;
+      size_t hi = split_rows ? r1 : c1;
+      double total =
+          std::max(region_sum(noisy, r0, r1, c0, c1), 0.0);
+      double half = total / 2.0, acc = 0.0;
+      size_t cut = lo;  // last index of the left part
+      for (size_t i = lo; i < hi; ++i) {
+        double slice = split_rows ? region_sum(noisy, i, i, c0, c1)
+                                  : region_sum(noisy, r0, r1, i, i);
+        acc += std::max(slice, 0.0);
+        cut = i;
+        if (acc >= half) break;
+      }
+      // Push left then right: the right half pops (and measures) first,
+      // exactly like the legacy stack.
+      if (split_rows) {
+        stack.insert(stack.end(), {r0, cut, c0, c1});
+        stack.insert(stack.end(), {cut + 1, r1, c0, c1});
+      } else {
+        stack.insert(stack.end(), {r0, r1, c0, cut});
+        stack.insert(stack.end(), {r0, r1, cut + 1, c1});
+      }
+    }
+
+    // Phase 2: fresh count per leaf; inverse-variance combination of the
+    // two observations, spread uniformly across the leaf.
+    const size_t num_leaves = leaf_r0.size();
+    double var2 = LaplaceVariance(1.0, eps2_);
+    double var1 = LaplaceVariance(1.0, eps1_);
+    s.noise.resize(num_leaves);
+    ctx.rng->FillLaplace(s.noise.data(), num_leaves, 1.0 / eps2_);
+    PrepareOut(out);
+    std::vector<double>& est = out->mutable_counts();
+    for (size_t v = 0; v < num_leaves; ++v) {
+      size_t r0 = leaf_r0[v], r1 = leaf_r1[v];
+      size_t c0 = leaf_c0[v], c1 = leaf_c1[v];
+      double cells = static_cast<double>((r1 - r0 + 1) * (c1 - c0 + 1));
+      double phase1_sum = region_sum(noisy, r0, r1, c0, c1);
+      double truth = region_sum(counts, r0, r1, c0, c1);
+      double phase2_sum = s.noise[v] + truth;
+      double w1 = 1.0 / (cells * var1), w2 = 1.0 / var2;
+      double leaf_total = (phase1_sum * w1 + phase2_sum * w2) / (w1 + w2);
+      double per_cell = leaf_total / cells;
+      for (size_t r = r0; r <= r1; ++r) {
+        for (size_t c = c0; c <= c1; ++c) est[r * cols_ + c] = per_cell;
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  size_t min_cells_;
+  size_t rows_, cols_;
+  double eps1_, eps2_, noise_l1_;
+};
+
 }  // namespace
+
+Result<PlanPtr> DpCubeMechanism::Plan(const PlanContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  if (ctx.domain.num_dims() > 2) return ReferencePlan(ctx);
+  return PlanPtr(new DpCubePlan(name(), ctx, rho_, min_cells_));
+}
 
 Result<DataVector> DpCubeMechanism::RunImpl(const RunContext& ctx) const {
   DPB_RETURN_NOT_OK(CheckContext(ctx));

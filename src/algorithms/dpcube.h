@@ -22,6 +22,13 @@ class DpCubeMechanism : public Mechanism {
 
   std::string name() const override { return "DPCUBE"; }
   bool SupportsDims(size_t) const override { return true; }
+
+  /// Structured plan (1D/2D): budget split and variances hoisted; the
+  /// kd-tree build runs over flat region arrays in scratch and both
+  /// measurement phases block-fill their Laplace draws. Falls back to the
+  /// pass-through reference plan beyond 2D.
+  Result<PlanPtr> Plan(const PlanContext& ctx) const override;
+
  protected:
   Result<DataVector> RunImpl(const RunContext& ctx) const override;
 

@@ -11,6 +11,123 @@
 
 namespace dpbench {
 
+namespace {
+
+// Structured EFPA plan. Everything that depends only on the padded domain
+// size is hoisted: the low-to-high frequency ordering, the per-k Laplace
+// scale lambda_k, and the per-k expected-noise-energy term of the
+// selection score. Execution mirrors RunImpl draw-for-draw: the same
+// orthonormal DFT (in scratch), the same score arithmetic, block-uniform
+// exponential-mechanism selection, and one Laplace block for the 2k
+// retained-coefficient perturbations (real before imaginary, the
+// reference path's documented order).
+class EfpaPlan : public MechanismPlan {
+ public:
+  EfpaPlan(std::string name, const PlanContext& ctx)
+      : MechanismPlan(std::move(name), ctx.domain),
+        true_n_(ctx.domain.TotalCells()),
+        n_(NextPowerOfTwo(true_n_)) {
+    eps1_ = ctx.epsilon / 2.0;
+    eps2_ = ctx.epsilon - eps1_;
+    const double sqrt_n = std::sqrt(static_cast<double>(n_));
+
+    // Frequencies ordered from lowest to highest absolute frequency:
+    // 0, 1, n-1, 2, n-2, ... so retaining a prefix keeps conjugate pairs
+    // together and the reconstruction stays (nearly) real.
+    freq_order_.reserve(n_);
+    freq_order_.push_back(0);
+    for (size_t j = 1; j <= n_ / 2; ++j) {
+      freq_order_.push_back(j);
+      if (j != n_ - j) freq_order_.push_back(n_ - j);
+    }
+
+    // lambda_k = sqrt(2) * k / (sqrt(n) * eps2) and the expected noise
+    // energy 4 k lambda_k^2 of keeping k complex coefficients — the
+    // data-independent half of the selection score.
+    lambda_.resize(n_);
+    noise_energy_.resize(n_);
+    for (size_t k = 1; k <= n_; ++k) {
+      double lambda = std::sqrt(2.0) * static_cast<double>(k) /
+                      (sqrt_n * eps2_);
+      lambda_[k - 1] = lambda;
+      noise_energy_[k - 1] =
+          4.0 * static_cast<double>(k) * lambda * lambda;
+    }
+  }
+
+  Result<DataVector> Execute(const ExecContext& ctx) const override {
+    DataVector out;
+    DPB_RETURN_NOT_OK(ExecuteInto(ctx, &out));
+    return out;
+  }
+
+  Status ExecuteInto(const ExecContext& ctx, DataVector* out) const override {
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    ExecScratch local;
+    ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local;
+    // Worst-case reserve: the retained-coefficient count k is selected
+    // privately per trial, so the noise buffer would otherwise grow (and
+    // allocate) whenever a trial picks a larger k than any before it.
+    s.noise.reserve(2 * n_);
+
+    // Pad to a power of two for the FFT (padding is public geometry).
+    const std::vector<double>& counts = ctx.data.counts();
+    s.avg.assign(counts.begin(), counts.end());
+    s.avg.resize(n_, 0.0);
+    OrthonormalDftInto(s.avg, &s.freq);
+    const std::vector<std::complex<double>>& f = s.freq;
+
+    // Tail energy after keeping the first k ordered coefficients.
+    std::vector<double>& suffix_energy = s.cost;
+    suffix_energy.assign(n_ + 1, 0.0);
+    for (size_t k = n_; k-- > 0;) {
+      double mag = std::abs(f[freq_order_[k]]);
+      suffix_energy[k] = suffix_energy[k + 1] + mag * mag;
+    }
+
+    // Score(k): negative expected L2 reconstruction error.
+    s.scores.resize(n_);
+    for (size_t k = 1; k <= n_; ++k) {
+      s.scores[k - 1] = -std::sqrt(suffix_energy[k] + noise_energy_[k - 1]);
+    }
+    DPB_ASSIGN_OR_RETURN(
+        size_t pick,
+        ExponentialMechanismInto(s.scores.data(), n_, /*sensitivity=*/2.0,
+                                 eps1_, ctx.rng, &s.unif));
+    size_t k = pick + 1;
+
+    // Perturb the k retained coefficients; zero the rest.
+    double lambda = lambda_[pick];
+    s.kept.assign(n_, std::complex<double>(0.0, 0.0));
+    s.noise.resize(2 * k);
+    ctx.rng->FillLaplace(s.noise.data(), 2 * k, lambda);
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = freq_order_[i];
+      s.kept[j] = f[j] + std::complex<double>(s.noise[2 * i],
+                                              s.noise[2 * i + 1]);
+    }
+    OrthonormalIdftRealInto(&s.kept, &s.answers);
+    PrepareOut(out);
+    std::vector<double>& cells = out->mutable_counts();
+    for (size_t i = 0; i < true_n_; ++i) cells[i] = s.answers[i];
+    return Status::OK();
+  }
+
+ private:
+  size_t true_n_, n_;
+  double eps1_, eps2_;
+  std::vector<size_t> freq_order_;
+  std::vector<double> lambda_;
+  std::vector<double> noise_energy_;
+};
+
+}  // namespace
+
+Result<PlanPtr> EfpaMechanism::Plan(const PlanContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  return PlanPtr(new EfpaPlan(name(), ctx));
+}
+
 Result<DataVector> EfpaMechanism::RunImpl(const RunContext& ctx) const {
   DPB_RETURN_NOT_OK(CheckContext(ctx));
   const size_t true_n = ctx.data.size();
@@ -68,8 +185,12 @@ Result<DataVector> EfpaMechanism::RunImpl(const RunContext& ctx) const {
   std::vector<std::complex<double>> kept(n, {0.0, 0.0});
   for (size_t i = 0; i < k; ++i) {
     size_t j = freq_order[i];
-    kept[j] = f[j] + std::complex<double>(ctx.rng->Laplace(lambda),
-                                          ctx.rng->Laplace(lambda));
+    // Explicit draw sequencing (real before imaginary): function-argument
+    // evaluation order is unspecified, and the planned execute path must
+    // consume the stream in a defined order to stay bit-identical.
+    double re = ctx.rng->Laplace(lambda);
+    double im = ctx.rng->Laplace(lambda);
+    kept[j] = f[j] + std::complex<double>(re, im);
   }
   std::vector<double> rec = OrthonormalIdftReal(kept);
   rec.resize(true_n);

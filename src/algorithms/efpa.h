@@ -18,6 +18,13 @@ class EfpaMechanism : public Mechanism {
  public:
   std::string name() const override { return "EFPA"; }
   bool SupportsDims(size_t dims) const override { return dims == 1; }
+
+  /// Structured plan: the frequency ordering, per-k noise scales, and
+  /// per-k noise-energy terms of the selection score are functions of the
+  /// (padded) domain size alone and are hoisted; execution runs the FFTs
+  /// and coefficient perturbation in scratch with one Laplace block.
+  Result<PlanPtr> Plan(const PlanContext& ctx) const override;
+
  protected:
   Result<DataVector> RunImpl(const RunContext& ctx) const override;
 };

@@ -1,5 +1,6 @@
 #include "src/algorithms/greedy_h.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <utility>
@@ -69,6 +70,52 @@ Result<std::vector<double>> RunOnCounts(
 }  // namespace greedy_h_internal
 
 namespace {
+
+// Usage model for the 2D (Hilbert-linearized) strategy: every workload
+// rectangle covers a set of Hilbert-curve positions, and answering it on
+// the linearized domain means summing that set's maximal runs of
+// consecutive positions. Those runs ARE the query's 1D intervals, so
+// decomposing them on the strategy tree gives the true per-level usage —
+// replacing the old dyadic-range proxy, which charged every level
+// uniformly regardless of what the workload actually asks. The curve's
+// locality keeps the run count per rectangle near its perimeter, so the
+// interval set stays small. Plan-time only (O(area log side) per query),
+// and bounded: queries are tallied until an enumeration budget of
+// kMaxUsageCells cells is spent, and any query that would blow the
+// remaining budget is skipped (not a loop exit: later cheap queries
+// still count) — usage is a budget weighting, so a large prefix of the
+// workload serves it, while an unbounded walk of 2000 large rectangles
+// on a big grid would turn a milliseconds plan phase into minutes (it
+// is re-run per epsilon).
+std::vector<std::pair<size_t, size_t>> HilbertWorkloadRanges(
+    const Domain& domain, const Workload& workload) {
+  constexpr size_t kMaxUsageCells = size_t{1} << 22;
+  std::vector<std::pair<size_t, size_t>> ranges;
+  uint64_t side = domain.size(0);
+  std::vector<uint64_t> pos;
+  size_t cells_seen = 0;
+  for (const RangeQuery& q : workload.queries()) {
+    size_t area = (q.hi[0] - q.lo[0] + 1) * (q.hi[1] - q.lo[1] + 1);
+    if (cells_seen + area > kMaxUsageCells) continue;
+    cells_seen += area;
+    pos.clear();
+    for (uint64_t r = q.lo[0]; r <= q.hi[0]; ++r) {
+      for (uint64_t c = q.lo[1]; c <= q.hi[1]; ++c) {
+        pos.push_back(HilbertXYToIndex(side, r, c));
+      }
+    }
+    std::sort(pos.begin(), pos.end());
+    size_t run_start = 0;
+    for (size_t i = 1; i <= pos.size(); ++i) {
+      if (i == pos.size() || pos[i] != pos[i - 1] + 1) {
+        ranges.emplace_back(static_cast<size_t>(pos[run_start]),
+                            static_cast<size_t>(pos[i - 1]));
+        run_start = i;
+      }
+    }
+  }
+  return ranges;
+}
 
 // 2D plan: the strategy tree, budget and GLS coefficients live on the
 // Hilbert-linearized domain (delegated to the planned 1D pipeline);
@@ -176,18 +223,31 @@ Result<PlanPtr> GreedyHMechanism::Plan(const PlanContext& ctx) const {
         name(), ctx.domain, std::move(tree), std::move(eps), ctx.epsilon));
   }
 
-  // 2D: Hilbert-linearize; 2D rectangles do not map to 1D intervals, so we
-  // charge usage uniformly by decomposing the full-domain range per level
-  // (equivalent to H-with-allocation on the linearized domain).
+  // 2D: Hilbert-linearize. Usage comes from the workload itself: each 2D
+  // rectangle's linearized form is its set of maximal Hilbert runs, and
+  // decomposing those runs on the tree tallies exactly the nodes the
+  // linearized query consumes. Domains the curve rejects (non-square or
+  // non-power-of-two sides, surfaced as an execution error, as before)
+  // and empty workloads keep the old dyadic-range proxy so the budget
+  // stays well-defined.
   std::vector<std::pair<size_t, size_t>> ranges;
   size_t n = ctx.domain.TotalCells();
-  // Use a spread of dyadic ranges as a usage proxy for spatial queries.
-  for (size_t len = 1; len <= n; len *= 2) {
-    for (size_t start = 0; start + len <= n; start += len) {
-      ranges.emplace_back(start, start + len - 1);
+  uint64_t side = ctx.domain.size(0);
+  // Workloads on another domain (callers planning with a placeholder) fall
+  // back to the proxy: their query bounds mean nothing on this grid.
+  if (ctx.domain.size(1) == side && IsPowerOfTwo(side) &&
+      ctx.workload.domain() == ctx.domain) {
+    ranges = HilbertWorkloadRanges(ctx.domain, ctx.workload);
+  }
+  if (ranges.empty()) {
+    // Fallback: a spread of dyadic ranges as a usage proxy.
+    for (size_t len = 1; len <= n; len *= 2) {
+      for (size_t start = 0; start + len <= n; start += len) {
+        ranges.emplace_back(start, start + len - 1);
+        if (ranges.size() > 4096) break;
+      }
       if (ranges.size() > 4096) break;
     }
-    if (ranges.size() > 4096) break;
   }
   auto [tree, eps] =
       greedy_h_internal::PlanOnRanges(n, ranges, branching_, ctx.epsilon);

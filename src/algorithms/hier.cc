@@ -1,5 +1,7 @@
 #include "src/algorithms/hier.h"
 
+#include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <utility>
 
@@ -35,6 +37,134 @@ Result<std::vector<double>> MeasureAndInfer(
     }
   }
   return tree.Infer(y, variance);
+}
+
+void FlatRangeTreeBuild(size_t n, size_t branching, FlatTreeScratch* s) {
+  DPB_CHECK_GE(n, 1u);
+  DPB_CHECK_GE(branching, 2u);
+  s->lo.assign(1, 0);
+  s->hi.assign(1, n - 1);
+  s->first_child.assign(1, 0);
+  s->child_count.assign(1, 0);
+  s->level.assign(1, 0);
+  // BFS expansion, appending each node's children as a consecutive block —
+  // identical node numbering to RangeTree::Build.
+  for (size_t v = 0; v < s->lo.size(); ++v) {
+    size_t lo = s->lo[v], hi = s->hi[v];
+    int level = s->level[v];
+    size_t len = hi - lo + 1;
+    if (len == 1) continue;
+    size_t parts = std::min(branching, len);
+    size_t base = len / parts, extra = len % parts;
+    size_t start = lo;
+    s->first_child[v] = s->lo.size();
+    s->child_count[v] = parts;
+    for (size_t p = 0; p < parts; ++p) {
+      size_t plen = base + (p < extra ? 1 : 0);
+      s->lo.push_back(start);
+      s->hi.push_back(start + plen - 1);
+      s->first_child.push_back(0);
+      s->child_count.push_back(0);
+      s->level.push_back(level + 1);
+      start += plen;
+    }
+  }
+  s->num_nodes = s->lo.size();
+  int max_level = 0;
+  for (size_t v = 0; v < s->num_nodes; ++v) {
+    max_level = std::max(max_level, s->level[v]);
+  }
+  s->num_levels = max_level + 1;
+}
+
+void FlatLevelUsage(const FlatTreeScratch& s, const size_t* range_lo,
+                    const size_t* range_hi, size_t num_ranges,
+                    std::vector<double>* usage, std::vector<size_t>* stack) {
+  usage->assign(static_cast<size_t>(s.num_levels), 0.0);
+  for (size_t i = 0; i < num_ranges; ++i) {
+    size_t lo = range_lo[i], hi = range_hi[i];
+    stack->assign(1, 0);
+    while (!stack->empty()) {
+      size_t v = stack->back();
+      stack->pop_back();
+      if (s.lo[v] >= lo && s.hi[v] <= hi) {
+        (*usage)[static_cast<size_t>(s.level[v])] += 1.0;
+        continue;
+      }
+      if (s.hi[v] < lo || s.lo[v] > hi) continue;
+      for (size_t c = s.first_child[v];
+           c < s.first_child[v] + s.child_count[v]; ++c) {
+        stack->push_back(c);
+      }
+    }
+  }
+}
+
+void FlatAllocateBudget(const std::vector<double>& usage, double epsilon,
+                        std::vector<double>* eps) {
+  // Weights are staged in *eps and rescaled in place; every operand and
+  // operation order matches AllocateBudget, so budgets are bit-identical.
+  eps->assign(usage.size(), 0.0);
+  std::vector<double>& weights = *eps;
+  double total_w = 0.0;
+  for (size_t l = 0; l < usage.size(); ++l) {
+    if (usage[l] > 0.0) {
+      weights[l] = std::cbrt(usage[l]);
+      total_w += weights[l];
+    }
+  }
+  if (total_w <= 0.0) {
+    // Degenerate workload: measure leaves only.
+    weights.back() = 1.0;
+    total_w = 1.0;
+  }
+  for (size_t l = 0; l < usage.size(); ++l) {
+    weights[l] = epsilon * weights[l] / total_w;
+  }
+}
+
+Status FlatMeasureAndInfer(const double* counts, size_t n,
+                           const std::vector<double>& eps_per_level,
+                           Rng* rng, FlatTreeScratch* s, double* cells_out) {
+  if (eps_per_level.size() != static_cast<size_t>(s->num_levels)) {
+    return Status::InvalidArgument("per-level budget arity mismatch");
+  }
+  const size_t nodes = s->num_nodes;
+  // Prefix sums for O(1) true node counts.
+  s->prefix.assign(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) s->prefix[i + 1] = s->prefix[i] + counts[i];
+  // Measurement schedule: flat index order is BFS order is level order —
+  // the same noise-draw order as MeasureAndInfer on the built tree.
+  s->y.assign(nodes, 0.0);
+  s->variance.assign(nodes, kUnmeasured);
+  s->meas_node.clear();
+  s->meas_scale.clear();
+  for (size_t v = 0; v < nodes; ++v) {
+    double eps = eps_per_level[static_cast<size_t>(s->level[v])];
+    if (eps <= 0.0) continue;
+    s->meas_node.push_back(v);
+    s->meas_scale.push_back(1.0 / eps);
+    s->variance[v] = LaplaceVariance(1.0, eps);
+  }
+  const size_t m = s->meas_node.size();
+  s->noise.resize(m);
+  rng->FillLaplace(s->noise.data(), s->meas_scale.data(), m);
+  for (size_t k = 0; k < m; ++k) {
+    size_t v = s->meas_node[k];
+    double truth = s->prefix[s->hi[v] + 1] - s->prefix[s->lo[v]];
+    s->y[v] = truth + s->noise[k];
+  }
+  FlatTreeGlsInfer(nodes, s->first_child.data(), s->child_count.data(),
+                   s->y.data(), s->variance.data(), &s->z, &s->s,
+                   &s->node_est);
+  for (size_t v = 0; v < nodes; ++v) {
+    if (s->child_count[v] != 0) continue;
+    size_t len = s->hi[v] - s->lo[v] + 1;
+    for (size_t c = s->lo[v]; c <= s->hi[v]; ++c) {
+      cells_out[c] = s->node_est[v] / static_cast<double>(len);
+    }
+  }
+  return Status::OK();
 }
 
 RangeTreePlan::RangeTreePlan(std::string name, Domain domain,

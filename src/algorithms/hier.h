@@ -118,6 +118,44 @@ Result<PlanPtr> HydrateRangeTreePlan(const std::string& mechanism_name,
                                      const PlanContext& ctx,
                                      const PlanPayload& payload);
 
+// --- Flat (allocation-free) forms of the dynamic 1D hierarchy pipeline.
+//
+// DAWA's stage 2 and SF's within-bucket histograms build a fresh RangeTree
+// per trial because its size depends on the data (and on stage-1 noise).
+// These forms run the identical pipeline — same topology, same budget
+// arithmetic, same noise-draw order, same GLS — in a caller-owned
+// FlatTreeScratch, so the trial loop performs no heap allocations in the
+// steady state (buffer capacity only grows). Results are bit-identical to
+// the RangeTree-based path.
+
+/// Mirror of RangeTree::Build(n, branching) into s's flat arrays
+/// (lo/hi/first_child/child_count/level, num_nodes, num_levels). Children
+/// of every node are consecutive indices, in BFS order, exactly as
+/// RangeTree::Build numbers them.
+void FlatRangeTreeBuild(size_t n, size_t branching, FlatTreeScratch* s);
+
+/// Mirror of greedy_h_internal::LevelUsage: per-level count of
+/// canonical-decomposition nodes of each [range_lo[i], range_hi[i]] on the
+/// flat tree (DFS instead of BFS — the per-level tallies are identical).
+void FlatLevelUsage(const FlatTreeScratch& s, const size_t* range_lo,
+                    const size_t* range_hi, size_t num_ranges,
+                    std::vector<double>* usage, std::vector<size_t>* stack);
+
+/// Mirror of greedy_h_internal::AllocateBudget into *eps (reusing
+/// capacity): identical weights, total, and division order, hence
+/// bit-identical budgets.
+void FlatAllocateBudget(const std::vector<double>& usage, double epsilon,
+                        std::vector<double>* eps);
+
+/// Mirror of MeasureAndInfer on the flat tree: measures every node of a
+/// level with positive budget (level order == flat index order, the same
+/// noise-draw order) through one per-scale Laplace block fill, infers
+/// node values with FlatTreeGlsInfer, and expands leaves into
+/// cells_out[0..n). The eps_per_level arity must match s->num_levels.
+Status FlatMeasureAndInfer(const double* counts, size_t n,
+                           const std::vector<double>& eps_per_level,
+                           Rng* rng, FlatTreeScratch* s, double* cells_out);
+
 }  // namespace hier_internal
 
 }  // namespace dpbench

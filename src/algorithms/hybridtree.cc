@@ -1,5 +1,6 @@
 #include "src/algorithms/hybridtree.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/algorithms/tree_inference.h"
@@ -18,7 +19,193 @@ struct HNode {
   bool kd;  // node split privately (kd phase) vs fixed quadtree phase
 };
 
+// Structured HYBRIDTREE plan. Hoisted: the budget split, the per-kd-level
+// epsilon, and the geometric level weights 2^(l/3) up to the height cap.
+// The tree build — private kd splits on top, fixed quadrants below —
+// appends nodes to flat scratch arrays in the same order as the legacy
+// HNode vector (BFS, children consecutive), so the flat GLS applies.
+// Execution mirrors RunImpl draw-for-draw: block-uniform split selection
+// per kd node and one per-scale Laplace block for all node counts,
+// against a scratch prefix-sum table matching PrefixSums::RangeSum.
+class HybridTreePlan : public MechanismPlan {
+ public:
+  HybridTreePlan(std::string name, const PlanContext& ctx, size_t kd_levels,
+                 size_t max_height, double rho)
+      : MechanismPlan(std::move(name), ctx.domain),
+        kd_levels_(kd_levels),
+        max_height_(max_height),
+        rows_(ctx.domain.size(0)),
+        cols_(ctx.domain.size(1)) {
+    eps_kd_ = rho * ctx.epsilon;
+    eps_counts_ = ctx.epsilon - eps_kd_;
+    eps_per_kd_level_ =
+        eps_kd_ / static_cast<double>(std::max<size_t>(kd_levels_, 1));
+    // Geometric budget allocation weights over levels for the counts; the
+    // realized depth (hence the normalizer) is data-dependent. The root
+    // level always exists even under a zero height cap.
+    weight_.resize(std::max<size_t>(max_height_, 1));
+    for (size_t l = 0; l < weight_.size(); ++l) {
+      weight_[l] = std::pow(2.0, static_cast<double>(l) / 3.0);
+    }
+  }
+
+  Result<DataVector> Execute(const ExecContext& ctx) const override {
+    DataVector out;
+    DPB_RETURN_NOT_OK(ExecuteInto(ctx, &out));
+    return out;
+  }
+
+  Status ExecuteInto(const ExecContext& ctx, DataVector* out) const override {
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    ExecScratch local;
+    ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local;
+    // Worst-case reserves: the kd cuts move per trial, so node counts and
+    // candidate-cut sets vary (leaves partition the grid, hence < 2n
+    // nodes; a cut search scans at most the longer side).
+    const size_t cells_total = rows_ * cols_;
+    s.tree.Reserve(2 * cells_total, cells_total);
+    size_t max_cuts = std::max(rows_, cols_);
+    s.scores.reserve(max_cuts);
+    s.order.reserve(max_cuts);
+    s.unif.reserve(max_cuts);
+
+    ComputePrefixSums(ctx.data, &s.prefix);
+    const std::vector<double>& cum = s.prefix;
+    auto range_sum = [&](size_t r0, size_t c0, size_t r1, size_t c1) {
+      return CumRangeSum2D(cum, cols_, r0, c0, r1, c1);
+    };
+
+    FlatTreeScratch& t = s.tree;
+    t.lo.assign(1, 0);
+    t.hi.assign(1, rows_ - 1);
+    t.lo2.assign(1, 0);
+    t.hi2.assign(1, cols_ - 1);
+    t.first_child.assign(1, 0);
+    t.child_count.assign(1, 0);
+    t.level.assign(1, 0);
+    t.flag.assign(1, 1);  // kd phase
+    int depth = 0;
+    for (size_t v = 0; v < t.lo.size(); ++v) {
+      size_t r0 = t.lo[v], r1 = t.hi[v];
+      size_t c0 = t.lo2[v], c1 = t.hi2[v];
+      int level = t.level[v];
+      bool kd = t.flag[v] != 0;
+      depth = std::max(depth, level);
+      if (static_cast<size_t>(level) + 1 >= max_height_) continue;
+      size_t h = r1 - r0 + 1, w = c1 - c0 + 1;
+      if (h == 1 && w == 1) continue;
+
+      if (kd && static_cast<size_t>(level) < kd_levels_) {
+        // kd phase: split the wider side at a privately chosen position.
+        // Score favors balanced mass: -|left count - right count|,
+        // sensitivity 1.
+        bool split_rows = h >= w && h > 1;
+        size_t lo = split_rows ? r0 : c0;
+        size_t hi = split_rows ? r1 : c1;
+        s.scores.clear();
+        s.order.clear();  // candidate cut positions
+        for (size_t cut = lo; cut < hi; ++cut) {
+          double left = split_rows ? range_sum(r0, c0, cut, c1)
+                                   : range_sum(r0, c0, r1, cut);
+          double total = range_sum(r0, c0, r1, c1);
+          s.scores.push_back(-std::abs(2.0 * left - total));
+          s.order.push_back(cut);
+        }
+        DPB_ASSIGN_OR_RETURN(
+            size_t pick,
+            ExponentialMechanismInto(s.scores.data(), s.scores.size(), 1.0,
+                                     eps_per_kd_level_, ctx.rng, &s.unif));
+        size_t cut = s.order[pick];
+        size_t li = t.lo.size();
+        t.first_child[v] = li;
+        t.child_count[v] = 2;
+        for (int child = 0; child < 2; ++child) {
+          t.lo.push_back(split_rows && child == 1 ? cut + 1 : r0);
+          t.hi.push_back(split_rows && child == 0 ? cut : r1);
+          t.lo2.push_back(!split_rows && child == 1 ? cut + 1 : c0);
+          t.hi2.push_back(!split_rows && child == 0 ? cut : c1);
+          t.first_child.push_back(0);
+          t.child_count.push_back(0);
+          t.level.push_back(level + 1);
+          t.flag.push_back(1);
+        }
+        continue;
+      }
+
+      // Quadtree phase: fixed quadrant split.
+      size_t rmid = r0 + (h - 1) / 2;
+      size_t cmid = c0 + (w - 1) / 2;
+      t.first_child[v] = t.lo.size();
+      for (int qr = 0; qr < 2; ++qr) {
+        if (qr == 1 && rmid + 1 > r1) continue;
+        for (int qc = 0; qc < 2; ++qc) {
+          if (qc == 1 && cmid + 1 > c1) continue;
+          t.lo.push_back(qr == 0 ? r0 : rmid + 1);
+          t.hi.push_back(qr == 0 ? rmid : r1);
+          t.lo2.push_back(qc == 0 ? c0 : cmid + 1);
+          t.hi2.push_back(qc == 0 ? cmid : c1);
+          t.first_child.push_back(0);
+          t.child_count.push_back(0);
+          t.level.push_back(level + 1);
+          t.flag.push_back(0);
+          ++t.child_count[v];
+        }
+      }
+    }
+    const size_t num_nodes = t.lo.size();
+    int levels = depth + 1;
+
+    // Geometric budget allocation over the realized levels.
+    double total_w = 0.0;
+    for (int l = 0; l < levels; ++l) {
+      total_w += weight_[static_cast<size_t>(l)];
+    }
+    t.y.resize(num_nodes);
+    t.variance.resize(num_nodes);
+    t.meas_scale.resize(num_nodes);
+    for (size_t v = 0; v < num_nodes; ++v) {
+      double e =
+          eps_counts_ * weight_[static_cast<size_t>(t.level[v])] / total_w;
+      t.y[v] = range_sum(t.lo[v], t.lo2[v], t.hi[v], t.hi2[v]);
+      t.meas_scale[v] = 1.0 / e;
+      t.variance[v] = LaplaceVariance(1.0, e);
+    }
+    t.noise.resize(num_nodes);
+    ctx.rng->FillLaplace(t.noise.data(), t.meas_scale.data(), num_nodes);
+    for (size_t v = 0; v < num_nodes; ++v) t.y[v] += t.noise[v];
+    FlatTreeGlsInfer(num_nodes, t.first_child.data(), t.child_count.data(),
+                     t.y.data(), t.variance.data(), &t.z, &t.s,
+                     &t.node_est);
+
+    PrepareOut(out);
+    std::vector<double>& cells = out->mutable_counts();
+    for (size_t v = 0; v < num_nodes; ++v) {
+      if (t.child_count[v] != 0) continue;
+      double area = static_cast<double>((t.hi[v] - t.lo[v] + 1) *
+                                        (t.hi2[v] - t.lo2[v] + 1));
+      for (size_t r = t.lo[v]; r <= t.hi[v]; ++r) {
+        for (size_t c = t.lo2[v]; c <= t.hi2[v]; ++c) {
+          cells[r * cols_ + c] = t.node_est[v] / area;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  size_t kd_levels_, max_height_;
+  size_t rows_, cols_;
+  double eps_kd_, eps_counts_, eps_per_kd_level_;
+  std::vector<double> weight_;
+};
+
 }  // namespace
+
+Result<PlanPtr> HybridTreeMechanism::Plan(const PlanContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  return PlanPtr(new HybridTreePlan(name(), ctx, kd_levels_, max_height_,
+                                    rho_));
+}
 
 Result<DataVector> HybridTreeMechanism::RunImpl(const RunContext& ctx) const {
   DPB_RETURN_NOT_OK(CheckContext(ctx));

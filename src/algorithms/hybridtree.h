@@ -21,6 +21,14 @@ class HybridTreeMechanism : public Mechanism {
 
   std::string name() const override { return "HYBRIDTREE"; }
   bool SupportsDims(size_t dims) const override { return dims == 2; }
+
+  /// Structured plan: budget split, per-level kd budget and geometric
+  /// level weights hoisted; the private kd/quadtree build runs over flat
+  /// node arrays in scratch with block-uniform split selection, the
+  /// counts use one per-scale Laplace block, and consistency runs through
+  /// the flat allocation-free GLS.
+  Result<PlanPtr> Plan(const PlanContext& ctx) const override;
+
  protected:
   Result<DataVector> RunImpl(const RunContext& ctx) const override;
 

@@ -143,9 +143,13 @@ class PassThroughPlan : public MechanismPlan {
   SideInfo side_info_;
 };
 
-Result<PlanPtr> Mechanism::Plan(const PlanContext& ctx) const {
+Result<PlanPtr> Mechanism::ReferencePlan(const PlanContext& ctx) const {
   DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
   return PlanPtr(new PassThroughPlan(this, ctx));
+}
+
+Result<PlanPtr> Mechanism::Plan(const PlanContext& ctx) const {
+  return ReferencePlan(ctx);
 }
 
 Result<DataVector> Mechanism::Run(const RunContext& ctx) const {

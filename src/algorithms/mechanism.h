@@ -15,19 +15,33 @@
 // Budget is tracked through BudgetAccountant so end-to-end privacy
 // (Principle 5) is enforced mechanically.
 //
-// Data-dependent algorithms (DAWA, MWEM, ...) cannot precompute anything
-// useful; they implement RunImpl() and inherit a pass-through plan that
-// defers all work to execution. Data-independent algorithms override
-// Plan() with a real plan and need no RunImpl.
+// Data-dependent algorithms (DAWA, MWEM, ...) cannot precompute their
+// *measurements*, but plenty of their per-trial work is data-independent:
+// workload query layouts, partition cost-table geometry, grid/tree
+// layouts, budget splits, Fourier coefficient orderings. Each of them
+// overrides Plan() with a structured plan hoisting that state out of the
+// trial loop and executing through the same scratch-arena ExecuteInto
+// pipeline as the data-independent family. They keep RunImpl() as the
+// one-shot reference implementation: ReferencePlan() wraps it in the
+// legacy pass-through plan, which the converted pipelines are verified
+// against draw-for-draw. Data-dependent plans hold only state derivable
+// from the PlanContext, so the runner's in-process plan cache (keyed by
+// algorithm/domain/epsilon[/scale]) can share them across datasets and
+// samples like any other plan — but they never serialize into
+// cross-process plan caches (SerializePayload stays NotSupported), since
+// re-planning them is cheap and their execution remains data-dependent.
 #ifndef DPBENCH_ALGORITHMS_MECHANISM_H_
 #define DPBENCH_ALGORITHMS_MECHANISM_H_
 
+#include <complex>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/algorithms/tree_inference.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/histogram/data_vector.h"
@@ -84,6 +98,35 @@ struct ExecScratch {
   std::vector<double> noise;     ///< block-filled Laplace noise (Rng fills)
   DataVector linear;             ///< Hilbert-linearized input (GREEDY_H 2D)
   DataVector linear_est;         ///< estimate on the linearized domain
+
+  // --- data-dependent execution (MWEM/DAWA/AHP/PHP/SF/EFPA/DPCUBE/
+  // AGRID/HYBRIDTREE). As above, names are a convention: any plan may use
+  // any buffer as long as nested execution does not clobber live state.
+  std::vector<double> scores;    ///< exponential-mechanism scores
+  std::vector<double> unif;      ///< uniform block for Gumbel-max selection
+  std::vector<double> truth;     ///< true workload answers / bucket totals
+  std::vector<double> answers;   ///< per-round answers / bucket estimates
+  std::vector<double> avg;       ///< MWEM iterate average / padded input
+  std::vector<double> noisy;     ///< noisy data view (DAWA/AHP/DPCUBE)
+  std::vector<double> prefix_sq; ///< prefix sums of squares (SF)
+  std::vector<double> cost;      ///< interval cost table / tail energies
+  std::vector<double> dp;        ///< DAWA least-cost DP values
+  std::vector<size_t> order;     ///< sort permutation / candidate positions
+  std::vector<size_t> starts;    ///< partition bucket starts
+  std::vector<size_t> ends;      ///< partition bucket ends (exclusive)
+  std::vector<size_t> back;      ///< DP backpointers / split cut positions
+  std::vector<size_t> bucket_of; ///< cell -> bucket map / split bucket ids
+  std::vector<size_t> range_lo;  ///< mapped workload range lows
+  std::vector<size_t> range_hi;  ///< mapped workload range highs
+  std::vector<std::complex<double>> freq;  ///< EFPA spectrum
+  std::vector<std::complex<double>> kept;  ///< EFPA retained coefficients
+  /// (key, index) pairs for sorts whose comparator reads only the key:
+  /// sorting pairs is cache-friendlier than an index sort chasing the key
+  /// array, and the comparison oracle — hence the permutation, including
+  /// tie placement — is identical (AHP's noisy-count ordering).
+  std::vector<std::pair<double, size_t>> keyed;
+  DataVector synth;              ///< MWEM synthetic estimate
+  FlatTreeScratch tree;          ///< dynamic measurement-tree workspace
 };
 
 /// Data-dependent inputs consumed at execution time.
@@ -223,6 +266,14 @@ class Mechanism {
   /// context (wrong producer, kind, epsilon, or geometry).
   virtual Result<PlanPtr> HydratePlan(const PlanContext& ctx,
                                       const PlanPayload& payload) const;
+
+  /// Builds the legacy pass-through plan (defer everything to RunImpl),
+  /// regardless of any structured Plan() override. This is the reference
+  /// implementation the converted data-dependent ExecuteInto pipelines
+  /// are verified against draw-for-draw, and the fallback structured
+  /// plans return for geometries they do not cover (e.g. MWEM/DPCUBE
+  /// beyond 2D). Fails for mechanisms without a RunImpl.
+  Result<PlanPtr> ReferencePlan(const PlanContext& ctx) const;
 
   /// Executes the algorithm under epsilon-DP; returns the estimate x-hat.
   /// Thin wrapper: builds a plan and executes it once.

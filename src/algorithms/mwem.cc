@@ -19,7 +19,153 @@ std::vector<double> EvalAll(const Workload& w, const Domain& domain,
   return w.Evaluate(v);
 }
 
+// Structured MWEM plan. Data-independent state hoisted out of the trial
+// loop: the flattened query bounds of the workload (so the multiplicative
+// update walks plain arrays instead of chasing RangeQuery vectors), the
+// budget split, and the round count of the untuned variant. Execution
+// mirrors RunImpl draw-for-draw: the same scale-estimate draw (MWEM*),
+// one block-uniform exponential-mechanism selection plus one Laplace
+// measurement per round, evaluated against the scratch synthetic estimate
+// with the workload's prefix-sum plan.
+class MwemPlan : public MechanismPlan {
+ public:
+  MwemPlan(std::string name, const PlanContext& ctx, bool tuned,
+           size_t default_rounds)
+      : MechanismPlan(std::move(name), ctx.domain),
+        workload_(&ctx.workload),
+        epsilon_(ctx.epsilon),
+        side_info_(ctx.side_info),
+        tuned_(tuned),
+        default_rounds_(default_rounds),
+        cols_(ctx.domain.num_dims() == 2 ? ctx.domain.size(1) : 0) {
+    const std::vector<RangeQuery>& qs = ctx.workload.queries();
+    qlo0_.reserve(qs.size());
+    qhi0_.reserve(qs.size());
+    if (cols_ > 0) {
+      qlo1_.reserve(qs.size());
+      qhi1_.reserve(qs.size());
+    }
+    for (const RangeQuery& q : qs) {
+      qlo0_.push_back(q.lo[0]);
+      qhi0_.push_back(q.hi[0]);
+      if (cols_ > 0) {
+        qlo1_.push_back(q.lo[1]);
+        qhi1_.push_back(q.hi[1]);
+      }
+    }
+  }
+
+  Result<DataVector> Execute(const ExecContext& ctx) const override {
+    DataVector out;
+    DPB_RETURN_NOT_OK(ExecuteInto(ctx, &out));
+    return out;
+  }
+
+  Status ExecuteInto(const ExecContext& ctx, DataVector* out) const override {
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    ExecScratch local;
+    ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local;
+    const size_t n = ctx.data.size();
+    const size_t num_q = qlo0_.size();
+
+    double scale_estimate = 0.0;
+    size_t rounds = default_rounds_;
+    if (tuned_) {
+      // MWEM*: spend 5% estimating scale, then choose T from the schedule.
+      double rho_total = 0.05 * epsilon_;
+      scale_estimate =
+          ctx.data.Scale() + ctx.rng->Laplace(1.0 / rho_total);
+      scale_estimate = std::max(scale_estimate, 1.0);
+      rounds = MwemMechanism::TunedRounds(epsilon_ * scale_estimate);
+    } else {
+      // Original MWEM: the scale is public side information.
+      scale_estimate = side_info_.true_scale.value_or(ctx.data.Scale());
+      if (scale_estimate <= 0.0) scale_estimate = 1.0;
+    }
+    double eps_rounds = tuned_ ? epsilon_ - 0.05 * epsilon_ : epsilon_;
+    double eps_t = eps_rounds / static_cast<double>(rounds);
+
+    // True workload answers (accessed only through DP mechanisms below).
+    workload_->EvaluateInto(ctx.data, &s.prefix, &s.truth);
+
+    // Current synthetic estimate, kept as counts summing to scale_estimate.
+    if (s.synth.domain() != domain()) s.synth = DataVector(domain());
+    std::vector<double>& est = s.synth.mutable_counts();
+    est.assign(n, scale_estimate / static_cast<double>(n));
+    s.avg.assign(n, 0.0);
+
+    for (size_t t = 0; t < rounds; ++t) {
+      workload_->EvaluateInto(s.synth, &s.prefix, &s.answers);
+      // Select the worst-approximated query. Score sensitivity is 1 (a
+      // range count changes by at most 1 when one record changes).
+      s.scores.resize(num_q);
+      for (size_t q = 0; q < num_q; ++q) {
+        s.scores[q] = std::abs(s.truth[q] - s.answers[q]);
+      }
+      DPB_ASSIGN_OR_RETURN(
+          size_t chosen,
+          ExponentialMechanismInto(s.scores.data(), num_q,
+                                   /*sensitivity=*/1.0, eps_t / 2.0,
+                                   ctx.rng, &s.unif));
+      double measured =
+          s.truth[chosen] + ctx.rng->Laplace(1.0 / (eps_t / 2.0));
+
+      // Multiplicative weights update on cells inside the chosen query.
+      double err = measured - s.answers[chosen];
+      double factor = std::exp(err / (2.0 * scale_estimate));
+      if (cols_ == 0) {
+        for (size_t i = qlo0_[chosen]; i <= qhi0_[chosen]; ++i) {
+          est[i] *= factor;
+        }
+      } else {
+        for (size_t r = qlo0_[chosen]; r <= qhi0_[chosen]; ++r) {
+          for (size_t c = qlo1_[chosen]; c <= qhi1_[chosen]; ++c) {
+            est[r * cols_ + c] *= factor;
+          }
+        }
+      }
+      // Renormalize to the (noisy) scale; the averaging pass is fused in
+      // (same per-element operations, one pass fewer over the cells).
+      double sum = 0.0;
+      for (double v : est) sum += v;
+      if (sum > 0.0) {
+        double norm = scale_estimate / sum;
+        for (size_t i = 0; i < n; ++i) {
+          est[i] *= norm;
+          s.avg[i] += est[i];
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) s.avg[i] += est[i];
+      }
+    }
+    PrepareOut(out);
+    std::vector<double>& cells = out->mutable_counts();
+    for (size_t i = 0; i < n; ++i) {
+      cells[i] = s.avg[i] / static_cast<double>(rounds);
+    }
+    return Status::OK();
+  }
+
+ private:
+  const Workload* workload_;
+  double epsilon_;
+  SideInfo side_info_;
+  bool tuned_;
+  size_t default_rounds_;
+  size_t cols_;  // 0 for 1D
+  std::vector<size_t> qlo0_, qhi0_, qlo1_, qhi1_;
+};
+
 }  // namespace
+
+Result<PlanPtr> MwemMechanism::Plan(const PlanContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  if (ctx.domain.num_dims() > 2) return ReferencePlan(ctx);
+  if (ctx.workload.size() == 0) {
+    return Status::InvalidArgument("MWEM requires a non-empty workload");
+  }
+  return PlanPtr(new MwemPlan(name(), ctx, tuned_, default_rounds_));
+}
 
 size_t MwemMechanism::TunedRounds(double eps_scale_product) {
   // Learned schedule: stronger signal (larger eps*scale) supports more

@@ -23,7 +23,120 @@ double DevCost(const std::vector<double>& counts, size_t lo, size_t hi) {
   return dev;
 }
 
+// Structured PHP plan. Hoisted: the iteration cap (a function of the
+// domain size), the budget split, and the per-iteration epsilon.
+// Execution mirrors RunImpl draw-for-draw: identical DevCost arithmetic
+// over the same candidate cuts, block-uniform exponential-mechanism
+// selection per iteration, and one Laplace block for the final bucket
+// measurements. The partition boundary vectors live in scratch with
+// capacity reserved up front, so the mid-vector inserts never allocate.
+class PhpPlan : public MechanismPlan {
+ public:
+  PhpPlan(std::string name, const PlanContext& ctx, double rho,
+          size_t candidates)
+      : MechanismPlan(std::move(name), ctx.domain),
+        candidates_(candidates) {
+    const size_t n = ctx.domain.TotalCells();
+    eps1_ = rho * ctx.epsilon;
+    eps2_ = ctx.epsilon - eps1_;
+    max_iters_ =
+        static_cast<size_t>(std::max(FloorLog2(std::max<size_t>(n, 2)), 1));
+    eps_iter_ = eps1_ / static_cast<double>(max_iters_);
+  }
+
+  Result<DataVector> Execute(const ExecContext& ctx) const override {
+    DataVector out;
+    DPB_RETURN_NOT_OK(ExecuteInto(ctx, &out));
+    return out;
+  }
+
+  Status ExecuteInto(const ExecContext& ctx, DataVector* out) const override {
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    if (eps2_ <= 0.0) {
+      return Status::InvalidArgument(
+          "LaplaceMechanism: epsilon must be > 0");
+    }
+    ExecScratch local;
+    ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local;
+    const std::vector<double>& counts = ctx.data.counts();
+    const size_t n = counts.size();
+    // Worst-case reserves: the candidate set varies with the partition.
+    s.scores.reserve(n);
+    s.bucket_of.reserve(n);
+    s.back.reserve(n);
+    s.unif.reserve(n);
+    s.noise.reserve(max_iters_ + 1);
+
+    // Partition as sorted bucket boundaries (exclusive ends).
+    std::vector<size_t>& starts = s.starts;
+    std::vector<size_t>& ends = s.ends;
+    starts.reserve(max_iters_ + 1);
+    ends.reserve(max_iters_ + 1);
+    starts.assign(1, 0);
+    ends.assign(1, n);
+
+    for (size_t iter = 0; iter < max_iters_; ++iter) {
+      // Candidate splits across all buckets: (bucket, position) pairs with
+      // score = cost reduction. Subsample positions per bucket.
+      s.scores.clear();
+      s.bucket_of.clear();  // candidate bucket index
+      s.back.clear();       // candidate cut position
+      for (size_t b = 0; b < ends.size(); ++b) {
+        size_t lo = starts[b], hi = ends[b];
+        if (hi - lo < 2) continue;
+        double parent_cost = DevCost(counts, lo, hi);
+        size_t width = hi - lo;
+        size_t step = std::max<size_t>(1, width / candidates_);
+        for (size_t cut = lo + step; cut < hi; cut += step) {
+          double child_cost =
+              DevCost(counts, lo, cut) + DevCost(counts, cut, hi);
+          s.scores.push_back(parent_cost - child_cost);
+          s.bucket_of.push_back(b);
+          s.back.push_back(cut);
+        }
+      }
+      if (s.scores.empty()) break;
+      // Deviation-cost sensitivity is 2 (one record moves the
+      // mean-absolute deviation of each side by at most 1 each).
+      DPB_ASSIGN_OR_RETURN(
+          size_t pick,
+          ExponentialMechanismInto(s.scores.data(), s.scores.size(), 2.0,
+                                   eps_iter_, ctx.rng, &s.unif));
+      size_t bucket = s.bucket_of[pick], cut = s.back[pick];
+      // Insert the cut (capacity reserved above; no allocation).
+      starts.insert(starts.begin() + bucket + 1, cut);
+      ends.insert(ends.begin() + bucket, cut);
+    }
+
+    // Measure buckets and spread uniformly.
+    const size_t num_buckets = ends.size();
+    s.noise.resize(num_buckets);
+    ctx.rng->FillLaplace(s.noise.data(), num_buckets, 1.0 / eps2_);
+    PrepareOut(out);
+    std::vector<double>& cells = out->mutable_counts();
+    for (size_t b = 0; b < num_buckets; ++b) {
+      size_t lo = starts[b], hi = ends[b];
+      double truth = 0.0;
+      for (size_t i = lo; i < hi; ++i) truth += counts[i];
+      double noisy = s.noise[b] + truth;
+      double width = static_cast<double>(hi - lo);
+      for (size_t i = lo; i < hi; ++i) cells[i] = noisy / width;
+    }
+    return Status::OK();
+  }
+
+ private:
+  size_t candidates_;
+  double eps1_, eps2_, eps_iter_;
+  size_t max_iters_;
+};
+
 }  // namespace
+
+Result<PlanPtr> PhpMechanism::Plan(const PlanContext& ctx) const {
+  DPB_RETURN_NOT_OK(CheckPlanContext(ctx));
+  return PlanPtr(new PhpPlan(name(), ctx, rho_, candidates_));
+}
 
 Result<DataVector> PhpMechanism::RunImpl(const RunContext& ctx) const {
   DPB_RETURN_NOT_OK(CheckContext(ctx));

@@ -25,6 +25,12 @@ class PhpMechanism : public Mechanism {
 
   std::string name() const override { return "PHP"; }
   bool SupportsDims(size_t dims) const override { return dims == 1; }
+
+  /// Structured plan: iteration cap and budget split hoisted; split search
+  /// runs in scratch buffers with block-uniform exponential-mechanism
+  /// selection and one Laplace block for the bucket measurements.
+  Result<PlanPtr> Plan(const PlanContext& ctx) const override;
+
  protected:
   Result<DataVector> RunImpl(const RunContext& ctx) const override;
 

@@ -26,6 +26,13 @@ class SfMechanism : public Mechanism {
   std::string name() const override { return "SF"; }
   bool SupportsDims(size_t dims) const override { return dims == 1; }
   bool uses_side_info() const override { return true; }
+
+  /// Structured plan: bucket count, budget schedule, and (with side-info
+  /// scale) the score sensitivity hoisted; the split search runs on
+  /// scratch prefix-sum tables with block-uniform selection, and the
+  /// within-bucket hierarchies use the flat allocation-free tree pipeline.
+  Result<PlanPtr> Plan(const PlanContext& ctx) const override;
+
  protected:
   Result<DataVector> RunImpl(const RunContext& ctx) const override;
 

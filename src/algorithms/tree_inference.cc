@@ -115,6 +115,97 @@ Result<std::vector<double>> TreeGlsInfer(
   return est;
 }
 
+void FlatTreeGlsInfer(size_t num_nodes, const size_t* first_child,
+                      const size_t* child_count, const double* y,
+                      const double* variance, std::vector<double>* z_buf,
+                      std::vector<double>* s_buf,
+                      std::vector<double>* est_buf) {
+  const size_t n = num_nodes;
+  DPB_CHECK_GE(n, 1u);
+  z_buf->assign(n, 0.0);
+  s_buf->assign(n, kUnmeasured);
+  est_buf->assign(n, 0.0);
+  std::vector<double>& z = *z_buf;
+  std::vector<double>& s = *s_buf;
+  std::vector<double>& est = *est_buf;
+
+  // Bottom-up pass: aggregate subtree estimates. BFS order == index order
+  // for these trees, so reverse index order visits children before
+  // parents; every branch mirrors TreeGlsInfer's Agg recursion.
+  for (size_t v = n; v-- > 0;) {
+    double own_y = y[v];
+    double own_s = variance[v];
+    size_t begin = first_child[v], end = begin + child_count[v];
+    if (begin == end) {
+      z[v] = std::isinf(own_s) ? 0.0 : own_y;
+      s[v] = own_s;
+      continue;
+    }
+    double zc = 0.0, sc = 0.0;
+    bool child_inf = false;
+    for (size_t c = begin; c < end; ++c) {
+      if (std::isinf(s[c])) {
+        child_inf = true;
+      } else {
+        zc += z[c];
+        sc += s[c];
+      }
+    }
+    if (child_inf) {
+      // Children sum is uninformative; fall back to the own measurement.
+      z[v] = std::isinf(own_s) ? 0.0 : own_y;
+      s[v] = own_s;
+      continue;
+    }
+    if (std::isinf(own_s)) {
+      z[v] = zc;
+      s[v] = sc;
+    } else if (sc <= 0.0) {
+      // Children exact: they dominate.
+      z[v] = zc;
+      s[v] = 0.0;
+    } else {
+      double w_own = 1.0 / own_s;
+      double w_kids = 1.0 / sc;
+      z[v] = (own_y * w_own + zc * w_kids) / (w_own + w_kids);
+      s[v] = 1.0 / (w_own + w_kids);
+    }
+  }
+
+  // Top-down pass: enforce consistency, distributing residuals.
+  est[0] = z[0];
+  for (size_t v = 0; v < n; ++v) {
+    size_t begin = first_child[v], end = begin + child_count[v];
+    if (begin == end) continue;
+    double child_sum = 0.0;
+    double var_sum = 0.0;
+    size_t num_inf = 0;
+    for (size_t c = begin; c < end; ++c) {
+      child_sum += z[c];
+      if (std::isinf(s[c])) {
+        ++num_inf;
+      } else {
+        var_sum += s[c];
+      }
+    }
+    double residual = est[v] - child_sum;
+    for (size_t c = begin; c < end; ++c) {
+      if (num_inf > 0) {
+        // Residual absorbed entirely (and equally) by unconstrained
+        // children.
+        est[c] = z[c] + (std::isinf(s[c])
+                             ? residual / static_cast<double>(num_inf)
+                             : 0.0);
+      } else if (var_sum <= 0.0) {
+        // All children exact; split residual equally (residual ~ 0).
+        est[c] = z[c] + residual / static_cast<double>(end - begin);
+      } else {
+        est[c] = z[c] + residual * (s[c] / var_sum);
+      }
+    }
+  }
+}
+
 Result<PlannedTreeGls> PlannedTreeGls::Build(
     const std::vector<MeasurementNode>& nodes, size_t root) {
   if (root >= nodes.size()) {

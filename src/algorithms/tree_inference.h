@@ -107,6 +107,87 @@ class PlannedTreeGls {
   size_t root_ = 0;
 };
 
+/// Capacity-reusing workspace for per-trial *dynamic* measurement trees —
+/// trees whose topology depends on the data or on earlier noise draws
+/// (DAWA's bucket hierarchy, SF's within-bucket trees, HYBRIDTREE's kd
+/// phase) and therefore cannot be planned once. The flat arrays hold a
+/// tree in BFS order (node 0 is the root, parents precede children, each
+/// node's children occupy the consecutive index range
+/// [first_child[v], first_child[v] + child_count[v])), which is exactly
+/// the order the builders in this codebase append nodes in. Buffers are
+/// assign()ed each trial, so in the steady state the trial loop performs
+/// no heap allocations (capacity only grows toward the per-cell maximum).
+struct FlatTreeScratch {
+  // Topology: inclusive bounds per node (lo2/hi2 carry the second
+  // dimension for 2D trees), CSR-style consecutive children, level, and a
+  // per-node marker (e.g. HYBRIDTREE's kd-phase flag).
+  std::vector<size_t> lo, hi;
+  std::vector<size_t> lo2, hi2;
+  std::vector<size_t> first_child;
+  std::vector<size_t> child_count;
+  std::vector<int> level;
+  std::vector<char> flag;
+  // Measurement state: per-node noisy values and variances, the compact
+  // schedule of measured nodes with their per-draw noise scales, and the
+  // block-filled draws.
+  std::vector<double> y, variance, noise;
+  std::vector<double> meas_scale;
+  std::vector<size_t> meas_node;
+  // GLS pass buffers and per-level budget work space.
+  std::vector<double> z, s, node_est;
+  std::vector<double> usage, eps;
+  std::vector<double> prefix;
+  std::vector<size_t> stack;
+  size_t num_nodes = 0;
+  int num_levels = 0;
+
+  /// Reserves every buffer for trees of up to `max_nodes` nodes over up
+  /// to `max_cells` cells. Dynamic trees vary in size from trial to
+  /// trial, so capacity grown on demand would still allocate occasionally
+  /// deep into the trial loop; plans call this once per execution with
+  /// their worst-case bound (any tree whose leaves partition n cells has
+  /// at most 2n - 1 nodes; the kd/quad hybrids stay under that too) to
+  /// make the steady state allocation-free from the first trial on.
+  void Reserve(size_t max_nodes, size_t max_cells) {
+    lo.reserve(max_nodes);
+    hi.reserve(max_nodes);
+    lo2.reserve(max_nodes);
+    hi2.reserve(max_nodes);
+    first_child.reserve(max_nodes);
+    child_count.reserve(max_nodes);
+    level.reserve(max_nodes);
+    flag.reserve(max_nodes);
+    y.reserve(max_nodes);
+    variance.reserve(max_nodes);
+    noise.reserve(max_nodes);
+    meas_scale.reserve(max_nodes);
+    meas_node.reserve(max_nodes);
+    z.reserve(max_nodes);
+    s.reserve(max_nodes);
+    node_est.reserve(max_nodes);
+    stack.reserve(4 * max_nodes);
+    prefix.reserve(max_cells + 1);
+    // Levels are logarithmic in the cell count; 64 covers any size_t.
+    usage.reserve(64);
+    eps.reserve(64);
+  }
+};
+
+/// Allocation-free TreeGlsInfer over a flat BFS-ordered tree (see
+/// FlatTreeScratch): children of node v are
+/// children [first_child[v], first_child[v] + child_count[v]). Because
+/// nodes are in BFS order with parents first, the traversal order is the
+/// index order, and the two passes mirror TreeGlsInfer's arithmetic
+/// operation for operation — results are bit-identical to TreeGlsInfer on
+/// the equivalent MeasurementNode array. `z_buf`/`s_buf` hold the
+/// bottom-up accumulators, `est_buf` receives the node estimates; all
+/// three are fully overwritten (capacity reuse).
+void FlatTreeGlsInfer(size_t num_nodes, const size_t* first_child,
+                      const size_t* child_count, const double* y,
+                      const double* variance, std::vector<double>* z_buf,
+                      std::vector<double>* s_buf,
+                      std::vector<double>* est_buf);
+
 /// A complete hierarchy over a 1D range of n cells with branching factor b:
 /// leaves are single cells in order; internal nodes own contiguous ranges.
 /// Helper used by H, HB, GREEDY_H, DAWA and SF.

@@ -38,28 +38,42 @@ void Fft(std::vector<std::complex<double>>* a, bool inverse) {
   }
 }
 
-std::vector<std::complex<double>> OrthonormalDft(
-    const std::vector<double>& x) {
+void OrthonormalDftInto(const std::vector<double>& x,
+                        std::vector<std::complex<double>>* f) {
   size_t n = x.size();
   DPB_CHECK(IsPowerOfTwo(n));
-  std::vector<std::complex<double>> a(n);
+  f->assign(n, std::complex<double>());
+  std::vector<std::complex<double>>& a = *f;
   for (size_t i = 0; i < n; ++i) a[i] = x[i];
   Fft(&a, /*inverse=*/false);
   double norm = 1.0 / std::sqrt(static_cast<double>(n));
   for (auto& c : a) c *= norm;
+}
+
+std::vector<std::complex<double>> OrthonormalDft(
+    const std::vector<double>& x) {
+  std::vector<std::complex<double>> a;
+  OrthonormalDftInto(x, &a);
   return a;
+}
+
+void OrthonormalIdftRealInto(std::vector<std::complex<double>>* f,
+                             std::vector<double>* out) {
+  size_t n = f->size();
+  DPB_CHECK(IsPowerOfTwo(n));
+  std::vector<std::complex<double>>& a = *f;
+  double norm = std::sqrt(static_cast<double>(n));
+  for (auto& c : a) c *= norm;
+  Fft(&a, /*inverse=*/true);
+  out->resize(n);
+  for (size_t i = 0; i < n; ++i) (*out)[i] = a[i].real();
 }
 
 std::vector<double> OrthonormalIdftReal(
     const std::vector<std::complex<double>>& f) {
-  size_t n = f.size();
-  DPB_CHECK(IsPowerOfTwo(n));
   std::vector<std::complex<double>> a = f;
-  double norm = std::sqrt(static_cast<double>(n));
-  for (auto& c : a) c *= norm;
-  Fft(&a, /*inverse=*/true);
-  std::vector<double> out(n);
-  for (size_t i = 0; i < n; ++i) out[i] = a[i].real();
+  std::vector<double> out;
+  OrthonormalIdftRealInto(&a, &out);
   return out;
 }
 

@@ -20,6 +20,17 @@ std::vector<std::complex<double>> OrthonormalDft(
 std::vector<double> OrthonormalIdftReal(
     const std::vector<std::complex<double>>& f);
 
+/// Allocation-free form of OrthonormalDft: builds the spectrum in *f,
+/// reusing its capacity. Values are bit-identical to OrthonormalDft.
+void OrthonormalDftInto(const std::vector<double>& x,
+                        std::vector<std::complex<double>>* f);
+
+/// Allocation-free form of OrthonormalIdftReal: transforms *f in place
+/// (destroying it) and writes the real parts into *out, reusing its
+/// capacity. Values are bit-identical to OrthonormalIdftReal.
+void OrthonormalIdftRealInto(std::vector<std::complex<double>>* f,
+                             std::vector<double>* out);
+
 }  // namespace dpbench
 
 #endif  // DPBENCH_COMMON_FFT_H_

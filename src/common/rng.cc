@@ -300,6 +300,32 @@ double Rng::Gumbel() {
   return -std::log(-std::log(u));
 }
 
+void Rng::FillGumbel(double* out, size_t n) {
+  uint64_t raw[kFillChunk];
+  size_t i = 0;
+  while (i < n) {
+    size_t chunk = std::min(n - i, kFillChunk);
+    gen_.FillRaw(raw, chunk);
+    double* o = out + i;
+    // Two passes with one FastLogImpl each: a single loop with both logs
+    // defeats GCC's if-conversion (the blend inside FastLogImpl is only
+    // if-converted once per body), leaving the whole transform scalar.
+    // The midpoint uniform u = (k + 0.5) * 2^-53 is strictly inside
+    // (0, 1), so no log(0) guard (another conditional) is needed, and
+    // both log arguments stay positive normals: -log(u) lies in
+    // [2^-54, 37.4].
+    for (size_t j = 0; j < chunk; ++j) {
+      double u =
+          (static_cast<double>(raw[j] >> 11) + 0.5) * 0x1.0p-53;
+      o[j] = -FastLogImpl(u);
+    }
+    for (size_t j = 0; j < chunk; ++j) {
+      o[j] = -FastLogImpl(o[j]);
+    }
+    i += chunk;
+  }
+}
+
 double Rng::Normal(double mean, double stddev) {
   return std::normal_distribution<double>(mean, stddev)(gen_);
 }

@@ -158,6 +158,18 @@ class Rng {
   /// Standard Gumbel(0,1) sample, used by the Gumbel-max trick.
   double Gumbel();
 
+  /// Writes n standard Gumbel(0,1) samples through the deterministic
+  /// FastLog transform -FastLog(-FastLog(u)) with the midpoint uniform
+  /// u = (k + 0.5) * 2^-53 (strictly inside (0,1), so the transform needs
+  /// no log(0) guard and stays branch-free and auto-vectorizable, like
+  /// the Laplace fills). Consumes exactly the stream positions of n
+  /// Uniform() draws. The values differ from n scalar Gumbel() calls (the
+  /// midpoint offset plus FastLog vs libm log): the exponential mechanism
+  /// draws its per-candidate noise through this fill, a documented
+  /// value-family change of the selection streams when it was
+  /// introduced.
+  void FillGumbel(double* out, size_t n);
+
   /// Standard normal sample.
   double Normal(double mean = 0.0, double stddev = 1.0);
 

@@ -62,6 +62,17 @@ class DataVector {
 /// (workload evaluation and grid-tree measurement in the trial hot loop).
 void ComputePrefixSums(const DataVector& x, std::vector<double>* cum);
 
+/// Range sum over a 2D cumulative table built by ComputePrefixSums
+/// ((rows+1) x (cols+1) row-major), inclusive bounds per dimension. The
+/// corner order matches PrefixSums::RangeSum exactly, so callers holding
+/// the table in scratch (AGRID, HYBRIDTREE) get bit-identical sums.
+inline double CumRangeSum2D(const std::vector<double>& cum, size_t cols,
+                            size_t r0, size_t c0, size_t r1, size_t c1) {
+  size_t stride = cols + 1;
+  return cum[(r1 + 1) * stride + (c1 + 1)] - cum[r0 * stride + (c1 + 1)] -
+         cum[(r1 + 1) * stride + c0] + cum[r0 * stride + c0];
+}
+
 /// Cumulative (prefix-sum) view of a DataVector enabling O(2^k) range sums.
 /// Supports 1D and 2D (the dimensionalities DPBench evaluates).
 class PrefixSums {

@@ -2,10 +2,11 @@
 
 namespace dpbench {
 
-Result<size_t> ExponentialMechanism(const std::vector<double>& scores,
-                                    double sensitivity, double epsilon,
-                                    Rng* rng) {
-  if (scores.empty()) {
+Result<size_t> ExponentialMechanismInto(const double* scores, size_t n,
+                                        double sensitivity, double epsilon,
+                                        Rng* rng,
+                                        std::vector<double>* unif_scratch) {
+  if (n == 0) {
     return Status::InvalidArgument("ExponentialMechanism: empty score set");
   }
   if (epsilon <= 0.0 || sensitivity <= 0.0) {
@@ -13,18 +14,32 @@ Result<size_t> ExponentialMechanism(const std::vector<double>& scores,
         "ExponentialMechanism: epsilon and sensitivity must be > 0");
   }
   // Gumbel-max: argmax_i (eps * s_i / (2*sens) + G_i) has exactly the
-  // exponential-mechanism distribution.
+  // exponential-mechanism distribution. The per-candidate Gumbels come
+  // from one vectorized block fill (same stream positions as n scalar
+  // draws; FastLog transform — selection cost is log-bound, and the two
+  // libm logs per candidate dominated MWEM's rounds before this).
+  unif_scratch->resize(n);
+  rng->FillGumbel(unif_scratch->data(), n);
+  const double* g = unif_scratch->data();
   double coef = epsilon / (2.0 * sensitivity);
   size_t best = 0;
-  double best_val = scores[0] * coef + rng->Gumbel();
-  for (size_t i = 1; i < scores.size(); ++i) {
-    double v = scores[i] * coef + rng->Gumbel();
+  double best_val = scores[0] * coef + g[0];
+  for (size_t i = 1; i < n; ++i) {
+    double v = scores[i] * coef + g[i];
     if (v > best_val) {
       best_val = v;
       best = i;
     }
   }
   return best;
+}
+
+Result<size_t> ExponentialMechanism(const std::vector<double>& scores,
+                                    double sensitivity, double epsilon,
+                                    Rng* rng) {
+  std::vector<double> unif;
+  return ExponentialMechanismInto(scores.data(), scores.size(), sensitivity,
+                                  epsilon, rng, &unif);
 }
 
 }  // namespace dpbench

@@ -19,6 +19,19 @@ Result<size_t> ExponentialMechanism(const std::vector<double>& scores,
                                     double sensitivity, double epsilon,
                                     Rng* rng);
 
+/// Allocation-free block form: draws the per-candidate Gumbel noise from
+/// one vectorized Rng::FillGumbel block staged in *unif_scratch (reusing
+/// its capacity) instead of n scalar Gumbel() round-trips. Consumes the
+/// rng stream identically to the vector form — one 64-bit draw per
+/// candidate, in index order — and the vector form delegates here, so
+/// the two forms select bit-identically on the same stream. This is the
+/// form MWEM's per-round selection and the split searches of
+/// PHP/SF/HYBRIDTREE use.
+Result<size_t> ExponentialMechanismInto(const double* scores, size_t n,
+                                        double sensitivity, double epsilon,
+                                        Rng* rng,
+                                        std::vector<double>* unif_scratch);
+
 }  // namespace dpbench
 
 #endif  // DPBENCH_MECHANISMS_EXPONENTIAL_H_

@@ -1,0 +1,197 @@
+// The data-dependent conversion contract: every structured plan of the
+// data-dependent family (MWEM, AHP, DAWA, PHP, EFPA, SF, DPCUBE, AGRID,
+// HYBRIDTREE and the tuned variants) executes bit-identically to the
+// legacy pass-through plan (ReferencePlan -> RunImpl) on the same rng
+// stream — the converted pipelines consume draws in exactly the legacy
+// order, so no golden value anywhere in the suite moves. Also verified:
+// scratch-based ExecuteInto leaves no state behind between trials, and
+// the structured plans are real precomputed plans.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/algorithms/mechanism.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+namespace {
+
+DataVector TestData1D(size_t n) {
+  DataVector x(Domain::D1(n));
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>((i * 37) % 11 + (i % 5 == 0 ? 40 : 0));
+  }
+  return x;
+}
+
+DataVector TestData2D(size_t side) {
+  DataVector x(Domain::D2(side, side));
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>((i * 13) % 7 + (i % 9 == 0 ? 25 : 0));
+  }
+  return x;
+}
+
+struct Case {
+  std::string algorithm;
+  size_t dims;
+  bool with_side_info;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = info.param.algorithm;
+  for (char& c : name) {
+    if (c == '*') c = 'S';  // gtest test names must be alphanumeric
+  }
+  name += info.param.dims == 1 ? "_1D" : "_2D";
+  name += info.param.with_side_info ? "_SideInfo" : "_NoSideInfo";
+  return name;
+}
+
+class DataDependentPlanTest : public ::testing::TestWithParam<Case> {
+ protected:
+  void SetUp() override {
+    const Case& c = GetParam();
+    x_ = c.dims == 1 ? TestData1D(64) : TestData2D(16);
+    workload_ = c.dims == 1
+                    ? Workload::Prefix1D(x_.size())
+                    : Workload::RandomRange(x_.domain(), 50, 7);
+    mech_ = MechanismRegistry::Get(c.algorithm).value();
+    if (c.with_side_info) side_.true_scale = x_.Scale();
+  }
+
+  PlanContext Ctx() const { return {x_.domain(), workload_, 0.5, side_}; }
+
+  DataVector x_;
+  Workload workload_;
+  MechanismPtr mech_;
+  SideInfo side_;
+};
+
+// The converted pipeline must match the legacy one draw-for-draw: same
+// stream in, bit-identical estimate out — for the allocating Execute()
+// and for the scratch ExecuteInto() alike.
+TEST_P(DataDependentPlanTest, ExecuteMatchesReferenceBitForBit) {
+  auto plan = mech_->Plan(Ctx());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto reference = mech_->ReferencePlan(Ctx());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  for (uint64_t seed : {1u, 42u, 20160626u}) {
+    Rng rng_ref(seed);
+    auto want = (*reference)->Execute({x_, &rng_ref});
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+    Rng rng_exec(seed);
+    auto got = (*plan)->Execute({x_, &rng_exec});
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(want->size(), got->size());
+    for (size_t i = 0; i < want->size(); ++i) {
+      ASSERT_EQ((*want)[i], (*got)[i])
+          << GetParam().algorithm << " seed " << seed << " cell " << i;
+    }
+
+    Rng rng_into(seed);
+    ExecScratch scratch;
+    DataVector est;
+    ASSERT_TRUE(
+        (*plan)->ExecuteInto({x_, &rng_into, &scratch}, &est).ok());
+    ASSERT_EQ(want->size(), est.size());
+    for (size_t i = 0; i < want->size(); ++i) {
+      ASSERT_EQ((*want)[i], est[i])
+          << GetParam().algorithm << " scratch, seed " << seed << " cell "
+          << i;
+    }
+  }
+}
+
+// Reusing one scratch arena and one output slot across trials must not
+// leak state: every trial is bit-identical to a fresh execution.
+TEST_P(DataDependentPlanTest, ScratchCarriesNoStateAcrossTrials) {
+  auto plan = mech_->Plan(Ctx());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  ExecScratch scratch;
+  DataVector est;
+  // One continuous stream across trials, like the runner's trial loop.
+  Rng rng_shared(99);
+  Rng rng_fresh(99);
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_TRUE(
+        (*plan)->ExecuteInto({x_, &rng_shared, &scratch}, &est).ok());
+    auto want = (*plan)->Execute({x_, &rng_fresh});
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(want->size(), est.size());
+    for (size_t i = 0; i < want->size(); ++i) {
+      ASSERT_EQ((*want)[i], est[i])
+          << GetParam().algorithm << " trial " << t << " cell " << i;
+    }
+  }
+}
+
+// The structured plans are real precomputed plans (cache-worthy), but
+// stay out of cross-process plan caches: their execution is
+// data-dependent, so SerializePayload remains unsupported.
+TEST_P(DataDependentPlanTest, PrecomputedButNeverSerialized) {
+  auto plan = mech_->Plan(Ctx());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE((*plan)->precomputed()) << GetParam().algorithm;
+  EXPECT_EQ((*plan)->SerializePayload().status().code(),
+            StatusCode::kNotSupported)
+      << GetParam().algorithm;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, DataDependentPlanTest,
+    ::testing::Values(Case{"MWEM", 1, true}, Case{"MWEM", 2, true},
+                      Case{"MWEM", 1, false}, Case{"MWEM*", 1, true},
+                      Case{"MWEM*", 2, false}, Case{"AHP", 1, true},
+                      Case{"AHP", 2, false}, Case{"AHP*", 1, true},
+                      Case{"AHP*", 2, false}, Case{"DAWA", 1, true},
+                      Case{"DAWA", 2, false}, Case{"PHP", 1, false},
+                      Case{"EFPA", 1, false}, Case{"SF", 1, true},
+                      Case{"SF", 1, false}, Case{"DPCUBE", 1, false},
+                      Case{"DPCUBE", 2, true}, Case{"AGRID", 2, true},
+                      Case{"AGRID", 2, false},
+                      Case{"HYBRIDTREE", 2, false}),
+    CaseName);
+
+// EFPA pads to a power of two internally: cover a non-power-of-two
+// domain, where the padded tail must be dropped identically.
+TEST(DataDependentPlanEdgeTest, EfpaNonPowerOfTwoDomain) {
+  DataVector x = TestData1D(48);
+  Workload w = Workload::Prefix1D(48);
+  MechanismPtr m = MechanismRegistry::Get("EFPA").value();
+  PlanContext pctx{x.domain(), w, 0.3, {}};
+  auto plan = m->Plan(pctx);
+  ASSERT_TRUE(plan.ok());
+  auto reference = m->ReferencePlan(pctx);
+  ASSERT_TRUE(reference.ok());
+  Rng a(5), b(5);
+  auto want = (*reference)->Execute({x, &a});
+  auto got = (*plan)->Execute({x, &b});
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  for (size_t i = 0; i < want->size(); ++i) {
+    ASSERT_EQ((*want)[i], (*got)[i]) << i;
+  }
+}
+
+// DAWA on a 2D domain the Hilbert curve rejects falls back to the
+// reference plan and reports the same error the legacy path did.
+TEST(DataDependentPlanEdgeTest, DawaNonSquare2DFallsBack) {
+  DataVector x(Domain::D2(8, 16));
+  x[0] = 1.0;
+  Workload w = Workload::RandomRange(x.domain(), 10, 3);
+  MechanismPtr m = MechanismRegistry::Get("DAWA").value();
+  PlanContext pctx{x.domain(), w, 0.5, {}};
+  auto plan = m->Plan(pctx);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE((*plan)->precomputed());
+  Rng rng(1);
+  EXPECT_FALSE((*plan)->Execute({x, &rng}).ok());
+}
+
+}  // namespace
+}  // namespace dpbench

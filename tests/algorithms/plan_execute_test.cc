@@ -129,7 +129,10 @@ TEST(PlanExecuteTest, DataIndependentSuiteHasRealPlans) {
   }
 }
 
-TEST(PlanExecuteTest, DataDependentSuiteGetsPassThroughPlans) {
+TEST(PlanExecuteTest, DataDependentSuiteHasStructuredPlans) {
+  // Since the data-dependent conversion, these algorithms carry real
+  // precomputed (data-independent) plan state too; the pass-through path
+  // survives only as the ReferencePlan used by bit-identity tests.
   const size_t n = 64;
   Workload w = Workload::Prefix1D(n);
   Domain d = Domain::D1(n);
@@ -138,7 +141,10 @@ TEST(PlanExecuteTest, DataDependentSuiteGetsPassThroughPlans) {
     PlanContext pctx{d, w, 0.5, {}};
     auto plan = m->Plan(pctx);
     ASSERT_TRUE(plan.ok()) << name;
-    EXPECT_FALSE((*plan)->precomputed()) << name;
+    EXPECT_TRUE((*plan)->precomputed()) << name;
+    auto reference = m->ReferencePlan(pctx);
+    ASSERT_TRUE(reference.ok()) << name;
+    EXPECT_FALSE((*reference)->precomputed()) << name;
   }
 }
 

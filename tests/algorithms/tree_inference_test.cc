@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <utility>
+
+#include "src/algorithms/greedy_h.h"
+#include "src/algorithms/hier.h"
 #include "src/common/rng.h"
 
 namespace dpbench {
@@ -260,6 +265,108 @@ TEST(PlannedTreeGlsTest, RejectsMalformedTrees) {
   EXPECT_FALSE(PlannedTreeGls::Build(nodes, 5).ok());  // root out of range
   nodes[0].children = {7};                             // child out of range
   EXPECT_FALSE(PlannedTreeGls::Build(nodes, 0).ok());
+}
+
+// --- Flat (allocation-free) forms used by the data-dependent trial loop.
+
+TEST(FlatTreeTest, BuildMatchesRangeTree) {
+  for (size_t n : {1u, 2u, 7u, 16u, 33u, 100u}) {
+    for (size_t b : {2u, 3u, 4u}) {
+      RangeTree tree = RangeTree::Build(n, b);
+      FlatTreeScratch s;
+      hier_internal::FlatRangeTreeBuild(n, b, &s);
+      ASSERT_EQ(s.num_nodes, tree.num_nodes()) << n << "/" << b;
+      ASSERT_EQ(s.num_levels, tree.num_levels());
+      for (size_t v = 0; v < tree.num_nodes(); ++v) {
+        const RangeTree::Node& node = tree.node(v);
+        EXPECT_EQ(s.lo[v], node.lo);
+        EXPECT_EQ(s.hi[v], node.hi);
+        EXPECT_EQ(s.level[v], node.level);
+        ASSERT_EQ(s.child_count[v], node.children.size());
+        for (size_t k = 0; k < node.children.size(); ++k) {
+          EXPECT_EQ(s.first_child[v] + k, node.children[k]);
+        }
+      }
+    }
+  }
+}
+
+// FlatTreeGlsInfer must reproduce TreeGlsInfer bit-for-bit on BFS-ordered
+// trees, across measured, unmeasured, and exact-variance nodes.
+TEST(FlatTreeTest, GlsInferBitIdenticalToReference) {
+  Rng rng(31);
+  for (size_t n : {5u, 16u, 33u}) {
+    FlatTreeScratch s;
+    hier_internal::FlatRangeTreeBuild(n, 2, &s);
+    std::vector<MeasurementNode> nodes(s.num_nodes);
+    std::vector<double> y(s.num_nodes), variance(s.num_nodes);
+    for (size_t v = 0; v < s.num_nodes; ++v) {
+      for (size_t k = 0; k < s.child_count[v]; ++k) {
+        nodes[v].children.push_back(s.first_child[v] + k);
+      }
+      y[v] = rng.Uniform(-5.0, 5.0);
+      // Mix of unmeasured (inf) and heterogeneous variances by level.
+      variance[v] = (v % 7 == 3) ? kUnmeasured
+                                 : 0.5 + static_cast<double>(s.level[v]);
+      nodes[v].y = y[v];
+      nodes[v].variance = variance[v];
+    }
+    // Keep leaves measured so the estimate stays well-defined either way.
+    for (size_t v = 0; v < s.num_nodes; ++v) {
+      if (s.child_count[v] == 0 && std::isinf(variance[v])) {
+        variance[v] = 1.25;
+        nodes[v].variance = 1.25;
+      }
+    }
+    auto want = TreeGlsInfer(nodes, 0);
+    ASSERT_TRUE(want.ok());
+    std::vector<double> z, sbuf, est;
+    FlatTreeGlsInfer(s.num_nodes, s.first_child.data(),
+                     s.child_count.data(), y.data(), variance.data(), &z,
+                     &sbuf, &est);
+    ASSERT_EQ(est.size(), want->size());
+    for (size_t v = 0; v < est.size(); ++v) {
+      EXPECT_EQ(est[v], (*want)[v]) << "n " << n << " node " << v;
+    }
+  }
+}
+
+// The flat bucket pipeline (build + usage + budget + measure + infer) is
+// the allocation-free form of greedy_h_internal::RunOnCounts: same draws,
+// bit-identical estimates.
+TEST(FlatTreeTest, MeasureAndInferBitIdenticalToRunOnCounts) {
+  Rng data_rng(17);
+  for (size_t n : {1u, 9u, 32u, 57u}) {
+    std::vector<double> counts(n);
+    for (double& c : counts) c = std::floor(data_rng.Uniform(0.0, 40.0));
+    std::vector<std::pair<size_t, size_t>> ranges;
+    std::vector<size_t> range_lo, range_hi;
+    for (size_t q = 0; q < 20; ++q) {
+      size_t a = data_rng.UniformInt(n), b = data_rng.UniformInt(n);
+      ranges.emplace_back(std::min(a, b), std::max(a, b));
+      range_lo.push_back(ranges.back().first);
+      range_hi.push_back(ranges.back().second);
+    }
+    Rng rng_ref(123), rng_flat(123);
+    auto want =
+        greedy_h_internal::RunOnCounts(counts, ranges, 2, 0.7, &rng_ref);
+    ASSERT_TRUE(want.ok());
+
+    FlatTreeScratch s;
+    hier_internal::FlatRangeTreeBuild(n, 2, &s);
+    hier_internal::FlatLevelUsage(s, range_lo.data(), range_hi.data(),
+                                  range_lo.size(), &s.usage, &s.stack);
+    if (s.usage.back() <= 0.0) s.usage.back() = 1.0;
+    hier_internal::FlatAllocateBudget(s.usage, 0.7, &s.eps);
+    std::vector<double> est(n);
+    ASSERT_TRUE(hier_internal::FlatMeasureAndInfer(counts.data(), n, s.eps,
+                                                   &rng_flat, &s,
+                                                   est.data())
+                    .ok());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(est[i], (*want)[i]) << "n " << n << " cell " << i;
+    }
+  }
 }
 
 }  // namespace

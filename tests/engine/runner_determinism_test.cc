@@ -18,8 +18,10 @@ namespace {
 ExperimentConfig PlanHeavyConfig() {
   ExperimentConfig c;
   // Mix of plan-based data-independent algorithms (shared plan-cache
-  // entries across datasets/epsilons) and a data-dependent one.
-  c.algorithms = {"HB", "GREEDY_H", "PRIVELET", "IDENTITY", "DAWA"};
+  // entries across datasets/epsilons) and converted data-dependent ones
+  // (plain, tuned, and side-info-consuming variants).
+  c.algorithms = {"HB",   "GREEDY_H", "PRIVELET", "IDENTITY",
+                  "DAWA", "MWEM*",    "AHP*",     "SF"};
   c.datasets = {"ADULT", "TRACE"};
   c.scales = {1000};
   c.domain_sizes = {128};
@@ -83,12 +85,13 @@ TEST(RunnerDeterminismTest, PlanCacheIsSharedAcrossCells) {
   RunDiagnostics diag;
   auto results = Runner::Run(c, nullptr, &diag);
   ASSERT_TRUE(results.ok());
-  // 5 algorithms x 2 datasets x 2 epsilons = 20 cells, but plans depend
-  // only on (algorithm, domain, epsilon): 5 x 1 x 2 = 10 unique plans.
-  EXPECT_EQ(diag.cells, 20u);
-  EXPECT_EQ(diag.plans_built, 10u);
-  EXPECT_EQ(diag.plan_cache_hits, 10u);
-  EXPECT_EQ(diag.trials, 20u * 2 * 2);
+  // 8 algorithms x 2 datasets x 2 epsilons = 32 cells, but plans depend
+  // only on (algorithm, domain, epsilon[, scale]) — one scale here, so
+  // 8 x 1 x 2 = 16 unique plans shared across datasets.
+  EXPECT_EQ(diag.cells, 32u);
+  EXPECT_EQ(diag.plans_built, 16u);
+  EXPECT_EQ(diag.plan_cache_hits, 16u);
+  EXPECT_EQ(diag.trials, 32u * 2 * 2);
   EXPECT_TRUE(diag.skipped.empty());
 }
 

@@ -17,13 +17,15 @@
 namespace dpbench {
 namespace {
 
-// A grid that exercises both plan-based and data-dependent algorithms, a
+// A grid that exercises both plan-based and data-dependent algorithms
+// (including the converted scratch pipelines: DAWA, MWEM*, AHP*, SF), a
 // skipped combination (UGRID is 2D-only), two datasets and two epsilons:
-// 2 datasets x 1 scale x 1 domain x 2 eps x 5 supported algorithms = 20
+// 2 datasets x 1 scale x 1 domain x 2 eps x 8 supported algorithms = 32
 // cells, which splits unevenly over 7 shards.
 ExperimentConfig GridConfig() {
   ExperimentConfig c;
-  c.algorithms = {"HB", "GREEDY_H", "IDENTITY", "DAWA", "UNIFORM", "UGRID"};
+  c.algorithms = {"HB",  "GREEDY_H", "IDENTITY", "DAWA", "UNIFORM",
+                  "UGRID", "MWEM*",  "AHP*",     "SF"};
   c.datasets = {"ADULT", "TRACE"};
   c.scales = {1000};
   c.domain_sizes = {128};
@@ -111,9 +113,9 @@ RunDiagnostics* ShardEquivalenceTest::diagnostics_ = nullptr;
 std::vector<CellResult>* ShardEquivalenceTest::mono_ = nullptr;
 
 TEST_F(ShardEquivalenceTest, MonolithicGridShape) {
-  EXPECT_EQ(mono_->size(), 20u);
-  EXPECT_EQ(diagnostics_->grid_cells, 20u);
-  EXPECT_EQ(diagnostics_->cells, 20u);
+  EXPECT_EQ(mono_->size(), 32u);
+  EXPECT_EQ(diagnostics_->grid_cells, 32u);
+  EXPECT_EQ(diagnostics_->cells, 32u);
   ASSERT_EQ(diagnostics_->skipped.size(), 2u);  // UGRID on both 1D datasets
   // Canonical order: grid_index is the position in the returned vector.
   for (size_t i = 0; i < mono_->size(); ++i) {
@@ -122,7 +124,7 @@ TEST_F(ShardEquivalenceTest, MonolithicGridShape) {
 }
 
 TEST_F(ShardEquivalenceTest, EveryShardCountMergesBitIdentically) {
-  // 20 cells over 1..8 shards: covers even splits, uneven splits, and
+  // 32 cells over 1..8 shards: covers even splits, uneven splits, and
   // shard counts that do not divide the grid.
   for (size_t count : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
     auto merged = RunShardedAndMerge(*config_, count);
@@ -168,9 +170,9 @@ TEST_F(ShardEquivalenceTest, ShardsAreDisjointAndStrided) {
     }
   }
   EXPECT_EQ(total, mono_->size());
-  // Uneven split: 20 cells over 7 shards = sizes 3,3,3,3,3,3,2.
-  EXPECT_EQ(shards.front().cells.size(), 3u);
-  EXPECT_EQ(shards.back().cells.size(), 2u);
+  // Uneven split: 32 cells over 7 shards = sizes 5,5,5,5,4,4,4.
+  EXPECT_EQ(shards.front().cells.size(), 5u);
+  EXPECT_EQ(shards.back().cells.size(), 4u);
 }
 
 TEST_F(ShardEquivalenceTest, ThreadCountDoesNotAffectShardResults) {

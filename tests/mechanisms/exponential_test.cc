@@ -86,5 +86,58 @@ TEST(ExponentialMechanismTest, HandlesLargeScoreMagnitudes) {
   EXPECT_EQ(*r, 1u);
 }
 
+TEST(ExponentialMechanismIntoTest, RejectsBadArguments) {
+  Rng rng(11);
+  std::vector<double> unif;
+  double score = 1.0;
+  EXPECT_FALSE(
+      ExponentialMechanismInto(&score, 0, 1.0, 1.0, &rng, &unif).ok());
+  EXPECT_FALSE(
+      ExponentialMechanismInto(&score, 1, 0.0, 1.0, &rng, &unif).ok());
+  EXPECT_FALSE(
+      ExponentialMechanismInto(&score, 1, 1.0, 0.0, &rng, &unif).ok());
+}
+
+// Both API forms consume one draw per candidate from the same stream and
+// share the FillGumbel transform, so they select bit-identically.
+TEST(ExponentialMechanismIntoTest, BitIdenticalToVectorForm) {
+  std::vector<double> scores{3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.0};
+  std::vector<double> unif;
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    Rng a(seed), b(seed);
+    auto scalar = ExponentialMechanism(scores, 2.0, 0.8, &a);
+    auto block = ExponentialMechanismInto(scores.data(), scores.size(),
+                                          2.0, 0.8, &b, &unif);
+    ASSERT_TRUE(scalar.ok());
+    ASSERT_TRUE(block.ok());
+    EXPECT_EQ(*scalar, *block) << "seed " << seed;
+    // Both forms consumed the same number of draws.
+    EXPECT_EQ(a.generator().position(), b.generator().position());
+  }
+}
+
+// Distribution check for the block form on its own stream: frequencies
+// must match exp(eps * s_i / (2 sens)) within sampling tolerance.
+TEST(ExponentialMechanismIntoTest, DistributionMatchesTheory) {
+  Rng rng(77);
+  std::vector<double> scores{0.0, 1.0, 2.0};
+  const double eps = 1.0, sens = 1.0;
+  double w0 = std::exp(0.0), w1 = std::exp(eps * 1.0 / 2.0),
+         w2 = std::exp(eps * 2.0 / 2.0);
+  double total = w0 + w1 + w2;
+  const int trials = 100000;
+  std::vector<int> counts(3, 0);
+  std::vector<double> unif;
+  for (int t = 0; t < trials; ++t) {
+    auto r = ExponentialMechanismInto(scores.data(), scores.size(), sens,
+                                      eps, &rng, &unif);
+    ASSERT_TRUE(r.ok());
+    ++counts[*r];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(trials), w0 / total, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(trials), w1 / total, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(trials), w2 / total, 0.01);
+}
+
 }  // namespace
 }  // namespace dpbench

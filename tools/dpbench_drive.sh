@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# dpbench_drive.sh — schedule a sharded DPBench run across N local
+# processes, retry failed shards, and merge the results.
+#
+# The sharded runner guarantees that any shard partition merges
+# bit-identically to the monolithic run (see ROADMAP "Sharded runner");
+# this driver supplies the missing operational half: process scheduling
+# with a bounded worker pool, per-shard retries for transient failures
+# (OOM kills, preemptions), and the final dpbench_merge. Every shard's
+# stdout/stderr is kept in the work directory for post-mortems.
+#
+# Usage:
+#   tools/dpbench_drive.sh --bin=DIR --shards=N [--procs=P] [--retries=K]
+#       [--workdir=DIR] --csv-out=FILE -- <grid flags for dpbench_shard>
+#
+#   --bin=DIR      directory containing dpbench_shard and dpbench_merge
+#   --shards=N     number of shards to split the grid into (>= 1)
+#   --procs=P      max concurrent shard processes (default: nproc)
+#   --retries=K    extra attempts per failed shard (default 1)
+#   --workdir=DIR  where shard files and logs go (default: mktemp -d;
+#                  kept on failure, removed on success unless supplied)
+#   --csv-out=FILE merged CSV (byte-identical to a monolithic
+#                  dpbench_run --csv-out over the same grid)
+#
+# Everything after `--` is passed to every dpbench_shard invocation
+# verbatim (the grid must be identical across shards; dpbench_merge's
+# validator rejects config skew, so a mistake fails loudly).
+set -u
+
+BIN=""
+SHARDS=0
+PROCS="$(nproc 2>/dev/null || echo 2)"
+RETRIES=1
+WORKDIR=""
+CSV_OUT=""
+KEEP_WORKDIR=0
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --bin=*) BIN="${1#--bin=}" ;;
+    --shards=*) SHARDS="${1#--shards=}" ;;
+    --procs=*) PROCS="${1#--procs=}" ;;
+    --retries=*) RETRIES="${1#--retries=}" ;;
+    --workdir=*) WORKDIR="${1#--workdir=}"; KEEP_WORKDIR=1 ;;
+    --csv-out=*) CSV_OUT="${1#--csv-out=}" ;;
+    --) shift; break ;;
+    *) echo "dpbench_drive: unknown flag $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+GRID_ARGS=("$@")
+
+if [ -z "$BIN" ] || [ "$SHARDS" -lt 1 ] || [ -z "$CSV_OUT" ]; then
+  echo "dpbench_drive: --bin, --shards >= 1 and --csv-out are required" >&2
+  exit 2
+fi
+for tool in dpbench_shard dpbench_merge; do
+  if [ ! -x "$BIN/$tool" ]; then
+    echo "dpbench_drive: $BIN/$tool not found or not executable" >&2
+    exit 2
+  fi
+done
+if [ -z "$WORKDIR" ]; then
+  WORKDIR="$(mktemp -d "${TMPDIR:-/tmp}/dpbench_drive.XXXXXX")"
+fi
+mkdir -p "$WORKDIR"
+
+# Runs one shard to completion with retries. Attempt logs are appended so
+# a retried shard's history stays inspectable.
+run_shard() {
+  local idx="$1"
+  local out="$WORKDIR/shard$idx.bin"
+  local log="$WORKDIR/shard$idx.log"
+  local attempt=0
+  while :; do
+    if "$BIN/dpbench_shard" ${GRID_ARGS[@]+"${GRID_ARGS[@]}"} \
+        --shard="$idx/$SHARDS" --out="$out" >> "$log" 2>&1; then
+      return 0
+    fi
+    attempt=$((attempt + 1))
+    if [ "$attempt" -gt "$RETRIES" ]; then
+      echo "dpbench_drive: shard $idx failed after $((RETRIES + 1)) attempts (log: $log)" >&2
+      return 1
+    fi
+    echo "dpbench_drive: shard $idx attempt $attempt failed; retrying" >&2
+  done
+}
+
+# Bounded worker pool: keep up to PROCS shards in flight. Throttling
+# polls the running-job count (portable across bash versions, and every
+# pid stays collectable by the final per-pid wait, which is where
+# failures are counted).
+pids=()
+failed=0
+for idx in $(seq 0 $((SHARDS - 1))); do
+  while [ "$(jobs -pr | wc -l)" -ge "$PROCS" ]; do
+    sleep 0.1
+  done
+  run_shard "$idx" &
+  pids+=("$!")
+done
+for pid in "${pids[@]}"; do
+  if ! wait "$pid"; then
+    failed=1
+  fi
+done
+if [ "$failed" -ne 0 ]; then
+  echo "dpbench_drive: aborting; shard files and logs kept in $WORKDIR" >&2
+  exit 1
+fi
+
+shard_files=()
+for idx in $(seq 0 $((SHARDS - 1))); do
+  shard_files+=("$WORKDIR/shard$idx.bin")
+done
+if ! "$BIN/dpbench_merge" --csv-out="$CSV_OUT" "${shard_files[@]}"; then
+  echo "dpbench_drive: merge failed; shard files kept in $WORKDIR" >&2
+  exit 1
+fi
+echo "dpbench_drive: merged $SHARDS shards into $CSV_OUT"
+if [ "$KEEP_WORKDIR" -eq 0 ]; then
+  rm -rf "$WORKDIR"
+fi
