@@ -15,14 +15,24 @@
 //      on a fresh stream, 0 allocs/trial on the scratch path for every
 //      algorithm, and a throughput floor on the DAWA/MWEM/AHP subset
 //      (--min-dd-speedup, the CI-recorded floor).
-//   3. Runner throughput on a fixed small grid, exercising both
-//      retain_raw_errors settings, reporting trials/sec from
-//      RunDiagnostics and cross-checking the streaming summaries against
-//      the exact ones.
+//   3. Lockstep trial loops: the lane-batched ExecuteMany path (4/8
+//      trials per batch, SoA lanes, runtime ISA dispatch) against the
+//      scalar ExecuteInto loop for every lane-capable plan. Gates: lane
+//      extraction bit-identical to the scalar trial loop, 0 allocs/trial,
+//      and the section aggregate at least --min-lockstep-speedup.
+//   4. Runner throughput on a fixed small grid, exercising both
+//      retain_raw_errors settings, reporting trials/sec and the lockstep
+//      trial accounting from RunDiagnostics, and cross-checking the
+//      streaming summaries against the exact ones.
+//
+// Every per-algorithm row also reports bytes/trial and achieved GB/s
+// from an analytic traffic model (input read + estimate write + measured
+// rng draws; see BytesPerTrial).
 //
 // Flags: --smoke (1 repetition, CI mode), --trials=N (per-plan loop
 // length, default 2000), --threads=N (runner section, default 4),
-// --min-dd-speedup=X (data-dependent gate floor, default 1.5).
+// --min-dd-speedup=X (data-dependent gate floor, default 1.5),
+// --min-lockstep-speedup=X (lockstep aggregate floor, default 2.0).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +47,7 @@
 
 #include "bench/bench_common.h"
 #include "src/algorithms/mechanism.h"
+#include "src/common/lockstep.h"
 #include "src/data/datasets.h"
 #include "src/data/sampler.h"
 #include "src/engine/runner.h"
@@ -74,7 +85,18 @@ using bench::NowSeconds;
 struct PlanLoopResult {
   double trials_per_sec = 0.0;
   double allocs_per_trial = 0.0;
+  double draws_per_trial = 0.0;  // rng stream positions consumed
 };
+
+// Analytic per-trial traffic model shared by the report columns: every
+// trial reads the input histogram and writes the estimate (2n doubles)
+// and transforms its measured rng draws (1 double each). Intermediate
+// buffers (prefix tables, tree nodes) are excluded, so the GB/s column
+// is a comparable lower bound on achieved bandwidth, not a cache-line
+// count.
+double BytesPerTrial(double draws_per_trial, size_t cells) {
+  return 8.0 * (draws_per_trial + 2.0 * static_cast<double>(cells));
+}
 
 PlanLoopResult TimeTrials(const PlanPtr& plan, const DataVector& x,
                           size_t trials, bool use_scratch) {
@@ -93,6 +115,7 @@ PlanLoopResult TimeTrials(const PlanPtr& plan, const DataVector& x,
     }
   }
   uint64_t alloc_start = g_allocations.load(std::memory_order_relaxed);
+  uint64_t draw_start = rng.generator().position();
   double t0 = NowSeconds();
   for (size_t i = 0; i < trials; ++i) {
     ExecContext ectx{x, &rng, use_scratch ? &scratch : nullptr};
@@ -110,6 +133,9 @@ PlanLoopResult TimeTrials(const PlanPtr& plan, const DataVector& x,
       elapsed > 0.0 ? static_cast<double>(trials) / elapsed : 0.0;
   out.allocs_per_trial =
       static_cast<double>(allocs) / static_cast<double>(trials);
+  out.draws_per_trial =
+      static_cast<double>(rng.generator().position() - draw_start) /
+      static_cast<double>(trials);
   return out;
 }
 
@@ -117,8 +143,9 @@ int RunPlanLoops(const char* title, const DataVector& data,
                  const Workload& workload,
                  const std::vector<const char*>& algorithms, size_t trials) {
   std::printf("\n-- %s (%zu trials) --\n", title, trials);
-  std::printf("%-10s %14s %14s %10s %10s %8s\n", "algorithm", "exec tps",
-              "scratch tps", "exec a/t", "scr a/t", "speedup");
+  std::printf("%-10s %12s %12s %9s %9s %10s %7s %8s\n", "algorithm",
+              "exec tps", "scratch tps", "exec a/t", "scr a/t", "bytes/t",
+              "GB/s", "speedup");
   int failures = 0;
   for (const char* name : algorithms) {
     auto mech = MechanismRegistry::Get(name);
@@ -132,10 +159,12 @@ int RunPlanLoops(const char* title, const DataVector& data,
                          ? scratch_path.trials_per_sec /
                                alloc_path.trials_per_sec
                          : 0.0;
-    std::printf("%-10s %14.0f %14.0f %10.2f %10.2f %7.2fx\n", name,
-                alloc_path.trials_per_sec, scratch_path.trials_per_sec,
+    double bytes =
+        BytesPerTrial(scratch_path.draws_per_trial, data.size());
+    std::printf("%-10s %12.0f %12.0f %9.2f %9.2f %10.0f %7.2f %7.2fx\n",
+                name, alloc_path.trials_per_sec, scratch_path.trials_per_sec,
                 alloc_path.allocs_per_trial, scratch_path.allocs_per_trial,
-                speedup);
+                bytes, bytes * scratch_path.trials_per_sec / 1e9, speedup);
     if (scratch_path.allocs_per_trial > 0.0) {
       std::printf("FAIL: %s scratch path allocates per trial\n", name);
       ++failures;
@@ -193,8 +222,9 @@ int RunDataDependentLoops(const char* title, const DataVector& data,
                           const std::vector<const char*>& gated,
                           size_t trials, double min_speedup) {
   std::printf("\n-- %s (%zu trials) --\n", title, trials);
-  std::printf("%-10s %14s %14s %10s %10s %8s\n", "algorithm", "legacy tps",
-              "scratch tps", "leg a/t", "scr a/t", "speedup");
+  std::printf("%-10s %12s %12s %9s %9s %10s %7s %8s\n", "algorithm",
+              "legacy tps", "scratch tps", "leg a/t", "scr a/t", "bytes/t",
+              "GB/s", "speedup");
   int failures = 0;
   double legacy_seconds_per_round = 0.0;   // one trial of each algorithm
   double scratch_seconds_per_round = 0.0;
@@ -241,10 +271,12 @@ int RunDataDependentLoops(const char* title, const DataVector& data,
                          ? scratch_path.trials_per_sec /
                                legacy.trials_per_sec
                          : 0.0;
-    std::printf("%-10s %14.0f %14.0f %10.2f %10.2f %7.2fx\n", name,
-                legacy.trials_per_sec, scratch_path.trials_per_sec,
+    double bytes =
+        BytesPerTrial(scratch_path.draws_per_trial, data.size());
+    std::printf("%-10s %12.0f %12.0f %9.2f %9.2f %10.0f %7.2f %7.2fx\n",
+                name, legacy.trials_per_sec, scratch_path.trials_per_sec,
                 legacy.allocs_per_trial, scratch_path.allocs_per_trial,
-                speedup);
+                bytes, bytes * scratch_path.trials_per_sec / 1e9, speedup);
     if (scratch_path.allocs_per_trial > 0.0) {
       std::printf("FAIL: %s scratch path allocates per trial\n", name);
       ++failures;
@@ -297,6 +329,171 @@ int RunDataDependentSection(size_t trials, double min_speedup) {
   return failures;
 }
 
+// Lockstep section: the lane-batched ExecuteMany path against the scalar
+// trial loop it replaces, for every lane-capable plan. Gates: lane
+// extraction bit-identical to the scalar loop on a fresh stream, 0
+// allocs/trial in the lockstep steady state, and the section AGGREGATE
+// (one trial of each algorithm, summed seconds) at least
+// --min-lockstep-speedup. The aggregate is the gated number because the
+// win is concentrated where trials are serial-latency-bound (prefix
+// chains, GLS inference, inverse wavelet); noise-generation-dominated
+// plans (IDENTITY, UNIFORM) do the same rng work either way.
+PlanLoopResult TimeLockstepTrials(const PlanPtr& plan, const DataVector& x,
+                                  size_t trials, size_t lanes) {
+  Rng rng(42);
+  ExecScratch scratch;
+  std::vector<double> est_lanes;
+  const size_t batches = std::max<size_t>(trials / lanes, 1);
+  for (int w = 0; w < 3; ++w) {
+    ExecContext ectx{x, &rng, &scratch};
+    if (!plan->ExecuteMany(ectx, lanes, &est_lanes).ok()) std::abort();
+  }
+  uint64_t alloc_start = g_allocations.load(std::memory_order_relaxed);
+  uint64_t draw_start = rng.generator().position();
+  double t0 = NowSeconds();
+  for (size_t b = 0; b < batches; ++b) {
+    ExecContext ectx{x, &rng, &scratch};
+    if (!plan->ExecuteMany(ectx, lanes, &est_lanes).ok()) std::abort();
+  }
+  double elapsed = NowSeconds() - t0;
+  uint64_t allocs = g_allocations.load(std::memory_order_relaxed) - alloc_start;
+  const double executed = static_cast<double>(batches * lanes);
+  PlanLoopResult out;
+  out.trials_per_sec = elapsed > 0.0 ? executed / elapsed : 0.0;
+  out.allocs_per_trial = static_cast<double>(allocs) / executed;
+  out.draws_per_trial =
+      static_cast<double>(rng.generator().position() - draw_start) /
+      executed;
+  return out;
+}
+
+// One ExecuteMany batch must reproduce `lanes` scalar trials of the same
+// stream lane for lane, bit for bit.
+int CheckLockstepBitIdentity(const char* name, const PlanPtr& plan,
+                             const DataVector& x, size_t lanes) {
+  Rng scalar_rng(7);
+  ExecScratch scalar_scratch;
+  std::vector<std::vector<double>> want;
+  for (size_t l = 0; l < lanes; ++l) {
+    DataVector est;
+    if (!plan->ExecuteInto({x, &scalar_rng, &scalar_scratch}, &est).ok()) {
+      std::printf("FAIL: %s scalar execution error\n", name);
+      return 1;
+    }
+    want.push_back(est.counts());
+  }
+  Rng lane_rng(7);
+  ExecScratch lane_scratch;
+  std::vector<double> got;
+  if (!plan->ExecuteMany({x, &lane_rng, &lane_scratch}, lanes, &got).ok()) {
+    std::printf("FAIL: %s lockstep execution error\n", name);
+    return 1;
+  }
+  for (size_t l = 0; l < lanes; ++l) {
+    for (size_t i = 0; i < want[l].size(); ++i) {
+      if (want[l][i] != got[i * lanes + l]) {
+        std::printf("FAIL: %s lane %zu diverges from scalar trial %zu at "
+                    "cell %zu\n",
+                    name, l, l, i);
+        return 1;
+      }
+    }
+  }
+  return 0;
+}
+
+int RunLockstepLoops(const char* title, const DataVector& data,
+                     const Workload& workload,
+                     const std::vector<const char*>& algorithms,
+                     size_t trials, size_t lanes, double min_speedup) {
+  std::printf("\n-- %s (%zu trials, %zu lanes, isa=%s) --\n", title, trials,
+              lanes, lockstep::TierName(lockstep::ActiveTier()));
+  std::printf("%-10s %12s %12s %9s %10s %7s %8s\n", "algorithm",
+              "scalar tps", "lockstep tps", "lock a/t", "bytes/t", "GB/s",
+              "speedup");
+  int failures = 0;
+  double scalar_seconds_per_round = 0.0;
+  double lockstep_seconds_per_round = 0.0;
+  for (const char* name : algorithms) {
+    auto mech = MechanismRegistry::Get(name);
+    if (!mech.ok()) std::abort();
+    PlanContext pctx{data.domain(), workload, 0.1, {data.Scale()}};
+    auto plan = (*mech)->Plan(pctx);
+    if (!plan.ok()) std::abort();
+    if (!(*plan)->SupportsLockstep()) {
+      std::printf("FAIL: %s does not support lockstep\n", name);
+      ++failures;
+      continue;
+    }
+    failures += CheckLockstepBitIdentity(name, *plan, data, lanes);
+
+    PlanLoopResult scalar_path = TimeTrials(*plan, data, trials, true);
+    PlanLoopResult lock_path =
+        TimeLockstepTrials(*plan, data, trials, lanes);
+    if (scalar_path.trials_per_sec > 0.0 && lock_path.trials_per_sec > 0.0) {
+      scalar_seconds_per_round += 1.0 / scalar_path.trials_per_sec;
+      lockstep_seconds_per_round += 1.0 / lock_path.trials_per_sec;
+    }
+    double speedup = scalar_path.trials_per_sec > 0.0
+                         ? lock_path.trials_per_sec /
+                               scalar_path.trials_per_sec
+                         : 0.0;
+    double bytes = BytesPerTrial(lock_path.draws_per_trial, data.size());
+    std::printf("%-10s %12.0f %12.0f %9.2f %10.0f %7.2f %7.2fx\n", name,
+                scalar_path.trials_per_sec, lock_path.trials_per_sec,
+                lock_path.allocs_per_trial, bytes,
+                bytes * lock_path.trials_per_sec / 1e9, speedup);
+    if (lock_path.allocs_per_trial > 0.0) {
+      std::printf("FAIL: %s lockstep path allocates per trial\n", name);
+      ++failures;
+    }
+  }
+  if (scalar_seconds_per_round > 0.0) {
+    double aggregate =
+        scalar_seconds_per_round / lockstep_seconds_per_round;
+    std::printf("aggregate (1 trial of each): %.2fx\n", aggregate);
+    if (aggregate < min_speedup) {
+      std::printf("FAIL: lockstep aggregate %.2fx below the %.2fx floor\n",
+                  aggregate, min_speedup);
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+int RunLockstepSection(size_t trials, double min_speedup) {
+  const size_t lanes = lockstep::ActiveLaneWidth();
+  if (lanes < 2) {
+    std::printf("\n-- lockstep trial loops: skipped (isa=%s, 1 lane) --\n",
+                lockstep::TierName(lockstep::ActiveTier()));
+    return 0;
+  }
+  const size_t kDomain = 1024;
+  Rng data_rng(7);
+  auto shape = DatasetRegistry::ShapeAtDomain("SEARCH", kDomain);
+  if (!shape.ok()) std::abort();
+  auto data = SampleAtScale(*shape, 100000, &data_rng);
+  if (!data.ok()) std::abort();
+  Workload workload = Workload::Prefix1D(kDomain);
+  int failures = RunLockstepLoops(
+      "lockstep trial loops (1D, domain=1024)", *data, workload,
+      {"IDENTITY", "H", "HB", "PRIVELET", "GREEDY_H", "UNIFORM"}, trials,
+      lanes, min_speedup);
+
+  const size_t kSide = 64;
+  Rng data_rng2(11);
+  auto shape2 = DatasetRegistry::ShapeAtDomain("ADULT-2D", kSide);
+  if (!shape2.ok()) std::abort();
+  auto data2 = SampleAtScale(*shape2, 100000, &data_rng2);
+  if (!data2.ok()) std::abort();
+  Workload workload2 = Workload::Identity(data2->domain());
+  failures += RunLockstepLoops(
+      "lockstep trial loops (2D, domain=64x64)", *data2, workload2,
+      {"HB", "QUADTREE", "UGRID", "GREEDY_H", "PRIVELET"}, trials, lanes,
+      min_speedup);
+  return failures;
+}
+
 int RunRunnerSection(size_t threads, size_t runs_per_sample) {
   ExperimentConfig config;
   config.algorithms = {"IDENTITY", "H", "HB", "PRIVELET", "GREEDY_H"};
@@ -322,12 +519,30 @@ int RunRunnerSection(size_t threads, size_t runs_per_sample) {
       return 1;
     }
     std::printf("retain_raw_errors=%d: %zu trials, %.2f s execute, "
-                "%.0f trials/s | pool: %llu phases, %llu tasks, %llu stolen\n",
+                "%.0f trials/s | pool: %llu phases, %llu tasks, %llu stolen "
+                "| isa=%s lanes=%zu (%llu lockstep + %llu scalar)\n",
                 retain ? 1 : 0, diag.trials, diag.execute_seconds,
                 diag.trials_per_second,
                 static_cast<unsigned long long>(diag.pool_parallel_jobs),
                 static_cast<unsigned long long>(diag.pool_tasks_executed),
-                static_cast<unsigned long long>(diag.pool_tasks_stolen));
+                static_cast<unsigned long long>(diag.pool_tasks_stolen),
+                diag.isa_tier.c_str(), diag.lane_width,
+                static_cast<unsigned long long>(diag.lockstep_trials),
+                static_cast<unsigned long long>(diag.scalar_trials));
+    if (diag.lockstep_trials + diag.scalar_trials != diag.trials) {
+      std::printf("FAIL: lockstep + scalar trial counts do not cover the "
+                  "run\n");
+      ++failures;
+    }
+    // Every algorithm in this grid is lane-capable: when the dispatcher
+    // found SIMD lanes and the sample loop is wide enough to batch, the
+    // runner must actually route trials through ExecuteMany.
+    if (diag.lane_width > 1 && runs_per_sample >= diag.lane_width &&
+        diag.lockstep_trials == 0) {
+      std::printf("FAIL: no trials took the lockstep path (isa=%s)\n",
+                  diag.isa_tier.c_str());
+      ++failures;
+    }
     if (retain) {
       exact_cells = std::move(*results);
     } else {
@@ -357,6 +572,7 @@ int Main(int argc, char** argv) {
   size_t trials = 2000;
   size_t threads = 4;
   double min_dd_speedup = 1.5;
+  double min_lockstep_speedup = 2.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -366,6 +582,8 @@ int Main(int argc, char** argv) {
       threads = static_cast<size_t>(std::atoll(argv[i] + 10));
     } else if (std::strncmp(argv[i], "--min-dd-speedup=", 17) == 0) {
       min_dd_speedup = std::atof(argv[i] + 17);
+    } else if (std::strncmp(argv[i], "--min-lockstep-speedup=", 23) == 0) {
+      min_lockstep_speedup = std::atof(argv[i] + 23);
     } else {
       std::printf("warning: unknown flag %s\n", argv[i]);
     }
@@ -379,14 +597,18 @@ int Main(int argc, char** argv) {
   // a shorter loop keeps the gate fast without losing steady state.
   failures += RunDataDependentSection(std::max<size_t>(trials / 4, 50),
                                       min_dd_speedup);
-  failures += RunRunnerSection(threads, smoke ? 2 : 10);
+  failures += RunLockstepSection(trials, min_lockstep_speedup);
+  // runs_per_sample=10 keeps the lockstep batcher engaged (>= 8 lanes)
+  // in smoke mode too — the lockstep-coverage gate depends on it.
+  failures += RunRunnerSection(threads, 10);
   if (failures > 0) {
     std::printf("\n%d hot-path regression(s) detected\n", failures);
     return 1;
   }
   std::printf("\nOK: scratch paths allocation-free, data-dependent "
               "pipelines bit-identical and above the speedup floor, "
-              "streaming summaries match exact\n");
+              "lockstep lanes bit-identical to scalar trials and above "
+              "the aggregate floor, streaming summaries match exact\n");
   return 0;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <utility>
 
@@ -190,6 +191,38 @@ class GreedyHHilbertPlan : public MechanismPlan {
     std::vector<double>& cells = out->mutable_counts();
     for (size_t i = 0; i < perm_.size(); ++i) {
       cells[i] = s.linear_est[perm_[i]];
+    }
+    return Status::OK();
+  }
+
+  /// The permutation is plan-time state, so lanes never diverge; the
+  /// per-call Hilbert path (empty perm_) stays on the scalar fallback.
+  bool SupportsLockstep() const override { return !perm_.empty(); }
+
+  Status ExecuteMany(const ExecContext& ctx, size_t lanes,
+                     std::vector<double>* est_lanes) const override {
+    if (perm_.empty()) {
+      return MechanismPlan::ExecuteMany(ctx, lanes, est_lanes);
+    }
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    DPB_RETURN_NOT_OK(CheckLanes(lanes));
+    ExecScratch local;
+    ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local;
+    const Domain& d1 = linear_plan_.domain();
+    if (s.linear.domain() != d1) s.linear = DataVector(d1);
+    // Every lane runs on the same data, so one shared scatter suffices;
+    // the nested lockstep execution writes disjoint lane.* buffers.
+    for (size_t i = 0; i < perm_.size(); ++i) {
+      s.linear[perm_[i]] = ctx.data[i];
+    }
+    ExecContext inner{s.linear, ctx.rng, &s};
+    DPB_RETURN_NOT_OK(
+        linear_plan_.ExecuteMany(inner, lanes, &s.lane.linear));
+    est_lanes->resize(perm_.size() * lanes);
+    for (size_t i = 0; i < perm_.size(); ++i) {
+      std::memcpy(est_lanes->data() + i * lanes,
+                  s.lane.linear.data() + perm_[i] * lanes,
+                  lanes * sizeof(double));
     }
     return Status::OK();
   }

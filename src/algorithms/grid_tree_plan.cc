@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/algorithms/hier.h"  // shared GLS payload helpers
+#include "src/common/lockstep.h"
 #include "src/common/logging.h"
 #include "src/mechanisms/laplace.h"
 
@@ -206,6 +207,46 @@ Status GridTreePlan::ExecuteInto(const ExecContext& ctx,
       for (size_t c = node.c0; c <= node.c1; ++c) {
         cells[r * cols + c] = est[v] / area;
       }
+    }
+  }
+  return Status::OK();
+}
+
+Status GridTreePlan::ExecuteMany(const ExecContext& ctx, size_t lanes,
+                                 std::vector<double>* est_lanes) const {
+  DPB_RETURN_NOT_OK(CheckExec(ctx));
+  DPB_RETURN_NOT_OK(CheckLanes(lanes));
+  ExecScratch local;
+  ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local;
+  const lockstep::Kernels& kernels = lockstep::Active();
+  const size_t cols = domain().size(1);
+
+  // Four-corner truths are data-only: compute once, share across lanes.
+  ComputePrefixSums(ctx.data, &s.prefix);
+  const std::vector<double>& cum = s.prefix;
+  const size_t m = nodes_.size();
+  s.lane.truth.resize(m);
+  for (size_t v = 0; v < m; ++v) {
+    s.lane.truth[v] = cum[corners_[4 * v]] - cum[corners_[4 * v + 1]] -
+                      cum[corners_[4 * v + 2]] + cum[corners_[4 * v + 3]];
+  }
+  s.lane.noise.resize(m * lanes);
+  ctx.rng->FillLaplaceLanes(s.lane.noise.data(), scales_.data(), m, lanes);
+  s.lane.y.resize(m * lanes);
+  kernels.add_shared_noise(s.lane.truth.data(), s.lane.noise.data(),
+                           s.lane.y.data(), m, lanes);
+  gls_.InferNodesMany(s.lane.y.data(), lanes, &s.lane.z, &s.lane.node_est);
+
+  est_lanes->resize(domain().TotalCells() * lanes);
+  for (size_t v : leaves_) {
+    const GridRect& node = nodes_[v];
+    const double area = static_cast<double>((node.r1 - node.r0 + 1) *
+                                            (node.c1 - node.c0 + 1));
+    const size_t width = node.c1 - node.c0 + 1;
+    for (size_t r = node.r0; r <= node.r1; ++r) {
+      kernels.spread_divided(
+          s.lane.node_est.data() + v * lanes, area,
+          est_lanes->data() + (r * cols + node.c0) * lanes, width, lanes);
     }
   }
   return Status::OK();

@@ -39,6 +39,12 @@ class GridTreePlan : public MechanismPlan {
 
   Result<DataVector> Execute(const ExecContext& ctx) const override;
   Status ExecuteInto(const ExecContext& ctx, DataVector* out) const override;
+
+  /// Fixed node schedule + branch-free inference: lockstep-safe.
+  bool SupportsLockstep() const override { return true; }
+  Status ExecuteMany(const ExecContext& ctx, size_t lanes,
+                     std::vector<double>* est_lanes) const override;
+
   Result<PlanPayload> SerializePayload() const override;
 
   /// Decodes, validates, and hydrates a "grid_tree" payload for

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <utility>
 
+#include "src/common/lockstep.h"
 #include "src/common/logging.h"
 #include "src/mechanisms/laplace.h"
 
@@ -345,6 +346,41 @@ Status RangeTreePlan::ExecuteInto(const ExecContext& ctx,
     for (size_t c = node.lo; c <= node.hi; ++c) {
       cells[c] = node_est[v] / static_cast<double>(len);
     }
+  }
+  return Status::OK();
+}
+
+Status RangeTreePlan::ExecuteMany(const ExecContext& ctx, size_t lanes,
+                                  std::vector<double>* est_lanes) const {
+  DPB_RETURN_NOT_OK(CheckExec(ctx));
+  DPB_RETURN_NOT_OK(CheckLanes(lanes));
+  ExecScratch local;
+  ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local;
+  const lockstep::Kernels& kernels = lockstep::Active();
+  // The true node counts depend only on the data, so the prefix table and
+  // per-measurement truths are computed once and shared by every lane.
+  ComputePrefixSums(ctx.data, &s.prefix);
+  const size_t m = meas_node_.size();
+  s.lane.truth.resize(m);
+  for (size_t k = 0; k < m; ++k) {
+    s.lane.truth[k] = s.prefix[meas_hi1_[k]] - s.prefix[meas_lo_[k]];
+  }
+  // Lane l's noise is the exact stream segment of the l-th scalar trial.
+  s.lane.noise.resize(m * lanes);
+  ctx.rng->FillLaplaceLanes(s.lane.noise.data(), meas_scale_.data(), m,
+                            lanes);
+  s.lane.y.assign(tree_->num_nodes() * lanes, 0.0);
+  kernels.scatter_measurements(s.lane.truth.data(), s.lane.noise.data(),
+                               meas_node_.data(), m, lanes,
+                               s.lane.y.data());
+  gls_.InferNodesMany(s.lane.y.data(), lanes, &s.lane.z, &s.lane.node_est);
+  est_lanes->resize(domain().TotalCells() * lanes);
+  for (size_t v : leaves_) {
+    const RangeTree::Node& node = tree_->node(v);
+    const size_t len = node.hi - node.lo + 1;
+    kernels.spread_divided(s.lane.node_est.data() + v * lanes,
+                           static_cast<double>(len),
+                           est_lanes->data() + node.lo * lanes, len, lanes);
   }
   return Status::OK();
 }

@@ -60,6 +60,14 @@ class RangeTreePlan : public MechanismPlan {
 
   Result<DataVector> Execute(const ExecContext& ctx) const override;
   Status ExecuteInto(const ExecContext& ctx, DataVector* out) const override;
+
+  /// The measurement schedule is fixed at plan time and the GLS passes
+  /// are branch-free in the measurements, so trials cannot diverge:
+  /// lockstep-safe.
+  bool SupportsLockstep() const override { return true; }
+  Status ExecuteMany(const ExecContext& ctx, size_t lanes,
+                     std::vector<double>* est_lanes) const override;
+
   Result<PlanPayload> SerializePayload() const override;
 
   /// Fills the shared range-tree payload fields (tree identity, budget

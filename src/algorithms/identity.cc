@@ -1,5 +1,6 @@
 #include "src/algorithms/identity.h"
 
+#include "src/common/lockstep.h"
 #include "src/mechanisms/laplace.h"
 
 namespace dpbench {
@@ -25,6 +26,27 @@ class IdentityPlan : public MechanismPlan {
     // Sensitivity of the full histogram is 1: one record changes one cell.
     return LaplaceMechanismInto(ctx.data.counts(), /*sensitivity=*/1.0,
                                 epsilon_, ctx.rng, &out->mutable_counts());
+  }
+
+  bool SupportsLockstep() const override { return true; }
+
+  Status ExecuteMany(const ExecContext& ctx, size_t lanes,
+                     std::vector<double>* est_lanes) const override {
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    DPB_RETURN_NOT_OK(CheckLanes(lanes));
+    ExecScratch local_scratch;
+    ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local_scratch;
+    const size_t n = ctx.data.size();
+    s.lane.noise.resize(n * lanes);
+    // Lane l draws the exact stream segment of the l-th scalar trial's
+    // FillLaplace; the add is commutative, so value + noise matches the
+    // scalar noise += value bit-for-bit.
+    ctx.rng->FillLaplaceLanes(s.lane.noise.data(), n, 1.0 / epsilon_, lanes);
+    est_lanes->resize(n * lanes);
+    lockstep::Active().add_shared_noise(ctx.data.counts().data(),
+                                        s.lane.noise.data(),
+                                        est_lanes->data(), n, lanes);
+    return Status::OK();
   }
 
   Result<PlanPayload> SerializePayload() const override {

@@ -117,6 +117,36 @@ void MechanismPlan::PrepareOut(DataVector* out) const {
   if (out->domain() != domain_) *out = DataVector(domain_);
 }
 
+Status MechanismPlan::CheckLanes(size_t lanes) const {
+  if (lanes < 1 || lanes > lockstep::kMaxLanes) {
+    return Status::InvalidArgument(mechanism_name_ +
+                                   ": lockstep lane count out of range");
+  }
+  return Status::OK();
+}
+
+Status MechanismPlan::ExecuteMany(const ExecContext& ctx, size_t lanes,
+                                  std::vector<double>* est_lanes) const {
+  if (lanes < 1) {
+    return Status::InvalidArgument(mechanism_name_ +
+                                   ": lockstep lane count out of range");
+  }
+  DPB_RETURN_NOT_OK(CheckExec(ctx));
+  ExecScratch local_scratch;
+  ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local_scratch;
+  const size_t n = domain().TotalCells();
+  est_lanes->resize(n * lanes);
+  for (size_t l = 0; l < lanes; ++l) {
+    ExecContext sub{ctx.data, ctx.rng, &s};
+    DPB_RETURN_NOT_OK(ExecuteInto(sub, &s.lane.tmp));
+    const std::vector<double>& cells = s.lane.tmp.counts();
+    for (size_t i = 0; i < n; ++i) {
+      (*est_lanes)[i * lanes + l] = cells[i];
+    }
+  }
+  return Status::OK();
+}
+
 /// Default plan for data-dependent algorithms: captures the plan-time
 /// inputs and defers all work to RunImpl() at execution time.
 class PassThroughPlan : public MechanismPlan {

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "src/algorithms/tree_inference.h"
+#include "src/common/lockstep.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/histogram/data_vector.h"
@@ -127,6 +128,25 @@ struct ExecScratch {
   std::vector<std::pair<double, size_t>> keyed;
   DataVector synth;              ///< MWEM synthetic estimate
   FlatTreeScratch tree;          ///< dynamic measurement-tree workspace
+
+  /// Lane-major buffers for trial-lockstep execution (ExecuteMany):
+  /// element i of lane l lives at buf[i * lanes + l]. Disjoint from the
+  /// scalar buffers above so a lockstep batch and the shared (lane-less)
+  /// precomputation can coexist; the same clobbering convention applies to
+  /// nested plan execution.
+  struct LaneArena {
+    std::vector<double> noise;     ///< lane-strided Rng fills
+    std::vector<double> y;         ///< per-node measurements / padded grid
+    std::vector<double> z;         ///< GLS bottom-up pass / column scatter
+    std::vector<double> node_est;  ///< GLS node estimates
+    std::vector<double> coef;      ///< wavelet coefficients
+    std::vector<double> work;      ///< inverse-transform work space
+    std::vector<double> colw;      ///< column gather (2D wavelet)
+    std::vector<double> truth;     ///< shared per-measurement truths (no lanes)
+    std::vector<double> linear;    ///< linearized estimates (GREEDY_H 2D)
+    DataVector tmp;                ///< scalar slot for the fallback path
+  };
+  LaneArena lane;
 };
 
 /// Data-dependent inputs consumed at execution time.
@@ -201,6 +221,23 @@ class MechanismPlan {
   /// accounting — caching a pass-through plan saves nothing).
   virtual bool precomputed() const { return true; }
 
+  /// True if ExecuteMany() runs trials in SoA lockstep (a lane-major
+  /// override) rather than the scalar fallback loop. Only plans whose
+  /// per-trial control flow is data-independent — so lanes can never
+  /// diverge — return true; the runner batches trials through ExecuteMany
+  /// only for these.
+  virtual bool SupportsLockstep() const { return false; }
+
+  /// Executes `lanes` consecutive trials and writes their estimates
+  /// lane-major into *est_lanes (cell i of trial l at [i * lanes + l];
+  /// resized to TotalCells() * lanes). Stream contract: consumes exactly
+  /// the draws of `lanes` successive ExecuteInto() calls, and lane l is
+  /// bit-identical to the l-th of those calls. The default loops
+  /// ExecuteInto() scalar (valid for every plan); lockstep overrides
+  /// require 1 <= lanes <= lockstep::kMaxLanes.
+  virtual Status ExecuteMany(const ExecContext& ctx, size_t lanes,
+                             std::vector<double>* est_lanes) const;
+
   /// Extracts the serializable payload of this plan. Default: NotSupported
   /// (pass-through plans and plans without serialization hooks). Plans
   /// that override it guarantee Mechanism::HydratePlan() on the payload
@@ -223,6 +260,10 @@ class MechanismPlan {
   /// nothing is allocated; ExecuteInto overrides must then overwrite every
   /// cell.
   void PrepareOut(DataVector* out) const;
+
+  /// Validates a lockstep lane count: 1 <= lanes <= lockstep::kMaxLanes.
+  /// Call first in ExecuteMany() overrides (after CheckExec).
+  Status CheckLanes(size_t lanes) const;
 
  private:
   std::string mechanism_name_;

@@ -1,7 +1,9 @@
 #include "src/algorithms/privelet.h"
 
 #include <cmath>
+#include <cstring>
 
+#include "src/common/lockstep.h"
 #include "src/common/logging.h"
 #include "src/common/math.h"
 
@@ -88,6 +90,23 @@ class PriveletPlan : public MechanismPlan {
     return Execute2D(ctx, s, out);
   }
 
+  /// The transform layout and noise schedule are plan-time constants, so
+  /// trials cannot diverge: lockstep-safe. The forward transform of the
+  /// (shared) data runs once per batch; only the noisy coefficients and
+  /// the inverse transform are per-lane.
+  bool SupportsLockstep() const override { return true; }
+
+  Status ExecuteMany(const ExecContext& ctx, size_t lanes,
+                     std::vector<double>* est_lanes) const override {
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    DPB_RETURN_NOT_OK(CheckLanes(lanes));
+    ExecScratch local;
+    ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local;
+    if (domain().num_dims() == 1) return ExecuteMany1D(ctx, s, lanes,
+                                                       est_lanes);
+    return ExecuteMany2D(ctx, s, lanes, est_lanes);
+  }
+
   Result<PlanPayload> SerializePayload() const override {
     PlanPayload p;
     p.mechanism = mechanism_name();
@@ -171,6 +190,98 @@ class PriveletPlan : public MechanismPlan {
       for (size_t c = 0; c < cols; ++c) {
         cells[r * cols + c] = grid[r * pcol + c];
       }
+    }
+    return Status::OK();
+  }
+
+  Status ExecuteMany1D(const ExecContext& ctx, ExecScratch& s, size_t lanes,
+                       std::vector<double>* est_lanes) const {
+    const lockstep::Kernels& kernels = lockstep::Active();
+    const size_t n = padded_cols_;
+    // Shared forward transform of the padded data — identical every
+    // trial, so one pass serves all lanes.
+    std::vector<double>& work = s.prefix;
+    work.assign(n, 0.0);
+    const std::vector<double>& counts = ctx.data.counts();
+    for (size_t i = 0; i < counts.size(); ++i) work[i] = counts[i];
+    std::vector<double>& coef = s.coef;
+    coef.assign(n, 0.0);
+    wavelet::HaarForwardInPlace(work.data(), coef.data(), n);
+    // Per-lane noisy coefficients and inverse transform.
+    s.lane.noise.resize(n * lanes);
+    ctx.rng->FillLaplaceLanes(s.lane.noise.data(), n, noise_scale_, lanes);
+    s.lane.coef.resize(n * lanes);
+    kernels.add_shared_noise(coef.data(), s.lane.noise.data(),
+                             s.lane.coef.data(), n, lanes);
+    s.lane.work.resize(n * lanes);
+    kernels.haar_inverse(s.lane.coef.data(), s.lane.work.data(), n, lanes);
+    const size_t cells = domain().TotalCells();
+    est_lanes->assign(s.lane.work.begin(),
+                      s.lane.work.begin() + cells * lanes);
+    return Status::OK();
+  }
+
+  Status ExecuteMany2D(const ExecContext& ctx, ExecScratch& s, size_t lanes,
+                       std::vector<double>* est_lanes) const {
+    const lockstep::Kernels& kernels = lockstep::Active();
+    const size_t rows = domain().size(0), cols = domain().size(1);
+    const size_t prow = padded_rows_, pcol = padded_cols_;
+    // Shared separable forward transform (same buffers as Execute2D).
+    std::vector<double>& grid = s.y;
+    std::vector<double>& coef = s.coef;
+    std::vector<double>& colw = s.z;
+    std::vector<double>& colc = s.node_est;
+    grid.assign(prow * pcol, 0.0);
+    coef.assign(prow * pcol, 0.0);
+    colw.assign(prow, 0.0);
+    colc.assign(prow, 0.0);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        grid[r * pcol + c] = ctx.data[r * cols + c];
+      }
+    }
+    for (size_t r = 0; r < prow; ++r) {
+      wavelet::HaarForwardInPlace(&grid[r * pcol], &coef[r * pcol], pcol);
+    }
+    for (size_t c = 0; c < pcol; ++c) {
+      for (size_t r = 0; r < prow; ++r) colw[r] = coef[r * pcol + c];
+      wavelet::HaarForwardInPlace(colw.data(), colc.data(), prow);
+      for (size_t r = 0; r < prow; ++r) coef[r * pcol + c] = colc[r];
+    }
+    // Per-lane noise + inverse: columns first, then rows, mirroring the
+    // scalar sweep order.
+    const size_t padded = prow * pcol;
+    s.lane.noise.resize(padded * lanes);
+    ctx.rng->FillLaplaceLanes(s.lane.noise.data(), padded, noise_scale_,
+                              lanes);
+    s.lane.coef.resize(padded * lanes);
+    kernels.add_shared_noise(coef.data(), s.lane.noise.data(),
+                             s.lane.coef.data(), padded, lanes);
+    s.lane.colw.resize(prow * lanes);
+    s.lane.z.resize(prow * lanes);
+    for (size_t c = 0; c < pcol; ++c) {
+      for (size_t r = 0; r < prow; ++r) {
+        std::memcpy(&s.lane.colw[r * lanes],
+                    &s.lane.coef[(r * pcol + c) * lanes],
+                    lanes * sizeof(double));
+      }
+      kernels.haar_inverse(s.lane.colw.data(), s.lane.z.data(), prow,
+                           lanes);
+      for (size_t r = 0; r < prow; ++r) {
+        std::memcpy(&s.lane.coef[(r * pcol + c) * lanes],
+                    &s.lane.z[r * lanes], lanes * sizeof(double));
+      }
+    }
+    s.lane.work.resize(padded * lanes);
+    for (size_t r = 0; r < prow; ++r) {
+      kernels.haar_inverse(&s.lane.coef[r * pcol * lanes],
+                           &s.lane.work[r * pcol * lanes], pcol, lanes);
+    }
+    est_lanes->resize(rows * cols * lanes);
+    for (size_t r = 0; r < rows; ++r) {
+      std::memcpy(&(*est_lanes)[r * cols * lanes],
+                  &s.lane.work[r * pcol * lanes],
+                  cols * lanes * sizeof(double));
     }
     return Status::OK();
   }

@@ -5,6 +5,7 @@
 #include <deque>
 #include <utility>
 
+#include "src/common/lockstep.h"
 #include "src/common/logging.h"
 
 namespace dpbench {
@@ -405,6 +406,20 @@ void PlannedTreeGls::InferNodesInto(const std::vector<double>& y,
       est[c] = z[c] + residual * r_[c];
     }
   }
+}
+
+void PlannedTreeGls::InferNodesMany(const double* y_lanes, size_t lanes,
+                                    std::vector<double>* z_buf,
+                                    std::vector<double>* est_buf) const {
+  const size_t n = a_.size();
+  DPB_CHECK_GE(lanes, 1u);
+  DPB_CHECK_LE(lanes, lockstep::kMaxLanes);
+  z_buf->assign(n * lanes, 0.0);
+  est_buf->assign(n * lanes, 0.0);
+  lockstep::Active().gls_infer(n, order_.data(), child_start_.data(),
+                               children_.data(), a_.data(), b_.data(),
+                               r_.data(), root_, y_lanes, lanes,
+                               z_buf->data(), est_buf->data());
 }
 
 RangeTree RangeTree::Build(size_t n, size_t branching) {

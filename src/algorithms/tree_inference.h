@@ -72,6 +72,16 @@ class PlannedTreeGls {
   void InferNodesInto(const std::vector<double>& y, std::vector<double>* z,
                       std::vector<double>* est) const;
 
+  /// Lane-major lockstep form of InferNodesInto for trial batches:
+  /// y_lanes holds num_nodes() * lanes measurements (node v of lane l at
+  /// [v * lanes + l]); z/est are resized likewise. Lane l's estimates are
+  /// bit-identical to InferNodesInto on lane l's measurements — both
+  /// passes keep per-lane accumulation order, vectorizing only across the
+  /// independent lane dimension (dispatched through lockstep::Active()).
+  /// lanes must be in [1, lockstep::kMaxLanes].
+  void InferNodesMany(const double* y_lanes, size_t lanes,
+                      std::vector<double>* z, std::vector<double>* est) const;
+
   size_t num_nodes() const { return a_.size(); }
 
   /// The solver's full internal state, exposed so plans can serialize

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/lockstep.h"
 #include "src/mechanisms/budget.h"
 #include "src/mechanisms/laplace.h"
 
@@ -107,6 +108,55 @@ class UGridPlan : public MechanismPlan {
           for (size_t c = c0; c <= c1; ++c) {
             cells[r * cols + c] = noisy / area;
           }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Lockstep only with a public-scale plan: the private-scale path draws
+  /// a data-dependent resolution estimate per trial, so its control flow
+  /// can diverge across lanes.
+  bool SupportsLockstep() const override { return m_.has_value(); }
+
+  Status ExecuteMany(const ExecContext& ctx, size_t lanes,
+                     std::vector<double>* est_lanes) const override {
+    if (!m_.has_value()) {
+      return MechanismPlan::ExecuteMany(ctx, lanes, est_lanes);
+    }
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    DPB_RETURN_NOT_OK(CheckLanes(lanes));
+    ExecScratch local;
+    ExecScratch& s = ctx.scratch != nullptr ? *ctx.scratch : local;
+    const lockstep::Kernels& kernels = lockstep::Active();
+    const size_t rows = domain().size(0), cols = domain().size(1);
+    const size_t m = *m_;
+    const double eps = epsilon_;
+    auto row_lo = [&](size_t g) { return g * rows / m; };
+    auto col_lo = [&](size_t g) { return g * cols / m; };
+    // Grid-count truths are data-only and shared across lanes.
+    ComputePrefixSums(ctx.data, &s.prefix);
+    const std::vector<double>& cum = s.prefix;
+    const size_t stride = cols + 1;
+    s.lane.noise.resize(m * m * lanes);
+    ctx.rng->FillLaplaceLanes(s.lane.noise.data(), m * m, 1.0 / eps, lanes);
+    est_lanes->resize(rows * cols * lanes);
+    double noisy[lockstep::kMaxLanes];
+    for (size_t gr = 0; gr < m; ++gr) {
+      size_t r0 = row_lo(gr), r1 = row_lo(gr + 1) - 1;
+      for (size_t gc = 0; gc < m; ++gc) {
+        size_t c0 = col_lo(gc), c1 = col_lo(gc + 1) - 1;
+        double truth = cum[(r1 + 1) * stride + (c1 + 1)] -
+                       cum[r0 * stride + (c1 + 1)] -
+                       cum[(r1 + 1) * stride + c0] + cum[r0 * stride + c0];
+        const double* nz = s.lane.noise.data() + (gr * m + gc) * lanes;
+        for (size_t l = 0; l < lanes; ++l) noisy[l] = truth + nz[l];
+        double area = static_cast<double>((r1 - r0 + 1) * (c1 - c0 + 1));
+        const size_t width = c1 - c0 + 1;
+        for (size_t r = r0; r <= r1; ++r) {
+          kernels.spread_divided(noisy, area,
+                                 est_lanes->data() + (r * cols + c0) * lanes,
+                                 width, lanes);
         }
       }
     }

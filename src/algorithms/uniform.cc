@@ -1,5 +1,7 @@
 #include "src/algorithms/uniform.h"
 
+#include "src/common/lockstep.h"
+
 namespace dpbench {
 
 namespace {
@@ -27,6 +29,27 @@ class UniformPlan : public MechanismPlan {
     std::vector<double>& cells = out->mutable_counts();
     double per_cell = total / static_cast<double>(n);
     for (size_t i = 0; i < n; ++i) cells[i] = per_cell;
+    return Status::OK();
+  }
+
+  bool SupportsLockstep() const override { return true; }
+
+  Status ExecuteMany(const ExecContext& ctx, size_t lanes,
+                     std::vector<double>* est_lanes) const override {
+    DPB_RETURN_NOT_OK(CheckExec(ctx));
+    DPB_RETURN_NOT_OK(CheckLanes(lanes));
+    // The total-count truth is data-only, hence identical across lanes;
+    // each lane adds its own single Laplace draw (one draw per scalar
+    // trial, so the lane stream segments line up).
+    const double truth = ctx.data.Scale();
+    double noise[lockstep::kMaxLanes];
+    ctx.rng->FillLaplaceLanes(noise, 1, 1.0 / epsilon_, lanes);
+    double totals[lockstep::kMaxLanes];
+    for (size_t l = 0; l < lanes; ++l) totals[l] = truth + noise[l];
+    const size_t n = ctx.data.size();
+    est_lanes->resize(n * lanes);
+    lockstep::Active().spread_divided(totals, static_cast<double>(n),
+                                      est_lanes->data(), n, lanes);
     return Status::OK();
   }
 

@@ -1,0 +1,115 @@
+#include "src/common/lockstep.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dpbench {
+namespace lockstep {
+
+// Defined in lockstep_base.cc / lockstep_avx2.cc.
+const Kernels& BaseKernels();
+const Kernels& Avx2Kernels();
+
+namespace {
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+// -1 = no test override.
+std::atomic<int> g_forced{-1};
+
+IsaTier BestSupportedTier() {
+  return CpuHasAvx2() ? IsaTier::kAvx2 : IsaTier::kSse2;
+}
+
+IsaTier ResolveTier() {
+  const char* env = std::getenv("DPBENCH_FORCE_ISA");
+  if (env == nullptr || env[0] == '\0') return BestSupportedTier();
+  IsaTier forced;
+  if (std::strcmp(env, "scalar") == 0) {
+    forced = IsaTier::kScalar;
+  } else if (std::strcmp(env, "sse2") == 0) {
+    forced = IsaTier::kSse2;
+  } else if (std::strcmp(env, "avx2") == 0) {
+    forced = IsaTier::kAvx2;
+  } else {
+    std::fprintf(stderr,
+                 "DPBENCH_FORCE_ISA=%s not recognized (want scalar|sse2|avx2);"
+                 " using autodetection\n",
+                 env);
+    return BestSupportedTier();
+  }
+  if (!TierAvailable(forced)) {
+    std::fprintf(stderr,
+                 "DPBENCH_FORCE_ISA=%s not supported by this CPU; using %s\n",
+                 env, TierName(BestSupportedTier()));
+    return BestSupportedTier();
+  }
+  return forced;
+}
+
+}  // namespace
+
+const char* TierName(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::kScalar:
+      return "scalar";
+    case IsaTier::kSse2:
+      return "sse2";
+    case IsaTier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool TierAvailable(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::kScalar:
+    case IsaTier::kSse2:
+      return true;
+    case IsaTier::kAvx2:
+      return CpuHasAvx2();
+  }
+  return false;
+}
+
+size_t LaneWidth(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::kScalar:
+      return 1;
+    case IsaTier::kSse2:
+      return 4;
+    case IsaTier::kAvx2:
+      return 8;
+  }
+  return 1;
+}
+
+const Kernels& KernelsFor(IsaTier tier) {
+  return tier == IsaTier::kAvx2 ? Avx2Kernels() : BaseKernels();
+}
+
+IsaTier ActiveTier() {
+  int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<IsaTier>(forced);
+  static const IsaTier resolved = ResolveTier();
+  return resolved;
+}
+
+void ForceTierForTesting(IsaTier tier) {
+  g_forced.store(static_cast<int>(tier), std::memory_order_relaxed);
+}
+
+void ResetTierForTesting() {
+  g_forced.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace lockstep
+}  // namespace dpbench

@@ -1,0 +1,134 @@
+// Trial-lockstep SoA kernels with runtime ISA dispatch.
+//
+// ExecuteMany() runs several trials of one cached plan in lockstep: every
+// per-trial buffer becomes lane-major (element i of lane l lives at
+// buf[i * lanes + l]), so the per-element loops vectorize across the
+// *independent* lane dimension while each lane's scalar operation order is
+// preserved exactly. That is what makes the lockstep path bit-identical to
+// the scalar trial loop: no reduction is reassociated, no operation
+// reordered — lanes are simply packed side by side.
+//
+// The kernels are compiled twice from one source (lockstep_kernels.inc):
+// once at the build's baseline ISA (SSE2 on x86-64) and once with -mavx2.
+// Both translation units are built with -ffp-contract=off and without
+// -mfma, so no tier fuses multiply+add and every tier produces the same
+// bits — the dispatcher picks width, never values. Tier selection is
+// automatic (CPUID) with a DPBENCH_FORCE_ISA=scalar|sse2|avx2 env
+// override; AVX-512 machines run the avx2 tier.
+#ifndef DPBENCH_COMMON_LOCKSTEP_H_
+#define DPBENCH_COMMON_LOCKSTEP_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dpbench {
+namespace lockstep {
+
+/// Upper bound on lanes per ExecuteMany batch (the kernels keep per-lane
+/// accumulators in fixed stack arrays of this size).
+inline constexpr size_t kMaxLanes = 8;
+
+/// Codegen tiers, ordered by preference. The tier decides the runner's
+/// batch width and which kernel build the calls route to; it never
+/// changes results.
+enum class IsaTier {
+  kScalar = 0,  ///< no lockstep batching (width 1)
+  kSse2 = 1,    ///< baseline build, 4 trials per batch
+  kAvx2 = 2,    ///< -mavx2 build, 8 trials per batch
+};
+
+/// SoA kernel table. All buffers are lane-major unless noted; `lanes` must
+/// be in [1, kMaxLanes]. Each kernel mirrors one scalar loop from the
+/// execution path, with the lane loop innermost.
+struct Kernels {
+  /// dst[i*L+l] = shared[i] + noise[i*L+l] (shared truth + per-lane noise).
+  void (*add_shared_noise)(const double* shared, const double* noise,
+                           double* dst, size_t n, size_t lanes);
+  /// y[nodes[k]*L+l] = truth[k] + noise[k*L+l] — the tree measurement
+  /// scatter (truth is per-measurement, not lane-major).
+  void (*scatter_measurements)(const double* truth, const double* noise,
+                               const size_t* nodes, size_t m, size_t lanes,
+                               double* y);
+  /// Lane-major inverse Haar wavelet transform (wavelet::HaarInverseInPlace
+  /// with coef and out separated); n must be a power of two.
+  void (*haar_inverse)(const double* coef, double* out, size_t n,
+                       size_t lanes);
+  /// Lane-major PlannedTreeGls::InferNodesInto: bottom-up z pass over the
+  /// reversed BFS `order`, then top-down residual distribution. z and est
+  /// must be zero-filled by the caller (num_nodes * lanes each).
+  void (*gls_infer)(size_t num_nodes, const size_t* order,
+                    const size_t* child_start, const size_t* children,
+                    const double* a, const double* b, const double* r,
+                    size_t root, const double* y, size_t lanes, double* z,
+                    double* est);
+  /// Lane-major 1D prefix sums: cum[(i+1)*L+l] = cum[i*L+l] + x[i*L+l],
+  /// cum row 0 zero-filled by the kernel. cum holds (n+1)*lanes doubles.
+  void (*prefix_1d)(const double* x, size_t n, size_t lanes, double* cum);
+  /// Lane-major 2D inclusion-exclusion prefix table, mirroring
+  /// PrefixSums' construction; cum holds (rows+1)*(cols+1)*lanes doubles
+  /// and must be zero-filled by the caller (border rows stay zero).
+  void (*prefix_2d)(const double* x, size_t rows, size_t cols, size_t lanes,
+                    double* cum);
+  /// 1D workload corners: out[i*L+l] = cum[idx[2i]*L+l] - cum[idx[2i+1]*L+l].
+  void (*eval_corners2)(const double* cum, const size_t* idx, size_t q,
+                        size_t lanes, double* out);
+  /// 2D workload corners (+ - - + per query, 4 indices each).
+  void (*eval_corners4)(const double* cum, const size_t* idx, size_t q,
+                        size_t lanes, double* out);
+  /// Uniform expansion: per lane q[l] = vals[l] / divisor (computed once),
+  /// then dst[c*L+l] = q[l] for c in [0, cells) — the leaf/grid-cell
+  /// spread, bit-identical to dividing in every cell since the quotient is
+  /// deterministic.
+  void (*spread_divided)(const double* vals, double divisor, double* dst,
+                         size_t cells, size_t lanes);
+  /// Lane-strided noise fills — the bodies behind Rng::Fill*Lanes. Lane l
+  /// reads Philox stream positions [base + l*n, base + (l+1)*n) under
+  /// `key`; transformed draws land lane-major in out (n * lanes doubles).
+  /// Dispatching these puts Philox block generation and the uniform /
+  /// Laplace transform — the bulk of a data-independent trial's cost — on
+  /// the active tier's ISA. Block generation is pure integer (exact
+  /// everywhere) and the transforms are contract-off IEEE ops, so every
+  /// tier's fill stays byte-identical to the scalar Rng draws.
+  void (*fill_uniform_lanes)(uint64_t key, uint64_t base, double* out,
+                             size_t n, size_t lanes);
+  void (*fill_laplace_lanes)(uint64_t key, uint64_t base, double* out,
+                             size_t n, double scale, size_t lanes);
+  /// Per-draw-scale form: draw j of every lane uses scales[j] (tree
+  /// measurement schedules). Scales are validated by the caller.
+  void (*fill_laplace_lanes_scales)(uint64_t key, uint64_t base, double* out,
+                                    const double* scales, size_t n,
+                                    size_t lanes);
+};
+
+/// Human-readable tier name ("scalar" / "sse2" / "avx2").
+const char* TierName(IsaTier tier);
+
+/// True if the CPU can run `tier`. kScalar/kSse2 are always available on
+/// the baseline build; kAvx2 requires CPU support.
+bool TierAvailable(IsaTier tier);
+
+/// Trials per lockstep batch for a tier: 1 / 4 / 8.
+size_t LaneWidth(IsaTier tier);
+
+/// The kernel build a tier routes to (scalar and sse2 share the baseline
+/// build; avx2 uses the -mavx2 build). All builds are bit-identical.
+const Kernels& KernelsFor(IsaTier tier);
+
+/// The dispatched tier: DPBENCH_FORCE_ISA if set and available (an
+/// unavailable or unrecognized value warns once on stderr and falls back),
+/// else the best CPU-supported tier. Cached after the first call.
+IsaTier ActiveTier();
+
+inline size_t ActiveLaneWidth() { return LaneWidth(ActiveTier()); }
+inline const Kernels& Active() { return KernelsFor(ActiveTier()); }
+
+/// Test hook: pin the active tier (bypassing env and autodetection) or
+/// reset to the default resolution. Not thread-safe against a concurrent
+/// Run(); flip it only between runs.
+void ForceTierForTesting(IsaTier tier);
+void ResetTierForTesting();
+
+}  // namespace lockstep
+}  // namespace dpbench
+
+#endif  // DPBENCH_COMMON_LOCKSTEP_H_

@@ -1,0 +1,27 @@
+// AVX2 build of the lockstep kernels: same source as lockstep_base.cc,
+// compiled with -mavx2 (when the compiler supports it) and
+// -ffp-contract=off / no -mfma, so the wider codegen produces exactly the
+// same bits — only throughput differs. The dispatcher never selects this
+// build on CPUs without AVX2.
+#include <cstddef>
+
+#include "src/common/lockstep.h"
+#include "src/common/rng_transform.h"
+
+namespace dpbench {
+namespace lockstep {
+namespace {
+#include "src/common/lockstep_kernels.inc"
+}  // namespace
+
+const Kernels& Avx2Kernels() {
+  static const Kernels k = {AddSharedNoise, ScatterMeasurements, HaarInverse,
+                            GlsInfer,       Prefix1D,            Prefix2D,
+                            EvalCorners2,   EvalCorners4,        SpreadDivided,
+                            FillUniformLanes, FillLaplaceLanes,
+                            FillLaplaceLanesScales};
+  return k;
+}
+
+}  // namespace lockstep
+}  // namespace dpbench

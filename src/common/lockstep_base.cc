@@ -1,0 +1,24 @@
+// Baseline-ISA build of the lockstep kernels (SSE2 on x86-64). Compiled
+// with -ffp-contract=off like the avx2 build, so both are bit-identical.
+#include <cstddef>
+
+#include "src/common/lockstep.h"
+#include "src/common/rng_transform.h"
+
+namespace dpbench {
+namespace lockstep {
+namespace {
+#include "src/common/lockstep_kernels.inc"
+}  // namespace
+
+const Kernels& BaseKernels() {
+  static const Kernels k = {AddSharedNoise, ScatterMeasurements, HaarInverse,
+                            GlsInfer,       Prefix1D,            Prefix2D,
+                            EvalCorners2,   EvalCorners4,        SpreadDivided,
+                            FillUniformLanes, FillLaplaceLanes,
+                            FillLaplaceLanesScales};
+  return k;
+}
+
+}  // namespace lockstep
+}  // namespace dpbench

@@ -11,7 +11,9 @@
 #include <cstring>
 #include <limits>
 
+#include "src/common/lockstep.h"
 #include "src/common/logging.h"
+#include "src/common/rng_transform.h"
 
 namespace dpbench {
 
@@ -20,78 +22,17 @@ namespace {
 constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
 constexpr uint64_t kFnvPrime = 1099511628211ULL;
 
-// Philox4x32 round constants (Random123's PHILOX_M4x32_* / PHILOX_W32_*).
-constexpr uint64_t kPhiloxM0 = 0xD2511F53ULL;
-constexpr uint64_t kPhiloxM1 = 0xCD9E8D57ULL;
-constexpr uint32_t kPhiloxW0 = 0x9E3779B9U;
-constexpr uint32_t kPhiloxW1 = 0xBB67AE85U;
-
-inline uint64_t BitsOf(double x) {
-  uint64_t bits;
-  std::memcpy(&bits, &x, sizeof(bits));
-  return bits;
-}
-
-inline double DoubleOf(uint64_t bits) {
-  double x;
-  std::memcpy(&x, &bits, sizeof(x));
-  return x;
-}
-
-constexpr double kLn2 = 0.6931471805599453;         // round(ln 2)
-constexpr double kSqrt2 = 1.4142135623730951;       // round(sqrt 2)
-
-// log(x) for positive normal x: decompose x = m * 2^e with m in
-// [1/sqrt2, sqrt2), then log(m) = 2 artanh(s) with s = (m-1)/(m+1),
-// |s| <= sqrt2-1 / sqrt2+1 = 0.1716, via the odd series
-// 2s (1 + s^2/3 + s^4/5 + ... + s^14/15). Truncation error is below
-// 1e-13 relative; every operation is a plain IEEE double op, so a loop
-// over this inline body auto-vectorizes and gives bit-identical results
-// lane-for-lane with the scalar evaluation.
-inline double FastLogImpl(double x) {
-  uint64_t bits = BitsOf(x);
-  // Exponent as a double via an int32 conversion (packed-vectorizable on
-  // SSE2, unlike int64 -> double).
-  double e = static_cast<double>(static_cast<int32_t>(bits >> 52)) - 1023.0;
-  double m = DoubleOf((bits & 0x000FFFFFFFFFFFFFULL) |
-                      0x3FF0000000000000ULL);  // mantissa in [1, 2)
-  // Shift m into [1/sqrt2, sqrt2) so the series argument stays small.
-  // The select is a single arithmetic blend — m - shift*(0.5*m) is
-  // exactly 0.5*m or m since halving is exact — because a shared boolean
-  // feeding two conditional moves defeats GCC's loop if-conversion and
-  // would leave the whole transform scalar.
-  double shift = (m > kSqrt2) ? 1.0 : 0.0;
-  e += shift;
-  m = m - shift * (0.5 * m);
-  double s = (m - 1.0) / (m + 1.0);
-  double z = s * s;
-  double p = 1.0 / 15.0;
-  p = p * z + 1.0 / 13.0;
-  p = p * z + 1.0 / 11.0;
-  p = p * z + 1.0 / 9.0;
-  p = p * z + 1.0 / 7.0;
-  p = p * z + 1.0 / 5.0;
-  p = p * z + 1.0 / 3.0;
-  p = p * z + 1.0;
-  return e * kLn2 + 2.0 * s * p;
-}
-
-// Laplace(0, scale) from one raw 64-bit draw; shared by the scalar and
-// block paths so they are bit-identical by construction. The top 52 bits
-// build u in (0, 1] directly in the mantissa (2 - [1,2) avoids an
-// unvectorizable uint64 -> double conversion and log(0)), bit 0 flips the
-// sign of the non-positive scale * log(u) through the IEEE sign bit —
-// no branches, no libm.
-inline double LaplaceFromDraw(uint64_t r, double scale) {
-  double u = 2.0 - DoubleOf(0x3FF0000000000000ULL | (r >> 12));  // (0, 1]
-  double v = scale * FastLogImpl(u);                             // <= 0
-  return DoubleOf(BitsOf(v) ^ ((r & 1) << 63));
-}
-
-// Fill granularity: raw counter output is staged through a fixed stack
-// chunk (2 KiB) so fills of any length stay allocation-free and the
-// transform runs over a cache-hot contiguous buffer.
-constexpr size_t kFillChunk = 256;
+// The transform bodies (FastLogImpl, LaplaceFromDraw, ...) live in
+// src/common/rng_transform.h so the ISA-dispatched lockstep fill kernels
+// compile the identical source; this file keeps the scalar entry points.
+using rng_transform::kPhiloxM0;
+using rng_transform::kPhiloxM1;
+using rng_transform::kPhiloxW0;
+using rng_transform::kPhiloxW1;
+using rng_transform::FastLogImpl;
+using rng_transform::LaplaceFromDraw;
+using rng_transform::UniformFromDraw;
+using rng_transform::kFillChunk;
 
 }  // namespace
 
@@ -201,6 +142,28 @@ void Philox4x32::FillRaw(uint64_t* out, size_t n) {
   }
 }
 
+void Philox4x32::FillRawAt(uint64_t pos, uint64_t* out, size_t n) const {
+  size_t i = 0;
+  if (n == 0) return;
+  if (pos & 1) {
+    // Mid-block start: emit the second half of the straddled block.
+    uint64_t b[2];
+    Block(key_, pos >> 1, b);
+    out[i++] = b[1];
+    ++pos;
+  }
+  while (n - i >= 2) {
+    Block(key_, pos >> 1, out + i);
+    pos += 2;
+    i += 2;
+  }
+  if (i < n) {
+    uint64_t b[2];
+    Block(key_, pos >> 1, b);
+    out[i] = b[0];
+  }
+}
+
 double FastLog(double x) {
   DPB_CHECK(std::isnormal(x) && x > 0.0);
   return FastLogImpl(x);
@@ -252,7 +215,7 @@ void Rng::FillUniform(double* out, size_t n) {
     gen_.FillRaw(raw, chunk);
     double* o = out + i;
     for (size_t j = 0; j < chunk; ++j) {
-      o[j] = static_cast<double>(raw[j] >> 11) * 0x1.0p-53;
+      o[j] = UniformFromDraw(raw[j]);
     }
     i += chunk;
   }
@@ -291,6 +254,42 @@ void Rng::FillLaplace(double* out, const double* scales, size_t n) {
     }
     i += chunk;
   }
+}
+
+// The lane-strided fills route through the dispatched lockstep kernel
+// table: the kernel bodies (lockstep_kernels.inc) compile the same
+// rng_transform.h source as this file, but at the active tier's ISA, so
+// noise generation for a lockstep batch runs at AVX2 width on AVX2
+// machines while staying byte-identical to the scalar fills (integer
+// Philox blocks; contract-off IEEE transforms). The generator only lends
+// its (key, position) and skips past the consumed draws — its block cache
+// is untouched, exactly like the FillRawAt-based path these replaced.
+
+void Rng::FillUniformLanes(double* out, size_t n, size_t lanes) {
+  DPB_CHECK_GE(lanes, 1u);
+  lockstep::Active().fill_uniform_lanes(gen_.key(), gen_.position(), out, n,
+                                        lanes);
+  gen_.Skip(static_cast<uint64_t>(lanes) * n);
+}
+
+void Rng::FillLaplaceLanes(double* out, size_t n, double scale,
+                           size_t lanes) {
+  DPB_CHECK(std::isfinite(scale) && scale > 0.0);
+  DPB_CHECK_GE(lanes, 1u);
+  lockstep::Active().fill_laplace_lanes(gen_.key(), gen_.position(), out, n,
+                                        scale, lanes);
+  gen_.Skip(static_cast<uint64_t>(lanes) * n);
+}
+
+void Rng::FillLaplaceLanes(double* out, const double* scales, size_t n,
+                           size_t lanes) {
+  DPB_CHECK_GE(lanes, 1u);
+  for (size_t k = 0; k < n; ++k) {
+    DPB_CHECK(std::isfinite(scales[k]) && scales[k] > 0.0);
+  }
+  lockstep::Active().fill_laplace_lanes_scales(gen_.key(), gen_.position(),
+                                               out, scales, n, lanes);
+  gen_.Skip(static_cast<uint64_t>(lanes) * n);
 }
 
 double Rng::Gumbel() {

@@ -82,6 +82,16 @@ class Philox4x32 {
   /// after this call were grouped.
   void FillRaw(uint64_t* out, size_t n);
 
+  /// Writes the `n` draws at absolute stream positions [pos, pos + n)
+  /// without touching the generator's own position or block cache — the
+  /// random-access form of FillRaw that the lane-strided fills use to
+  /// produce several trials' stream segments from one generator.
+  void FillRawAt(uint64_t pos, uint64_t* out, size_t n) const;
+
+  /// Advances the stream position by `draws` without generating output,
+  /// as if that many draws had been consumed.
+  void Skip(uint64_t draws) { pos_ += draws; }
+
   /// The 128-bit output block for (key, block index), as two 64-bit words
   /// (out[0] = words 0:1, out[1] = words 2:3).
   static void Block(uint64_t key, uint64_t block, uint64_t out[2]);
@@ -154,6 +164,25 @@ class Rng {
   /// Laplace(0, scales[i]) — byte-identical to calling Laplace(scales[i])
   /// in index order. Every scales[i] must be positive and finite.
   void FillLaplace(double* out, const double* scales, size_t n);
+
+  /// Lane-strided fills for trial-lockstep execution: one call consumes
+  /// exactly the draws of `lanes` successive scalar fills of length n, and
+  /// lane l's values are byte-identical to the l-th of those scalar fills
+  /// (lane l reads stream positions [base + l*n, base + (l+1)*n), where
+  /// base is the position on entry). Output is lane-major:
+  /// out[j * lanes + l] is draw j of lane l; out must hold n * lanes
+  /// doubles. lanes must be >= 1; lanes == 1 degenerates to the scalar
+  /// fill.
+  void FillUniformLanes(double* out, size_t n, size_t lanes);
+
+  /// Lane-strided FillLaplace(out, n, scale); same stream contract as
+  /// FillUniformLanes.
+  void FillLaplaceLanes(double* out, size_t n, double scale, size_t lanes);
+
+  /// Lane-strided per-scale FillLaplace: draw j of every lane uses
+  /// scales[j]. Same stream contract as FillUniformLanes.
+  void FillLaplaceLanes(double* out, const double* scales, size_t n,
+                        size_t lanes);
 
   /// Standard Gumbel(0,1) sample, used by the Gumbel-max trick.
   double Gumbel();

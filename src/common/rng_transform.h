@@ -1,0 +1,274 @@
+// Inline bodies of the counter-RNG hot path, shared between rng.cc and the
+// ISA-retargeted lockstep kernel builds (lockstep_base.cc / lockstep_avx2.cc).
+//
+// rng.cc used to own these in its anonymous namespace; they live here so the
+// lane-strided fills can compile the *same* source at the dispatched ISA
+// (e.g. -mavx2) and stay byte-identical to the scalar draws:
+//   - Philox block generation is pure integer arithmetic, exact on every
+//     tier;
+//   - the uniform/Laplace transforms are plain IEEE double ops and every
+//     including translation unit is built with -ffp-contract=off and no
+//     -mfma (see CMakeLists.txt), so no tier fuses multiply+add.
+// Changing any body here changes the noise stream for the whole library —
+// the known-answer and fill-equivalence tests in tests/common/rng_test.cc
+// pin the current values.
+#ifndef DPBENCH_COMMON_RNG_TRANSFORM_H_
+#define DPBENCH_COMMON_RNG_TRANSFORM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace dpbench {
+namespace rng_transform {
+
+// Philox4x32 round constants (Random123's PHILOX_M4x32_* / PHILOX_W32_*).
+constexpr uint64_t kPhiloxM0 = 0xD2511F53ULL;
+constexpr uint64_t kPhiloxM1 = 0xCD9E8D57ULL;
+constexpr uint32_t kPhiloxW0 = 0x9E3779B9U;
+constexpr uint32_t kPhiloxW1 = 0xBB67AE85U;
+
+inline uint64_t BitsOf(double x) {
+  uint64_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
+}
+
+inline double DoubleOf(uint64_t bits) {
+  double x;
+  std::memcpy(&x, &bits, sizeof(x));
+  return x;
+}
+
+constexpr double kLn2 = 0.6931471805599453;    // round(ln 2)
+constexpr double kSqrt2 = 1.4142135623730951;  // round(sqrt 2)
+
+// log(x) for positive normal x: decompose x = m * 2^e with m in
+// [1/sqrt2, sqrt2), then log(m) = 2 artanh(s) with s = (m-1)/(m+1),
+// |s| <= sqrt2-1 / sqrt2+1 = 0.1716, via the odd series
+// 2s (1 + s^2/3 + s^4/5 + ... + s^14/15). Truncation error is below
+// 1e-13 relative; every operation is a plain IEEE double op, so a loop
+// over this inline body auto-vectorizes and gives bit-identical results
+// lane-for-lane with the scalar evaluation.
+inline double FastLogImpl(double x) {
+  uint64_t bits = BitsOf(x);
+  // Exponent as a double via an int32 conversion (packed-vectorizable on
+  // SSE2, unlike int64 -> double).
+  double e = static_cast<double>(static_cast<int32_t>(bits >> 52)) - 1023.0;
+  double m = DoubleOf((bits & 0x000FFFFFFFFFFFFFULL) |
+                      0x3FF0000000000000ULL);  // mantissa in [1, 2)
+  // Shift m into [1/sqrt2, sqrt2) so the series argument stays small.
+  // The select is a single arithmetic blend — m - shift*(0.5*m) is
+  // exactly 0.5*m or m since halving is exact — because a shared boolean
+  // feeding two conditional moves defeats GCC's loop if-conversion and
+  // would leave the whole transform scalar.
+  double shift = (m > kSqrt2) ? 1.0 : 0.0;
+  e += shift;
+  m = m - shift * (0.5 * m);
+  double s = (m - 1.0) / (m + 1.0);
+  double z = s * s;
+  double p = 1.0 / 15.0;
+  p = p * z + 1.0 / 13.0;
+  p = p * z + 1.0 / 11.0;
+  p = p * z + 1.0 / 9.0;
+  p = p * z + 1.0 / 7.0;
+  p = p * z + 1.0 / 5.0;
+  p = p * z + 1.0 / 3.0;
+  p = p * z + 1.0;
+  return e * kLn2 + 2.0 * s * p;
+}
+
+// Uniform in [0, 1) from one raw draw: explicit 53-bit mantissa scaling,
+// shared by Rng::Uniform, the block fills, and the lane-fill kernels.
+inline double UniformFromDraw(uint64_t r) {
+  return static_cast<double>(r >> 11) * 0x1.0p-53;
+}
+
+// Laplace(0, scale) from one raw 64-bit draw; shared by the scalar and
+// block paths so they are bit-identical by construction. The top 52 bits
+// build u in (0, 1] directly in the mantissa (2 - [1,2) avoids an
+// unvectorizable uint64 -> double conversion and log(0)), bit 0 flips the
+// sign of the non-positive scale * log(u) through the IEEE sign bit —
+// no branches, no libm.
+inline double LaplaceFromDraw(uint64_t r, double scale) {
+  double u = 2.0 - DoubleOf(0x3FF0000000000000ULL | (r >> 12));  // (0, 1]
+  double v = scale * FastLogImpl(u);                             // <= 0
+  return DoubleOf(BitsOf(v) ^ ((r & 1) << 63));
+}
+
+// Fill granularity: raw counter output is staged through a fixed stack
+// chunk (2 KiB) so fills of any length stay allocation-free and the
+// transform runs over a cache-hot contiguous buffer.
+constexpr size_t kFillChunk = 256;
+
+// One Philox S-box round — identical arithmetic to Philox4x32::BlockRaw's
+// loop body, kept as a tiny inline so the flat block loop below can unroll
+// all ten rounds into a straight-line body.
+inline void PhiloxRound(uint32_t& c0, uint32_t& c1, uint32_t& c2,
+                        uint32_t& c3, uint32_t k0, uint32_t k1) {
+  // Widening 32x32 -> 64 multiplies (both operands uint32), not uint64 *
+  // uint32: the vectorizer recognizes the widening form and emits one
+  // packed multiply per operand pair instead of emulating a full 64-bit
+  // multiply. Same exact products either way (they fit in 64 bits).
+  const uint64_t p0 =
+      static_cast<uint64_t>(static_cast<uint32_t>(kPhiloxM0)) * c0;
+  const uint64_t p1 =
+      static_cast<uint64_t>(static_cast<uint32_t>(kPhiloxM1)) * c2;
+  const uint32_t hi0 = static_cast<uint32_t>(p0 >> 32);
+  const uint32_t lo0 = static_cast<uint32_t>(p0);
+  const uint32_t hi1 = static_cast<uint32_t>(p1 >> 32);
+  const uint32_t lo1 = static_cast<uint32_t>(p1);
+  c0 = hi1 ^ c1 ^ k0;
+  c1 = lo1;
+  c2 = hi0 ^ c3 ^ k1;
+  c3 = lo0;
+}
+
+// `nblocks` consecutive 128-bit Philox blocks starting at `block0`, two
+// 64-bit words per block (word order identical to Philox4x32::Block). The
+// round loop is fully unrolled so the *block* loop is the only loop — the
+// blocks are independent, so an ISA-retargeted build vectorizes block
+// generation across them. Integer-only: exact on every tier.
+inline void PhiloxBlocksFlat(uint64_t key, uint64_t block0, size_t nblocks,
+                             uint64_t* out) {
+  const uint32_t kk0 = static_cast<uint32_t>(key);
+  const uint32_t kk1 = static_cast<uint32_t>(key >> 32);
+  for (size_t i = 0; i < nblocks; ++i) {
+    const uint64_t blk = block0 + i;
+    uint32_t c0 = static_cast<uint32_t>(blk);
+    uint32_t c1 = static_cast<uint32_t>(blk >> 32);
+    uint32_t c2 = 0;
+    uint32_t c3 = 0;
+    uint32_t k0 = kk0;
+    uint32_t k1 = kk1;
+    PhiloxRound(c0, c1, c2, c3, k0, k1);
+    k0 += kPhiloxW0; k1 += kPhiloxW1;
+    PhiloxRound(c0, c1, c2, c3, k0, k1);
+    k0 += kPhiloxW0; k1 += kPhiloxW1;
+    PhiloxRound(c0, c1, c2, c3, k0, k1);
+    k0 += kPhiloxW0; k1 += kPhiloxW1;
+    PhiloxRound(c0, c1, c2, c3, k0, k1);
+    k0 += kPhiloxW0; k1 += kPhiloxW1;
+    PhiloxRound(c0, c1, c2, c3, k0, k1);
+    k0 += kPhiloxW0; k1 += kPhiloxW1;
+    PhiloxRound(c0, c1, c2, c3, k0, k1);
+    k0 += kPhiloxW0; k1 += kPhiloxW1;
+    PhiloxRound(c0, c1, c2, c3, k0, k1);
+    k0 += kPhiloxW0; k1 += kPhiloxW1;
+    PhiloxRound(c0, c1, c2, c3, k0, k1);
+    k0 += kPhiloxW0; k1 += kPhiloxW1;
+    PhiloxRound(c0, c1, c2, c3, k0, k1);
+    k0 += kPhiloxW0; k1 += kPhiloxW1;
+    PhiloxRound(c0, c1, c2, c3, k0, k1);
+    out[2 * i] = c0 | (static_cast<uint64_t>(c1) << 32);
+    out[2 * i + 1] = c2 | (static_cast<uint64_t>(c3) << 32);
+  }
+}
+
+#if defined(__AVX2__)
+// Hand-vectorized block generation for AVX2-compiled translation units:
+// four blocks per iteration, every counter/key word held in the low half
+// of a 64-bit lane. GCC's auto-vectorization of PhiloxBlocksFlat spends
+// more time repacking between 32- and 64-bit lane layouts than
+// multiplying (~2x slower than this); keeping the u64-lane layout
+// end-to-end leaves one vpmuludq per S-box multiply and shuffles only at
+// the final word interleave. Pure integer — bit-identical to the flat
+// loop (the tests compare kernel fills against scalar fills on every
+// tier), which still handles the < 4-block tail.
+inline void PhiloxBlocksAvx2(uint64_t key, uint64_t block0, size_t nblocks,
+                             uint64_t* out) {
+  const __m256i mask = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  const __m256i m0 = _mm256_set1_epi64x(static_cast<long long>(kPhiloxM0));
+  const __m256i m1 = _mm256_set1_epi64x(static_cast<long long>(kPhiloxM1));
+  const __m256i w0 = _mm256_set1_epi64x(static_cast<long long>(kPhiloxW0));
+  const __m256i w1 = _mm256_set1_epi64x(static_cast<long long>(kPhiloxW1));
+  const __m256i k0_init =
+      _mm256_set1_epi64x(static_cast<long long>(key & 0xFFFFFFFFULL));
+  const __m256i k1_init = _mm256_set1_epi64x(static_cast<long long>(key >> 32));
+  size_t i = 0;
+  for (; i + 4 <= nblocks; i += 4) {
+    const __m256i blk = _mm256_add_epi64(
+        _mm256_set1_epi64x(static_cast<long long>(block0 + i)),
+        _mm256_set_epi64x(3, 2, 1, 0));
+    __m256i c0 = _mm256_and_si256(blk, mask);
+    __m256i c1 = _mm256_srli_epi64(blk, 32);
+    __m256i c2 = _mm256_setzero_si256();
+    __m256i c3 = _mm256_setzero_si256();
+    __m256i k0 = k0_init;
+    __m256i k1 = k1_init;
+    for (int round = 0;; ++round) {
+      const __m256i p0 = _mm256_mul_epu32(m0, c0);
+      const __m256i p1 = _mm256_mul_epu32(m1, c2);
+      // xor of sub-2^32 values stays below 2^32: no re-masking of c0/c2.
+      c0 = _mm256_xor_si256(_mm256_xor_si256(_mm256_srli_epi64(p1, 32), c1),
+                            k0);
+      c1 = _mm256_and_si256(p1, mask);
+      c2 = _mm256_xor_si256(_mm256_xor_si256(_mm256_srli_epi64(p0, 32), c3),
+                            k1);
+      c3 = _mm256_and_si256(p0, mask);
+      if (round == 9) break;
+      // The key bump wraps at 32 bits in the scalar code; emulate with a
+      // mask since the lanes are 64-bit.
+      k0 = _mm256_and_si256(_mm256_add_epi64(k0, w0), mask);
+      k1 = _mm256_and_si256(_mm256_add_epi64(k1, w1), mask);
+    }
+    // Interleave the four blocks' (w01, w23) word pairs into block order.
+    const __m256i w01 = _mm256_or_si256(c0, _mm256_slli_epi64(c1, 32));
+    const __m256i w23 = _mm256_or_si256(c2, _mm256_slli_epi64(c3, 32));
+    const __m256i lo = _mm256_unpacklo_epi64(w01, w23);
+    const __m256i hi = _mm256_unpackhi_epi64(w01, w23);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 2 * i),
+                        _mm256_permute2x128_si256(lo, hi, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 2 * i + 4),
+                        _mm256_permute2x128_si256(lo, hi, 0x31));
+  }
+  if (i < nblocks) PhiloxBlocksFlat(key, block0 + i, nblocks - i, out + 2 * i);
+}
+#endif  // defined(__AVX2__)
+
+// Bulk block generation at the best width the including translation unit
+// was compiled for. Every variant produces identical bits; only the
+// instruction mix differs.
+inline void PhiloxBlocksBulk(uint64_t key, uint64_t block0, size_t nblocks,
+                             uint64_t* out) {
+#if defined(__AVX2__)
+  PhiloxBlocksAvx2(key, block0, nblocks, out);
+#else
+  PhiloxBlocksFlat(key, block0, nblocks, out);
+#endif
+}
+
+// Free-function form of Philox4x32::FillRawAt: the `n` draws at absolute
+// stream positions [pos, pos + n), with the whole-block middle generated
+// in bulk at the compiled ISA width. Draw ordering — mid-block head takes
+// the straddled block's second word, trailing lone draw takes its block's
+// first word — matches the member function exactly.
+inline void PhiloxFillAt(uint64_t key, uint64_t pos, uint64_t* out,
+                         size_t n) {
+  size_t i = 0;
+  if (n == 0) return;
+  if (pos & 1) {
+    uint64_t b[2];
+    PhiloxBlocksFlat(key, pos >> 1, 1, b);
+    out[i++] = b[1];
+    ++pos;
+  }
+  const size_t nblocks = (n - i) / 2;
+  PhiloxBlocksBulk(key, pos >> 1, nblocks, out + i);
+  i += 2 * nblocks;
+  pos += 2 * nblocks;
+  if (i < n) {
+    uint64_t b[2];
+    PhiloxBlocksFlat(key, pos >> 1, 1, b);
+    out[i] = b[0];
+  }
+}
+
+}  // namespace rng_transform
+}  // namespace dpbench
+
+#endif  // DPBENCH_COMMON_RNG_TRANSFORM_H_

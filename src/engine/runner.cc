@@ -1,5 +1,6 @@
 #include "src/engine/runner.h"
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <mutex>
@@ -9,6 +10,7 @@
 #include <utility>
 
 #include "src/algorithms/mechanism.h"
+#include "src/common/lockstep.h"
 #include "src/data/datasets.h"
 #include "src/data/sampler.h"
 #include "src/engine/error.h"
@@ -294,8 +296,13 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
     DataVector est;             // reusable estimate slot
     std::vector<double> y_hat;  // workload answers
     std::vector<double> cum;    // workload prefix-sum table
+    std::vector<double> est_lanes;   // lane-major lockstep estimates
+    std::vector<double> yhat_lanes;  // lane-major workload answers
   };
   std::vector<WorkerState> workers(pool.num_threads());
+  const size_t active_lanes = lockstep::ActiveLaneWidth();
+  std::atomic<uint64_t> lockstep_trials{0};
+  std::atomic<uint64_t> scalar_trials{0};
 
   auto run_cell = [&](size_t idx, size_t worker) {
     WorkerState& ws = workers[worker];
@@ -309,10 +316,51 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
       cell.errors.reserve(task.input->samples.size() *
                           config.runs_per_sample);
     }
+    // Trials of one cell batch through the lane-parallel path when the
+    // plan runs all lanes in lockstep and the workload has a lane
+    // evaluator. Lane l of a batch starting at trial r is bit-identical
+    // to scalar trial r + l: each eligible plan consumes its per-trial
+    // noise in exactly one block fill, and the lane fills reproduce each
+    // lane's draws at its scalar stream positions.
+    const size_t W = (active_lanes > 1 && plan->SupportsLockstep() &&
+                      task.input->workload->has_eval_plan())
+                         ? active_lanes
+                         : 1;
+    uint64_t cell_lockstep = 0, cell_scalar = 0;
+    const size_t num_queries = task.input->workload->size();
     Rng run_rng(CellStreamSeed(config.seed, task.key));
     for (size_t s = 0; s < task.input->samples.size(); ++s) {
       const DataVector& x = task.input->samples[s];
-      for (size_t r = 0; r < config.runs_per_sample; ++r) {
+      size_t r = 0;
+      for (; W > 1 && r + W <= config.runs_per_sample; r += W) {
+        ExecContext ectx{x, &run_rng, &ws.scratch};
+        Status exec_status = plan->ExecuteMany(ectx, W, &ws.est_lanes);
+        if (!exec_status.ok()) {
+          failures[idx] = exec_status;
+          return;
+        }
+        task.input->workload->EvaluateMany(ws.est_lanes.data(), W, &ws.cum,
+                                           &ws.yhat_lanes);
+        ws.y_hat.resize(num_queries);
+        for (size_t l = 0; l < W; ++l) {
+          for (size_t qi = 0; qi < num_queries; ++qi) {
+            ws.y_hat[qi] = ws.yhat_lanes[qi * W + l];
+          }
+          auto err = ScaledL2PerQueryError(task.input->true_answers[s],
+                                           ws.y_hat, x.Scale());
+          if (!err.ok()) {
+            failures[idx] = err.status();
+            return;
+          }
+          if (config.retain_raw_errors) {
+            cell.errors.push_back(*err);
+          } else {
+            stream.Add(*err);
+          }
+        }
+        cell_lockstep += W;
+      }
+      for (; r < config.runs_per_sample; ++r) {
         ExecContext ectx{x, &run_rng, &ws.scratch};
         Status exec_status = plan->ExecuteInto(ectx, &ws.est);
         if (!exec_status.ok()) {
@@ -331,8 +379,11 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
         } else {
           stream.Add(*err);
         }
+        ++cell_scalar;
       }
     }
+    lockstep_trials.fetch_add(cell_lockstep, std::memory_order_relaxed);
+    scalar_trials.fetch_add(cell_scalar, std::memory_order_relaxed);
     auto summary =
         config.retain_raw_errors ? Summarize(cell.errors) : stream.Finalize();
     if (!summary.ok()) {
@@ -377,6 +428,12 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
     diagnostics->pool_tasks_executed = pstats.tasks_executed;
     diagnostics->pool_tasks_stolen = pstats.tasks_stolen;
     diagnostics->pool_workers_pinned = pstats.workers_pinned;
+    diagnostics->isa_tier = lockstep::TierName(lockstep::ActiveTier());
+    diagnostics->lane_width = active_lanes;
+    diagnostics->lockstep_trials =
+        lockstep_trials.load(std::memory_order_relaxed);
+    diagnostics->scalar_trials =
+        scalar_trials.load(std::memory_order_relaxed);
   }
   return out;
 }

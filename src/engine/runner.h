@@ -126,6 +126,15 @@ struct RunDiagnostics {
   uint64_t pool_tasks_executed = 0;  ///< plan + cell tasks run on the pool
   uint64_t pool_tasks_stolen = 0;    ///< tasks balanced via work stealing
   uint64_t pool_workers_pinned = 0;  ///< workers with core affinity applied
+  /// Lockstep execution: the ISA tier the dispatcher selected for this
+  /// run ("scalar"/"sse2"/"avx2"; "mixed" after merging shards that
+  /// disagree), its lane width, and how many trials ran through the
+  /// lane-batched ExecuteMany path vs. the scalar loop (remainders and
+  /// data-dependent plans). lockstep_trials + scalar_trials == trials.
+  std::string isa_tier;
+  size_t lane_width = 0;
+  uint64_t lockstep_trials = 0;
+  uint64_t scalar_trials = 0;
 };
 
 /// A set of serialized mechanism plans keyed by the runner's plan-cache

@@ -547,6 +547,10 @@ std::string RunDiagnosticsRecord(const RunDiagnostics& d) {
   w.U64("pool_parallel_jobs", d.pool_parallel_jobs);
   w.U64("pool_tasks_executed", d.pool_tasks_executed);
   w.U64("pool_tasks_stolen", d.pool_tasks_stolen);
+  w.Str("isa_tier", d.isa_tier);
+  w.U64("lane_width", d.lane_width);
+  w.U64("lockstep_trials", d.lockstep_trials);
+  w.U64("scalar_trials", d.scalar_trials);
   return std::move(w).Finish();
 }
 
@@ -578,6 +582,11 @@ Result<RunDiagnostics> RunDiagnosticsFromRecord(const std::string& bytes) {
   DPB_ASSIGN_OR_RETURN(d.pool_tasks_executed,
                        rec.U64("pool_tasks_executed"));
   DPB_ASSIGN_OR_RETURN(d.pool_tasks_stolen, rec.U64("pool_tasks_stolen"));
+  DPB_ASSIGN_OR_RETURN(d.isa_tier, rec.Str("isa_tier"));
+  DPB_ASSIGN_OR_RETURN(uint64_t lane_width, rec.U64("lane_width"));
+  d.lane_width = static_cast<size_t>(lane_width);
+  DPB_ASSIGN_OR_RETURN(d.lockstep_trials, rec.U64("lockstep_trials"));
+  DPB_ASSIGN_OR_RETURN(d.scalar_trials, rec.U64("scalar_trials"));
   return d;
 }
 
@@ -961,6 +970,11 @@ Result<MergedRun> MergeShards(std::vector<ShardFile> shards) {
   RunDiagnostics& d = merged.diagnostics;
   d.skipped = std::move(shards.front().diagnostics.skipped);
   d.grid_cells = static_cast<size_t>(first.total_cells);
+  // Lockstep identity: uniform across shards it passes through; shards
+  // run on different machines (or forced tiers) report "mixed"/0 — the
+  // trial counters still sum meaningfully either way.
+  d.isa_tier = shards.front().diagnostics.isa_tier;
+  d.lane_width = shards.front().diagnostics.lane_width;
   for (const ShardFile& shard : shards) {
     const RunDiagnostics& sd = shard.diagnostics;
     d.cells += sd.cells;
@@ -973,6 +987,10 @@ Result<MergedRun> MergeShards(std::vector<ShardFile> shards) {
     d.pool_parallel_jobs += sd.pool_parallel_jobs;
     d.pool_tasks_executed += sd.pool_tasks_executed;
     d.pool_tasks_stolen += sd.pool_tasks_stolen;
+    d.lockstep_trials += sd.lockstep_trials;
+    d.scalar_trials += sd.scalar_trials;
+    if (sd.isa_tier != d.isa_tier) d.isa_tier = "mixed";
+    if (sd.lane_width != d.lane_width) d.lane_width = 0;
   }
   d.trials_per_second =
       d.execute_seconds > 0.0

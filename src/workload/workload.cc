@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/lockstep.h"
 #include "src/common/logging.h"
 
 namespace dpbench {
@@ -125,6 +126,31 @@ void Workload::EvaluateInto(const DataVector& x,
   }
   for (size_t i = 0; i < queries_.size(); ++i) {
     (*out)[i] = queries_[i].Evaluate(x);
+  }
+}
+
+void Workload::EvaluateMany(const double* est_lanes, size_t lanes,
+                            std::vector<double>* cum_scratch,
+                            std::vector<double>* out) const {
+  DPB_CHECK(eval_plan_ != nullptr);
+  DPB_CHECK_GE(lanes, 1u);
+  DPB_CHECK_LE(lanes, lockstep::kMaxLanes);
+  const lockstep::Kernels& kernels = lockstep::Active();
+  const std::vector<size_t>& idx = eval_plan_->corner_idx;
+  const size_t q = queries_.size();
+  out->resize(q * lanes);
+  if (eval_plan_->terms_per_query == 2) {
+    const size_t n = domain_.size(0);
+    cum_scratch->resize((n + 1) * lanes);
+    kernels.prefix_1d(est_lanes, n, lanes, cum_scratch->data());
+    kernels.eval_corners2(cum_scratch->data(), idx.data(), q, lanes,
+                          out->data());
+  } else {
+    const size_t rows = domain_.size(0), cols = domain_.size(1);
+    cum_scratch->assign((rows + 1) * (cols + 1) * lanes, 0.0);
+    kernels.prefix_2d(est_lanes, rows, cols, lanes, cum_scratch->data());
+    kernels.eval_corners4(cum_scratch->data(), idx.data(), q, lanes,
+                          out->data());
   }
 }
 

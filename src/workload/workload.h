@@ -77,6 +77,22 @@ class Workload {
   std::vector<std::vector<double>> EvaluateAll(
       const std::vector<DataVector>& xs) const;
 
+  /// Lane-major lockstep evaluation for trial batches: est_lanes holds
+  /// `lanes` estimates on this workload's domain (cell i of lane l at
+  /// [i * lanes + l]); *out receives size() * lanes answers (query q of
+  /// lane l at [q * lanes + l]). Lane l is bit-identical to EvaluateInto
+  /// on lane l's estimate: the lane prefix table mirrors
+  /// ComputePrefixSums per lane and the corner lookups use the same
+  /// evaluation plan. Requires the precomputed plan (1D/2D domains with
+  /// queries) and lanes in [1, lockstep::kMaxLanes].
+  void EvaluateMany(const double* est_lanes, size_t lanes,
+                    std::vector<double>* cum_scratch,
+                    std::vector<double>* out) const;
+
+  /// Whether EvaluateMany is available (1D/2D domains; dims > 2 fall back
+  /// to direct per-query evaluation, which has no lane form).
+  bool has_eval_plan() const { return eval_plan_ != nullptr; }
+
   Status Validate() const;
 
  private:

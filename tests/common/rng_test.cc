@@ -150,6 +150,102 @@ TEST(RngTest, FillLaplacePerScaleMatchesScalar) {
   }
 }
 
+// -------------------------------------------------------------------------
+// Lane-strided fills (lockstep trial batches).
+// -------------------------------------------------------------------------
+
+// One lane fill of length n must equal `lanes` successive scalar fills of
+// length n: lane l reads draw positions [base + l*n, base + (l+1)*n), so a
+// batch of lockstep trials consumes exactly the stream a loop of scalar
+// trials would (this is what makes lane extraction bit-identical).
+TEST(RngTest, FillUniformLanesMatchesPerLaneScalarFills) {
+  for (size_t lanes = 1; lanes <= 8; ++lanes) {
+    for (size_t n : {1, 5, 255, 256, 257, 300}) {
+      Rng scalar(4242);
+      std::vector<double> want(n * lanes);
+      std::vector<double> lane_buf(n);
+      for (size_t l = 0; l < lanes; ++l) {
+        scalar.FillUniform(lane_buf.data(), n);
+        for (size_t j = 0; j < n; ++j) want[j * lanes + l] = lane_buf[j];
+      }
+      Rng filler(4242);
+      std::vector<double> got(n * lanes);
+      filler.FillUniformLanes(got.data(), n, lanes);
+      for (size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(want[i], got[i])
+            << "lanes=" << lanes << " n=" << n << " slot " << i;
+      }
+    }
+  }
+}
+
+TEST(RngTest, FillLaplaceLanesMatchesPerLaneScalarFills) {
+  const double scale = 0.75;
+  for (size_t lanes = 1; lanes <= 8; ++lanes) {
+    for (size_t n : {1, 7, 256, 259}) {
+      Rng scalar(9001);
+      std::vector<double> want(n * lanes);
+      std::vector<double> lane_buf(n);
+      for (size_t l = 0; l < lanes; ++l) {
+        scalar.FillLaplace(lane_buf.data(), n, scale);
+        for (size_t j = 0; j < n; ++j) want[j * lanes + l] = lane_buf[j];
+      }
+      Rng filler(9001);
+      std::vector<double> got(n * lanes);
+      filler.FillLaplaceLanes(got.data(), n, scale, lanes);
+      for (size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(want[i], got[i])
+            << "lanes=" << lanes << " n=" << n << " slot " << i;
+      }
+    }
+  }
+}
+
+TEST(RngTest, FillLaplaceLanesPerScaleMatchesPerLaneScalarFills) {
+  std::vector<double> scales(301);
+  for (size_t i = 0; i < scales.size(); ++i) {
+    scales[i] = 0.5 + static_cast<double>(i % 5);
+  }
+  const size_t n = scales.size();
+  for (size_t lanes = 1; lanes <= 8; ++lanes) {
+    Rng scalar(777);
+    std::vector<double> want(n * lanes);
+    std::vector<double> lane_buf(n);
+    for (size_t l = 0; l < lanes; ++l) {
+      scalar.FillLaplace(lane_buf.data(), scales.data(), n);
+      for (size_t j = 0; j < n; ++j) want[j * lanes + l] = lane_buf[j];
+    }
+    Rng filler(777);
+    std::vector<double> got(n * lanes);
+    filler.FillLaplaceLanes(got.data(), scales.data(), n, lanes);
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(want[i], got[i]) << "lanes=" << lanes << " slot " << i;
+    }
+  }
+}
+
+TEST(RngTest, LaneFillsStartMidBlockAndAdvanceTheStream) {
+  // A lane fill after an odd number of scalar draws starts mid-block; the
+  // fill must consume exactly lanes*n draws so the stream carries through.
+  const size_t n = 37, lanes = 3;
+  Rng scalar(608);
+  (void)scalar.Laplace(1.0);  // draw 0: odd stream position for the fill
+  std::vector<double> want(n * lanes);
+  std::vector<double> lane_buf(n);
+  for (size_t l = 0; l < lanes; ++l) {
+    scalar.FillLaplace(lane_buf.data(), n, 1.0);
+    for (size_t j = 0; j < n; ++j) want[j * lanes + l] = lane_buf[j];
+  }
+  const double want_after = scalar.Laplace(1.0);
+
+  Rng mixed(608);
+  (void)mixed.Laplace(1.0);
+  std::vector<double> got(n * lanes);
+  mixed.FillLaplaceLanes(got.data(), n, 1.0, lanes);
+  EXPECT_EQ(want, got);
+  EXPECT_EQ(want_after, mixed.Laplace(1.0));
+}
+
 TEST(RngTest, FillLaplaceMomentsAndKolmogorovSmirnov) {
   const double scale = 2.5;
   const size_t n = 200000;

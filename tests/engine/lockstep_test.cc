@@ -1,0 +1,283 @@
+// Lockstep execution: lane-by-lane bit-identity of ExecuteMany against the
+// scalar trial loop for every lane-capable plan, on every ISA tier this
+// machine can run; the lane workload evaluator against EvaluateInto; the
+// forced-tier runner end to end; and the lockstep run diagnostics.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/algorithms/mechanism.h"
+#include "src/common/lockstep.h"
+#include "src/common/rng.h"
+#include "src/engine/runner.h"
+#include "src/histogram/data_vector.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+namespace {
+
+std::vector<lockstep::IsaTier> AvailableTiers() {
+  std::vector<lockstep::IsaTier> tiers;
+  for (lockstep::IsaTier t : {lockstep::IsaTier::kScalar,
+                              lockstep::IsaTier::kSse2,
+                              lockstep::IsaTier::kAvx2}) {
+    if (lockstep::TierAvailable(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+DataVector MakeData(const Domain& domain) {
+  DataVector x(domain);
+  std::vector<double>& c = x.mutable_counts();
+  for (size_t i = 0; i < c.size(); ++i) {
+    c[i] = static_cast<double>((i * 7 + 3) % 13);
+  }
+  return x;
+}
+
+struct PlanCase {
+  std::string algo;
+  Domain domain;
+  bool expect_lockstep = true;
+};
+
+std::vector<PlanCase> LaneCapableCases() {
+  return {
+      {"IDENTITY", Domain::D1(64)},
+      {"UNIFORM", Domain::D1(64)},
+      {"PRIVELET", Domain::D1(100)},  // non-power-of-two: padded pyramid
+      {"H", Domain::D1(64)},
+      {"HB", Domain::D1(100)},
+      {"GREEDY_H", Domain::D1(64)},
+      {"IDENTITY", Domain::D2(16, 16)},
+      {"PRIVELET", Domain::D2(12, 20)},
+      {"HB", Domain::D2(16, 16)},
+      {"QUADTREE", Domain::D2(16, 16)},
+      {"GREEDY_H", Domain::D2(16, 16)},  // square power-of-two: Hilbert
+      {"UGRID", Domain::D2(16, 16)},     // public scale: planned resolution
+  };
+}
+
+Workload WorkloadFor(const Domain& domain) {
+  return domain.num_dims() == 1 ? Workload::Prefix1D(domain.TotalCells())
+                                : Workload::RandomRange(domain, 40, 99);
+}
+
+Result<PlanPtr> PlanFor(const PlanCase& c, const Workload& workload,
+                        const DataVector& x) {
+  DPB_ASSIGN_OR_RETURN(MechanismPtr mech, MechanismRegistry::Get(c.algo));
+  SideInfo side;
+  side.true_scale = x.Scale();
+  PlanContext pctx{c.domain, workload, 0.1, side};
+  return mech->Plan(pctx);
+}
+
+// ExecuteMany lane l must be bit-identical to scalar trial l of the same
+// stream, for every lane-capable plan, lane count, and available tier.
+TEST(LockstepTest, ExecuteManyLanesMatchScalarTrials) {
+  for (const PlanCase& c : LaneCapableCases()) {
+    Workload workload = WorkloadFor(c.domain);
+    DataVector x = MakeData(c.domain);
+    auto plan = PlanFor(c, workload, x);
+    ASSERT_TRUE(plan.ok()) << c.algo << ": " << plan.status().ToString();
+    ASSERT_TRUE((*plan)->SupportsLockstep()) << c.algo;
+
+    const size_t n = c.domain.TotalCells();
+    for (lockstep::IsaTier tier : AvailableTiers()) {
+      lockstep::ForceTierForTesting(tier);
+      for (size_t lanes : {1, 2, 4, 8}) {
+        // Scalar reference: `lanes` successive trials on one stream.
+        Rng scalar_rng(2024);
+        ExecScratch scalar_scratch;
+        std::vector<std::vector<double>> want;
+        for (size_t l = 0; l < lanes; ++l) {
+          ExecContext ectx{x, &scalar_rng, &scalar_scratch};
+          DataVector est;
+          Status st = (*plan)->ExecuteInto(ectx, &est);
+          ASSERT_TRUE(st.ok()) << c.algo << ": " << st.ToString();
+          want.push_back(est.counts());
+        }
+        Rng lane_rng(2024);
+        ExecScratch lane_scratch;
+        std::vector<double> got;
+        ExecContext ectx{x, &lane_rng, &lane_scratch};
+        Status st = (*plan)->ExecuteMany(ectx, lanes, &got);
+        ASSERT_TRUE(st.ok()) << c.algo << ": " << st.ToString();
+        ASSERT_EQ(got.size(), n * lanes) << c.algo;
+        for (size_t l = 0; l < lanes; ++l) {
+          for (size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(want[l][i], got[i * lanes + l])
+                << c.algo << " tier=" << lockstep::TierName(tier)
+                << " lanes=" << lanes << " lane=" << l << " cell=" << i;
+          }
+        }
+      }
+    }
+    lockstep::ResetTierForTesting();
+  }
+}
+
+// The default (scalar-fallback) ExecuteMany must hold the same contract
+// for plans without a lockstep override — here UGRID planned without the
+// public scale, whose resolution estimate is data-dependent.
+TEST(LockstepTest, DefaultExecuteManyFallbackMatchesScalarTrials) {
+  Domain domain = Domain::D2(16, 16);
+  Workload workload = WorkloadFor(domain);
+  DataVector x = MakeData(domain);
+  auto mech = MechanismRegistry::Get("UGRID");
+  ASSERT_TRUE(mech.ok());
+  PlanContext pctx{domain, workload, 0.1, SideInfo{}};
+  auto plan = (*mech)->Plan(pctx);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_FALSE((*plan)->SupportsLockstep());
+
+  const size_t lanes = 4, n = domain.TotalCells();
+  Rng scalar_rng(7);
+  ExecScratch scalar_scratch;
+  std::vector<std::vector<double>> want;
+  for (size_t l = 0; l < lanes; ++l) {
+    ExecContext ectx{x, &scalar_rng, &scalar_scratch};
+    DataVector est;
+    ASSERT_TRUE((*plan)->ExecuteInto(ectx, &est).ok());
+    want.push_back(est.counts());
+  }
+  Rng lane_rng(7);
+  ExecScratch lane_scratch;
+  std::vector<double> got;
+  ExecContext ectx{x, &lane_rng, &lane_scratch};
+  ASSERT_TRUE((*plan)->ExecuteMany(ectx, lanes, &got).ok());
+  for (size_t l = 0; l < lanes; ++l) {
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(want[l][i], got[i * lanes + l]) << "lane " << l;
+    }
+  }
+}
+
+TEST(LockstepTest, ExecuteManyRejectsBadLaneCounts) {
+  PlanCase c{"IDENTITY", Domain::D1(8)};
+  Workload workload = WorkloadFor(c.domain);
+  DataVector x = MakeData(c.domain);
+  auto plan = PlanFor(c, workload, x);
+  ASSERT_TRUE(plan.ok());
+  Rng rng(1);
+  ExecContext ectx{x, &rng, nullptr};
+  std::vector<double> out;
+  EXPECT_FALSE((*plan)->ExecuteMany(ectx, 0, &out).ok());
+  EXPECT_FALSE(
+      (*plan)->ExecuteMany(ectx, lockstep::kMaxLanes + 1, &out).ok());
+}
+
+// EvaluateMany lane l == EvaluateInto on lane l's estimate, 1D and 2D.
+TEST(LockstepTest, EvaluateManyMatchesEvaluateInto) {
+  for (const Domain& domain : {Domain::D1(64), Domain::D2(8, 12)}) {
+    Workload workload = WorkloadFor(domain);
+    const size_t n = domain.TotalCells(), q = workload.size();
+    for (lockstep::IsaTier tier : AvailableTiers()) {
+      lockstep::ForceTierForTesting(tier);
+      for (size_t lanes : {1, 3, 8}) {
+        Rng rng(31 + lanes);
+        std::vector<double> est_lanes(n * lanes);
+        rng.FillUniform(est_lanes.data(), est_lanes.size());
+        std::vector<double> cum, got;
+        workload.EvaluateMany(est_lanes.data(), lanes, &cum, &got);
+        ASSERT_EQ(got.size(), q * lanes);
+        for (size_t l = 0; l < lanes; ++l) {
+          DataVector lane_est(domain);
+          for (size_t i = 0; i < n; ++i) {
+            lane_est[i] = est_lanes[i * lanes + l];
+          }
+          std::vector<double> scalar_cum, want;
+          workload.EvaluateInto(lane_est, &scalar_cum, &want);
+          for (size_t qi = 0; qi < q; ++qi) {
+            ASSERT_EQ(want[qi], got[qi * lanes + l])
+                << "tier=" << lockstep::TierName(tier) << " lanes=" << lanes
+                << " lane=" << l << " query=" << qi;
+          }
+        }
+      }
+    }
+    lockstep::ResetTierForTesting();
+  }
+}
+
+ExperimentConfig SmallGrid() {
+  ExperimentConfig c;
+  c.algorithms = {"IDENTITY", "UNIFORM", "PRIVELET", "H",
+                  "HB",       "GREEDY_H", "DAWA"};
+  c.datasets = {"ADULT"};
+  c.scales = {1000};
+  c.domain_sizes = {128};
+  c.epsilons = {0.1};
+  c.data_samples = 2;
+  c.runs_per_sample = 10;
+  return c;
+}
+
+// The full runner must produce bit-identical per-trial errors on every
+// tier (lockstep batches with a scalar remainder vs. the pure scalar
+// loop), and the diagnostics must account for every trial.
+TEST(LockstepTest, RunnerBitIdenticalAcrossForcedTiers) {
+  ExperimentConfig config = SmallGrid();
+  std::map<std::string, std::vector<std::vector<double>>> by_tier_errors;
+  for (lockstep::IsaTier tier : AvailableTiers()) {
+    lockstep::ForceTierForTesting(tier);
+    RunDiagnostics diag;
+    auto results = Runner::Run(config, nullptr, &diag);
+    lockstep::ResetTierForTesting();
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+
+    EXPECT_EQ(diag.isa_tier, lockstep::TierName(tier));
+    EXPECT_EQ(diag.lane_width, lockstep::LaneWidth(tier));
+    EXPECT_EQ(diag.lockstep_trials + diag.scalar_trials, diag.trials);
+    if (tier == lockstep::IsaTier::kScalar) {
+      EXPECT_EQ(diag.lockstep_trials, 0u);
+    } else {
+      // 7 cells x 2 samples x 10 runs; every algorithm here is
+      // lane-capable except DAWA (data-dependent), and each sample of a
+      // lane-capable cell batches floor(10/W)*W trials.
+      const uint64_t w = lockstep::LaneWidth(tier);
+      EXPECT_EQ(diag.lockstep_trials, 6u * 2u * (10u / w) * w);
+    }
+
+    std::vector<std::vector<double>> errors;
+    for (const CellResult& cell : *results) errors.push_back(cell.errors);
+    by_tier_errors[lockstep::TierName(tier)] = std::move(errors);
+  }
+  const auto& want = by_tier_errors.begin()->second;
+  for (const auto& [tier, errors] : by_tier_errors) {
+    ASSERT_EQ(errors.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(errors[i], want[i]) << "tier " << tier << " cell " << i;
+    }
+  }
+}
+
+// DPBENCH_FORCE_ISA drives the same override as ForceTierForTesting: an
+// unavailable or unknown value falls back to autodetection (the dispatch
+// decision is cached after first use, so this test exercises the parser
+// directly through the test hooks instead of re-reading the env).
+TEST(LockstepTest, TierMetadataIsConsistent) {
+  EXPECT_TRUE(lockstep::TierAvailable(lockstep::IsaTier::kScalar));
+  EXPECT_EQ(lockstep::LaneWidth(lockstep::IsaTier::kScalar), 1u);
+  EXPECT_EQ(lockstep::LaneWidth(lockstep::IsaTier::kSse2), 4u);
+  EXPECT_EQ(lockstep::LaneWidth(lockstep::IsaTier::kAvx2), 8u);
+  EXPECT_EQ(std::string(lockstep::TierName(lockstep::IsaTier::kScalar)),
+            "scalar");
+  EXPECT_EQ(std::string(lockstep::TierName(lockstep::IsaTier::kSse2)),
+            "sse2");
+  EXPECT_EQ(std::string(lockstep::TierName(lockstep::IsaTier::kAvx2)),
+            "avx2");
+  for (lockstep::IsaTier t : AvailableTiers()) {
+    lockstep::ForceTierForTesting(t);
+    EXPECT_EQ(lockstep::ActiveTier(), t);
+    EXPECT_EQ(lockstep::ActiveLaneWidth(), lockstep::LaneWidth(t));
+    EXPECT_EQ(&lockstep::Active(), &lockstep::KernelsFor(t));
+  }
+  lockstep::ResetTierForTesting();
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -129,6 +129,10 @@ TEST(SerializeRunDiagnosticsTest, RoundTripIncludingSkips) {
   d.pool_parallel_jobs = 2;
   d.pool_tasks_executed = 12;
   d.pool_tasks_stolen = 3;
+  d.isa_tier = "avx2";
+  d.lane_width = 8;
+  d.lockstep_trials = 320;
+  d.scalar_trials = 30;
 
   auto decoded = DecodeRunDiagnostics(EncodeRunDiagnostics(d));
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
@@ -150,6 +154,10 @@ TEST(SerializeRunDiagnosticsTest, RoundTripIncludingSkips) {
   EXPECT_EQ(decoded->pool_parallel_jobs, d.pool_parallel_jobs);
   EXPECT_EQ(decoded->pool_tasks_executed, d.pool_tasks_executed);
   EXPECT_EQ(decoded->pool_tasks_stolen, d.pool_tasks_stolen);
+  EXPECT_EQ(decoded->isa_tier, d.isa_tier);
+  EXPECT_EQ(decoded->lane_width, d.lane_width);
+  EXPECT_EQ(decoded->lockstep_trials, d.lockstep_trials);
+  EXPECT_EQ(decoded->scalar_trials, d.scalar_trials);
 }
 
 // Plan payloads of every plan-capable mechanism: extract, encode, decode,

@@ -136,6 +136,15 @@ TEST_F(ShardEquivalenceTest, EveryShardCountMergesBitIdentically) {
     EXPECT_EQ(merged->diagnostics.cells, diagnostics_->cells);
     EXPECT_EQ(merged->diagnostics.grid_cells, diagnostics_->grid_cells);
     EXPECT_EQ(merged->diagnostics.trials, diagnostics_->trials);
+    // Lockstep accounting survives the shard merge: all shards ran on
+    // this machine's tier, and the trial split sums across shards.
+    EXPECT_EQ(merged->diagnostics.isa_tier, diagnostics_->isa_tier);
+    EXPECT_EQ(merged->diagnostics.lane_width, diagnostics_->lane_width);
+    EXPECT_EQ(merged->diagnostics.lockstep_trials +
+                  merged->diagnostics.scalar_trials,
+              merged->diagnostics.trials);
+    EXPECT_EQ(merged->diagnostics.lockstep_trials,
+              diagnostics_->lockstep_trials);
     ASSERT_EQ(merged->diagnostics.skipped.size(),
               diagnostics_->skipped.size());
     for (size_t i = 0; i < diagnostics_->skipped.size(); ++i) {
@@ -268,6 +277,21 @@ TEST_F(MergeValidatorTest, RejectsShardCountMismatch) {
   ASSERT_FALSE(merged.ok());
   EXPECT_NE(merged.status().message().find("shard manifest mismatch"),
             std::string::npos);
+}
+
+TEST_F(MergeValidatorTest, DisagreeingIsaTiersMergeAsMixed) {
+  // Shards produced on machines with different SIMD tiers still merge
+  // (results are tier-invariant); the merged identity reports "mixed".
+  ShardFile s0 = RunShard(Config(), 0, 2);
+  ShardFile s1 = RunShard(Config(), 1, 2);
+  s0.diagnostics.isa_tier = "avx2";
+  s0.diagnostics.lane_width = 8;
+  s1.diagnostics.isa_tier = "sse2";
+  s1.diagnostics.lane_width = 4;
+  auto merged = MergeShards({s0, s1});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->diagnostics.isa_tier, "mixed");
+  EXPECT_EQ(merged->diagnostics.lane_width, 0u);
 }
 
 TEST_F(MergeValidatorTest, RejectsNoShards) {

@@ -19,6 +19,7 @@
 #include "src/data/datasets.h"
 #include "src/engine/report.h"
 #include "src/engine/runner.h"
+#include "src/engine/serialize.h"
 #include "src/engine/stats.h"
 #include "tools/grid_flags.h"
 
@@ -34,6 +35,10 @@ void PrintUsage() {
                "  --csv-out=FILE         write raw CSV to FILE "
                "(byte-comparable\n"
                "                         with dpbench_merge --csv-out)\n"
+               "  --json                 print run diagnostics as JSON "
+               "(ISA tier,\n"
+               "                         lane width, lockstep/scalar trial "
+               "counts, ...)\n"
                "  --list                 list algorithms and datasets, then "
                "exit\n";
 }
@@ -58,7 +63,7 @@ void PrintInventory() {
 
 int main(int argc, char** argv) {
   ExperimentConfig config = tools::DefaultGridConfig();
-  bool competitive = false, csv = false;
+  bool competitive = false, csv = false, json = false;
   std::string csv_out;
 
   for (int i = 1; i < argc; ++i) {
@@ -79,6 +84,8 @@ int main(int argc, char** argv) {
       competitive = true;
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg.rfind("--csv-out=", 0) == 0) {
       csv_out = arg.substr(std::strlen("--csv-out="));
     } else {
@@ -128,7 +135,11 @@ int main(int argc, char** argv) {
             << "pool: " << diagnostics.pool_parallel_jobs << " phases, "
             << diagnostics.pool_tasks_executed << " tasks, "
             << diagnostics.pool_tasks_stolen << " stolen, "
-            << diagnostics.pool_workers_pinned << " pinned\n";
+            << diagnostics.pool_workers_pinned << " pinned\n"
+            << "lockstep: isa=" << diagnostics.isa_tier
+            << " lanes=" << diagnostics.lane_width << " | "
+            << diagnostics.lockstep_trials << " lockstep + "
+            << diagnostics.scalar_trials << " scalar trials\n";
   if (!diagnostics.skipped.empty()) {
     std::cout << "skipped combinations:\n";
     for (const SkippedCombo& s : diagnostics.skipped) {
@@ -137,6 +148,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (json) {
+    auto diag_json = DebugJson(EncodeRunDiagnostics(diagnostics));
+    if (!diag_json.ok()) {
+      std::cerr << diag_json.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "\n" << *diag_json << "\n";
+  }
   if (csv) {
     std::cout << "\n";
     WriteCsv(*results, std::cout);
