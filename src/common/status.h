@@ -19,6 +19,8 @@ enum class StatusCode {
   kNotFound,
   kInternal,
   kNotSupported,
+  kDataLoss,     ///< stored bytes failed an integrity check (checksum)
+  kUnavailable,  ///< transient transport failure (timeout, peer gone) — retryable
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -50,6 +52,12 @@ class Status {
   }
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,785 @@
+#include "src/engine/distrib.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "src/engine/wire.h"
+
+namespace dpbench {
+namespace distrib {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t MsSince(Clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               t)
+      .count();
+}
+
+void SleepMs(int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+constexpr char kKindReady[] = "dpbench.d.ready";
+constexpr char kKindAssign[] = "dpbench.d.assign";
+constexpr char kKindHeartbeat[] = "dpbench.d.heartbeat";
+constexpr char kKindResult[] = "dpbench.d.result";
+constexpr char kKindIdle[] = "dpbench.d.idle";
+constexpr char kKindShutdown[] = "dpbench.d.shutdown";
+
+constexpr char kSectionBody[] = "body";
+constexpr char kSectionTask[] = "task";
+constexpr char kSectionConfig[] = "config";
+constexpr char kSectionMeta[] = "meta";
+constexpr char kSectionShard[] = "shard";
+
+std::string WrapBody(const std::string& kind, std::string record) {
+  std::vector<wire::Section> sections;
+  sections.push_back({kSectionBody, std::move(record)});
+  return wire::WrapEnvelope(kind, std::move(sections));
+}
+
+Result<wire::Record> UnwrapBody(const std::string& bytes,
+                                const std::string& expected_kind) {
+  DPB_ASSIGN_OR_RETURN(wire::Envelope env, wire::UnwrapEnvelope(bytes));
+  if (env.kind != expected_kind) {
+    return Status::InvalidArgument("protocol message is a '" + env.kind +
+                                   "', expected '" + expected_kind + "'");
+  }
+  DPB_ASSIGN_OR_RETURN(std::string body, env.Take(kSectionBody));
+  return wire::Record::Parse(body);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Message codecs.
+// ---------------------------------------------------------------------------
+
+std::string EncodeReady(const ReadyMsg& m) {
+  wire::RecordWriter w;
+  w.Str("worker", m.worker);
+  return WrapBody(kKindReady, std::move(w).Finish());
+}
+
+Result<ReadyMsg> DecodeReady(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(wire::Record rec, UnwrapBody(bytes, kKindReady));
+  ReadyMsg m;
+  DPB_ASSIGN_OR_RETURN(m.worker, rec.Str("worker"));
+  return m;
+}
+
+std::string EncodeAssign(const AssignMsg& m) {
+  wire::RecordWriter task;
+  task.U64("task_index", m.task_index);
+  task.U64("task_count", m.task_count);
+  std::vector<wire::Section> sections;
+  sections.push_back({kSectionTask, std::move(task).Finish()});
+  sections.push_back(
+      {kSectionConfig, EncodeExperimentConfigRecord(m.config)});
+  return wire::WrapEnvelope(kKindAssign, std::move(sections));
+}
+
+Result<AssignMsg> DecodeAssign(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(wire::Envelope env, wire::UnwrapEnvelope(bytes));
+  if (env.kind != kKindAssign) {
+    return Status::InvalidArgument("protocol message is a '" + env.kind +
+                                   "', expected '" + kKindAssign + "'");
+  }
+  AssignMsg m;
+  DPB_ASSIGN_OR_RETURN(std::string task_bytes, env.Take(kSectionTask));
+  DPB_ASSIGN_OR_RETURN(wire::Record task, wire::Record::Parse(task_bytes));
+  DPB_ASSIGN_OR_RETURN(m.task_index, task.U64("task_index"));
+  DPB_ASSIGN_OR_RETURN(m.task_count, task.U64("task_count"));
+  if (m.task_count == 0 || m.task_index >= m.task_count) {
+    return Status::InvalidArgument(
+        "assignment has inconsistent task indexing (task " +
+        std::to_string(m.task_index) + " of " +
+        std::to_string(m.task_count) + ")");
+  }
+  DPB_ASSIGN_OR_RETURN(std::string config_bytes, env.Take(kSectionConfig));
+  DPB_ASSIGN_OR_RETURN(m.config,
+                       DecodeExperimentConfigRecord(config_bytes));
+  return m;
+}
+
+std::string EncodeHeartbeat(const HeartbeatMsg& m) {
+  wire::RecordWriter w;
+  w.Str("worker", m.worker);
+  w.U64("task_index", m.task_index);
+  w.U64("cells_done", m.cells_done);
+  return WrapBody(kKindHeartbeat, std::move(w).Finish());
+}
+
+Result<HeartbeatMsg> DecodeHeartbeat(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(wire::Record rec, UnwrapBody(bytes, kKindHeartbeat));
+  HeartbeatMsg m;
+  DPB_ASSIGN_OR_RETURN(m.worker, rec.Str("worker"));
+  DPB_ASSIGN_OR_RETURN(m.task_index, rec.U64("task_index"));
+  DPB_ASSIGN_OR_RETURN(m.cells_done, rec.U64("cells_done"));
+  return m;
+}
+
+std::string EncodeResult(const ResultMsg& m) {
+  wire::RecordWriter meta;
+  meta.Str("worker", m.worker);
+  meta.U64("task_index", m.task_index);
+  std::vector<wire::Section> sections;
+  sections.push_back({kSectionMeta, std::move(meta).Finish()});
+  sections.push_back({kSectionShard, m.shard_bytes});
+  return wire::WrapEnvelope(kKindResult, std::move(sections));
+}
+
+Result<ResultMsg> DecodeResult(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(wire::Envelope env, wire::UnwrapEnvelope(bytes));
+  if (env.kind != kKindResult) {
+    return Status::InvalidArgument("protocol message is a '" + env.kind +
+                                   "', expected '" + kKindResult + "'");
+  }
+  ResultMsg m;
+  DPB_ASSIGN_OR_RETURN(std::string meta_bytes, env.Take(kSectionMeta));
+  DPB_ASSIGN_OR_RETURN(wire::Record meta, wire::Record::Parse(meta_bytes));
+  DPB_ASSIGN_OR_RETURN(m.worker, meta.Str("worker"));
+  DPB_ASSIGN_OR_RETURN(m.task_index, meta.U64("task_index"));
+  DPB_ASSIGN_OR_RETURN(m.shard_bytes, env.Take(kSectionShard));
+  return m;
+}
+
+std::string EncodeIdle(const IdleMsg& m) {
+  wire::RecordWriter w;
+  w.U64("retry_ms", m.retry_ms);
+  return WrapBody(kKindIdle, std::move(w).Finish());
+}
+
+Result<IdleMsg> DecodeIdle(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(wire::Record rec, UnwrapBody(bytes, kKindIdle));
+  IdleMsg m;
+  DPB_ASSIGN_OR_RETURN(m.retry_ms, rec.U64("retry_ms"));
+  return m;
+}
+
+std::string EncodeShutdown() {
+  wire::RecordWriter w;
+  return WrapBody(kKindShutdown, std::move(w).Finish());
+}
+
+Result<std::string> MessageKind(const std::string& bytes) {
+  return wire::PeekKind(bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Fault spec.
+// ---------------------------------------------------------------------------
+
+Result<FaultSpec> ParseFaultSpec(const std::string& spec) {
+  FaultSpec f;
+  if (spec.empty()) return f;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    std::string name = item;
+    int64_t value = -1;
+    size_t colon = item.find(':');
+    if (colon != std::string::npos) {
+      name = item.substr(0, colon);
+      std::string digits = item.substr(colon + 1);
+      if (digits.empty() ||
+          digits.find_first_not_of("0123456789") != std::string::npos ||
+          digits.size() > 9) {
+        return Status::InvalidArgument(
+            "fault '" + name +
+            "' expects a small non-negative integer, got '" + digits + "'");
+      }
+      value = std::stoll(digits);
+    }
+    if (name == "kill_after") {
+      if (value < 0) {
+        return Status::InvalidArgument(
+            "kill_after needs a count: kill_after:N");
+      }
+      f.kill_after = value;
+    } else if (name == "drop_conn") {
+      if (value < 0) {
+        return Status::InvalidArgument(
+            "drop_conn needs a count: drop_conn:N");
+      }
+      f.drop_conn_after = value;
+    } else if (name == "corrupt_shard") {
+      f.corrupt_shard = true;
+    } else if (name == "straggle_first") {
+      if (value < 0) {
+        return Status::InvalidArgument(
+            "straggle_first needs milliseconds: straggle_first:MS");
+      }
+      f.straggle_first_ms = value;
+    } else {
+      return Status::InvalidArgument(
+          "unknown fault '" + name +
+          "' (known: kill_after:N, drop_conn:N, corrupt_shard, "
+          "straggle_first:MS)");
+    }
+  }
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class TaskState { kPending, kInFlight, kDone };
+
+struct TaskEntry {
+  TaskState state = TaskState::kPending;
+  uint64_t issue_count = 0;       // outstanding assignments
+  Clock::time_point issued_at{};  // earliest outstanding assignment
+  ShardFile result;               // valid once state == kDone
+};
+
+// Shared coordinator state; every access under `mu`.
+struct CoordState {
+  std::mutex mu;
+  std::vector<TaskEntry> tasks;
+  uint64_t done_count = 0;
+  std::set<std::string> workers_seen;
+  std::map<std::string, Clock::time_point> last_seen;  // by worker name
+  std::vector<int64_t> completed_ms;  // task durations, for the median
+  CoordinatorSummary summary;
+  bool all_done = false;
+};
+
+int64_t StragglerThresholdMs(const CoordState& s,
+                             const CoordinatorOptions& opt) {
+  int64_t threshold = opt.min_straggler_ms;
+  if (!s.completed_ms.empty()) {
+    std::vector<int64_t> sorted = s.completed_ms;
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                     sorted.end());
+    int64_t median = sorted[sorted.size() / 2];
+    threshold = std::max<int64_t>(
+        threshold, static_cast<int64_t>(opt.straggler_factor *
+                                        static_cast<double>(median)));
+  }
+  return threshold;
+}
+
+// Requeues a task whose assignment was lost: one outstanding copy fewer;
+// back to pending when no copies remain in flight. Caller holds s.mu.
+void ReleaseIssue(CoordState* s, int64_t task) {
+  if (task < 0) return;
+  TaskEntry& t = s->tasks[static_cast<size_t>(task)];
+  if (t.state != TaskState::kInFlight) return;
+  if (t.issue_count > 0) --t.issue_count;
+  if (t.issue_count == 0) {
+    t.state = TaskState::kPending;
+    ++s->summary.tasks_reissued;
+  }
+}
+
+// Picks the next task for an idle worker: a pending task if any, else the
+// most overdue straggler that has only one outstanding copy. -1 = nothing
+// to hand out. Caller holds s.mu.
+int64_t PickTask(CoordState& s, const CoordinatorOptions& opt,
+                 bool* speculative) {
+  *speculative = false;
+  for (size_t i = 0; i < s.tasks.size(); ++i) {
+    if (s.tasks[i].state == TaskState::kPending) {
+      return static_cast<int64_t>(i);
+    }
+  }
+  int64_t best = -1;
+  int64_t best_age = StragglerThresholdMs(s, opt);
+  for (size_t i = 0; i < s.tasks.size(); ++i) {
+    const TaskEntry& t = s.tasks[i];
+    if (t.state != TaskState::kInFlight || t.issue_count != 1) continue;
+    int64_t age = MsSince(t.issued_at);
+    if (age >= best_age) {
+      best = static_cast<int64_t>(i);
+      best_age = age;
+    }
+  }
+  if (best >= 0) *speculative = true;
+  return best;
+}
+
+// One worker connection, served until it closes, goes silent past the
+// heartbeat timeout, or the run completes.
+void ServeConnection(net::Socket sock, const ExperimentConfig& config,
+                     const CoordinatorOptions& opt, CoordState* s) {
+  std::string worker;      // set by the first ready message
+  int64_t conn_task = -1;  // task this connection has in flight
+
+  auto connection_lost = [&]() {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (!worker.empty()) {
+      ++s->summary.workers_lost;
+      s->last_seen.erase(worker);
+    }
+    ReleaseIssue(s, conn_task);
+  };
+
+  // Replies to a work request with assign/idle/shutdown. Returns false
+  // when this connection is finished (shutdown sent or the send failed).
+  auto reply_instruction = [&]() -> bool {
+    std::string out;
+    bool is_shutdown = false;
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      if (s->all_done) {
+        out = EncodeShutdown();
+        is_shutdown = true;
+      } else {
+        bool speculative = false;
+        int64_t pick = PickTask(*s, opt, &speculative);
+        if (pick < 0) {
+          IdleMsg idle;
+          idle.retry_ms = static_cast<uint64_t>(opt.idle_retry_ms);
+          out = EncodeIdle(idle);
+        } else {
+          TaskEntry& t = s->tasks[static_cast<size_t>(pick)];
+          if (t.issue_count == 0) t.issued_at = Clock::now();
+          t.state = TaskState::kInFlight;
+          ++t.issue_count;
+          if (speculative) ++s->summary.speculative_issued;
+          conn_task = pick;
+          AssignMsg assign;
+          assign.task_index = static_cast<uint64_t>(pick);
+          assign.task_count = opt.num_tasks;
+          assign.config = config;
+          out = EncodeAssign(assign);
+        }
+      }
+    }
+    if (!sock.SendFrame(out).ok()) {
+      connection_lost();
+      return false;
+    }
+    return !is_shutdown;
+  };
+
+  for (;;) {
+    auto frame = sock.RecvFrame(opt.poll_ms);
+    if (!frame.ok()) {
+      connection_lost();
+      return;
+    }
+    if (frame->timed_out) {
+      bool done, lost = false;
+      {
+        std::lock_guard<std::mutex> lock(s->mu);
+        done = s->all_done;
+        if (!worker.empty()) {
+          auto it = s->last_seen.find(worker);
+          if (it != s->last_seen.end() &&
+              MsSince(it->second) > opt.heartbeat_timeout_ms) {
+            // Heartbeat timeout: the worker hangs (or its heartbeats are
+            // not getting through) — declare it lost and requeue.
+            ++s->summary.workers_lost;
+            s->last_seen.erase(it);
+            ReleaseIssue(s, conn_task);
+            lost = true;
+          }
+        }
+      }
+      if (lost) return;
+      if (done) {
+        // The worker may be mid-execution on a task someone else already
+        // finished; closing after a shutdown frame unblocks it.
+        (void)sock.SendFrame(EncodeShutdown());
+        return;
+      }
+      continue;
+    }
+
+    auto kind = wire::PeekKind(frame->bytes);
+    if (!kind.ok()) {
+      connection_lost();
+      return;
+    }
+
+    if (*kind == kKindReady) {
+      auto msg = DecodeReady(frame->bytes);
+      if (!msg.ok()) {
+        connection_lost();
+        return;
+      }
+      worker = msg->worker;
+      {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->workers_seen.insert(worker);
+        s->summary.workers_seen = s->workers_seen.size();
+        s->last_seen[worker] = Clock::now();
+      }
+      if (!reply_instruction()) return;
+    } else if (*kind == kKindHeartbeat) {
+      auto msg = DecodeHeartbeat(frame->bytes);
+      if (!msg.ok()) {
+        connection_lost();
+        return;
+      }
+      bool done;
+      {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->last_seen[msg->worker] = Clock::now();
+        done = s->all_done;
+      }
+      if (done) {
+        // Tell a worker still grinding a stale speculative copy to stop.
+        (void)sock.SendFrame(EncodeShutdown());
+        return;
+      }
+    } else if (*kind == kKindResult) {
+      auto msg = DecodeResult(frame->bytes);
+      if (!msg.ok()) {
+        connection_lost();
+        return;
+      }
+      // The shard image is self-verifying; a corrupt upload fails decode
+      // with DataLoss naming the damaged section, and the task goes back
+      // into the queue instead of poisoning the merge.
+      auto shard = DecodeShardFile(msg->shard_bytes);
+      {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->last_seen[msg->worker] = Clock::now();
+        if (msg->task_index >= s->tasks.size()) {
+          ++s->summary.corrupt_uploads;
+        } else {
+          TaskEntry& t = s->tasks[msg->task_index];
+          bool was_ours =
+              conn_task == static_cast<int64_t>(msg->task_index);
+          if (was_ours) conn_task = -1;
+          if (!shard.ok()) {
+            ++s->summary.corrupt_uploads;
+            if (was_ours) {
+              if (t.state == TaskState::kInFlight) {
+                if (t.issue_count > 0) --t.issue_count;
+                if (t.issue_count == 0) {
+                  t.state = TaskState::kPending;
+                  ++s->summary.tasks_reissued;
+                }
+              }
+            }
+          } else if (t.state == TaskState::kDone) {
+            // A speculative copy finished second; by determinism its
+            // bytes are identical, so it carries no new information.
+            ++s->summary.duplicate_results;
+          } else {
+            if (t.state == TaskState::kInFlight && t.issue_count > 0) {
+              --t.issue_count;
+            }
+            t.state = TaskState::kDone;
+            t.result = std::move(shard).value();
+            s->completed_ms.push_back(MsSince(t.issued_at));
+            ++s->done_count;
+            if (s->done_count == s->tasks.size()) s->all_done = true;
+          }
+        }
+      }
+      if (!reply_instruction()) return;
+    } else {
+      // Unknown message kind: protocol skew; drop the connection.
+      connection_lost();
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Coordinator> Coordinator::Create(const ExperimentConfig& config,
+                                        const CoordinatorOptions& options) {
+  if (options.num_tasks == 0) {
+    return Status::InvalidArgument("num_tasks must be at least 1");
+  }
+  Coordinator c;
+  c.config_ = config;
+  c.options_ = options;
+  DPB_ASSIGN_OR_RETURN(c.listener_, net::Listener::Bind(options.port));
+  return c;
+}
+
+Result<MergedRun> Coordinator::Serve(CoordinatorSummary* summary) {
+  CoordState state;
+  state.tasks.resize(options_.num_tasks);
+  state.summary.tasks = options_.num_tasks;
+
+  Status serve_status = Status::OK();
+  std::vector<std::thread> conns;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (state.all_done) break;
+    }
+    auto sock = listener_.Accept(options_.poll_ms);
+    if (!sock.ok()) {
+      serve_status = sock.status();
+      break;
+    }
+    if (!sock->valid()) continue;  // accept timeout slice; re-check done
+    conns.emplace_back(ServeConnection, std::move(sock).value(), config_,
+                       options_, &state);
+  }
+  // Stop accepting; connection threads notice all_done within one poll
+  // slice, send shutdown to their workers, and exit.
+  listener_.Close();
+  for (std::thread& t : conns) t.join();
+  DPB_RETURN_NOT_OK(serve_status);
+
+  if (summary != nullptr) *summary = state.summary;
+  std::vector<ShardFile> shards;
+  shards.reserve(state.tasks.size());
+  for (TaskEntry& t : state.tasks) {
+    shards.push_back(std::move(t.result));
+  }
+  return MergeShards(std::move(shards));
+}
+
+// ---------------------------------------------------------------------------
+// Worker.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Bound on waiting for the coordinator's reply to a ready/result message.
+// It answers immediately when healthy; a silent socket this long means
+// the connection is wedged and the worker should reconnect.
+constexpr int kReplyTimeoutMs = 30000;
+
+// Connects with exponential backoff; reconnect_attempts tries total.
+Result<net::Socket> ConnectWithBackoff(const WorkerOptions& opt) {
+  int backoff = opt.reconnect_base_ms;
+  Status last = Status::Unavailable("no connection attempt made");
+  for (int attempt = 0; attempt < std::max(1, opt.reconnect_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      SleepMs(backoff);
+      backoff = std::min(backoff * 2, opt.reconnect_max_ms);
+    }
+    auto sock = net::Connect(opt.port, opt.connect_timeout_ms);
+    if (sock.ok()) return sock;
+    last = sock.status();
+  }
+  return last;
+}
+
+// Flips one byte of the first section payload of a shard image, so the
+// damage lands inside checksummed bytes (not framing) and must be caught
+// by the section CRC.
+void CorruptShardImage(std::string* bytes) {
+  auto layout = wire::EnvelopeLayout(*bytes);
+  if (layout.ok() && !layout->empty() && (*layout)[0].length > 0) {
+    (*bytes)[(*layout)[0].offset] =
+        static_cast<char>((*bytes)[(*layout)[0].offset] ^ 0x01);
+  } else if (!bytes->empty()) {
+    bytes->back() = static_cast<char>(bytes->back() ^ 0x01);
+  }
+}
+
+}  // namespace
+
+Result<WorkerStats> RunWorker(const WorkerOptions& options) {
+  WorkerStats stats;
+  uint64_t uploads = 0;
+  bool first_task = true;
+
+  // The initial connection: a coordinator that never appears is an error
+  // (unlike one that disappears later, which ends a degraded run cleanly).
+  auto initial = ConnectWithBackoff(options);
+  if (!initial.ok()) return initial.status();
+  net::Socket sock = std::move(initial).value();
+
+  // The instruction currently in hand (empty = need to send ready first).
+  std::string instruction;
+
+  auto reconnect = [&]() -> bool {
+    sock.Close();
+    instruction.clear();
+    auto again = ConnectWithBackoff(options);
+    if (!again.ok()) return false;
+    sock = std::move(again).value();
+    ++stats.reconnects;
+    return true;
+  };
+
+  for (;;) {
+    if (instruction.empty()) {
+      ReadyMsg ready;
+      ready.worker = options.name;
+      if (!sock.SendFrame(EncodeReady(ready)).ok()) {
+        if (reconnect()) continue;
+        stats.ended_by = "coordinator_gone";
+        return stats;
+      }
+      auto reply = sock.RecvFrame(kReplyTimeoutMs);
+      if (!reply.ok() || reply->timed_out) {
+        if (reconnect()) continue;
+        stats.ended_by = "coordinator_gone";
+        return stats;
+      }
+      instruction = std::move(reply->bytes);
+    }
+    std::string current = std::move(instruction);
+    instruction.clear();
+
+    auto kind = wire::PeekKind(current);
+    if (!kind.ok()) {
+      stats.ended_by = "protocol_error";
+      return stats;
+    }
+    if (*kind == kKindShutdown) {
+      stats.ended_by = "shutdown";
+      return stats;
+    }
+    if (*kind == kKindIdle) {
+      auto idle = DecodeIdle(current);
+      SleepMs(idle.ok() ? static_cast<int64_t>(idle->retry_ms) : 200);
+      continue;
+    }
+    if (*kind != kKindAssign) {
+      stats.ended_by = "protocol_error";
+      return stats;
+    }
+    auto assign = DecodeAssign(current);
+    if (!assign.ok()) {
+      stats.ended_by = "protocol_error";
+      return stats;
+    }
+
+    // kill_after:0 — die the moment work arrives, before producing
+    // anything: the cleanest mid-run crash for fault-injection tests.
+    if (options.fault.kill_after == 0) {
+      sock.Close();
+      stats.killed_by_fault = true;
+      stats.ended_by = "fault";
+      return stats;
+    }
+
+    int64_t stall_ms = first_task ? options.fault.straggle_first_ms : 0;
+    first_task = false;
+
+    ExperimentConfig config = assign->config;
+    config.threads = options.threads;
+    config.shard_index = static_cast<size_t>(assign->task_index);
+    config.shard_count = static_cast<size_t>(assign->task_count);
+
+    // Heartbeat pump: owns the socket while this thread computes (nothing
+    // else touches it until the pump is joined). A shutdown arriving
+    // mid-task means the run finished without us.
+    std::atomic<uint64_t> cells_done{0};
+    std::atomic<bool> stop_pump{false};
+    std::atomic<bool> conn_lost{false};
+    std::atomic<bool> got_shutdown{false};
+    std::thread pump([&]() {
+      while (!stop_pump.load()) {
+        HeartbeatMsg hb;
+        hb.worker = options.name;
+        hb.task_index = assign->task_index;
+        hb.cells_done = cells_done.load();
+        if (!sock.SendFrame(EncodeHeartbeat(hb)).ok()) {
+          conn_lost.store(true);
+          return;
+        }
+        // The recv timeout doubles as the heartbeat pacing.
+        auto resp = sock.RecvFrame(options.heartbeat_ms);
+        if (!resp.ok()) {
+          conn_lost.store(true);
+          return;
+        }
+        if (!resp->timed_out) {
+          auto k = wire::PeekKind(resp->bytes);
+          if (k.ok() && *k == kKindShutdown) {
+            got_shutdown.store(true);
+            return;
+          }
+        }
+      }
+    });
+
+    if (stall_ms > 0) SleepMs(stall_ms);  // injected straggler
+    RunDiagnostics diagnostics;
+    auto cells = Runner::Run(
+        config, [&](const CellResult&) { cells_done.fetch_add(1); },
+        &diagnostics);
+    stop_pump.store(true);
+    pump.join();
+
+    if (got_shutdown.load()) {
+      stats.ended_by = "shutdown";
+      return stats;
+    }
+    if (!cells.ok()) return cells.status();  // config error: fatal, no retry
+
+    ShardFile shard;
+    shard.shard_index = config.shard_index;
+    shard.shard_count = config.shard_count;
+    shard.total_cells = diagnostics.grid_cells;
+    shard.config = config;
+    shard.cells = std::move(cells).value();
+    shard.diagnostics = diagnostics;
+    std::string shard_bytes = EncodeShardFile(shard);
+    if (options.fault.corrupt_shard) CorruptShardImage(&shard_bytes);
+
+    ResultMsg result;
+    result.worker = options.name;
+    result.task_index = assign->task_index;
+    result.shard_bytes = std::move(shard_bytes);
+    std::string result_frame = EncodeResult(result);
+    bool sent = !conn_lost.load() && sock.SendFrame(result_frame).ok();
+    if (!sent) {
+      // The connection died somewhere along the task: reconnect and
+      // re-send the finished result (a duplicate is harmless — the bytes
+      // are deterministic — and the work is too expensive to discard).
+      if (!reconnect()) {
+        stats.ended_by = "coordinator_gone";
+        return stats;
+      }
+      if (!sock.SendFrame(result_frame).ok()) {
+        stats.ended_by = "coordinator_gone";
+        return stats;
+      }
+    }
+    ++uploads;
+    ++stats.tasks_completed;
+
+    if (options.fault.kill_after > 0 &&
+        static_cast<int64_t>(uploads) >= options.fault.kill_after) {
+      sock.Close();  // abrupt: no shutdown handshake, mimicking a crash
+      stats.killed_by_fault = true;
+      stats.ended_by = "fault";
+      return stats;
+    }
+    if (options.fault.drop_conn_after >= 0 &&
+        static_cast<int64_t>(uploads) == options.fault.drop_conn_after) {
+      sock.Close();  // then reconnect: exercises the backoff path
+      if (reconnect()) continue;
+      stats.ended_by = "coordinator_gone";
+      return stats;
+    }
+
+    // Collect the instruction that answers our result; it feeds the top
+    // of the loop.
+    auto next = sock.RecvFrame(kReplyTimeoutMs);
+    if (!next.ok() || next->timed_out) {
+      if (reconnect()) continue;
+      stats.ended_by = "coordinator_gone";
+      return stats;
+    }
+    instruction = std::move(next->bytes);
+  }
+}
+
+}  // namespace distrib
+}  // namespace dpbench

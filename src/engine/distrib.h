@@ -1,0 +1,214 @@
+// Fault-tolerant distributed execution of a DPBench experiment grid:
+// a coordinator that deterministically pre-partitions the cell grid into
+// tasks and hands them to worker daemons over a small TCP protocol, plus
+// the worker side of that protocol.
+//
+// Calvin-style determinism-first design: the schedule is fixed before
+// execution. The grid is enumerated in its canonical order and task t of T
+// is exactly the strided shard {cells i : i % T == t} — the same partition
+// dpbench_shard uses — and every cell's random stream is derived from
+// (seed, cell identity). Any re-execution of a task therefore produces
+// bit-identical bytes, which makes every recovery mechanism here safe by
+// construction: speculative duplicates are harmless (first valid result
+// wins, the loser is discarded unread), a worker that dies mid-task loses
+// nothing but time, and the merged result is byte-identical to the
+// monolithic run.
+//
+// Robustness mechanics:
+//   - heartbeats: workers report progress during execution; a worker
+//     silent past the heartbeat timeout is declared lost and its task goes
+//     back to the pending queue (graceful degradation to fewer workers);
+//   - stragglers: a task in flight for longer than
+//     max(min_straggler_ms, straggler_factor x median completed task time)
+//     is speculatively re-issued to the next idle worker;
+//   - integrity: every protocol message is a checksummed wire envelope and
+//     every shard upload is a full self-verifying shard file image — a
+//     corrupt upload is rejected (DataLoss naming the damaged section) and
+//     the task re-queued;
+//   - reconnect: workers retry a lost coordinator connection with
+//     exponential backoff before giving up.
+//
+// Fault injection (tests and the CI smoke job) is built in: FaultSpec,
+// parsed from the DPBENCH_FAULT environment variable by the worker tool,
+// can kill a worker after N uploads, drop its connection, corrupt a shard
+// payload, or delay its first task to force speculation.
+#ifndef DPBENCH_ENGINE_DISTRIB_H_
+#define DPBENCH_ENGINE_DISTRIB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/net.h"
+#include "src/engine/runner.h"
+#include "src/engine/serialize.h"
+
+namespace dpbench {
+namespace distrib {
+
+// ---------------------------------------------------------------------------
+// Protocol messages. Each is a wire envelope (magic, version, kind,
+// checksummed sections) sent as one net frame. Worker → coordinator:
+// ready, heartbeat, result. Coordinator → worker: assign, idle, shutdown.
+// The coordinator answers every ready and every result with exactly one
+// instruction (assign / idle / shutdown); heartbeats are one-way.
+// ---------------------------------------------------------------------------
+
+/// Worker announces itself (on connect and after every result).
+struct ReadyMsg {
+  std::string worker;
+};
+
+/// One task: run shard task_index of task_count of `config`. The config
+/// travels as a grid-identity record; execution-only fields (threads,
+/// shard assignment) are the worker's business.
+struct AssignMsg {
+  uint64_t task_index = 0;
+  uint64_t task_count = 1;
+  ExperimentConfig config;
+};
+
+/// Progress report while executing, also serving as a liveness signal.
+struct HeartbeatMsg {
+  std::string worker;
+  uint64_t task_index = 0;
+  uint64_t cells_done = 0;
+};
+
+/// A completed task: the full self-verifying shard-file image.
+struct ResultMsg {
+  std::string worker;
+  uint64_t task_index = 0;
+  std::string shard_bytes;  // EncodeShardFile image (internally checksummed)
+};
+
+/// Nothing to hand out right now; ask again in retry_ms.
+struct IdleMsg {
+  uint64_t retry_ms = 200;
+};
+
+std::string EncodeReady(const ReadyMsg& m);
+std::string EncodeAssign(const AssignMsg& m);
+std::string EncodeHeartbeat(const HeartbeatMsg& m);
+std::string EncodeResult(const ResultMsg& m);
+std::string EncodeIdle(const IdleMsg& m);
+std::string EncodeShutdown();
+
+/// Kind tag of an encoded message ("dpbench.d.ready", ".assign",
+/// ".heartbeat", ".result", ".idle", ".shutdown") for dispatch.
+Result<std::string> MessageKind(const std::string& bytes);
+
+Result<ReadyMsg> DecodeReady(const std::string& bytes);
+Result<AssignMsg> DecodeAssign(const std::string& bytes);
+Result<HeartbeatMsg> DecodeHeartbeat(const std::string& bytes);
+Result<ResultMsg> DecodeResult(const std::string& bytes);
+Result<IdleMsg> DecodeIdle(const std::string& bytes);
+
+// ---------------------------------------------------------------------------
+// Fault injection.
+// ---------------------------------------------------------------------------
+
+/// What a worker has been told to break, parsed from DPBENCH_FAULT:
+///   kill_after:N    exit abruptly (no shutdown handshake) after N uploads
+///   drop_conn:N     close and reconnect after N uploads
+///   corrupt_shard   flip one byte in each shard payload before upload
+///   straggle_first:MS  sleep MS before executing the first task
+struct FaultSpec {
+  int64_t kill_after = -1;      // uploads before dying; -1 = never
+  int64_t drop_conn_after = -1; // uploads before dropping the connection
+  bool corrupt_shard = false;
+  int64_t straggle_first_ms = 0;
+};
+
+/// Parses a DPBENCH_FAULT value ("" = no faults). InvalidArgument on an
+/// unknown fault name or malformed count.
+Result<FaultSpec> ParseFaultSpec(const std::string& spec);
+
+// ---------------------------------------------------------------------------
+// Coordinator.
+// ---------------------------------------------------------------------------
+
+struct CoordinatorOptions {
+  uint16_t port = 0;           ///< 0 = pick an ephemeral port
+  uint64_t num_tasks = 8;      ///< grid partitions (≥ worker count works best)
+  int heartbeat_timeout_ms = 5000;  ///< silence before a worker is lost
+  int min_straggler_ms = 10000;     ///< floor before speculation kicks in
+  double straggler_factor = 3.0;    ///< x median task time
+  int idle_retry_ms = 200;     ///< backoff we hand to idle workers
+  int poll_ms = 100;           ///< connection-thread poll slice
+};
+
+/// What happened during a coordinated run (for logs, tests, and the CI
+/// smoke job's assertions).
+struct CoordinatorSummary {
+  uint64_t tasks = 0;
+  uint64_t workers_seen = 0;        ///< distinct worker names that connected
+  uint64_t workers_lost = 0;        ///< connections lost / heartbeat timeouts
+  uint64_t tasks_reissued = 0;      ///< re-queued after a lost worker
+  uint64_t speculative_issued = 0;  ///< straggler copies handed out
+  uint64_t duplicate_results = 0;   ///< uploads for already-done tasks
+  uint64_t corrupt_uploads = 0;     ///< uploads rejected by checksum/decode
+};
+
+class Coordinator {
+ public:
+  /// Binds the listener (options.port; 0 = ephemeral, read back via
+  /// port()) without accepting yet, so callers can learn the port before
+  /// starting workers.
+  static Result<Coordinator> Create(const ExperimentConfig& config,
+                                    const CoordinatorOptions& options);
+
+  Coordinator(Coordinator&&) = default;
+  Coordinator& operator=(Coordinator&&) = default;
+
+  uint16_t port() const { return listener_.port(); }
+
+  /// Serves until every task has one valid result, then tells workers to
+  /// shut down and merges. The merged cells are byte-identical to the
+  /// monolithic run of `config`. Blocks; drive it from a thread when the
+  /// caller also hosts workers (tests).
+  Result<MergedRun> Serve(CoordinatorSummary* summary = nullptr);
+
+ private:
+  Coordinator() = default;
+
+  ExperimentConfig config_;
+  CoordinatorOptions options_;
+  net::Listener listener_;
+};
+
+// ---------------------------------------------------------------------------
+// Worker.
+// ---------------------------------------------------------------------------
+
+struct WorkerOptions {
+  std::string name = "worker";
+  uint16_t port = 0;           ///< coordinator port (required)
+  size_t threads = 1;          ///< Runner threads per task
+  int heartbeat_ms = 500;      ///< progress-report period while executing
+  int connect_timeout_ms = 2000;
+  int reconnect_attempts = 5;  ///< connection-loss retries before giving up
+  int reconnect_base_ms = 100; ///< exponential backoff base (doubles, capped)
+  int reconnect_max_ms = 2000;
+  FaultSpec fault;
+};
+
+struct WorkerStats {
+  uint64_t tasks_completed = 0;  ///< results uploaded (including duplicates)
+  uint64_t reconnects = 0;       ///< successful reconnections
+  bool killed_by_fault = false;  ///< exited via kill_after
+  std::string ended_by;          ///< "shutdown" | "fault" | "coordinator_gone"
+};
+
+/// Runs the worker loop: connect (with backoff), request work, execute,
+/// heartbeat, upload, repeat — until the coordinator says shutdown or
+/// disappears for good. Returns OK with stats.ended_by explaining why it
+/// stopped; a worker outliving its coordinator is a normal end, not an
+/// error. Unavailable only if the *initial* connection never succeeds.
+Result<WorkerStats> RunWorker(const WorkerOptions& options);
+
+}  // namespace distrib
+}  // namespace dpbench
+
+#endif  // DPBENCH_ENGINE_DISTRIB_H_

@@ -1,0 +1,272 @@
+#include "src/engine/net.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace dpbench {
+namespace net {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+// One bounded poll for readability/writability. Returns +1 ready, 0
+// timeout, -1 error (errno set). EINTR counts as a timeout slice — the
+// callers' outer loops re-check their own deadlines.
+int PollOne(int fd, short events, int timeout_ms) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = events;
+  p.revents = 0;
+  int rc = ::poll(&p, 1, timeout_ms);
+  if (rc < 0 && errno == EINTR) return 0;
+  return rc;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Socket
+// ---------------------------------------------------------------------------
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_), rx_(std::move(other.rx_)) {
+  other.fd_ = -1;
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    rx_ = std::move(other.rx_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_.clear();
+}
+
+Status Socket::SendFrame(const std::string& payload) {
+  if (!valid()) return Status::Unavailable("send on closed socket");
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload of " +
+                                   std::to_string(payload.size()) +
+                                   " bytes exceeds the 1 GiB frame limit");
+  }
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  unsigned char head[4] = {
+      static_cast<unsigned char>(len),
+      static_cast<unsigned char>(len >> 8),
+      static_cast<unsigned char>(len >> 16),
+      static_cast<unsigned char>(len >> 24),
+  };
+  std::string buf(reinterpret_cast<char*>(head), 4);
+  buf += payload;
+  size_t sent = 0;
+  while (sent < buf.size()) {
+    ssize_t n =
+        ::send(fd_, buf.data() + sent, buf.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(Errno("send failed"));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Frame> Socket::RecvFrame(int timeout_ms) {
+  if (!valid()) return Status::Unavailable("recv on closed socket");
+  // Deadline accounting without a wall clock: each poll consumes its own
+  // timeout from the remaining budget. timeout_ms < 0 waits forever.
+  int remaining = timeout_ms;
+  for (;;) {
+    // A complete frame may already be buffered from a prior timed-out
+    // call that read the prefix but not the payload.
+    if (rx_.size() >= 4) {
+      uint32_t len = static_cast<uint8_t>(rx_[0]) |
+                     (static_cast<uint32_t>(static_cast<uint8_t>(rx_[1]))
+                      << 8) |
+                     (static_cast<uint32_t>(static_cast<uint8_t>(rx_[2]))
+                      << 16) |
+                     (static_cast<uint32_t>(static_cast<uint8_t>(rx_[3]))
+                      << 24);
+      if (len > kMaxFrameBytes) {
+        return Status::InvalidArgument(
+            "frame length prefix of " + std::to_string(len) +
+            " bytes exceeds the 1 GiB frame limit (framing desync?)");
+      }
+      if (rx_.size() >= 4 + static_cast<size_t>(len)) {
+        Frame f;
+        f.bytes = rx_.substr(4, len);
+        rx_.erase(0, 4 + static_cast<size_t>(len));
+        return f;
+      }
+    }
+    int slice = remaining;
+    int rc = PollOne(fd_, POLLIN, slice);
+    if (rc < 0) return Status::Unavailable(Errno("poll failed"));
+    if (rc == 0) {
+      Frame f;
+      f.timed_out = true;
+      return f;
+    }
+    char chunk[64 * 1024];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(Errno("recv failed"));
+    }
+    if (n == 0) {
+      return Status::Unavailable("peer closed the connection" +
+                                 std::string(rx_.empty() ? "" : " mid-frame"));
+    }
+    rx_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Listener
+// ---------------------------------------------------------------------------
+
+Listener::~Listener() { Close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  port_ = 0;
+}
+
+Result<Listener> Listener::Bind(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Unavailable(Errno("socket failed"));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return Status::Unavailable(Errno("bind to 127.0.0.1:" +
+                                     std::to_string(port) + " failed"));
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    return Status::Unavailable(Errno("listen failed"));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    ::close(fd);
+    return Status::Unavailable(Errno("getsockname failed"));
+  }
+  Listener l;
+  l.fd_ = fd;
+  l.port_ = ntohs(addr.sin_port);
+  return l;
+}
+
+Result<Socket> Listener::Accept(int timeout_ms) {
+  if (!valid()) return Status::Unavailable("accept on closed listener");
+  int rc = PollOne(fd_, POLLIN, timeout_ms);
+  if (rc < 0) return Status::Unavailable(Errno("poll failed"));
+  if (rc == 0) return Socket();  // deadline expired, no connection
+  int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return Socket();
+    return Status::Unavailable(Errno("accept failed"));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Connect
+// ---------------------------------------------------------------------------
+
+Result<Socket> Connect(uint16_t port, int timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Unavailable(Errno("socket failed"));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  // Non-blocking connect so the wait is bounded by poll, then back to
+  // blocking mode for the frame IO.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return Status::Unavailable(Errno("connect to 127.0.0.1:" +
+                                     std::to_string(port) + " failed"));
+  }
+  if (rc < 0) {
+    int ready = PollOne(fd, POLLOUT, timeout_ms);
+    if (ready <= 0) {
+      ::close(fd);
+      return Status::Unavailable("connect to 127.0.0.1:" +
+                                 std::to_string(port) + " timed out");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+    if (err != 0) {
+      ::close(fd);
+      return Status::Unavailable("connect to 127.0.0.1:" +
+                                 std::to_string(port) +
+                                 " failed: " + std::strerror(err));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+}  // namespace net
+}  // namespace dpbench

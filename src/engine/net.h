@@ -1,0 +1,109 @@
+// Minimal length-delimited TCP framing for the distributed runner.
+//
+// A frame on the wire is `u32 payload_len (little-endian) | payload`; the
+// payload is always a wire-envelope message (src/engine/distrib.h), so it
+// carries its own magic, version, kind, and section checksums — the frame
+// layer only solves message boundaries, not integrity.
+//
+// Error taxonomy, chosen so the coordinator can tell "retry" from "give
+// up": every transport-level failure (connect refused, peer closed,
+// send/recv error) is Status::Unavailable — retryable; a frame that
+// violates the framing protocol itself (length over kMaxFrameBytes) is
+// InvalidArgument — the peer is broken, not unlucky. Receive timeouts are
+// not errors at all: RecvFrame returns a Frame with timed_out set, because
+// "nothing arrived yet" is a normal scheduling event for a coordinator
+// polling workers, not a failure.
+//
+// Sockets here are blocking with poll()-bounded waits; SIGPIPE is
+// suppressed per-send (MSG_NOSIGNAL), so a worker dying mid-write surfaces
+// as an Unavailable status instead of killing the process.
+#ifndef DPBENCH_ENGINE_NET_H_
+#define DPBENCH_ENGINE_NET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace dpbench {
+namespace net {
+
+/// Upper bound on one frame's payload. Shard uploads dominate frame size;
+/// a full grid's raw-error payload stays far below this. Anything bigger
+/// is a framing desync or a hostile peer.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 30;  // 1 GiB
+
+/// Result of a bounded receive. Exactly one of the cases holds:
+/// timed_out (no full frame within the deadline; partial bytes are
+/// retained in the socket's buffer for the next call), or `bytes` is the
+/// complete payload.
+struct Frame {
+  bool timed_out = false;
+  std::string bytes;
+};
+
+/// A connected stream socket owning its fd. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Writes one complete frame (length prefix + payload). Unavailable on
+  /// any send failure or peer reset.
+  Status SendFrame(const std::string& payload);
+
+  /// Reads one complete frame, waiting at most `timeout_ms` (<0 = wait
+  /// forever). Returns timed_out=true on deadline expiry with no complete
+  /// frame; Unavailable if the peer closed or the read failed;
+  /// InvalidArgument on an over-limit length prefix.
+  Result<Frame> RecvFrame(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  std::string rx_;  // partial frame carried across timed-out reads
+};
+
+/// A listening socket bound to 127.0.0.1. Move-only.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port`; port 0 picks an ephemeral
+  /// port (read it back from port()).
+  static Result<Listener> Bind(uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }
+  void Close();
+
+  /// Accepts one connection, waiting at most `timeout_ms` (<0 = forever).
+  /// An expired deadline returns an invalid Socket (not an error).
+  Result<Socket> Accept(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port` with a bounded wait. Unavailable on
+/// refusal or timeout (both retryable: the coordinator may not be up yet).
+Result<Socket> Connect(uint16_t port, int timeout_ms);
+
+}  // namespace net
+}  // namespace dpbench
+
+#endif  // DPBENCH_ENGINE_NET_H_

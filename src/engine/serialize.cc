@@ -9,395 +9,14 @@
 #include <sstream>
 #include <utility>
 
+#include "src/engine/wire.h"
+
 namespace dpbench {
 
 namespace {
 
-constexpr char kMagic[4] = {'D', 'P', 'B', 'S'};
-
-// Field wire types. The tag is written with every field, which is what
-// makes the format self-describing: a reader can walk (and DebugJson can
-// render) any record without knowing its schema.
-enum FieldType : uint8_t {
-  kU64 = 1,
-  kF64 = 2,
-  kStr = 3,
-  kU64Vec = 4,
-  kF64Vec = 5,
-  kStrVec = 6,
-  kRec = 7,     // nested record (encoded bytes)
-  kRecVec = 8,  // vector of nested records
-};
-
-const char* FieldTypeName(uint8_t type) {
-  switch (type) {
-    case kU64: return "u64";
-    case kF64: return "f64";
-    case kStr: return "string";
-    case kU64Vec: return "u64 vector";
-    case kF64Vec: return "f64 vector";
-    case kStrVec: return "string vector";
-    case kRec: return "record";
-    case kRecVec: return "record vector";
-  }
-  return "unknown";
-}
-
-uint64_t DoubleBits(double v) {
-  uint64_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  return bits;
-}
-
-double DoubleFromBits(uint64_t bits) {
-  double v;
-  std::memcpy(&v, &bits, sizeof(v));
-  return v;
-}
-
-// ---------------------------------------------------------------------------
-// Record writer: accumulates (name, type, value) fields; Finish() prefixes
-// the field count. All scalars little-endian fixed-width.
-// ---------------------------------------------------------------------------
-class RecordWriter {
- public:
-  void U64(const std::string& name, uint64_t v) {
-    Header(name, kU64);
-    RawU64(v);
-  }
-  void F64(const std::string& name, double v) {
-    Header(name, kF64);
-    RawU64(DoubleBits(v));
-  }
-  void Str(const std::string& name, const std::string& v) {
-    Header(name, kStr);
-    RawStr(v);
-  }
-  void U64Vec(const std::string& name, const std::vector<uint64_t>& v) {
-    Header(name, kU64Vec);
-    RawU64(v.size());
-    for (uint64_t x : v) RawU64(x);
-  }
-  void F64Vec(const std::string& name, const std::vector<double>& v) {
-    Header(name, kF64Vec);
-    RawU64(v.size());
-    for (double x : v) RawU64(DoubleBits(x));
-  }
-  void StrVec(const std::string& name, const std::vector<std::string>& v) {
-    Header(name, kStrVec);
-    RawU64(v.size());
-    for (const std::string& s : v) RawStr(s);
-  }
-  void Rec(const std::string& name, const std::string& record_bytes) {
-    Header(name, kRec);
-    RawStr(record_bytes);
-  }
-  void RecVec(const std::string& name,
-              const std::vector<std::string>& records) {
-    Header(name, kRecVec);
-    RawU64(records.size());
-    for (const std::string& r : records) RawStr(r);
-  }
-
-  std::string Finish() && {
-    std::string out;
-    out.reserve(8 + body_.size());
-    AppendU64(&out, fields_);
-    out += body_;
-    return out;
-  }
-
- private:
-  static void AppendU64(std::string* s, uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      s->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-    }
-  }
-  void RawU64(uint64_t v) { AppendU64(&body_, v); }
-  void RawStr(const std::string& s) {
-    RawU64(s.size());
-    body_ += s;
-  }
-  void Header(const std::string& name, FieldType type) {
-    ++fields_;
-    RawStr(name);
-    body_.push_back(static_cast<char>(type));
-  }
-
-  uint64_t fields_ = 0;
-  std::string body_;
-};
-
-// ---------------------------------------------------------------------------
-// Record reader. Parse() walks every field with bounds checks (truncated
-// input fails with a precise error, oversized counts are rejected before
-// any allocation); typed getters validate presence and wire type.
-// ---------------------------------------------------------------------------
-struct FieldValue {
-  uint8_t type = 0;
-  uint64_t u64 = 0;
-  std::string str;                 // kStr / kRec payload
-  std::vector<uint64_t> u64_vec;   // also kF64Vec (bit patterns)
-  std::vector<std::string> str_vec;  // kStrVec / kRecVec payloads
-};
-
-Status Truncated(const std::string& what) {
-  return Status::InvalidArgument("truncated serialized data (reading " +
-                                 what + ")");
-}
-
-class Cursor {
- public:
-  explicit Cursor(const std::string& data) : data_(data) {}
-
-  size_t remaining() const { return data_.size() - pos_; }
-  bool done() const { return pos_ == data_.size(); }
-
-  Result<uint64_t> U64(const std::string& what) {
-    if (remaining() < 8) return Truncated(what);
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<uint64_t>(
-               static_cast<unsigned char>(data_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 8;
-    return v;
-  }
-
-  Result<uint8_t> U8(const std::string& what) {
-    if (remaining() < 1) return Truncated(what);
-    return static_cast<uint8_t>(static_cast<unsigned char>(data_[pos_++]));
-  }
-
-  Result<std::string> Str(const std::string& what) {
-    DPB_ASSIGN_OR_RETURN(uint64_t len, U64(what + " length"));
-    if (remaining() < len) return Truncated(what);
-    std::string s = data_.substr(pos_, len);
-    pos_ += len;
-    return s;
-  }
-
- private:
-  const std::string& data_;
-  size_t pos_ = 0;
-};
-
-class Record {
- public:
-  static Result<Record> Parse(const std::string& bytes) {
-    Record rec;
-    Cursor c(bytes);
-    DPB_ASSIGN_OR_RETURN(uint64_t count, c.U64("field count"));
-    // Every field is at least name-length + type byte: 9 bytes.
-    if (count > bytes.size() / 9 + 1) {
-      return Status::InvalidArgument(
-          "serialized record claims an implausible field count");
-    }
-    for (uint64_t f = 0; f < count; ++f) {
-      DPB_ASSIGN_OR_RETURN(std::string name, c.Str("field name"));
-      DPB_ASSIGN_OR_RETURN(uint8_t type, c.U8("field type of " + name));
-      FieldValue value;
-      value.type = type;
-      switch (type) {
-        case kU64: {
-          DPB_ASSIGN_OR_RETURN(value.u64, c.U64(name));
-          break;
-        }
-        case kF64: {
-          DPB_ASSIGN_OR_RETURN(value.u64, c.U64(name));
-          break;
-        }
-        case kStr:
-        case kRec: {
-          DPB_ASSIGN_OR_RETURN(value.str, c.Str(name));
-          break;
-        }
-        case kU64Vec:
-        case kF64Vec: {
-          DPB_ASSIGN_OR_RETURN(uint64_t n, c.U64(name + " count"));
-          if (c.remaining() < n * 8 || n > c.remaining()) {
-            return Truncated(name);
-          }
-          value.u64_vec.reserve(n);
-          for (uint64_t i = 0; i < n; ++i) {
-            DPB_ASSIGN_OR_RETURN(uint64_t x, c.U64(name));
-            value.u64_vec.push_back(x);
-          }
-          break;
-        }
-        case kStrVec:
-        case kRecVec: {
-          DPB_ASSIGN_OR_RETURN(uint64_t n, c.U64(name + " count"));
-          if (c.remaining() < n * 8 || n > c.remaining()) {
-            return Truncated(name);
-          }
-          value.str_vec.reserve(n);
-          for (uint64_t i = 0; i < n; ++i) {
-            DPB_ASSIGN_OR_RETURN(std::string s, c.Str(name));
-            value.str_vec.push_back(std::move(s));
-          }
-          break;
-        }
-        default:
-          return Status::InvalidArgument(
-              "serialized record has unknown field type for '" + name +
-              "'");
-      }
-      rec.fields_.emplace(std::move(name), std::move(value));
-    }
-    if (!c.done()) {
-      return Status::InvalidArgument(
-          "serialized record has trailing bytes (corrupt or mis-framed)");
-    }
-    return rec;
-  }
-
-  const std::map<std::string, FieldValue>& fields() const { return fields_; }
-  /// Mutable access for decoders that consume the record by moving field
-  /// payloads out (the plan-payload path decodes multi-MB GLS arrays).
-  std::map<std::string, FieldValue>& mutable_fields() { return fields_; }
-
-  Result<const FieldValue*> Find(const std::string& name,
-                                 uint8_t type) const {
-    auto it = fields_.find(name);
-    if (it == fields_.end()) {
-      return Status::InvalidArgument("serialized record missing field '" +
-                                     name + "'");
-    }
-    if (it->second.type != type) {
-      return Status::InvalidArgument(
-          "serialized field '" + name + "' has type " +
-          FieldTypeName(it->second.type) + ", expected " +
-          FieldTypeName(type));
-    }
-    return &it->second;
-  }
-
-  Result<uint64_t> U64(const std::string& name) const {
-    DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kU64));
-    return v->u64;
-  }
-  Result<double> F64(const std::string& name) const {
-    DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kF64));
-    return DoubleFromBits(v->u64);
-  }
-  Result<std::string> Str(const std::string& name) const {
-    DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kStr));
-    return v->str;
-  }
-  Result<std::vector<uint64_t>> U64Vec(const std::string& name) const {
-    DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kU64Vec));
-    return v->u64_vec;
-  }
-  Result<std::vector<double>> F64Vec(const std::string& name) const {
-    DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kF64Vec));
-    std::vector<double> out(v->u64_vec.size());
-    for (size_t i = 0; i < out.size(); ++i) {
-      out[i] = DoubleFromBits(v->u64_vec[i]);
-    }
-    return out;
-  }
-  Result<std::vector<std::string>> StrVec(const std::string& name) const {
-    DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kStrVec));
-    return v->str_vec;
-  }
-  Result<std::string> Rec(const std::string& name) const {
-    DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kRec));
-    return v->str;
-  }
-  Result<std::vector<std::string>> RecVec(const std::string& name) const {
-    DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kRecVec));
-    return v->str_vec;
-  }
-  /// Moving form for the bulk paths (a shard file's cells can be most of
-  /// the file): steals the record-bytes vector instead of copying it.
-  Result<std::vector<std::string>> TakeRecVec(const std::string& name) {
-    auto it = fields_.find(name);
-    if (it == fields_.end()) {
-      return Status::InvalidArgument("serialized record missing field '" +
-                                     name + "'");
-    }
-    if (it->second.type != kRecVec) {
-      return Status::InvalidArgument(
-          "serialized field '" + name + "' has type " +
-          FieldTypeName(it->second.type) + ", expected " +
-          FieldTypeName(kRecVec));
-    }
-    return std::move(it->second.str_vec);
-  }
-
- private:
-  std::map<std::string, FieldValue> fields_;
-};
-
-// ---------------------------------------------------------------------------
-// Envelope.
-// ---------------------------------------------------------------------------
-
-std::string WrapEnvelope(const std::string& kind, std::string record) {
-  std::string out;
-  out.reserve(4 + 4 + 8 + kind.size() + record.size());
-  out.append(kMagic, 4);
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(
-        static_cast<char>((kSerializeFormatVersion >> (8 * i)) & 0xff));
-  }
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>(
-        (static_cast<uint64_t>(kind.size()) >> (8 * i)) & 0xff));
-  }
-  out += kind;
-  out += record;
-  return out;
-}
-
-struct Envelope {
-  std::string kind;
-  std::string record;  // record bytes
-};
-
-Result<Envelope> UnwrapEnvelope(const std::string& bytes) {
-  if (bytes.size() < 8 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
-    return Status::InvalidArgument(
-        "not a DPBench serialized file (bad magic)");
-  }
-  uint32_t version = 0;
-  for (int i = 0; i < 4; ++i) {
-    version |= static_cast<uint32_t>(
-                   static_cast<unsigned char>(bytes[4 + i]))
-               << (8 * i);
-  }
-  if (version != kSerializeFormatVersion) {
-    return Status::InvalidArgument(
-        "serialized format version skew: file has v" +
-        std::to_string(version) + ", this build reads v" +
-        std::to_string(kSerializeFormatVersion));
-  }
-  if (bytes.size() < 16) return Truncated("envelope kind length");
-  uint64_t kind_len = 0;
-  for (int i = 0; i < 8; ++i) {
-    kind_len |= static_cast<uint64_t>(
-                    static_cast<unsigned char>(bytes[8 + i]))
-                << (8 * i);
-  }
-  // Overflow-safe form: 16 + kind_len could wrap for a hostile length.
-  if (kind_len > bytes.size() - 16) return Truncated("envelope kind");
-  Envelope env;
-  env.kind = bytes.substr(16, kind_len);
-  env.record = bytes.substr(16 + kind_len);
-  return env;
-}
-
-Result<Record> UnwrapAndParse(const std::string& bytes,
-                              const std::string& expected_kind) {
-  DPB_ASSIGN_OR_RETURN(Envelope env, UnwrapEnvelope(bytes));
-  if (env.kind != expected_kind) {
-    return Status::InvalidArgument("serialized artifact is a '" + env.kind +
-                                   "', expected '" + expected_kind + "'");
-  }
-  return Record::Parse(env.record);
-}
+using wire::Record;
+using wire::RecordWriter;
 
 // ---------------------------------------------------------------------------
 // Record-level encoders/decoders for the engine structs (no envelope; the
@@ -612,17 +231,17 @@ Result<PlanPayload> PlanPayloadFromRecord(const std::string& bytes) {
   // Move vector payloads out of the record: GLS/tree arrays run to
   // megabytes and the record is discarded right after this loop.
   for (auto& [name, value] : rec.mutable_fields()) {
-    if (name.rfind("i:", 0) == 0 && value.type == kU64) {
+    if (name.rfind("i:", 0) == 0 && value.type == wire::kU64) {
       p.ints[name.substr(2)] = value.u64;
-    } else if (name.rfind("r:", 0) == 0 && value.type == kF64) {
-      p.reals[name.substr(2)] = DoubleFromBits(value.u64);
-    } else if (name.rfind("iv:", 0) == 0 && value.type == kU64Vec) {
+    } else if (name.rfind("r:", 0) == 0 && value.type == wire::kF64) {
+      p.reals[name.substr(2)] = wire::DoubleFromBits(value.u64);
+    } else if (name.rfind("iv:", 0) == 0 && value.type == wire::kU64Vec) {
       p.int_vecs[name.substr(3)] = std::move(value.u64_vec);
-    } else if (name.rfind("rv:", 0) == 0 && value.type == kF64Vec) {
+    } else if (name.rfind("rv:", 0) == 0 && value.type == wire::kF64Vec) {
       std::vector<double>& out = p.real_vecs[name.substr(3)];
       out.resize(value.u64_vec.size());
       for (size_t i = 0; i < out.size(); ++i) {
-        out[i] = DoubleFromBits(value.u64_vec[i]);
+        out[i] = wire::DoubleFromBits(value.u64_vec[i]);
       }
     }
   }
@@ -689,6 +308,35 @@ constexpr char kKindPlanPayload[] = "dpbench.plan_payload";
 constexpr char kKindShard[] = "dpbench.shard";
 constexpr char kKindPlanCache[] = "dpbench.plan_cache";
 
+// Section names. Single-record artifacts live in one "body" section; the
+// multi-part file formats split into sections along their natural seams so
+// checksum errors localize the damage (and a reader could skip sections it
+// does not need).
+constexpr char kSectionBody[] = "body";
+constexpr char kSectionManifest[] = "manifest";
+constexpr char kSectionCells[] = "cells";
+constexpr char kSectionDiagnostics[] = "diagnostics";
+constexpr char kSectionWorkload[] = "workload";
+constexpr char kSectionPlans[] = "plans";
+
+std::string WrapSingle(const std::string& kind, std::string record) {
+  std::vector<wire::Section> sections;
+  sections.push_back({kSectionBody, std::move(record)});
+  return wire::WrapEnvelope(kind, std::move(sections));
+}
+
+// Unwraps (verifying checksums), checks the kind, and returns the body
+// section of a single-record artifact.
+Result<std::string> UnwrapSingle(const std::string& bytes,
+                                 const std::string& expected_kind) {
+  DPB_ASSIGN_OR_RETURN(wire::Envelope env, wire::UnwrapEnvelope(bytes));
+  if (env.kind != expected_kind) {
+    return Status::InvalidArgument("serialized artifact is a '" + env.kind +
+                                   "', expected '" + expected_kind + "'");
+  }
+  return env.Take(kSectionBody);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -696,60 +344,43 @@ constexpr char kKindPlanCache[] = "dpbench.plan_cache";
 // ---------------------------------------------------------------------------
 
 std::string EncodeCellResult(const CellResult& cell) {
-  return WrapEnvelope(kKindCellResult, CellResultRecord(cell));
+  return WrapSingle(kKindCellResult, CellResultRecord(cell));
 }
 
 Result<CellResult> DecodeCellResult(const std::string& bytes) {
-  DPB_ASSIGN_OR_RETURN(Envelope env, UnwrapEnvelope(bytes));
-  if (env.kind != kKindCellResult) {
-    return Status::InvalidArgument("serialized artifact is a '" + env.kind +
-                                   "', expected '" + kKindCellResult + "'");
-  }
-  return CellResultFromRecord(env.record);
+  DPB_ASSIGN_OR_RETURN(std::string body,
+                       UnwrapSingle(bytes, kKindCellResult));
+  return CellResultFromRecord(body);
 }
 
 std::string EncodeStreamingSummary(const StreamingSummary& summary) {
-  return WrapEnvelope(kKindStreamingSummary,
-                      StreamingSummaryRecord(summary));
+  return WrapSingle(kKindStreamingSummary, StreamingSummaryRecord(summary));
 }
 
 Result<StreamingSummary> DecodeStreamingSummary(const std::string& bytes) {
-  DPB_ASSIGN_OR_RETURN(Envelope env, UnwrapEnvelope(bytes));
-  if (env.kind != kKindStreamingSummary) {
-    return Status::InvalidArgument("serialized artifact is a '" + env.kind +
-                                   "', expected '" + kKindStreamingSummary +
-                                   "'");
-  }
-  return StreamingSummaryFromRecord(env.record);
+  DPB_ASSIGN_OR_RETURN(std::string body,
+                       UnwrapSingle(bytes, kKindStreamingSummary));
+  return StreamingSummaryFromRecord(body);
 }
 
 std::string EncodeRunDiagnostics(const RunDiagnostics& diagnostics) {
-  return WrapEnvelope(kKindRunDiagnostics,
-                      RunDiagnosticsRecord(diagnostics));
+  return WrapSingle(kKindRunDiagnostics, RunDiagnosticsRecord(diagnostics));
 }
 
 Result<RunDiagnostics> DecodeRunDiagnostics(const std::string& bytes) {
-  DPB_ASSIGN_OR_RETURN(Envelope env, UnwrapEnvelope(bytes));
-  if (env.kind != kKindRunDiagnostics) {
-    return Status::InvalidArgument("serialized artifact is a '" + env.kind +
-                                   "', expected '" + kKindRunDiagnostics +
-                                   "'");
-  }
-  return RunDiagnosticsFromRecord(env.record);
+  DPB_ASSIGN_OR_RETURN(std::string body,
+                       UnwrapSingle(bytes, kKindRunDiagnostics));
+  return RunDiagnosticsFromRecord(body);
 }
 
 std::string EncodePlanPayload(const PlanPayload& payload) {
-  return WrapEnvelope(kKindPlanPayload, PlanPayloadRecord(payload));
+  return WrapSingle(kKindPlanPayload, PlanPayloadRecord(payload));
 }
 
 Result<PlanPayload> DecodePlanPayload(const std::string& bytes) {
-  DPB_ASSIGN_OR_RETURN(Envelope env, UnwrapEnvelope(bytes));
-  if (env.kind != kKindPlanPayload) {
-    return Status::InvalidArgument("serialized artifact is a '" + env.kind +
-                                   "', expected '" + kKindPlanPayload +
-                                   "'");
-  }
-  return PlanPayloadFromRecord(env.record);
+  DPB_ASSIGN_OR_RETURN(std::string body,
+                       UnwrapSingle(bytes, kKindPlanPayload));
+  return PlanPayloadFromRecord(body);
 }
 
 // ---------------------------------------------------------------------------
@@ -760,40 +391,68 @@ std::string ConfigFingerprint(const ExperimentConfig& config) {
   return ConfigRecord(config);
 }
 
+std::string EncodeExperimentConfigRecord(const ExperimentConfig& config) {
+  return ConfigRecord(config);
+}
+
+Result<ExperimentConfig> DecodeExperimentConfigRecord(
+    const std::string& bytes) {
+  return ConfigFromRecord(bytes);
+}
+
 std::string EncodeShardFile(const ShardFile& shard) {
-  RecordWriter w;
-  w.U64("shard_index", shard.shard_index);
-  w.U64("shard_count", shard.shard_count);
-  w.U64("total_cells", shard.total_cells);
-  w.Rec("config", ConfigRecord(shard.config));
-  std::vector<std::string> cells;
-  cells.reserve(shard.cells.size());
+  RecordWriter manifest;
+  manifest.U64("shard_index", shard.shard_index);
+  manifest.U64("shard_count", shard.shard_count);
+  manifest.U64("total_cells", shard.total_cells);
+  manifest.Rec("config", ConfigRecord(shard.config));
+
+  RecordWriter cells;
+  std::vector<std::string> cell_records;
+  cell_records.reserve(shard.cells.size());
   for (const CellResult& cell : shard.cells) {
-    cells.push_back(CellResultRecord(cell));
+    cell_records.push_back(CellResultRecord(cell));
   }
-  w.RecVec("cells", cells);
-  w.Rec("diagnostics", RunDiagnosticsRecord(shard.diagnostics));
-  return WrapEnvelope(kKindShard, std::move(w).Finish());
+  cells.RecVec("cells", cell_records);
+
+  std::vector<wire::Section> sections;
+  sections.push_back({kSectionManifest, std::move(manifest).Finish()});
+  sections.push_back({kSectionCells, std::move(cells).Finish()});
+  sections.push_back(
+      {kSectionDiagnostics, RunDiagnosticsRecord(shard.diagnostics)});
+  return wire::WrapEnvelope(kKindShard, std::move(sections));
 }
 
 Result<ShardFile> DecodeShardFile(const std::string& bytes) {
-  DPB_ASSIGN_OR_RETURN(Record rec, UnwrapAndParse(bytes, kKindShard));
+  DPB_ASSIGN_OR_RETURN(wire::Envelope env, wire::UnwrapEnvelope(bytes));
+  if (env.kind != kKindShard) {
+    return Status::InvalidArgument("serialized artifact is a '" + env.kind +
+                                   "', expected '" + kKindShard + "'");
+  }
   ShardFile shard;
-  DPB_ASSIGN_OR_RETURN(shard.shard_index, rec.U64("shard_index"));
-  DPB_ASSIGN_OR_RETURN(shard.shard_count, rec.U64("shard_count"));
-  DPB_ASSIGN_OR_RETURN(shard.total_cells, rec.U64("total_cells"));
-  DPB_ASSIGN_OR_RETURN(std::string config_rec, rec.Rec("config"));
+  DPB_ASSIGN_OR_RETURN(std::string manifest_bytes,
+                       env.Take(kSectionManifest));
+  DPB_ASSIGN_OR_RETURN(Record manifest, Record::Parse(manifest_bytes));
+  DPB_ASSIGN_OR_RETURN(shard.shard_index, manifest.U64("shard_index"));
+  DPB_ASSIGN_OR_RETURN(shard.shard_count, manifest.U64("shard_count"));
+  DPB_ASSIGN_OR_RETURN(shard.total_cells, manifest.U64("total_cells"));
+  DPB_ASSIGN_OR_RETURN(std::string config_rec, manifest.Rec("config"));
   DPB_ASSIGN_OR_RETURN(shard.config, ConfigFromRecord(config_rec));
+
+  DPB_ASSIGN_OR_RETURN(std::string cells_bytes, env.Take(kSectionCells));
+  DPB_ASSIGN_OR_RETURN(Record cells_rec, Record::Parse(cells_bytes));
   DPB_ASSIGN_OR_RETURN(std::vector<std::string> cells,
-                       rec.TakeRecVec("cells"));
+                       cells_rec.TakeRecVec("cells"));
   shard.cells.reserve(cells.size());
   for (const std::string& cell_rec : cells) {
     DPB_ASSIGN_OR_RETURN(CellResult cell, CellResultFromRecord(cell_rec));
     shard.cells.push_back(std::move(cell));
   }
-  DPB_ASSIGN_OR_RETURN(std::string diag_rec, rec.Rec("diagnostics"));
+
+  DPB_ASSIGN_OR_RETURN(std::string diag_bytes,
+                       env.Take(kSectionDiagnostics));
   DPB_ASSIGN_OR_RETURN(shard.diagnostics,
-                       RunDiagnosticsFromRecord(diag_rec));
+                       RunDiagnosticsFromRecord(diag_bytes));
   if (shard.shard_count == 0 || shard.shard_index >= shard.shard_count) {
     return Status::InvalidArgument(
         "shard file has inconsistent shard indexing (shard " +
@@ -809,14 +468,16 @@ Result<ShardFile> DecodeShardFile(const std::string& bytes) {
 
 std::string EncodePlanCacheFile(const PlanStore& store,
                                 const ExperimentConfig& config) {
-  RecordWriter w;
   // The query count and seed shape the workload only for random2d; they
   // are normalized to 0 otherwise so caches stay reusable across runs
   // that differ only in irrelevant fields.
   bool random2d = config.workload == WorkloadKind::kRandomRange2D;
-  w.U64("workload", static_cast<uint64_t>(config.workload));
-  w.U64("random_queries", random2d ? config.random_queries : 0);
-  w.U64("workload_seed", random2d ? config.seed : 0);
+  RecordWriter workload;
+  workload.U64("workload", static_cast<uint64_t>(config.workload));
+  workload.U64("random_queries", random2d ? config.random_queries : 0);
+  workload.U64("workload_seed", random2d ? config.seed : 0);
+
+  RecordWriter plans;
   std::vector<std::string> keys;
   std::vector<std::string> payloads;
   keys.reserve(store.plans.size());
@@ -825,20 +486,33 @@ std::string EncodePlanCacheFile(const PlanStore& store,
     keys.push_back(key);
     payloads.push_back(PlanPayloadRecord(payload));
   }
-  w.StrVec("keys", keys);
-  w.RecVec("payloads", payloads);
-  return WrapEnvelope(kKindPlanCache, std::move(w).Finish());
+  plans.StrVec("keys", keys);
+  plans.RecVec("payloads", payloads);
+
+  std::vector<wire::Section> sections;
+  sections.push_back({kSectionWorkload, std::move(workload).Finish()});
+  sections.push_back({kSectionPlans, std::move(plans).Finish()});
+  return wire::WrapEnvelope(kKindPlanCache, std::move(sections));
 }
 
 Result<PlanStore> DecodePlanCacheFile(const std::string& bytes,
                                       const ExperimentConfig& config) {
-  DPB_ASSIGN_OR_RETURN(Record rec, UnwrapAndParse(bytes, kKindPlanCache));
+  DPB_ASSIGN_OR_RETURN(wire::Envelope env, wire::UnwrapEnvelope(bytes));
+  if (env.kind != kKindPlanCache) {
+    return Status::InvalidArgument("serialized artifact is a '" + env.kind +
+                                   "', expected '" + kKindPlanCache + "'");
+  }
   // Workload identity check: plans of workload-aware mechanisms are only
   // valid for the exact workload they were planned against. The plan keys
   // (algo|domain|eps) deliberately omit it, so the file carries it.
-  DPB_ASSIGN_OR_RETURN(uint64_t workload, rec.U64("workload"));
-  DPB_ASSIGN_OR_RETURN(uint64_t random_queries, rec.U64("random_queries"));
-  DPB_ASSIGN_OR_RETURN(uint64_t workload_seed, rec.U64("workload_seed"));
+  DPB_ASSIGN_OR_RETURN(std::string workload_bytes,
+                       env.Take(kSectionWorkload));
+  DPB_ASSIGN_OR_RETURN(Record workload_rec, Record::Parse(workload_bytes));
+  DPB_ASSIGN_OR_RETURN(uint64_t workload, workload_rec.U64("workload"));
+  DPB_ASSIGN_OR_RETURN(uint64_t random_queries,
+                       workload_rec.U64("random_queries"));
+  DPB_ASSIGN_OR_RETURN(uint64_t workload_seed,
+                       workload_rec.U64("workload_seed"));
   bool random2d = config.workload == WorkloadKind::kRandomRange2D;
   if (workload != static_cast<uint64_t>(config.workload) ||
       random_queries != (random2d ? config.random_queries : 0) ||
@@ -847,9 +521,12 @@ Result<PlanStore> DecodePlanCacheFile(const std::string& bytes,
         "plan cache was built for a different workload than this run's "
         "config");
   }
-  DPB_ASSIGN_OR_RETURN(std::vector<std::string> keys, rec.StrVec("keys"));
+  DPB_ASSIGN_OR_RETURN(std::string plans_bytes, env.Take(kSectionPlans));
+  DPB_ASSIGN_OR_RETURN(Record plans_rec, Record::Parse(plans_bytes));
+  DPB_ASSIGN_OR_RETURN(std::vector<std::string> keys,
+                       plans_rec.StrVec("keys"));
   DPB_ASSIGN_OR_RETURN(std::vector<std::string> payloads,
-                       rec.TakeRecVec("payloads"));
+                       plans_rec.TakeRecVec("payloads"));
   if (keys.size() != payloads.size()) {
     return Status::InvalidArgument(
         "plan-cache file has mismatched key/payload arities");
@@ -883,7 +560,7 @@ Result<MergedRun> MergeShards(std::vector<ShardFile> shards) {
   std::set<uint64_t> shard_seen;
   for (const ShardFile& shard : shards) {
     if (shard.shard_count != first.shard_count) {
-      return Status::InvalidArgument(
+      return Status::FailedPrecondition(
           "shard manifest mismatch: shard " +
           std::to_string(shard.shard_index) + " was run as 1 of " +
           std::to_string(shard.shard_count) + ", expected 1 of " +
@@ -896,11 +573,11 @@ Result<MergedRun> MergeShards(std::vector<ShardFile> shards) {
           std::to_string(shard.shard_count) + ")");
     }
     if (shard.total_cells != first.total_cells) {
-      return Status::InvalidArgument(
+      return Status::FailedPrecondition(
           "shard manifest mismatch: shards disagree on the full grid size");
     }
     if (ConfigRecord(shard.config) != fingerprint) {
-      return Status::InvalidArgument(
+      return Status::FailedPrecondition(
           "shard manifest mismatch: shard " +
           std::to_string(shard.shard_index) +
           " was run with a different experiment config");
@@ -916,7 +593,7 @@ Result<MergedRun> MergeShards(std::vector<ShardFile> shards) {
     // indices present, so this scan is bounded by the input size.
     uint64_t missing = 0;
     while (shard_seen.count(missing)) ++missing;
-    return Status::InvalidArgument(
+    return Status::NotFound(
         "shard gap: shard " + std::to_string(missing) + " of " +
         std::to_string(first.shard_count) + " is missing");
   }
@@ -955,7 +632,7 @@ Result<MergedRun> MergeShards(std::vector<ShardFile> shards) {
   if (cell_seen.size() < first.total_cells) {
     uint64_t missing = 0;
     while (cell_seen.count(missing)) ++missing;
-    return Status::InvalidArgument(
+    return Status::NotFound(
         "missing cell: grid index " + std::to_string(missing) +
         " was produced by no shard");
   }
@@ -1050,18 +727,18 @@ constexpr int kMaxJsonDepth = 64;
 Status JsonRecord(const std::string& record_bytes, int depth,
                   std::string* out);
 
-Status JsonValue(const FieldValue& v, int depth, std::string* out) {
+Status JsonValue(const wire::FieldValue& v, int depth, std::string* out) {
   switch (v.type) {
-    case kU64:
+    case wire::kU64:
       *out += std::to_string(v.u64);
       return Status::OK();
-    case kF64:
-      JsonDouble(DoubleFromBits(v.u64), out);
+    case wire::kF64:
+      JsonDouble(wire::DoubleFromBits(v.u64), out);
       return Status::OK();
-    case kStr:
+    case wire::kStr:
       JsonEscape(v.str, out);
       return Status::OK();
-    case kU64Vec: {
+    case wire::kU64Vec: {
       *out += "[";
       for (size_t i = 0; i < v.u64_vec.size(); ++i) {
         if (i > 0) *out += ", ";
@@ -1070,16 +747,16 @@ Status JsonValue(const FieldValue& v, int depth, std::string* out) {
       *out += "]";
       return Status::OK();
     }
-    case kF64Vec: {
+    case wire::kF64Vec: {
       *out += "[";
       for (size_t i = 0; i < v.u64_vec.size(); ++i) {
         if (i > 0) *out += ", ";
-        JsonDouble(DoubleFromBits(v.u64_vec[i]), out);
+        JsonDouble(wire::DoubleFromBits(v.u64_vec[i]), out);
       }
       *out += "]";
       return Status::OK();
     }
-    case kStrVec: {
+    case wire::kStrVec: {
       *out += "[";
       for (size_t i = 0; i < v.str_vec.size(); ++i) {
         if (i > 0) *out += ", ";
@@ -1088,9 +765,9 @@ Status JsonValue(const FieldValue& v, int depth, std::string* out) {
       *out += "]";
       return Status::OK();
     }
-    case kRec:
+    case wire::kRec:
       return JsonRecord(v.str, depth, out);
-    case kRecVec: {
+    case wire::kRecVec: {
       if (v.str_vec.empty()) {
         *out += "[]";
         return Status::OK();
@@ -1116,7 +793,7 @@ Status JsonRecord(const std::string& record_bytes, int depth,
         "serialized record nests deeper than " +
         std::to_string(kMaxJsonDepth) + " levels (corrupt or hostile file)");
   }
-  DPB_ASSIGN_OR_RETURN(Record rec, Record::Parse(record_bytes));
+  DPB_ASSIGN_OR_RETURN(wire::Record rec, wire::Record::Parse(record_bytes));
   if (rec.fields().empty()) {
     *out += "{}";
     return Status::OK();
@@ -1138,13 +815,19 @@ Status JsonRecord(const std::string& record_bytes, int depth,
 }  // namespace
 
 Result<std::string> DebugJson(const std::string& bytes) {
-  DPB_ASSIGN_OR_RETURN(Envelope env, UnwrapEnvelope(bytes));
+  DPB_ASSIGN_OR_RETURN(wire::Envelope env, wire::UnwrapEnvelope(bytes));
   std::string out = "{\n  \"kind\": ";
   JsonEscape(env.kind, &out);
   out += ",\n  \"format_version\": " +
-         std::to_string(kSerializeFormatVersion) + ",\n  \"record\": ";
-  DPB_RETURN_NOT_OK(JsonRecord(env.record, 1, &out));
-  out += "\n}\n";
+         std::to_string(kSerializeFormatVersion) + ",\n  \"sections\": {";
+  for (size_t i = 0; i < env.sections.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += Indent(2);
+    JsonEscape(env.sections[i].name, &out);
+    out += ": ";
+    DPB_RETURN_NOT_OK(JsonRecord(env.sections[i].bytes, 2, &out));
+  }
+  out += "\n  }\n}\n";
   return out;
 }
 

@@ -3,14 +3,18 @@
 // payloads, and the two file formats built from them (shard result files
 // and plan-cache files), plus the manifest-validated shard merge.
 //
-// Wire format: a versioned envelope ("DPBS" magic, format version, kind
-// tag) around a self-describing binary record — a field count followed by
-// (name, type, value) triples, nestable. Integers are fixed-width
-// little-endian; doubles travel by bit pattern, so every value
-// round-trips bit-exactly. Unknown fields are preserved by the parser
-// (they are simply not looked up), version skew and truncation are
-// rejected with precise errors, and any artifact can be rendered as JSON
-// for debugging with DebugJson().
+// Wire format (src/engine/wire.h): a versioned envelope ("DPBS" magic,
+// format version, kind tag) around named, individually CRC32C-checksummed
+// sections, each holding a self-describing binary record — a field count
+// followed by (name, type, value) triples, nestable. Integers are
+// fixed-width little-endian; doubles travel by bit pattern, so every value
+// round-trips bit-exactly. Every file this module writes is
+// self-verifying: section checksums are validated before any payload is
+// parsed, so a flipped bit in a shard or plan-cache file fails with a
+// DataLoss error naming the damaged section instead of poisoning a merge.
+// Unknown fields are preserved by the parser (they are simply not looked
+// up), version skew and truncation are rejected with precise errors, and
+// any artifact can be rendered as JSON for debugging with DebugJson().
 #ifndef DPBENCH_ENGINE_SERIALIZE_H_
 #define DPBENCH_ENGINE_SERIALIZE_H_
 
@@ -23,12 +27,15 @@
 #include "src/common/status.h"
 #include "src/engine/runner.h"
 #include "src/engine/stats.h"
+#include "src/engine/wire.h"
 
 namespace dpbench {
 
-/// Format version of everything this module writes. Readers reject other
-/// versions (no silent cross-version reinterpretation).
-inline constexpr uint32_t kSerializeFormatVersion = 1;
+/// Format version of everything this module writes (the wire envelope
+/// version). Readers reject other versions (no silent cross-version
+/// reinterpretation): v1 readers fail loudly on today's checksummed v2
+/// files, and this build fails loudly on unchecksummed v1 files.
+inline constexpr uint32_t kSerializeFormatVersion = wire::kFormatVersion;
 
 // ---------------------------------------------------------------------------
 // Standalone artifacts. Each Encode* output is a complete enveloped file
@@ -75,6 +82,15 @@ Result<ShardFile> DecodeShardFile(const std::string& bytes);
 /// byte-identical; the merge validator compares these.
 std::string ConfigFingerprint(const ExperimentConfig& config);
 
+/// Record form of a grid identity for transports that embed a config in a
+/// larger message (the distributed runner's work assignments).
+/// EncodeExperimentConfigRecord is ConfigFingerprint under another name;
+/// the decoder restores every grid field, with the execution-only fields
+/// (threads, shard_index, shard_count) left at their defaults.
+std::string EncodeExperimentConfigRecord(const ExperimentConfig& config);
+Result<ExperimentConfig> DecodeExperimentConfigRecord(
+    const std::string& bytes);
+
 // ---------------------------------------------------------------------------
 // Plan-cache files: serialized plan payloads keyed by the runner's
 // plan-cache key, written by a planning run and hydrated by later ones.
@@ -115,6 +131,17 @@ struct MergedRun {
 /// trials, plan and pool counters; wall-clock fields are summed CPU
 /// seconds across shards, and `skipped` — identical in every shard by
 /// construction — is taken from the first).
+///
+/// Failures carry machine-distinguishable status codes so schedulers and
+/// CI can separate retryable from fatal conditions:
+///   - FailedPrecondition: config/manifest skew (shards from different
+///     runs or grids — fatal, re-running one shard cannot fix it);
+///   - NotFound: a shard or cell is missing (incomplete — retryable by
+///     producing the missing shard);
+///   - InvalidArgument: structural corruption (overlaps, duplicate or
+///     out-of-slice cells — the supplied file set is wrong).
+/// Checksum damage inside a file surfaces earlier, as DataLoss from
+/// DecodeShardFile.
 Result<MergedRun> MergeShards(std::vector<ShardFile> shards);
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,476 @@
+#include "src/engine/wire.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "src/common/crc32c.h"
+
+namespace dpbench {
+namespace wire {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'P', 'B', 'S'};
+
+Status Truncated(const std::string& what) {
+  return Status::InvalidArgument("truncated serialized data (reading " +
+                                 what + ")");
+}
+
+void AppendU64(std::string* s, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    s->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU32(std::string* s, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    s->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+// Bounds-checked little-endian cursor over an immutable byte string.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t pos() const { return pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  Result<uint64_t> U64(const std::string& what) {
+    if (remaining() < 8) return Truncated(what);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<uint32_t> U32(const std::string& what) {
+    if (remaining() < 4) return Truncated(what);
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint8_t> U8(const std::string& what) {
+    if (remaining() < 1) return Truncated(what);
+    return static_cast<uint8_t>(static_cast<unsigned char>(data_[pos_++]));
+  }
+
+  Result<std::string> Str(const std::string& what) {
+    DPB_ASSIGN_OR_RETURN(uint64_t len, U64(what + " length"));
+    return Bytes(len, what);
+  }
+
+  Result<std::string> Bytes(uint64_t len, const std::string& what) {
+    if (remaining() < len) return Truncated(what);
+    std::string s = data_.substr(pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+  Status Skip(uint64_t len, const std::string& what) {
+    if (remaining() < len) return Truncated(what);
+    pos_ += len;
+    return Status::OK();
+  }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+// Shared envelope-header walk: magic, version, kind. Leaves the cursor at
+// the section count.
+Result<std::string> ReadEnvelopeHead(const std::string& bytes, Cursor* c) {
+  if (bytes.size() < 8 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return Status::InvalidArgument(
+        "not a DPBench serialized file (bad magic)");
+  }
+  uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<uint32_t>(
+                   static_cast<unsigned char>(bytes[4 + i]))
+               << (8 * i);
+  }
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "serialized format version skew: file has v" +
+        std::to_string(version) + ", this build reads v" +
+        std::to_string(kFormatVersion) +
+        (version < kFormatVersion
+             ? " (v2 added section checksums; re-encode with a current "
+               "writer)"
+             : ""));
+  }
+  // The cursor starts at 0; consume magic + version, then the kind.
+  DPB_ASSIGN_OR_RETURN(uint64_t magic_and_version,
+                       c->U64("envelope header"));
+  (void)magic_and_version;  // validated above byte-wise
+  return c->Str("envelope kind");
+}
+
+}  // namespace
+
+const char* FieldTypeName(uint8_t type) {
+  switch (type) {
+    case kU64: return "u64";
+    case kF64: return "f64";
+    case kStr: return "string";
+    case kU64Vec: return "u64 vector";
+    case kF64Vec: return "f64 vector";
+    case kStrVec: return "string vector";
+    case kRec: return "record";
+    case kRecVec: return "record vector";
+  }
+  return "unknown";
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double DoubleFromBits(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// RecordWriter.
+// ---------------------------------------------------------------------------
+
+void RecordWriter::U64(const std::string& name, uint64_t v) {
+  Header(name, kU64);
+  RawU64(v);
+}
+void RecordWriter::F64(const std::string& name, double v) {
+  Header(name, kF64);
+  RawU64(DoubleBits(v));
+}
+void RecordWriter::Str(const std::string& name, const std::string& v) {
+  Header(name, kStr);
+  RawStr(v);
+}
+void RecordWriter::U64Vec(const std::string& name,
+                          const std::vector<uint64_t>& v) {
+  Header(name, kU64Vec);
+  RawU64(v.size());
+  for (uint64_t x : v) RawU64(x);
+}
+void RecordWriter::F64Vec(const std::string& name,
+                          const std::vector<double>& v) {
+  Header(name, kF64Vec);
+  RawU64(v.size());
+  for (double x : v) RawU64(DoubleBits(x));
+}
+void RecordWriter::StrVec(const std::string& name,
+                          const std::vector<std::string>& v) {
+  Header(name, kStrVec);
+  RawU64(v.size());
+  for (const std::string& s : v) RawStr(s);
+}
+void RecordWriter::Rec(const std::string& name,
+                       const std::string& record_bytes) {
+  Header(name, kRec);
+  RawStr(record_bytes);
+}
+void RecordWriter::RecVec(const std::string& name,
+                          const std::vector<std::string>& records) {
+  Header(name, kRecVec);
+  RawU64(records.size());
+  for (const std::string& r : records) RawStr(r);
+}
+
+std::string RecordWriter::Finish() && {
+  std::string out;
+  out.reserve(8 + body_.size());
+  AppendU64(&out, fields_);
+  out += body_;
+  return out;
+}
+
+void RecordWriter::RawU64(uint64_t v) { AppendU64(&body_, v); }
+void RecordWriter::RawStr(const std::string& s) {
+  RawU64(s.size());
+  body_ += s;
+}
+void RecordWriter::Header(const std::string& name, FieldType type) {
+  ++fields_;
+  RawStr(name);
+  body_.push_back(static_cast<char>(type));
+}
+
+// ---------------------------------------------------------------------------
+// Record parsing.
+// ---------------------------------------------------------------------------
+
+Result<Record> Record::Parse(const std::string& bytes) {
+  Record rec;
+  Cursor c(bytes);
+  DPB_ASSIGN_OR_RETURN(uint64_t count, c.U64("field count"));
+  // Every field is at least name-length + type byte: 9 bytes.
+  if (count > bytes.size() / 9 + 1) {
+    return Status::InvalidArgument(
+        "serialized record claims an implausible field count");
+  }
+  for (uint64_t f = 0; f < count; ++f) {
+    DPB_ASSIGN_OR_RETURN(std::string name, c.Str("field name"));
+    DPB_ASSIGN_OR_RETURN(uint8_t type, c.U8("field type of " + name));
+    FieldValue value;
+    value.type = type;
+    switch (type) {
+      case kU64: {
+        DPB_ASSIGN_OR_RETURN(value.u64, c.U64(name));
+        break;
+      }
+      case kF64: {
+        DPB_ASSIGN_OR_RETURN(value.u64, c.U64(name));
+        break;
+      }
+      case kStr:
+      case kRec: {
+        DPB_ASSIGN_OR_RETURN(value.str, c.Str(name));
+        break;
+      }
+      case kU64Vec:
+      case kF64Vec: {
+        DPB_ASSIGN_OR_RETURN(uint64_t n, c.U64(name + " count"));
+        if (c.remaining() < n * 8 || n > c.remaining()) {
+          return Truncated(name);
+        }
+        value.u64_vec.reserve(n);
+        for (uint64_t i = 0; i < n; ++i) {
+          DPB_ASSIGN_OR_RETURN(uint64_t x, c.U64(name));
+          value.u64_vec.push_back(x);
+        }
+        break;
+      }
+      case kStrVec:
+      case kRecVec: {
+        DPB_ASSIGN_OR_RETURN(uint64_t n, c.U64(name + " count"));
+        if (c.remaining() < n * 8 || n > c.remaining()) {
+          return Truncated(name);
+        }
+        value.str_vec.reserve(n);
+        for (uint64_t i = 0; i < n; ++i) {
+          DPB_ASSIGN_OR_RETURN(std::string s, c.Str(name));
+          value.str_vec.push_back(std::move(s));
+        }
+        break;
+      }
+      default:
+        return Status::InvalidArgument(
+            "serialized record has unknown field type for '" + name + "'");
+    }
+    rec.fields_.emplace(std::move(name), std::move(value));
+  }
+  if (!c.done()) {
+    return Status::InvalidArgument(
+        "serialized record has trailing bytes (corrupt or mis-framed)");
+  }
+  return rec;
+}
+
+Result<const FieldValue*> Record::Find(const std::string& name,
+                                       uint8_t type) const {
+  auto it = fields_.find(name);
+  if (it == fields_.end()) {
+    return Status::InvalidArgument("serialized record missing field '" +
+                                   name + "'");
+  }
+  if (it->second.type != type) {
+    return Status::InvalidArgument(
+        "serialized field '" + name + "' has type " +
+        FieldTypeName(it->second.type) + ", expected " +
+        FieldTypeName(type));
+  }
+  return &it->second;
+}
+
+Result<uint64_t> Record::U64(const std::string& name) const {
+  DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kU64));
+  return v->u64;
+}
+Result<double> Record::F64(const std::string& name) const {
+  DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kF64));
+  return DoubleFromBits(v->u64);
+}
+Result<std::string> Record::Str(const std::string& name) const {
+  DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kStr));
+  return v->str;
+}
+Result<std::vector<uint64_t>> Record::U64Vec(const std::string& name) const {
+  DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kU64Vec));
+  return v->u64_vec;
+}
+Result<std::vector<double>> Record::F64Vec(const std::string& name) const {
+  DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kF64Vec));
+  std::vector<double> out(v->u64_vec.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = DoubleFromBits(v->u64_vec[i]);
+  }
+  return out;
+}
+Result<std::vector<std::string>> Record::StrVec(
+    const std::string& name) const {
+  DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kStrVec));
+  return v->str_vec;
+}
+Result<std::string> Record::Rec(const std::string& name) const {
+  DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kRec));
+  return v->str;
+}
+Result<std::vector<std::string>> Record::RecVec(
+    const std::string& name) const {
+  DPB_ASSIGN_OR_RETURN(const FieldValue* v, Find(name, kRecVec));
+  return v->str_vec;
+}
+Result<std::vector<std::string>> Record::TakeRecVec(
+    const std::string& name) {
+  auto it = fields_.find(name);
+  if (it == fields_.end()) {
+    return Status::InvalidArgument("serialized record missing field '" +
+                                   name + "'");
+  }
+  if (it->second.type != kRecVec) {
+    return Status::InvalidArgument(
+        "serialized field '" + name + "' has type " +
+        FieldTypeName(it->second.type) + ", expected " +
+        FieldTypeName(kRecVec));
+  }
+  return std::move(it->second.str_vec);
+}
+
+// ---------------------------------------------------------------------------
+// Envelope.
+// ---------------------------------------------------------------------------
+
+Result<const std::string*> Envelope::Find(const std::string& name) const {
+  for (const Section& s : sections) {
+    if (s.name == name) return &s.bytes;
+  }
+  return Status::InvalidArgument("serialized '" + kind +
+                                 "' envelope has no '" + name +
+                                 "' section");
+}
+
+Result<std::string> Envelope::Take(const std::string& name) {
+  for (Section& s : sections) {
+    if (s.name == name) return std::move(s.bytes);
+  }
+  return Status::InvalidArgument("serialized '" + kind +
+                                 "' envelope has no '" + name +
+                                 "' section");
+}
+
+std::string WrapEnvelope(const std::string& kind,
+                         std::vector<Section> sections) {
+  std::string out;
+  size_t payload_total = 0;
+  for (const Section& s : sections) {
+    payload_total += s.name.size() + s.bytes.size() + 20;
+  }
+  out.reserve(4 + 4 + 8 + kind.size() + 8 + payload_total);
+  out.append(kMagic, 4);
+  AppendU32(&out, kFormatVersion);
+  AppendU64(&out, kind.size());
+  out += kind;
+  AppendU64(&out, sections.size());
+  for (const Section& s : sections) {
+    AppendU64(&out, s.name.size());
+    out += s.name;
+    AppendU64(&out, s.bytes.size());
+    AppendU32(&out, Crc32c(s.bytes));
+    out += s.bytes;
+  }
+  return out;
+}
+
+Result<Envelope> UnwrapEnvelope(const std::string& bytes) {
+  Cursor c(bytes);
+  Envelope env;
+  DPB_ASSIGN_OR_RETURN(env.kind, ReadEnvelopeHead(bytes, &c));
+  DPB_ASSIGN_OR_RETURN(uint64_t count, c.U64("section count"));
+  // Every section costs at least its three fixed-width header fields, so
+  // a hostile count is rejected before any allocation.
+  if (count > c.remaining() / 20 + 1) {
+    return Status::InvalidArgument(
+        "serialized envelope claims an implausible section count");
+  }
+  env.sections.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Section s;
+    DPB_ASSIGN_OR_RETURN(s.name, c.Str("section name"));
+    DPB_ASSIGN_OR_RETURN(uint64_t len,
+                         c.U64("section '" + s.name + "' length"));
+    DPB_ASSIGN_OR_RETURN(uint32_t stored_crc,
+                         c.U32("section '" + s.name + "' crc"));
+    DPB_ASSIGN_OR_RETURN(s.bytes,
+                         c.Bytes(len, "section '" + s.name + "' payload"));
+    uint32_t computed = Crc32c(s.bytes);
+    if (computed != stored_crc) {
+      char hex[64];
+      std::snprintf(hex, sizeof(hex), "(stored 0x%08x, computed 0x%08x)",
+                    stored_crc, computed);
+      return Status::DataLoss("section '" + s.name + "' of '" + env.kind +
+                              "' failed its CRC32C check " + hex +
+                              " — the file is corrupt");
+    }
+    env.sections.push_back(std::move(s));
+  }
+  if (!c.done()) {
+    return Status::InvalidArgument(
+        "serialized envelope has trailing bytes (corrupt or mis-framed)");
+  }
+  return env;
+}
+
+Result<std::string> PeekKind(const std::string& bytes) {
+  Cursor c(bytes);
+  return ReadEnvelopeHead(bytes, &c);
+}
+
+Result<std::vector<SectionSpan>> EnvelopeLayout(const std::string& bytes) {
+  Cursor c(bytes);
+  DPB_ASSIGN_OR_RETURN(std::string kind, ReadEnvelopeHead(bytes, &c));
+  (void)kind;
+  DPB_ASSIGN_OR_RETURN(uint64_t count, c.U64("section count"));
+  if (count > c.remaining() / 20 + 1) {
+    return Status::InvalidArgument(
+        "serialized envelope claims an implausible section count");
+  }
+  std::vector<SectionSpan> spans;
+  spans.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SectionSpan span;
+    DPB_ASSIGN_OR_RETURN(span.name, c.Str("section name"));
+    DPB_ASSIGN_OR_RETURN(uint64_t len,
+                         c.U64("section '" + span.name + "' length"));
+    DPB_ASSIGN_OR_RETURN(uint32_t crc,
+                         c.U32("section '" + span.name + "' crc"));
+    (void)crc;
+    span.offset = c.pos();
+    span.length = len;
+    DPB_RETURN_NOT_OK(
+        c.Skip(len, "section '" + span.name + "' payload"));
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+}  // namespace wire
+}  // namespace dpbench

@@ -1,0 +1,173 @@
+// The wire layer under every DPBench serialized artifact and network
+// message: self-describing binary records inside a versioned, checksummed
+// envelope.
+//
+// Records are a field count followed by (name, type, value) triples,
+// nestable. Integers are fixed-width little-endian; doubles travel by bit
+// pattern, so every value round-trips bit-exactly. Unknown fields are
+// preserved by the parser; truncation and type skew are rejected with
+// precise errors.
+//
+// Envelopes (format v2) are self-verifying: "DPBS" magic, format version,
+// kind tag, then named sections, each framed as
+//   u64 name_len | name | u64 payload_len | u32 CRC32C(payload) | payload
+// The checksums are verified before any payload is parsed, AHEAD-style
+// on-the-fly error detection: a flipped bit in a week-long distributed
+// run's shard upload is caught at the envelope boundary with an error
+// naming the damaged section, instead of poisoning the merged grid (or
+// surfacing as a confusing structural parse error deep in a record).
+// v1 files (unchecksummed, single unnamed record) are rejected loudly
+// with a version-skew error, never reinterpreted.
+#ifndef DPBENCH_ENGINE_WIRE_H_
+#define DPBENCH_ENGINE_WIRE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace dpbench {
+namespace wire {
+
+/// Format version of every envelope this module writes. Readers reject
+/// other versions (no silent cross-version reinterpretation). v2 added
+/// per-section CRC32C checksums; v1 readers fail on v2 files and vice
+/// versa, both with a precise "version skew" error.
+inline constexpr uint32_t kFormatVersion = 2;
+
+// ---------------------------------------------------------------------------
+// Field wire types. The tag is written with every field, which is what
+// makes the format self-describing: a reader can walk (and render) any
+// record without knowing its schema.
+// ---------------------------------------------------------------------------
+enum FieldType : uint8_t {
+  kU64 = 1,
+  kF64 = 2,
+  kStr = 3,
+  kU64Vec = 4,
+  kF64Vec = 5,
+  kStrVec = 6,
+  kRec = 7,     // nested record (encoded bytes)
+  kRecVec = 8,  // vector of nested records
+};
+
+const char* FieldTypeName(uint8_t type);
+
+uint64_t DoubleBits(double v);
+double DoubleFromBits(uint64_t bits);
+
+// ---------------------------------------------------------------------------
+// Record writer: accumulates (name, type, value) fields; Finish() prefixes
+// the field count. All scalars little-endian fixed-width.
+// ---------------------------------------------------------------------------
+class RecordWriter {
+ public:
+  void U64(const std::string& name, uint64_t v);
+  void F64(const std::string& name, double v);
+  void Str(const std::string& name, const std::string& v);
+  void U64Vec(const std::string& name, const std::vector<uint64_t>& v);
+  void F64Vec(const std::string& name, const std::vector<double>& v);
+  void StrVec(const std::string& name, const std::vector<std::string>& v);
+  void Rec(const std::string& name, const std::string& record_bytes);
+  void RecVec(const std::string& name,
+              const std::vector<std::string>& records);
+
+  std::string Finish() &&;
+
+ private:
+  void RawU64(uint64_t v);
+  void RawStr(const std::string& s);
+  void Header(const std::string& name, FieldType type);
+
+  uint64_t fields_ = 0;
+  std::string body_;
+};
+
+// ---------------------------------------------------------------------------
+// Record reader. Parse() walks every field with bounds checks (truncated
+// input fails with a precise error, oversized counts are rejected before
+// any allocation); typed getters validate presence and wire type.
+// ---------------------------------------------------------------------------
+struct FieldValue {
+  uint8_t type = 0;
+  uint64_t u64 = 0;
+  std::string str;                   // kStr / kRec payload
+  std::vector<uint64_t> u64_vec;     // also kF64Vec (bit patterns)
+  std::vector<std::string> str_vec;  // kStrVec / kRecVec payloads
+};
+
+class Record {
+ public:
+  static Result<Record> Parse(const std::string& bytes);
+
+  const std::map<std::string, FieldValue>& fields() const { return fields_; }
+  /// Mutable access for decoders that consume the record by moving field
+  /// payloads out (the plan-payload path decodes multi-MB GLS arrays).
+  std::map<std::string, FieldValue>& mutable_fields() { return fields_; }
+
+  Result<const FieldValue*> Find(const std::string& name,
+                                 uint8_t type) const;
+
+  Result<uint64_t> U64(const std::string& name) const;
+  Result<double> F64(const std::string& name) const;
+  Result<std::string> Str(const std::string& name) const;
+  Result<std::vector<uint64_t>> U64Vec(const std::string& name) const;
+  Result<std::vector<double>> F64Vec(const std::string& name) const;
+  Result<std::vector<std::string>> StrVec(const std::string& name) const;
+  Result<std::string> Rec(const std::string& name) const;
+  Result<std::vector<std::string>> RecVec(const std::string& name) const;
+  /// Moving form for the bulk paths (a shard file's cells can be most of
+  /// the file): steals the record-bytes vector instead of copying it.
+  Result<std::vector<std::string>> TakeRecVec(const std::string& name);
+
+ private:
+  std::map<std::string, FieldValue> fields_;
+};
+
+// ---------------------------------------------------------------------------
+// Envelope: kind + named checksummed sections.
+// ---------------------------------------------------------------------------
+
+struct Section {
+  std::string name;
+  std::string bytes;  // usually an encoded Record
+};
+
+struct Envelope {
+  std::string kind;
+  std::vector<Section> sections;
+
+  /// The named section's bytes, or InvalidArgument if absent.
+  Result<const std::string*> Find(const std::string& name) const;
+  /// Moving form: steals the section payload.
+  Result<std::string> Take(const std::string& name);
+};
+
+std::string WrapEnvelope(const std::string& kind,
+                         std::vector<Section> sections);
+
+/// Validates magic, version, framing, and every section checksum (a
+/// mismatch is DataLoss naming the section). Sections are verified in file
+/// order before any payload is parsed.
+Result<Envelope> UnwrapEnvelope(const std::string& bytes);
+
+/// Reads only the kind tag (magic + version validated; checksums are NOT
+/// verified). For dispatching network messages before full decode.
+Result<std::string> PeekKind(const std::string& bytes);
+
+/// Byte layout of an envelope's sections, for corruption tests and fault
+/// injectors that need to damage a specific payload region. `offset` is
+/// the payload's position in the full envelope image.
+struct SectionSpan {
+  std::string name;
+  size_t offset = 0;
+  size_t length = 0;
+};
+Result<std::vector<SectionSpan>> EnvelopeLayout(const std::string& bytes);
+
+}  // namespace wire
+}  // namespace dpbench
+
+#endif  // DPBENCH_ENGINE_WIRE_H_

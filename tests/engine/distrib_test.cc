@@ -1,0 +1,359 @@
+// Loopback tests for the fault-tolerant distributed runner: net framing,
+// protocol codecs, fault-spec parsing, and the headline scenario — a
+// coordinator with three workers where one worker is killed mid-run and
+// one straggler forces a speculative re-issue, and the merged result is
+// byte-identical to the monolithic run.
+#include "src/engine/distrib.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/net.h"
+#include "src/engine/report.h"
+#include "src/engine/runner.h"
+#include "src/engine/serialize.h"
+
+namespace dpbench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// net framing
+// ---------------------------------------------------------------------------
+
+TEST(NetFramingTest, RoundTripsFramesOverLoopback) {
+  auto listener = net::Listener::Bind(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  ASSERT_NE(listener->port(), 0);
+
+  auto client = net::Connect(listener->port(), 2000);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto server = listener->Accept(2000);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  ASSERT_TRUE(server->valid());
+
+  // Small frame, empty frame, and a frame with embedded NULs and high
+  // bytes — the payload is opaque binary.
+  std::string binary("\x00\xff\x7f framed \x01", 11);
+  ASSERT_TRUE(client->SendFrame("hello").ok());
+  ASSERT_TRUE(client->SendFrame("").ok());
+  ASSERT_TRUE(client->SendFrame(binary).ok());
+  for (const std::string& expect : {std::string("hello"), std::string(),
+                                    binary}) {
+    auto frame = server->RecvFrame(2000);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    ASSERT_FALSE(frame->timed_out);
+    EXPECT_EQ(frame->bytes, expect);
+  }
+
+  // Nothing pending: a bounded recv reports a timeout, not an error.
+  auto idle = server->RecvFrame(50);
+  ASSERT_TRUE(idle.ok());
+  EXPECT_TRUE(idle->timed_out);
+
+  // Peer close is Unavailable (retryable), not a timeout.
+  client->Close();
+  auto closed = server->RecvFrame(2000);
+  EXPECT_FALSE(closed.ok());
+  EXPECT_EQ(closed.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(NetFramingTest, ConnectToDeadPortIsUnavailable) {
+  // Bind-then-close to get a port that is very likely unoccupied.
+  auto listener = net::Listener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  uint16_t port = listener->port();
+  listener->Close();
+  auto sock = net::Connect(port, 500);
+  EXPECT_FALSE(sock.ok());
+  EXPECT_EQ(sock.status().code(), StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// protocol codecs
+// ---------------------------------------------------------------------------
+
+TEST(DistribProtocolTest, MessagesRoundTrip) {
+  distrib::ReadyMsg ready{"w3"};
+  auto ready2 = distrib::DecodeReady(distrib::EncodeReady(ready));
+  ASSERT_TRUE(ready2.ok());
+  EXPECT_EQ(ready2->worker, "w3");
+
+  distrib::AssignMsg assign;
+  assign.task_index = 2;
+  assign.task_count = 5;
+  assign.config.algorithms = {"HB", "MWEM"};
+  assign.config.epsilons = {0.5};
+  assign.config.seed = 7;
+  auto assign2 = distrib::DecodeAssign(distrib::EncodeAssign(assign));
+  ASSERT_TRUE(assign2.ok()) << assign2.status().ToString();
+  EXPECT_EQ(assign2->task_index, 2u);
+  EXPECT_EQ(assign2->task_count, 5u);
+  EXPECT_EQ(assign2->config.algorithms, assign.config.algorithms);
+  EXPECT_EQ(assign2->config.seed, 7u);
+
+  distrib::HeartbeatMsg hb{"w1", 3, 17};
+  auto hb2 = distrib::DecodeHeartbeat(distrib::EncodeHeartbeat(hb));
+  ASSERT_TRUE(hb2.ok());
+  EXPECT_EQ(hb2->worker, "w1");
+  EXPECT_EQ(hb2->task_index, 3u);
+  EXPECT_EQ(hb2->cells_done, 17u);
+
+  distrib::ResultMsg result;
+  result.worker = "w2";
+  result.task_index = 4;
+  result.shard_bytes = std::string("\x00\x01raw shard image", 17);
+  auto result2 = distrib::DecodeResult(distrib::EncodeResult(result));
+  ASSERT_TRUE(result2.ok());
+  EXPECT_EQ(result2->task_index, 4u);
+  EXPECT_EQ(result2->shard_bytes, result.shard_bytes);
+
+  auto kind = distrib::MessageKind(distrib::EncodeShutdown());
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, "dpbench.d.shutdown");
+  EXPECT_FALSE(distrib::DecodeReady(distrib::EncodeShutdown()).ok());
+}
+
+TEST(DistribProtocolTest, FaultSpecParses) {
+  auto none = distrib::ParseFaultSpec("");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->kill_after, -1);
+  EXPECT_FALSE(none->corrupt_shard);
+
+  auto combo =
+      distrib::ParseFaultSpec("kill_after:2,corrupt_shard,straggle_first:250");
+  ASSERT_TRUE(combo.ok()) << combo.status().ToString();
+  EXPECT_EQ(combo->kill_after, 2);
+  EXPECT_TRUE(combo->corrupt_shard);
+  EXPECT_EQ(combo->straggle_first_ms, 250);
+
+  auto drop = distrib::ParseFaultSpec("drop_conn:1");
+  ASSERT_TRUE(drop.ok());
+  EXPECT_EQ(drop->drop_conn_after, 1);
+
+  EXPECT_FALSE(distrib::ParseFaultSpec("explode").ok());
+  EXPECT_FALSE(distrib::ParseFaultSpec("kill_after").ok());
+  EXPECT_FALSE(distrib::ParseFaultSpec("kill_after:x").ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end loopback runs.
+// ---------------------------------------------------------------------------
+
+ExperimentConfig SmallGrid() {
+  ExperimentConfig config;
+  config.algorithms = {"IDENTITY", "HB", "UNIFORM"};
+  config.datasets = {"ADULT"};
+  config.scales = {1000};
+  config.domain_sizes = {64, 256};
+  config.epsilons = {0.1, 0.5};
+  config.data_samples = 1;
+  config.runs_per_sample = 2;
+  config.retain_raw_errors = false;
+  return config;
+}
+
+std::string MonolithicCsv(const ExperimentConfig& config) {
+  auto cells = Runner::Run(config);
+  EXPECT_TRUE(cells.ok()) << cells.status().ToString();
+  std::ostringstream os;
+  WriteCsv(*cells, os);
+  return os.str();
+}
+
+distrib::WorkerOptions BaseWorker(uint16_t port, const std::string& name) {
+  distrib::WorkerOptions w;
+  w.name = name;
+  w.port = port;
+  w.threads = 1;
+  w.heartbeat_ms = 100;
+  w.connect_timeout_ms = 2000;
+  w.reconnect_attempts = 4;
+  w.reconnect_base_ms = 50;
+  w.reconnect_max_ms = 400;
+  return w;
+}
+
+TEST(DistribEndToEndTest, KilledWorkerAndStragglerStillMergeByteIdentical) {
+  ExperimentConfig config = SmallGrid();
+  std::string expected_csv = MonolithicCsv(config);
+  ASSERT_FALSE(expected_csv.empty());
+
+  distrib::CoordinatorOptions opts;
+  opts.port = 0;
+  opts.num_tasks = 6;
+  opts.heartbeat_timeout_ms = 2000;
+  opts.min_straggler_ms = 300;
+  opts.straggler_factor = 2.0;
+  opts.idle_retry_ms = 50;
+  opts.poll_ms = 20;
+  auto coord = distrib::Coordinator::Create(config, opts);
+  ASSERT_TRUE(coord.ok()) << coord.status().ToString();
+  uint16_t port = coord->port();
+
+  distrib::CoordinatorSummary summary;
+  Result<MergedRun> merged = Status::Internal("not served yet");
+  std::thread serve([&]() { merged = coord->Serve(&summary); });
+
+  // Worker "victim" dies abruptly after its first upload; "straggler"
+  // stalls 2.5 s before its first task, long past the 300 ms speculation
+  // floor, so an idle worker re-executes its cells; "steady" just works.
+  auto victim_opts = BaseWorker(port, "victim");
+  victim_opts.fault.kill_after = 1;
+  auto straggler_opts = BaseWorker(port, "straggler");
+  straggler_opts.fault.straggle_first_ms = 2500;
+  auto steady_opts = BaseWorker(port, "steady");
+
+  Result<distrib::WorkerStats> victim_stats =
+      Status::Internal("not run yet");
+  Result<distrib::WorkerStats> straggler_stats =
+      Status::Internal("not run yet");
+  Result<distrib::WorkerStats> steady_stats =
+      Status::Internal("not run yet");
+  std::thread victim(
+      [&]() { victim_stats = distrib::RunWorker(victim_opts); });
+  std::thread straggler(
+      [&]() { straggler_stats = distrib::RunWorker(straggler_opts); });
+  std::thread steady(
+      [&]() { steady_stats = distrib::RunWorker(steady_opts); });
+
+  serve.join();
+  victim.join();
+  straggler.join();
+  steady.join();
+
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  std::ostringstream os;
+  WriteCsv(merged->cells, os);
+  EXPECT_EQ(os.str(), expected_csv)
+      << "distributed merge is not byte-identical to the monolithic run";
+
+  EXPECT_EQ(summary.tasks, 6u);
+  EXPECT_EQ(summary.workers_seen, 3u);
+  EXPECT_GE(summary.workers_lost, 1u) << "the killed worker went unnoticed";
+  EXPECT_GE(summary.speculative_issued, 1u)
+      << "the straggler's task was never speculatively re-issued";
+
+  ASSERT_TRUE(victim_stats.ok()) << victim_stats.status().ToString();
+  EXPECT_TRUE(victim_stats->killed_by_fault);
+  EXPECT_EQ(victim_stats->ended_by, "fault");
+  ASSERT_TRUE(steady_stats.ok()) << steady_stats.status().ToString();
+  EXPECT_GE(steady_stats->tasks_completed, 1u);
+  ASSERT_TRUE(straggler_stats.ok()) << straggler_stats.status().ToString();
+
+  // Diagnostics survive the merge: every cell of the full grid is there.
+  EXPECT_EQ(merged->diagnostics.cells, merged->cells.size());
+}
+
+TEST(DistribEndToEndTest, CorruptUploadsAreRejectedAndRerun) {
+  ExperimentConfig config = SmallGrid();
+  config.algorithms = {"IDENTITY", "UNIFORM"};
+  config.domain_sizes = {64};
+  std::string expected_csv = MonolithicCsv(config);
+
+  distrib::CoordinatorOptions opts;
+  opts.port = 0;
+  opts.num_tasks = 2;
+  opts.heartbeat_timeout_ms = 2000;
+  opts.min_straggler_ms = 200;
+  opts.idle_retry_ms = 30;
+  opts.poll_ms = 20;
+  auto coord = distrib::Coordinator::Create(config, opts);
+  ASSERT_TRUE(coord.ok()) << coord.status().ToString();
+  uint16_t port = coord->port();
+
+  distrib::CoordinatorSummary summary;
+  Result<MergedRun> merged = Status::Internal("not served yet");
+  std::thread serve([&]() { merged = coord->Serve(&summary); });
+
+  // "poison" corrupts every shard it uploads; every one of its results
+  // must be rejected by the section checksum and re-run by "honest".
+  auto poison_opts = BaseWorker(port, "poison");
+  poison_opts.fault.corrupt_shard = true;
+  poison_opts.fault.kill_after = 2;  // stop poisoning after two uploads
+  auto honest_opts = BaseWorker(port, "honest");
+
+  Result<distrib::WorkerStats> poison_stats =
+      Status::Internal("not run yet");
+  Result<distrib::WorkerStats> honest_stats =
+      Status::Internal("not run yet");
+  std::thread poison(
+      [&]() { poison_stats = distrib::RunWorker(poison_opts); });
+  std::thread honest(
+      [&]() { honest_stats = distrib::RunWorker(honest_opts); });
+
+  serve.join();
+  poison.join();
+  honest.join();
+
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  std::ostringstream os;
+  WriteCsv(merged->cells, os);
+  EXPECT_EQ(os.str(), expected_csv);
+  EXPECT_GE(summary.corrupt_uploads, 1u)
+      << "no corrupt upload was ever detected";
+  ASSERT_TRUE(honest_stats.ok());
+  EXPECT_GE(honest_stats->tasks_completed, 2u);
+}
+
+TEST(DistribEndToEndTest, DroppedConnectionReconnectsAndFinishes) {
+  ExperimentConfig config = SmallGrid();
+  config.algorithms = {"IDENTITY"};
+  config.domain_sizes = {64};
+  config.epsilons = {0.1};
+  std::string expected_csv = MonolithicCsv(config);
+
+  distrib::CoordinatorOptions opts;
+  opts.port = 0;
+  opts.num_tasks = 3;
+  opts.heartbeat_timeout_ms = 2000;
+  opts.idle_retry_ms = 30;
+  opts.poll_ms = 20;
+  auto coord = distrib::Coordinator::Create(config, opts);
+  ASSERT_TRUE(coord.ok());
+  uint16_t port = coord->port();
+
+  distrib::CoordinatorSummary summary;
+  Result<MergedRun> merged = Status::Internal("not served yet");
+  std::thread serve([&]() { merged = coord->Serve(&summary); });
+
+  auto flaky_opts = BaseWorker(port, "flaky");
+  flaky_opts.fault.drop_conn_after = 1;
+  Result<distrib::WorkerStats> flaky_stats =
+      Status::Internal("not run yet");
+  std::thread flaky(
+      [&]() { flaky_stats = distrib::RunWorker(flaky_opts); });
+
+  serve.join();
+  flaky.join();
+
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  std::ostringstream os;
+  WriteCsv(merged->cells, os);
+  EXPECT_EQ(os.str(), expected_csv);
+  ASSERT_TRUE(flaky_stats.ok()) << flaky_stats.status().ToString();
+  EXPECT_GE(flaky_stats->reconnects, 1u)
+      << "the dropped connection was never re-established";
+  EXPECT_EQ(flaky_stats->tasks_completed, 3u);
+}
+
+TEST(DistribEndToEndTest, WorkerWithNoCoordinatorFailsUnavailable) {
+  auto listener = net::Listener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  uint16_t dead_port = listener->port();
+  listener->Close();
+
+  auto w = BaseWorker(dead_port, "orphan");
+  w.reconnect_attempts = 2;
+  w.reconnect_base_ms = 20;
+  w.connect_timeout_ms = 200;
+  auto stats = distrib::RunWorker(w);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace dpbench

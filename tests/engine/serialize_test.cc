@@ -11,6 +11,7 @@
 
 #include "src/algorithms/matrix_mechanism.h"
 #include "src/algorithms/mechanism.h"
+#include "src/common/crc32c.h"
 #include "src/engine/runner.h"
 #include "src/engine/stats.h"
 #include "src/workload/workload.h"
@@ -382,6 +383,16 @@ TEST(SerializeJsonTest, RejectsPathologicallyDeepNesting) {
           std::string(3, '\0');  // u32 version, little-endian
   file += u64le(4);
   file += "deep";
+  // v2 section framing around the hostile record, with a valid CRC so the
+  // file survives checksum verification and reaches the renderer.
+  file += u64le(1);  // section count
+  file += u64le(4);
+  file += "body";
+  file += u64le(record.size());
+  uint32_t crc = Crc32c(record);
+  for (int i = 0; i < 4; ++i) {
+    file.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+  }
   file += record;
   auto json = DebugJson(file);
   ASSERT_FALSE(json.ok());

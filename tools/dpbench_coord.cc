@@ -1,0 +1,174 @@
+// dpbench_coord — coordinator daemon for fault-tolerant distributed runs.
+//
+// Partitions the experiment grid into --tasks strided shards (the same
+// deterministic partition dpbench_shard uses), serves them to
+// dpbench_worker daemons over a loopback TCP protocol, survives worker
+// death and stragglers (heartbeat timeouts, speculative re-issue), rejects
+// corrupt uploads by shard-section checksum, and writes a merged CSV
+// byte-identical to the monolithic `dpbench_run --csv-out` of the same
+// grid.
+//
+// Examples:
+//   dpbench_coord --port=0 --port-file=port.txt --tasks=6 \
+//                 --csv-out=merged.csv --epsilons=0.1,0.5
+//   dpbench_worker --port=$(cat port.txt) --name=w0 &
+//   dpbench_worker --port=$(cat port.txt) --name=w1 &
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "src/engine/distrib.h"
+#include "src/engine/report.h"
+#include "tools/grid_flags.h"
+
+using namespace dpbench;
+
+namespace {
+
+void PrintUsage() {
+  std::cout
+      << "usage: dpbench_coord [flags]\n"
+         "  --port=N               TCP port on 127.0.0.1 (0 = ephemeral)\n"
+         "  --port-file=FILE       write the bound port to FILE (for "
+         "workers)\n"
+         "  --tasks=N              grid partitions to schedule (default 8)\n"
+         "  --csv                  print merged results as CSV to stdout\n"
+         "  --csv-out=FILE         write merged results as CSV to FILE\n"
+         "  --heartbeat-timeout-ms=N  silence before a worker is lost "
+         "(default 5000)\n"
+         "  --min-straggler-ms=N   floor before speculative re-issue "
+         "(default 10000)\n"
+         "  --straggler-factor=F   straggler threshold as F x median task "
+         "time (default 3)\n"
+         "grid flags (same meaning as dpbench_run):\n"
+      << tools::GridFlagsHelp();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentConfig config = tools::DefaultGridConfig();
+  distrib::CoordinatorOptions options;
+  std::string port_file, csv_out;
+  bool csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string grid_error;
+    auto value = [&](const char* prefix) -> std::string {
+      return arg.substr(std::strlen(prefix));
+    };
+    uint64_t u64 = 0;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg.rfind("--port=", 0) == 0) {
+      if (!tools::grid_flags_internal::ParseU64(value("--port="), &u64) ||
+          u64 > 65535) {
+        std::cerr << "--port expects 0..65535\n";
+        return 1;
+      }
+      options.port = static_cast<uint16_t>(u64);
+    } else if (arg.rfind("--port-file=", 0) == 0) {
+      port_file = value("--port-file=");
+    } else if (arg.rfind("--tasks=", 0) == 0) {
+      if (!tools::grid_flags_internal::ParseU64(value("--tasks="), &u64) ||
+          u64 == 0) {
+        std::cerr << "--tasks expects a positive integer\n";
+        return 1;
+      }
+      options.num_tasks = u64;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg.rfind("--csv-out=", 0) == 0) {
+      csv_out = value("--csv-out=");
+    } else if (arg.rfind("--heartbeat-timeout-ms=", 0) == 0) {
+      if (!tools::grid_flags_internal::ParseU64(
+              value("--heartbeat-timeout-ms="), &u64) ||
+          u64 == 0) {
+        std::cerr << "--heartbeat-timeout-ms expects a positive integer\n";
+        return 1;
+      }
+      options.heartbeat_timeout_ms = static_cast<int>(u64);
+    } else if (arg.rfind("--min-straggler-ms=", 0) == 0) {
+      if (!tools::grid_flags_internal::ParseU64(value("--min-straggler-ms="),
+                                                &u64)) {
+        std::cerr << "--min-straggler-ms expects an integer\n";
+        return 1;
+      }
+      options.min_straggler_ms = static_cast<int>(u64);
+    } else if (arg.rfind("--straggler-factor=", 0) == 0) {
+      options.straggler_factor = std::atof(value("--straggler-factor=").c_str());
+      if (options.straggler_factor < 1.0) {
+        std::cerr << "--straggler-factor expects a number >= 1\n";
+        return 1;
+      }
+    } else if (tools::ParseGridFlag(arg, &config, &grid_error)) {
+      if (!grid_error.empty()) {
+        std::cerr << grid_error << "\n";
+        return 1;
+      }
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      PrintUsage();
+      return 1;
+    }
+  }
+  if (Status st = tools::ResolveDefaultAlgorithms(&config); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+
+  auto coord = distrib::Coordinator::Create(config, options);
+  if (!coord.ok()) {
+    std::cerr << "cannot start coordinator: " << coord.status().ToString()
+              << "\n";
+    return 1;
+  }
+  std::cerr << "coordinator listening on 127.0.0.1:" << coord->port()
+            << " (" << options.num_tasks << " tasks)\n";
+  if (!port_file.empty()) {
+    // Write-then-rename so workers polling for the file never read a
+    // half-written port.
+    std::string tmp = port_file + ".tmp";
+    {
+      std::ofstream os(tmp, std::ios::trunc);
+      os << coord->port() << "\n";
+      if (!os) {
+        std::cerr << "cannot write " << tmp << "\n";
+        return 1;
+      }
+    }
+    if (std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+      std::cerr << "cannot rename " << tmp << " to " << port_file << "\n";
+      return 1;
+    }
+  }
+
+  distrib::CoordinatorSummary summary;
+  auto merged = coord->Serve(&summary);
+  std::cerr << "run summary: tasks=" << summary.tasks
+            << " workers_seen=" << summary.workers_seen
+            << " workers_lost=" << summary.workers_lost
+            << " tasks_reissued=" << summary.tasks_reissued
+            << " speculative_issued=" << summary.speculative_issued
+            << " duplicate_results=" << summary.duplicate_results
+            << " corrupt_uploads=" << summary.corrupt_uploads << "\n";
+  if (!merged.ok()) {
+    std::cerr << "distributed run failed: " << merged.status().ToString()
+              << "\n";
+    return 1;
+  }
+
+  if (csv) WriteCsv(merged->cells, std::cout);
+  if (!csv_out.empty()) {
+    if (Status st = tools::WriteCsvFile(csv_out, merged->cells); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+  }
+  const RunDiagnostics& d = merged->diagnostics;
+  std::cerr << "merged " << d.cells << " cells, " << d.trials
+            << " trials across " << summary.workers_seen << " workers\n";
+  return 0;
+}

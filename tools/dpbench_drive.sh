@@ -5,18 +5,27 @@
 # The sharded runner guarantees that any shard partition merges
 # bit-identically to the monolithic run (see ROADMAP "Sharded runner");
 # this driver supplies the missing operational half: process scheduling
-# with a bounded worker pool, per-shard retries for transient failures
-# (OOM kills, preemptions), and the final dpbench_merge. Every shard's
-# stdout/stderr is kept in the work directory for post-mortems.
+# with a bounded worker pool, per-shard wall-clock timeouts, bounded
+# exponential-backoff retries for transient failures (OOM kills,
+# preemptions, hung runs), and the final dpbench_merge. A shard that
+# exhausts its retries aborts the whole run with a non-zero exit — the
+# driver never merges a partial shard set. Every shard's stdout/stderr is
+# kept in the work directory for post-mortems.
 #
 # Usage:
 #   tools/dpbench_drive.sh --bin=DIR --shards=N [--procs=P] [--retries=K]
-#       [--workdir=DIR] --csv-out=FILE -- <grid flags for dpbench_shard>
+#       [--timeout=SECS] [--backoff=MS] [--workdir=DIR] --csv-out=FILE \
+#       -- <grid flags for dpbench_shard>
 #
 #   --bin=DIR      directory containing dpbench_shard and dpbench_merge
 #   --shards=N     number of shards to split the grid into (>= 1)
 #   --procs=P      max concurrent shard processes (default: nproc)
 #   --retries=K    extra attempts per failed shard (default 1)
+#   --timeout=SECS per-attempt wall-clock limit; a shard still running
+#                  after SECS is killed and counts as a failed attempt
+#                  (default 0 = no limit; requires coreutils `timeout`)
+#   --backoff=MS   base retry delay in milliseconds; doubles per attempt,
+#                  capped at 16x the base (default 500)
 #   --workdir=DIR  where shard files and logs go (default: mktemp -d;
 #                  kept on failure, removed on success unless supplied)
 #   --csv-out=FILE merged CSV (byte-identical to a monolithic
@@ -25,15 +34,24 @@
 # Everything after `--` is passed to every dpbench_shard invocation
 # verbatim (the grid must be identical across shards; dpbench_merge's
 # validator rejects config skew, so a mistake fails loudly).
-set -u
+#
+# Exit codes: 0 success | 1 shard/merge failure | 2 usage error.
+set -euo pipefail
 
 BIN=""
 SHARDS=0
 PROCS="$(nproc 2>/dev/null || echo 2)"
 RETRIES=1
+TIMEOUT_SECS=0
+BACKOFF_MS=500
 WORKDIR=""
 CSV_OUT=""
 KEEP_WORKDIR=0
+
+usage_error() {
+  echo "dpbench_drive: $1" >&2
+  exit 2
+}
 
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -41,48 +59,78 @@ while [ $# -gt 0 ]; do
     --shards=*) SHARDS="${1#--shards=}" ;;
     --procs=*) PROCS="${1#--procs=}" ;;
     --retries=*) RETRIES="${1#--retries=}" ;;
+    --timeout=*) TIMEOUT_SECS="${1#--timeout=}" ;;
+    --backoff=*) BACKOFF_MS="${1#--backoff=}" ;;
     --workdir=*) WORKDIR="${1#--workdir=}"; KEEP_WORKDIR=1 ;;
     --csv-out=*) CSV_OUT="${1#--csv-out=}" ;;
     --) shift; break ;;
-    *) echo "dpbench_drive: unknown flag $1" >&2; exit 2 ;;
+    *) usage_error "unknown flag $1" ;;
   esac
   shift
 done
 GRID_ARGS=("$@")
 
+case "$SHARDS$PROCS$RETRIES$TIMEOUT_SECS$BACKOFF_MS" in
+  *[!0-9]*) usage_error "--shards/--procs/--retries/--timeout/--backoff must be non-negative integers" ;;
+esac
 if [ -z "$BIN" ] || [ "$SHARDS" -lt 1 ] || [ -z "$CSV_OUT" ]; then
-  echo "dpbench_drive: --bin, --shards >= 1 and --csv-out are required" >&2
-  exit 2
+  usage_error "--bin, --shards >= 1 and --csv-out are required"
+fi
+if [ "$PROCS" -lt 1 ]; then
+  usage_error "--procs must be >= 1"
 fi
 for tool in dpbench_shard dpbench_merge; do
   if [ ! -x "$BIN/$tool" ]; then
-    echo "dpbench_drive: $BIN/$tool not found or not executable" >&2
-    exit 2
+    usage_error "$BIN/$tool not found or not executable"
   fi
 done
+if [ "$TIMEOUT_SECS" -gt 0 ] && ! command -v timeout >/dev/null 2>&1; then
+  usage_error "--timeout needs the coreutils 'timeout' command"
+fi
 if [ -z "$WORKDIR" ]; then
   WORKDIR="$(mktemp -d "${TMPDIR:-/tmp}/dpbench_drive.XXXXXX")"
 fi
 mkdir -p "$WORKDIR"
 
-# Runs one shard to completion with retries. Attempt logs are appended so
-# a retried shard's history stays inspectable.
+# Runs one shard to completion with bounded-backoff retries. Attempt logs
+# are appended so a retried shard's history stays inspectable. A timed-out
+# attempt (exit 124 from `timeout`) is logged as such and retried like any
+# other failure.
 run_shard() {
   local idx="$1"
   local out="$WORKDIR/shard$idx.bin"
   local log="$WORKDIR/shard$idx.log"
   local attempt=0
+  local delay_ms="$BACKOFF_MS"
+  local max_delay_ms=$((BACKOFF_MS * 16))
+  local rc
   while :; do
-    if "$BIN/dpbench_shard" ${GRID_ARGS[@]+"${GRID_ARGS[@]}"} \
-        --shard="$idx/$SHARDS" --out="$out" >> "$log" 2>&1; then
+    rc=0
+    if [ "$TIMEOUT_SECS" -gt 0 ]; then
+      timeout --kill-after=10 "$TIMEOUT_SECS" \
+          "$BIN/dpbench_shard" ${GRID_ARGS[@]+"${GRID_ARGS[@]}"} \
+          --shard="$idx/$SHARDS" --out="$out" >> "$log" 2>&1 || rc=$?
+    else
+      "$BIN/dpbench_shard" ${GRID_ARGS[@]+"${GRID_ARGS[@]}"} \
+          --shard="$idx/$SHARDS" --out="$out" >> "$log" 2>&1 || rc=$?
+    fi
+    if [ "$rc" -eq 0 ]; then
       return 0
     fi
     attempt=$((attempt + 1))
+    if [ "$rc" -eq 124 ]; then
+      echo "dpbench_drive: shard $idx attempt $attempt timed out after ${TIMEOUT_SECS}s" >&2
+    fi
     if [ "$attempt" -gt "$RETRIES" ]; then
       echo "dpbench_drive: shard $idx failed after $((RETRIES + 1)) attempts (log: $log)" >&2
       return 1
     fi
-    echo "dpbench_drive: shard $idx attempt $attempt failed; retrying" >&2
+    echo "dpbench_drive: shard $idx attempt $attempt failed (rc=$rc); retrying in ${delay_ms}ms" >&2
+    sleep "$(awk "BEGIN {printf \"%.3f\", $delay_ms / 1000}")"
+    delay_ms=$((delay_ms * 2))
+    if [ "$delay_ms" -gt "$max_delay_ms" ]; then
+      delay_ms="$max_delay_ms"
+    fi
   done
 }
 
@@ -105,7 +153,7 @@ for pid in "${pids[@]}"; do
   fi
 done
 if [ "$failed" -ne 0 ]; then
-  echo "dpbench_drive: aborting; shard files and logs kept in $WORKDIR" >&2
+  echo "dpbench_drive: aborting without merging; shard files and logs kept in $WORKDIR" >&2
   exit 1
 fi
 
@@ -113,8 +161,10 @@ shard_files=()
 for idx in $(seq 0 $((SHARDS - 1))); do
   shard_files+=("$WORKDIR/shard$idx.bin")
 done
-if ! "$BIN/dpbench_merge" --csv-out="$CSV_OUT" "${shard_files[@]}"; then
-  echo "dpbench_drive: merge failed; shard files kept in $WORKDIR" >&2
+if ! "$BIN/dpbench_merge" --csv-out="$CSV_OUT" \
+    --error-json="$WORKDIR/merge_report.json" "${shard_files[@]}"; then
+  echo "dpbench_drive: merge failed (report: $WORKDIR/merge_report.json); shard files kept in $WORKDIR" >&2
+  KEEP_WORKDIR=1
   exit 1
 fi
 echo "dpbench_drive: merged $SHARDS shards into $CSV_OUT"

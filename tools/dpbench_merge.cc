@@ -2,15 +2,33 @@
 // one report identical to the single-process run of the same config.
 //
 // The manifest validator fails loudly on overlapping shards, shard gaps,
-// config or shard-count mismatches, duplicate or missing cells, and
-// format-version skew; a merge that succeeds is guaranteed complete. The
+// config or shard-count mismatches, duplicate or missing cells,
+// format-version skew, and — since envelope v2 — any section whose
+// CRC32C does not match (a flipped bit anywhere in a shard file). The
 // merged cells are emitted in the canonical (monolithic) order, so
-// --csv-out produces a byte-identical file to
-// `dpbench_run --csv-out` on the same config.
+// --csv-out produces a byte-identical file to `dpbench_run --csv-out` on
+// the same config.
+//
+// Exit codes are distinct and documented so schedulers and CI can tell
+// retryable failures from fatal ones:
+//   0  merge succeeded
+//   1  usage error (bad flags, no input files)
+//   2  a shard file could not be read (missing/unreadable — retryable by
+//      re-producing the file)
+//   3  a shard file is corrupt (checksum DataLoss or structural decode
+//      failure — re-run that shard)
+//   4  config/manifest skew (shards from different runs — fatal)
+//   5  the run is incomplete (missing shard or missing cells — retryable
+//      by producing what's missing)
+//   6  structural merge conflict (overlapping shards, duplicate or
+//      out-of-slice cells — the supplied file set is wrong)
+//
+// --error-json=FILE writes a machine-readable report of the failure (or
+// {"ok": true} on success) for the coordinator and CI; "-" = stdout.
 //
 // Examples:
 //   dpbench_merge shard0.bin shard1.bin shard2.bin
-//   dpbench_merge --csv-out=merged.csv shard*.bin
+//   dpbench_merge --csv-out=merged.csv --error-json=report.json shard*.bin
 //   dpbench_merge --json shard0.bin        # debug-dump, no merge
 #include <cstring>
 #include <fstream>
@@ -32,14 +50,95 @@ void PrintUsage() {
       "usage: dpbench_merge [flags] SHARD_FILE...\n"
       "  --csv                  print merged results as CSV to stdout\n"
       "  --csv-out=FILE         write merged results as CSV to FILE\n"
-      "  --json                 dump each input file as JSON (no merge)\n";
+      "  --error-json=FILE      write a JSON success/failure report "
+      "(- = stdout)\n"
+      "  --json                 dump each input file as JSON (no merge)\n"
+      "exit codes: 0 ok | 1 usage | 2 unreadable file | 3 corrupt file |\n"
+      "            4 config skew | 5 incomplete run | 6 merge conflict\n";
+}
+
+// Exit code for a failure at the decode stage (per-file).
+int DecodeExitCode(const Status& st) {
+  return st.code() == StatusCode::kNotFound ? 2 : 3;
+}
+
+// Exit code for a failure at the merge stage (cross-file validation).
+int MergeExitCode(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kFailedPrecondition:
+      return 4;  // config/manifest skew
+    case StatusCode::kNotFound:
+      return 5;  // missing shard or cells
+    default:
+      return 6;  // overlaps, duplicates, out-of-slice cells
+  }
+}
+
+void JsonEscapeInto(const std::string& s, std::string* out) {
+  for (char ch : s) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(ch);
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(ch);
+    }
+  }
+}
+
+// Writes the machine-readable report. On success: {"ok": true, ...}.
+// On failure: the stage ("read"|"decode"|"merge"), the offending path
+// (empty for merge-stage errors), the status code name, the exit code a
+// caller will see, and whether retrying (re-producing the named input)
+// can fix it.
+int WriteErrorJson(const std::string& dest, bool ok, const std::string& stage,
+                   const std::string& path, const Status& st, int exit_code,
+                   size_t shard_count) {
+  std::string body = "{\n  \"ok\": ";
+  body += ok ? "true" : "false";
+  if (ok) {
+    body += ",\n  \"shards\": " + std::to_string(shard_count);
+  } else {
+    body += ",\n  \"stage\": \"" + stage + "\"";
+    body += ",\n  \"path\": \"";
+    JsonEscapeInto(path, &body);
+    body += "\"";
+    body += ",\n  \"status\": \"";
+    body += StatusCodeToString(st.code());
+    body += "\"";
+    body += ",\n  \"message\": \"";
+    JsonEscapeInto(st.message(), &body);
+    body += "\"";
+    body += ",\n  \"exit_code\": " + std::to_string(exit_code);
+    bool retryable = exit_code == 2 || exit_code == 3 || exit_code == 5;
+    body += ",\n  \"retryable\": ";
+    body += retryable ? "true" : "false";
+  }
+  body += "\n}\n";
+  if (dest == "-") {
+    std::cout << body;
+    return 0;
+  }
+  std::ofstream os(dest, std::ios::trunc);
+  os << body;
+  if (!os) {
+    std::cerr << "cannot write " << dest << "\n";
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
-  std::string csv_out;
+  std::string csv_out, error_json;
   bool csv = false, json = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -51,6 +150,8 @@ int main(int argc, char** argv) {
       csv = true;
     } else if (arg.rfind("--csv-out=", 0) == 0) {
       csv_out = arg.substr(std::strlen("--csv-out="));
+    } else if (arg.rfind("--error-json=", 0) == 0) {
+      error_json = arg.substr(std::strlen("--error-json="));
     } else if (arg == "--json") {
       json = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -67,17 +168,28 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Failure path shared by every stage: report to stderr, optionally as
+  // JSON, and exit with the stage-appropriate code.
+  auto fail = [&](const std::string& stage, const std::string& path,
+                  const Status& st, int code) -> int {
+    std::cerr << (path.empty() ? "merge" : path) << ": " << st.ToString()
+              << "\n";
+    if (!error_json.empty()) {
+      WriteErrorJson(error_json, false, stage, path, st, code, 0);
+    }
+    return code;
+  };
+
   if (json) {
     for (const std::string& path : paths) {
       auto bytes = ReadFileBytes(path);
       if (!bytes.ok()) {
-        std::cerr << bytes.status().ToString() << "\n";
-        return 1;
+        return fail("read", path, bytes.status(), 2);
       }
       auto rendered = DebugJson(*bytes);
       if (!rendered.ok()) {
-        std::cerr << path << ": " << rendered.status().ToString() << "\n";
-        return 1;
+        return fail("decode", path, rendered.status(),
+                    DecodeExitCode(rendered.status()));
       }
       std::cout << *rendered;
     }
@@ -89,21 +201,27 @@ int main(int argc, char** argv) {
   for (const std::string& path : paths) {
     auto bytes = ReadFileBytes(path);
     if (!bytes.ok()) {
-      std::cerr << bytes.status().ToString() << "\n";
-      return 1;
+      return fail("read", path, bytes.status(), 2);
     }
     auto shard = DecodeShardFile(*bytes);
     if (!shard.ok()) {
-      std::cerr << path << ": " << shard.status().ToString() << "\n";
-      return 1;
+      return fail("decode", path, shard.status(),
+                  DecodeExitCode(shard.status()));
     }
     shards.push_back(std::move(shard).value());
   }
 
+  size_t shard_count = shards.size();
   auto merged = MergeShards(std::move(shards));
   if (!merged.ok()) {
-    std::cerr << "merge failed: " << merged.status().ToString() << "\n";
-    return 1;
+    return fail("merge", "", merged.status(),
+                MergeExitCode(merged.status()));
+  }
+  if (!error_json.empty()) {
+    if (WriteErrorJson(error_json, true, "", "", Status::OK(), 0,
+                       shard_count) != 0) {
+      return 1;
+    }
   }
 
   TextTable table(

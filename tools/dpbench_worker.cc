@@ -1,0 +1,130 @@
+// dpbench_worker — worker daemon for fault-tolerant distributed runs.
+//
+// Connects to a dpbench_coord coordinator, requests task assignments,
+// executes each through the Runner shard path (bit-identical regardless
+// of which worker runs a task), streams heartbeats while computing, and
+// uploads self-verifying shard images. Survives a lost coordinator
+// connection with exponential-backoff reconnects; a coordinator that has
+// finished (or died for good) ends the worker cleanly.
+//
+// Fault injection, for tests and the CI smoke job, via the DPBENCH_FAULT
+// environment variable or --fault= (the flag wins):
+//   kill_after:N       exit abruptly after N uploads (0 = on first task)
+//   drop_conn:N        drop and re-establish the connection after N uploads
+//   corrupt_shard      flip one byte in each uploaded shard payload
+//   straggle_first:MS  stall MS before executing the first task
+//
+// Example:
+//   dpbench_worker --port=$(cat port.txt) --name=w0 --threads=2
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "src/engine/distrib.h"
+
+using namespace dpbench;
+
+namespace {
+
+void PrintUsage() {
+  std::cout
+      << "usage: dpbench_worker --port=N [flags]\n"
+         "  --port=N               coordinator port on 127.0.0.1 "
+         "(required)\n"
+         "  --name=ID              worker name in heartbeats/logs "
+         "(default: worker)\n"
+         "  --threads=N            Runner threads per task (default 1)\n"
+         "  --heartbeat-ms=N       progress-report period (default 500)\n"
+         "  --reconnect-attempts=N connection retries before giving up "
+         "(default 5)\n"
+         "  --fault=SPEC           inject faults (overrides DPBENCH_FAULT)\n";
+}
+
+bool ParseU64Flag(const std::string& digits, uint64_t* out) {
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos ||
+      digits.size() > 9) {
+    return false;
+  }
+  *out = std::stoull(digits);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  distrib::WorkerOptions options;
+  std::string fault_spec;
+  if (const char* env = std::getenv("DPBENCH_FAULT")) fault_spec = env;
+  bool port_given = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> std::string {
+      return arg.substr(std::strlen(prefix));
+    };
+    uint64_t u64 = 0;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg.rfind("--port=", 0) == 0) {
+      if (!ParseU64Flag(value("--port="), &u64) || u64 == 0 || u64 > 65535) {
+        std::cerr << "--port expects 1..65535\n";
+        return 1;
+      }
+      options.port = static_cast<uint16_t>(u64);
+      port_given = true;
+    } else if (arg.rfind("--name=", 0) == 0) {
+      options.name = value("--name=");
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      if (!ParseU64Flag(value("--threads="), &u64) || u64 == 0) {
+        std::cerr << "--threads expects a positive integer\n";
+        return 1;
+      }
+      options.threads = static_cast<size_t>(u64);
+    } else if (arg.rfind("--heartbeat-ms=", 0) == 0) {
+      if (!ParseU64Flag(value("--heartbeat-ms="), &u64) || u64 == 0) {
+        std::cerr << "--heartbeat-ms expects a positive integer\n";
+        return 1;
+      }
+      options.heartbeat_ms = static_cast<int>(u64);
+    } else if (arg.rfind("--reconnect-attempts=", 0) == 0) {
+      if (!ParseU64Flag(value("--reconnect-attempts="), &u64) || u64 == 0) {
+        std::cerr << "--reconnect-attempts expects a positive integer\n";
+        return 1;
+      }
+      options.reconnect_attempts = static_cast<int>(u64);
+    } else if (arg.rfind("--fault=", 0) == 0) {
+      fault_spec = value("--fault=");
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      PrintUsage();
+      return 1;
+    }
+  }
+  if (!port_given) {
+    std::cerr << "--port=N is required\n";
+    PrintUsage();
+    return 1;
+  }
+  auto fault = distrib::ParseFaultSpec(fault_spec);
+  if (!fault.ok()) {
+    std::cerr << fault.status().ToString() << "\n";
+    return 1;
+  }
+  options.fault = *fault;
+
+  auto stats = distrib::RunWorker(options);
+  if (!stats.ok()) {
+    std::cerr << options.name << ": " << stats.status().ToString() << "\n";
+    return 1;
+  }
+  std::cerr << options.name << ": " << stats->tasks_completed
+            << " tasks completed, " << stats->reconnects
+            << " reconnects, ended by " << stats->ended_by << "\n";
+  if (stats->killed_by_fault) {
+    // Distinct code so scripts can tell an injected death from success.
+    return 7;
+  }
+  return stats->ended_by == "protocol_error" ? 1 : 0;
+}
