@@ -1,0 +1,188 @@
+// SERVE-SATURATION — drives an in-process dpbench_serve Server with
+// concurrent synthetic users over persistent loopback sockets and reports
+// per-request latency (p50/p99) and sustained throughput (qps). This is
+// the serving-mode hot-path number: after warmup every request is a plan
+// cache hit answered through the scratch ExecuteInto pipeline, so the
+// figure tracks the request pipeline itself, not planning.
+//
+// Flags:
+//   --smoke        CI mode: short run, then enforce conservative floors
+//                  (qps >= 200, p99 <= 250 ms, zero refusals/errors) and
+//                  exit nonzero when the serving path regresses past them
+//   --users=N      concurrent client connections (default 4)
+//   --requests=N   requests per user (default 200; smoke 100)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/engine/net.h"
+#include "src/engine/serve.h"
+
+using namespace dpbench;
+
+namespace {
+
+struct ClientStats {
+  std::vector<double> latencies;  // seconds per answered request
+  size_t ok = 0;
+  size_t failed = 0;
+};
+
+void RunClient(uint16_t port, const std::string& user, size_t requests,
+               ClientStats* stats) {
+  auto sock = net::Connect(port, 5000);
+  if (!sock.ok()) {
+    stats->failed += requests;
+    return;
+  }
+  serve::QueryRequest query;
+  query.user = user;
+  query.dataset = "ADULT";
+  query.algorithm = "IDENTITY";
+  query.epsilon = 0.01;
+  query.scale = 100000;
+  query.domain_size = 1024;
+  query.lo_row = {0};
+  query.hi_row = {1023};
+  std::string encoded = serve::EncodeQuery(query);
+  stats->latencies.reserve(requests);
+  for (size_t i = 0; i < requests; ++i) {
+    double t0 = bench::NowSeconds();
+    if (!sock->SendFrame(encoded).ok()) {
+      stats->failed += requests - i;
+      return;
+    }
+    auto frame = sock->RecvFrame(30000);
+    if (!frame.ok() || frame->timed_out) {
+      stats->failed += requests - i;
+      return;
+    }
+    auto reply = serve::DecodeReply(frame->bytes);
+    if (!reply.ok() || reply->status != serve::ReplyStatus::kOk) {
+      ++stats->failed;
+      continue;
+    }
+    stats->latencies.push_back(bench::NowSeconds() - t0);
+    ++stats->ok;
+  }
+}
+
+double Percentile(std::vector<double>* v, double p) {
+  if (v->empty()) return 0.0;
+  size_t k = static_cast<size_t>(p * static_cast<double>(v->size() - 1));
+  std::nth_element(v->begin(), v->begin() + k, v->end());
+  return (*v)[k];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  size_t users = 4;
+  size_t requests = 200;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--users=", 8) == 0) {
+      users = static_cast<size_t>(std::atoi(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--requests=", 11) == 0) {
+      requests = static_cast<size_t>(std::atoi(argv[i] + 11));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (smoke) requests = 100;
+  if (users == 0 || requests == 0) {
+    std::fprintf(stderr, "--users and --requests must be positive\n");
+    return 1;
+  }
+
+  serve::ServerOptions options;
+  options.port = 0;
+  // In-memory ledgers: the bench measures the request pipeline, and the
+  // budget must never exhaust mid-run (each user spends eps * requests).
+  options.default_budget = 0.01 * static_cast<double>(requests) * 2.0;
+  auto server = serve::Server::Create(options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  uint16_t port = server->port();
+  std::thread serving([&server] { (void)server->Serve(); });
+
+  std::printf("SERVE-SATURATION (%s): %zu users x %zu requests, "
+              "IDENTITY/ADULT n=1024 eps=0.01\n",
+              smoke ? "smoke" : "full", users, requests);
+
+  std::vector<ClientStats> stats(users);
+  std::vector<std::thread> clients;
+  double t0 = bench::NowSeconds();
+  for (size_t u = 0; u < users; ++u) {
+    clients.emplace_back(RunClient, port, "user" + std::to_string(u),
+                         requests, &stats[u]);
+  }
+  for (auto& t : clients) t.join();
+  double wall = bench::NowSeconds() - t0;
+
+  server->Stop();
+  serving.join();
+
+  std::vector<double> all;
+  size_t ok = 0, failed = 0;
+  for (const ClientStats& s : stats) {
+    all.insert(all.end(), s.latencies.begin(), s.latencies.end());
+    ok += s.ok;
+    failed += s.failed;
+  }
+  double qps = wall > 0 ? static_cast<double>(ok) / wall : 0.0;
+  double p50_ms = Percentile(&all, 0.50) * 1e3;
+  double p99_ms = Percentile(&all, 0.99) * 1e3;
+  serve::ServeStats server_stats = server->stats();
+
+  std::printf("%-10s %12s %12s %12s %10s %10s\n", "metric", "qps",
+              "p50_ms", "p99_ms", "ok", "failed");
+  std::printf("%-10s %12.1f %12.3f %12.3f %10zu %10zu\n", "serve", qps,
+              p50_ms, p99_ms, ok, failed);
+  std::printf("server: admitted=%llu plan_hits=%llu plan_misses=%llu "
+              "refused_budget=%llu refused_invalid=%llu internal=%llu\n",
+              (unsigned long long)server_stats.admitted,
+              (unsigned long long)server_stats.plan_cache_hits,
+              (unsigned long long)server_stats.plan_cache_misses,
+              (unsigned long long)server_stats.refused_budget,
+              (unsigned long long)server_stats.refused_invalid,
+              (unsigned long long)server_stats.internal_errors);
+
+  if (smoke) {
+    // Conservative floors: the serving path answers a 1024-cell IDENTITY
+    // request in well under a millisecond of compute, so a debug-grade
+    // 200 qps / 250 ms p99 breach means the pipeline regressed, not that
+    // the machine was slow.
+    bool bad = false;
+    if (failed != 0 || server_stats.refused_budget != 0 ||
+        server_stats.refused_invalid != 0 ||
+        server_stats.internal_errors != 0) {
+      std::fprintf(stderr, "FAIL: %zu failed requests, refusals or "
+                           "internal errors in smoke run\n", failed);
+      bad = true;
+    }
+    if (qps < 200.0) {
+      std::fprintf(stderr, "FAIL: qps %.1f below smoke floor 200\n", qps);
+      bad = true;
+    }
+    if (p99_ms > 250.0) {
+      std::fprintf(stderr, "FAIL: p99 %.3f ms above smoke ceiling 250\n",
+                   p99_ms);
+      bad = true;
+    }
+    if (bad) return 1;
+    std::printf("smoke floors passed (qps >= 200, p99 <= 250 ms, zero "
+                "failures)\n");
+  }
+  return 0;
+}

@@ -307,6 +307,7 @@ constexpr char kKindRunDiagnostics[] = "dpbench.run_diagnostics";
 constexpr char kKindPlanPayload[] = "dpbench.plan_payload";
 constexpr char kKindShard[] = "dpbench.shard";
 constexpr char kKindPlanCache[] = "dpbench.plan_cache";
+constexpr char kKindLedger[] = "dpbench.ledger";
 
 // Section names. Single-record artifacts live in one "body" section; the
 // multi-part file formats split into sections along their natural seams so
@@ -318,6 +319,7 @@ constexpr char kSectionCells[] = "cells";
 constexpr char kSectionDiagnostics[] = "diagnostics";
 constexpr char kSectionWorkload[] = "workload";
 constexpr char kSectionPlans[] = "plans";
+constexpr char kSectionLedger[] = "ledger";
 
 std::string WrapSingle(const std::string& kind, std::string record) {
   std::vector<wire::Section> sections;
@@ -541,6 +543,61 @@ Result<PlanStore> DecodePlanCacheFile(const std::string& bytes,
     }
   }
   return store;
+}
+
+// ---------------------------------------------------------------------------
+// Ledger files.
+// ---------------------------------------------------------------------------
+
+std::string EncodeLedgerFile(const std::vector<LedgerEntry>& entries) {
+  RecordWriter body;
+  body.U64("entries", entries.size());
+  std::vector<std::string> records;
+  records.reserve(entries.size());
+  for (const LedgerEntry& e : entries) {
+    RecordWriter w;
+    w.Str("user", e.user);
+    w.Str("dataset", e.dataset);
+    w.F64("budget", e.budget);
+    w.F64("spent", e.spent);
+    w.U64("queries", e.queries);
+    records.push_back(std::move(w).Finish());
+  }
+  body.RecVec("ledgers", records);
+  std::vector<wire::Section> sections;
+  sections.push_back({kSectionLedger, std::move(body).Finish()});
+  return wire::WrapEnvelope(kKindLedger, std::move(sections));
+}
+
+Result<std::vector<LedgerEntry>> DecodeLedgerFile(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(wire::Envelope env, wire::UnwrapEnvelope(bytes));
+  if (env.kind != kKindLedger) {
+    return Status::InvalidArgument("serialized artifact is a '" + env.kind +
+                                   "', expected '" + kKindLedger + "'");
+  }
+  DPB_ASSIGN_OR_RETURN(std::string body_bytes, env.Take(kSectionLedger));
+  DPB_ASSIGN_OR_RETURN(Record body, Record::Parse(body_bytes));
+  DPB_ASSIGN_OR_RETURN(uint64_t count, body.U64("entries"));
+  DPB_ASSIGN_OR_RETURN(std::vector<std::string> records,
+                       body.TakeRecVec("ledgers"));
+  if (records.size() != count) {
+    return Status::InvalidArgument(
+        "ledger file declares " + std::to_string(count) +
+        " entries but carries " + std::to_string(records.size()));
+  }
+  std::vector<LedgerEntry> entries;
+  entries.reserve(records.size());
+  for (const std::string& rec_bytes : records) {
+    DPB_ASSIGN_OR_RETURN(Record rec, Record::Parse(rec_bytes));
+    LedgerEntry e;
+    DPB_ASSIGN_OR_RETURN(e.user, rec.Str("user"));
+    DPB_ASSIGN_OR_RETURN(e.dataset, rec.Str("dataset"));
+    DPB_ASSIGN_OR_RETURN(e.budget, rec.F64("budget"));
+    DPB_ASSIGN_OR_RETURN(e.spent, rec.F64("spent"));
+    DPB_ASSIGN_OR_RETURN(e.queries, rec.U64("queries"));
+    entries.push_back(std::move(e));
+  }
+  return entries;
 }
 
 // ---------------------------------------------------------------------------

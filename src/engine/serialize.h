@@ -111,6 +111,38 @@ Result<PlanStore> DecodePlanCacheFile(const std::string& bytes,
                                       const ExperimentConfig& config);
 
 // ---------------------------------------------------------------------------
+// Privacy-budget ledger files: the persisted state of dpbench_serve's
+// budget accountant (engine/serve). One entry per (user, dataset) pair;
+// budget and spent epsilon travel by bit pattern, so a restarted daemon
+// resumes from byte-exactly the ledger it last persisted — spent budget is
+// never forgotten and never silently rounded. The file is a checksummed
+// envelope like every other DPBS artifact: a flipped bit is rejected at
+// load (DataLoss naming the damaged section) instead of silently
+// resurrecting budget.
+// ---------------------------------------------------------------------------
+
+/// One (user, dataset) privacy-budget ledger.
+struct LedgerEntry {
+  std::string user;
+  std::string dataset;
+  double budget = 0.0;   ///< epsilon capacity granted to this pair
+  double spent = 0.0;    ///< epsilon consumed by admitted queries
+  uint64_t queries = 0;  ///< admitted queries (also salts noise streams)
+
+  bool operator==(const LedgerEntry& other) const {
+    return user == other.user && dataset == other.dataset &&
+           budget == other.budget && spent == other.spent &&
+           queries == other.queries;
+  }
+};
+
+/// Encodes a ledger snapshot. Entries are written in the order given;
+/// the accountant snapshots in sorted key order, so identical state
+/// always produces identical bytes (the serve-smoke restart contract).
+std::string EncodeLedgerFile(const std::vector<LedgerEntry>& entries);
+Result<std::vector<LedgerEntry>> DecodeLedgerFile(const std::string& bytes);
+
+// ---------------------------------------------------------------------------
 // Merge.
 // ---------------------------------------------------------------------------
 

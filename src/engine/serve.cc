@@ -1,0 +1,825 @@
+#include "src/engine/serve.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <list>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "src/algorithms/mechanism.h"
+#include "src/common/rng.h"
+#include "src/data/datasets.h"
+#include "src/data/sampler.h"
+#include "src/histogram/data_vector.h"
+#include "src/mechanisms/budget.h"
+#include "src/workload/workload.h"
+
+namespace dpbench {
+namespace serve {
+
+namespace {
+
+constexpr char kKindQuery[] = "dpbench.s.query";
+constexpr char kKindReply[] = "dpbench.s.reply";
+constexpr char kKindStats[] = "dpbench.s.stats";
+constexpr char kKindStatsReply[] = "dpbench.s.statsreply";
+constexpr char kKindStop[] = "dpbench.s.stop";
+
+constexpr char kSectionBody[] = "body";
+
+/// Queries per request cap: a request is one budget charge, so the answer
+/// count must stay bounded — a million rectangles is already far beyond
+/// any sane client and protects the reply frame size.
+constexpr size_t kMaxQueriesPerRequest = 1u << 20;
+
+/// Planning workloads are canonical per domain (not per request), so the
+/// plan cache is independent of which rectangles a request asks for. 2D
+/// planning uses the benchmark's random-range workload at its paper size.
+constexpr size_t kPlanningQueries2D = 2000;
+
+std::string WrapBody(const std::string& kind, std::string record) {
+  std::vector<wire::Section> sections;
+  sections.push_back({kSectionBody, std::move(record)});
+  return wire::WrapEnvelope(kind, std::move(sections));
+}
+
+Result<wire::Record> UnwrapBody(const std::string& bytes,
+                                const std::string& expected_kind) {
+  DPB_ASSIGN_OR_RETURN(wire::Envelope env, wire::UnwrapEnvelope(bytes));
+  if (env.kind != expected_kind) {
+    return Status::InvalidArgument("serve message is a '" + env.kind +
+                                   "', expected '" + expected_kind + "'");
+  }
+  DPB_ASSIGN_OR_RETURN(std::string body, env.Take(kSectionBody));
+  return wire::Record::Parse(body);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Wire protocol.
+// ---------------------------------------------------------------------------
+
+const char* ReplyStatusName(ReplyStatus status) {
+  switch (status) {
+    case ReplyStatus::kOk:
+      return "ok";
+    case ReplyStatus::kInvalidRequest:
+      return "invalid-request";
+    case ReplyStatus::kBudgetExhausted:
+      return "budget-exhausted";
+    case ReplyStatus::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string EncodeQuery(const QueryRequest& request) {
+  wire::RecordWriter w;
+  w.Str("user", request.user);
+  w.Str("dataset", request.dataset);
+  w.Str("algorithm", request.algorithm);
+  w.F64("epsilon", request.epsilon);
+  w.U64("scale", request.scale);
+  w.U64("domain_size", request.domain_size);
+  w.U64Vec("lo_row", request.lo_row);
+  w.U64Vec("hi_row", request.hi_row);
+  w.U64Vec("lo_col", request.lo_col);
+  w.U64Vec("hi_col", request.hi_col);
+  return WrapBody(kKindQuery, std::move(w).Finish());
+}
+
+Result<QueryRequest> DecodeQuery(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(wire::Record rec, UnwrapBody(bytes, kKindQuery));
+  QueryRequest q;
+  DPB_ASSIGN_OR_RETURN(q.user, rec.Str("user"));
+  DPB_ASSIGN_OR_RETURN(q.dataset, rec.Str("dataset"));
+  DPB_ASSIGN_OR_RETURN(q.algorithm, rec.Str("algorithm"));
+  DPB_ASSIGN_OR_RETURN(q.epsilon, rec.F64("epsilon"));
+  DPB_ASSIGN_OR_RETURN(q.scale, rec.U64("scale"));
+  DPB_ASSIGN_OR_RETURN(q.domain_size, rec.U64("domain_size"));
+  DPB_ASSIGN_OR_RETURN(q.lo_row, rec.U64Vec("lo_row"));
+  DPB_ASSIGN_OR_RETURN(q.hi_row, rec.U64Vec("hi_row"));
+  DPB_ASSIGN_OR_RETURN(q.lo_col, rec.U64Vec("lo_col"));
+  DPB_ASSIGN_OR_RETURN(q.hi_col, rec.U64Vec("hi_col"));
+  return q;
+}
+
+std::string EncodeReply(const QueryResponse& response) {
+  wire::RecordWriter w;
+  w.U64("status", static_cast<uint64_t>(response.status));
+  w.Str("message", response.message);
+  w.F64("spent", response.spent);
+  w.F64("remaining", response.remaining);
+  w.U64("ledger_queries", response.ledger_queries);
+  w.F64Vec("answers", response.answers);
+  return WrapBody(kKindReply, std::move(w).Finish());
+}
+
+Result<QueryResponse> DecodeReply(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(wire::Record rec, UnwrapBody(bytes, kKindReply));
+  QueryResponse r;
+  DPB_ASSIGN_OR_RETURN(uint64_t status, rec.U64("status"));
+  if (status > static_cast<uint64_t>(ReplyStatus::kInternal)) {
+    return Status::InvalidArgument("unknown reply status " +
+                                   std::to_string(status));
+  }
+  r.status = static_cast<ReplyStatus>(status);
+  DPB_ASSIGN_OR_RETURN(r.message, rec.Str("message"));
+  DPB_ASSIGN_OR_RETURN(r.spent, rec.F64("spent"));
+  DPB_ASSIGN_OR_RETURN(r.remaining, rec.F64("remaining"));
+  DPB_ASSIGN_OR_RETURN(r.ledger_queries, rec.U64("ledger_queries"));
+  DPB_ASSIGN_OR_RETURN(r.answers, rec.F64Vec("answers"));
+  return r;
+}
+
+std::string EncodeStatsRequest() {
+  wire::RecordWriter w;
+  return WrapBody(kKindStats, std::move(w).Finish());
+}
+
+std::string EncodeStatsReply(const ServeStats& stats) {
+  wire::RecordWriter w;
+  w.U64("requests", stats.requests);
+  w.U64("admitted", stats.admitted);
+  w.U64("refused_budget", stats.refused_budget);
+  w.U64("refused_invalid", stats.refused_invalid);
+  w.U64("internal_errors", stats.internal_errors);
+  w.U64("plan_cache_hits", stats.plan_cache_hits);
+  w.U64("plan_cache_misses", stats.plan_cache_misses);
+  w.U64("plan_cache_evictions", stats.plan_cache_evictions);
+  w.U64("data_cache_hits", stats.data_cache_hits);
+  w.U64("data_cache_misses", stats.data_cache_misses);
+  w.U64("data_cache_evictions", stats.data_cache_evictions);
+  w.U64("connections", stats.connections);
+  return WrapBody(kKindStatsReply, std::move(w).Finish());
+}
+
+Result<ServeStats> DecodeStatsReply(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(wire::Record rec, UnwrapBody(bytes, kKindStatsReply));
+  ServeStats s;
+  DPB_ASSIGN_OR_RETURN(s.requests, rec.U64("requests"));
+  DPB_ASSIGN_OR_RETURN(s.admitted, rec.U64("admitted"));
+  DPB_ASSIGN_OR_RETURN(s.refused_budget, rec.U64("refused_budget"));
+  DPB_ASSIGN_OR_RETURN(s.refused_invalid, rec.U64("refused_invalid"));
+  DPB_ASSIGN_OR_RETURN(s.internal_errors, rec.U64("internal_errors"));
+  DPB_ASSIGN_OR_RETURN(s.plan_cache_hits, rec.U64("plan_cache_hits"));
+  DPB_ASSIGN_OR_RETURN(s.plan_cache_misses, rec.U64("plan_cache_misses"));
+  DPB_ASSIGN_OR_RETURN(s.plan_cache_evictions,
+                       rec.U64("plan_cache_evictions"));
+  DPB_ASSIGN_OR_RETURN(s.data_cache_hits, rec.U64("data_cache_hits"));
+  DPB_ASSIGN_OR_RETURN(s.data_cache_misses, rec.U64("data_cache_misses"));
+  DPB_ASSIGN_OR_RETURN(s.data_cache_evictions,
+                       rec.U64("data_cache_evictions"));
+  DPB_ASSIGN_OR_RETURN(s.connections, rec.U64("connections"));
+  return s;
+}
+
+std::string EncodeStop() {
+  wire::RecordWriter w;
+  return WrapBody(kKindStop, std::move(w).Finish());
+}
+
+Result<std::string> MessageKind(const std::string& bytes) {
+  return wire::PeekKind(bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Budget accountant.
+// ---------------------------------------------------------------------------
+
+Status LedgerAccountant::Load(const std::vector<LedgerEntry>& entries) {
+  std::map<LedgerKey, LedgerEntry> loaded;
+  for (const LedgerEntry& e : entries) {
+    if (!std::isfinite(e.budget) || !std::isfinite(e.spent)) {
+      return Status::InvalidArgument(
+          "ledger entry for user '" + e.user + "' dataset '" + e.dataset +
+          "' has a non-finite budget or spent value");
+    }
+    auto [it, inserted] = loaded.emplace(LedgerKey{e.user, e.dataset}, e);
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate ledger entry for user '" +
+                                     e.user + "' dataset '" + e.dataset +
+                                     "'");
+    }
+  }
+  ledgers_ = std::move(loaded);
+  return Status::OK();
+}
+
+std::vector<LedgerEntry> LedgerAccountant::Snapshot() const {
+  std::vector<LedgerEntry> out;
+  out.reserve(ledgers_.size());
+  for (const auto& [key, entry] : ledgers_) out.push_back(entry);
+  return out;
+}
+
+Result<LedgerEntry> LedgerAccountant::Charge(const LedgerKey& key,
+                                             double epsilon) {
+  DPB_RETURN_NOT_OK(ValidateEpsilon(epsilon));
+  auto it = ledgers_.find(key);
+  if (it == ledgers_.end()) {
+    LedgerEntry fresh;
+    fresh.user = key.user;
+    fresh.dataset = key.dataset;
+    fresh.budget = default_budget_;
+    it = ledgers_.emplace(key, std::move(fresh)).first;
+  }
+  LedgerEntry& entry = it->second;
+  // Strict comparison, no slack: floating-point rounding may under-grant
+  // a hairline request but can never over-spend the ledger.
+  double remaining = entry.budget - entry.spent;
+  if (epsilon > remaining) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "budget exhausted for user '" << key.user << "' on dataset '"
+       << key.dataset << "': requested epsilon " << epsilon
+       << " exceeds remaining " << remaining << " (budget " << entry.budget
+       << ", spent " << entry.spent << ")";
+    return Status::FailedPrecondition(os.str());
+  }
+  entry.spent += epsilon;
+  entry.queries += 1;
+  return entry;
+}
+
+void LedgerAccountant::Restore(const LedgerKey& key,
+                               const LedgerEntry& before, bool existed) {
+  if (existed) {
+    ledgers_[key] = before;
+  } else {
+    ledgers_.erase(key);
+  }
+}
+
+Result<LedgerEntry> LedgerAccountant::Peek(const LedgerKey& key) const {
+  auto it = ledgers_.find(key);
+  if (it == ledgers_.end()) {
+    return Status::NotFound("no ledger for user '" + key.user +
+                            "' dataset '" + key.dataset + "'");
+  }
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Server internals.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A small LRU (front = most recent) for the hydrated-state caches. Not
+/// internally synchronized; the server guards all three caches with one
+/// mutex and builds expensive values outside it (a racing double-build
+/// inserts twice, harmlessly — last writer wins).
+template <typename V>
+class Lru {
+ public:
+  explicit Lru(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  bool Get(const std::string& key, V* out) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.splice(order_.begin(), order_, it->second);
+    *out = it->second->second;
+    return true;
+  }
+
+  /// Inserts (or refreshes) `key`; bumps *evictions when a victim falls
+  /// off the cold end.
+  void Put(const std::string& key, V value, std::atomic<uint64_t>* evictions) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    if (order_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      evictions->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<std::string, V>> order_;
+  std::map<std::string, typename std::list<std::pair<std::string, V>>::iterator>
+      index_;
+};
+
+/// A cached plan keeps its mechanism and planning workload alive: plans
+/// may reference both (the MechanismPlan lifetime contract).
+struct PlanEntry {
+  MechanismPtr mechanism;
+  std::shared_ptr<const Workload> workload;
+  PlanPtr plan;
+};
+
+using DataEntry = std::shared_ptr<const DataVector>;
+using WorkloadEntry = std::shared_ptr<const Workload>;
+
+}  // namespace
+
+struct Server::Shared {
+  explicit Shared(const ServerOptions& opts)
+      : options(opts),
+        accountant(opts.default_budget),
+        plans(opts.max_plans),
+        datasets(opts.max_datasets),
+        workloads(opts.max_datasets) {}
+
+  const ServerOptions options;
+
+  std::atomic<bool> stop{false};
+
+  // Accountant + its persistence are one critical section: the ledger file
+  // on disk is always a snapshot the in-memory state actually had.
+  std::mutex accountant_mu;
+  LedgerAccountant accountant;
+
+  std::mutex cache_mu;
+  Lru<PlanEntry> plans;
+  Lru<DataEntry> datasets;
+  Lru<WorkloadEntry> workloads;
+
+  // Pooled per-connection arenas, bounded by max_scratch: a connection
+  // beyond the pool bound gets a transient arena that dies with it.
+  std::mutex scratch_mu;
+  std::vector<std::unique_ptr<ExecScratch>> scratch_pool;
+  size_t scratch_created = 0;
+
+  struct {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> admitted{0};
+    std::atomic<uint64_t> refused_budget{0};
+    std::atomic<uint64_t> refused_invalid{0};
+    std::atomic<uint64_t> internal_errors{0};
+    std::atomic<uint64_t> plan_cache_hits{0};
+    std::atomic<uint64_t> plan_cache_misses{0};
+    std::atomic<uint64_t> plan_cache_evictions{0};
+    std::atomic<uint64_t> data_cache_hits{0};
+    std::atomic<uint64_t> data_cache_misses{0};
+    std::atomic<uint64_t> data_cache_evictions{0};
+    std::atomic<uint64_t> connections{0};
+  } counters;
+
+  ServeStats CollectStats() const {
+    ServeStats s;
+    s.requests = counters.requests.load(std::memory_order_relaxed);
+    s.admitted = counters.admitted.load(std::memory_order_relaxed);
+    s.refused_budget = counters.refused_budget.load(std::memory_order_relaxed);
+    s.refused_invalid =
+        counters.refused_invalid.load(std::memory_order_relaxed);
+    s.internal_errors =
+        counters.internal_errors.load(std::memory_order_relaxed);
+    s.plan_cache_hits =
+        counters.plan_cache_hits.load(std::memory_order_relaxed);
+    s.plan_cache_misses =
+        counters.plan_cache_misses.load(std::memory_order_relaxed);
+    s.plan_cache_evictions =
+        counters.plan_cache_evictions.load(std::memory_order_relaxed);
+    s.data_cache_hits =
+        counters.data_cache_hits.load(std::memory_order_relaxed);
+    s.data_cache_misses =
+        counters.data_cache_misses.load(std::memory_order_relaxed);
+    s.data_cache_evictions =
+        counters.data_cache_evictions.load(std::memory_order_relaxed);
+    s.connections = counters.connections.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+namespace {
+
+/// Per-connection workspace: one pooled scratch arena plus reusable
+/// estimate/prefix buffers, so the steady-state request path allocates
+/// nothing.
+struct Workspace {
+  std::unique_ptr<ExecScratch> scratch;
+  DataVector est;
+  std::vector<double> cum;
+};
+
+std::unique_ptr<ExecScratch> AcquireScratch(Server::Shared* s) {
+  std::lock_guard<std::mutex> lock(s->scratch_mu);
+  if (!s->scratch_pool.empty()) {
+    auto scratch = std::move(s->scratch_pool.back());
+    s->scratch_pool.pop_back();
+    return scratch;
+  }
+  ++s->scratch_created;
+  return std::make_unique<ExecScratch>();
+}
+
+void ReleaseScratch(Server::Shared* s, std::unique_ptr<ExecScratch> scratch) {
+  std::lock_guard<std::mutex> lock(s->scratch_mu);
+  if (s->scratch_pool.size() < s->options.max_scratch) {
+    s->scratch_pool.push_back(std::move(scratch));
+  }
+  // else: over the bound, let it free — the pool never grows past
+  // max_scratch no matter how many connections spike at once.
+}
+
+/// Writes the current ledger snapshot with write-then-rename atomicity.
+/// Caller holds accountant_mu.
+Status PersistLedger(Server::Shared* s) {
+  if (s->options.ledger_path.empty()) return Status::OK();
+  std::string bytes = EncodeLedgerFile(s->accountant.Snapshot());
+  std::string tmp = s->options.ledger_path + ".tmp";
+  DPB_RETURN_NOT_OK(WriteFileBytes(tmp, bytes));
+  if (std::rename(tmp.c_str(), s->options.ledger_path.c_str()) != 0) {
+    return Status::Internal("rename of ledger file '" + tmp + "' -> '" +
+                            s->options.ledger_path + "' failed");
+  }
+  return Status::OK();
+}
+
+/// Structural validation — everything checkable without touching caches
+/// or the ledger. Returns InvalidArgument with a client-worthy message.
+Status ValidateRequest(const QueryRequest& q) {
+  if (q.user.empty()) {
+    return Status::InvalidArgument("request user must be non-empty");
+  }
+  if (q.dataset.empty()) {
+    return Status::InvalidArgument("request dataset must be non-empty");
+  }
+  if (q.algorithm.empty()) {
+    return Status::InvalidArgument("request algorithm must be non-empty");
+  }
+  DPB_RETURN_NOT_OK(ValidateEpsilon(q.epsilon));
+  if (q.scale == 0) {
+    return Status::InvalidArgument("request scale must be positive");
+  }
+  if (q.domain_size == 0) {
+    return Status::InvalidArgument("request domain_size must be positive");
+  }
+  size_t n = q.lo_row.size();
+  if (n == 0) {
+    return Status::InvalidArgument(
+        "request carries no query ranges (at least one required)");
+  }
+  if (n > kMaxQueriesPerRequest) {
+    return Status::InvalidArgument(
+        "request carries " + std::to_string(n) + " query ranges; limit is " +
+        std::to_string(kMaxQueriesPerRequest));
+  }
+  if (q.hi_row.size() != n) {
+    return Status::InvalidArgument("lo_row/hi_row length mismatch");
+  }
+  if (q.lo_col.size() != q.hi_col.size()) {
+    return Status::InvalidArgument("lo_col/hi_col length mismatch");
+  }
+  if (!q.lo_col.empty() && q.lo_col.size() != n) {
+    return Status::InvalidArgument(
+        "lo_col/hi_col must be empty (1D) or match lo_row's length (2D)");
+  }
+  return Status::OK();
+}
+
+/// Range validation against the resolved dataset geometry.
+Status ValidateRanges(const QueryRequest& q, const Domain& domain) {
+  size_t dims = domain.num_dims();
+  bool has_cols = !q.lo_col.empty();
+  if (dims == 1 && has_cols) {
+    return Status::InvalidArgument("dataset '" + q.dataset +
+                                   "' is 1D but the request carries column "
+                                   "ranges");
+  }
+  if (dims == 2 && !has_cols) {
+    return Status::InvalidArgument("dataset '" + q.dataset +
+                                   "' is 2D but the request carries no "
+                                   "column ranges");
+  }
+  size_t rows = domain.size(0);
+  size_t cols = dims == 2 ? domain.size(1) : 1;
+  for (size_t i = 0; i < q.lo_row.size(); ++i) {
+    if (q.lo_row[i] > q.hi_row[i] || q.hi_row[i] >= rows) {
+      return Status::InvalidArgument(
+          "query " + std::to_string(i) + " row range [" +
+          std::to_string(q.lo_row[i]) + ", " + std::to_string(q.hi_row[i]) +
+          "] is invalid for domain rows " + std::to_string(rows));
+    }
+    if (dims == 2 && (q.lo_col[i] > q.hi_col[i] || q.hi_col[i] >= cols)) {
+      return Status::InvalidArgument(
+          "query " + std::to_string(i) + " column range [" +
+          std::to_string(q.lo_col[i]) + ", " + std::to_string(q.hi_col[i]) +
+          "] is invalid for domain columns " + std::to_string(cols));
+    }
+  }
+  return Status::OK();
+}
+
+/// Resolves the hydrated data sample for (dataset, domain, scale) through
+/// the LRU. The sample is derived exactly like the runner's first data
+/// sample for the same (seed, dataset, domain, scale), so serve answers
+/// are reproducible against batch runs.
+Result<DataEntry> ResolveData(Server::Shared* s, const QueryRequest& q) {
+  std::ostringstream key;
+  key << q.dataset << "|" << q.domain_size << "|" << q.scale;
+  {
+    std::lock_guard<std::mutex> lock(s->cache_mu);
+    DataEntry cached;
+    if (s->datasets.Get(key.str(), &cached)) {
+      s->counters.data_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return cached;
+    }
+  }
+  s->counters.data_cache_misses.fetch_add(1, std::memory_order_relaxed);
+  DPB_ASSIGN_OR_RETURN(
+      DataVector shape,
+      DatasetRegistry::ShapeAtDomain(q.dataset,
+                                     static_cast<size_t>(q.domain_size)));
+  std::ostringstream label;
+  label << "data/" << q.dataset << "/" << q.domain_size << "/" << q.scale;
+  Rng data_rng(StreamSeed(s->options.seed, label.str()));
+  DPB_ASSIGN_OR_RETURN(DataVector sample,
+                       SampleAtScale(shape, q.scale, &data_rng));
+  auto entry = std::make_shared<const DataVector>(std::move(sample));
+  {
+    std::lock_guard<std::mutex> lock(s->cache_mu);
+    s->datasets.Put(key.str(), entry, &s->counters.data_cache_evictions);
+  }
+  return entry;
+}
+
+/// Resolves the canonical planning workload for a domain through the LRU.
+Result<WorkloadEntry> ResolveWorkload(Server::Shared* s,
+                                      const Domain& domain) {
+  std::string key = domain.ToString();
+  {
+    std::lock_guard<std::mutex> lock(s->cache_mu);
+    WorkloadEntry cached;
+    if (s->workloads.Get(key, &cached)) return cached;
+  }
+  std::shared_ptr<const Workload> built;
+  if (domain.num_dims() == 1) {
+    built = std::make_shared<const Workload>(
+        Workload::Prefix1D(domain.size(0)));
+  } else {
+    built = std::make_shared<const Workload>(Workload::RandomRange(
+        domain, kPlanningQueries2D, s->options.seed));
+  }
+  {
+    std::lock_guard<std::mutex> lock(s->cache_mu);
+    // Workload evictions ride the data-cache counter: both caches hold
+    // hydrated per-dataset state under the same max_datasets bound.
+    s->workloads.Put(key, built, &s->counters.data_cache_evictions);
+  }
+  return built;
+}
+
+/// Resolves the cached plan for (algorithm, domain, epsilon[, scale]).
+/// The key matches the runner's plan-cache key so behavior and accounting
+/// line up with the batch engine.
+Result<PlanEntry> ResolvePlan(Server::Shared* s, const QueryRequest& q,
+                              const Domain& domain) {
+  DPB_ASSIGN_OR_RETURN(MechanismPtr mech, MechanismRegistry::Get(q.algorithm));
+  if (!mech->SupportsDims(domain.num_dims())) {
+    return Status::InvalidArgument(
+        "algorithm '" + q.algorithm + "' does not support " +
+        std::to_string(domain.num_dims()) + "D domains");
+  }
+  std::ostringstream key;
+  key.precision(17);
+  key << q.algorithm << "|" << domain.ToString() << "|eps=" << q.epsilon;
+  if (mech->uses_side_info()) {
+    key << "|scale=" << q.scale;
+  }
+  {
+    std::lock_guard<std::mutex> lock(s->cache_mu);
+    PlanEntry cached;
+    if (s->plans.Get(key.str(), &cached)) {
+      s->counters.plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return cached;
+    }
+  }
+  s->counters.plan_cache_misses.fetch_add(1, std::memory_order_relaxed);
+  DPB_ASSIGN_OR_RETURN(WorkloadEntry workload, ResolveWorkload(s, domain));
+  SideInfo side_info;
+  side_info.true_scale = static_cast<double>(q.scale);
+  PlanContext ctx{domain, *workload, q.epsilon, side_info};
+  DPB_ASSIGN_OR_RETURN(PlanPtr plan, mech->Plan(ctx));
+  PlanEntry entry{std::move(mech), std::move(workload), std::move(plan)};
+  {
+    std::lock_guard<std::mutex> lock(s->cache_mu);
+    s->plans.Put(key.str(), entry, &s->counters.plan_cache_evictions);
+  }
+  return entry;
+}
+
+QueryResponse Refuse(ReplyStatus status, const std::string& message) {
+  QueryResponse r;
+  r.status = status;
+  r.message = message;
+  return r;
+}
+
+/// The full request pipeline: validate → resolve (no charge on any
+/// failure so far) → charge + persist → execute → answer. Stats counters
+/// are bumped here so every exit path is counted exactly once.
+QueryResponse HandleQuery(Server::Shared* s, const QueryRequest& q,
+                          Workspace* ws) {
+  s->counters.requests.fetch_add(1, std::memory_order_relaxed);
+
+  Status valid = ValidateRequest(q);
+  if (!valid.ok()) {
+    s->counters.refused_invalid.fetch_add(1, std::memory_order_relaxed);
+    return Refuse(ReplyStatus::kInvalidRequest, valid.message());
+  }
+
+  // Resolve data and plan before charging: a request that cannot be
+  // answered must not cost the user budget.
+  auto data = ResolveData(s, q);
+  if (!data.ok()) {
+    s->counters.refused_invalid.fetch_add(1, std::memory_order_relaxed);
+    return Refuse(ReplyStatus::kInvalidRequest, data.status().message());
+  }
+  const Domain& domain = (*data)->domain();
+  Status ranges = ValidateRanges(q, domain);
+  if (!ranges.ok()) {
+    s->counters.refused_invalid.fetch_add(1, std::memory_order_relaxed);
+    return Refuse(ReplyStatus::kInvalidRequest, ranges.message());
+  }
+  auto plan = ResolvePlan(s, q, domain);
+  if (!plan.ok()) {
+    s->counters.refused_invalid.fetch_add(1, std::memory_order_relaxed);
+    return Refuse(ReplyStatus::kInvalidRequest, plan.status().message());
+  }
+
+  // Admission: charge, then persist the charge before drawing any noise.
+  // If persistence fails the charge is rolled back and the request fails
+  // kInternal — the ledger file and memory never disagree.
+  LedgerKey key{q.user, q.dataset};
+  LedgerEntry charged;
+  {
+    std::lock_guard<std::mutex> lock(s->accountant_mu);
+    auto before = s->accountant.Peek(key);
+    bool existed = before.ok();
+    auto result = s->accountant.Charge(key, q.epsilon);
+    if (!result.ok()) {
+      if (result.status().code() == StatusCode::kFailedPrecondition) {
+        s->counters.refused_budget.fetch_add(1, std::memory_order_relaxed);
+        return Refuse(ReplyStatus::kBudgetExhausted,
+                      result.status().message());
+      }
+      s->counters.refused_invalid.fetch_add(1, std::memory_order_relaxed);
+      return Refuse(ReplyStatus::kInvalidRequest, result.status().message());
+    }
+    charged = *result;
+    Status persisted = PersistLedger(s);
+    if (!persisted.ok()) {
+      s->accountant.Restore(key, existed ? *before : LedgerEntry{}, existed);
+      s->counters.internal_errors.fetch_add(1, std::memory_order_relaxed);
+      return Refuse(ReplyStatus::kInternal,
+                    "ledger persistence failed: " + persisted.message());
+    }
+  }
+
+  // Noise stream: salted with the persisted query ordinal, so no two
+  // admitted requests — across connections, users, or daemon restarts —
+  // ever reuse a stream (reuse would let a client average the noise away).
+  uint64_t ordinal = charged.queries - 1;
+  uint64_t stream_seed = SeedMixer(s->options.seed)
+                             .Mix(std::string("serve"))
+                             .Mix(q.user)
+                             .Mix(q.dataset)
+                             .Mix(q.algorithm)
+                             .Mix(q.scale)
+                             .Mix(q.domain_size)
+                             .MixDouble(q.epsilon)
+                             .Mix(ordinal)
+                             .seed();
+  Rng rng(stream_seed);
+  ExecContext ctx{**data, &rng, ws->scratch.get()};
+  Status executed = plan->plan->ExecuteInto(ctx, &ws->est);
+  if (!executed.ok()) {
+    // Post-charge failure: the budget stays spent (privacy-conservative —
+    // the noisy measurement may have been partially drawn).
+    s->counters.internal_errors.fetch_add(1, std::memory_order_relaxed);
+    QueryResponse r = Refuse(ReplyStatus::kInternal, executed.message());
+    r.spent = charged.spent;
+    r.remaining = charged.budget - charged.spent;
+    r.ledger_queries = charged.queries;
+    return r;
+  }
+
+  // Answer every requested rectangle from one prefix-sum pass over the
+  // private estimate.
+  ComputePrefixSums(ws->est, &ws->cum);
+  QueryResponse r;
+  r.status = ReplyStatus::kOk;
+  r.spent = charged.spent;
+  r.remaining = charged.budget - charged.spent;
+  r.ledger_queries = charged.queries;
+  r.answers.resize(q.lo_row.size());
+  if (domain.num_dims() == 1) {
+    for (size_t i = 0; i < q.lo_row.size(); ++i) {
+      r.answers[i] = ws->cum[q.hi_row[i] + 1] - ws->cum[q.lo_row[i]];
+    }
+  } else {
+    size_t cols = domain.size(1);
+    for (size_t i = 0; i < q.lo_row.size(); ++i) {
+      r.answers[i] = CumRangeSum2D(ws->cum, cols, q.lo_row[i], q.lo_col[i],
+                                   q.hi_row[i], q.hi_col[i]);
+    }
+  }
+  s->counters.admitted.fetch_add(1, std::memory_order_relaxed);
+  return r;
+}
+
+/// One connection's serving loop: frames in, frames out, one reply per
+/// request. Protocol violations and transport failures end the
+/// connection; the daemon itself keeps serving.
+void ServeConnection(net::Socket sock, std::shared_ptr<Server::Shared> s) {
+  Workspace ws;
+  ws.scratch = AcquireScratch(s.get());
+  while (!s->stop.load(std::memory_order_relaxed)) {
+    auto frame = sock.RecvFrame(s->options.poll_ms);
+    if (!frame.ok()) break;  // peer closed or broke framing
+    if (frame->timed_out) continue;  // re-check stop, keep waiting
+    auto kind = wire::PeekKind(frame->bytes);
+    if (!kind.ok()) break;
+    if (*kind == kKindQuery) {
+      auto query = DecodeQuery(frame->bytes);
+      QueryResponse reply;
+      if (query.ok()) {
+        reply = HandleQuery(s.get(), *query, &ws);
+      } else {
+        s->counters.requests.fetch_add(1, std::memory_order_relaxed);
+        s->counters.refused_invalid.fetch_add(1, std::memory_order_relaxed);
+        reply = Refuse(ReplyStatus::kInvalidRequest, query.status().message());
+      }
+      if (!sock.SendFrame(EncodeReply(reply)).ok()) break;
+    } else if (*kind == kKindStats) {
+      if (!sock.SendFrame(EncodeStatsReply(s->CollectStats())).ok()) break;
+    } else if (*kind == kKindStop) {
+      s->stop.store(true, std::memory_order_relaxed);
+      (void)sock.SendFrame(EncodeStop());  // best-effort ack
+      break;
+    } else {
+      break;  // unknown message: protocol skew, drop the connection
+    }
+  }
+  ReleaseScratch(s.get(), std::move(ws.scratch));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Server.
+// ---------------------------------------------------------------------------
+
+Result<Server> Server::Create(const ServerOptions& options) {
+  DPB_RETURN_NOT_OK(ValidateEpsilon(options.default_budget));
+  Server server;
+  server.options_ = options;
+  server.shared_ = std::make_shared<Shared>(options);
+  if (!options.ledger_path.empty()) {
+    auto bytes = ReadFileBytes(options.ledger_path);
+    if (bytes.ok()) {
+      DPB_ASSIGN_OR_RETURN(std::vector<LedgerEntry> entries,
+                           DecodeLedgerFile(*bytes));
+      DPB_RETURN_NOT_OK(server.shared_->accountant.Load(entries));
+    } else if (bytes.status().code() != StatusCode::kNotFound) {
+      // A present-but-unreadable (or corrupt) ledger must fail loudly:
+      // starting fresh would silently resurrect spent budget.
+      return bytes.status();
+    }
+  }
+  DPB_ASSIGN_OR_RETURN(server.listener_, net::Listener::Bind(options.port));
+  return server;
+}
+
+Status Server::Serve() {
+  std::vector<std::thread> connections;
+  Status end = Status::OK();
+  while (!shared_->stop.load(std::memory_order_relaxed)) {
+    auto sock = listener_.Accept(options_.poll_ms);
+    if (!sock.ok()) {
+      end = sock.status();
+      break;
+    }
+    if (!sock->valid()) continue;  // poll slice expired, re-check stop
+    shared_->counters.connections.fetch_add(1, std::memory_order_relaxed);
+    connections.emplace_back(ServeConnection, std::move(*sock), shared_);
+  }
+  shared_->stop.store(true, std::memory_order_relaxed);
+  listener_.Close();
+  for (std::thread& t : connections) t.join();
+  return end;
+}
+
+void Server::Stop() {
+  shared_->stop.store(true, std::memory_order_relaxed);
+}
+
+ServeStats Server::stats() const { return shared_->CollectStats(); }
+
+}  // namespace serve
+}  // namespace dpbench

@@ -1,0 +1,251 @@
+// Always-on serving mode: a long-lived daemon that answers range-query
+// workload requests over loopback TCP through hydrated cached plans and
+// the scratch ExecuteInto pipeline — the batch engine turned into the
+// system the ROADMAP's north star describes.
+//
+// The production core is the privacy-budget accountant. Every (user,
+// dataset) pair owns an epsilon ledger; a query request names its user,
+// dataset, algorithm, and epsilon, and admission control charges the
+// ledger *before* any noise is drawn:
+//   - a request whose remaining ledger cannot cover its epsilon is
+//     refused with the distinct kBudgetExhausted wire status and an
+//     untouched ledger — never a silent partial answer;
+//   - an admitted request's charge is persisted (engine/serialize ledger
+//     envelope, write-then-rename) before the response is computed, so a
+//     daemon killed at any instant — SIGKILL included — restarts knowing
+//     every epsilon it ever granted;
+//   - epsilon validation at admission is the same check the flag layer
+//     applies (ValidateEpsilon): non-finite and non-positive budgets are
+//     rejected as kInvalidRequest, never forwarded to a Laplace scale.
+//
+// The hot path is plan-once/execute-many: plans are cached per
+// (algorithm, domain, epsilon[, scale]) in an LRU-bounded cache (data
+// samples and workloads likewise), each request executes the cached plan
+// through a pooled ExecScratch arena via ExecuteInto, and the requested
+// rectangles are answered from one prefix-sum pass over the estimate.
+// After warmup, a request plans nothing and allocates nothing on the
+// execute path.
+//
+// Noise streams are never reused across requests or restarts: each
+// execution is seeded by (master seed, user, dataset, algorithm, scale,
+// domain, epsilon bits, ledger query count), and the query count is part
+// of the persisted ledger — a restarted daemon continues the sequence
+// instead of replaying it (replaying would let a client average away the
+// noise for free).
+#ifndef DPBENCH_ENGINE_SERVE_H_
+#define DPBENCH_ENGINE_SERVE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/net.h"
+#include "src/engine/serialize.h"
+
+namespace dpbench {
+namespace serve {
+
+// ---------------------------------------------------------------------------
+// Wire protocol. Each message is a checksummed wire envelope sent as one
+// net frame. Client → server: query, stats, stop. Server → client: reply,
+// statsreply, stop (ack). The server answers every frame with exactly one
+// frame.
+// ---------------------------------------------------------------------------
+
+/// Response status, carried in QueryResponse::status. The codes are wire
+/// contract (documented in README "Serving mode") — clients branch on
+/// them, so they must stay stable.
+enum class ReplyStatus : uint64_t {
+  kOk = 0,               ///< answers present; ledger charged
+  kInvalidRequest = 1,   ///< malformed request; ledger untouched
+  kBudgetExhausted = 2,  ///< admission refused; ledger untouched
+  kInternal = 3,         ///< execution failed after the charge (rare;
+                         ///< the charge stands — privacy-conservative)
+};
+
+const char* ReplyStatusName(ReplyStatus status);
+
+/// One range-query workload request. Ranges are inclusive per dimension:
+/// query q covers rows [lo_row[q], hi_row[q]] (and, for 2D datasets,
+/// columns [lo_col[q], hi_col[q]]; the col vectors stay empty for 1D).
+struct QueryRequest {
+  std::string user;       ///< ledger identity (with dataset)
+  std::string dataset;    ///< registry dataset name (e.g. "ADULT")
+  std::string algorithm;  ///< registry mechanism name (e.g. "IDENTITY")
+  double epsilon = 0.1;   ///< privacy budget to spend on this request
+  uint64_t scale = 100000;     ///< dataset scale (tuples)
+  uint64_t domain_size = 1024; ///< per-dimension domain size
+  std::vector<uint64_t> lo_row, hi_row;
+  std::vector<uint64_t> lo_col, hi_col;
+};
+
+/// The server's answer. On kOk, answers[q] is query q's estimate and the
+/// ledger fields reflect the post-charge state (spent/remaining travel by
+/// bit pattern — what the client sees is exactly what was persisted). On
+/// any other status, answers is empty — a refused or failed request never
+/// returns a partial answer.
+struct QueryResponse {
+  ReplyStatus status = ReplyStatus::kOk;
+  std::string message;        ///< error detail when status != kOk
+  double spent = 0.0;         ///< ledger epsilon spent after this request
+  double remaining = 0.0;     ///< ledger epsilon still available
+  uint64_t ledger_queries = 0;  ///< admitted queries for (user, dataset)
+  std::vector<double> answers;
+};
+
+/// Server counters, for tests, the saturation bench, and the CI smoke
+/// job's cached-plan assertions.
+struct ServeStats {
+  uint64_t requests = 0;         ///< query frames received
+  uint64_t admitted = 0;         ///< charged and answered
+  uint64_t refused_budget = 0;   ///< kBudgetExhausted replies
+  uint64_t refused_invalid = 0;  ///< kInvalidRequest replies
+  uint64_t internal_errors = 0;  ///< kInternal replies
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t plan_cache_evictions = 0;
+  uint64_t data_cache_hits = 0;
+  uint64_t data_cache_misses = 0;
+  uint64_t data_cache_evictions = 0;
+  uint64_t connections = 0;  ///< connections accepted over the lifetime
+};
+
+std::string EncodeQuery(const QueryRequest& request);
+Result<QueryRequest> DecodeQuery(const std::string& bytes);
+
+std::string EncodeReply(const QueryResponse& response);
+Result<QueryResponse> DecodeReply(const std::string& bytes);
+
+std::string EncodeStatsRequest();
+std::string EncodeStatsReply(const ServeStats& stats);
+Result<ServeStats> DecodeStatsReply(const std::string& bytes);
+
+/// Stop doubles as the request (client → server) and the acknowledgement
+/// (server → client, sent before the server drains and exits).
+std::string EncodeStop();
+
+/// Kind tag of an encoded serve message ("dpbench.s.query", ".reply",
+/// ".stats", ".statsreply", ".stop") for dispatch.
+Result<std::string> MessageKind(const std::string& bytes);
+
+// ---------------------------------------------------------------------------
+// Budget accountant.
+// ---------------------------------------------------------------------------
+
+/// Ledger identity: budgets are tracked per (user, dataset) pair.
+struct LedgerKey {
+  std::string user;
+  std::string dataset;
+  bool operator<(const LedgerKey& other) const {
+    return user != other.user ? user < other.user
+                              : dataset < other.dataset;
+  }
+};
+
+/// Per-(user, dataset) epsilon ledgers with admission control. Not
+/// internally synchronized — the server serializes access under its
+/// accountant mutex (tests and the bench drive it single-threaded or do
+/// the same).
+///
+/// Accounting is sequential composition with *conservative* floating
+/// point: a request is admitted iff epsilon <= budget - spent exactly (no
+/// slack), so accumulated rounding can only under-grant, never
+/// over-spend the ledger.
+class LedgerAccountant {
+ public:
+  /// `default_budget` is granted to a (user, dataset) pair on first
+  /// contact; persisted entries keep the budget they were created with.
+  explicit LedgerAccountant(double default_budget)
+      : default_budget_(default_budget) {}
+
+  /// Replaces all state with the persisted entries (the restart path).
+  /// Rejects duplicate (user, dataset) keys and non-finite budgets.
+  Status Load(const std::vector<LedgerEntry>& entries);
+
+  /// Snapshot in sorted key order — identical state always serializes to
+  /// identical bytes (the restart byte-identity contract).
+  std::vector<LedgerEntry> Snapshot() const;
+
+  /// Admission control: validates epsilon (ValidateEpsilon), then charges
+  /// the ledger. On success returns the post-charge entry (spent +=
+  /// epsilon, queries += 1). InvalidArgument leaves the ledger untouched;
+  /// FailedPrecondition (exhausted: epsilon > remaining) likewise — a
+  /// refused request must not alter persisted state.
+  Result<LedgerEntry> Charge(const LedgerKey& key, double epsilon);
+
+  /// Reverses the most recent Charge for `key` (the persist-failure
+  /// rollback): restores `before` when `existed`, removes the entry
+  /// otherwise (the charge was first contact).
+  void Restore(const LedgerKey& key, const LedgerEntry& before,
+               bool existed);
+
+  /// Current entry without charging (creates nothing; NotFound for a pair
+  /// never seen).
+  Result<LedgerEntry> Peek(const LedgerKey& key) const;
+
+  size_t size() const { return ledgers_.size(); }
+
+ private:
+  double default_budget_;
+  std::map<LedgerKey, LedgerEntry> ledgers_;
+};
+
+// ---------------------------------------------------------------------------
+// Server.
+// ---------------------------------------------------------------------------
+
+struct ServerOptions {
+  uint16_t port = 0;        ///< 0 = pick an ephemeral port
+  std::string ledger_path;  ///< ledger file; "" = in-memory only (tests)
+  double default_budget = 1.0;  ///< epsilon granted per (user, dataset)
+  uint64_t seed = 20160626;     ///< master noise seed
+  size_t max_plans = 64;     ///< LRU bound on cached plans
+  size_t max_datasets = 16;  ///< LRU bound on hydrated samples/workloads
+  size_t max_scratch = 16;   ///< bound on pooled ExecScratch arenas
+  int poll_ms = 100;         ///< accept/receive poll slice
+};
+
+/// The serving daemon. Create() binds the listener (and loads the ledger
+/// file if one exists at ledger_path); Serve() blocks until Stop() is
+/// called or a stop message arrives. One thread per connection; all
+/// caches and the accountant are shared across connections.
+class Server {
+ public:
+  /// Cross-connection server state (accountant, caches, counters).
+  /// Defined in serve.cc; public so the connection-thread helpers there
+  /// can name it.
+  struct Shared;
+
+  static Result<Server> Create(const ServerOptions& options);
+
+  Server(Server&&) = default;
+  Server& operator=(Server&&) = default;
+
+  uint16_t port() const { return listener_.port(); }
+
+  /// Serves until stopped. Returns the status that ended the loop
+  /// (OK for a requested stop).
+  Status Serve();
+
+  /// Requests a stop; Serve() drains in-flight requests and returns
+  /// within one poll slice. Safe from any thread.
+  void Stop();
+
+  /// Lifetime counters (atomic reads; callable while serving).
+  ServeStats stats() const;
+
+ private:
+  Server() = default;
+
+  ServerOptions options_;
+  net::Listener listener_;
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace serve
+}  // namespace dpbench
+
+#endif  // DPBENCH_ENGINE_SERVE_H_

@@ -1,11 +1,23 @@
 #include "src/mechanisms/budget.h"
 
+#include <cmath>
+#include <sstream>
+
 namespace dpbench {
 
 namespace {
 // Relative slack tolerated when summing many small sub-budgets.
 constexpr double kSlack = 1e-9;
 }  // namespace
+
+Status ValidateEpsilon(double eps) {
+  if (!std::isfinite(eps) || eps <= 0.0) {
+    std::ostringstream os;
+    os << "epsilon must be a positive finite number, got " << eps;
+    return Status::InvalidArgument(os.str());
+  }
+  return Status::OK();
+}
 
 Status BudgetAccountant::Spend(double epsilon, const std::string& step) {
   if (epsilon <= 0.0) {

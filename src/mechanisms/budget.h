@@ -14,6 +14,13 @@
 
 namespace dpbench {
 
+/// The one validity check for a privacy budget: finite and strictly
+/// positive. eps <= 0 makes the privacy guarantee meaningless and a
+/// non-finite value (nan, inf) silently turns every Laplace scale
+/// downstream into inf/NaN — both must be rejected at the boundary
+/// (flag parsing, serve admission), never propagated into noise draws.
+Status ValidateEpsilon(double eps);
+
 /// Tracks spending of a fixed epsilon budget under sequential composition.
 class BudgetAccountant {
  public:

@@ -1,0 +1,599 @@
+// Serving-mode tests: protocol codecs, the ledger accountant's admission
+// semantics, ledger-file persistence (including the restart byte-identity
+// contract and corruption rejection), and the live server end to end —
+// correct answers through cached plans, budget-exhausted refusal,
+// kill-and-restart budget memory, and noise streams that never repeat.
+#include "src/engine/serve.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/net.h"
+#include "src/engine/serialize.h"
+#include "src/engine/wire.h"
+
+namespace dpbench {
+namespace serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Protocol codecs
+// ---------------------------------------------------------------------------
+
+QueryRequest SampleQuery() {
+  QueryRequest q;
+  q.user = "alice";
+  q.dataset = "ADULT";
+  q.algorithm = "IDENTITY";
+  q.epsilon = 0.25;
+  q.scale = 100000;
+  q.domain_size = 256;
+  q.lo_row = {0, 10};
+  q.hi_row = {255, 20};
+  return q;
+}
+
+TEST(ServeCodecTest, QueryRoundTrips) {
+  QueryRequest q = SampleQuery();
+  auto decoded = DecodeQuery(EncodeQuery(q));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->user, q.user);
+  EXPECT_EQ(decoded->dataset, q.dataset);
+  EXPECT_EQ(decoded->algorithm, q.algorithm);
+  EXPECT_EQ(decoded->epsilon, q.epsilon);
+  EXPECT_EQ(decoded->scale, q.scale);
+  EXPECT_EQ(decoded->domain_size, q.domain_size);
+  EXPECT_EQ(decoded->lo_row, q.lo_row);
+  EXPECT_EQ(decoded->hi_row, q.hi_row);
+  EXPECT_TRUE(decoded->lo_col.empty());
+}
+
+TEST(ServeCodecTest, ReplyRoundTripsBitExactly) {
+  QueryResponse r;
+  r.status = ReplyStatus::kOk;
+  r.message = "";
+  r.spent = 0.30000000000000004;  // a value with no short decimal form
+  r.remaining = 0.69999999999999996;
+  r.ledger_queries = 3;
+  r.answers = {1.5, -2.25, 1e-17};
+  auto decoded = DecodeReply(EncodeReply(r));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->status, ReplyStatus::kOk);
+  EXPECT_EQ(decoded->spent, r.spent);  // bit pattern, not approximate
+  EXPECT_EQ(decoded->remaining, r.remaining);
+  EXPECT_EQ(decoded->ledger_queries, 3u);
+  EXPECT_EQ(decoded->answers, r.answers);
+}
+
+TEST(ServeCodecTest, ReplyRejectsUnknownStatus) {
+  QueryResponse r;
+  r.status = static_cast<ReplyStatus>(99);
+  auto decoded = DecodeReply(EncodeReply(r));
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeCodecTest, StatsRoundTrip) {
+  ServeStats s;
+  s.requests = 10;
+  s.admitted = 7;
+  s.refused_budget = 2;
+  s.refused_invalid = 1;
+  s.plan_cache_hits = 6;
+  s.plan_cache_misses = 1;
+  s.plan_cache_evictions = 4;
+  s.connections = 3;
+  auto decoded = DecodeStatsReply(EncodeStatsReply(s));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->requests, 10u);
+  EXPECT_EQ(decoded->admitted, 7u);
+  EXPECT_EQ(decoded->refused_budget, 2u);
+  EXPECT_EQ(decoded->plan_cache_evictions, 4u);
+}
+
+TEST(ServeCodecTest, MessageKindsAreDistinct) {
+  auto query = MessageKind(EncodeQuery(SampleQuery()));
+  auto stats = MessageKind(EncodeStatsRequest());
+  auto stop = MessageKind(EncodeStop());
+  ASSERT_TRUE(query.ok() && stats.ok() && stop.ok());
+  EXPECT_NE(*query, *stats);
+  EXPECT_NE(*query, *stop);
+  EXPECT_NE(*stats, *stop);
+}
+
+TEST(ServeCodecTest, CrossKindDecodeFails) {
+  auto decoded = DecodeReply(EncodeQuery(SampleQuery()));
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Ledger file codec
+// ---------------------------------------------------------------------------
+
+std::vector<LedgerEntry> SampleLedger() {
+  LedgerEntry a{"alice", "ADULT", 1.0, 0.30000000000000004, 3};
+  LedgerEntry b{"bob", "TRACE", 2.5, 2.5, 7};
+  return {a, b};
+}
+
+TEST(LedgerFileTest, RoundTripsBitExactly) {
+  std::vector<LedgerEntry> entries = SampleLedger();
+  auto decoded = DecodeLedgerFile(EncodeLedgerFile(entries));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), entries.size());
+  EXPECT_EQ((*decoded)[0], entries[0]);
+  EXPECT_EQ((*decoded)[1], entries[1]);
+}
+
+TEST(LedgerFileTest, EmptyLedgerRoundTrips) {
+  auto decoded = DecodeLedgerFile(EncodeLedgerFile({}));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(LedgerFileTest, IdenticalStateEncodesIdenticalBytes) {
+  EXPECT_EQ(EncodeLedgerFile(SampleLedger()),
+            EncodeLedgerFile(SampleLedger()));
+}
+
+TEST(LedgerFileTest, PayloadCorruptionIsDataLoss) {
+  // A flipped bit anywhere in a section payload must be rejected by
+  // checksum — silently resurrecting spent budget is the worst failure
+  // a budget ledger can have.
+  std::string bytes = EncodeLedgerFile(SampleLedger());
+  auto layout = wire::EnvelopeLayout(bytes);
+  ASSERT_TRUE(layout.ok()) << layout.status().ToString();
+  ASSERT_FALSE(layout->empty());
+  for (const wire::SectionSpan& span : *layout) {
+    std::string damaged = bytes;
+    damaged[span.offset + span.length / 2] ^= 0x40;
+    auto decoded = DecodeLedgerFile(damaged);
+    ASSERT_FALSE(decoded.ok()) << "flip in '" << span.name << "' accepted";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss)
+        << decoded.status().ToString();
+  }
+}
+
+TEST(LedgerFileTest, WrongKindRejected) {
+  auto decoded = DecodeLedgerFile(EncodeStop());
+  EXPECT_FALSE(decoded.ok());
+}
+
+// ---------------------------------------------------------------------------
+// LedgerAccountant
+// ---------------------------------------------------------------------------
+
+TEST(LedgerAccountantTest, FirstContactGetsDefaultBudget) {
+  LedgerAccountant acct(1.0);
+  auto entry = acct.Charge({"alice", "ADULT"}, 0.25);
+  ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+  EXPECT_EQ(entry->budget, 1.0);
+  EXPECT_EQ(entry->spent, 0.25);
+  EXPECT_EQ(entry->queries, 1u);
+}
+
+TEST(LedgerAccountantTest, LedgersAreIndependentPerUserAndDataset) {
+  LedgerAccountant acct(0.5);
+  ASSERT_TRUE(acct.Charge({"alice", "ADULT"}, 0.5).ok());
+  // Same user, other dataset — fresh ledger; other user, same dataset —
+  // fresh ledger.
+  EXPECT_TRUE(acct.Charge({"alice", "TRACE"}, 0.5).ok());
+  EXPECT_TRUE(acct.Charge({"bob", "ADULT"}, 0.5).ok());
+  EXPECT_FALSE(acct.Charge({"alice", "ADULT"}, 0.5).ok());
+  EXPECT_EQ(acct.size(), 3u);
+}
+
+TEST(LedgerAccountantTest, ExhaustedChargeIsFailedPreconditionAndNoOp) {
+  LedgerAccountant acct(1.0);
+  ASSERT_TRUE(acct.Charge({"alice", "ADULT"}, 0.75).ok());
+  auto refused = acct.Charge({"alice", "ADULT"}, 0.5);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+  // The refusal left the ledger untouched.
+  auto entry = acct.Peek({"alice", "ADULT"});
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->spent, 0.75);
+  EXPECT_EQ(entry->queries, 1u);
+}
+
+TEST(LedgerAccountantTest, AdmissionIsStrictNoSlack) {
+  // 0.1 + 0.1 accumulates upward in floating point, so a 0.3 budget
+  // admits only two 0.1 charges: remaining is 0.0999...8 < 0.1 and the
+  // strict comparison refuses. Conservative by design — rounding can
+  // under-grant but never over-spend.
+  LedgerAccountant acct(0.3);
+  EXPECT_TRUE(acct.Charge({"a", "d"}, 0.1).ok());
+  EXPECT_TRUE(acct.Charge({"a", "d"}, 0.1).ok());
+  EXPECT_FALSE(acct.Charge({"a", "d"}, 0.1).ok());
+}
+
+TEST(LedgerAccountantTest, ExactRemainderIsAdmitted) {
+  LedgerAccountant acct(1.0);
+  ASSERT_TRUE(acct.Charge({"a", "d"}, 0.5).ok());
+  // budget - spent is exactly 0.5 here; epsilon == remaining passes.
+  EXPECT_TRUE(acct.Charge({"a", "d"}, 0.5).ok());
+  EXPECT_FALSE(acct.Charge({"a", "d"}, 1e-9).ok());
+}
+
+TEST(LedgerAccountantTest, InvalidEpsilonIsInvalidArgument) {
+  LedgerAccountant acct(1.0);
+  for (double eps : {0.0, -1.0, std::nan(""), 1.0 / 0.0}) {
+    auto charged = acct.Charge({"a", "d"}, eps);
+    ASSERT_FALSE(charged.ok()) << eps;
+    EXPECT_EQ(charged.status().code(), StatusCode::kInvalidArgument);
+  }
+  EXPECT_EQ(acct.size(), 0u);  // nothing was created for refused charges
+}
+
+TEST(LedgerAccountantTest, RestoreUndoesCharge) {
+  LedgerAccountant acct(1.0);
+  auto first = acct.Charge({"a", "d"}, 0.25);
+  ASSERT_TRUE(first.ok());
+  LedgerEntry before = *acct.Peek({"a", "d"});
+  ASSERT_TRUE(acct.Charge({"a", "d"}, 0.25).ok());
+  acct.Restore({"a", "d"}, before, /*existed=*/true);
+  EXPECT_EQ(*acct.Peek({"a", "d"}), before);
+  // A first-contact charge restores to nonexistence.
+  ASSERT_TRUE(acct.Charge({"b", "d"}, 0.25).ok());
+  acct.Restore({"b", "d"}, LedgerEntry{}, /*existed=*/false);
+  EXPECT_FALSE(acct.Peek({"b", "d"}).ok());
+}
+
+TEST(LedgerAccountantTest, SnapshotIsSortedAndLoadRoundTrips) {
+  LedgerAccountant acct(1.0);
+  ASSERT_TRUE(acct.Charge({"zoe", "ADULT"}, 0.1).ok());
+  ASSERT_TRUE(acct.Charge({"ann", "TRACE"}, 0.2).ok());
+  ASSERT_TRUE(acct.Charge({"ann", "ADULT"}, 0.3).ok());
+  std::vector<LedgerEntry> snap = acct.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].user, "ann");
+  EXPECT_EQ(snap[0].dataset, "ADULT");
+  EXPECT_EQ(snap[1].dataset, "TRACE");
+  EXPECT_EQ(snap[2].user, "zoe");
+
+  LedgerAccountant reloaded(1.0);
+  ASSERT_TRUE(reloaded.Load(snap).ok());
+  EXPECT_EQ(reloaded.Snapshot(), snap);
+}
+
+TEST(LedgerAccountantTest, LoadRejectsDuplicatesAndNonFinite) {
+  LedgerAccountant acct(1.0);
+  LedgerEntry e{"a", "d", 1.0, 0.5, 1};
+  EXPECT_FALSE(acct.Load({e, e}).ok());
+  LedgerEntry bad{"a", "d", std::nan(""), 0.0, 0};
+  EXPECT_FALSE(acct.Load({bad}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Live server
+// ---------------------------------------------------------------------------
+
+/// A server running on its own thread, with cleanup on destruction.
+struct LiveServer {
+  explicit LiveServer(Result<Server> created) : server(std::move(created)) {
+    if (server.ok()) {
+      thread = std::thread([this] { (void)server->Serve(); });
+    }
+  }
+  ~LiveServer() {
+    if (server.ok()) {
+      server->Stop();
+      thread.join();
+    }
+  }
+  Result<Server> server;
+  std::thread thread;
+};
+
+Result<QueryResponse> SendQuery(net::Socket* sock, const QueryRequest& q) {
+  DPB_RETURN_NOT_OK(sock->SendFrame(EncodeQuery(q)));
+  DPB_ASSIGN_OR_RETURN(net::Frame frame, sock->RecvFrame(30000));
+  if (frame.timed_out) return Status::Unavailable("no reply");
+  return DecodeReply(frame.bytes);
+}
+
+Result<net::Socket> ConnectTo(const Result<Server>& server) {
+  return net::Connect(server->port(), 5000);
+}
+
+QueryRequest WholeDomainQuery(const std::string& user, double epsilon) {
+  QueryRequest q;
+  q.user = user;
+  q.dataset = "ADULT";
+  q.algorithm = "IDENTITY";
+  q.epsilon = epsilon;
+  q.scale = 100000;
+  q.domain_size = 256;
+  q.lo_row = {0};
+  q.hi_row = {255};
+  return q;
+}
+
+std::string TempLedgerPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + "/dpbench_serve_" + name + ".bin";
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(ServerTest, AnswersWholeDomainQueryNearTrueScale) {
+  ServerOptions options;
+  options.default_budget = 10.0;
+  LiveServer live(Server::Create(options));
+  ASSERT_TRUE(live.server.ok()) << live.server.status().ToString();
+
+  auto sock = ConnectTo(live.server);
+  ASSERT_TRUE(sock.ok()) << sock.status().ToString();
+  auto reply = SendQuery(&*sock, WholeDomainQuery("alice", 1.0));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->status, ReplyStatus::kOk) << reply->message;
+  ASSERT_EQ(reply->answers.size(), 1u);
+  // IDENTITY at eps=1 perturbs each of the 256 cells with Laplace(1)
+  // noise; the whole-domain sum stays within a few hundred of the true
+  // scale with overwhelming probability.
+  EXPECT_NEAR(reply->answers[0], 100000.0, 500.0);
+  EXPECT_EQ(reply->spent, 1.0);
+  EXPECT_EQ(reply->remaining, 9.0);
+  EXPECT_EQ(reply->ledger_queries, 1u);
+}
+
+TEST(ServerTest, RepeatedQueriesUseCachedPlanAndFreshNoise) {
+  ServerOptions options;
+  options.default_budget = 10.0;
+  LiveServer live(Server::Create(options));
+  ASSERT_TRUE(live.server.ok());
+
+  auto sock = ConnectTo(live.server);
+  ASSERT_TRUE(sock.ok());
+  QueryRequest q = WholeDomainQuery("alice", 1.0);
+  q.lo_row = {0, 5};
+  q.hi_row = {255, 9};
+  auto first = SendQuery(&*sock, q);
+  auto second = SendQuery(&*sock, q);
+  ASSERT_TRUE(first.ok() && second.ok());
+  ASSERT_EQ(first->status, ReplyStatus::kOk);
+  ASSERT_EQ(second->status, ReplyStatus::kOk);
+  // Identical request, different noise stream: answering the same query
+  // from a reused stream would let a client average the noise away.
+  EXPECT_NE(first->answers, second->answers);
+
+  ServeStats stats = live.server->stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.plan_cache_misses, 1u);  // planned once
+  EXPECT_EQ(stats.plan_cache_hits, 1u);    // served from cache after
+  EXPECT_EQ(stats.data_cache_misses, 1u);
+}
+
+TEST(ServerTest, BudgetExhaustionRefusesWithDistinctStatus) {
+  ServerOptions options;
+  options.default_budget = 1.0;
+  LiveServer live(Server::Create(options));
+  ASSERT_TRUE(live.server.ok());
+
+  auto sock = ConnectTo(live.server);
+  ASSERT_TRUE(sock.ok());
+  auto first = SendQuery(&*sock, WholeDomainQuery("alice", 0.75));
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->status, ReplyStatus::kOk);
+
+  auto refused = SendQuery(&*sock, WholeDomainQuery("alice", 0.5));
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused->status, ReplyStatus::kBudgetExhausted);
+  EXPECT_TRUE(refused->answers.empty());  // never a partial answer
+  EXPECT_NE(refused->message.find("budget exhausted"), std::string::npos);
+
+  // Another user is unaffected.
+  auto other = SendQuery(&*sock, WholeDomainQuery("bob", 0.5));
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other->status, ReplyStatus::kOk);
+
+  ServeStats stats = live.server->stats();
+  EXPECT_EQ(stats.refused_budget, 1u);
+}
+
+TEST(ServerTest, InvalidRequestsAreRefusedWithoutCharging) {
+  ServerOptions options;
+  options.default_budget = 1.0;
+  LiveServer live(Server::Create(options));
+  ASSERT_TRUE(live.server.ok());
+  auto sock = ConnectTo(live.server);
+  ASSERT_TRUE(sock.ok());
+
+  // Every rejection class the admission layer must catch.
+  std::vector<QueryRequest> bad;
+  bad.push_back(WholeDomainQuery("", 0.5));  // empty user
+  bad.push_back(WholeDomainQuery("a", 0.0));  // zero epsilon
+  bad.push_back(WholeDomainQuery("a", -1.0));  // negative epsilon
+  bad.push_back(WholeDomainQuery("a", std::nan("")));  // nan epsilon
+  bad.push_back(WholeDomainQuery("a", 1.0 / 0.0));  // inf epsilon
+  QueryRequest unknown_dataset = WholeDomainQuery("a", 0.5);
+  unknown_dataset.dataset = "NO-SUCH-DATASET";
+  bad.push_back(unknown_dataset);
+  QueryRequest unknown_algo = WholeDomainQuery("a", 0.5);
+  unknown_algo.algorithm = "NO-SUCH-ALGO";
+  bad.push_back(unknown_algo);
+  QueryRequest out_of_range = WholeDomainQuery("a", 0.5);
+  out_of_range.hi_row = {256};  // domain is 256 cells: max index 255
+  bad.push_back(out_of_range);
+  QueryRequest inverted = WholeDomainQuery("a", 0.5);
+  inverted.lo_row = {10};
+  inverted.hi_row = {5};
+  bad.push_back(inverted);
+  QueryRequest cols_on_1d = WholeDomainQuery("a", 0.5);
+  cols_on_1d.lo_col = {0};
+  cols_on_1d.hi_col = {10};
+  bad.push_back(cols_on_1d);
+  QueryRequest no_ranges = WholeDomainQuery("a", 0.5);
+  no_ranges.lo_row.clear();
+  no_ranges.hi_row.clear();
+  bad.push_back(no_ranges);
+
+  for (size_t i = 0; i < bad.size(); ++i) {
+    auto reply = SendQuery(&*sock, bad[i]);
+    ASSERT_TRUE(reply.ok()) << i << ": " << reply.status().ToString();
+    EXPECT_EQ(reply->status, ReplyStatus::kInvalidRequest)
+        << "bad request " << i << " was not refused: " << reply->message;
+    EXPECT_TRUE(reply->answers.empty()) << i;
+  }
+  ServeStats stats = live.server->stats();
+  EXPECT_EQ(stats.refused_invalid, bad.size());
+  EXPECT_EQ(stats.admitted, 0u);  // no charge happened
+}
+
+TEST(ServerTest, TwoDimensionalRectanglesAnswer) {
+  ServerOptions options;
+  options.default_budget = 10.0;
+  LiveServer live(Server::Create(options));
+  ASSERT_TRUE(live.server.ok());
+  auto sock = ConnectTo(live.server);
+  ASSERT_TRUE(sock.ok());
+
+  QueryRequest q;
+  q.user = "alice";
+  q.dataset = "STROKE";  // 2D dataset
+  q.algorithm = "IDENTITY";
+  q.epsilon = 1.0;
+  q.scale = 50000;
+  q.domain_size = 32;
+  q.lo_row = {0, 4};
+  q.lo_col = {0, 4};
+  q.hi_row = {31, 8};
+  q.hi_col = {31, 8};
+  auto reply = SendQuery(&*sock, q);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->status, ReplyStatus::kOk) << reply->message;
+  ASSERT_EQ(reply->answers.size(), 2u);
+  // Whole-grid rectangle ~ the true scale; the small rectangle is a
+  // strict subset of it.
+  EXPECT_NEAR(reply->answers[0], 50000.0, 500.0);
+  EXPECT_LT(reply->answers[1], reply->answers[0]);
+}
+
+TEST(ServerTest, PlanCacheEvictsAtItsBound) {
+  ServerOptions options;
+  options.default_budget = 100.0;
+  options.max_plans = 1;
+  LiveServer live(Server::Create(options));
+  ASSERT_TRUE(live.server.ok());
+  auto sock = ConnectTo(live.server);
+  ASSERT_TRUE(sock.ok());
+
+  // Alternating epsilons with a one-plan cache: every request is a miss
+  // after the first alternation, and evictions follow.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(SendQuery(&*sock, WholeDomainQuery("a", 1.0))->status,
+              ReplyStatus::kOk);
+    ASSERT_EQ(SendQuery(&*sock, WholeDomainQuery("a", 2.0))->status,
+              ReplyStatus::kOk);
+  }
+  ServeStats stats = live.server->stats();
+  EXPECT_EQ(stats.plan_cache_misses, 6u);
+  EXPECT_EQ(stats.plan_cache_hits, 0u);
+  EXPECT_GE(stats.plan_cache_evictions, 5u);
+}
+
+TEST(ServerTest, LedgerPersistsAcrossRestartByteExactly) {
+  std::string path = TempLedgerPath("restart");
+  std::vector<double> first_answers;
+
+  {
+    ServerOptions options;
+    options.ledger_path = path;
+    options.default_budget = 1.0;
+    LiveServer live(Server::Create(options));
+    ASSERT_TRUE(live.server.ok()) << live.server.status().ToString();
+    auto sock = ConnectTo(live.server);
+    ASSERT_TRUE(sock.ok());
+    auto reply = SendQuery(&*sock, WholeDomainQuery("alice", 0.6));
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply->status, ReplyStatus::kOk) << reply->message;
+    first_answers = reply->answers;
+  }  // server torn down — the ledger lives only in the file now
+
+  auto bytes_before = ReadFileBytes(path);
+  ASSERT_TRUE(bytes_before.ok()) << bytes_before.status().ToString();
+  auto entries = DecodeLedgerFile(*bytes_before);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].user, "alice");
+  EXPECT_EQ((*entries)[0].dataset, "ADULT");
+  EXPECT_EQ((*entries)[0].budget, 1.0);
+  EXPECT_EQ((*entries)[0].spent, 0.6);  // bit pattern survives
+  EXPECT_EQ((*entries)[0].queries, 1u);
+
+  {
+    ServerOptions options;
+    options.ledger_path = path;
+    options.default_budget = 1.0;
+    LiveServer live(Server::Create(options));
+    ASSERT_TRUE(live.server.ok()) << live.server.status().ToString();
+    auto sock = ConnectTo(live.server);
+    ASSERT_TRUE(sock.ok());
+
+    // The restarted daemon remembers: 0.6 of 1.0 is spent, so another
+    // 0.6 must be refused — and the refusal must not rewrite the file.
+    auto refused = SendQuery(&*sock, WholeDomainQuery("alice", 0.6));
+    ASSERT_TRUE(refused.ok());
+    EXPECT_EQ(refused->status, ReplyStatus::kBudgetExhausted)
+        << refused->message;
+    auto bytes_after = ReadFileBytes(path);
+    ASSERT_TRUE(bytes_after.ok());
+    EXPECT_EQ(*bytes_after, *bytes_before) << "refusal rewrote the ledger";
+
+    // What still fits is granted, continuing the persisted counters —
+    // and on a fresh noise stream (ordinal 1, never drawn before).
+    auto granted = SendQuery(&*sock, WholeDomainQuery("alice", 0.4));
+    ASSERT_TRUE(granted.ok());
+    ASSERT_EQ(granted->status, ReplyStatus::kOk) << granted->message;
+    EXPECT_EQ(granted->ledger_queries, 2u);
+    EXPECT_EQ(granted->spent, 1.0);
+    EXPECT_NE(granted->answers, first_answers);
+  }
+}
+
+TEST(ServerTest, CorruptLedgerFileFailsStartupLoudly) {
+  std::string path = TempLedgerPath("corrupt");
+  std::string bytes = EncodeLedgerFile(SampleLedger());
+  bytes[bytes.size() / 2] ^= 0x40;
+  ASSERT_TRUE(WriteFileBytes(path, bytes).ok());
+
+  ServerOptions options;
+  options.ledger_path = path;
+  auto server = Server::Create(options);
+  ASSERT_FALSE(server.ok()) << "a corrupt ledger must not start fresh";
+}
+
+TEST(ServerTest, StopMessageDrainsTheServer) {
+  ServerOptions options;
+  auto server = Server::Create(options);
+  ASSERT_TRUE(server.ok());
+  std::thread thread([&server] { EXPECT_TRUE(server->Serve().ok()); });
+
+  auto sock = net::Connect(server->port(), 5000);
+  ASSERT_TRUE(sock.ok());
+  ASSERT_TRUE(sock->SendFrame(EncodeStop()).ok());
+  auto ack = sock->RecvFrame(30000);
+  ASSERT_TRUE(ack.ok());
+  ASSERT_FALSE(ack->timed_out);
+  auto kind = MessageKind(ack->bytes);
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, "dpbench.s.stop");
+  thread.join();  // Serve() returned on its own
+}
+
+TEST(ServerTest, RejectsNonPositiveDefaultBudget) {
+  ServerOptions options;
+  options.default_budget = 0.0;
+  EXPECT_FALSE(Server::Create(options).ok());
+  options.default_budget = std::nan("");
+  EXPECT_FALSE(Server::Create(options).ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dpbench

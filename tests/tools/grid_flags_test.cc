@@ -1,0 +1,257 @@
+// Flag-rejection suite for the shared grid-flag parser: every malformed
+// token class must fail at parse time with an error naming the bad token.
+// The paper's grids are driven entirely through these flags, so a value
+// that slips through as 0, nan, or a wrapped negative silently produces
+// an empty grid, a meaningless privacy guarantee, or shard 0 of 2^64-3 —
+// all of which must be impossible.
+#include "tools/grid_flags.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace dpbench {
+namespace tools {
+namespace {
+
+using grid_flags_internal::ParseF64;
+using grid_flags_internal::ParseU64;
+
+// ---------------------------------------------------------------------------
+// ParseU64
+// ---------------------------------------------------------------------------
+
+TEST(ParseU64Test, AcceptsPlainDigits) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseU64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseU64("42", &v));
+  EXPECT_EQ(v, 42u);
+}
+
+TEST(ParseU64Test, AcceptsTenPlusDigitValues) {
+  // Regression: dpbench_worker's deleted private parser capped input at
+  // nine digits, rejecting legitimate u64 values like this seed.
+  uint64_t v = 0;
+  ASSERT_TRUE(ParseU64("12345678901", &v));
+  EXPECT_EQ(v, 12345678901ull);
+  ASSERT_TRUE(ParseU64("18446744073709551615", &v));
+  EXPECT_EQ(v, std::numeric_limits<uint64_t>::max());
+}
+
+TEST(ParseU64Test, RejectsNegativeInsteadOfWrapping) {
+  // std::stoull would wrap "-3" to 2^64-3; the parser must refuse.
+  uint64_t v = 0;
+  EXPECT_FALSE(ParseU64("-3", &v));
+}
+
+TEST(ParseU64Test, RejectsMalformedTokens) {
+  uint64_t v = 0;
+  EXPECT_FALSE(ParseU64("", &v));
+  EXPECT_FALSE(ParseU64("abc", &v));
+  EXPECT_FALSE(ParseU64("1e3", &v));
+  EXPECT_FALSE(ParseU64(" 5", &v));
+  EXPECT_FALSE(ParseU64("5 ", &v));
+  EXPECT_FALSE(ParseU64("+5", &v));
+  EXPECT_FALSE(ParseU64("0x10", &v));
+  EXPECT_FALSE(ParseU64("3.5", &v));
+}
+
+TEST(ParseU64Test, RejectsOverflow) {
+  uint64_t v = 0;
+  EXPECT_FALSE(ParseU64("18446744073709551616", &v));  // 2^64
+  EXPECT_FALSE(ParseU64("99999999999999999999999", &v));
+}
+
+// ---------------------------------------------------------------------------
+// ParseF64
+// ---------------------------------------------------------------------------
+
+TEST(ParseF64Test, AcceptsDecimalsAndExponents) {
+  double v = 0.0;
+  ASSERT_TRUE(ParseF64("0.5", &v));
+  EXPECT_DOUBLE_EQ(v, 0.5);
+  ASSERT_TRUE(ParseF64("1e-3", &v));
+  EXPECT_DOUBLE_EQ(v, 1e-3);
+}
+
+TEST(ParseF64Test, RejectsMalformedTokens) {
+  double v = 0.0;
+  EXPECT_FALSE(ParseF64("", &v));
+  EXPECT_FALSE(ParseF64("abc", &v));
+  EXPECT_FALSE(ParseF64("0.1.2", &v));
+  EXPECT_FALSE(ParseF64("0.1x", &v));
+  EXPECT_FALSE(ParseF64("1e999", &v));  // out of double range
+}
+
+// ---------------------------------------------------------------------------
+// ParseGridFlag: epsilon validation
+// ---------------------------------------------------------------------------
+
+// Each bad token must be rejected with an error that names it, and the
+// flag must still count as consumed (it IS a grid flag — just a broken
+// one; falling through to "unknown flag" would mislabel the failure).
+void ExpectEpsilonRejected(const std::string& token) {
+  ExperimentConfig config = DefaultGridConfig();
+  std::string error;
+  ASSERT_TRUE(ParseGridFlag("--epsilons=" + token, &config, &error))
+      << token;
+  ASSERT_FALSE(error.empty()) << "'" << token << "' was accepted";
+  EXPECT_NE(error.find("'" + token + "'"), std::string::npos)
+      << "error does not name the bad token: " << error;
+}
+
+TEST(GridFlagEpsilonTest, RejectsZero) { ExpectEpsilonRejected("0"); }
+TEST(GridFlagEpsilonTest, RejectsZeroPointZero) {
+  ExpectEpsilonRejected("0.0");
+}
+TEST(GridFlagEpsilonTest, RejectsNegative) { ExpectEpsilonRejected("-1"); }
+TEST(GridFlagEpsilonTest, RejectsNan) { ExpectEpsilonRejected("nan"); }
+TEST(GridFlagEpsilonTest, RejectsInf) { ExpectEpsilonRejected("inf"); }
+TEST(GridFlagEpsilonTest, RejectsNegativeInf) {
+  ExpectEpsilonRejected("-inf");
+}
+TEST(GridFlagEpsilonTest, RejectsOverflowLiteral) {
+  ExpectEpsilonRejected("1e999");
+}
+TEST(GridFlagEpsilonTest, RejectsGarbage) { ExpectEpsilonRejected("abc"); }
+
+TEST(GridFlagEpsilonTest, RejectsBadTokenInsideList) {
+  ExperimentConfig config = DefaultGridConfig();
+  std::string error;
+  ASSERT_TRUE(ParseGridFlag("--epsilons=0.1,nan,1.0", &config, &error));
+  ASSERT_FALSE(error.empty());
+  EXPECT_NE(error.find("'nan'"), std::string::npos) << error;
+}
+
+TEST(GridFlagEpsilonTest, AcceptsValidList) {
+  ExperimentConfig config = DefaultGridConfig();
+  std::string error;
+  ASSERT_TRUE(ParseGridFlag("--epsilons=0.01,0.1,1.0", &config, &error));
+  EXPECT_TRUE(error.empty()) << error;
+  ASSERT_EQ(config.epsilons.size(), 3u);
+  EXPECT_DOUBLE_EQ(config.epsilons[0], 0.01);
+  EXPECT_DOUBLE_EQ(config.epsilons[2], 1.0);
+}
+
+TEST(GridFlagEpsilonTest, RejectsEmptyList) {
+  ExperimentConfig config = DefaultGridConfig();
+  std::string error;
+  ASSERT_TRUE(ParseGridFlag("--epsilons=", &config, &error));
+  EXPECT_NE(error.find("empty value list"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------------
+// ParseGridFlag: zero-valued counts
+// ---------------------------------------------------------------------------
+
+void ExpectZeroRejected(const std::string& flag) {
+  ExperimentConfig config = DefaultGridConfig();
+  std::string error;
+  ASSERT_TRUE(ParseGridFlag(flag, &config, &error)) << flag;
+  ASSERT_FALSE(error.empty()) << flag << " accepted a zero value";
+  EXPECT_NE(error.find("'0'"), std::string::npos)
+      << "error does not name the bad token: " << error;
+  EXPECT_NE(error.find("positive"), std::string::npos) << error;
+}
+
+TEST(GridFlagZeroTest, RejectsZeroSamples) {
+  ExpectZeroRejected("--samples=0");
+}
+TEST(GridFlagZeroTest, RejectsZeroRuns) { ExpectZeroRejected("--runs=0"); }
+TEST(GridFlagZeroTest, RejectsZeroThreads) {
+  ExpectZeroRejected("--threads=0");
+}
+TEST(GridFlagZeroTest, RejectsZeroQueries) {
+  ExpectZeroRejected("--queries=0");
+}
+TEST(GridFlagZeroTest, RejectsZeroScale) {
+  ExpectZeroRejected("--scales=0");
+}
+TEST(GridFlagZeroTest, RejectsZeroDomain) {
+  ExpectZeroRejected("--domains=0");
+}
+
+TEST(GridFlagZeroTest, RejectsZeroInsideList) {
+  ExperimentConfig config = DefaultGridConfig();
+  std::string error;
+  ASSERT_TRUE(ParseGridFlag("--scales=1000,0,100000", &config, &error));
+  ASSERT_FALSE(error.empty());
+  EXPECT_NE(error.find("'0'"), std::string::npos) << error;
+}
+
+TEST(GridFlagZeroTest, SeedZeroIsLegitimate) {
+  ExperimentConfig config = DefaultGridConfig();
+  std::string error;
+  ASSERT_TRUE(ParseGridFlag("--seed=0", &config, &error));
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(config.seed, 0u);
+}
+
+TEST(GridFlagZeroTest, TenDigitSeedAccepted) {
+  ExperimentConfig config = DefaultGridConfig();
+  std::string error;
+  ASSERT_TRUE(ParseGridFlag("--seed=12345678901", &config, &error));
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(config.seed, 12345678901ull);
+}
+
+// ---------------------------------------------------------------------------
+// ParseGridFlag: negatives-as-u64 and list handling
+// ---------------------------------------------------------------------------
+
+TEST(GridFlagTest, RejectsNegativeScale) {
+  ExperimentConfig config = DefaultGridConfig();
+  std::string error;
+  ASSERT_TRUE(ParseGridFlag("--scales=-3", &config, &error));
+  ASSERT_FALSE(error.empty());
+  EXPECT_NE(error.find("'-3'"), std::string::npos) << error;
+}
+
+TEST(GridFlagTest, RejectsEmptyDatasets) {
+  ExperimentConfig config = DefaultGridConfig();
+  std::string error;
+  ASSERT_TRUE(ParseGridFlag("--datasets=", &config, &error));
+  EXPECT_NE(error.find("empty value list"), std::string::npos) << error;
+}
+
+TEST(GridFlagTest, EmptyAlgorithmsMeansDefaults) {
+  // --algorithms= stays valid: an empty list requests "all algorithms
+  // for the dataset's dimensionality" via ResolveDefaultAlgorithms.
+  ExperimentConfig config = DefaultGridConfig();
+  std::string error;
+  ASSERT_TRUE(ParseGridFlag("--algorithms=", &config, &error));
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_TRUE(config.algorithms.empty());
+}
+
+TEST(GridFlagTest, UnknownFlagIsNotConsumed) {
+  ExperimentConfig config = DefaultGridConfig();
+  std::string error;
+  EXPECT_FALSE(ParseGridFlag("--not-a-grid-flag=3", &config, &error));
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(GridFlagTest, ValidFlagsStillParse) {
+  ExperimentConfig config = DefaultGridConfig();
+  std::string error;
+  ASSERT_TRUE(ParseGridFlag("--samples=7", &config, &error));
+  ASSERT_TRUE(ParseGridFlag("--runs=3", &config, &error));
+  ASSERT_TRUE(ParseGridFlag("--threads=2", &config, &error));
+  ASSERT_TRUE(ParseGridFlag("--scales=500,5000", &config, &error));
+  ASSERT_TRUE(ParseGridFlag("--domains=128", &config, &error));
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(config.data_samples, 7u);
+  EXPECT_EQ(config.runs_per_sample, 3u);
+  EXPECT_EQ(config.threads, 2u);
+  ASSERT_EQ(config.scales.size(), 2u);
+  EXPECT_EQ(config.scales[1], 5000u);
+  ASSERT_EQ(config.domain_sizes.size(), 1u);
+  EXPECT_EQ(config.domain_sizes[0], 128u);
+}
+
+}  // namespace
+}  // namespace tools
+}  // namespace dpbench

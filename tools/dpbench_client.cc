@@ -1,0 +1,225 @@
+// dpbench_client — command-line client for dpbench_serve.
+//
+// Sends one query (default), a stats request (--stats), or a stop request
+// (--stop) to a running daemon and prints the reply.
+//
+// Exit codes (scripts and the CI smoke job branch on them):
+//   0  query answered / stats printed / stop acknowledged
+//   1  transport failure, protocol error, or invalid request
+//   3  query refused: budget exhausted (the documented admission status)
+//
+// Examples:
+//   dpbench_client --port=$(cat port.txt) --user=alice --dataset=ADULT \
+//                  --algorithm=IDENTITY --epsilon=0.1 --range=0:1023
+//   dpbench_client --port=$(cat port.txt) --stats
+//   dpbench_client --port=$(cat port.txt) --stop
+#include <cstring>
+#include <iostream>
+
+#include "src/engine/net.h"
+#include "src/engine/serve.h"
+#include "tools/grid_flags.h"
+
+using namespace dpbench;
+
+namespace {
+
+constexpr int kConnectTimeoutMs = 5000;
+constexpr int kReplyTimeoutMs = 60000;
+
+void PrintUsage() {
+  std::cout
+      << "usage: dpbench_client --port=N [flags]\n"
+         "  --port=N           daemon port on 127.0.0.1 (required)\n"
+         "  --user=ID          ledger user (default: default)\n"
+         "  --dataset=NAME     dataset (default: ADULT)\n"
+         "  --algorithm=NAME   algorithm (default: IDENTITY)\n"
+         "  --epsilon=EPS      epsilon to spend (default 0.1; must be\n"
+         "                     positive and finite)\n"
+         "  --scale=N          dataset scale (default 100000)\n"
+         "  --domain=N         per-dimension domain size (default 1024)\n"
+         "  --range=LO:HI      1D query range, inclusive (repeatable)\n"
+         "  --range2d=R0:C0:R1:C1  2D query rectangle (repeatable)\n"
+         "  --stats            print server stats instead of querying\n"
+         "  --stop             stop the daemon instead of querying\n";
+}
+
+bool ParseRangeToken(const std::string& spec, char sep,
+                     std::vector<uint64_t>* out, size_t expected) {
+  out->clear();
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find(sep, start);
+    std::string tok = spec.substr(
+        start, end == std::string::npos ? std::string::npos : end - start);
+    uint64_t v = 0;
+    if (!tools::grid_flags_internal::ParseU64(tok, &v)) return false;
+    out->push_back(v);
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return out->size() == expected;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::QueryRequest query;
+  query.user = "default";
+  query.dataset = "ADULT";
+  query.algorithm = "IDENTITY";
+  uint64_t port = 0;
+  bool port_given = false, stats = false, stop = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> std::string {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg.rfind("--port=", 0) == 0) {
+      if (!tools::grid_flags_internal::ParseU64(value("--port="), &port) ||
+          port == 0 || port > 65535) {
+        std::cerr << "--port expects 1..65535\n";
+        return 1;
+      }
+      port_given = true;
+    } else if (arg.rfind("--user=", 0) == 0) {
+      query.user = value("--user=");
+    } else if (arg.rfind("--dataset=", 0) == 0) {
+      query.dataset = value("--dataset=");
+    } else if (arg.rfind("--algorithm=", 0) == 0) {
+      query.algorithm = value("--algorithm=");
+    } else if (arg.rfind("--epsilon=", 0) == 0) {
+      double eps = 0.0;
+      if (!tools::grid_flags_internal::ParseF64(value("--epsilon="), &eps) ||
+          !ValidateEpsilon(eps).ok()) {
+        std::cerr << "--epsilon expects a positive finite value, got '"
+                  << value("--epsilon=") << "'\n";
+        return 1;
+      }
+      query.epsilon = eps;
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      uint64_t v = 0;
+      if (!tools::grid_flags_internal::ParseU64(value("--scale="), &v) ||
+          v == 0) {
+        std::cerr << "--scale expects a positive integer\n";
+        return 1;
+      }
+      query.scale = v;
+    } else if (arg.rfind("--domain=", 0) == 0) {
+      uint64_t v = 0;
+      if (!tools::grid_flags_internal::ParseU64(value("--domain="), &v) ||
+          v == 0) {
+        std::cerr << "--domain expects a positive integer\n";
+        return 1;
+      }
+      query.domain_size = v;
+    } else if (arg.rfind("--range=", 0) == 0) {
+      std::vector<uint64_t> parts;
+      if (!ParseRangeToken(value("--range="), ':', &parts, 2)) {
+        std::cerr << "--range expects LO:HI\n";
+        return 1;
+      }
+      query.lo_row.push_back(parts[0]);
+      query.hi_row.push_back(parts[1]);
+    } else if (arg.rfind("--range2d=", 0) == 0) {
+      std::vector<uint64_t> parts;
+      if (!ParseRangeToken(value("--range2d="), ':', &parts, 4)) {
+        std::cerr << "--range2d expects R0:C0:R1:C1\n";
+        return 1;
+      }
+      query.lo_row.push_back(parts[0]);
+      query.lo_col.push_back(parts[1]);
+      query.hi_row.push_back(parts[2]);
+      query.hi_col.push_back(parts[3]);
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--stop") {
+      stop = true;
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      PrintUsage();
+      return 1;
+    }
+  }
+  if (!port_given) {
+    std::cerr << "--port=N is required\n";
+    PrintUsage();
+    return 1;
+  }
+
+  auto sock = net::Connect(static_cast<uint16_t>(port), kConnectTimeoutMs);
+  if (!sock.ok()) {
+    std::cerr << "cannot connect: " << sock.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::string request;
+  if (stop) {
+    request = serve::EncodeStop();
+  } else if (stats) {
+    request = serve::EncodeStatsRequest();
+  } else {
+    if (query.lo_row.empty()) {
+      // Default query: the whole 1D domain (total count).
+      query.lo_row.push_back(0);
+      query.hi_row.push_back(query.domain_size - 1);
+    }
+    request = serve::EncodeQuery(query);
+  }
+  if (Status st = sock->SendFrame(request); !st.ok()) {
+    std::cerr << "send failed: " << st.ToString() << "\n";
+    return 1;
+  }
+  auto frame = sock->RecvFrame(kReplyTimeoutMs);
+  if (!frame.ok() || frame->timed_out) {
+    std::cerr << "no reply from server\n";
+    return 1;
+  }
+
+  if (stop) {
+    std::cout << "stopped\n";
+    return 0;
+  }
+  if (stats) {
+    auto reply = serve::DecodeStatsReply(frame->bytes);
+    if (!reply.ok()) {
+      std::cerr << "bad stats reply: " << reply.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "requests=" << reply->requests
+              << " admitted=" << reply->admitted
+              << " refused_budget=" << reply->refused_budget
+              << " refused_invalid=" << reply->refused_invalid
+              << " internal_errors=" << reply->internal_errors
+              << " plan_cache_hits=" << reply->plan_cache_hits
+              << " plan_cache_misses=" << reply->plan_cache_misses
+              << " plan_cache_evictions=" << reply->plan_cache_evictions
+              << " data_cache_hits=" << reply->data_cache_hits
+              << " data_cache_misses=" << reply->data_cache_misses
+              << " data_cache_evictions=" << reply->data_cache_evictions
+              << " connections=" << reply->connections << "\n";
+    return 0;
+  }
+
+  auto reply = serve::DecodeReply(frame->bytes);
+  if (!reply.ok()) {
+    std::cerr << "bad reply: " << reply.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "status=" << serve::ReplyStatusName(reply->status)
+            << " spent=" << reply->spent
+            << " remaining=" << reply->remaining
+            << " ledger_queries=" << reply->ledger_queries << "\n";
+  if (reply->status == serve::ReplyStatus::kOk) {
+    for (size_t i = 0; i < reply->answers.size(); ++i) {
+      std::cout << "answer[" << i << "]=" << reply->answers[i] << "\n";
+    }
+    return 0;
+  }
+  std::cerr << reply->message << "\n";
+  return reply->status == serve::ReplyStatus::kBudgetExhausted ? 3 : 1;
+}

@@ -1,0 +1,182 @@
+// dpbench_serve — always-on serving daemon (engine/serve).
+//
+// Answers range-query workload requests over loopback TCP through cached
+// plans and the scratch ExecuteInto pipeline, with per-(user, dataset)
+// privacy-budget ledgers persisted to --ledger: a killed-and-restarted
+// daemon remembers every epsilon it ever granted. Stop it with a
+// dpbench_client --stop message or SIGINT/SIGTERM.
+//
+// Examples:
+//   dpbench_serve --port=0 --port-file=port.txt --ledger=ledger.bin \
+//                 --budget=1.0 &
+//   dpbench_client --port=$(cat port.txt) --user=alice --dataset=ADULT \
+//                  --algorithm=IDENTITY --epsilon=0.1 --range=0:1023
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "src/engine/serve.h"
+#include "tools/grid_flags.h"
+
+using namespace dpbench;
+
+namespace {
+
+// SIGINT/SIGTERM request the same graceful drain a client --stop does.
+// The handler only sets a flag; a watcher thread calls Server::Stop().
+volatile std::sig_atomic_t g_signaled = 0;
+
+void OnSignal(int) { g_signaled = 1; }
+
+void PrintUsage() {
+  std::cout
+      << "usage: dpbench_serve [flags]\n"
+         "  --port=N          TCP port on 127.0.0.1 (default 0 = "
+         "ephemeral)\n"
+         "  --port-file=FILE  write the bound port to FILE (for clients)\n"
+         "  --ledger=FILE     persist budget ledgers to FILE (omit for\n"
+         "                    in-memory-only ledgers)\n"
+         "  --budget=EPS      epsilon granted per (user, dataset) pair\n"
+         "                    (default 1.0; must be positive and finite)\n"
+         "  --seed=N          master noise seed (default 20160626)\n"
+         "  --max-plans=N     LRU bound on cached plans (default 64)\n"
+         "  --max-datasets=N  LRU bound on hydrated datasets (default 16)\n"
+         "  --max-scratch=N   bound on pooled scratch arenas (default 16)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServerOptions options;
+  std::string port_file;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> std::string {
+      return arg.substr(std::strlen(prefix));
+    };
+    uint64_t u64 = 0;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg.rfind("--port=", 0) == 0) {
+      if (!tools::grid_flags_internal::ParseU64(value("--port="), &u64) ||
+          u64 > 65535) {
+        std::cerr << "--port expects 0..65535\n";
+        return 1;
+      }
+      options.port = static_cast<uint16_t>(u64);
+    } else if (arg.rfind("--port-file=", 0) == 0) {
+      port_file = value("--port-file=");
+    } else if (arg.rfind("--ledger=", 0) == 0) {
+      options.ledger_path = value("--ledger=");
+    } else if (arg.rfind("--budget=", 0) == 0) {
+      double eps = 0.0;
+      if (!tools::grid_flags_internal::ParseF64(value("--budget="), &eps) ||
+          !ValidateEpsilon(eps).ok()) {
+        std::cerr << "--budget expects a positive finite epsilon, got '"
+                  << value("--budget=") << "'\n";
+        return 1;
+      }
+      options.default_budget = eps;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      if (!tools::grid_flags_internal::ParseU64(value("--seed="), &u64)) {
+        std::cerr << "--seed expects an unsigned integer\n";
+        return 1;
+      }
+      options.seed = u64;
+    } else if (arg.rfind("--max-plans=", 0) == 0) {
+      if (!tools::grid_flags_internal::ParseU64(value("--max-plans="),
+                                                &u64) ||
+          u64 == 0) {
+        std::cerr << "--max-plans expects a positive integer\n";
+        return 1;
+      }
+      options.max_plans = static_cast<size_t>(u64);
+    } else if (arg.rfind("--max-datasets=", 0) == 0) {
+      if (!tools::grid_flags_internal::ParseU64(value("--max-datasets="),
+                                                &u64) ||
+          u64 == 0) {
+        std::cerr << "--max-datasets expects a positive integer\n";
+        return 1;
+      }
+      options.max_datasets = static_cast<size_t>(u64);
+    } else if (arg.rfind("--max-scratch=", 0) == 0) {
+      if (!tools::grid_flags_internal::ParseU64(value("--max-scratch="),
+                                                &u64) ||
+          u64 == 0) {
+        std::cerr << "--max-scratch expects a positive integer\n";
+        return 1;
+      }
+      options.max_scratch = static_cast<size_t>(u64);
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      PrintUsage();
+      return 1;
+    }
+  }
+
+  auto server = serve::Server::Create(options);
+  if (!server.ok()) {
+    std::cerr << "cannot start server: " << server.status().ToString()
+              << "\n";
+    return 1;
+  }
+  std::cerr << "dpbench_serve listening on 127.0.0.1:" << server->port();
+  if (!options.ledger_path.empty()) {
+    std::cerr << " (ledger: " << options.ledger_path << ")";
+  }
+  std::cerr << "\n";
+
+  if (!port_file.empty()) {
+    // Write-then-rename so clients polling for the file never read a
+    // half-written port.
+    std::string tmp = port_file + ".tmp";
+    {
+      std::ofstream os(tmp, std::ios::trunc);
+      os << server->port() << "\n";
+      if (!os) {
+        std::cerr << "cannot write " << tmp << "\n";
+        return 1;
+      }
+    }
+    if (std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+      std::cerr << "cannot rename " << tmp << " to " << port_file << "\n";
+      return 1;
+    }
+  }
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::atomic<bool> done{false};
+  std::thread watcher([&server, &done] {
+    while (!g_signaled && !done.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server->Stop();
+  });
+
+  Status st = server->Serve();
+  done.store(true);
+  watcher.join();
+  serve::ServeStats stats = server->stats();
+  std::cerr << "serve summary: requests=" << stats.requests
+            << " admitted=" << stats.admitted
+            << " refused_budget=" << stats.refused_budget
+            << " refused_invalid=" << stats.refused_invalid
+            << " internal_errors=" << stats.internal_errors
+            << " plan_cache_hits=" << stats.plan_cache_hits
+            << " plan_cache_misses=" << stats.plan_cache_misses
+            << " plan_cache_evictions=" << stats.plan_cache_evictions
+            << " connections=" << stats.connections << "\n";
+  if (!st.ok()) {
+    std::cerr << "serve loop failed: " << st.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include <iostream>
 
 #include "src/engine/distrib.h"
+#include "tools/grid_flags.h"
 
 using namespace dpbench;
 
@@ -38,16 +39,6 @@ void PrintUsage() {
          "  --reconnect-attempts=N connection retries before giving up "
          "(default 5)\n"
          "  --fault=SPEC           inject faults (overrides DPBENCH_FAULT)\n";
-}
-
-bool ParseU64Flag(const std::string& digits, uint64_t* out) {
-  if (digits.empty() ||
-      digits.find_first_not_of("0123456789") != std::string::npos ||
-      digits.size() > 9) {
-    return false;
-  }
-  *out = std::stoull(digits);
-  return true;
 }
 
 }  // namespace
@@ -68,7 +59,8 @@ int main(int argc, char** argv) {
       PrintUsage();
       return 0;
     } else if (arg.rfind("--port=", 0) == 0) {
-      if (!ParseU64Flag(value("--port="), &u64) || u64 == 0 || u64 > 65535) {
+      if (!tools::grid_flags_internal::ParseU64(value("--port="), &u64) ||
+          u64 == 0 || u64 > 65535) {
         std::cerr << "--port expects 1..65535\n";
         return 1;
       }
@@ -77,19 +69,25 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--name=", 0) == 0) {
       options.name = value("--name=");
     } else if (arg.rfind("--threads=", 0) == 0) {
-      if (!ParseU64Flag(value("--threads="), &u64) || u64 == 0) {
+      if (!tools::grid_flags_internal::ParseU64(value("--threads="),
+                                                 &u64) ||
+          u64 == 0) {
         std::cerr << "--threads expects a positive integer\n";
         return 1;
       }
       options.threads = static_cast<size_t>(u64);
     } else if (arg.rfind("--heartbeat-ms=", 0) == 0) {
-      if (!ParseU64Flag(value("--heartbeat-ms="), &u64) || u64 == 0) {
+      if (!tools::grid_flags_internal::ParseU64(value("--heartbeat-ms="),
+                                                 &u64) ||
+          u64 == 0) {
         std::cerr << "--heartbeat-ms expects a positive integer\n";
         return 1;
       }
       options.heartbeat_ms = static_cast<int>(u64);
     } else if (arg.rfind("--reconnect-attempts=", 0) == 0) {
-      if (!ParseU64Flag(value("--reconnect-attempts="), &u64) || u64 == 0) {
+      if (!tools::grid_flags_internal::ParseU64(
+              value("--reconnect-attempts="), &u64) ||
+          u64 == 0) {
         std::cerr << "--reconnect-attempts expects a positive integer\n";
         return 1;
       }

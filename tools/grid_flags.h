@@ -16,6 +16,7 @@
 #include "src/data/datasets.h"
 #include "src/engine/report.h"
 #include "src/engine/runner.h"
+#include "src/mechanisms/budget.h"
 
 namespace dpbench {
 namespace tools {
@@ -98,6 +99,13 @@ inline bool ParseF64(const std::string& s, double* out) {
 /// Applies one grid flag to `config`. Returns true when the flag was a
 /// grid flag (consumed), false when the caller should handle it; a
 /// malformed value sets *error and returns true (never throws).
+///
+/// Validation is loud and parse-time: zero counts (--samples=0, --runs=0,
+/// --threads=0, ...) and empty value lists are rejected here, not left to
+/// produce a silently empty grid or a zero-trial "success" downstream;
+/// epsilons must be positive and finite (ValidateEpsilon — the same check
+/// dpbench_serve applies at admission), so `--epsilons=0`, `-1`, `nan`
+/// and `inf` all fail naming the bad token.
 inline bool ParseGridFlag(const std::string& arg, ExperimentConfig* config,
                           std::string* error) {
   using grid_flags_internal::ParseF64;
@@ -108,31 +116,52 @@ inline bool ParseGridFlag(const std::string& arg, ExperimentConfig* config,
   auto bad = [&](const std::string& s) {
     *error = "malformed value '" + s + "' in " + arg;
   };
+  auto zero = [&](const std::string& s) {
+    *error = "value '" + s + "' in " + arg + " must be positive";
+  };
+  auto empty_list = [&]() { *error = "empty value list in " + arg; };
+  // Parses one strictly positive count token; sets *error on failure.
+  auto positive = [&](const std::string& s, uint64_t* v) {
+    if (!ParseU64(s, v)) return bad(s), false;
+    if (*v == 0) return zero(s), false;
+    return true;
+  };
   if (arg.rfind("--algorithms=", 0) == 0) {
+    // An empty list is meaningful here: "all algorithms for the
+    // dataset's dimensionality" (ResolveDefaultAlgorithms).
     config->algorithms = SplitCsv(value("--algorithms="));
   } else if (arg.rfind("--datasets=", 0) == 0) {
     config->datasets = SplitCsv(value("--datasets="));
+    if (config->datasets.empty()) return empty_list(), true;
   } else if (arg.rfind("--scales=", 0) == 0) {
     config->scales.clear();
     for (const auto& s : SplitCsv(value("--scales="))) {
       uint64_t v;
-      if (!ParseU64(s, &v)) return bad(s), true;
+      if (!positive(s, &v)) return true;
       config->scales.push_back(v);
     }
+    if (config->scales.empty()) return empty_list(), true;
   } else if (arg.rfind("--domains=", 0) == 0) {
     config->domain_sizes.clear();
     for (const auto& s : SplitCsv(value("--domains="))) {
       uint64_t v;
-      if (!ParseU64(s, &v)) return bad(s), true;
+      if (!positive(s, &v)) return true;
       config->domain_sizes.push_back(static_cast<size_t>(v));
     }
+    if (config->domain_sizes.empty()) return empty_list(), true;
   } else if (arg.rfind("--epsilons=", 0) == 0) {
     config->epsilons.clear();
     for (const auto& s : SplitCsv(value("--epsilons="))) {
       double v;
       if (!ParseF64(s, &v)) return bad(s), true;
+      if (!ValidateEpsilon(v).ok()) {
+        *error = "invalid epsilon '" + s + "' in " + arg +
+                 " (must be positive and finite)";
+        return true;
+      }
       config->epsilons.push_back(v);
     }
+    if (config->epsilons.empty()) return empty_list(), true;
   } else if (arg.rfind("--workload=", 0) == 0) {
     std::string w = value("--workload=");
     if (w == "prefix") {
@@ -146,23 +175,23 @@ inline bool ParseGridFlag(const std::string& arg, ExperimentConfig* config,
     }
   } else if (arg.rfind("--queries=", 0) == 0) {
     uint64_t v;
-    if (!ParseU64(value("--queries="), &v)) return bad(value("--queries=")), true;
+    if (!positive(value("--queries="), &v)) return true;
     config->random_queries = static_cast<size_t>(v);
   } else if (arg.rfind("--samples=", 0) == 0) {
     uint64_t v;
-    if (!ParseU64(value("--samples="), &v)) return bad(value("--samples=")), true;
+    if (!positive(value("--samples="), &v)) return true;
     config->data_samples = static_cast<size_t>(v);
   } else if (arg.rfind("--runs=", 0) == 0) {
     uint64_t v;
-    if (!ParseU64(value("--runs="), &v)) return bad(value("--runs=")), true;
+    if (!positive(value("--runs="), &v)) return true;
     config->runs_per_sample = static_cast<size_t>(v);
   } else if (arg.rfind("--seed=", 0) == 0) {
     uint64_t v;
     if (!ParseU64(value("--seed="), &v)) return bad(value("--seed=")), true;
-    config->seed = v;
+    config->seed = v;  // 0 is a legitimate seed
   } else if (arg.rfind("--threads=", 0) == 0) {
     uint64_t v;
-    if (!ParseU64(value("--threads="), &v)) return bad(value("--threads=")), true;
+    if (!positive(value("--threads="), &v)) return true;
     config->threads = static_cast<size_t>(v);
   } else if (arg == "--pin-threads") {
     config->pin_threads = true;
