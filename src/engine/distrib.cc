@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <map>
 #include <mutex>
 #include <set>
@@ -176,65 +177,6 @@ Result<std::string> MessageKind(const std::string& bytes) {
 }
 
 // ---------------------------------------------------------------------------
-// Fault spec.
-// ---------------------------------------------------------------------------
-
-Result<FaultSpec> ParseFaultSpec(const std::string& spec) {
-  FaultSpec f;
-  if (spec.empty()) return f;
-  size_t pos = 0;
-  while (pos <= spec.size()) {
-    size_t end = spec.find(',', pos);
-    if (end == std::string::npos) end = spec.size();
-    std::string item = spec.substr(pos, end - pos);
-    pos = end + 1;
-    if (item.empty()) continue;
-    std::string name = item;
-    int64_t value = -1;
-    size_t colon = item.find(':');
-    if (colon != std::string::npos) {
-      name = item.substr(0, colon);
-      std::string digits = item.substr(colon + 1);
-      if (digits.empty() ||
-          digits.find_first_not_of("0123456789") != std::string::npos ||
-          digits.size() > 9) {
-        return Status::InvalidArgument(
-            "fault '" + name +
-            "' expects a small non-negative integer, got '" + digits + "'");
-      }
-      value = std::stoll(digits);
-    }
-    if (name == "kill_after") {
-      if (value < 0) {
-        return Status::InvalidArgument(
-            "kill_after needs a count: kill_after:N");
-      }
-      f.kill_after = value;
-    } else if (name == "drop_conn") {
-      if (value < 0) {
-        return Status::InvalidArgument(
-            "drop_conn needs a count: drop_conn:N");
-      }
-      f.drop_conn_after = value;
-    } else if (name == "corrupt_shard") {
-      f.corrupt_shard = true;
-    } else if (name == "straggle_first") {
-      if (value < 0) {
-        return Status::InvalidArgument(
-            "straggle_first needs milliseconds: straggle_first:MS");
-      }
-      f.straggle_first_ms = value;
-    } else {
-      return Status::InvalidArgument(
-          "unknown fault '" + name +
-          "' (known: kill_after:N, drop_conn:N, corrupt_shard, "
-          "straggle_first:MS)");
-    }
-  }
-  return f;
-}
-
-// ---------------------------------------------------------------------------
 // Coordinator.
 // ---------------------------------------------------------------------------
 
@@ -247,6 +189,7 @@ struct TaskEntry {
   uint64_t issue_count = 0;       // outstanding assignments
   Clock::time_point issued_at{};  // earliest outstanding assignment
   ShardFile result;               // valid once state == kDone
+  std::string image;              // encoded result (kept when checkpointing)
 };
 
 // Shared coordinator state; every access under `mu`.
@@ -260,6 +203,37 @@ struct CoordState {
   CoordinatorSummary summary;
   bool all_done = false;
 };
+
+// Rewrites the checkpoint with every completed task's image, tmp-write +
+// atomic rename: the live file is always a complete image, and a crash at
+// any byte of the write leaves the previous checkpoint intact. A persist
+// failure is counted, not fatal — the run still completes, only
+// recoverability degrades. Caller holds s->mu.
+void PersistCheckpoint(CoordState* s, const ExperimentConfig& config,
+                       const CoordinatorOptions& opt) {
+  if (opt.checkpoint_path.empty()) return;
+  CrashIfRequested(opt.fault, "after_task_before_checkpoint");
+  CheckpointFile ckpt;
+  ckpt.num_tasks = opt.num_tasks;
+  ckpt.config = config;
+  for (size_t i = 0; i < s->tasks.size(); ++i) {
+    TaskEntry& t = s->tasks[i];
+    if (t.state != TaskState::kDone) continue;
+    ckpt.task_indices.push_back(static_cast<uint64_t>(i));
+    ckpt.shard_images.push_back(t.image);
+  }
+  std::string tmp = opt.checkpoint_path + ".tmp";
+  if (!WriteFileBytes(tmp, EncodeCheckpointFile(ckpt)).ok()) {
+    ++s->summary.checkpoint_failures;
+    return;
+  }
+  CrashIfRequested(opt.fault, "mid_checkpoint_append");
+  if (std::rename(tmp.c_str(), opt.checkpoint_path.c_str()) != 0) {
+    ++s->summary.checkpoint_failures;
+    return;
+  }
+  ++s->summary.checkpoint_writes;
+}
 
 int64_t StragglerThresholdMs(const CoordState& s,
                              const CoordinatorOptions& opt) {
@@ -482,9 +456,13 @@ void ServeConnection(net::Socket sock, const ExperimentConfig& config,
             }
             t.state = TaskState::kDone;
             t.result = std::move(shard).value();
+            if (!opt.checkpoint_path.empty()) {
+              t.image = std::move(msg->shard_bytes);
+            }
             s->completed_ms.push_back(MsSince(t.issued_at));
             ++s->done_count;
             if (s->done_count == s->tasks.size()) s->all_done = true;
+            PersistCheckpoint(s, config, opt);
           }
         }
       }
@@ -507,6 +485,49 @@ Result<Coordinator> Coordinator::Create(const ExperimentConfig& config,
   Coordinator c;
   c.config_ = config;
   c.options_ = options;
+  if (!options.checkpoint_path.empty()) {
+    auto bytes = ReadFileBytes(options.checkpoint_path);
+    if (bytes.ok()) {
+      // Resume. Everything about the file must line up with this run —
+      // a checkpoint from another grid or partition silently mixed in
+      // would merge skewed shards, the one failure mode worse than
+      // rerunning from scratch.
+      DPB_ASSIGN_OR_RETURN(CheckpointFile ckpt,
+                           DecodeCheckpointFile(*bytes));
+      if (ConfigFingerprint(ckpt.config) != ConfigFingerprint(config)) {
+        return Status::FailedPrecondition(
+            "checkpoint '" + options.checkpoint_path +
+            "' was written for a different experiment config (fingerprint "
+            "mismatch); refusing to resume");
+      }
+      if (ckpt.num_tasks != options.num_tasks) {
+        return Status::FailedPrecondition(
+            "checkpoint '" + options.checkpoint_path + "' partitions the "
+            "grid into " + std::to_string(ckpt.num_tasks) +
+            " tasks but this run asked for " +
+            std::to_string(options.num_tasks) + "; refusing to resume");
+      }
+      for (size_t i = 0; i < ckpt.task_indices.size(); ++i) {
+        DPB_ASSIGN_OR_RETURN(ShardFile shard,
+                             DecodeShardFile(ckpt.shard_images[i]));
+        if (shard.shard_index != ckpt.task_indices[i] ||
+            shard.shard_count != options.num_tasks) {
+          return Status::InvalidArgument(
+              "checkpoint entry for task " +
+              std::to_string(ckpt.task_indices[i]) +
+              " carries a shard image of shard " +
+              std::to_string(shard.shard_index) + " of " +
+              std::to_string(shard.shard_count));
+        }
+        c.resumed_indices_.push_back(ckpt.task_indices[i]);
+        c.resumed_shards_.push_back(std::move(shard));
+        c.resumed_images_.push_back(std::move(ckpt.shard_images[i]));
+      }
+    } else if (bytes.status().code() != StatusCode::kNotFound) {
+      // The file exists but cannot be read: never silently start over.
+      return bytes.status();
+    }
+  }
   DPB_ASSIGN_OR_RETURN(c.listener_, net::Listener::Bind(options.port));
   return c;
 }
@@ -515,6 +536,18 @@ Result<MergedRun> Coordinator::Serve(CoordinatorSummary* summary) {
   CoordState state;
   state.tasks.resize(options_.num_tasks);
   state.summary.tasks = options_.num_tasks;
+  for (size_t i = 0; i < resumed_indices_.size(); ++i) {
+    TaskEntry& t = state.tasks[resumed_indices_[i]];
+    t.state = TaskState::kDone;
+    t.result = std::move(resumed_shards_[i]);
+    t.image = std::move(resumed_images_[i]);
+    ++state.done_count;
+  }
+  state.summary.tasks_resumed = resumed_indices_.size();
+  resumed_indices_.clear();
+  resumed_shards_.clear();
+  resumed_images_.clear();
+  if (state.done_count == state.tasks.size()) state.all_done = true;
 
   Status serve_status = Status::OK();
   std::vector<std::thread> conns;

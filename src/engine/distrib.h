@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/engine/fault.h"
 #include "src/engine/net.h"
 #include "src/engine/runner.h"
 #include "src/engine/serialize.h"
@@ -106,24 +107,12 @@ Result<ResultMsg> DecodeResult(const std::string& bytes);
 Result<IdleMsg> DecodeIdle(const std::string& bytes);
 
 // ---------------------------------------------------------------------------
-// Fault injection.
+// Fault injection — shared with serve; lives in src/engine/fault.h. The
+// aliases keep the historical distrib::FaultSpec spelling working.
 // ---------------------------------------------------------------------------
 
-/// What a worker has been told to break, parsed from DPBENCH_FAULT:
-///   kill_after:N    exit abruptly (no shutdown handshake) after N uploads
-///   drop_conn:N     close and reconnect after N uploads
-///   corrupt_shard   flip one byte in each shard payload before upload
-///   straggle_first:MS  sleep MS before executing the first task
-struct FaultSpec {
-  int64_t kill_after = -1;      // uploads before dying; -1 = never
-  int64_t drop_conn_after = -1; // uploads before dropping the connection
-  bool corrupt_shard = false;
-  int64_t straggle_first_ms = 0;
-};
-
-/// Parses a DPBENCH_FAULT value ("" = no faults). InvalidArgument on an
-/// unknown fault name or malformed count.
-Result<FaultSpec> ParseFaultSpec(const std::string& spec);
+using dpbench::FaultSpec;
+using dpbench::ParseFaultSpec;
 
 // ---------------------------------------------------------------------------
 // Coordinator.
@@ -137,6 +126,13 @@ struct CoordinatorOptions {
   double straggler_factor = 3.0;    ///< x median task time
   int idle_retry_ms = 200;     ///< backoff we hand to idle workers
   int poll_ms = 100;           ///< connection-thread poll slice
+  /// Durable progress file ("" = no checkpointing). Every completed task
+  /// rewrites the checkpoint via tmp-write + atomic rename, so the live
+  /// file is always a complete, self-verifying image. Create() resumes
+  /// from an existing file whose config fingerprint and task count match
+  /// (anything else is a loud refusal), re-running only incomplete tasks.
+  std::string checkpoint_path;
+  FaultSpec fault;  ///< coordinator-side crash points (tests / CI)
 };
 
 /// What happened during a coordinated run (for logs, tests, and the CI
@@ -149,13 +145,20 @@ struct CoordinatorSummary {
   uint64_t speculative_issued = 0;  ///< straggler copies handed out
   uint64_t duplicate_results = 0;   ///< uploads for already-done tasks
   uint64_t corrupt_uploads = 0;     ///< uploads rejected by checksum/decode
+  uint64_t tasks_resumed = 0;       ///< completed tasks taken from checkpoint
+  uint64_t checkpoint_writes = 0;   ///< successful checkpoint persists
+  uint64_t checkpoint_failures = 0; ///< persists that failed (run continues)
 };
 
 class Coordinator {
  public:
   /// Binds the listener (options.port; 0 = ephemeral, read back via
   /// port()) without accepting yet, so callers can learn the port before
-  /// starting workers.
+  /// starting workers. If options.checkpoint_path names an existing file,
+  /// loads it and resumes: completed tasks are trusted (their images are
+  /// self-verifying) and never re-executed. A checkpoint whose config
+  /// fingerprint differs is FailedPrecondition, a damaged one DataLoss —
+  /// never a silent fresh start that could merge skewed shards.
   static Result<Coordinator> Create(const ExperimentConfig& config,
                                     const CoordinatorOptions& options);
 
@@ -176,6 +179,11 @@ class Coordinator {
   ExperimentConfig config_;
   CoordinatorOptions options_;
   net::Listener listener_;
+  /// Tasks recovered from the checkpoint: (task index, decoded shard,
+  /// original image bytes — kept so later checkpoint rewrites carry them).
+  std::vector<uint64_t> resumed_indices_;
+  std::vector<ShardFile> resumed_shards_;
+  std::vector<std::string> resumed_images_;
 };
 
 // ---------------------------------------------------------------------------

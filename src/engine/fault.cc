@@ -1,0 +1,107 @@
+#include "src/engine/fault.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace dpbench {
+
+namespace {
+
+bool IsKnownCrashPoint(const std::string& point) {
+  for (const char* known : kCrashPoints) {
+    if (point == known) return true;
+  }
+  return false;
+}
+
+std::string KnownCrashPointList() {
+  std::string out;
+  for (const char* known : kCrashPoints) {
+    if (!out.empty()) out += ", ";
+    out += known;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<FaultSpec> ParseFaultSpec(const std::string& spec) {
+  FaultSpec f;
+  if (spec.empty()) return f;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    std::string name = item;
+    std::string arg;
+    size_t colon = item.find(':');
+    if (colon != std::string::npos) {
+      name = item.substr(0, colon);
+      arg = item.substr(colon + 1);
+    }
+    if (name == "crash_at") {
+      if (!IsKnownCrashPoint(arg)) {
+        return Status::InvalidArgument(
+            "unknown crash point '" + arg +
+            "' (known: " + KnownCrashPointList() + ")");
+      }
+      f.crash_at = arg;
+      continue;
+    }
+    int64_t value = -1;
+    if (colon != std::string::npos) {
+      if (arg.empty() ||
+          arg.find_first_not_of("0123456789") != std::string::npos ||
+          arg.size() > 9) {
+        return Status::InvalidArgument(
+            "fault '" + name +
+            "' expects a small non-negative integer, got '" + arg + "'");
+      }
+      value = std::stoll(arg);
+    }
+    if (name == "kill_after") {
+      if (value < 0) {
+        return Status::InvalidArgument(
+            "kill_after needs a count: kill_after:N");
+      }
+      f.kill_after = value;
+    } else if (name == "drop_conn") {
+      if (value < 0) {
+        return Status::InvalidArgument(
+            "drop_conn needs a count: drop_conn:N");
+      }
+      f.drop_conn_after = value;
+    } else if (name == "corrupt_shard") {
+      f.corrupt_shard = true;
+    } else if (name == "straggle_first") {
+      if (value < 0) {
+        return Status::InvalidArgument(
+            "straggle_first needs milliseconds: straggle_first:MS");
+      }
+      f.straggle_first_ms = value;
+    } else {
+      return Status::InvalidArgument(
+          "unknown fault '" + name +
+          "' (known: kill_after:N, drop_conn:N, corrupt_shard, "
+          "straggle_first:MS, crash_at:POINT)");
+    }
+  }
+  return f;
+}
+
+void CrashIfRequested(const FaultSpec& spec, const char* point) {
+  if (spec.crash_at.empty() || spec.crash_at != point) return;
+  // stderr is unbuffered enough for test logs; the raise() below never
+  // returns and skips atexit/flush, matching an external kill -9.
+  std::fprintf(stderr, "DPBENCH_FAULT: crashing at %s\n", point);
+  ::raise(SIGKILL);
+  ::_exit(137);  // unreachable; belt and braces if SIGKILL is blocked
+}
+
+}  // namespace dpbench

@@ -1,0 +1,63 @@
+// Fault injection for the daemons (tests and the CI smoke jobs).
+//
+// A FaultSpec — parsed from the DPBENCH_FAULT environment variable or a
+// --fault= flag — tells a process what to break and when. The worker-side
+// faults (kill_after, drop_conn, corrupt_shard, straggle_first) exercise
+// the coordinator's recovery machinery; the crash_at points kill the
+// process with SIGKILL at a named durability window so recovery tests can
+// assert the invariants each window guarantees (budget never
+// under-charged, no partial answer emitted, resume never re-executes a
+// completed task).
+#ifndef DPBENCH_ENGINE_FAULT_H_
+#define DPBENCH_ENGINE_FAULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace dpbench {
+
+// Crash-point vocabulary. Each name marks one durability window:
+//   after_charge_before_journal    serve: budget charged in memory, journal
+//                                  record not yet appended
+//   after_journal_before_persist   serve: grant journaled, snapshot/answer
+//                                  not yet produced
+//   mid_checkpoint_append          coordinator: checkpoint tmp written, not
+//                                  yet renamed over the live file
+//   after_task_before_checkpoint   coordinator: task marked done in memory,
+//                                  checkpoint not yet persisted
+//   mid_compaction                 serve: compacted snapshot tmp written,
+//                                  not yet renamed / journal not truncated
+inline constexpr const char* kCrashPoints[] = {
+    "after_charge_before_journal", "after_journal_before_persist",
+    "mid_checkpoint_append",       "after_task_before_checkpoint",
+    "mid_compaction",
+};
+
+/// What a process has been told to break, parsed from DPBENCH_FAULT:
+///   kill_after:N       exit abruptly (no shutdown handshake) after N uploads
+///   drop_conn:N        close and reconnect after N uploads
+///   corrupt_shard      flip one byte in each shard payload before upload
+///   straggle_first:MS  sleep MS before executing the first task
+///   crash_at:POINT     raise SIGKILL at the named durability window
+struct FaultSpec {
+  int64_t kill_after = -1;      // uploads before dying; -1 = never
+  int64_t drop_conn_after = -1; // uploads before dropping the connection
+  bool corrupt_shard = false;
+  int64_t straggle_first_ms = 0;
+  std::string crash_at;         // one of kCrashPoints; "" = never
+};
+
+/// Parses a DPBENCH_FAULT value ("" = no faults). InvalidArgument on an
+/// unknown fault name, malformed count, or unknown crash point.
+Result<FaultSpec> ParseFaultSpec(const std::string& spec);
+
+/// Kills the process with SIGKILL (no atexit, no flush — exactly what a
+/// kill -9 or power loss leaves behind) if `spec.crash_at == point`.
+/// A note is written to stderr first so test logs show which window fired.
+void CrashIfRequested(const FaultSpec& spec, const char* point);
+
+}  // namespace dpbench
+
+#endif  // DPBENCH_ENGINE_FAULT_H_

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <utility>
 
+#include "src/common/crc32c.h"
 #include "src/engine/wire.h"
 
 namespace dpbench {
@@ -308,6 +309,7 @@ constexpr char kKindPlanPayload[] = "dpbench.plan_payload";
 constexpr char kKindShard[] = "dpbench.shard";
 constexpr char kKindPlanCache[] = "dpbench.plan_cache";
 constexpr char kKindLedger[] = "dpbench.ledger";
+constexpr char kKindCheckpoint[] = "dpbench.checkpoint";
 
 // Section names. Single-record artifacts live in one "body" section; the
 // multi-part file formats split into sections along their natural seams so
@@ -320,6 +322,7 @@ constexpr char kSectionDiagnostics[] = "diagnostics";
 constexpr char kSectionWorkload[] = "workload";
 constexpr char kSectionPlans[] = "plans";
 constexpr char kSectionLedger[] = "ledger";
+constexpr char kSectionTasks[] = "tasks";
 
 std::string WrapSingle(const std::string& kind, std::string record) {
   std::vector<wire::Section> sections;
@@ -497,32 +500,26 @@ std::string EncodePlanCacheFile(const PlanStore& store,
   return wire::WrapEnvelope(kKindPlanCache, std::move(sections));
 }
 
-Result<PlanStore> DecodePlanCacheFile(const std::string& bytes,
-                                      const ExperimentConfig& config) {
+Result<PlanStore> DecodePlanCacheFileRaw(const std::string& bytes,
+                                         PlanCacheIdentity* identity) {
   DPB_ASSIGN_OR_RETURN(wire::Envelope env, wire::UnwrapEnvelope(bytes));
   if (env.kind != kKindPlanCache) {
     return Status::InvalidArgument("serialized artifact is a '" + env.kind +
                                    "', expected '" + kKindPlanCache + "'");
   }
-  // Workload identity check: plans of workload-aware mechanisms are only
-  // valid for the exact workload they were planned against. The plan keys
-  // (algo|domain|eps) deliberately omit it, so the file carries it.
   DPB_ASSIGN_OR_RETURN(std::string workload_bytes,
                        env.Take(kSectionWorkload));
   DPB_ASSIGN_OR_RETURN(Record workload_rec, Record::Parse(workload_bytes));
   DPB_ASSIGN_OR_RETURN(uint64_t workload, workload_rec.U64("workload"));
-  DPB_ASSIGN_OR_RETURN(uint64_t random_queries,
-                       workload_rec.U64("random_queries"));
-  DPB_ASSIGN_OR_RETURN(uint64_t workload_seed,
-                       workload_rec.U64("workload_seed"));
-  bool random2d = config.workload == WorkloadKind::kRandomRange2D;
-  if (workload != static_cast<uint64_t>(config.workload) ||
-      random_queries != (random2d ? config.random_queries : 0) ||
-      workload_seed != (random2d ? config.seed : 0)) {
+  if (workload > static_cast<uint64_t>(WorkloadKind::kIdentity)) {
     return Status::InvalidArgument(
-        "plan cache was built for a different workload than this run's "
-        "config");
+        "plan-cache file has unknown workload kind");
   }
+  identity->workload = static_cast<WorkloadKind>(workload);
+  DPB_ASSIGN_OR_RETURN(identity->random_queries,
+                       workload_rec.U64("random_queries"));
+  DPB_ASSIGN_OR_RETURN(identity->workload_seed,
+                       workload_rec.U64("workload_seed"));
   DPB_ASSIGN_OR_RETURN(std::string plans_bytes, env.Take(kSectionPlans));
   DPB_ASSIGN_OR_RETURN(Record plans_rec, Record::Parse(plans_bytes));
   DPB_ASSIGN_OR_RETURN(std::vector<std::string> keys,
@@ -545,13 +542,34 @@ Result<PlanStore> DecodePlanCacheFile(const std::string& bytes,
   return store;
 }
 
+Result<PlanStore> DecodePlanCacheFile(const std::string& bytes,
+                                      const ExperimentConfig& config) {
+  // Workload identity check: plans of workload-aware mechanisms are only
+  // valid for the exact workload they were planned against. The plan keys
+  // (algo|domain|eps) deliberately omit it, so the file carries it.
+  PlanCacheIdentity identity;
+  DPB_ASSIGN_OR_RETURN(PlanStore store,
+                       DecodePlanCacheFileRaw(bytes, &identity));
+  bool random2d = config.workload == WorkloadKind::kRandomRange2D;
+  if (identity.workload != config.workload ||
+      identity.random_queries != (random2d ? config.random_queries : 0) ||
+      identity.workload_seed != (random2d ? config.seed : 0)) {
+    return Status::InvalidArgument(
+        "plan cache was built for a different workload than this run's "
+        "config");
+  }
+  return store;
+}
+
 // ---------------------------------------------------------------------------
 // Ledger files.
 // ---------------------------------------------------------------------------
 
-std::string EncodeLedgerFile(const std::vector<LedgerEntry>& entries) {
+std::string EncodeLedgerFile(const std::vector<LedgerEntry>& entries,
+                             uint64_t journal_seq) {
   RecordWriter body;
   body.U64("entries", entries.size());
+  body.U64("journal_seq", journal_seq);
   std::vector<std::string> records;
   records.reserve(entries.size());
   for (const LedgerEntry& e : entries) {
@@ -569,7 +587,7 @@ std::string EncodeLedgerFile(const std::vector<LedgerEntry>& entries) {
   return wire::WrapEnvelope(kKindLedger, std::move(sections));
 }
 
-Result<std::vector<LedgerEntry>> DecodeLedgerFile(const std::string& bytes) {
+Result<LedgerFile> DecodeLedgerFile(const std::string& bytes) {
   DPB_ASSIGN_OR_RETURN(wire::Envelope env, wire::UnwrapEnvelope(bytes));
   if (env.kind != kKindLedger) {
     return Status::InvalidArgument("serialized artifact is a '" + env.kind +
@@ -578,6 +596,11 @@ Result<std::vector<LedgerEntry>> DecodeLedgerFile(const std::string& bytes) {
   DPB_ASSIGN_OR_RETURN(std::string body_bytes, env.Take(kSectionLedger));
   DPB_ASSIGN_OR_RETURN(Record body, Record::Parse(body_bytes));
   DPB_ASSIGN_OR_RETURN(uint64_t count, body.U64("entries"));
+  LedgerFile file;
+  // Pre-journal snapshots lack the field; they fold nothing, seq 0.
+  if (auto seq = body.U64("journal_seq"); seq.ok()) {
+    file.journal_seq = *seq;
+  }
   DPB_ASSIGN_OR_RETURN(std::vector<std::string> records,
                        body.TakeRecVec("ledgers"));
   if (records.size() != count) {
@@ -585,8 +608,8 @@ Result<std::vector<LedgerEntry>> DecodeLedgerFile(const std::string& bytes) {
         "ledger file declares " + std::to_string(count) +
         " entries but carries " + std::to_string(records.size()));
   }
-  std::vector<LedgerEntry> entries;
-  entries.reserve(records.size());
+  file.entries.reserve(records.size());
+  std::set<std::pair<std::string, std::string>> seen;
   for (const std::string& rec_bytes : records) {
     DPB_ASSIGN_OR_RETURN(Record rec, Record::Parse(rec_bytes));
     LedgerEntry e;
@@ -595,9 +618,223 @@ Result<std::vector<LedgerEntry>> DecodeLedgerFile(const std::string& bytes) {
     DPB_ASSIGN_OR_RETURN(e.budget, rec.F64("budget"));
     DPB_ASSIGN_OR_RETURN(e.spent, rec.F64("spent"));
     DPB_ASSIGN_OR_RETURN(e.queries, rec.U64("queries"));
-    entries.push_back(std::move(e));
+    if (!seen.emplace(e.user, e.dataset).second) {
+      // Last-write-wins here could silently resurrect spent budget.
+      return Status::InvalidArgument(
+          "duplicate ledger entry: (user '" + e.user + "', dataset '" +
+          e.dataset + "') appears more than once in the ledger file");
+    }
+    file.entries.push_back(std::move(e));
   }
-  return entries;
+  return file;
+}
+
+// ---------------------------------------------------------------------------
+// Charge journal.
+// ---------------------------------------------------------------------------
+
+const char* JournalOutcomeName(JournalOutcome outcome) {
+  switch (outcome) {
+    case JournalOutcome::kGrant: return "grant";
+    case JournalOutcome::kRefusal: return "refusal";
+    case JournalOutcome::kRollback: return "rollback";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Per-record frame: magic | u32 payload_len | u32 CRC32C(payload) | payload.
+constexpr char kJournalMagic[4] = {'D', 'P', 'B', 'J'};
+constexpr size_t kJournalFrameHeader = 12;
+// No admission decision is remotely this large; a bigger declared length
+// is either a torn tail or corruption, never a real record.
+constexpr uint32_t kMaxJournalRecordBytes = 1u << 20;
+
+uint32_t LoadU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+void StoreU32Le(uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+}  // namespace
+
+std::string EncodeJournalRecord(const JournalRecord& record) {
+  RecordWriter w;
+  w.U64("seq", record.seq);
+  w.U64("outcome", static_cast<uint64_t>(record.outcome));
+  w.Str("user", record.user);
+  w.Str("dataset", record.dataset);
+  w.F64("epsilon", record.epsilon);
+  w.U64("ordinal", record.ordinal);
+  w.F64("budget", record.budget);
+  w.F64("spent_after", record.spent_after);
+  w.U64("existed", record.existed);
+  std::string payload = std::move(w).Finish();
+  std::string out;
+  out.reserve(kJournalFrameHeader + payload.size());
+  out.append(kJournalMagic, sizeof(kJournalMagic));
+  StoreU32Le(static_cast<uint32_t>(payload.size()), &out);
+  StoreU32Le(Crc32c(payload), &out);
+  out += payload;
+  return out;
+}
+
+Result<Journal> DecodeJournal(const std::string& bytes) {
+  Journal journal;
+  size_t off = 0;
+  size_t index = 0;
+  uint64_t prev_seq = 0;
+  while (off < bytes.size()) {
+    size_t remaining = bytes.size() - off;
+    if (remaining < kJournalFrameHeader) {
+      // kill -9 mid-append: the frame header itself is torn.
+      journal.dropped_tail_bytes = remaining;
+      break;
+    }
+    if (std::memcmp(bytes.data() + off, kJournalMagic,
+                    sizeof(kJournalMagic)) != 0) {
+      return Status::DataLoss(
+          "journal record " + std::to_string(index) +
+          " does not start with the DPBJ magic (corrupt journal)");
+    }
+    uint32_t len = LoadU32Le(bytes.data() + off + 4);
+    uint32_t crc = LoadU32Le(bytes.data() + off + 8);
+    if (len > kMaxJournalRecordBytes || kJournalFrameHeader + len > remaining) {
+      // The declared payload runs past EOF: a torn tail if this really is
+      // the last append, corruption if bytes follow. With an over-long
+      // (garbage) length we cannot distinguish the two — tolerate only
+      // when nothing but this frame remains.
+      if (len <= kMaxJournalRecordBytes ||
+          remaining <= kJournalFrameHeader + kMaxJournalRecordBytes) {
+        journal.dropped_tail_bytes = remaining;
+        break;
+      }
+      return Status::DataLoss("journal record " + std::to_string(index) +
+                              " declares an impossible length " +
+                              std::to_string(len));
+    }
+    const char* payload = bytes.data() + off + kJournalFrameHeader;
+    bool last = off + kJournalFrameHeader + len == bytes.size();
+    if (Crc32c(static_cast<const void*>(payload), len) != crc) {
+      if (last) {
+        // Torn final record: the append never completed, the decision it
+        // described never became durable. Drop it.
+        journal.dropped_tail_bytes = remaining;
+        break;
+      }
+      return Status::DataLoss("journal record " + std::to_string(index) +
+                              " fails its checksum before the journal tail "
+                              "(corrupt journal)");
+    }
+    DPB_ASSIGN_OR_RETURN(Record rec,
+                         Record::Parse(std::string(payload, len)));
+    JournalRecord r;
+    DPB_ASSIGN_OR_RETURN(r.seq, rec.U64("seq"));
+    DPB_ASSIGN_OR_RETURN(uint64_t outcome, rec.U64("outcome"));
+    if (outcome > static_cast<uint64_t>(JournalOutcome::kRollback)) {
+      return Status::InvalidArgument("journal record " +
+                                     std::to_string(index) +
+                                     " has unknown outcome " +
+                                     std::to_string(outcome));
+    }
+    r.outcome = static_cast<JournalOutcome>(outcome);
+    DPB_ASSIGN_OR_RETURN(r.user, rec.Str("user"));
+    DPB_ASSIGN_OR_RETURN(r.dataset, rec.Str("dataset"));
+    DPB_ASSIGN_OR_RETURN(r.epsilon, rec.F64("epsilon"));
+    DPB_ASSIGN_OR_RETURN(r.ordinal, rec.U64("ordinal"));
+    DPB_ASSIGN_OR_RETURN(r.budget, rec.F64("budget"));
+    DPB_ASSIGN_OR_RETURN(r.spent_after, rec.F64("spent_after"));
+    DPB_ASSIGN_OR_RETURN(r.existed, rec.U64("existed"));
+    if (index > 0 && r.seq <= prev_seq) {
+      return Status::InvalidArgument(
+          "journal sequence regressed at record " + std::to_string(index) +
+          ": seq " + std::to_string(r.seq) + " after " +
+          std::to_string(prev_seq) +
+          " (spliced or rewritten journal; refusing to replay)");
+    }
+    prev_seq = r.seq;
+    journal.records.push_back(std::move(r));
+    off += kJournalFrameHeader + len;
+    ++index;
+  }
+  return journal;
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator checkpoint files.
+// ---------------------------------------------------------------------------
+
+std::string EncodeCheckpointFile(const CheckpointFile& checkpoint) {
+  RecordWriter manifest;
+  manifest.U64("num_tasks", checkpoint.num_tasks);
+  manifest.Rec("config", ConfigRecord(checkpoint.config));
+  manifest.U64("completed", checkpoint.task_indices.size());
+
+  RecordWriter tasks;
+  tasks.U64Vec("indices", checkpoint.task_indices);
+  tasks.StrVec("images", checkpoint.shard_images);
+
+  std::vector<wire::Section> sections;
+  sections.push_back({kSectionManifest, std::move(manifest).Finish()});
+  sections.push_back({kSectionTasks, std::move(tasks).Finish()});
+  return wire::WrapEnvelope(kKindCheckpoint, std::move(sections));
+}
+
+Result<CheckpointFile> DecodeCheckpointFile(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(wire::Envelope env, wire::UnwrapEnvelope(bytes));
+  if (env.kind != kKindCheckpoint) {
+    return Status::InvalidArgument("serialized artifact is a '" + env.kind +
+                                   "', expected '" + kKindCheckpoint + "'");
+  }
+  CheckpointFile ckpt;
+  DPB_ASSIGN_OR_RETURN(std::string manifest_bytes,
+                       env.Take(kSectionManifest));
+  DPB_ASSIGN_OR_RETURN(Record manifest, Record::Parse(manifest_bytes));
+  DPB_ASSIGN_OR_RETURN(ckpt.num_tasks, manifest.U64("num_tasks"));
+  DPB_ASSIGN_OR_RETURN(std::string config_rec, manifest.Rec("config"));
+  DPB_ASSIGN_OR_RETURN(ckpt.config, ConfigFromRecord(config_rec));
+  DPB_ASSIGN_OR_RETURN(uint64_t completed, manifest.U64("completed"));
+
+  DPB_ASSIGN_OR_RETURN(std::string tasks_bytes, env.Take(kSectionTasks));
+  DPB_ASSIGN_OR_RETURN(Record tasks, Record::Parse(tasks_bytes));
+  DPB_ASSIGN_OR_RETURN(ckpt.task_indices, tasks.U64Vec("indices"));
+  DPB_ASSIGN_OR_RETURN(ckpt.shard_images, tasks.StrVec("images"));
+  if (ckpt.num_tasks == 0) {
+    return Status::InvalidArgument("checkpoint declares zero tasks");
+  }
+  if (ckpt.task_indices.size() != ckpt.shard_images.size() ||
+      ckpt.task_indices.size() != completed) {
+    return Status::InvalidArgument(
+        "checkpoint declares " + std::to_string(completed) +
+        " completed tasks but carries " +
+        std::to_string(ckpt.task_indices.size()) + " indices and " +
+        std::to_string(ckpt.shard_images.size()) + " shard images");
+  }
+  std::set<uint64_t> seen;
+  for (uint64_t index : ckpt.task_indices) {
+    if (index >= ckpt.num_tasks) {
+      return Status::InvalidArgument(
+          "checkpoint lists completed task " + std::to_string(index) +
+          " outside its partition of " + std::to_string(ckpt.num_tasks) +
+          " tasks");
+    }
+    if (!seen.insert(index).second) {
+      return Status::InvalidArgument(
+          "duplicate checkpoint entry: task " + std::to_string(index) +
+          " appears more than once (checkpoint was not written by one "
+          "coordinator run)");
+    }
+  }
+  return ckpt;
 }
 
 // ---------------------------------------------------------------------------
@@ -901,6 +1138,19 @@ Status WriteFileBytes(const std::string& path, const std::string& bytes) {
   os.flush();
   if (!os) {
     return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status AppendFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::app);
+  if (!os) {
+    return Status::NotFound("cannot open '" + path + "' for appending");
+  }
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  os.flush();
+  if (!os) {
+    return Status::Internal("short append to '" + path + "'");
   }
   return Status::OK();
 }

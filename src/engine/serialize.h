@@ -110,6 +110,22 @@ std::string EncodePlanCacheFile(const PlanStore& store,
 Result<PlanStore> DecodePlanCacheFile(const std::string& bytes,
                                       const ExperimentConfig& config);
 
+/// The workload identity a plan-cache file was planned against.
+/// random_queries and workload_seed are 0 unless workload is
+/// kRandomRange2D (the only workload where they shape planning).
+struct PlanCacheIdentity {
+  WorkloadKind workload = WorkloadKind::kPrefix1D;
+  uint64_t random_queries = 0;
+  uint64_t workload_seed = 0;
+};
+
+/// Decodes a plan-cache file without a loading config, returning the
+/// stored workload identity for the caller to validate (dpbench_serve
+/// hydrates caches against its own workload conventions rather than an
+/// ExperimentConfig). DecodePlanCacheFile is this plus the identity check.
+Result<PlanStore> DecodePlanCacheFileRaw(const std::string& bytes,
+                                         PlanCacheIdentity* identity);
+
 // ---------------------------------------------------------------------------
 // Privacy-budget ledger files: the persisted state of dpbench_serve's
 // budget accountant (engine/serve). One entry per (user, dataset) pair;
@@ -136,11 +152,123 @@ struct LedgerEntry {
   }
 };
 
+/// A decoded ledger snapshot. `journal_seq` is the highest charge-journal
+/// sequence number already folded into the entries (0 for snapshots
+/// written before journaling existed, or when no journal is in use):
+/// journal replay applies only records with seq > journal_seq, which is
+/// what makes compaction crash-safe — a crash after the snapshot rename
+/// but before the journal truncation merely replays already-folded
+/// records as no-ops (they are skipped by sequence).
+struct LedgerFile {
+  std::vector<LedgerEntry> entries;
+  uint64_t journal_seq = 0;
+};
+
 /// Encodes a ledger snapshot. Entries are written in the order given;
 /// the accountant snapshots in sorted key order, so identical state
 /// always produces identical bytes (the serve-smoke restart contract).
-std::string EncodeLedgerFile(const std::vector<LedgerEntry>& entries);
-Result<std::vector<LedgerEntry>> DecodeLedgerFile(const std::string& bytes);
+std::string EncodeLedgerFile(const std::vector<LedgerEntry>& entries,
+                             uint64_t journal_seq = 0);
+
+/// Decodes a ledger snapshot. Rejects duplicate (user, dataset) entries
+/// with a named error — a file that lists the same ledger twice is
+/// corrupt or hand-edited, and last-write-wins could silently resurrect
+/// spent budget.
+Result<LedgerFile> DecodeLedgerFile(const std::string& bytes);
+
+// ---------------------------------------------------------------------------
+// Charge journal: the append-only record of every admission decision
+// dpbench_serve makes (engine/serve). Unlike the enveloped formats above,
+// the journal is a flat sequence of individually framed records —
+//
+//   "DPBJ" | u32 payload_len (LE) | u32 CRC32C(payload) | payload
+//
+// — because an append-only file must be extendable without rewriting (an
+// envelope's section table lives at the front). Each payload is a wire
+// record; each frame carries its own checksum. A record is appended
+// *before* its query executes, so a crash at any point leaves the journal
+// at-or-ahead of reality: replay can over-charge (privacy-conservative)
+// but never under-charge. A torn trailing record — one that stops at EOF
+// mid-frame, exactly what kill -9 during an append leaves — is discarded
+// with a count (the decision it described never became durable); damage
+// anywhere *before* the tail is DataLoss, loudly.
+// ---------------------------------------------------------------------------
+
+enum class JournalOutcome : uint64_t {
+  kGrant = 0,     ///< budget charged; the query will execute
+  kRefusal = 1,   ///< admission refused (budget exhausted); no state change
+  kRollback = 2,  ///< a prior grant undone (journal-append failure path)
+};
+
+/// Stable display name ("grant" | "refusal" | "rollback").
+const char* JournalOutcomeName(JournalOutcome outcome);
+
+/// One admission decision.
+struct JournalRecord {
+  uint64_t seq = 0;  ///< strictly increasing across the journal's life
+  JournalOutcome outcome = JournalOutcome::kGrant;
+  std::string user;
+  std::string dataset;
+  double epsilon = 0.0;      ///< epsilon the decision concerned
+  uint64_t ordinal = 0;      ///< ledger query ordinal the decision is about
+  double budget = 0.0;       ///< ledger budget at decision time
+  double spent_after = 0.0;  ///< ledger spent after the decision applied
+  uint64_t existed = 1;  ///< rollback only: did the ledger entry pre-exist?
+
+  bool operator==(const JournalRecord& other) const {
+    return seq == other.seq && outcome == other.outcome &&
+           user == other.user && dataset == other.dataset &&
+           epsilon == other.epsilon && ordinal == other.ordinal &&
+           budget == other.budget && spent_after == other.spent_after &&
+           existed == other.existed;
+  }
+};
+
+/// One framed journal record, ready to append.
+std::string EncodeJournalRecord(const JournalRecord& record);
+
+/// A decoded journal: every intact record in file order, plus the size of
+/// the discarded torn tail (0 when the file ends cleanly).
+struct Journal {
+  std::vector<JournalRecord> records;
+  uint64_t dropped_tail_bytes = 0;
+};
+
+/// Walks the journal front to back. Fails loudly (DataLoss) on bad magic
+/// or a checksum mismatch before the final record; fails InvalidArgument
+/// on a non-monotonic sequence number (named error — a journal whose
+/// sequence regresses has been truncated-and-appended or spliced, and
+/// replaying it would misattribute charges). A torn final record is
+/// tolerated and reported via dropped_tail_bytes.
+Result<Journal> DecodeJournal(const std::string& bytes);
+
+// ---------------------------------------------------------------------------
+// Coordinator checkpoint files: the durable progress of a distributed run
+// (engine/distrib). Records the grid identity, the deterministic task
+// partition, and every completed task's full shard-file image. Because
+// task t of T is the strided shard {cells i : i % T == t} and every cell
+// stream is derived from (seed, cell identity), a resumed coordinator that
+// trusts these images and re-runs only the rest merges byte-identical to
+// an uninterrupted run.
+// ---------------------------------------------------------------------------
+
+struct CheckpointFile {
+  uint64_t num_tasks = 0;  ///< the run's task partition (fixed at start)
+  ExperimentConfig config; ///< grid identity (execution fields defaulted)
+  /// Completed tasks, parallel arrays: task_indices[i] finished with the
+  /// self-verifying EncodeShardFile image shard_images[i].
+  std::vector<uint64_t> task_indices;
+  std::vector<std::string> shard_images;
+};
+
+std::string EncodeCheckpointFile(const CheckpointFile& checkpoint);
+
+/// Decodes and validates a checkpoint envelope. Rejects, with named
+/// errors: a duplicate task index (two images for one task — the file was
+/// not written by one coordinator run), a task index outside [0,
+/// num_tasks), and mismatched index/image arities. Shard-image *content*
+/// is validated by DecodeShardFile at resume time.
+Result<CheckpointFile> DecodeCheckpointFile(const std::string& bytes);
 
 // ---------------------------------------------------------------------------
 // Merge.
@@ -188,6 +316,12 @@ Result<std::string> DebugJson(const std::string& bytes);
 
 Status WriteFileBytes(const std::string& path, const std::string& bytes);
 Result<std::string> ReadFileBytes(const std::string& path);
+
+/// Appends bytes to `path` (creating it if absent) in one O_APPEND write,
+/// the journal's durability primitive: concurrent appenders never
+/// interleave within a record, and a crash mid-append leaves a torn tail
+/// that DecodeJournal discards rather than a corrupt file.
+Status AppendFileBytes(const std::string& path, const std::string& bytes);
 
 }  // namespace dpbench
 

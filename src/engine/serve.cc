@@ -1,8 +1,12 @@
 #include "src/engine/serve.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <list>
 #include <mutex>
 #include <sstream>
@@ -27,6 +31,8 @@ constexpr char kKindReply[] = "dpbench.s.reply";
 constexpr char kKindStats[] = "dpbench.s.stats";
 constexpr char kKindStatsReply[] = "dpbench.s.statsreply";
 constexpr char kKindStop[] = "dpbench.s.stop";
+constexpr char kKindAudit[] = "dpbench.s.audit";
+constexpr char kKindAuditReply[] = "dpbench.s.auditreply";
 
 constexpr char kSectionBody[] = "body";
 
@@ -155,6 +161,9 @@ std::string EncodeStatsReply(const ServeStats& stats) {
   w.U64("data_cache_misses", stats.data_cache_misses);
   w.U64("data_cache_evictions", stats.data_cache_evictions);
   w.U64("connections", stats.connections);
+  w.U64("journal_appends", stats.journal_appends);
+  w.U64("journal_replayed", stats.journal_replayed);
+  w.U64("plans_hydrated", stats.plans_hydrated);
   return WrapBody(kKindStatsReply, std::move(w).Finish());
 }
 
@@ -175,12 +184,59 @@ Result<ServeStats> DecodeStatsReply(const std::string& bytes) {
   DPB_ASSIGN_OR_RETURN(s.data_cache_evictions,
                        rec.U64("data_cache_evictions"));
   DPB_ASSIGN_OR_RETURN(s.connections, rec.U64("connections"));
+  DPB_ASSIGN_OR_RETURN(s.journal_appends, rec.U64("journal_appends"));
+  DPB_ASSIGN_OR_RETURN(s.journal_replayed, rec.U64("journal_replayed"));
+  DPB_ASSIGN_OR_RETURN(s.plans_hydrated, rec.U64("plans_hydrated"));
   return s;
 }
 
 std::string EncodeStop() {
   wire::RecordWriter w;
   return WrapBody(kKindStop, std::move(w).Finish());
+}
+
+std::string EncodeAuditRequest(const AuditRequest& request) {
+  wire::RecordWriter w;
+  w.Str("user", request.user);
+  w.Str("dataset", request.dataset);
+  return WrapBody(kKindAudit, std::move(w).Finish());
+}
+
+Result<AuditRequest> DecodeAuditRequest(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(wire::Record rec, UnwrapBody(bytes, kKindAudit));
+  AuditRequest r;
+  DPB_ASSIGN_OR_RETURN(r.user, rec.Str("user"));
+  DPB_ASSIGN_OR_RETURN(r.dataset, rec.Str("dataset"));
+  return r;
+}
+
+std::string EncodeAuditReply(const AuditReply& reply) {
+  wire::RecordWriter w;
+  w.U64("snapshot_seq", reply.snapshot_seq);
+  w.U64("dropped_tail_bytes", reply.dropped_tail_bytes);
+  // The records travel as concatenated journal frames: each is already
+  // individually framed and checksummed, and the enclosing envelope
+  // section checksums the lot.
+  std::string frames;
+  for (const JournalRecord& record : reply.records) {
+    frames += EncodeJournalRecord(record);
+  }
+  w.Str("records", frames);
+  return WrapBody(kKindAuditReply, std::move(w).Finish());
+}
+
+Result<AuditReply> DecodeAuditReply(const std::string& bytes) {
+  DPB_ASSIGN_OR_RETURN(wire::Record rec, UnwrapBody(bytes, kKindAuditReply));
+  AuditReply r;
+  DPB_ASSIGN_OR_RETURN(r.snapshot_seq, rec.U64("snapshot_seq"));
+  DPB_ASSIGN_OR_RETURN(r.dropped_tail_bytes, rec.U64("dropped_tail_bytes"));
+  DPB_ASSIGN_OR_RETURN(std::string frames, rec.Str("records"));
+  DPB_ASSIGN_OR_RETURN(Journal journal, DecodeJournal(frames));
+  if (journal.dropped_tail_bytes != 0) {
+    return Status::DataLoss("audit reply carries a torn journal record");
+  }
+  r.records = std::move(journal.records);
+  return r;
 }
 
 Result<std::string> MessageKind(const std::string& bytes) {
@@ -264,6 +320,89 @@ Result<LedgerEntry> LedgerAccountant::Peek(const LedgerKey& key) const {
   return it->second;
 }
 
+Status LedgerAccountant::Replay(const std::vector<JournalRecord>& records,
+                                uint64_t snapshot_seq, uint64_t* applied) {
+  uint64_t count = 0;
+  for (const JournalRecord& r : records) {
+    if (r.seq <= snapshot_seq) continue;  // already folded into the snapshot
+    LedgerKey key{r.user, r.dataset};
+    switch (r.outcome) {
+      case JournalOutcome::kGrant: {
+        auto it = ledgers_.find(key);
+        if (it == ledgers_.end()) {
+          LedgerEntry fresh;
+          fresh.user = r.user;
+          fresh.dataset = r.dataset;
+          fresh.budget = r.budget;  // the budget the grant was made against
+          it = ledgers_.emplace(key, std::move(fresh)).first;
+        }
+        LedgerEntry& entry = it->second;
+        if (entry.queries != r.ordinal) {
+          std::ostringstream os;
+          os << "journal grant seq " << r.seq << " for user '" << r.user
+             << "' dataset '" << r.dataset << "' is ordinal " << r.ordinal
+             << " but the ledger has seen " << entry.queries
+             << " queries (journal and snapshot are from different "
+                "histories; refusing to replay)";
+          return Status::InvalidArgument(os.str());
+        }
+        // Replay is the original charge re-run bit-exactly: the same
+        // addition in the same order over the same snapshot.
+        entry.spent += r.epsilon;
+        entry.queries += 1;
+        if (entry.spent != r.spent_after) {
+          std::ostringstream os;
+          os.precision(17);
+          os << "journal grant seq " << r.seq << " for user '" << r.user
+             << "' dataset '" << r.dataset << "' replays to spent "
+             << entry.spent << " but recorded spent_after " << r.spent_after
+             << " (journal and snapshot are from different histories; "
+                "refusing to replay)";
+          return Status::InvalidArgument(os.str());
+        }
+        break;
+      }
+      case JournalOutcome::kRefusal:
+        // A refusal spends nothing, but a refusing Charge still creates
+        // the ledger entry on first contact — mirror that side effect so
+        // replay reproduces the accountant state bit-exactly.
+        if (ledgers_.find(key) == ledgers_.end()) {
+          LedgerEntry fresh;
+          fresh.user = r.user;
+          fresh.dataset = r.dataset;
+          fresh.budget = r.budget;
+          fresh.spent = r.spent_after;
+          fresh.queries = r.ordinal;
+          ledgers_.emplace(key, std::move(fresh));
+        }
+        break;
+      case JournalOutcome::kRollback: {
+        // The record carries the restored (before-charge) state.
+        if (r.existed != 0) {
+          auto it = ledgers_.find(key);
+          if (it == ledgers_.end()) {
+            std::ostringstream os;
+            os << "journal rollback seq " << r.seq << " names user '"
+               << r.user << "' dataset '" << r.dataset
+               << "' but the ledger has no such entry (journal and snapshot "
+                  "are from different histories; refusing to replay)";
+            return Status::InvalidArgument(os.str());
+          }
+          it->second.budget = r.budget;
+          it->second.spent = r.spent_after;
+          it->second.queries = r.ordinal;
+        } else {
+          ledgers_.erase(key);  // the rolled-back grant was first contact
+        }
+        break;
+      }
+    }
+    ++count;
+  }
+  if (applied != nullptr) *applied = count;
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------------------
 // Server internals.
 // ---------------------------------------------------------------------------
@@ -342,6 +481,14 @@ struct Server::Shared {
   // on disk is always a snapshot the in-memory state actually had.
   std::mutex accountant_mu;
   LedgerAccountant accountant;
+  // Journal state, also under accountant_mu: the last sequence number
+  // assigned (numbering continues across restarts — it starts at the
+  // larger of the snapshot fold point and the last intact journal
+  // record), the boot snapshot's fold point, and the torn tail the boot
+  // decode discarded (both reported by audit).
+  uint64_t next_seq = 0;
+  uint64_t snapshot_seq = 0;
+  uint64_t journal_dropped_tail = 0;
 
   std::mutex cache_mu;
   Lru<PlanEntry> plans;
@@ -367,6 +514,9 @@ struct Server::Shared {
     std::atomic<uint64_t> data_cache_misses{0};
     std::atomic<uint64_t> data_cache_evictions{0};
     std::atomic<uint64_t> connections{0};
+    std::atomic<uint64_t> journal_appends{0};
+    std::atomic<uint64_t> journal_replayed{0};
+    std::atomic<uint64_t> plans_hydrated{0};
   } counters;
 
   ServeStats CollectStats() const {
@@ -391,6 +541,11 @@ struct Server::Shared {
     s.data_cache_evictions =
         counters.data_cache_evictions.load(std::memory_order_relaxed);
     s.connections = counters.connections.load(std::memory_order_relaxed);
+    s.journal_appends =
+        counters.journal_appends.load(std::memory_order_relaxed);
+    s.journal_replayed =
+        counters.journal_replayed.load(std::memory_order_relaxed);
+    s.plans_hydrated = counters.plans_hydrated.load(std::memory_order_relaxed);
     return s;
   }
 };
@@ -427,16 +582,41 @@ void ReleaseScratch(Server::Shared* s, std::unique_ptr<ExecScratch> scratch) {
 }
 
 /// Writes the current ledger snapshot with write-then-rename atomicity.
-/// Caller holds accountant_mu.
+/// Caller holds accountant_mu. The snapshot carries the journal watermark
+/// forward (next_seq), so a later journal-mode boot never replays records
+/// this snapshot already accounts for.
 Status PersistLedger(Server::Shared* s) {
   if (s->options.ledger_path.empty()) return Status::OK();
-  std::string bytes = EncodeLedgerFile(s->accountant.Snapshot());
+  std::string bytes = EncodeLedgerFile(s->accountant.Snapshot(), s->next_seq);
   std::string tmp = s->options.ledger_path + ".tmp";
   DPB_RETURN_NOT_OK(WriteFileBytes(tmp, bytes));
   if (std::rename(tmp.c_str(), s->options.ledger_path.c_str()) != 0) {
     return Status::Internal("rename of ledger file '" + tmp + "' -> '" +
                             s->options.ledger_path + "' failed");
   }
+  return Status::OK();
+}
+
+/// Appends one admission decision to the charge journal. Caller holds
+/// accountant_mu (sequence assignment and the file append must be one
+/// atomic step, or two decisions could journal out of order).
+Status AppendJournal(Server::Shared* s, JournalOutcome outcome,
+                     const LedgerKey& key, double epsilon,
+                     uint64_t ordinal, double budget, double spent_after,
+                     bool existed) {
+  JournalRecord record;
+  record.seq = ++s->next_seq;
+  record.outcome = outcome;
+  record.user = key.user;
+  record.dataset = key.dataset;
+  record.epsilon = epsilon;
+  record.ordinal = ordinal;
+  record.budget = budget;
+  record.spent_after = spent_after;
+  record.existed = existed ? 1 : 0;
+  DPB_RETURN_NOT_OK(AppendFileBytes(s->options.journal_path,
+                                    EncodeJournalRecord(record)));
+  s->counters.journal_appends.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -652,9 +832,13 @@ QueryResponse HandleQuery(Server::Shared* s, const QueryRequest& q,
     return Refuse(ReplyStatus::kInvalidRequest, plan.status().message());
   }
 
-  // Admission: charge, then persist the charge before drawing any noise.
-  // If persistence fails the charge is rolled back and the request fails
-  // kInternal — the ledger file and memory never disagree.
+  // Admission: charge, then make the decision durable before drawing any
+  // noise. With a journal, durability is one O(1) append (grant, refusal,
+  // or — on append failure — rollback); without one, it is the PR-8
+  // snapshot rewrite. Either way the rule is the same: no answer is ever
+  // computed for a charge that is not durable, so a crash at any instant
+  // leaves the durable record at-or-ahead of the answers emitted.
+  const bool journaling = !s->options.journal_path.empty();
   LedgerKey key{q.user, q.dataset};
   LedgerEntry charged;
   {
@@ -664,6 +848,17 @@ QueryResponse HandleQuery(Server::Shared* s, const QueryRequest& q,
     auto result = s->accountant.Charge(key, q.epsilon);
     if (!result.ok()) {
       if (result.status().code() == StatusCode::kFailedPrecondition) {
+        if (journaling) {
+          // Refusals are part of the audit trail but change no ledger
+          // state; losing one cannot misaccount budget, so the append is
+          // best-effort. (A refusing Charge still creates the entry on
+          // first contact, so the re-Peek sees the granted budget.)
+          auto now = s->accountant.Peek(key);
+          LedgerEntry current = now.ok() ? *now : LedgerEntry{};
+          (void)AppendJournal(s, JournalOutcome::kRefusal, key, q.epsilon,
+                              current.queries, current.budget, current.spent,
+                              existed);
+        }
         s->counters.refused_budget.fetch_add(1, std::memory_order_relaxed);
         return Refuse(ReplyStatus::kBudgetExhausted,
                       result.status().message());
@@ -672,12 +867,36 @@ QueryResponse HandleQuery(Server::Shared* s, const QueryRequest& q,
       return Refuse(ReplyStatus::kInvalidRequest, result.status().message());
     }
     charged = *result;
-    Status persisted = PersistLedger(s);
-    if (!persisted.ok()) {
-      s->accountant.Restore(key, existed ? *before : LedgerEntry{}, existed);
-      s->counters.internal_errors.fetch_add(1, std::memory_order_relaxed);
-      return Refuse(ReplyStatus::kInternal,
-                    "ledger persistence failed: " + persisted.message());
+    if (journaling) {
+      CrashIfRequested(s->options.fault, "after_charge_before_journal");
+      Status appended =
+          AppendJournal(s, JournalOutcome::kGrant, key, q.epsilon,
+                        charged.queries - 1, charged.budget, charged.spent,
+                        existed);
+      if (!appended.ok()) {
+        // The grant never became durable: undo it in memory and document
+        // the reversal. The rollback append is best-effort — if the disk
+        // is refusing appends it will fail too, which is safe: replay of
+        // a journal without the grant never applies the charge at all.
+        LedgerEntry restored = existed ? *before : LedgerEntry{};
+        s->accountant.Restore(key, restored, existed);
+        (void)AppendJournal(s, JournalOutcome::kRollback, key, q.epsilon,
+                            restored.queries, restored.budget, restored.spent,
+                            existed);
+        s->counters.internal_errors.fetch_add(1, std::memory_order_relaxed);
+        return Refuse(ReplyStatus::kInternal,
+                      "journal append failed: " + appended.message());
+      }
+      CrashIfRequested(s->options.fault, "after_journal_before_persist");
+    } else {
+      Status persisted = PersistLedger(s);
+      if (!persisted.ok()) {
+        s->accountant.Restore(key, existed ? *before : LedgerEntry{},
+                              existed);
+        s->counters.internal_errors.fetch_add(1, std::memory_order_relaxed);
+        return Refuse(ReplyStatus::kInternal,
+                      "ledger persistence failed: " + persisted.message());
+      }
     }
   }
 
@@ -733,6 +952,35 @@ QueryResponse HandleQuery(Server::Shared* s, const QueryRequest& q,
   return r;
 }
 
+/// Reconstructs the spend history for an audit request: the boot
+/// snapshot's fold point plus every intact journal record, filtered. The
+/// journal is re-read under accountant_mu so no append lands mid-read
+/// (appends are whole-frame, but quiescence keeps the answer exact).
+Result<AuditReply> BuildAudit(Server::Shared* s, const AuditRequest& req) {
+  AuditReply reply;
+  Journal journal;
+  {
+    std::lock_guard<std::mutex> lock(s->accountant_mu);
+    reply.snapshot_seq = s->snapshot_seq;
+    reply.dropped_tail_bytes = s->journal_dropped_tail;
+    if (!s->options.journal_path.empty()) {
+      auto bytes = ReadFileBytes(s->options.journal_path);
+      if (bytes.ok()) {
+        DPB_ASSIGN_OR_RETURN(journal, DecodeJournal(*bytes));
+      } else if (bytes.status().code() != StatusCode::kNotFound) {
+        return bytes.status();
+      }
+    }
+  }
+  reply.dropped_tail_bytes += journal.dropped_tail_bytes;
+  for (JournalRecord& r : journal.records) {
+    if (!req.user.empty() && r.user != req.user) continue;
+    if (!req.dataset.empty() && r.dataset != req.dataset) continue;
+    reply.records.push_back(std::move(r));
+  }
+  return reply;
+}
+
 /// One connection's serving loop: frames in, frames out, one reply per
 /// request. Protocol violations and transport failures end the
 /// connection; the daemon itself keeps serving.
@@ -758,6 +1006,12 @@ void ServeConnection(net::Socket sock, std::shared_ptr<Server::Shared> s) {
       if (!sock.SendFrame(EncodeReply(reply)).ok()) break;
     } else if (*kind == kKindStats) {
       if (!sock.SendFrame(EncodeStatsReply(s->CollectStats())).ok()) break;
+    } else if (*kind == kKindAudit) {
+      auto req = DecodeAuditRequest(frame->bytes);
+      if (!req.ok()) break;
+      auto reply = BuildAudit(s.get(), *req);
+      if (!reply.ok()) break;  // journal unreadable mid-run: drop, not lie
+      if (!sock.SendFrame(EncodeAuditReply(*reply)).ok()) break;
     } else if (*kind == kKindStop) {
       s->stop.store(true, std::memory_order_relaxed);
       (void)sock.SendFrame(EncodeStop());  // best-effort ack
@@ -767,6 +1021,145 @@ void ServeConnection(net::Socket sock, std::shared_ptr<Server::Shared> s) {
     }
   }
   ReleaseScratch(s.get(), std::move(ws.scratch));
+}
+
+/// Rebuilds one cached plan from a plan-cache file entry. The key is the
+/// cache key both the runner and this server use —
+/// algorithm|domain|eps=E[|scale=N] — so the parse here is the inverse of
+/// ResolvePlan's key build, and the hydrated entry is inserted under the
+/// file's exact key string (a later request computes the same string and
+/// hits). The file's workload identity must match this server's planning
+/// conventions; anything else fails Create() loudly rather than serving
+/// answers from a mis-budgeted plan.
+Status HydrateCachedPlan(Server::Shared* s, const std::string& key,
+                         const PlanPayload& payload,
+                         const PlanCacheIdentity& identity) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t bar = key.find('|', start);
+    parts.push_back(key.substr(start, bar == std::string::npos
+                                          ? std::string::npos
+                                          : bar - start));
+    if (bar == std::string::npos) break;
+    start = bar + 1;
+  }
+  if (parts.size() < 3 || parts.size() > 4 || parts[0].empty()) {
+    return Status::InvalidArgument(
+        "plan-cache key '" + key +
+        "' does not parse as algorithm|domain|eps=...[|scale=...]");
+  }
+  const std::string& algo = parts[0];
+
+  std::vector<size_t> sizes;
+  {
+    size_t pos = 0;
+    while (pos <= parts[1].size()) {
+      size_t x = parts[1].find('x', pos);
+      std::string dim = parts[1].substr(
+          pos, x == std::string::npos ? std::string::npos : x - pos);
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(dim.c_str(), &end, 10);
+      if (dim.empty() || end == nullptr || *end != '\0' || v == 0) {
+        return Status::InvalidArgument("plan-cache key '" + key +
+                                       "' has an unparseable domain '" +
+                                       parts[1] + "'");
+      }
+      sizes.push_back(static_cast<size_t>(v));
+      if (x == std::string::npos) break;
+      pos = x + 1;
+    }
+  }
+  if (sizes.empty() || sizes.size() > 2) {
+    return Status::InvalidArgument("plan-cache key '" + key +
+                                   "' names a " +
+                                   std::to_string(sizes.size()) +
+                                   "D domain; this server serves 1D and 2D");
+  }
+  Domain domain = sizes.size() == 1 ? Domain::D1(sizes[0])
+                                    : Domain::D2(sizes[0], sizes[1]);
+
+  if (parts[2].rfind("eps=", 0) != 0) {
+    return Status::InvalidArgument("plan-cache key '" + key +
+                                   "' is missing its eps= part");
+  }
+  std::string eps_text = parts[2].substr(4);
+  char* eps_end = nullptr;
+  double epsilon = std::strtod(eps_text.c_str(), &eps_end);
+  if (eps_text.empty() || eps_end == nullptr || *eps_end != '\0') {
+    return Status::InvalidArgument("plan-cache key '" + key +
+                                   "' has an unparseable epsilon '" +
+                                   eps_text + "'");
+  }
+  DPB_RETURN_NOT_OK(ValidateEpsilon(epsilon));
+
+  bool has_scale = parts.size() == 4;
+  uint64_t scale = 0;
+  if (has_scale) {
+    if (parts[3].rfind("scale=", 0) != 0) {
+      return Status::InvalidArgument("plan-cache key '" + key +
+                                     "' has an unrecognized part '" +
+                                     parts[3] + "'");
+    }
+    std::string scale_text = parts[3].substr(6);
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(scale_text.c_str(), &end, 10);
+    if (scale_text.empty() || end == nullptr || *end != '\0' || v == 0) {
+      return Status::InvalidArgument("plan-cache key '" + key +
+                                     "' has an unparseable scale '" +
+                                     scale_text + "'");
+    }
+    scale = v;
+  }
+
+  DPB_ASSIGN_OR_RETURN(MechanismPtr mech, MechanismRegistry::Get(algo));
+  if (!mech->SupportsDims(domain.num_dims())) {
+    return Status::InvalidArgument(
+        "plan-cache key '" + key + "' pairs algorithm '" + algo + "' with a " +
+        std::to_string(domain.num_dims()) + "D domain it does not support");
+  }
+  if (mech->uses_side_info() != has_scale) {
+    return Status::InvalidArgument(
+        "plan-cache key '" + key + "' " +
+        (has_scale ? "carries a scale part but algorithm '" + algo +
+                         "' does not use side info"
+                   : "lacks the scale part algorithm '" + algo +
+                         "' keys its plans by"));
+  }
+
+  // Workload-identity gate: this server plans 1D domains against the
+  // prefix workload and 2D domains against the paper-size random-range
+  // workload seeded by its own master seed. A cache planned against
+  // anything else would hydrate mis-budgeted plans.
+  if (domain.num_dims() == 1) {
+    if (identity.workload != WorkloadKind::kPrefix1D) {
+      return Status::FailedPrecondition(
+          "plan-cache file was planned against a non-prefix workload; this "
+          "server answers 1D domains from prefix plans — refusing to "
+          "hydrate key '" + key + "'");
+    }
+  } else {
+    if (identity.workload != WorkloadKind::kRandomRange2D ||
+        identity.random_queries != kPlanningQueries2D ||
+        identity.workload_seed != s->options.seed) {
+      return Status::FailedPrecondition(
+          "plan-cache file's 2D workload identity does not match this "
+          "server's planning convention (random-range, " +
+          std::to_string(kPlanningQueries2D) + " queries, seed " +
+          std::to_string(s->options.seed) + ") — refusing to hydrate key '" +
+          key + "'");
+    }
+  }
+
+  DPB_ASSIGN_OR_RETURN(WorkloadEntry workload, ResolveWorkload(s, domain));
+  SideInfo side_info;
+  if (has_scale) side_info.true_scale = static_cast<double>(scale);
+  PlanContext ctx{domain, *workload, epsilon, side_info};
+  DPB_ASSIGN_OR_RETURN(PlanPtr plan, mech->HydratePlan(ctx, payload));
+  PlanEntry entry{std::move(mech), std::move(workload), std::move(plan)};
+  std::lock_guard<std::mutex> lock(s->cache_mu);
+  s->plans.Put(key, std::move(entry), &s->counters.plan_cache_evictions);
+  return Status::OK();
 }
 
 }  // namespace
@@ -780,16 +1173,69 @@ Result<Server> Server::Create(const ServerOptions& options) {
   Server server;
   server.options_ = options;
   server.shared_ = std::make_shared<Shared>(options);
+  Shared* shared = server.shared_.get();
   if (!options.ledger_path.empty()) {
     auto bytes = ReadFileBytes(options.ledger_path);
     if (bytes.ok()) {
-      DPB_ASSIGN_OR_RETURN(std::vector<LedgerEntry> entries,
-                           DecodeLedgerFile(*bytes));
-      DPB_RETURN_NOT_OK(server.shared_->accountant.Load(entries));
+      DPB_ASSIGN_OR_RETURN(LedgerFile file, DecodeLedgerFile(*bytes));
+      DPB_RETURN_NOT_OK(shared->accountant.Load(file.entries));
+      shared->snapshot_seq = file.journal_seq;
+      shared->next_seq = file.journal_seq;
     } else if (bytes.status().code() != StatusCode::kNotFound) {
       // A present-but-unreadable (or corrupt) ledger must fail loudly:
       // starting fresh would silently resurrect spent budget.
       return bytes.status();
+    }
+  }
+  if (!options.journal_path.empty()) {
+    auto bytes = ReadFileBytes(options.journal_path);
+    if (bytes.ok()) {
+      DPB_ASSIGN_OR_RETURN(Journal journal, DecodeJournal(*bytes));
+      uint64_t applied = 0;
+      DPB_RETURN_NOT_OK(shared->accountant.Replay(
+          journal.records, shared->snapshot_seq, &applied));
+      shared->counters.journal_replayed.store(applied,
+                                              std::memory_order_relaxed);
+      shared->journal_dropped_tail = journal.dropped_tail_bytes;
+      if (!journal.records.empty()) {
+        shared->next_seq =
+            std::max(shared->next_seq, journal.records.back().seq);
+      }
+      if (journal.dropped_tail_bytes > 0) {
+        // A torn tail is exactly what a kill mid-append leaves. It must
+        // come off the file before we append again — new records landing
+        // after the garbage would corrupt the journal mid-file.
+        uint64_t keep = bytes->size() - journal.dropped_tail_bytes;
+        if (::truncate(options.journal_path.c_str(),
+                       static_cast<off_t>(keep)) != 0) {
+          return Status::Internal(
+              "could not truncate torn tail (" +
+              std::to_string(journal.dropped_tail_bytes) + " bytes) off '" +
+              options.journal_path + "'");
+        }
+        std::fprintf(stderr,
+                     "dpbench_serve: discarded %llu torn tail bytes from "
+                     "'%s' (interrupted append; the decision it described "
+                     "never became durable)\n",
+                     static_cast<unsigned long long>(
+                         journal.dropped_tail_bytes),
+                     options.journal_path.c_str());
+      }
+    } else if (bytes.status().code() != StatusCode::kNotFound) {
+      // Same rule as the ledger: an unreadable journal must never decay
+      // into a silent fresh start.
+      return bytes.status();
+    }
+  }
+  if (!options.load_plans_path.empty()) {
+    DPB_ASSIGN_OR_RETURN(std::string bytes,
+                         ReadFileBytes(options.load_plans_path));
+    PlanCacheIdentity identity;
+    DPB_ASSIGN_OR_RETURN(PlanStore store,
+                         DecodePlanCacheFileRaw(bytes, &identity));
+    for (const auto& [key, payload] : store.plans) {
+      DPB_RETURN_NOT_OK(HydrateCachedPlan(shared, key, payload, identity));
+      shared->counters.plans_hydrated.fetch_add(1, std::memory_order_relaxed);
     }
   }
   DPB_ASSIGN_OR_RETURN(server.listener_, net::Listener::Bind(options.port));
@@ -820,6 +1266,68 @@ void Server::Stop() {
 }
 
 ServeStats Server::stats() const { return shared_->CollectStats(); }
+
+// ---------------------------------------------------------------------------
+// Compaction.
+// ---------------------------------------------------------------------------
+
+Result<CompactionSummary> CompactJournal(const std::string& ledger_path,
+                                         const std::string& journal_path,
+                                         double default_budget,
+                                         const FaultSpec& fault) {
+  if (ledger_path.empty() || journal_path.empty()) {
+    return Status::InvalidArgument(
+        "compaction needs both a ledger path and a journal path");
+  }
+  DPB_RETURN_NOT_OK(ValidateEpsilon(default_budget));
+
+  LedgerAccountant accountant(default_budget);
+  uint64_t snapshot_seq = 0;
+  auto snapshot = ReadFileBytes(ledger_path);
+  if (snapshot.ok()) {
+    DPB_ASSIGN_OR_RETURN(LedgerFile file, DecodeLedgerFile(*snapshot));
+    DPB_RETURN_NOT_OK(accountant.Load(file.entries));
+    snapshot_seq = file.journal_seq;
+  } else if (snapshot.status().code() != StatusCode::kNotFound) {
+    return snapshot.status();
+  }
+
+  Journal journal;
+  auto jbytes = ReadFileBytes(journal_path);
+  if (jbytes.ok()) {
+    DPB_ASSIGN_OR_RETURN(journal, DecodeJournal(*jbytes));
+  } else if (jbytes.status().code() != StatusCode::kNotFound) {
+    return jbytes.status();
+  }
+
+  CompactionSummary summary;
+  DPB_RETURN_NOT_OK(accountant.Replay(journal.records, snapshot_seq,
+                                      &summary.folded_records));
+  summary.journal_seq = snapshot_seq;
+  if (!journal.records.empty()) {
+    summary.journal_seq =
+        std::max(summary.journal_seq, journal.records.back().seq);
+  }
+  summary.entries = accountant.size();
+
+  // Fold order is what makes every crash window safe: (1) the new
+  // snapshot lands complete-or-not-at-all via tmp + rename; (2) only
+  // after it is live is the journal truncated. A crash before the rename
+  // leaves the old pair untouched; one between rename and truncation
+  // leaves records the snapshot already folded, which the next replay
+  // skips by sequence.
+  std::string bytes =
+      EncodeLedgerFile(accountant.Snapshot(), summary.journal_seq);
+  std::string tmp = ledger_path + ".tmp";
+  DPB_RETURN_NOT_OK(WriteFileBytes(tmp, bytes));
+  CrashIfRequested(fault, "mid_compaction");
+  if (std::rename(tmp.c_str(), ledger_path.c_str()) != 0) {
+    return Status::Internal("rename of compacted ledger '" + tmp + "' -> '" +
+                            ledger_path + "' failed");
+  }
+  DPB_RETURN_NOT_OK(WriteFileBytes(journal_path, ""));
+  return summary;
+}
 
 }  // namespace serve
 }  // namespace dpbench

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/engine/fault.h"
 #include "src/engine/net.h"
 #include "src/engine/serialize.h"
 
@@ -111,6 +112,9 @@ struct ServeStats {
   uint64_t data_cache_misses = 0;
   uint64_t data_cache_evictions = 0;
   uint64_t connections = 0;  ///< connections accepted over the lifetime
+  uint64_t journal_appends = 0;   ///< records appended to the charge journal
+  uint64_t journal_replayed = 0;  ///< records replayed over the snapshot at boot
+  uint64_t plans_hydrated = 0;    ///< plans loaded from --load-plans at boot
 };
 
 std::string EncodeQuery(const QueryRequest& request);
@@ -127,8 +131,31 @@ Result<ServeStats> DecodeStatsReply(const std::string& bytes);
 /// (server → client, sent before the server drains and exits).
 std::string EncodeStop();
 
+/// Audit: ask the daemon for its reconstructed spend history — the
+/// snapshot fold point plus every intact charge-journal record (optionally
+/// filtered by user and/or dataset; empty string = no filter). The reply
+/// is the auditor's raw material: who spent what, in what order, with
+/// what outcome. Records folded away by compaction live on only as
+/// snapshot totals (documented in README "Recovery semantics").
+struct AuditRequest {
+  std::string user;     ///< "" = all users
+  std::string dataset;  ///< "" = all datasets
+};
+
+struct AuditReply {
+  uint64_t snapshot_seq = 0;  ///< journal seq folded into the boot snapshot
+  uint64_t dropped_tail_bytes = 0;  ///< torn tail discarded by the decode
+  std::vector<JournalRecord> records;
+};
+
+std::string EncodeAuditRequest(const AuditRequest& request);
+Result<AuditRequest> DecodeAuditRequest(const std::string& bytes);
+std::string EncodeAuditReply(const AuditReply& reply);
+Result<AuditReply> DecodeAuditReply(const std::string& bytes);
+
 /// Kind tag of an encoded serve message ("dpbench.s.query", ".reply",
-/// ".stats", ".statsreply", ".stop") for dispatch.
+/// ".stats", ".statsreply", ".stop", ".audit", ".auditreply") for
+/// dispatch.
 Result<std::string> MessageKind(const std::string& bytes);
 
 // ---------------------------------------------------------------------------
@@ -186,6 +213,19 @@ class LedgerAccountant {
   /// never seen).
   Result<LedgerEntry> Peek(const LedgerKey& key) const;
 
+  /// Replays journal records over the loaded snapshot, applying only
+  /// records with seq > snapshot_seq (earlier ones are already folded
+  /// in). Replay reproduces the original charges bit-exactly: grants
+  /// re-run `spent += epsilon` in journal order, refusals change nothing,
+  /// rollbacks restore the recorded before-state. Every applied grant is
+  /// cross-checked against the ledger (its ordinal must equal the entry's
+  /// query count and its spent_after the recomputed spent); a mismatch is
+  /// a named InvalidArgument — the journal and snapshot are from
+  /// different histories, and replaying would misattribute budget.
+  /// `applied` (optional) receives the number of records applied.
+  Status Replay(const std::vector<JournalRecord>& records,
+                uint64_t snapshot_seq, uint64_t* applied = nullptr);
+
   size_t size() const { return ledgers_.size(); }
 
  private:
@@ -206,7 +246,35 @@ struct ServerOptions {
   size_t max_datasets = 16;  ///< LRU bound on hydrated samples/workloads
   size_t max_scratch = 16;   ///< bound on pooled ExecScratch arenas
   int poll_ms = 100;         ///< accept/receive poll slice
+  /// Append-only charge journal ("" = off). When set, every admission
+  /// decision is appended — and fsync-free durability shifts from
+  /// per-request snapshot rewrites to O(1) appends: boot replays
+  /// journal-over-snapshot, and CompactJournal() folds the journal back
+  /// into the snapshot. When unset, the PR-8 per-request snapshot persist
+  /// is used unchanged.
+  std::string journal_path;
+  /// Plan-cache file to hydrate the plan LRU from at startup ("" = cold
+  /// start). Keys and payloads must match this server's conventions
+  /// (workload, seed); a mismatched cache fails Create() loudly.
+  std::string load_plans_path;
+  FaultSpec fault;  ///< crash points for recovery tests (DPBENCH_FAULT)
 };
+
+/// Folds ledger_path + journal_path into a fresh snapshot: replays the
+/// journal over the snapshot, writes the result (with the fold point
+/// recorded as journal_seq) via tmp-write + atomic rename, then truncates
+/// the journal. Crash-safe at every window — before the rename the old
+/// pair is untouched; between rename and truncation the journal's records
+/// are all <= the snapshot's fold point, so boot replay skips them.
+struct CompactionSummary {
+  uint64_t folded_records = 0;  ///< journal records folded in
+  uint64_t entries = 0;         ///< ledger entries in the new snapshot
+  uint64_t journal_seq = 0;     ///< fold point recorded in the snapshot
+};
+Result<CompactionSummary> CompactJournal(const std::string& ledger_path,
+                                         const std::string& journal_path,
+                                         double default_budget,
+                                         const FaultSpec& fault = FaultSpec());
 
 /// The serving daemon. Create() binds the listener (and loads the ledger
 /// file if one exists at ledger_path); Serve() blocks until Stop() is

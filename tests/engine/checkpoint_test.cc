@@ -1,0 +1,414 @@
+// Coordinator checkpoint/resume tests: the checkpoint file codec's named
+// rejections, resume end-to-end (full and partial checkpoints, merged
+// CSV byte-identical to the monolithic run, completed tasks never
+// re-executed), loud refusal on fingerprint or partition skew, and
+// fork-based kill -9 tests at the coordinator's durability windows
+// (after_task_before_checkpoint, mid_checkpoint_append).
+#include "src/engine/distrib.h"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/report.h"
+#include "src/engine/runner.h"
+#include "src/engine/serialize.h"
+
+namespace dpbench {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + "/dpbench_ckpt_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint file codec
+// ---------------------------------------------------------------------------
+
+CheckpointFile SampleCheckpoint() {
+  CheckpointFile ckpt;
+  ckpt.num_tasks = 4;
+  ckpt.config.algorithms = {"IDENTITY", "HB"};
+  ckpt.config.datasets = {"ADULT"};
+  ckpt.config.epsilons = {0.1};
+  ckpt.config.seed = 7;
+  // Image *content* is validated at resume (DecodeShardFile); the codec
+  // carries it opaquely.
+  ckpt.task_indices = {2, 0};
+  ckpt.shard_images = {std::string("fake image \x00\x01", 13), "another"};
+  return ckpt;
+}
+
+TEST(CheckpointCodecTest, RoundTrips) {
+  CheckpointFile ckpt = SampleCheckpoint();
+  auto decoded = DecodeCheckpointFile(EncodeCheckpointFile(ckpt));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->num_tasks, 4u);
+  EXPECT_EQ(decoded->task_indices, ckpt.task_indices);
+  EXPECT_EQ(decoded->shard_images, ckpt.shard_images);
+  EXPECT_EQ(ConfigFingerprint(decoded->config),
+            ConfigFingerprint(ckpt.config));
+}
+
+TEST(CheckpointCodecTest, EmptyProgressRoundTrips) {
+  CheckpointFile ckpt = SampleCheckpoint();
+  ckpt.task_indices.clear();
+  ckpt.shard_images.clear();
+  auto decoded = DecodeCheckpointFile(EncodeCheckpointFile(ckpt));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->task_indices.empty());
+}
+
+TEST(CheckpointCodecTest, DuplicateTaskIndexIsNamedRejection) {
+  CheckpointFile ckpt = SampleCheckpoint();
+  ckpt.task_indices = {1, 1};
+  auto decoded = DecodeCheckpointFile(EncodeCheckpointFile(ckpt));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("duplicate checkpoint entry"),
+            std::string::npos)
+      << decoded.status().ToString();
+}
+
+TEST(CheckpointCodecTest, OutOfRangeTaskIndexIsNamedRejection) {
+  CheckpointFile ckpt = SampleCheckpoint();
+  ckpt.task_indices = {2, 7};  // num_tasks is 4
+  auto decoded = DecodeCheckpointFile(EncodeCheckpointFile(ckpt));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("outside its partition"),
+            std::string::npos)
+      << decoded.status().ToString();
+}
+
+TEST(CheckpointCodecTest, ArityMismatchIsRejected) {
+  CheckpointFile ckpt = SampleCheckpoint();
+  ckpt.shard_images.pop_back();  // 2 indices, 1 image
+  auto decoded = DecodeCheckpointFile(EncodeCheckpointFile(ckpt));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointCodecTest, ZeroTasksIsRejected) {
+  CheckpointFile ckpt = SampleCheckpoint();
+  ckpt.num_tasks = 0;
+  ckpt.task_indices.clear();
+  ckpt.shard_images.clear();
+  auto decoded = DecodeCheckpointFile(EncodeCheckpointFile(ckpt));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("zero tasks"),
+            std::string::npos);
+}
+
+TEST(CheckpointCodecTest, PayloadCorruptionIsDataLoss) {
+  std::string bytes = EncodeCheckpointFile(SampleCheckpoint());
+  bytes[bytes.size() / 2] =
+      static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  auto decoded = DecodeCheckpointFile(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CheckpointCodecTest, WrongKindIsRejected) {
+  auto decoded = DecodeCheckpointFile(EncodeLedgerFile({}));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Resume end-to-end
+// ---------------------------------------------------------------------------
+
+ExperimentConfig TinyGrid() {
+  ExperimentConfig config;
+  config.algorithms = {"IDENTITY", "UNIFORM"};
+  config.datasets = {"ADULT"};
+  config.scales = {1000};
+  config.domain_sizes = {64};
+  config.epsilons = {0.1, 0.5};
+  config.data_samples = 1;
+  config.runs_per_sample = 2;
+  config.retain_raw_errors = false;
+  return config;
+}
+
+std::string MonolithicCsv(const ExperimentConfig& config) {
+  auto cells = Runner::Run(config);
+  EXPECT_TRUE(cells.ok()) << cells.status().ToString();
+  std::ostringstream os;
+  WriteCsv(*cells, os);
+  return os.str();
+}
+
+distrib::CoordinatorOptions BaseCoordinator(const std::string& checkpoint) {
+  distrib::CoordinatorOptions opts;
+  opts.port = 0;
+  opts.num_tasks = 2;
+  opts.heartbeat_timeout_ms = 2000;
+  opts.min_straggler_ms = 10000;
+  opts.idle_retry_ms = 30;
+  opts.poll_ms = 20;
+  opts.checkpoint_path = checkpoint;
+  return opts;
+}
+
+distrib::WorkerOptions BaseWorker(uint16_t port, const std::string& name) {
+  distrib::WorkerOptions w;
+  w.name = name;
+  w.port = port;
+  w.threads = 1;
+  w.heartbeat_ms = 100;
+  w.connect_timeout_ms = 2000;
+  w.reconnect_attempts = 4;
+  w.reconnect_base_ms = 50;
+  w.reconnect_max_ms = 400;
+  return w;
+}
+
+/// One coordinated run with a single worker. Returns the merged CSV.
+std::string CoordinatedCsv(const ExperimentConfig& config,
+                           const distrib::CoordinatorOptions& opts,
+                           distrib::CoordinatorSummary* summary,
+                           distrib::WorkerStats* worker_stats = nullptr) {
+  auto coord = distrib::Coordinator::Create(config, opts);
+  EXPECT_TRUE(coord.ok()) << coord.status().ToString();
+  if (!coord.ok()) return "";
+  uint16_t port = coord->port();
+
+  Result<MergedRun> merged = Status::Internal("not served yet");
+  std::thread serve([&]() { merged = coord->Serve(summary); });
+  Result<distrib::WorkerStats> stats = Status::Internal("not run yet");
+  std::thread worker(
+      [&]() { stats = distrib::RunWorker(BaseWorker(port, "w")); });
+  serve.join();
+  worker.join();
+
+  EXPECT_TRUE(merged.ok()) << merged.status().ToString();
+  if (!merged.ok()) return "";
+  if (worker_stats != nullptr && stats.ok()) *worker_stats = *stats;
+  std::ostringstream os;
+  WriteCsv(merged->cells, os);
+  return os.str();
+}
+
+TEST(CheckpointResumeTest, FullCheckpointResumesWithoutReExecution) {
+  ExperimentConfig config = TinyGrid();
+  std::string expected_csv = MonolithicCsv(config);
+  ASSERT_FALSE(expected_csv.empty());
+  std::string checkpoint = TempPath("full.ckpt");
+  auto opts = BaseCoordinator(checkpoint);
+
+  distrib::CoordinatorSummary first;
+  std::string csv = CoordinatedCsv(config, opts, &first);
+  ASSERT_EQ(csv, expected_csv)
+      << "checkpointed run is not byte-identical to the monolithic run";
+  EXPECT_EQ(first.tasks_resumed, 0u);
+  EXPECT_EQ(first.checkpoint_writes, 2u);  // one persist per completed task
+  EXPECT_EQ(first.checkpoint_failures, 0u);
+
+  // The live file records both tasks.
+  auto bytes = ReadFileBytes(checkpoint);
+  ASSERT_TRUE(bytes.ok());
+  auto ckpt = DecodeCheckpointFile(*bytes);
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+  EXPECT_EQ(ckpt->num_tasks, 2u);
+  EXPECT_EQ(ckpt->task_indices.size(), 2u);
+
+  // Resume from the complete checkpoint: every task is trusted, no
+  // worker is needed at all, and the merge is still byte-identical.
+  auto resumed = distrib::Coordinator::Create(config, opts);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  distrib::CoordinatorSummary second;
+  auto merged = resumed->Serve(&second);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(second.tasks_resumed, 2u);
+  std::ostringstream os;
+  WriteCsv(merged->cells, os);
+  EXPECT_EQ(os.str(), expected_csv);
+}
+
+TEST(CheckpointResumeTest, PartialCheckpointRunsOnlyIncompleteTasks) {
+  ExperimentConfig config = TinyGrid();
+  std::string expected_csv = MonolithicCsv(config);
+  std::string checkpoint = TempPath("partial.ckpt");
+  auto opts = BaseCoordinator(checkpoint);
+
+  distrib::CoordinatorSummary first;
+  ASSERT_EQ(CoordinatedCsv(config, opts, &first), expected_csv);
+
+  // Prune the checkpoint down to task 0 only — the state a coordinator
+  // killed between the two completions would have left.
+  auto bytes = ReadFileBytes(checkpoint);
+  ASSERT_TRUE(bytes.ok());
+  auto full = DecodeCheckpointFile(*bytes);
+  ASSERT_TRUE(full.ok());
+  CheckpointFile pruned;
+  pruned.num_tasks = full->num_tasks;
+  pruned.config = full->config;
+  for (size_t i = 0; i < full->task_indices.size(); ++i) {
+    if (full->task_indices[i] == 0) {
+      pruned.task_indices.push_back(full->task_indices[i]);
+      pruned.shard_images.push_back(full->shard_images[i]);
+    }
+  }
+  ASSERT_EQ(pruned.task_indices.size(), 1u);
+  ASSERT_TRUE(
+      WriteFileBytes(checkpoint, EncodeCheckpointFile(pruned)).ok());
+
+  distrib::CoordinatorSummary second;
+  distrib::WorkerStats worker_stats;
+  std::string csv = CoordinatedCsv(config, opts, &second, &worker_stats);
+  ASSERT_EQ(csv, expected_csv)
+      << "resumed merge is not byte-identical to the monolithic run";
+  EXPECT_EQ(second.tasks_resumed, 1u);
+  // The invariant the checkpoint exists for: the completed task is never
+  // re-executed — the worker only saw the incomplete one.
+  EXPECT_EQ(worker_stats.tasks_completed, 1u);
+}
+
+TEST(CheckpointResumeTest, FingerprintMismatchIsLoudRefusal) {
+  ExperimentConfig config = TinyGrid();
+  std::string checkpoint = TempPath("skew.ckpt");
+  auto opts = BaseCoordinator(checkpoint);
+  distrib::CoordinatorSummary summary;
+  ASSERT_FALSE(CoordinatedCsv(config, opts, &summary).empty());
+
+  ExperimentConfig other = config;
+  other.epsilons = {0.1, 0.9};  // a different grid
+  auto resumed = distrib::Coordinator::Create(other, opts);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(resumed.status().message().find("refusing to resume"),
+            std::string::npos)
+      << resumed.status().ToString();
+}
+
+TEST(CheckpointResumeTest, TaskCountMismatchIsLoudRefusal) {
+  ExperimentConfig config = TinyGrid();
+  std::string checkpoint = TempPath("partition_skew.ckpt");
+  auto opts = BaseCoordinator(checkpoint);
+  distrib::CoordinatorSummary summary;
+  ASSERT_FALSE(CoordinatedCsv(config, opts, &summary).empty());
+
+  auto repartitioned = opts;
+  repartitioned.num_tasks = 3;
+  auto resumed = distrib::Coordinator::Create(config, repartitioned);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(resumed.status().message().find("refusing to resume"),
+            std::string::npos);
+}
+
+TEST(CheckpointResumeTest, CorruptCheckpointIsLoudRefusal) {
+  ExperimentConfig config = TinyGrid();
+  std::string checkpoint = TempPath("corrupt.ckpt");
+  auto opts = BaseCoordinator(checkpoint);
+  distrib::CoordinatorSummary summary;
+  ASSERT_FALSE(CoordinatedCsv(config, opts, &summary).empty());
+
+  auto bytes = ReadFileBytes(checkpoint);
+  ASSERT_TRUE(bytes.ok());
+  std::string damaged = *bytes;
+  damaged[damaged.size() / 2] =
+      static_cast<char>(damaged[damaged.size() / 2] ^ 0x01);
+  ASSERT_TRUE(WriteFileBytes(checkpoint, damaged).ok());
+
+  auto resumed = distrib::Coordinator::Create(config, opts);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kDataLoss)
+      << resumed.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Fork-based kill -9 at the coordinator's durability windows
+// ---------------------------------------------------------------------------
+
+/// Forks a full coordinated run (coordinator + in-process worker) armed
+/// to SIGKILL itself at `crash_at`, waits for the kill, and returns.
+/// The surviving checkpoint state is the caller's subject.
+void RunCoordinatorToCrash(const ExperimentConfig& config,
+                           distrib::CoordinatorOptions opts,
+                           const std::string& crash_at) {
+  opts.fault.crash_at = crash_at;
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto coord = distrib::Coordinator::Create(config, opts);
+    if (!coord.ok()) ::_exit(42);
+    uint16_t port = coord->port();
+    std::thread worker(
+        [port]() { (void)distrib::RunWorker(BaseWorker(port, "w")); });
+    distrib::CoordinatorSummary summary;
+    (void)coord->Serve(&summary);
+    worker.join();
+    ::_exit(0);  // unreachable: the crash point fires on the first task
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status))
+      << "coordinator survived the " << crash_at << " window (exit "
+      << WEXITSTATUS(status) << ")";
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+}
+
+TEST(CoordinatorCrashTest, AfterTaskBeforeCheckpoint) {
+  // Window: task done in memory, checkpoint not yet persisted. The crash
+  // forgets the task — which is safe, because re-execution is
+  // bit-identical — and must leave no live checkpoint file behind.
+  ExperimentConfig config = TinyGrid();
+  std::string expected_csv = MonolithicCsv(config);
+  std::string checkpoint = TempPath("w_task.ckpt");
+  auto opts = BaseCoordinator(checkpoint);
+  RunCoordinatorToCrash(config, opts, "after_task_before_checkpoint");
+  if (::testing::Test::HasFatalFailure()) return;
+
+  auto leftover = ReadFileBytes(checkpoint);
+  EXPECT_EQ(leftover.status().code(), StatusCode::kNotFound)
+      << "a checkpoint was persisted before the window fired";
+
+  // Recovery: the same invocation again, minus the fault. Nothing was
+  // durable, so the full grid re-runs — byte-identical.
+  distrib::CoordinatorSummary summary;
+  EXPECT_EQ(CoordinatedCsv(config, opts, &summary), expected_csv);
+  EXPECT_EQ(summary.tasks_resumed, 0u);
+}
+
+TEST(CoordinatorCrashTest, MidCheckpointAppend) {
+  // Window: checkpoint tmp fully written, not yet renamed over the live
+  // file. The live path must stay absent (or previous), never a torn
+  // half-write — that is what tmp + atomic rename buys.
+  ExperimentConfig config = TinyGrid();
+  std::string expected_csv = MonolithicCsv(config);
+  std::string checkpoint = TempPath("w_append.ckpt");
+  auto opts = BaseCoordinator(checkpoint);
+  RunCoordinatorToCrash(config, opts, "mid_checkpoint_append");
+  if (::testing::Test::HasFatalFailure()) return;
+
+  auto live = ReadFileBytes(checkpoint);
+  EXPECT_EQ(live.status().code(), StatusCode::kNotFound)
+      << "the crash landed a live checkpoint without the rename";
+  // The orphaned tmp is complete and self-verifying — exactly one task.
+  auto tmp = ReadFileBytes(checkpoint + ".tmp");
+  ASSERT_TRUE(tmp.ok()) << "the window fired before the tmp write";
+  auto ckpt = DecodeCheckpointFile(*tmp);
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+  EXPECT_EQ(ckpt->task_indices.size(), 1u);
+
+  // Recovery ignores the tmp and re-runs from nothing, byte-identical.
+  distrib::CoordinatorSummary summary;
+  EXPECT_EQ(CoordinatedCsv(config, opts, &summary), expected_csv);
+  EXPECT_EQ(summary.tasks_resumed, 0u);
+}
+
+}  // namespace
+}  // namespace dpbench

@@ -1,0 +1,975 @@
+// Charge-journal recovery tests: the append-only record framing (torn
+// tails at every byte boundary, mid-file corruption, sequence
+// regression), journal-over-snapshot replay bit-identity, the live
+// server's journal boot, compaction, the audit protocol, --load-plans
+// hydration, and fork-based kill -9 tests that SIGKILL the daemon inside
+// each durability window and assert the recovery invariants: budget is
+// never under-charged, no partial answer escapes, and a restarted daemon
+// continues (never replays) its noise-stream ordinals.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/fault.h"
+#include "src/engine/net.h"
+#include "src/engine/runner.h"
+#include "src/engine/serialize.h"
+#include "src/engine/serve.h"
+
+namespace dpbench {
+namespace serve {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + "/dpbench_journal_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+JournalRecord SampleRecord(uint64_t seq) {
+  JournalRecord r;
+  r.seq = seq;
+  r.outcome = JournalOutcome::kGrant;
+  r.user = "alice";
+  r.dataset = "ADULT";
+  r.epsilon = 0.30000000000000004;  // no short decimal form: bit-pattern test
+  r.ordinal = seq - 1;
+  r.budget = 1.0;
+  r.spent_after = 0.1 * static_cast<double>(seq);
+  r.existed = 1;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Journal record framing
+// ---------------------------------------------------------------------------
+
+TEST(JournalCodecTest, RecordRoundTripsBitExactly) {
+  JournalRecord r = SampleRecord(7);
+  auto journal = DecodeJournal(EncodeJournalRecord(r));
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  ASSERT_EQ(journal->records.size(), 1u);
+  EXPECT_EQ(journal->records[0], r);
+  EXPECT_EQ(journal->dropped_tail_bytes, 0u);
+}
+
+TEST(JournalCodecTest, AllOutcomesRoundTrip) {
+  std::string bytes;
+  JournalRecord grant = SampleRecord(1);
+  JournalRecord refusal = SampleRecord(2);
+  refusal.outcome = JournalOutcome::kRefusal;
+  JournalRecord rollback = SampleRecord(3);
+  rollback.outcome = JournalOutcome::kRollback;
+  rollback.existed = 0;
+  bytes += EncodeJournalRecord(grant);
+  bytes += EncodeJournalRecord(refusal);
+  bytes += EncodeJournalRecord(rollback);
+  auto journal = DecodeJournal(bytes);
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  ASSERT_EQ(journal->records.size(), 3u);
+  EXPECT_EQ(journal->records[0], grant);
+  EXPECT_EQ(journal->records[1], refusal);
+  EXPECT_EQ(journal->records[2], rollback);
+}
+
+TEST(JournalCodecTest, EmptyJournalDecodesToNothing) {
+  auto journal = DecodeJournal("");
+  ASSERT_TRUE(journal.ok());
+  EXPECT_TRUE(journal->records.empty());
+  EXPECT_EQ(journal->dropped_tail_bytes, 0u);
+}
+
+TEST(JournalCodecTest, TornTailAtEveryByteBoundary) {
+  // kill -9 can stop an append after any byte. However much of the final
+  // record made it to disk, every record before it must survive and the
+  // torn remainder must be counted, never misparsed.
+  const std::string first = EncodeJournalRecord(SampleRecord(1));
+  const std::string second = EncodeJournalRecord(SampleRecord(2));
+  const std::string full = first + second;
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    auto journal = DecodeJournal(full.substr(0, cut));
+    ASSERT_TRUE(journal.ok()) << "cut=" << cut << ": "
+                              << journal.status().ToString();
+    if (cut < first.size()) {
+      EXPECT_TRUE(journal->records.empty()) << "cut=" << cut;
+      EXPECT_EQ(journal->dropped_tail_bytes, cut) << "cut=" << cut;
+    } else if (cut < full.size()) {
+      ASSERT_EQ(journal->records.size(), 1u) << "cut=" << cut;
+      EXPECT_EQ(journal->records[0], SampleRecord(1));
+      EXPECT_EQ(journal->dropped_tail_bytes, cut - first.size())
+          << "cut=" << cut;
+    } else {
+      EXPECT_EQ(journal->records.size(), 2u);
+      EXPECT_EQ(journal->dropped_tail_bytes, 0u);
+    }
+  }
+}
+
+TEST(JournalCodecTest, CorruptionBeforeTailIsDataLoss) {
+  // A flipped bit in any record *before* the tail is real damage — the
+  // file cannot be trusted and replaying it could misattribute budget.
+  const std::string first = EncodeJournalRecord(SampleRecord(1));
+  const std::string second = EncodeJournalRecord(SampleRecord(2));
+  std::string bytes = first + second;
+  bytes[first.size() / 2] ^= 0x01;  // inside the first record
+  auto journal = DecodeJournal(bytes);
+  ASSERT_FALSE(journal.ok());
+  EXPECT_EQ(journal.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(JournalCodecTest, CorruptFinalRecordIsTornTail) {
+  // Damage in the *final* record is indistinguishable from an append cut
+  // short mid-payload: tolerated and dropped, not DataLoss.
+  const std::string first = EncodeJournalRecord(SampleRecord(1));
+  const std::string second = EncodeJournalRecord(SampleRecord(2));
+  std::string bytes = first + second;
+  bytes[bytes.size() - 3] ^= 0x01;
+  auto journal = DecodeJournal(bytes);
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  ASSERT_EQ(journal->records.size(), 1u);
+  EXPECT_EQ(journal->records[0], SampleRecord(1));
+  EXPECT_EQ(journal->dropped_tail_bytes, second.size());
+}
+
+TEST(JournalCodecTest, BadMagicIsDataLoss) {
+  std::string bytes = EncodeJournalRecord(SampleRecord(1));
+  bytes[0] = 'X';
+  auto journal = DecodeJournal(bytes);
+  ASSERT_FALSE(journal.ok());
+  EXPECT_EQ(journal.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(journal.status().message().find("DPBJ"), std::string::npos);
+}
+
+TEST(JournalCodecTest, SequenceRegressionIsNamedInvalidArgument) {
+  std::string bytes =
+      EncodeJournalRecord(SampleRecord(5)) + EncodeJournalRecord(SampleRecord(3));
+  auto journal = DecodeJournal(bytes);
+  ASSERT_FALSE(journal.ok());
+  EXPECT_EQ(journal.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(journal.status().message().find("sequence regressed"),
+            std::string::npos)
+      << journal.status().ToString();
+}
+
+TEST(JournalCodecTest, DuplicateSequenceIsRejected) {
+  std::string bytes =
+      EncodeJournalRecord(SampleRecord(4)) + EncodeJournalRecord(SampleRecord(4));
+  auto journal = DecodeJournal(bytes);
+  ASSERT_FALSE(journal.ok());
+  EXPECT_EQ(journal.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Ledger snapshot fold point
+// ---------------------------------------------------------------------------
+
+TEST(LedgerFoldPointTest, JournalSeqRoundTrips) {
+  LedgerEntry e{"alice", "ADULT", 1.0, 0.25, 1};
+  auto decoded = DecodeLedgerFile(EncodeLedgerFile({e}, 42));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->journal_seq, 42u);
+  ASSERT_EQ(decoded->entries.size(), 1u);
+  EXPECT_EQ(decoded->entries[0], e);
+}
+
+TEST(LedgerFoldPointTest, DuplicatePairIsNamedRejection) {
+  LedgerEntry a{"alice", "ADULT", 1.0, 0.25, 1};
+  LedgerEntry dup{"alice", "ADULT", 2.0, 0.0, 0};
+  auto decoded = DecodeLedgerFile(EncodeLedgerFile({a, dup}));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("duplicate ledger entry"),
+            std::string::npos)
+      << decoded.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Replay semantics (accountant-level)
+// ---------------------------------------------------------------------------
+
+JournalRecord GrantFor(uint64_t seq, const LedgerKey& key, double epsilon,
+                       const LedgerEntry& after) {
+  JournalRecord r;
+  r.seq = seq;
+  r.outcome = JournalOutcome::kGrant;
+  r.user = key.user;
+  r.dataset = key.dataset;
+  r.epsilon = epsilon;
+  r.ordinal = after.queries - 1;
+  r.budget = after.budget;
+  r.spent_after = after.spent;
+  return r;
+}
+
+TEST(ReplayTest, ReproducesLiveStateBitExactly) {
+  LedgerAccountant live(1.0);
+  LedgerKey alice{"alice", "ADULT"};
+  LedgerKey bob{"bob", "TRACE"};
+  std::vector<JournalRecord> records;
+  auto g1 = live.Charge(alice, 0.1);
+  ASSERT_TRUE(g1.ok());
+  records.push_back(GrantFor(1, alice, 0.1, *g1));
+  auto g2 = live.Charge(bob, 0.7);
+  ASSERT_TRUE(g2.ok());
+  records.push_back(GrantFor(2, bob, 0.7, *g2));
+  auto g3 = live.Charge(alice, 0.2);
+  ASSERT_TRUE(g3.ok());
+  records.push_back(GrantFor(3, alice, 0.2, *g3));
+
+  LedgerAccountant replayed(1.0);
+  uint64_t applied = 0;
+  Status st = replayed.Replay(records, 0, &applied);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(applied, 3u);
+  // The byte-identity contract: identical state serializes identically.
+  EXPECT_EQ(EncodeLedgerFile(replayed.Snapshot(), 3),
+            EncodeLedgerFile(live.Snapshot(), 3));
+}
+
+TEST(ReplayTest, SkipsRecordsAlreadyFoldedIntoSnapshot) {
+  LedgerAccountant live(1.0);
+  LedgerKey alice{"alice", "ADULT"};
+  std::vector<JournalRecord> records;
+  auto g1 = live.Charge(alice, 0.25);
+  ASSERT_TRUE(g1.ok());
+  records.push_back(GrantFor(1, alice, 0.25, *g1));
+  std::vector<LedgerEntry> snapshot_after_1 = live.Snapshot();
+  auto g2 = live.Charge(alice, 0.5);
+  ASSERT_TRUE(g2.ok());
+  records.push_back(GrantFor(2, alice, 0.5, *g2));
+
+  // Snapshot folded through seq 1: replay must apply only seq 2.
+  LedgerAccountant resumed(1.0);
+  ASSERT_TRUE(resumed.Load(snapshot_after_1).ok());
+  uint64_t applied = 0;
+  ASSERT_TRUE(resumed.Replay(records, 1, &applied).ok());
+  EXPECT_EQ(applied, 1u);
+  EXPECT_EQ(EncodeLedgerFile(resumed.Snapshot(), 2),
+            EncodeLedgerFile(live.Snapshot(), 2));
+
+  // Snapshot folded through seq 2: nothing applies, nothing changes.
+  LedgerAccountant all_folded(1.0);
+  ASSERT_TRUE(all_folded.Load(live.Snapshot()).ok());
+  ASSERT_TRUE(all_folded.Replay(records, 2, &applied).ok());
+  EXPECT_EQ(applied, 0u);
+  EXPECT_EQ(EncodeLedgerFile(all_folded.Snapshot(), 2),
+            EncodeLedgerFile(live.Snapshot(), 2));
+}
+
+TEST(ReplayTest, OrdinalMismatchIsDifferentHistories) {
+  JournalRecord r = SampleRecord(1);
+  r.ordinal = 5;  // fresh ledger has seen 0 queries
+  LedgerAccountant acct(1.0);
+  Status st = acct.Replay({r}, 0);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("different histories"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(ReplayTest, SpentAfterMismatchIsDifferentHistories) {
+  JournalRecord r = SampleRecord(1);
+  r.epsilon = 0.25;
+  r.ordinal = 0;
+  r.spent_after = 0.999;  // 0.0 + 0.25 != 0.999
+  LedgerAccountant acct(1.0);
+  Status st = acct.Replay({r}, 0);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("different histories"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(ReplayTest, RollbackOfFirstContactErasesEntry) {
+  JournalRecord grant = SampleRecord(1);
+  grant.epsilon = 0.25;
+  grant.ordinal = 0;
+  grant.spent_after = 0.25;
+  JournalRecord rollback;
+  rollback.seq = 2;
+  rollback.outcome = JournalOutcome::kRollback;
+  rollback.user = grant.user;
+  rollback.dataset = grant.dataset;
+  rollback.existed = 0;
+  LedgerAccountant acct(1.0);
+  ASSERT_TRUE(acct.Replay({grant, rollback}, 0).ok());
+  EXPECT_EQ(acct.size(), 0u);
+}
+
+TEST(ReplayTest, RollbackRestoresRecordedBeforeState) {
+  LedgerAccountant live(1.0);
+  LedgerKey alice{"alice", "ADULT"};
+  auto g1 = live.Charge(alice, 0.25);
+  ASSERT_TRUE(g1.ok());
+  std::vector<JournalRecord> records;
+  records.push_back(GrantFor(1, alice, 0.25, *g1));
+  auto g2 = live.Charge(alice, 0.5);
+  ASSERT_TRUE(g2.ok());
+  records.push_back(GrantFor(2, alice, 0.5, *g2));
+  // Roll the second grant back: the record carries the restored state.
+  JournalRecord rollback;
+  rollback.seq = 3;
+  rollback.outcome = JournalOutcome::kRollback;
+  rollback.user = alice.user;
+  rollback.dataset = alice.dataset;
+  rollback.budget = g1->budget;
+  rollback.spent_after = g1->spent;
+  rollback.ordinal = g1->queries;
+  rollback.existed = 1;
+  records.push_back(rollback);
+
+  LedgerAccountant replayed(1.0);
+  ASSERT_TRUE(replayed.Replay(records, 0).ok());
+  live.Restore(alice, *g1, true);
+  EXPECT_EQ(EncodeLedgerFile(replayed.Snapshot(), 3),
+            EncodeLedgerFile(live.Snapshot(), 3));
+}
+
+TEST(ReplayTest, RefusalMirrorsFirstContactSideEffect) {
+  // A refusing Charge still creates the (user, dataset) entry; replay
+  // must reproduce that side effect or the accountant states diverge.
+  JournalRecord refusal;
+  refusal.seq = 1;
+  refusal.outcome = JournalOutcome::kRefusal;
+  refusal.user = "carol";
+  refusal.dataset = "ADULT";
+  refusal.epsilon = 5.0;
+  refusal.ordinal = 0;
+  refusal.budget = 1.0;
+  refusal.spent_after = 0.0;
+  LedgerAccountant replayed(1.0);
+  ASSERT_TRUE(replayed.Replay({refusal}, 0).ok());
+
+  LedgerAccountant live(1.0);
+  auto refused = live.Charge(LedgerKey{"carol", "ADULT"}, 5.0);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(EncodeLedgerFile(replayed.Snapshot(), 1),
+            EncodeLedgerFile(live.Snapshot(), 1));
+}
+
+// ---------------------------------------------------------------------------
+// Crash-point vocabulary
+// ---------------------------------------------------------------------------
+
+TEST(CrashPointTest, EveryNamedPointParses) {
+  for (const char* point : kCrashPoints) {
+    auto fault = ParseFaultSpec(std::string("crash_at:") + point);
+    ASSERT_TRUE(fault.ok()) << point << ": " << fault.status().ToString();
+    EXPECT_EQ(fault->crash_at, point);
+  }
+}
+
+TEST(CrashPointTest, UnknownPointIsRejected) {
+  auto fault = ParseFaultSpec("crash_at:before_breakfast");
+  ASSERT_FALSE(fault.ok());
+  EXPECT_EQ(fault.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Live server: journal boot, compaction, audit, plan hydration
+// ---------------------------------------------------------------------------
+
+/// A server running on its own thread, with cleanup on destruction.
+struct LiveServer {
+  explicit LiveServer(Result<Server> created) : server(std::move(created)) {
+    if (server.ok()) {
+      thread = std::thread([this] { (void)server->Serve(); });
+    }
+  }
+  ~LiveServer() {
+    if (server.ok()) {
+      server->Stop();
+      thread.join();
+    }
+  }
+  Result<Server> server;
+  std::thread thread;
+};
+
+Result<QueryResponse> SendQuery(net::Socket* sock, const QueryRequest& q) {
+  DPB_RETURN_NOT_OK(sock->SendFrame(EncodeQuery(q)));
+  DPB_ASSIGN_OR_RETURN(net::Frame frame, sock->RecvFrame(30000));
+  if (frame.timed_out) return Status::Unavailable("no reply");
+  return DecodeReply(frame.bytes);
+}
+
+Result<AuditReply> SendAudit(net::Socket* sock, const AuditRequest& a) {
+  DPB_RETURN_NOT_OK(sock->SendFrame(EncodeAuditRequest(a)));
+  DPB_ASSIGN_OR_RETURN(net::Frame frame, sock->RecvFrame(30000));
+  if (frame.timed_out) return Status::Unavailable("no reply");
+  return DecodeAuditReply(frame.bytes);
+}
+
+Result<net::Socket> ConnectTo(const Result<Server>& server) {
+  return net::Connect(server->port(), 5000);
+}
+
+QueryRequest WholeDomainQuery(const std::string& user, double epsilon) {
+  QueryRequest q;
+  q.user = user;
+  q.dataset = "ADULT";
+  q.algorithm = "IDENTITY";
+  q.epsilon = epsilon;
+  q.scale = 100000;
+  q.domain_size = 256;
+  q.lo_row = {0};
+  q.hi_row = {255};
+  return q;
+}
+
+TEST(JournalServerTest, BootReplaysJournalOverSnapshot) {
+  std::string ledger = TempPath("boot_ledger.bin");
+  std::string journal = TempPath("boot_journal.bin");
+  ServerOptions options;
+  options.ledger_path = ledger;
+  options.journal_path = journal;
+  {
+    LiveServer live(Server::Create(options));
+    ASSERT_TRUE(live.server.ok()) << live.server.status().ToString();
+    auto sock = ConnectTo(live.server);
+    ASSERT_TRUE(sock.ok());
+    auto first = SendQuery(&*sock, WholeDomainQuery("alice", 0.25));
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    ASSERT_EQ(first->status, ReplyStatus::kOk);
+    auto second = SendQuery(&*sock, WholeDomainQuery("alice", 0.25));
+    ASSERT_TRUE(second.ok());
+    ASSERT_EQ(second->status, ReplyStatus::kOk);
+    EXPECT_EQ(live.server->stats().journal_appends, 2u);
+  }
+  // Journaling mode writes no per-request snapshots: the journal alone
+  // carries the charges.
+  auto jbytes = ReadFileBytes(journal);
+  ASSERT_TRUE(jbytes.ok());
+  auto decoded = DecodeJournal(*jbytes);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->records.size(), 2u);
+  EXPECT_EQ(decoded->records[0].seq, 1u);
+  EXPECT_EQ(decoded->records[0].outcome, JournalOutcome::kGrant);
+  EXPECT_EQ(decoded->records[0].ordinal, 0u);
+  EXPECT_EQ(decoded->records[1].seq, 2u);
+  EXPECT_EQ(decoded->records[1].ordinal, 1u);
+
+  LiveServer rebooted(Server::Create(options));
+  ASSERT_TRUE(rebooted.server.ok()) << rebooted.server.status().ToString();
+  EXPECT_EQ(rebooted.server->stats().journal_replayed, 2u);
+  auto sock = ConnectTo(rebooted.server);
+  ASSERT_TRUE(sock.ok());
+  // Remaining is 0.5: a full-budget request must be refused — the
+  // journaled spend survived the restart.
+  auto refused = SendQuery(&*sock, WholeDomainQuery("alice", 1.0));
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused->status, ReplyStatus::kBudgetExhausted);
+  // And an affordable one continues the ordinal sequence at 3.
+  auto third = SendQuery(&*sock, WholeDomainQuery("alice", 0.5));
+  ASSERT_TRUE(third.ok());
+  ASSERT_EQ(third->status, ReplyStatus::kOk);
+  EXPECT_EQ(third->spent, 1.0);
+  EXPECT_EQ(third->ledger_queries, 3u);
+}
+
+TEST(JournalServerTest, RefusalsAreJournaled) {
+  std::string ledger = TempPath("refusal_ledger.bin");
+  std::string journal = TempPath("refusal_journal.bin");
+  ServerOptions options;
+  options.ledger_path = ledger;
+  options.journal_path = journal;
+  {
+    LiveServer live(Server::Create(options));
+    ASSERT_TRUE(live.server.ok());
+    auto sock = ConnectTo(live.server);
+    ASSERT_TRUE(sock.ok());
+    auto grant = SendQuery(&*sock, WholeDomainQuery("alice", 0.6));
+    ASSERT_TRUE(grant.ok());
+    ASSERT_EQ(grant->status, ReplyStatus::kOk);
+    auto refused = SendQuery(&*sock, WholeDomainQuery("alice", 0.6));
+    ASSERT_TRUE(refused.ok());
+    ASSERT_EQ(refused->status, ReplyStatus::kBudgetExhausted);
+  }
+  auto jbytes = ReadFileBytes(journal);
+  ASSERT_TRUE(jbytes.ok());
+  auto decoded = DecodeJournal(*jbytes);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->records.size(), 2u);
+  EXPECT_EQ(decoded->records[0].outcome, JournalOutcome::kGrant);
+  EXPECT_EQ(decoded->records[1].outcome, JournalOutcome::kRefusal);
+  EXPECT_EQ(decoded->records[1].epsilon, 0.6);
+  EXPECT_EQ(decoded->records[1].spent_after, 0.6);  // unchanged by refusal
+}
+
+TEST(JournalServerTest, TornTailIsTruncatedAtBoot) {
+  std::string ledger = TempPath("torn_ledger.bin");
+  std::string journal = TempPath("torn_journal.bin");
+  ServerOptions options;
+  options.ledger_path = ledger;
+  options.journal_path = journal;
+  {
+    LiveServer live(Server::Create(options));
+    ASSERT_TRUE(live.server.ok());
+    auto sock = ConnectTo(live.server);
+    ASSERT_TRUE(sock.ok());
+    auto reply = SendQuery(&*sock, WholeDomainQuery("alice", 0.25));
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply->status, ReplyStatus::kOk);
+  }
+  auto clean = ReadFileBytes(journal);
+  ASSERT_TRUE(clean.ok());
+  // Simulate a kill mid-append: a frame header cut off after 6 bytes.
+  ASSERT_TRUE(AppendFileBytes(journal, std::string("DPBJ\x40\x00", 6)).ok());
+
+  {
+    LiveServer rebooted(Server::Create(options));
+    ASSERT_TRUE(rebooted.server.ok()) << rebooted.server.status().ToString();
+    EXPECT_EQ(rebooted.server->stats().journal_replayed, 1u);
+    // The torn tail must be off the file before new appends land, or the
+    // journal would be corrupt mid-file.
+    auto truncated = ReadFileBytes(journal);
+    ASSERT_TRUE(truncated.ok());
+    EXPECT_EQ(*truncated, *clean);
+    auto sock = ConnectTo(rebooted.server);
+    ASSERT_TRUE(sock.ok());
+    auto reply = SendQuery(&*sock, WholeDomainQuery("alice", 0.25));
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply->status, ReplyStatus::kOk);
+  }
+  auto after = ReadFileBytes(journal);
+  ASSERT_TRUE(after.ok());
+  auto decoded = DecodeJournal(*after);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->records.size(), 2u);
+  EXPECT_EQ(decoded->records[1].seq, 2u);
+  EXPECT_EQ(decoded->dropped_tail_bytes, 0u);
+}
+
+TEST(JournalServerTest, AuditReturnsFilteredSpendHistory) {
+  std::string ledger = TempPath("audit_ledger.bin");
+  std::string journal = TempPath("audit_journal.bin");
+  ServerOptions options;
+  options.ledger_path = ledger;
+  options.journal_path = journal;
+  LiveServer live(Server::Create(options));
+  ASSERT_TRUE(live.server.ok());
+  auto sock = ConnectTo(live.server);
+  ASSERT_TRUE(sock.ok());
+  ASSERT_EQ(SendQuery(&*sock, WholeDomainQuery("alice", 0.25))->status,
+            ReplyStatus::kOk);
+  ASSERT_EQ(SendQuery(&*sock, WholeDomainQuery("bob", 0.5))->status,
+            ReplyStatus::kOk);
+  ASSERT_EQ(SendQuery(&*sock, WholeDomainQuery("alice", 2.0))->status,
+            ReplyStatus::kBudgetExhausted);
+
+  auto all = SendAudit(&*sock, AuditRequest{});
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ(all->snapshot_seq, 0u);
+  EXPECT_EQ(all->dropped_tail_bytes, 0u);
+  ASSERT_EQ(all->records.size(), 3u);
+  EXPECT_EQ(all->records[0].seq, 1u);
+  EXPECT_EQ(all->records[2].outcome, JournalOutcome::kRefusal);
+
+  auto alice = SendAudit(&*sock, AuditRequest{"alice", ""});
+  ASSERT_TRUE(alice.ok());
+  ASSERT_EQ(alice->records.size(), 2u);
+  EXPECT_EQ(alice->records[0].epsilon, 0.25);
+  EXPECT_EQ(alice->records[1].outcome, JournalOutcome::kRefusal);
+
+  auto bob = SendAudit(&*sock, AuditRequest{"bob", "ADULT"});
+  ASSERT_TRUE(bob.ok());
+  ASSERT_EQ(bob->records.size(), 1u);
+  EXPECT_EQ(bob->records[0].epsilon, 0.5);
+
+  auto none = SendAudit(&*sock, AuditRequest{"nobody", ""});
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->records.empty());
+}
+
+TEST(JournalServerTest, CompactionFoldsJournalIntoSnapshot) {
+  std::string ledger = TempPath("compact_ledger.bin");
+  std::string journal = TempPath("compact_journal.bin");
+  std::string ledger2 = TempPath("compact_ledger2.bin");
+  std::string journal2 = TempPath("compact_journal2.bin");
+  ServerOptions options;
+  options.ledger_path = ledger;
+  options.journal_path = journal;
+  {
+    LiveServer live(Server::Create(options));
+    ASSERT_TRUE(live.server.ok());
+    auto sock = ConnectTo(live.server);
+    ASSERT_TRUE(sock.ok());
+    ASSERT_EQ(SendQuery(&*sock, WholeDomainQuery("alice", 0.25))->status,
+              ReplyStatus::kOk);
+    ASSERT_EQ(SendQuery(&*sock, WholeDomainQuery("bob", 0.5))->status,
+              ReplyStatus::kOk);
+  }
+  // A twin state to compact, so the uncompacted original stays available
+  // for the equivalence check below.
+  auto jbytes = ReadFileBytes(journal);
+  ASSERT_TRUE(jbytes.ok());
+  ASSERT_TRUE(WriteFileBytes(journal2, *jbytes).ok());
+
+  auto summary = CompactJournal(ledger2, journal2, 1.0);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->folded_records, 2u);
+  EXPECT_EQ(summary->entries, 2u);
+  EXPECT_EQ(summary->journal_seq, 2u);
+
+  // The journal is truncated; the snapshot carries the fold point and the
+  // bit-exact spends.
+  auto jafter = ReadFileBytes(journal2);
+  ASSERT_TRUE(jafter.ok());
+  EXPECT_TRUE(jafter->empty());
+  auto snapshot = ReadFileBytes(ledger2);
+  ASSERT_TRUE(snapshot.ok());
+  auto decoded = DecodeLedgerFile(*snapshot);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->journal_seq, 2u);
+  ASSERT_EQ(decoded->entries.size(), 2u);
+  EXPECT_EQ(decoded->entries[0].user, "alice");
+  EXPECT_EQ(decoded->entries[0].spent, 0.25);
+  EXPECT_EQ(decoded->entries[1].user, "bob");
+  EXPECT_EQ(decoded->entries[1].spent, 0.5);
+
+  // Booting from the compacted snapshot must be indistinguishable from
+  // booting journal-over-snapshot: same admission state, same noise
+  // ordinals, bit-identical answers.
+  ServerOptions from_journal = options;
+  ServerOptions from_compacted = options;
+  from_compacted.ledger_path = ledger2;
+  from_compacted.journal_path = journal2;
+  LiveServer a(Server::Create(from_journal));
+  LiveServer b(Server::Create(from_compacted));
+  ASSERT_TRUE(a.server.ok());
+  ASSERT_TRUE(b.server.ok());
+  EXPECT_EQ(a.server->stats().journal_replayed, 2u);
+  EXPECT_EQ(b.server->stats().journal_replayed, 0u);
+  auto sa = ConnectTo(a.server);
+  auto sb = ConnectTo(b.server);
+  ASSERT_TRUE(sa.ok() && sb.ok());
+  auto ra = SendQuery(&*sa, WholeDomainQuery("alice", 0.25));
+  auto rb = SendQuery(&*sb, WholeDomainQuery("alice", 0.25));
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  ASSERT_EQ(ra->status, ReplyStatus::kOk);
+  ASSERT_EQ(rb->status, ReplyStatus::kOk);
+  EXPECT_EQ(ra->spent, rb->spent);
+  EXPECT_EQ(ra->remaining, rb->remaining);
+  EXPECT_EQ(ra->ledger_queries, rb->ledger_queries);
+  EXPECT_EQ(ra->answers, rb->answers);  // same noise stream, bit-exact
+}
+
+TEST(JournalServerTest, CrashBetweenRenameAndTruncationIsHarmless) {
+  // The compaction window the fold point exists for: snapshot renamed,
+  // journal not yet truncated. Replay must skip every record the
+  // snapshot already folded.
+  std::string ledger = TempPath("fold_ledger.bin");
+  std::string journal = TempPath("fold_journal.bin");
+  ServerOptions options;
+  options.ledger_path = ledger;
+  options.journal_path = journal;
+  {
+    LiveServer live(Server::Create(options));
+    ASSERT_TRUE(live.server.ok());
+    auto sock = ConnectTo(live.server);
+    ASSERT_TRUE(sock.ok());
+    ASSERT_EQ(SendQuery(&*sock, WholeDomainQuery("alice", 0.25))->status,
+              ReplyStatus::kOk);
+  }
+  auto jbytes = ReadFileBytes(journal);
+  ASSERT_TRUE(jbytes.ok());
+  auto summary = CompactJournal(ledger, journal, 1.0);
+  ASSERT_TRUE(summary.ok());
+  // Resurrect the journal as the crash would have left it.
+  ASSERT_TRUE(WriteFileBytes(journal, *jbytes).ok());
+
+  LiveServer rebooted(Server::Create(options));
+  ASSERT_TRUE(rebooted.server.ok()) << rebooted.server.status().ToString();
+  EXPECT_EQ(rebooted.server->stats().journal_replayed, 0u);  // all folded
+  auto sock = ConnectTo(rebooted.server);
+  ASSERT_TRUE(sock.ok());
+  auto reply = SendQuery(&*sock, WholeDomainQuery("alice", 0.25));
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->status, ReplyStatus::kOk);
+  EXPECT_EQ(reply->spent, 0.5);  // not double-charged
+  EXPECT_EQ(reply->ledger_queries, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Fork-based kill -9 crash windows
+// ---------------------------------------------------------------------------
+
+uint16_t WaitForPortFile(const std::string& path) {
+  for (int i = 0; i < 200; ++i) {
+    auto bytes = ReadFileBytes(path);
+    if (bytes.ok() && !bytes->empty()) {
+      return static_cast<uint16_t>(std::strtoul(bytes->c_str(), nullptr, 10));
+    }
+    ::usleep(50 * 1000);
+  }
+  return 0;
+}
+
+/// Forks a daemon armed to SIGKILL itself at `options.fault.crash_at`,
+/// sends it `query`, and asserts the crash fired and no reply escaped
+/// the window. The surviving on-disk state is the caller's subject.
+void QueryCrashingServer(const ServerOptions& options,
+                         const QueryRequest& query, const std::string& tag) {
+  std::string port_file = TempPath(tag + "_port.txt");
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto server = Server::Create(options);
+    if (!server.ok()) ::_exit(42);
+    std::string tmp = port_file + ".tmp";
+    if (!WriteFileBytes(tmp, std::to_string(server->port())).ok() ||
+        std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+      ::_exit(43);
+    }
+    (void)server->Serve();
+    ::_exit(0);
+  }
+  uint16_t port = WaitForPortFile(port_file);
+  if (port == 0) {
+    ::kill(pid, SIGKILL);
+    int ignored = 0;
+    ::waitpid(pid, &ignored, 0);
+    FAIL() << "crashing child never published a port";
+  }
+  auto sock = net::Connect(port, 5000);
+  ASSERT_TRUE(sock.ok()) << sock.status().ToString();
+  ASSERT_TRUE(sock->SendFrame(EncodeQuery(query)).ok());
+  auto frame = sock->RecvFrame(15000);
+  // No partial answer may escape a crash window: the connection dies (or
+  // times out), it never yields a decoded reply.
+  EXPECT_TRUE(!frame.ok() || frame->timed_out)
+      << "a reply escaped the " << options.fault.crash_at << " window";
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status))
+      << "child exited normally with " << WEXITSTATUS(status);
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+}
+
+TEST(CrashWindowTest, AfterChargeBeforeJournal) {
+  // Window: budget charged in memory, journal record not yet appended.
+  // The decision never became durable — a restarted daemon must show
+  // zero spend (the client also never got an answer, so nothing leaked).
+  std::string ledger = TempPath("w1_ledger.bin");
+  std::string journal = TempPath("w1_journal.bin");
+  ServerOptions options;
+  options.ledger_path = ledger;
+  options.journal_path = journal;
+  options.fault.crash_at = "after_charge_before_journal";
+  QueryCrashingServer(options, WholeDomainQuery("alice", 0.25), "w1");
+  if (::testing::Test::HasFatalFailure()) return;
+
+  // Nothing durable: no journaled grant, no snapshot.
+  auto jbytes = ReadFileBytes(journal);
+  if (jbytes.ok()) {
+    auto decoded = DecodeJournal(*jbytes);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(decoded->records.empty());
+  } else {
+    EXPECT_EQ(jbytes.status().code(), StatusCode::kNotFound);
+  }
+
+  ServerOptions clean = options;
+  clean.fault = FaultSpec();
+  LiveServer rebooted(Server::Create(clean));
+  ASSERT_TRUE(rebooted.server.ok()) << rebooted.server.status().ToString();
+  EXPECT_EQ(rebooted.server->stats().journal_replayed, 0u);
+  auto sock = ConnectTo(rebooted.server);
+  ASSERT_TRUE(sock.ok());
+  // The full budget is still available: the in-memory charge died with
+  // the process.
+  auto reply = SendQuery(&*sock, WholeDomainQuery("alice", 1.0));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, ReplyStatus::kOk);
+  EXPECT_EQ(reply->ledger_queries, 1u);
+}
+
+TEST(CrashWindowTest, AfterJournalBeforePersist) {
+  // Window: grant journaled, answer not yet produced. The charge is
+  // durable, the answer is not — recovery must show the spend (budget is
+  // never under-charged) and the ordinal's noise stream was never
+  // revealed, so continuing the sequence stays safe.
+  std::string ledger = TempPath("w2_ledger.bin");
+  std::string journal = TempPath("w2_journal.bin");
+  ServerOptions options;
+  options.ledger_path = ledger;
+  options.journal_path = journal;
+  options.fault.crash_at = "after_journal_before_persist";
+  QueryCrashingServer(options, WholeDomainQuery("alice", 0.25), "w2");
+  if (::testing::Test::HasFatalFailure()) return;
+
+  auto jbytes = ReadFileBytes(journal);
+  ASSERT_TRUE(jbytes.ok()) << jbytes.status().ToString();
+  auto decoded = DecodeJournal(*jbytes);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->records.size(), 1u);
+  EXPECT_EQ(decoded->records[0].outcome, JournalOutcome::kGrant);
+  EXPECT_EQ(decoded->records[0].epsilon, 0.25);
+  EXPECT_EQ(decoded->records[0].ordinal, 0u);
+  EXPECT_EQ(decoded->records[0].spent_after, 0.25);
+
+  ServerOptions clean = options;
+  clean.fault = FaultSpec();
+  LiveServer rebooted(Server::Create(clean));
+  ASSERT_TRUE(rebooted.server.ok()) << rebooted.server.status().ToString();
+  EXPECT_EQ(rebooted.server->stats().journal_replayed, 1u);
+  auto sock = ConnectTo(rebooted.server);
+  ASSERT_TRUE(sock.ok());
+  // The journaled charge stands: a full-budget request is refused.
+  auto refused = SendQuery(&*sock, WholeDomainQuery("alice", 1.0));
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused->status, ReplyStatus::kBudgetExhausted);
+  // And the next grant continues at ordinal 1 — the crashed request's
+  // noise stream is spent, never reissued under a new answer.
+  auto next = SendQuery(&*sock, WholeDomainQuery("alice", 0.25));
+  ASSERT_TRUE(next.ok());
+  ASSERT_EQ(next->status, ReplyStatus::kOk);
+  EXPECT_EQ(next->spent, 0.5);
+  EXPECT_EQ(next->ledger_queries, 2u);
+}
+
+TEST(CrashWindowTest, MidCompaction) {
+  // Window: compacted snapshot written to tmp, not yet renamed. The old
+  // ledger/journal pair must be untouched, and a re-run compaction must
+  // succeed from it.
+  std::string ledger = TempPath("w3_ledger.bin");
+  std::string journal = TempPath("w3_journal.bin");
+  ServerOptions options;
+  options.ledger_path = ledger;
+  options.journal_path = journal;
+  {
+    LiveServer live(Server::Create(options));
+    ASSERT_TRUE(live.server.ok());
+    auto sock = ConnectTo(live.server);
+    ASSERT_TRUE(sock.ok());
+    ASSERT_EQ(SendQuery(&*sock, WholeDomainQuery("alice", 0.25))->status,
+              ReplyStatus::kOk);
+    ASSERT_EQ(SendQuery(&*sock, WholeDomainQuery("bob", 0.5))->status,
+              ReplyStatus::kOk);
+  }
+  auto journal_before = ReadFileBytes(journal);
+  ASSERT_TRUE(journal_before.ok());
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    FaultSpec fault;
+    fault.crash_at = "mid_compaction";
+    (void)CompactJournal(ledger, journal, 1.0, fault);
+    ::_exit(0);  // unreachable: the crash point fires first
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "compaction survived its crash point";
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+  // The live pair is untouched: no snapshot renamed in, journal intact.
+  auto snapshot = ReadFileBytes(ledger);
+  EXPECT_EQ(snapshot.status().code(), StatusCode::kNotFound);
+  auto journal_after = ReadFileBytes(journal);
+  ASSERT_TRUE(journal_after.ok());
+  EXPECT_EQ(*journal_after, *journal_before);
+
+  // Recovery is simply compacting again.
+  auto summary = CompactJournal(ledger, journal, 1.0);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->folded_records, 2u);
+  LiveServer rebooted(Server::Create(options));
+  ASSERT_TRUE(rebooted.server.ok());
+  auto sock = ConnectTo(rebooted.server);
+  ASSERT_TRUE(sock.ok());
+  auto reply = SendQuery(&*sock, WholeDomainQuery("alice", 0.25));
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->status, ReplyStatus::kOk);
+  EXPECT_EQ(reply->spent, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// --load-plans hydration
+// ---------------------------------------------------------------------------
+
+ExperimentConfig ServeMatchedConfig() {
+  ExperimentConfig c;
+  c.algorithms = {"IDENTITY", "HB"};
+  c.datasets = {"ADULT"};
+  c.scales = {100000};
+  c.domain_sizes = {256};
+  c.epsilons = {0.5};
+  c.data_samples = 1;
+  c.runs_per_sample = 1;
+  return c;  // workload defaults to kPrefix1D — the serve convention
+}
+
+TEST(LoadPlansTest, HydratesCacheAndServesWithoutPlanning) {
+  ExperimentConfig config = ServeMatchedConfig();
+  PlanStore exported;
+  auto run = Runner::Run(config, nullptr, nullptr, nullptr, &exported);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(exported.plans.size(), 2u);
+  std::string path = TempPath("plans.bin");
+  ASSERT_TRUE(
+      WriteFileBytes(path, EncodePlanCacheFile(exported, config)).ok());
+
+  ServerOptions options;
+  options.load_plans_path = path;
+  LiveServer live(Server::Create(options));
+  ASSERT_TRUE(live.server.ok()) << live.server.status().ToString();
+  EXPECT_EQ(live.server->stats().plans_hydrated, 2u);
+
+  auto sock = ConnectTo(live.server);
+  ASSERT_TRUE(sock.ok());
+  QueryRequest identity = WholeDomainQuery("alice", 0.5);
+  auto r1 = SendQuery(&*sock, identity);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_EQ(r1->status, ReplyStatus::kOk);
+  QueryRequest hb = WholeDomainQuery("bob", 0.5);
+  hb.algorithm = "HB";
+  auto r2 = SendQuery(&*sock, hb);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2->status, ReplyStatus::kOk);
+
+  // Both requests hit hydrated plans: nothing was planned at serve time.
+  ServeStats stats = live.server->stats();
+  EXPECT_EQ(stats.plan_cache_hits, 2u);
+  EXPECT_EQ(stats.plan_cache_misses, 0u);
+}
+
+TEST(LoadPlansTest, WorkloadIdentityMismatchFailsCreate) {
+  ExperimentConfig config = ServeMatchedConfig();
+  config.workload = WorkloadKind::kIdentity;  // not the serve convention
+  PlanStore exported;
+  auto run = Runner::Run(config, nullptr, nullptr, nullptr, &exported);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  std::string path = TempPath("plans_mismatch.bin");
+  ASSERT_TRUE(
+      WriteFileBytes(path, EncodePlanCacheFile(exported, config)).ok());
+
+  ServerOptions options;
+  options.load_plans_path = path;
+  auto server = Server::Create(options);
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(server.status().message().find("refusing to hydrate"),
+            std::string::npos)
+      << server.status().ToString();
+}
+
+TEST(LoadPlansTest, MissingFileFailsCreate) {
+  ServerOptions options;
+  options.load_plans_path = TempPath("no_such_plans.bin");
+  auto server = Server::Create(options);
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dpbench

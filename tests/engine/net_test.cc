@@ -1,0 +1,226 @@
+// Short-read/short-write coverage for the frame layer (engine/net).
+//
+// TCP guarantees byte order, not message boundaries: a frame's 4-byte
+// length prefix can straddle two poll wakeups, a payload can arrive one
+// byte at a time, and two frames can land in one recv(). These tests
+// drive an in-process loopback pair through raw ::send() on the peer fd
+// so every split point is exercised deterministically — RecvFrame must
+// carry partial bytes across timed-out calls and reassemble the exact
+// payload, never a truncated or merged one.
+#include "src/engine/net.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+namespace dpbench {
+namespace net {
+namespace {
+
+// A connected loopback pair: `client` (from Connect) and `server` (from
+// Accept). Raw bytes written to client.fd() arrive on `server`.
+struct Pair {
+  Listener listener;
+  Socket client;
+  Socket server;
+};
+
+Pair MakePair() {
+  Pair p;
+  auto listener = Listener::Bind(0);
+  EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+  p.listener = std::move(*listener);
+  auto client = Connect(p.listener.port(), 2000);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  p.client = std::move(*client);
+  auto server = p.listener.Accept(2000);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  EXPECT_TRUE(server->valid());
+  p.server = std::move(*server);
+  return p;
+}
+
+// Writes exactly [data, data+len) to fd, retrying short writes — the
+// sender-side half of the short-IO matrix.
+void SendRaw(int fd, const void* data, size_t len) {
+  const char* bytes = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = ::send(fd, bytes + sent, len - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0) << "raw send failed";
+    sent += static_cast<size_t>(n);
+  }
+}
+
+// One frame as it appears on the wire: u32 LE length prefix + payload.
+std::string WireBytes(const std::string& payload) {
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  std::string wire;
+  wire.push_back(static_cast<char>(len & 0xff));
+  wire.push_back(static_cast<char>((len >> 8) & 0xff));
+  wire.push_back(static_cast<char>((len >> 16) & 0xff));
+  wire.push_back(static_cast<char>((len >> 24) & 0xff));
+  wire += payload;
+  return wire;
+}
+
+// A forged length prefix with no payload behind it.
+std::string ForgedPrefix(uint32_t len) {
+  std::string wire;
+  wire.push_back(static_cast<char>(len & 0xff));
+  wire.push_back(static_cast<char>((len >> 8) & 0xff));
+  wire.push_back(static_cast<char>((len >> 16) & 0xff));
+  wire.push_back(static_cast<char>((len >> 24) & 0xff));
+  return wire;
+}
+
+TEST(NetShortIoTest, PartialHeaderAcrossPollWakeups) {
+  Pair p = MakePair();
+  const std::string payload = "partial-header-payload";
+  const std::string wire = WireBytes(payload);
+
+  // Only 2 of the 4 prefix bytes arrive before the deadline: RecvFrame
+  // must report a timeout (not an error) and keep the bytes buffered.
+  SendRaw(p.client.fd(), wire.data(), 2);
+  auto first = p.server.RecvFrame(50);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first->timed_out);
+
+  // The rest of the header and the payload complete the frame.
+  SendRaw(p.client.fd(), wire.data() + 2, wire.size() - 2);
+  auto second = p.server.RecvFrame(2000);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_FALSE(second->timed_out);
+  EXPECT_EQ(second->bytes, payload);
+}
+
+TEST(NetShortIoTest, SplitAtEveryByteBoundary) {
+  // Cut the wire image (header + payload) at every interior byte: the
+  // first fragment alone must time out, and the reassembled frame must
+  // be byte-identical regardless of where the cut fell.
+  Pair p = MakePair();
+  for (size_t cut = 1; cut < 4 + 16; ++cut) {
+    std::string payload = "split@";
+    payload += static_cast<char>('a' + (cut % 26));
+    payload.resize(16, '.');
+    const std::string wire = WireBytes(payload);
+    ASSERT_LT(cut, wire.size());
+
+    SendRaw(p.client.fd(), wire.data(), cut);
+    auto partial = p.server.RecvFrame(30);
+    ASSERT_TRUE(partial.ok()) << "cut=" << cut << ": "
+                              << partial.status().ToString();
+    EXPECT_TRUE(partial->timed_out) << "cut=" << cut;
+
+    SendRaw(p.client.fd(), wire.data() + cut, wire.size() - cut);
+    auto full = p.server.RecvFrame(2000);
+    ASSERT_TRUE(full.ok()) << "cut=" << cut << ": "
+                           << full.status().ToString();
+    ASSERT_FALSE(full->timed_out) << "cut=" << cut;
+    EXPECT_EQ(full->bytes, payload) << "cut=" << cut;
+  }
+}
+
+TEST(NetShortIoTest, TwoFramesInOneWrite) {
+  // The opposite failure mode: both frames land in one recv(). The
+  // buffer must yield them one at a time, in order, unmerged.
+  Pair p = MakePair();
+  const std::string a = "first-frame";
+  const std::string b = "second-frame-longer";
+  const std::string wire = WireBytes(a) + WireBytes(b);
+  SendRaw(p.client.fd(), wire.data(), wire.size());
+
+  auto fa = p.server.RecvFrame(2000);
+  ASSERT_TRUE(fa.ok()) << fa.status().ToString();
+  ASSERT_FALSE(fa->timed_out);
+  EXPECT_EQ(fa->bytes, a);
+
+  auto fb = p.server.RecvFrame(2000);
+  ASSERT_TRUE(fb.ok()) << fb.status().ToString();
+  ASSERT_FALSE(fb->timed_out);
+  EXPECT_EQ(fb->bytes, b);
+}
+
+TEST(NetShortIoTest, EmptyPayloadFrame) {
+  Pair p = MakePair();
+  ASSERT_TRUE(p.client.SendFrame("").ok());
+  auto f = p.server.RecvFrame(2000);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  ASSERT_FALSE(f->timed_out);
+  EXPECT_TRUE(f->bytes.empty());
+}
+
+TEST(NetShortIoTest, PrefixAtExactlyFrameCapWaitsForPayload) {
+  // A length prefix of exactly kMaxFrameBytes is legal — the receiver
+  // must wait for the (never-arriving) payload, not reject the frame.
+  Pair p = MakePair();
+  const std::string prefix = ForgedPrefix(kMaxFrameBytes);
+  SendRaw(p.client.fd(), prefix.data(), prefix.size());
+  auto f = p.server.RecvFrame(50);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_TRUE(f->timed_out);
+}
+
+TEST(NetShortIoTest, PrefixOverFrameCapIsInvalidArgument) {
+  // One byte over the cap is a framing desync: a protocol error, not a
+  // retryable transport failure and not a timeout.
+  Pair p = MakePair();
+  const std::string prefix = ForgedPrefix(kMaxFrameBytes + 1);
+  SendRaw(p.client.fd(), prefix.data(), prefix.size());
+  auto f = p.server.RecvFrame(2000);
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(f.status().message().find("1 GiB"), std::string::npos)
+      << f.status().ToString();
+}
+
+TEST(NetShortIoTest, OverCapPrefixSplitAcrossWakeupsStillRejected) {
+  // The desync check must fire even when the hostile prefix itself
+  // arrives byte by byte across timed-out reads.
+  Pair p = MakePair();
+  const std::string prefix = ForgedPrefix(kMaxFrameBytes + 7);
+  for (size_t i = 0; i + 1 < prefix.size(); ++i) {
+    SendRaw(p.client.fd(), prefix.data() + i, 1);
+    auto f = p.server.RecvFrame(20);
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    EXPECT_TRUE(f->timed_out);
+  }
+  SendRaw(p.client.fd(), prefix.data() + prefix.size() - 1, 1);
+  auto f = p.server.RecvFrame(2000);
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetShortIoTest, PeerCloseMidFrameIsUnavailable) {
+  // Prefix plus half the payload, then the peer dies: that is data
+  // loss in flight — Unavailable, and the message says mid-frame.
+  Pair p = MakePair();
+  const std::string wire = WireBytes("doomed-payload");
+  SendRaw(p.client.fd(), wire.data(), wire.size() - 4);
+  p.client.Close();
+  auto f = p.server.RecvFrame(2000);
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(f.status().message().find("mid-frame"), std::string::npos)
+      << f.status().ToString();
+}
+
+TEST(NetShortIoTest, PeerCloseBetweenFramesIsCleanUnavailable) {
+  Pair p = MakePair();
+  ASSERT_TRUE(p.client.SendFrame("final-frame").ok());
+  p.client.Close();
+  auto f = p.server.RecvFrame(2000);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ(f->bytes, "final-frame");
+  auto eof = p.server.RecvFrame(2000);
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(eof.status().message().find("mid-frame"), std::string::npos)
+      << eof.status().ToString();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace dpbench

@@ -126,15 +126,16 @@ TEST(LedgerFileTest, RoundTripsBitExactly) {
   std::vector<LedgerEntry> entries = SampleLedger();
   auto decoded = DecodeLedgerFile(EncodeLedgerFile(entries));
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
-  ASSERT_EQ(decoded->size(), entries.size());
-  EXPECT_EQ((*decoded)[0], entries[0]);
-  EXPECT_EQ((*decoded)[1], entries[1]);
+  ASSERT_EQ(decoded->entries.size(), entries.size());
+  EXPECT_EQ(decoded->entries[0], entries[0]);
+  EXPECT_EQ(decoded->entries[1], entries[1]);
+  EXPECT_EQ(decoded->journal_seq, 0u);
 }
 
 TEST(LedgerFileTest, EmptyLedgerRoundTrips) {
   auto decoded = DecodeLedgerFile(EncodeLedgerFile({}));
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
-  EXPECT_TRUE(decoded->empty());
+  EXPECT_TRUE(decoded->entries.empty());
 }
 
 TEST(LedgerFileTest, IdenticalStateEncodesIdenticalBytes) {
@@ -517,14 +518,14 @@ TEST(ServerTest, LedgerPersistsAcrossRestartByteExactly) {
 
   auto bytes_before = ReadFileBytes(path);
   ASSERT_TRUE(bytes_before.ok()) << bytes_before.status().ToString();
-  auto entries = DecodeLedgerFile(*bytes_before);
-  ASSERT_TRUE(entries.ok());
-  ASSERT_EQ(entries->size(), 1u);
-  EXPECT_EQ((*entries)[0].user, "alice");
-  EXPECT_EQ((*entries)[0].dataset, "ADULT");
-  EXPECT_EQ((*entries)[0].budget, 1.0);
-  EXPECT_EQ((*entries)[0].spent, 0.6);  // bit pattern survives
-  EXPECT_EQ((*entries)[0].queries, 1u);
+  auto ledger = DecodeLedgerFile(*bytes_before);
+  ASSERT_TRUE(ledger.ok());
+  ASSERT_EQ(ledger->entries.size(), 1u);
+  EXPECT_EQ(ledger->entries[0].user, "alice");
+  EXPECT_EQ(ledger->entries[0].dataset, "ADULT");
+  EXPECT_EQ(ledger->entries[0].budget, 1.0);
+  EXPECT_EQ(ledger->entries[0].spent, 0.6);  // bit pattern survives
+  EXPECT_EQ(ledger->entries[0].queries, 1u);
 
   {
     ServerOptions options;

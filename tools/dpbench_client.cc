@@ -1,10 +1,14 @@
 // dpbench_client — command-line client for dpbench_serve.
 //
-// Sends one query (default), a stats request (--stats), or a stop request
-// (--stop) to a running daemon and prints the reply.
+// Sends one query (default), a stats request (--stats), an audit request
+// (--audit), or a stop request (--stop) to a running daemon and prints
+// the reply. --audit dumps the daemon's reconstructed spend history: the
+// snapshot fold point plus every intact charge-journal record (seq,
+// outcome, user, dataset, epsilon, ordinal, spent-after), optionally
+// filtered by --user/--dataset.
 //
 // Exit codes (scripts and the CI smoke job branch on them):
-//   0  query answered / stats printed / stop acknowledged
+//   0  query answered / stats printed / audit printed / stop acknowledged
 //   1  transport failure, protocol error, or invalid request
 //   3  query refused: budget exhausted (the documented admission status)
 //
@@ -12,6 +16,7 @@
 //   dpbench_client --port=$(cat port.txt) --user=alice --dataset=ADULT \
 //                  --algorithm=IDENTITY --epsilon=0.1 --range=0:1023
 //   dpbench_client --port=$(cat port.txt) --stats
+//   dpbench_client --port=$(cat port.txt) --audit --user=alice
 //   dpbench_client --port=$(cat port.txt) --stop
 #include <cstring>
 #include <iostream>
@@ -41,6 +46,8 @@ void PrintUsage() {
          "  --range=LO:HI      1D query range, inclusive (repeatable)\n"
          "  --range2d=R0:C0:R1:C1  2D query rectangle (repeatable)\n"
          "  --stats            print server stats instead of querying\n"
+         "  --audit            print the charge-journal spend history\n"
+         "                     (--user/--dataset filter it)\n"
          "  --stop             stop the daemon instead of querying\n";
 }
 
@@ -69,7 +76,8 @@ int main(int argc, char** argv) {
   query.dataset = "ADULT";
   query.algorithm = "IDENTITY";
   uint64_t port = 0;
-  bool port_given = false, stats = false, stop = false;
+  bool port_given = false, stats = false, stop = false, audit = false;
+  bool user_given = false, dataset_given = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -88,8 +96,10 @@ int main(int argc, char** argv) {
       port_given = true;
     } else if (arg.rfind("--user=", 0) == 0) {
       query.user = value("--user=");
+      user_given = true;
     } else if (arg.rfind("--dataset=", 0) == 0) {
       query.dataset = value("--dataset=");
+      dataset_given = true;
     } else if (arg.rfind("--algorithm=", 0) == 0) {
       query.algorithm = value("--algorithm=");
     } else if (arg.rfind("--epsilon=", 0) == 0) {
@@ -137,6 +147,8 @@ int main(int argc, char** argv) {
       query.hi_col.push_back(parts[3]);
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--audit") {
+      audit = true;
     } else if (arg == "--stop") {
       stop = true;
     } else {
@@ -162,6 +174,11 @@ int main(int argc, char** argv) {
     request = serve::EncodeStop();
   } else if (stats) {
     request = serve::EncodeStatsRequest();
+  } else if (audit) {
+    serve::AuditRequest areq;
+    if (user_given) areq.user = query.user;
+    if (dataset_given) areq.dataset = query.dataset;
+    request = serve::EncodeAuditRequest(areq);
   } else {
     if (query.lo_row.empty()) {
       // Default query: the whole 1D domain (total count).
@@ -201,7 +218,28 @@ int main(int argc, char** argv) {
               << " data_cache_hits=" << reply->data_cache_hits
               << " data_cache_misses=" << reply->data_cache_misses
               << " data_cache_evictions=" << reply->data_cache_evictions
-              << " connections=" << reply->connections << "\n";
+              << " connections=" << reply->connections
+              << " journal_appends=" << reply->journal_appends
+              << " journal_replayed=" << reply->journal_replayed
+              << " plans_hydrated=" << reply->plans_hydrated << "\n";
+    return 0;
+  }
+  if (audit) {
+    auto reply = serve::DecodeAuditReply(frame->bytes);
+    if (!reply.ok()) {
+      std::cerr << "bad audit reply: " << reply.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "snapshot_seq=" << reply->snapshot_seq
+              << " records=" << reply->records.size()
+              << " dropped_tail_bytes=" << reply->dropped_tail_bytes << "\n";
+    for (const JournalRecord& r : reply->records) {
+      std::cout << "seq=" << r.seq << " outcome="
+                << JournalOutcomeName(r.outcome) << " user=" << r.user
+                << " dataset=" << r.dataset << " epsilon=" << r.epsilon
+                << " ordinal=" << r.ordinal << " budget=" << r.budget
+                << " spent_after=" << r.spent_after << "\n";
+    }
     return 0;
   }
 

@@ -8,11 +8,42 @@
 // byte-identical to the monolithic `dpbench_run --csv-out` of the same
 // grid.
 //
+// --checkpoint=FILE makes progress durable: every completed task rewrites
+// FILE (tmp-write + atomic rename) with the grid identity and each
+// finished task's shard image. A coordinator restarted with the same flag
+// and the same grid resumes — completed tasks are never re-executed, and
+// the merged CSV is byte-identical to an uninterrupted run. A checkpoint
+// from a *different* grid, or a damaged one, is a loud refusal (exit 4 /
+// exit 3), never a silent fresh start.
+//
+// Exit codes are distinct and documented — the same vocabulary as
+// dpbench_merge, so schedulers and CI treat both tools uniformly:
+//   0  run merged successfully
+//   1  usage error (bad flags) or environment failure (bind, CSV write)
+//   2  the checkpoint file could not be read (present but unreadable —
+//      retryable once the file is readable again)
+//   3  the checkpoint file is corrupt (checksum DataLoss or structural
+//      decode failure — delete it to start over, deliberately)
+//   4  config skew (the checkpoint records a different grid — fatal)
+//   5  the run is incomplete (merge reported missing shards/cells)
+//   6  structural merge conflict (overlaps, duplicate cells)
+//
+// --error-json=FILE writes a machine-readable report of the failure (or
+// {"ok": true} on success) for schedulers and CI; "-" = stdout.
+//
+// Fault injection for the crash-recovery tests, via DPBENCH_FAULT or
+// --fault= (the flag wins): crash_at:after_task_before_checkpoint kills
+// the process (SIGKILL) when a task completes but before its checkpoint
+// write; crash_at:mid_checkpoint_append kills it after the tmp file is
+// written but before the rename.
+//
 // Examples:
 //   dpbench_coord --port=0 --port-file=port.txt --tasks=6 \
-//                 --csv-out=merged.csv --epsilons=0.1,0.5
+//                 --checkpoint=run.ckpt --csv-out=merged.csv \
+//                 --epsilons=0.1,0.5
 //   dpbench_worker --port=$(cat port.txt) --name=w0 &
 //   dpbench_worker --port=$(cat port.txt) --name=w1 &
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -32,16 +63,115 @@ void PrintUsage() {
          "  --port-file=FILE       write the bound port to FILE (for "
          "workers)\n"
          "  --tasks=N              grid partitions to schedule (default 8)\n"
+         "  --checkpoint=FILE      durable progress; resume from FILE if "
+         "present\n"
          "  --csv                  print merged results as CSV to stdout\n"
          "  --csv-out=FILE         write merged results as CSV to FILE\n"
+         "  --error-json=FILE      write a JSON success/failure report "
+         "(- = stdout)\n"
          "  --heartbeat-timeout-ms=N  silence before a worker is lost "
          "(default 5000)\n"
          "  --min-straggler-ms=N   floor before speculative re-issue "
          "(default 10000)\n"
          "  --straggler-factor=F   straggler threshold as F x median task "
          "time (default 3)\n"
+         "  --fault=SPEC           inject faults (overrides DPBENCH_FAULT)\n"
+         "exit codes: 0 ok | 1 usage/environment | 2 unreadable checkpoint "
+         "|\n"
+         "            3 corrupt checkpoint | 4 config skew | 5 incomplete "
+         "run |\n"
+         "            6 merge conflict\n"
          "grid flags (same meaning as dpbench_run):\n"
       << tools::GridFlagsHelp();
+}
+
+// Exit code for a Coordinator::Create failure. The checkpoint produces
+// every non-environment failure here, and the codes parallel
+// dpbench_merge's decode/skew stages.
+int CreateExitCode(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kFailedPrecondition:
+      return 4;  // checkpoint from a different grid or task partition
+    case StatusCode::kDataLoss:
+    case StatusCode::kInvalidArgument:
+      return 3;  // damaged checkpoint or shard image
+    case StatusCode::kNotFound:
+      return 2;  // unreadable mid-read (present at open, gone after)
+    default:
+      return 1;  // bind or other environment failure
+  }
+}
+
+// Exit code for a failed Serve() — its errors come from the merge.
+int ServeExitCode(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kFailedPrecondition:
+      return 4;
+    case StatusCode::kNotFound:
+      return 5;
+    case StatusCode::kDataLoss:
+      return 3;
+    default:
+      return 6;
+  }
+}
+
+void JsonEscapeInto(const std::string& s, std::string* out) {
+  for (char ch : s) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(ch);
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(ch);
+    }
+  }
+}
+
+// Same report shape as dpbench_merge's --error-json: stage, offending
+// path, status code name, the exit code the caller sees, and whether a
+// retry can fix it.
+int WriteErrorJson(const std::string& dest, bool ok, const std::string& stage,
+                   const std::string& path, const Status& st, int exit_code,
+                   uint64_t tasks) {
+  std::string body = "{\n  \"ok\": ";
+  body += ok ? "true" : "false";
+  if (ok) {
+    body += ",\n  \"tasks\": " + std::to_string(tasks);
+  } else {
+    body += ",\n  \"stage\": \"" + stage + "\"";
+    body += ",\n  \"path\": \"";
+    JsonEscapeInto(path, &body);
+    body += "\"";
+    body += ",\n  \"status\": \"";
+    body += StatusCodeToString(st.code());
+    body += "\"";
+    body += ",\n  \"message\": \"";
+    JsonEscapeInto(st.message(), &body);
+    body += "\"";
+    body += ",\n  \"exit_code\": " + std::to_string(exit_code);
+    bool retryable = exit_code == 2 || exit_code == 3 || exit_code == 5;
+    body += ",\n  \"retryable\": ";
+    body += retryable ? "true" : "false";
+  }
+  body += "\n}\n";
+  if (dest == "-") {
+    std::cout << body;
+    return 0;
+  }
+  std::ofstream os(dest, std::ios::trunc);
+  os << body;
+  if (!os) {
+    std::cerr << "cannot write " << dest << "\n";
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -49,7 +179,9 @@ void PrintUsage() {
 int main(int argc, char** argv) {
   ExperimentConfig config = tools::DefaultGridConfig();
   distrib::CoordinatorOptions options;
-  std::string port_file, csv_out;
+  std::string port_file, csv_out, error_json;
+  std::string fault_spec;
+  if (const char* env = std::getenv("DPBENCH_FAULT")) fault_spec = env;
   bool csv = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -78,10 +210,14 @@ int main(int argc, char** argv) {
         return 1;
       }
       options.num_tasks = u64;
+    } else if (arg.rfind("--checkpoint=", 0) == 0) {
+      options.checkpoint_path = value("--checkpoint=");
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg.rfind("--csv-out=", 0) == 0) {
       csv_out = value("--csv-out=");
+    } else if (arg.rfind("--error-json=", 0) == 0) {
+      error_json = value("--error-json=");
     } else if (arg.rfind("--heartbeat-timeout-ms=", 0) == 0) {
       if (!tools::grid_flags_internal::ParseU64(
               value("--heartbeat-timeout-ms="), &u64) ||
@@ -103,6 +239,8 @@ int main(int argc, char** argv) {
         std::cerr << "--straggler-factor expects a number >= 1\n";
         return 1;
       }
+    } else if (arg.rfind("--fault=", 0) == 0) {
+      fault_spec = value("--fault=");
     } else if (tools::ParseGridFlag(arg, &config, &grid_error)) {
       if (!grid_error.empty()) {
         std::cerr << grid_error << "\n";
@@ -118,12 +256,29 @@ int main(int argc, char** argv) {
     std::cerr << st.ToString() << "\n";
     return 1;
   }
+  auto fault = ParseFaultSpec(fault_spec);
+  if (!fault.ok()) {
+    std::cerr << fault.status().ToString() << "\n";
+    return 1;
+  }
+  options.fault = *fault;
+
+  // Failure path shared by both stages: report to stderr, optionally as
+  // JSON, and exit with the stage-appropriate code.
+  auto fail = [&](const std::string& stage, const std::string& path,
+                  const Status& st, int code) -> int {
+    std::cerr << "dpbench_coord " << stage << " failed: " << st.ToString()
+              << "\n";
+    if (!error_json.empty()) {
+      WriteErrorJson(error_json, false, stage, path, st, code, 0);
+    }
+    return code;
+  };
 
   auto coord = distrib::Coordinator::Create(config, options);
   if (!coord.ok()) {
-    std::cerr << "cannot start coordinator: " << coord.status().ToString()
-              << "\n";
-    return 1;
+    return fail("create", options.checkpoint_path, coord.status(),
+                CreateExitCode(coord.status()));
   }
   std::cerr << "coordinator listening on 127.0.0.1:" << coord->port()
             << " (" << options.num_tasks << " tasks)\n";
@@ -148,16 +303,17 @@ int main(int argc, char** argv) {
   distrib::CoordinatorSummary summary;
   auto merged = coord->Serve(&summary);
   std::cerr << "run summary: tasks=" << summary.tasks
+            << " tasks_resumed=" << summary.tasks_resumed
             << " workers_seen=" << summary.workers_seen
             << " workers_lost=" << summary.workers_lost
             << " tasks_reissued=" << summary.tasks_reissued
             << " speculative_issued=" << summary.speculative_issued
             << " duplicate_results=" << summary.duplicate_results
-            << " corrupt_uploads=" << summary.corrupt_uploads << "\n";
+            << " corrupt_uploads=" << summary.corrupt_uploads
+            << " checkpoint_writes=" << summary.checkpoint_writes
+            << " checkpoint_failures=" << summary.checkpoint_failures << "\n";
   if (!merged.ok()) {
-    std::cerr << "distributed run failed: " << merged.status().ToString()
-              << "\n";
-    return 1;
+    return fail("serve", "", merged.status(), ServeExitCode(merged.status()));
   }
 
   if (csv) WriteCsv(merged->cells, std::cout);
@@ -167,8 +323,15 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (!error_json.empty()) {
+    if (WriteErrorJson(error_json, true, "", "", Status::OK(), 0,
+                       summary.tasks) != 0) {
+      return 1;
+    }
+  }
   const RunDiagnostics& d = merged->diagnostics;
   std::cerr << "merged " << d.cells << " cells, " << d.trials
-            << " trials across " << summary.workers_seen << " workers\n";
+            << " trials across " << summary.workers_seen << " workers ("
+            << summary.tasks_resumed << " tasks from checkpoint)\n";
   return 0;
 }

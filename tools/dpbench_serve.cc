@@ -6,15 +6,31 @@
 // daemon remembers every epsilon it ever granted. Stop it with a
 // dpbench_client --stop message or SIGINT/SIGTERM.
 //
+// With --journal, durability shifts from per-request snapshot rewrites to
+// an append-only charge journal: every admission decision is appended
+// (checksummed) before its query executes, boot replays the journal over
+// the last snapshot, and `dpbench_serve --compact-journal` folds the
+// journal back into the snapshot offline. --load-plans hydrates the plan
+// cache from a dpbench_run --export-plans file at startup, so the first
+// request of each cached configuration skips planning.
+//
+// Fault injection for the crash-recovery tests, via DPBENCH_FAULT or
+// --fault= (the flag wins): crash_at:after_charge_before_journal,
+// crash_at:after_journal_before_persist, and crash_at:mid_compaction kill
+// the process (SIGKILL) at the named durability window.
+//
 // Examples:
 //   dpbench_serve --port=0 --port-file=port.txt --ledger=ledger.bin \
-//                 --budget=1.0 &
+//                 --journal=journal.bin --budget=1.0 &
 //   dpbench_client --port=$(cat port.txt) --user=alice --dataset=ADULT \
 //                  --algorithm=IDENTITY --epsilon=0.1 --range=0:1023
+//   dpbench_serve --ledger=ledger.bin --journal=journal.bin \
+//                 --compact-journal
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -41,12 +57,20 @@ void PrintUsage() {
          "  --port-file=FILE  write the bound port to FILE (for clients)\n"
          "  --ledger=FILE     persist budget ledgers to FILE (omit for\n"
          "                    in-memory-only ledgers)\n"
+         "  --journal=FILE    append-only charge journal; admission\n"
+         "                    decisions are appended before execution and\n"
+         "                    replayed over the ledger snapshot at boot\n"
+         "  --compact-journal fold --journal into --ledger and exit (no\n"
+         "                    serving; needs both flags)\n"
+         "  --load-plans=FILE hydrate the plan cache from a plan-cache\n"
+         "                    file (dpbench_run --export-plans) at startup\n"
          "  --budget=EPS      epsilon granted per (user, dataset) pair\n"
          "                    (default 1.0; must be positive and finite)\n"
          "  --seed=N          master noise seed (default 20160626)\n"
          "  --max-plans=N     LRU bound on cached plans (default 64)\n"
          "  --max-datasets=N  LRU bound on hydrated datasets (default 16)\n"
-         "  --max-scratch=N   bound on pooled scratch arenas (default 16)\n";
+         "  --max-scratch=N   bound on pooled scratch arenas (default 16)\n"
+         "  --fault=SPEC      inject faults (overrides DPBENCH_FAULT)\n";
 }
 
 }  // namespace
@@ -54,6 +78,9 @@ void PrintUsage() {
 int main(int argc, char** argv) {
   serve::ServerOptions options;
   std::string port_file;
+  std::string fault_spec;
+  if (const char* env = std::getenv("DPBENCH_FAULT")) fault_spec = env;
+  bool compact = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -75,6 +102,14 @@ int main(int argc, char** argv) {
       port_file = value("--port-file=");
     } else if (arg.rfind("--ledger=", 0) == 0) {
       options.ledger_path = value("--ledger=");
+    } else if (arg.rfind("--journal=", 0) == 0) {
+      options.journal_path = value("--journal=");
+    } else if (arg == "--compact-journal") {
+      compact = true;
+    } else if (arg.rfind("--load-plans=", 0) == 0) {
+      options.load_plans_path = value("--load-plans=");
+    } else if (arg.rfind("--fault=", 0) == 0) {
+      fault_spec = value("--fault=");
     } else if (arg.rfind("--budget=", 0) == 0) {
       double eps = 0.0;
       if (!tools::grid_flags_internal::ParseF64(value("--budget="), &eps) ||
@@ -121,6 +156,30 @@ int main(int argc, char** argv) {
     }
   }
 
+  auto fault = ParseFaultSpec(fault_spec);
+  if (!fault.ok()) {
+    std::cerr << fault.status().ToString() << "\n";
+    return 1;
+  }
+  options.fault = *fault;
+
+  if (compact) {
+    auto summary = serve::CompactJournal(options.ledger_path,
+                                         options.journal_path,
+                                         options.default_budget,
+                                         options.fault);
+    if (!summary.ok()) {
+      std::cerr << "compaction failed: " << summary.status().ToString()
+                << "\n";
+      return 1;
+    }
+    std::cerr << "compacted " << options.journal_path << " into "
+              << options.ledger_path << ": folded_records="
+              << summary->folded_records << " entries=" << summary->entries
+              << " journal_seq=" << summary->journal_seq << "\n";
+    return 0;
+  }
+
   auto server = serve::Server::Create(options);
   if (!server.ok()) {
     std::cerr << "cannot start server: " << server.status().ToString()
@@ -130,6 +189,17 @@ int main(int argc, char** argv) {
   std::cerr << "dpbench_serve listening on 127.0.0.1:" << server->port();
   if (!options.ledger_path.empty()) {
     std::cerr << " (ledger: " << options.ledger_path << ")";
+  }
+  if (!options.journal_path.empty()) {
+    std::cerr << " (journal: " << options.journal_path << ")";
+  }
+  serve::ServeStats boot = server->stats();
+  if (boot.journal_replayed > 0) {
+    std::cerr << " (replayed " << boot.journal_replayed
+              << " journal records)";
+  }
+  if (boot.plans_hydrated > 0) {
+    std::cerr << " (hydrated " << boot.plans_hydrated << " plans)";
   }
   std::cerr << "\n";
 
@@ -173,7 +243,10 @@ int main(int argc, char** argv) {
             << " plan_cache_hits=" << stats.plan_cache_hits
             << " plan_cache_misses=" << stats.plan_cache_misses
             << " plan_cache_evictions=" << stats.plan_cache_evictions
-            << " connections=" << stats.connections << "\n";
+            << " connections=" << stats.connections
+            << " journal_appends=" << stats.journal_appends
+            << " journal_replayed=" << stats.journal_replayed
+            << " plans_hydrated=" << stats.plans_hydrated << "\n";
   if (!st.ok()) {
     std::cerr << "serve loop failed: " << st.ToString() << "\n";
     return 1;
