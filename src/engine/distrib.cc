@@ -628,6 +628,14 @@ Result<WorkerStats> RunWorker(const WorkerOptions& options) {
   uint64_t uploads = 0;
   bool first_task = true;
 
+  // Plans survive across assignments: tasks are shards of one grid, so
+  // every assignment after the first re-plans the same (algorithm,
+  // domain, epsilon) set. Cache the serialized plans per config
+  // fingerprint (grid identity — shard fields excluded by design) and
+  // hydrate instead. A shard may still *build* keys no cached assignment
+  // touched; those are merged in after each task.
+  std::map<std::string, PlanStore> plan_caches;
+
   // The initial connection: a coordinator that never appears is an error
   // (unlike one that disappears later, which ends a degraded run cleanly).
   auto initial = ConnectWithBackoff(options);
@@ -742,10 +750,12 @@ Result<WorkerStats> RunWorker(const WorkerOptions& options) {
     });
 
     if (stall_ms > 0) SleepMs(stall_ms);  // injected straggler
+    PlanStore& plan_cache = plan_caches[ConfigFingerprint(config)];
+    PlanStore exported;
     RunDiagnostics diagnostics;
     auto cells = Runner::Run(
         config, [&](const CellResult&) { cells_done.fetch_add(1); },
-        &diagnostics);
+        &diagnostics, &plan_cache, &exported);
     stop_pump.store(true);
     pump.join();
 
@@ -754,6 +764,10 @@ Result<WorkerStats> RunWorker(const WorkerOptions& options) {
       return stats;
     }
     if (!cells.ok()) return cells.status();  // config error: fatal, no retry
+    stats.plans_hydrated += diagnostics.plans_hydrated;
+    for (auto& [key, payload] : exported.plans) {
+      plan_cache.plans[key] = std::move(payload);
+    }
 
     ShardFile shard;
     shard.shard_index = config.shard_index;

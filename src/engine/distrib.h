@@ -205,6 +205,11 @@ struct WorkerOptions {
 struct WorkerStats {
   uint64_t tasks_completed = 0;  ///< results uploaded (including duplicates)
   uint64_t reconnects = 0;       ///< successful reconnections
+  /// Plans rehydrated from the worker's per-config-fingerprint cache
+  /// instead of re-planned: after the first assignment of a config, later
+  /// assignments reuse the serialized plans it built (shard subsets may
+  /// still plan keys the cached assignments never touched).
+  uint64_t plans_hydrated = 0;
   bool killed_by_fault = false;  ///< exited via kill_after
   std::string ended_by;          ///< "shutdown" | "fault" | "coordinator_gone"
 };

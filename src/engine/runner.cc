@@ -74,7 +74,22 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
                                             const PlanStore* hydrate_plans,
                                             PlanStore* export_plans) {
   struct SharedInput {
+    SharedInput(std::shared_ptr<const Workload> w, DataVector sh,
+                uint64_t sc, uint64_t seed, size_t node)
+        : workload(std::move(w)),
+          shape(std::move(sh)),
+          scale(sc),
+          data_seed(seed),
+          home_node(node) {}
+
     std::shared_ptr<const Workload> workload;
+    // Materialization inputs, recorded during grid enumeration; samples
+    // and true answers are filled later on a worker of home_node so the
+    // pages are first-touched on the socket that will execute the cells.
+    DataVector shape;
+    uint64_t scale = 0;
+    uint64_t data_seed = 0;
+    size_t home_node = 0;
     std::vector<DataVector> samples;
     std::vector<std::vector<double>> true_answers;
   };
@@ -103,6 +118,12 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
     DPB_ASSIGN_OR_RETURN(MechanismPtr mech, MechanismRegistry::Get(algo));
     mechanisms.emplace(algo, std::move(mech));
   }
+
+  // The pool exists before enumeration so inputs can be assigned home
+  // NUMA nodes (round-robin over the pool's node count, in canonical
+  // input order — deterministic, and irrelevant to results).
+  size_t threads = std::max<size_t>(config.threads, 1);
+  WorkStealingPool pool(threads, config.pin_threads);
 
   // Phase 1 (sequential): enumerate the full grid in its canonical order
   // (dataset, domain, scale, epsilon, algorithm) — assigning every
@@ -172,14 +193,10 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
               std::ostringstream label;
               label << "data/" << dataset << "/" << domain_size << "/"
                     << scale;
-              Rng data_rng(StreamSeed(config.seed, label.str()));
-              input = std::make_unique<SharedInput>();
-              input->workload = workload;
-              for (size_t s = 0; s < config.data_samples; ++s) {
-                DPB_ASSIGN_OR_RETURN(DataVector x,
-                                     SampleAtScale(shape, scale, &data_rng));
-                input->samples.push_back(std::move(x));
-              }
+              input = std::make_unique<SharedInput>(
+                  workload, shape, scale,
+                  StreamSeed(config.seed, label.str()),
+                  inputs.size() % pool.num_nodes());
             }
             SideInfo side_info;
             if (config.provide_true_scale) {
@@ -208,15 +225,37 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
           }
         }
         if (input != nullptr) {
-          input->true_answers = workload->EvaluateAll(input->samples);
           inputs.push_back(std::move(input));
         }
       }
     }
   }
 
-  size_t threads = std::max<size_t>(config.threads, 1);
-  WorkStealingPool pool(threads, config.pin_threads);
+  // Phase 1b: materialize every input's data samples and true answers on
+  // a worker of its home node. The sampling streams are seeded purely by
+  // (seed, dataset, domain, scale) — recorded above — so deferring and
+  // parallelizing this cannot change a bit; what it changes is which
+  // socket first touches the dataset pages, which is where they stay.
+  std::vector<Status> input_failures(inputs.size(), Status::OK());
+  pool.ParallelForWorkerPlaced(
+      inputs.size(),
+      [&](size_t i, size_t) {
+        SharedInput& input = *inputs[i];
+        Rng data_rng(input.data_seed);
+        for (size_t s = 0; s < config.data_samples; ++s) {
+          auto x = SampleAtScale(input.shape, input.scale, &data_rng);
+          if (!x.ok()) {
+            input_failures[i] = x.status();
+            return;
+          }
+          input.samples.push_back(std::move(x).value());
+        }
+        input.true_answers = input.workload->EvaluateAll(input.samples);
+      },
+      [&](size_t i) { return inputs[i]->home_node; });
+  for (const Status& st : input_failures) {
+    DPB_RETURN_NOT_OK(st);
+  }
 
   // Phase 2a: build every unique plan once — or hydrate it from the
   // provided serialized store instead of planning. Planning and hydration
@@ -303,6 +342,7 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
   const size_t active_lanes = lockstep::ActiveLaneWidth();
   std::atomic<uint64_t> lockstep_trials{0};
   std::atomic<uint64_t> scalar_trials{0};
+  std::atomic<uint64_t> traffic_bytes{0};
 
   auto run_cell = [&](size_t idx, size_t worker) {
     WorkerState& ws = workers[worker];
@@ -384,6 +424,16 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
     }
     lockstep_trials.fetch_add(cell_lockstep, std::memory_order_relaxed);
     scalar_trials.fetch_add(cell_scalar, std::memory_order_relaxed);
+    // Analytic memory traffic of this cell: the Philox counter position is
+    // exactly the draw count (8 bytes materialized each), and every trial
+    // writes the estimate once and reads it back once through workload
+    // evaluation (domain cells x 8 bytes, twice).
+    traffic_bytes.fetch_add(
+        8 * (run_rng.generator().position() +
+             2 * static_cast<uint64_t>(
+                     task.input->workload->domain().TotalCells()) *
+                 (cell_lockstep + cell_scalar)),
+        std::memory_order_relaxed);
     auto summary =
         config.retain_raw_errors ? Summarize(cell.errors) : stream.Finalize();
     if (!summary.ok()) {
@@ -398,7 +448,11 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
     out[idx] = std::move(cell);
   };
 
-  pool.ParallelForWorker(tasks.size(), run_cell);
+  // Cells are routed to the node that owns their input's pages; stealing
+  // may still rebalance them anywhere (counted as remote steals).
+  pool.ParallelForWorkerPlaced(
+      tasks.size(), run_cell,
+      [&](size_t idx) { return tasks[idx].input->home_node; });
   for (const Status& st : failures) {
     DPB_RETURN_NOT_OK(st);
   }
@@ -428,6 +482,15 @@ Result<std::vector<CellResult>> Runner::Run(const ExperimentConfig& config,
     diagnostics->pool_tasks_executed = pstats.tasks_executed;
     diagnostics->pool_tasks_stolen = pstats.tasks_stolen;
     diagnostics->pool_workers_pinned = pstats.workers_pinned;
+    diagnostics->numa_nodes = pool.num_nodes();
+    diagnostics->node_workers = pool.workers_per_node();
+    diagnostics->pool_tasks_stolen_remote = pstats.tasks_stolen_remote;
+    diagnostics->bytes_per_trial =
+        diagnostics->trials > 0
+            ? static_cast<double>(
+                  traffic_bytes.load(std::memory_order_relaxed)) /
+                  static_cast<double>(diagnostics->trials)
+            : 0.0;
     diagnostics->isa_tier = lockstep::TierName(lockstep::ActiveTier());
     diagnostics->lane_width = active_lanes;
     diagnostics->lockstep_trials =

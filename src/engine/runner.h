@@ -126,6 +126,17 @@ struct RunDiagnostics {
   uint64_t pool_tasks_executed = 0;  ///< plan + cell tasks run on the pool
   uint64_t pool_tasks_stolen = 0;    ///< tasks balanced via work stealing
   uint64_t pool_workers_pinned = 0;  ///< workers with core affinity applied
+  /// NUMA placement over this run: the node count the pool planned
+  /// against, workers per node (pool node order), steals that crossed a
+  /// node boundary (placement violated to balance the tail — locality
+  /// cost, never a correctness event), and the analytic memory traffic
+  /// per trial (8 bytes per Philox draw + one estimate write + one
+  /// workload read per domain cell). On single-node machines numa_nodes
+  /// is 1 and pool_tasks_stolen_remote is 0.
+  size_t numa_nodes = 0;
+  std::vector<uint64_t> node_workers;
+  uint64_t pool_tasks_stolen_remote = 0;
+  double bytes_per_trial = 0.0;
   /// Lockstep execution: the ISA tier the dispatcher selected for this
   /// run ("scalar"/"sse2"/"avx2"; "mixed" after merging shards that
   /// disagree), its lane width, and how many trials ran through the

@@ -167,6 +167,10 @@ std::string RunDiagnosticsRecord(const RunDiagnostics& d) {
   w.U64("pool_parallel_jobs", d.pool_parallel_jobs);
   w.U64("pool_tasks_executed", d.pool_tasks_executed);
   w.U64("pool_tasks_stolen", d.pool_tasks_stolen);
+  w.U64("pool_tasks_stolen_remote", d.pool_tasks_stolen_remote);
+  w.U64("numa_nodes", d.numa_nodes);
+  w.U64Vec("node_workers", d.node_workers);
+  w.F64("bytes_per_trial", d.bytes_per_trial);
   w.Str("isa_tier", d.isa_tier);
   w.U64("lane_width", d.lane_width);
   w.U64("lockstep_trials", d.lockstep_trials);
@@ -202,6 +206,12 @@ Result<RunDiagnostics> RunDiagnosticsFromRecord(const std::string& bytes) {
   DPB_ASSIGN_OR_RETURN(d.pool_tasks_executed,
                        rec.U64("pool_tasks_executed"));
   DPB_ASSIGN_OR_RETURN(d.pool_tasks_stolen, rec.U64("pool_tasks_stolen"));
+  DPB_ASSIGN_OR_RETURN(d.pool_tasks_stolen_remote,
+                       rec.U64("pool_tasks_stolen_remote"));
+  DPB_ASSIGN_OR_RETURN(uint64_t numa_nodes, rec.U64("numa_nodes"));
+  d.numa_nodes = static_cast<size_t>(numa_nodes);
+  DPB_ASSIGN_OR_RETURN(d.node_workers, rec.U64Vec("node_workers"));
+  DPB_ASSIGN_OR_RETURN(d.bytes_per_trial, rec.F64("bytes_per_trial"));
   DPB_ASSIGN_OR_RETURN(d.isa_tier, rec.Str("isa_tier"));
   DPB_ASSIGN_OR_RETURN(uint64_t lane_width, rec.U64("lane_width"));
   d.lane_width = static_cast<size_t>(lane_width);
@@ -946,6 +956,7 @@ Result<MergedRun> MergeShards(std::vector<ShardFile> shards) {
   // trial counters still sum meaningfully either way.
   d.isa_tier = shards.front().diagnostics.isa_tier;
   d.lane_width = shards.front().diagnostics.lane_width;
+  double traffic_bytes = 0.0;
   for (const ShardFile& shard : shards) {
     const RunDiagnostics& sd = shard.diagnostics;
     d.cells += sd.cells;
@@ -958,8 +969,20 @@ Result<MergedRun> MergeShards(std::vector<ShardFile> shards) {
     d.pool_parallel_jobs += sd.pool_parallel_jobs;
     d.pool_tasks_executed += sd.pool_tasks_executed;
     d.pool_tasks_stolen += sd.pool_tasks_stolen;
+    d.pool_tasks_stolen_remote += sd.pool_tasks_stolen_remote;
     d.lockstep_trials += sd.lockstep_trials;
     d.scalar_trials += sd.scalar_trials;
+    // NUMA shape: shards run on different machines, so take the widest
+    // node count seen and sum worker counts elementwise (node_workers
+    // then reads as total workers that ran at each node index).
+    d.numa_nodes = std::max(d.numa_nodes, sd.numa_nodes);
+    if (sd.node_workers.size() > d.node_workers.size()) {
+      d.node_workers.resize(sd.node_workers.size(), 0);
+    }
+    for (size_t n = 0; n < sd.node_workers.size(); ++n) {
+      d.node_workers[n] += sd.node_workers[n];
+    }
+    traffic_bytes += sd.bytes_per_trial * static_cast<double>(sd.trials);
     if (sd.isa_tier != d.isa_tier) d.isa_tier = "mixed";
     if (sd.lane_width != d.lane_width) d.lane_width = 0;
   }
@@ -967,6 +990,10 @@ Result<MergedRun> MergeShards(std::vector<ShardFile> shards) {
       d.execute_seconds > 0.0
           ? static_cast<double>(d.trials) / d.execute_seconds
           : 0.0;
+  // Trial-weighted mean: shards cover different cells, so their per-trial
+  // traffic differs legitimately.
+  d.bytes_per_trial =
+      d.trials > 0 ? traffic_bytes / static_cast<double>(d.trials) : 0.0;
   return merged;
 }
 

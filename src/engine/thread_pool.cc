@@ -9,24 +9,88 @@
 
 namespace dpbench {
 
-bool WorkStealingPool::PinSelfToCore(size_t self) {
+bool WorkStealingPool::PinSelfToCpu(int cpu) {
 #if defined(__linux__)
-  unsigned cores = std::thread::hardware_concurrency();
-  if (cores == 0) return false;
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
   cpu_set_t set;
   CPU_ZERO(&set);
-  CPU_SET(self % std::min<unsigned>(cores, CPU_SETSIZE), &set);
+  CPU_SET(cpu, &set);
   return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
 #else
-  (void)self;
+  (void)cpu;
   return false;
 #endif
 }
 
-WorkStealingPool::WorkStealingPool(size_t num_threads, bool pin_threads)
+void WorkStealingPool::BuildPlacement(const topology::Topology& topo) {
+  const size_t num_nodes = std::max<size_t>(topo.nodes.size(), 1);
+  worker_node_.assign(num_threads_, 0);
+  worker_cpu_.assign(num_threads_, -1);
+  node_workers_.assign(num_nodes, {});
+
+  // Split the worker count across nodes proportionally to each node's
+  // CPU share, largest-remainder rounding (ties to the earlier node so
+  // the plan is deterministic). On one node this collapses to "all
+  // workers, CPUs w mod cores" — exactly the pre-NUMA layout.
+  size_t total_cpus = 0;
+  for (const auto& node : topo.nodes) total_cpus += node.cpus.size();
+  std::vector<size_t> counts(num_nodes, 0);
+  if (topo.nodes.empty() || total_cpus == 0) {
+    counts[0] = num_threads_;
+  } else {
+    size_t assigned = 0;
+    std::vector<std::pair<size_t, size_t>> remainders;  // (-share%, node)
+    for (size_t n = 0; n < num_nodes; ++n) {
+      size_t share = num_threads_ * topo.nodes[n].cpus.size();
+      counts[n] = share / total_cpus;
+      assigned += counts[n];
+      remainders.push_back({total_cpus - share % total_cpus, n});
+    }
+    std::sort(remainders.begin(), remainders.end());
+    for (size_t r = 0; assigned < num_threads_; ++r) {
+      ++counts[remainders[r % num_nodes].second];
+      ++assigned;
+    }
+  }
+
+  // Contiguous worker-id blocks per node, in node order. Worker 0 (the
+  // calling thread) lands on the first non-empty node.
+  size_t next = 0;
+  for (size_t n = 0; n < num_nodes; ++n) {
+    for (size_t k = 0; k < counts[n]; ++k, ++next) {
+      worker_node_[next] = n;
+      node_workers_[n].push_back(next);
+      if (n < topo.nodes.size() && !topo.nodes[n].cpus.empty()) {
+        worker_cpu_[next] = topo.nodes[n].cpus[k % topo.nodes[n].cpus.size()];
+      }
+    }
+  }
+
+  // Steal order: ring over the same-node group first (starting just past
+  // self, so thieves fan out instead of all hammering one victim), then
+  // the remaining workers in global ring order.
+  victim_order_.assign(num_threads_, {});
+  victims_local_.assign(num_threads_, 0);
+  for (size_t w = 0; w < num_threads_; ++w) {
+    const auto& group = node_workers_[worker_node_[w]];
+    size_t pos = std::find(group.begin(), group.end(), w) - group.begin();
+    for (size_t off = 1; off < group.size(); ++off) {
+      victim_order_[w].push_back(group[(pos + off) % group.size()]);
+    }
+    victims_local_[w] = victim_order_[w].size();
+    for (size_t off = 1; off < num_threads_; ++off) {
+      size_t v = (w + off) % num_threads_;
+      if (worker_node_[v] != worker_node_[w]) victim_order_[w].push_back(v);
+    }
+  }
+}
+
+WorkStealingPool::WorkStealingPool(size_t num_threads, bool pin_threads,
+                                   const topology::Topology* topo)
     : num_threads_(num_threads == 0 ? 1 : num_threads),
       pin_threads_(pin_threads),
       queues_(num_threads_) {
+  BuildPlacement(topo != nullptr ? *topo : topology::Detect());
   threads_.reserve(num_threads_ - 1);
   for (size_t t = 1; t < num_threads_; ++t) {
     threads_.emplace_back(&WorkStealingPool::WorkerLoop, this, t);
@@ -50,11 +114,15 @@ void WorkStealingPool::DrainTasks(size_t self) {
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    // Own deque drained: steal one task from the back of a victim.
+    // Own deque drained: steal one task from the back of a victim —
+    // every same-node victim before the first cross-node attempt.
     bool stole = false;
-    for (size_t off = 1; off < num_threads_; ++off) {
-      size_t victim = (self + off) % num_threads_;
-      if (queues_[victim].PopBack(&task)) {
+    const auto& victims = victim_order_[self];
+    for (size_t v = 0; v < victims.size(); ++v) {
+      if (queues_[victims[v]].PopBack(&task)) {
+        if (v >= victims_local_[self]) {
+          tasks_stolen_remote_.fetch_add(1, std::memory_order_relaxed);
+        }
         stole = true;
         break;
       }
@@ -67,7 +135,7 @@ void WorkStealingPool::DrainTasks(size_t self) {
 }
 
 void WorkStealingPool::WorkerLoop(size_t self) {
-  if (pin_threads_ && PinSelfToCore(self)) {
+  if (pin_threads_ && PinSelfToCpu(worker_cpu_[self])) {
     workers_pinned_.fetch_add(1, std::memory_order_relaxed);
   }
   uint64_t seen_epoch = 0;
@@ -83,6 +151,24 @@ void WorkStealingPool::WorkerLoop(size_t self) {
     ++workers_done_;
     if (workers_done_ == threads_.size()) cv_done_.notify_one();
   }
+}
+
+void WorkStealingPool::RunQueuedJob(const WorkerFn& fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    workers_done_ = 0;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+
+  // The owner participates as worker 0, then waits until every spawned
+  // worker has drained and parked — only then is it safe to reuse the
+  // deques (and for the caller to read results produced by stolen tasks).
+  DrainTasks(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return workers_done_ == threads_.size(); });
+  job_ = nullptr;
 }
 
 void WorkStealingPool::ParallelForWorker(size_t num_tasks,
@@ -102,21 +188,37 @@ void WorkStealingPool::ParallelForWorker(size_t num_tasks,
   for (size_t i = 0; i < num_tasks; ++i) {
     queues_[i % used].tasks.push_back(i);
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    job_ = &fn;
-    workers_done_ = 0;
-    ++epoch_;
-  }
-  cv_work_.notify_all();
+  RunQueuedJob(fn);
+}
 
-  // The owner participates as worker 0, then waits until every spawned
-  // worker has drained and parked — only then is it safe to reuse the
-  // deques (and for the caller to read results produced by stolen tasks).
-  DrainTasks(0);
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [&] { return workers_done_ == threads_.size(); });
-  job_ = nullptr;
+void WorkStealingPool::ParallelForWorkerPlaced(size_t num_tasks,
+                                               const WorkerFn& fn,
+                                               const HomeNodeFn& home_node) {
+  if (num_tasks == 0) return;
+  parallel_jobs_.fetch_add(1, std::memory_order_relaxed);
+  if (num_threads_ == 1 || num_tasks == 1) {
+    for (size_t i = 0; i < num_tasks; ++i) fn(i, 0);
+    tasks_executed_.fetch_add(num_tasks, std::memory_order_relaxed);
+    return;
+  }
+
+  // Hinted tasks round-robin over their home node's worker group; the
+  // rest round-robin globally, same shape as ParallelForWorker.
+  size_t used = std::min(num_threads_, num_tasks);
+  std::vector<size_t> node_rr(node_workers_.size(), 0);
+  size_t global_rr = 0;
+  for (size_t i = 0; i < num_tasks; ++i) {
+    size_t home = home_node(i);
+    size_t target;
+    if (home < node_workers_.size() && !node_workers_[home].empty()) {
+      const auto& group = node_workers_[home];
+      target = group[node_rr[home]++ % group.size()];
+    } else {
+      target = global_rr++ % used;
+    }
+    queues_[target].tasks.push_back(i);
+  }
+  RunQueuedJob(fn);
 }
 
 void WorkStealingPool::ParallelFor(size_t num_tasks,
@@ -124,11 +226,21 @@ void WorkStealingPool::ParallelFor(size_t num_tasks,
   ParallelForWorker(num_tasks, [&fn](size_t task, size_t) { fn(task); });
 }
 
+std::vector<uint64_t> WorkStealingPool::workers_per_node() const {
+  std::vector<uint64_t> counts(node_workers_.size(), 0);
+  for (size_t n = 0; n < node_workers_.size(); ++n) {
+    counts[n] = node_workers_[n].size();
+  }
+  return counts;
+}
+
 PoolStats WorkStealingPool::stats() const {
   PoolStats s;
   s.parallel_jobs = parallel_jobs_.load(std::memory_order_relaxed);
   s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
   s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
+  s.tasks_stolen_remote =
+      tasks_stolen_remote_.load(std::memory_order_relaxed);
   s.workers_pinned = workers_pinned_.load(std::memory_order_relaxed);
   return s;
 }

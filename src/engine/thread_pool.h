@@ -1,4 +1,5 @@
-// A persistent work-stealing parallel-for used by the experiment runner.
+// A persistent work-stealing parallel-for used by the experiment runner,
+// with NUMA-node-aware placement.
 //
 // Workers are spawned once at construction and parked on a condition
 // variable between ParallelFor calls, so the execute-many trial loop pays
@@ -10,6 +11,18 @@
 // tail — grid cells have wildly different costs (IDENTITY at domain 128 vs
 // DAWA at 4096), so static partitioning alone stalls on stragglers.
 //
+// NUMA awareness (topology::Detect, or an explicit topology): workers are
+// grouped per node — contiguous worker-id blocks, sized proportionally to
+// each node's CPU count — and, when pinning is on, each worker pins to a
+// CPU of its own node. Stealing is local-first: a worker exhausts every
+// same-node victim before crossing to another socket, and cross-node
+// steals are counted separately (PoolStats::tasks_stolen_remote) so the
+// runner can report how often placement was violated to balance the tail.
+// ParallelForWorkerPlaced lets the caller route each task to the node that
+// owns its data. On a single-node machine all of this degenerates to the
+// historical flat behavior: one steal ring, worker w pinned to core
+// w mod cores, no remote steals.
+//
 // The calling thread participates as worker 0; spawned threads are workers
 // 1..num_threads-1. Worker ids are stable for the lifetime of the pool and
 // are exposed through ParallelForWorker so callers can index per-thread
@@ -18,7 +31,8 @@
 // Determinism: the pool makes no ordering promises, so callers must ensure
 // task results do not depend on execution order. The runner guarantees
 // this by seeding every cell independently (StreamSeed) and writing each
-// result to a distinct slot.
+// result to a distinct slot — which is also why placement hints and
+// cross-node steals can never change results, only locality.
 //
 // Concurrency contract: ParallelFor/ParallelForWorker must be issued from
 // one thread at a time (the pool owner) and must not be called reentrantly
@@ -36,6 +50,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/topology.h"
+
 namespace dpbench {
 
 /// Lifetime counters of a pool — cheap relaxed atomics, suitable for
@@ -44,6 +60,7 @@ struct PoolStats {
   uint64_t parallel_jobs = 0;   ///< ParallelFor/ParallelForWorker calls served
   uint64_t tasks_executed = 0;  ///< total task-function invocations
   uint64_t tasks_stolen = 0;    ///< tasks popped from another worker's deque
+  uint64_t tasks_stolen_remote = 0;  ///< steals that crossed a NUMA node
   uint64_t workers_pinned = 0;  ///< workers with a core affinity applied
 };
 
@@ -51,20 +68,31 @@ class WorkStealingPool {
  public:
   /// fn(task, worker): `worker` is a stable id in [0, num_threads).
   using WorkerFn = std::function<void(size_t task, size_t worker)>;
+  /// Placement hint: the NUMA node whose workers should own task i.
+  /// Return kAnyNode (or any out-of-range node) for no preference.
+  using HomeNodeFn = std::function<size_t(size_t task)>;
+
+  static constexpr size_t kAnyNode = static_cast<size_t>(-1);
 
   /// `num_threads` == 0 or 1 means run inline on the calling thread (no
   /// workers are spawned — the 1-thread fast path takes no locks).
   ///
-  /// `pin_threads` pins each spawned worker to core (worker id mod
-  /// hardware cores): persistent workers then keep their cache and NUMA
-  /// locality across phases instead of migrating between them. Worker 0
-  /// is the calling thread and is never pinned — the pool must not mutate
-  /// the caller's scheduling state beyond its own lifetime. Pinning is
-  /// best-effort (Linux only; a cpuset that excludes the target core
+  /// `topo` is the NUMA layout to place against (nullptr = the cached
+  /// topology::Detect()). Workers are split into contiguous per-node
+  /// groups proportional to each node's CPU count.
+  ///
+  /// `pin_threads` pins each spawned worker to a CPU of its node (its
+  /// index within the node's worker group, wrapping over the node's CPU
+  /// list): persistent workers then keep their cache and NUMA locality
+  /// across phases instead of migrating between them. Worker 0 is the
+  /// calling thread and is never pinned — the pool must not mutate the
+  /// caller's scheduling state beyond its own lifetime. Pinning is
+  /// best-effort (Linux only; a cpuset that excludes the target CPU
   /// leaves that worker unpinned) and never affects results —
   /// PoolStats::workers_pinned reports how many workers it actually
   /// stuck.
-  explicit WorkStealingPool(size_t num_threads, bool pin_threads = false);
+  explicit WorkStealingPool(size_t num_threads, bool pin_threads = false,
+                            const topology::Topology* topo = nullptr);
   ~WorkStealingPool();
 
   WorkStealingPool(const WorkStealingPool&) = delete;
@@ -79,7 +107,24 @@ class WorkStealingPool {
   /// one task runs per worker id at any instant.
   void ParallelForWorker(size_t num_tasks, const WorkerFn& fn);
 
+  /// As ParallelForWorker, but each task is queued to a worker of
+  /// home_node(task) — round-robin within that node's worker group — so
+  /// the threads executing a task run on the socket that owns its data.
+  /// Tasks hinted at kAnyNode (or a node with no workers) fall back to
+  /// the global round-robin. A hint is locality only, never correctness:
+  /// work stealing may still execute any task anywhere (remote steals are
+  /// counted), and results must not depend on placement.
+  void ParallelForWorkerPlaced(size_t num_tasks, const WorkerFn& fn,
+                               const HomeNodeFn& home_node);
+
   size_t num_threads() const { return num_threads_; }
+
+  /// NUMA shape the pool planned against.
+  size_t num_nodes() const { return node_workers_.size(); }
+  size_t node_of_worker(size_t worker) const { return worker_node_[worker]; }
+  /// Worker count per node, indexed by the pool's node order (the
+  /// topology's node order, not raw sysfs ids).
+  std::vector<uint64_t> workers_per_node() const;
 
   PoolStats stats() const;
 
@@ -108,15 +153,29 @@ class WorkStealingPool {
     }
   };
 
+  void BuildPlacement(const topology::Topology& topo);
+  /// Publishes the already-filled deques as one job, participates as
+  /// worker 0, and blocks until every spawned worker has parked again.
+  void RunQueuedJob(const WorkerFn& fn);
   void WorkerLoop(size_t self);
   void DrainTasks(size_t self);
-  /// Pins the calling thread to core (self mod hardware cores); returns
-  /// whether the affinity call succeeded. No-op (false) off Linux.
-  static bool PinSelfToCore(size_t self);
+  /// Pins the calling thread to `cpu`; returns whether the affinity call
+  /// succeeded. No-op (false) off Linux or for out-of-range CPUs.
+  static bool PinSelfToCpu(int cpu);
 
   size_t num_threads_;
   bool pin_threads_;
   std::vector<TaskDeque> queues_;
+
+  // Placement plan, fixed at construction. worker_node_[w] is w's node;
+  // worker_cpu_[w] its pin target; node_workers_[n] the worker ids of
+  // node n; victim_order_[w] the steal order (same-node victims first),
+  // with victims_local_[w] counting the same-node prefix.
+  std::vector<size_t> worker_node_;
+  std::vector<int> worker_cpu_;
+  std::vector<std::vector<size_t>> node_workers_;
+  std::vector<std::vector<size_t>> victim_order_;
+  std::vector<size_t> victims_local_;
 
   // Job state, published under mu_ at the start of every parallel region.
   const WorkerFn* job_ = nullptr;
@@ -130,6 +189,7 @@ class WorkStealingPool {
   std::atomic<uint64_t> parallel_jobs_{0};
   std::atomic<uint64_t> tasks_executed_{0};
   std::atomic<uint64_t> tasks_stolen_{0};
+  std::atomic<uint64_t> tasks_stolen_remote_{0};
   std::atomic<uint64_t> workers_pinned_{0};
 
   std::vector<std::thread> threads_;  // workers 1..num_threads-1

@@ -1,0 +1,141 @@
+// Topology discovery: cpulist parsing against golden sysfs fixtures
+// (multi-node, single-node, offline-CPU holes), loud rejection of
+// malformed input, and the deterministic single-node fallback.
+#include "src/common/topology.h"
+
+#include <sys/stat.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace dpbench {
+namespace topology {
+namespace {
+
+// Builds a golden /sys/devices/system/node replica under TempDir:
+// fixture("name", {"0-3", "4-7"}) creates node0/cpulist .. node1/cpulist.
+std::string Fixture(const std::string& name,
+                    const std::vector<std::string>& cpulists) {
+  std::string root = ::testing::TempDir() + "/dpbench_topo_" + name;
+  mkdir(root.c_str(), 0755);
+  for (size_t n = 0; n < cpulists.size(); ++n) {
+    std::string node_dir = root + "/node" + std::to_string(n);
+    mkdir(node_dir.c_str(), 0755);
+    std::ofstream out(node_dir + "/cpulist");
+    out << cpulists[n] << "\n";  // sysfs files end with a newline
+  }
+  return root;
+}
+
+TEST(ParseCpuListTest, SingleIdsAndRanges) {
+  auto cpus = ParseCpuList("0-3,8,10-11\n");
+  ASSERT_TRUE(cpus.ok());
+  EXPECT_EQ(*cpus, (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+}
+
+TEST(ParseCpuListTest, EmptyListIsValid) {
+  // A node with every CPU offline reads as an empty cpulist.
+  auto cpus = ParseCpuList("\n");
+  ASSERT_TRUE(cpus.ok());
+  EXPECT_TRUE(cpus->empty());
+}
+
+TEST(ParseCpuListTest, SortsAndDeduplicates) {
+  auto cpus = ParseCpuList("8,0-2,1");
+  ASSERT_TRUE(cpus.ok());
+  EXPECT_EQ(*cpus, (std::vector<int>{0, 1, 2, 8}));
+}
+
+TEST(ParseCpuListTest, MalformedTokensRejectedLoudly) {
+  for (const char* bad : {"0-", "-3", "a", "1-2-3", "3-1", "0,,2", "1e3"}) {
+    auto cpus = ParseCpuList(bad);
+    EXPECT_FALSE(cpus.ok()) << "accepted malformed cpulist: " << bad;
+    EXPECT_EQ(cpus.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(SingleNodeTest, CoversAllCpusOnNodeZero) {
+  Topology topo = SingleNode(6);
+  ASSERT_EQ(topo.num_nodes(), 1u);
+  EXPECT_TRUE(topo.synthetic);
+  EXPECT_EQ(topo.nodes[0].id, 0);
+  EXPECT_EQ(topo.nodes[0].cpus, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  // Zero hardware threads (hardware_concurrency can return 0) still
+  // yields a usable one-CPU node.
+  EXPECT_EQ(SingleNode(0).total_cpus(), 1u);
+}
+
+TEST(DetectFromTest, MultiNodeFixture) {
+  std::string root = Fixture("multi", {"0-3", "4-7"});
+  auto topo = DetectFrom(root);
+  ASSERT_TRUE(topo.ok()) << topo.status().ToString();
+  EXPECT_FALSE(topo->synthetic);
+  ASSERT_EQ(topo->num_nodes(), 2u);
+  EXPECT_EQ(topo->nodes[0].id, 0);
+  EXPECT_EQ(topo->nodes[0].cpus, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(topo->nodes[1].id, 1);
+  EXPECT_EQ(topo->nodes[1].cpus, (std::vector<int>{4, 5, 6, 7}));
+}
+
+TEST(DetectFromTest, SingleNodeFixture) {
+  std::string root = Fixture("single", {"0-15"});
+  auto topo = DetectFrom(root);
+  ASSERT_TRUE(topo.ok()) << topo.status().ToString();
+  ASSERT_EQ(topo->num_nodes(), 1u);
+  EXPECT_EQ(topo->total_cpus(), 16u);
+}
+
+TEST(DetectFromTest, OfflineCpusLeaveHoles) {
+  // Offline CPUs leave holes in the list; a fully-offline node is
+  // dropped rather than planned against.
+  std::string root = Fixture("holes", {"0-2,5-7", "", "9,11"});
+  auto topo = DetectFrom(root);
+  ASSERT_TRUE(topo.ok()) << topo.status().ToString();
+  ASSERT_EQ(topo->num_nodes(), 2u);
+  EXPECT_EQ(topo->nodes[0].cpus, (std::vector<int>{0, 1, 2, 5, 6, 7}));
+  EXPECT_EQ(topo->nodes[1].id, 2);
+  EXPECT_EQ(topo->nodes[1].cpus, (std::vector<int>{9, 11}));
+}
+
+TEST(DetectFromTest, MalformedCpulistIsInvalidArgumentNotFallback) {
+  // A parse error must surface, not silently degrade to one node — a
+  // wrong parse on a real machine would mean a silently wrong placement.
+  std::string root = Fixture("malformed", {"0-3", "7-4"});
+  auto topo = DetectFrom(root);
+  ASSERT_FALSE(topo.ok());
+  EXPECT_EQ(topo.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(topo.status().message().find("7-4"), std::string::npos)
+      << "error does not name the offending token: "
+      << topo.status().ToString();
+}
+
+TEST(DetectFromTest, MissingDirectoryIsNotFound) {
+  auto topo = DetectFrom(::testing::TempDir() + "/dpbench_topo_nonexistent");
+  ASSERT_FALSE(topo.ok());
+  EXPECT_EQ(topo.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DetectFromTest, AllNodesOfflineIsNotFound) {
+  std::string root = Fixture("all_offline", {"", ""});
+  auto topo = DetectFrom(root);
+  ASSERT_FALSE(topo.ok());
+  EXPECT_EQ(topo.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DetectTest, ForceForTestingOverridesAndResets) {
+  Topology forced = SingleNode(2);
+  forced.nodes.push_back({1, {2, 3}});
+  ForceForTesting(forced);
+  EXPECT_EQ(Detect().num_nodes(), 2u);
+  ResetForTesting();
+  // The default resolution always yields at least one node with CPUs.
+  EXPECT_GE(Detect().num_nodes(), 1u);
+  EXPECT_GE(Detect().total_cpus(), 1u);
+}
+
+}  // namespace
+}  // namespace topology
+}  // namespace dpbench

@@ -302,6 +302,10 @@ TEST(DistribEndToEndTest, CorruptUploadsAreRejectedAndRerun) {
 TEST(DistribEndToEndTest, DroppedConnectionReconnectsAndFinishes) {
   ExperimentConfig config = SmallGrid();
   config.algorithms = {"IDENTITY"};
+  // Two datasets at one domain: their cells land in different tasks but
+  // share a plan key (plan identity is algorithm|domain|epsilon), so the
+  // second assignment must hydrate from the worker's plan cache.
+  config.datasets = {"ADULT", "TRACE"};
   config.domain_sizes = {64};
   config.epsilons = {0.1};
   std::string expected_csv = MonolithicCsv(config);
@@ -338,6 +342,11 @@ TEST(DistribEndToEndTest, DroppedConnectionReconnectsAndFinishes) {
   EXPECT_GE(flaky_stats->reconnects, 1u)
       << "the dropped connection was never re-established";
   EXPECT_EQ(flaky_stats->tasks_completed, 3u);
+  // Tasks are shards of one grid: after the first assignment built the
+  // plans, later assignments must hydrate them from the worker's
+  // per-fingerprint cache instead of re-planning.
+  EXPECT_GE(flaky_stats->plans_hydrated, 1u)
+      << "repeat assignments of one config re-planned from scratch";
 }
 
 TEST(DistribEndToEndTest, WorkerWithNoCoordinatorFailsUnavailable) {

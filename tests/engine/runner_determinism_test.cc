@@ -10,6 +10,7 @@
 #include <map>
 #include <utility>
 
+#include "src/common/topology.h"
 #include "src/engine/runner.h"
 
 namespace dpbench {
@@ -180,10 +181,52 @@ TEST(RunnerDeterminismTest, PoolDiagnosticsReportUtilization) {
   RunDiagnostics diag;
   auto results = Runner::Run(c, nullptr, &diag);
   ASSERT_TRUE(results.ok());
-  // One plan phase + one execute phase on the persistent pool.
-  EXPECT_EQ(diag.pool_parallel_jobs, 2u);
-  EXPECT_EQ(diag.pool_tasks_executed, diag.cells + diag.plans_built);
+  // One input-materialization phase + one plan phase + one execute phase
+  // on the persistent pool.
+  EXPECT_EQ(diag.pool_parallel_jobs, 3u);
+  // Tasks = cells + plans + the materialized inputs (at least one).
+  EXPECT_GT(diag.pool_tasks_executed, diag.cells + diag.plans_built);
   EXPECT_GT(diag.trials_per_second, 0.0);
+  // Placement shape: detection always yields at least one node, a worker
+  // count per node summing to the pool size, and an analytic bytes/trial.
+  EXPECT_GE(diag.numa_nodes, 1u);
+  ASSERT_EQ(diag.node_workers.size(), diag.numa_nodes);
+  uint64_t workers = 0;
+  for (uint64_t n : diag.node_workers) workers += n;
+  EXPECT_EQ(workers, 4u);
+  EXPECT_GT(diag.bytes_per_trial, 0.0);
+}
+
+TEST(RunnerDeterminismTest, ForcedTwoNodeTopologyBitIdenticalToDefault) {
+  // Placement is a scheduling hint only: forcing a synthetic two-node
+  // machine (splitting workers, routing cells by home node, remote-steal
+  // accounting) must not move a single bit of output. Pinning may target
+  // CPUs this host lacks; that is best-effort and must be harmless.
+  ExperimentConfig c = PlanHeavyConfig();
+  c.threads = 4;
+  auto baseline = Runner::Run(c);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  topology::Topology forced;
+  forced.nodes.push_back({0, {0, 1}});
+  forced.nodes.push_back({1, {2, 3}});
+  topology::ForceForTesting(forced);
+  RunDiagnostics diag;
+  auto split = Runner::Run(c, nullptr, &diag);
+  topology::ResetForTesting();
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_EQ(diag.numa_nodes, 2u);
+  ASSERT_EQ(diag.node_workers.size(), 2u);
+  EXPECT_EQ(diag.node_workers[0] + diag.node_workers[1], 4u);
+
+  EXPECT_EQ(ErrorsByKey(*baseline), ErrorsByKey(*split));
+
+  // The explicit single-node override matches too.
+  topology::ForceForTesting(topology::SingleNode(4));
+  auto single = Runner::Run(c);
+  topology::ResetForTesting();
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  EXPECT_EQ(ErrorsByKey(*baseline), ErrorsByKey(*single));
 }
 
 TEST(RunnerDeterminismTest, GroupBySettingMoveMatchesCopy) {

@@ -157,6 +157,100 @@ TEST(ThreadPoolTest, UnpinnedPoolReportsZeroPinned) {
 }
 #endif  // defined(__linux__)
 
+TEST(ThreadPoolTest, NodeAwarePlacementGroupsWorkersPerNode) {
+  // Synthetic 2-node machine: node 0 owns CPUs 0-3, node 1 owns 4-7.
+  // Six workers split 3+3 (proportional to CPU share), in contiguous
+  // blocks following node order.
+  topology::Topology topo;
+  topo.nodes.push_back({0, {0, 1, 2, 3}});
+  topo.nodes.push_back({1, {4, 5, 6, 7}});
+  WorkStealingPool pool(6, /*pin_threads=*/false, &topo);
+  EXPECT_EQ(pool.num_nodes(), 2u);
+  EXPECT_EQ(pool.workers_per_node(), (std::vector<uint64_t>{3, 3}));
+  for (size_t w = 0; w < 6; ++w) {
+    EXPECT_EQ(pool.node_of_worker(w), w < 3 ? 0u : 1u) << "worker " << w;
+  }
+
+  // Uneven CPU shares round by largest remainder: 5 workers over a
+  // 12-vs-4 CPU split give 4 and 1.
+  topology::Topology skewed;
+  skewed.nodes.push_back({0, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}});
+  skewed.nodes.push_back({1, {12, 13, 14, 15}});
+  WorkStealingPool skewed_pool(5, false, &skewed);
+  EXPECT_EQ(skewed_pool.workers_per_node(), (std::vector<uint64_t>{4, 1}));
+}
+
+TEST(ThreadPoolTest, SingleNodeTopologyReproducesFlatLayout) {
+  // The synthetic fallback must behave exactly like the pre-NUMA pool:
+  // one node, every worker in it, no remote steals possible.
+  topology::Topology topo = topology::SingleNode(8);
+  WorkStealingPool pool(4, false, &topo);
+  EXPECT_EQ(pool.num_nodes(), 1u);
+  EXPECT_EQ(pool.workers_per_node(), (std::vector<uint64_t>{4}));
+  std::atomic<int> n{0};
+  pool.ParallelFor(64, [&](size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 64);
+  EXPECT_EQ(pool.stats().tasks_stolen_remote, 0u);
+}
+
+TEST(ThreadPoolTest, PlacedTasksRunOnHomeNodeWorkersWhenUncontended) {
+  topology::Topology topo;
+  topo.nodes.push_back({0, {0, 1}});
+  topo.nodes.push_back({1, {2, 3}});
+  WorkStealingPool pool(4, false, &topo);
+  // Every task hinted at node 1, so every node-0 deque stays empty:
+  // any task a node-0 worker executes had to cross the node boundary,
+  // and the remote-steal counter must equal exactly that count.
+  constexpr size_t kTasks = 128;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  std::atomic<uint64_t> ran_off_node{0};
+  pool.ParallelForWorkerPlaced(
+      kTasks,
+      [&](size_t i, size_t worker) {
+        hits[i].fetch_add(1);
+        if (pool.node_of_worker(worker) != 1) ran_off_node.fetch_add(1);
+      },
+      [](size_t) { return size_t{1}; });
+  for (size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1);
+  PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.tasks_executed, kTasks);
+  EXPECT_EQ(stats.tasks_stolen_remote, ran_off_node.load());
+
+  // kAnyNode falls back to the global round-robin and still runs all.
+  std::atomic<int> n{0};
+  pool.ParallelForWorkerPlaced(
+      32, [&](size_t, size_t) { n.fetch_add(1); },
+      [](size_t) { return WorkStealingPool::kAnyNode; });
+  EXPECT_EQ(n.load(), 32);
+}
+
+TEST(ThreadPoolTest, RemoteStealsCrossNodesToBalanceSkew) {
+  topology::Topology topo;
+  topo.nodes.push_back({0, {0, 1}});
+  topo.nodes.push_back({1, {2, 3}});
+  WorkStealingPool pool(4, false, &topo);
+  // All work on node 0, with real cost: node-1 workers have nothing
+  // local and must cross the node boundary to help.
+  constexpr size_t kTasks = 64;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelForWorkerPlaced(
+      kTasks,
+      [&](size_t i, size_t) {
+        volatile double sink = 0.0;
+        for (int k = 0; k < 50000; ++k) sink = sink + static_cast<double>(k);
+        hits[i].fetch_add(1);
+      },
+      [](size_t) { return size_t{0}; });
+  for (size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1);
+  PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.tasks_executed, kTasks);
+  // Remote steals are a subset of all steals, and correctness never
+  // depends on whether any happened.
+  EXPECT_LE(stats.tasks_stolen_remote, stats.tasks_stolen);
+}
+
 TEST(ThreadPoolTest, ConstructDestroyLeaksNoWork) {
   // Pools that never run a job must still shut down cleanly, and repeated
   // construction/destruction must not deadlock.

@@ -136,6 +136,13 @@ int main(int argc, char** argv) {
             << diagnostics.pool_tasks_executed << " tasks, "
             << diagnostics.pool_tasks_stolen << " stolen, "
             << diagnostics.pool_workers_pinned << " pinned\n"
+            << "numa: " << diagnostics.numa_nodes << " nodes, workers=[";
+  for (size_t n = 0; n < diagnostics.node_workers.size(); ++n) {
+    std::cout << (n ? "," : "") << diagnostics.node_workers[n];
+  }
+  std::cout << "], " << diagnostics.pool_tasks_stolen_remote
+            << " remote steals, " << diagnostics.bytes_per_trial
+            << " bytes/trial\n"
             << "lockstep: isa=" << diagnostics.isa_tier
             << " lanes=" << diagnostics.lane_width << " | "
             << diagnostics.lockstep_trials << " lockstep + "

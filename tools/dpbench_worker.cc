@@ -118,7 +118,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cerr << options.name << ": " << stats->tasks_completed
-            << " tasks completed, " << stats->reconnects
+            << " tasks completed, " << stats->plans_hydrated
+            << " plans hydrated from cache, " << stats->reconnects
             << " reconnects, ended by " << stats->ended_by << "\n";
   if (stats->killed_by_fault) {
     // Distinct code so scripts can tell an injected death from success.
